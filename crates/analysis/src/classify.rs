@@ -1,0 +1,321 @@
+//! Task classification and layer composition (§4.4, Fig. 6, Table 3).
+//!
+//! The paper's labelling was manual: "we manually looked into the naming,
+//! input/output dimensions and layer types of the encountered DNN models
+//! … across three ML researchers with a majority vote", identifying 91.9 %
+//! of models, "with around 67 % having names which hint either the model,
+//! task at hand or both". This module encodes the same three evidence
+//! sources as rules: name hints first, then input/output-shape heuristics,
+//! then layer-type structure.
+
+use gaugenn_dnn::graph::LayerKind;
+use gaugenn_dnn::shape::infer_shapes;
+use gaugenn_dnn::task::{Modality, Task};
+use gaugenn_dnn::tensor::{DType, Shape};
+use gaugenn_dnn::Graph;
+use std::collections::BTreeMap;
+
+/// A classification with its evidence source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classification {
+    /// The assigned task.
+    pub task: Task,
+    /// What evidence drove the decision.
+    pub evidence: Evidence,
+}
+
+/// Which of the three §4.4 evidence sources decided the label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Evidence {
+    /// The model name carried a task hint.
+    NameHint,
+    /// Input/output dimensions decided it.
+    IoDims,
+    /// Layer structure decided it.
+    Structure,
+}
+
+/// Classify a decoded model. Returns `None` for models none of the rules
+/// can place (the paper's unidentified 8.1 %).
+pub fn classify_graph(graph: &Graph) -> Option<Classification> {
+    if let Some(task) = by_name(&graph.name) {
+        return Some(Classification {
+            task,
+            evidence: Evidence::NameHint,
+        });
+    }
+    let shapes = infer_shapes(graph).ok()?;
+    let input = graph.nodes.iter().find_map(|n| match &n.kind {
+        LayerKind::Input { shape, dtype } => Some((shape.clone(), *dtype)),
+        _ => None,
+    })?;
+    if let Some(task) = by_io_dims(graph, &input, &shapes) {
+        return Some(Classification {
+            task,
+            evidence: Evidence::IoDims,
+        });
+    }
+    by_structure(graph, &input).map(|task| Classification {
+        task,
+        evidence: Evidence::Structure,
+    })
+}
+
+fn by_name(name: &str) -> Option<Task> {
+    let lower = name.to_ascii_lowercase();
+    // Longest hints first so "autocomplete" wins over "auto".
+    let mut hints: Vec<(Task, &str)> = Task::ALL.iter().map(|&t| (t, t.name_hint())).collect();
+    hints.sort_by_key(|(_, h)| std::cmp::Reverse(h.len()));
+    for (task, hint) in hints {
+        // Token match to avoid "ar" firing inside "hair".
+        let is_match = lower
+            .split(|c: char| !c.is_ascii_alphanumeric())
+            .any(|tok| tok == hint);
+        if is_match {
+            return Some(task);
+        }
+    }
+    None
+}
+
+fn by_io_dims(graph: &Graph, input: &(Shape, DType), shapes: &[Shape]) -> Option<Task> {
+    let (in_shape, in_dtype) = input;
+    let outs: Vec<&Shape> = graph.outputs.iter().map(|&o| &shapes[o]).collect();
+    match (in_shape.rank(), in_dtype) {
+        // Token-id sequences are NLP.
+        (2, DType::I32) => {
+            let out = outs.first()?;
+            Some(match out.channels() {
+                c if c >= 1000 => Task::AutoComplete, // vocab-sized head
+                3 => Task::SentimentPrediction,
+                2 => Task::ContentFilter,
+                _ => Task::TextClassification,
+            })
+        }
+        // Rank-3 float sequences are sensor streams.
+        (3, DType::F32) => Some(Task::CrashDetection),
+        (2, DType::F32) => Some(Task::MovementTracking),
+        (4, DType::F32) => {
+            let (h, w, c) = in_shape.hwc()?;
+            if c == 1 {
+                // Single-channel planes: spectrograms or text-line crops.
+                let out = outs.first()?;
+                return Some(match out.channels() {
+                    521 => Task::SoundRecognition,
+                    29 => Task::SpeechRecognition,
+                    12 if h >= 40 => Task::KeywordDetection,
+                    96 => Task::TextRecognition,
+                    _ if w > 2 * h => Task::TextRecognition, // wide text strip
+                    _ => Task::SoundRecognition,
+                });
+            }
+            // RGB vision. Two output heads of matched spatial size =
+            // detector (class scores + box regressors).
+            if outs.len() == 2 {
+                let boxy = outs
+                    .iter()
+                    .any(|o| o.rank() == 4 && o.channels() % 4 == 0);
+                if boxy {
+                    // BlazeFace-style heads are tiny (2 anchors); FSSD heads
+                    // are wide (6 anchors × 21 classes).
+                    let max_c = outs.iter().map(|o| o.channels()).max()?;
+                    return Some(if max_c <= 40 {
+                        Task::FaceDetection
+                    } else {
+                        Task::ObjectDetection
+                    });
+                }
+            }
+            let out = outs.first()?;
+            if out.rank() == 4 {
+                let (oh, ow, oc) = out.hwc()?;
+                if oh == h && ow == w && oc <= 4 {
+                    return Some(Task::SemanticSegmentation);
+                }
+                if oc == 17 {
+                    return Some(Task::PoseEstimation);
+                }
+            }
+            if out.rank() == 2 {
+                let units = out.channels();
+                if units >= 3 * 400 && units % 3 == 0 {
+                    return Some(Task::ContourDetection); // dense landmark vector
+                }
+                if units >= 100 {
+                    return Some(Task::ImageClassification);
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn by_structure(graph: &Graph, input: &(Shape, DType)) -> Option<Task> {
+    let has_recurrent = graph
+        .nodes
+        .iter()
+        .any(|n| matches!(n.kind, LayerKind::Lstm { .. } | LayerKind::Gru { .. }));
+    let has_conv = graph
+        .nodes
+        .iter()
+        .any(|n| matches!(n.kind, LayerKind::Conv2d { .. }));
+    match (input.0.rank(), has_conv, has_recurrent) {
+        (4, true, true) => Some(Task::TextRecognition), // CRNN shape
+        (4, true, false) => Some(Task::OtherVision),
+        (_, false, true) => Some(Task::AutoComplete),
+        _ => None,
+    }
+}
+
+/// Layer-family composition per modality (Fig. 6): counts of each layer
+/// family across a set of models grouped by their input modality.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LayerComposition {
+    /// `(modality, family) -> count`.
+    pub counts: BTreeMap<(Modality, String), u64>,
+}
+
+impl LayerComposition {
+    /// Accumulate one model's layers under `modality`.
+    pub fn add(&mut self, modality: Modality, graph: &Graph) {
+        for n in &graph.nodes {
+            if matches!(n.kind, LayerKind::Input { .. }) {
+                continue;
+            }
+            *self
+                .counts
+                .entry((modality, n.kind.family().to_string()))
+                .or_default() += 1;
+        }
+    }
+
+    /// Fraction of `family` among all layers of `modality`.
+    pub fn fraction(&self, modality: Modality, family: &str) -> f64 {
+        let total: u64 = self
+            .counts
+            .iter()
+            .filter(|((m, _), _)| *m == modality)
+            .map(|(_, c)| c)
+            .sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let f = self
+            .counts
+            .get(&(modality, family.to_string()))
+            .copied()
+            .unwrap_or(0);
+        f as f64 / total as f64
+    }
+
+    /// All families of a modality, sorted descending by count.
+    pub fn top_families(&self, modality: Modality) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .counts
+            .iter()
+            .filter(|((m, _), _)| *m == modality)
+            .map(|((_, f), c)| (f.clone(), *c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugenn_dnn::zoo::{build_for_task, SizeClass};
+
+    #[test]
+    fn hinted_names_classified_exactly() {
+        for (i, &task) in Task::ALL.iter().enumerate() {
+            let m = build_for_task(task, 700 + i as u64, SizeClass::Small, true);
+            let c = classify_graph(&m.graph).unwrap_or_else(|| panic!("{task:?} unclassified"));
+            assert_eq!(c.task, task, "hinted {task:?}");
+            assert_eq!(c.evidence, Evidence::NameHint);
+        }
+    }
+
+    #[test]
+    fn opaque_names_mostly_recovered_from_dims() {
+        // Without name hints the classifier must recover most tasks from
+        // shapes/structure — at least modality-correct, like the paper's
+        // manual process.
+        let mut correct_task = 0;
+        let mut correct_modality = 0;
+        let mut classified = 0;
+        let n = Task::ALL.len();
+        for (i, &task) in Task::ALL.iter().enumerate() {
+            let m = build_for_task(task, 900 + i as u64, SizeClass::Small, false);
+            if let Some(c) = classify_graph(&m.graph) {
+                classified += 1;
+                if c.task == task {
+                    correct_task += 1;
+                }
+                if c.task.modality() == task.modality() {
+                    correct_modality += 1;
+                }
+                assert_ne!(c.evidence, Evidence::NameHint, "{task:?}: name was opaque");
+            }
+        }
+        assert!(
+            classified as f64 / n as f64 >= 0.9,
+            "classified {classified}/{n}"
+        );
+        assert!(
+            correct_modality as f64 / classified as f64 >= 0.9,
+            "modality {correct_modality}/{classified}"
+        );
+        assert!(
+            correct_task as f64 / classified as f64 >= 0.6,
+            "task {correct_task}/{classified}"
+        );
+    }
+
+    #[test]
+    fn ar_hint_does_not_fire_inside_hair() {
+        let mut g = build_for_task(Task::HairReconstruction, 7, SizeClass::Small, false).graph;
+        g.name = "hair_effects_v2".into();
+        let c = classify_graph(&g).unwrap();
+        assert_eq!(c.task, Task::HairReconstruction);
+    }
+
+    #[test]
+    fn layer_composition_convolutions_dominate_vision() {
+        // Fig. 6: convolutions are the most popular layer type for images.
+        let mut comp = LayerComposition::default();
+        for seed in 0..5 {
+            let m = build_for_task(Task::ObjectDetection, seed, SizeClass::Small, true);
+            comp.add(Modality::Vision, &m.graph);
+        }
+        for seed in 0..3 {
+            let m = build_for_task(Task::AutoComplete, seed, SizeClass::Small, true);
+            comp.add(Modality::Nlp, &m.graph);
+        }
+        // Our IR keeps activations as distinct layers (framework-dependent,
+        // as §4.7 notes), so convolutions must lead among *compute* layers.
+        let vision_top = comp.top_families(Modality::Vision);
+        assert!(
+            vision_top.iter().take(2).any(|(f, _)| f == "conv"),
+            "conv should be a top-2 family, got {vision_top:?}"
+        );
+        assert!(
+            comp.fraction(Modality::Vision, "conv")
+                > comp.fraction(Modality::Vision, "dense"),
+            "vision is conv-dominated among weighted layers"
+        );
+        // Dense layers matter more for text than for vision.
+        assert!(
+            comp.fraction(Modality::Nlp, "dense") > comp.fraction(Modality::Vision, "dense")
+        );
+        assert!(comp.fraction(Modality::Vision, "conv") > 0.2);
+    }
+
+    #[test]
+    fn composition_fraction_of_missing_modality_is_zero() {
+        let comp = LayerComposition::default();
+        assert_eq!(comp.fraction(Modality::Audio, "conv"), 0.0);
+        assert!(comp.top_families(Modality::Audio).is_empty());
+    }
+}

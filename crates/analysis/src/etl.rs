@@ -1,0 +1,251 @@
+//! In-memory document index — the ElasticSearch stand-in of §3.1.
+//!
+//! gaugeNN "stores the store metadata for each app … in an ElasticSearch
+//! instance for quick ETL analytics and cross-snapshot investigations".
+//! This module provides the same analytic surface (field filters, term
+//! aggregations, numeric stats) over plain documents.
+
+use std::collections::BTreeMap;
+
+/// A field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// String field.
+    Str(String),
+    /// Numeric field.
+    Num(f64),
+    /// Boolean field.
+    Bool(bool),
+}
+
+impl Value {
+    /// String view, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    /// Numeric view, if a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    /// Boolean view, if a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Num(n as f64)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+/// A document: named fields.
+pub type Doc = BTreeMap<String, Value>;
+
+/// Build a document from `(field, value)` pairs.
+pub fn doc<const N: usize>(fields: [(&str, Value); N]) -> Doc {
+    fields
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+}
+
+/// A filter over documents.
+#[derive(Debug, Clone)]
+pub enum Filter {
+    /// Field equals a string.
+    Eq(String, String),
+    /// Field equals a bool.
+    EqBool(String, bool),
+    /// Numeric field within `[lo, hi]`.
+    Range(String, f64, f64),
+    /// Field exists.
+    Exists(String),
+    /// All sub-filters match.
+    And(Vec<Filter>),
+}
+
+impl Filter {
+    fn matches(&self, d: &Doc) -> bool {
+        match self {
+            Filter::Eq(f, v) => d.get(f).and_then(Value::as_str) == Some(v.as_str()),
+            Filter::EqBool(f, v) => d.get(f).and_then(Value::as_bool) == Some(*v),
+            Filter::Range(f, lo, hi) => d
+                .get(f)
+                .and_then(Value::as_num)
+                .is_some_and(|n| n >= *lo && n <= *hi),
+            Filter::Exists(f) => d.contains_key(f),
+            Filter::And(fs) => fs.iter().all(|f| f.matches(d)),
+        }
+    }
+}
+
+/// The index.
+#[derive(Debug, Default, Clone)]
+pub struct Index {
+    docs: Vec<Doc>,
+}
+
+impl Index {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a document.
+    pub fn insert(&mut self, d: Doc) {
+        self.docs.push(d);
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Documents matching a filter.
+    pub fn query(&self, filter: &Filter) -> Vec<&Doc> {
+        self.docs.iter().filter(|d| filter.matches(d)).collect()
+    }
+
+    /// Count matching documents.
+    pub fn count(&self, filter: &Filter) -> usize {
+        self.docs.iter().filter(|d| filter.matches(d)).count()
+    }
+
+    /// Term aggregation: counts per distinct string value of `field`,
+    /// sorted descending by count (ties alphabetical).
+    pub fn terms(&self, field: &str, filter: Option<&Filter>) -> Vec<(String, usize)> {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for d in &self.docs {
+            if let Some(f) = filter {
+                if !f.matches(d) {
+                    continue;
+                }
+            }
+            if let Some(v) = d.get(field).and_then(Value::as_str) {
+                *counts.entry(v).or_default() += 1;
+            }
+        }
+        let mut out: Vec<(String, usize)> =
+            counts.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Numeric values of `field` across matching documents.
+    pub fn values(&self, field: &str, filter: Option<&Filter>) -> Vec<f64> {
+        self.docs
+            .iter()
+            .filter(|d| filter.is_none_or(|f| f.matches(d)))
+            .filter_map(|d| d.get(field).and_then(Value::as_num))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> Index {
+        let mut ix = Index::new();
+        ix.insert(doc([
+            ("package", "com.a".into()),
+            ("category", "finance".into()),
+            ("downloads", 1_000_000u64.into()),
+            ("has_ml", true.into()),
+        ]));
+        ix.insert(doc([
+            ("package", "com.b".into()),
+            ("category", "finance".into()),
+            ("downloads", 5_000u64.into()),
+            ("has_ml", false.into()),
+        ]));
+        ix.insert(doc([
+            ("package", "com.c".into()),
+            ("category", "beauty".into()),
+            ("downloads", 100_000u64.into()),
+            ("has_ml", true.into()),
+        ]));
+        ix
+    }
+
+    #[test]
+    fn filters() {
+        let ix = sample_index();
+        assert_eq!(ix.count(&Filter::Eq("category".into(), "finance".into())), 2);
+        assert_eq!(ix.count(&Filter::EqBool("has_ml".into(), true)), 2);
+        assert_eq!(
+            ix.count(&Filter::Range("downloads".into(), 10_000.0, 1e9)),
+            2
+        );
+        assert_eq!(ix.count(&Filter::Exists("package".into())), 3);
+        assert_eq!(
+            ix.count(&Filter::And(vec![
+                Filter::Eq("category".into(), "finance".into()),
+                Filter::EqBool("has_ml".into(), true),
+            ])),
+            1
+        );
+    }
+
+    #[test]
+    fn terms_aggregation_sorted() {
+        let ix = sample_index();
+        let terms = ix.terms("category", None);
+        assert_eq!(terms[0], ("finance".to_string(), 2));
+        assert_eq!(terms[1], ("beauty".to_string(), 1));
+        let filtered = ix.terms("category", Some(&Filter::EqBool("has_ml".into(), true)));
+        assert_eq!(filtered.len(), 2);
+        assert!(filtered.iter().all(|(_, c)| *c == 1));
+    }
+
+    #[test]
+    fn numeric_values() {
+        let ix = sample_index();
+        let v = ix.values("downloads", Some(&Filter::EqBool("has_ml".into(), true)));
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(&1_000_000.0));
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(2.5f64).as_num(), Some(2.5));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from("x").as_num(), None);
+    }
+}

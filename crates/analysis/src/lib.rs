@@ -1,0 +1,37 @@
+//! # gaugenn-analysis — offline analysis toolkit
+//!
+//! Everything gaugeNN computes *about* the corpus without running models on
+//! devices (§3.2, §4):
+//!
+//! * [`md5`] — MD5 from the RFC 1321 specification; the paper
+//!   md5-checksums models and per-layer weights for its uniqueness and
+//!   fine-tuning analyses (§4.5). Checksum use only — never security.
+//! * [`etl`] — an in-memory document index standing in for the paper's
+//!   ElasticSearch instance ("for quick ETL analytics and cross-snapshot
+//!   investigations", §3.1).
+//! * [`dedup`] — model/weight checksum dedup, weight-sharing and
+//!   layer-diff lineage detection (§4.5).
+//! * [`classify`] — the rule-based task classifier standing in for the
+//!   three-researcher majority vote of §4.4 (name hints, input/output
+//!   dimensions, layer types), plus layer-composition aggregation (Fig. 6).
+//! * [`cloudapi`] — smali string matching for Google Firebase / Google
+//!   Cloud / AWS ML call sites (§3.2, Fig. 15).
+//! * [`optim`] — the §6.1 optimisation census: clustering/pruning name
+//!   prefixes, weight sparsity, quantisation adoption.
+//! * [`stats`] — ECDF, Gaussian KDE, quantiles and least-squares line
+//!   fits used throughout the figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod cloudapi;
+pub mod dedup;
+pub mod etl;
+pub mod md5;
+pub mod optim;
+pub mod stats;
+
+pub use classify::classify_graph;
+pub use dedup::{model_checksum, DedupReport};
+pub use md5::md5_hex;

@@ -1,0 +1,191 @@
+//! Model-level optimisation census (§6.1).
+//!
+//! Measures, over decoded graphs, the adoption of the three optimisations
+//! the paper audits:
+//!
+//! * **clustering** — layers with a `cluster_` name prefix (TF's
+//!   clustering API marker); the paper found none in the wild;
+//! * **pruning** — layers with a `prune_` prefix (also none), plus the
+//!   headroom probe: the fraction of weights within ±1e-9 of zero
+//!   (paper: 3.15 %);
+//! * **quantisation** — models carrying a `dequantize` layer (10.3 %),
+//!   int8 weight tensors (20.27 %) and int8 activations (10.31 %).
+
+use gaugenn_dnn::graph::LayerKind;
+use gaugenn_dnn::Graph;
+
+/// Census over one model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelOptim {
+    /// Has any `cluster_`-prefixed layer.
+    pub clustered: bool,
+    /// Has any `prune_`-prefixed layer.
+    pub prune_marked: bool,
+    /// Has a dequantize layer.
+    pub has_dequantize: bool,
+    /// Stores any int8 weight tensor.
+    pub int8_weights: bool,
+    /// Runs any int8 activations (quantize layers present).
+    pub int8_activations: bool,
+    /// Total weights.
+    pub total_weights: u64,
+    /// Weights within ±1e-9 of zero.
+    pub near_zero_weights: u64,
+}
+
+/// Inspect one graph.
+pub fn inspect(graph: &Graph) -> ModelOptim {
+    let mut total = 0u64;
+    let mut near_zero = 0u64;
+    for n in &graph.nodes {
+        if let Some(w) = &n.weights {
+            total += w.len() as u64;
+            near_zero += (w.near_zero_fraction(1e-9) * w.len() as f64).round() as u64;
+        }
+    }
+    ModelOptim {
+        clustered: graph.nodes.iter().any(|n| n.name.starts_with("cluster_")),
+        prune_marked: graph.nodes.iter().any(|n| n.name.starts_with("prune_")),
+        has_dequantize: graph
+            .nodes
+            .iter()
+            .any(|n| matches!(n.kind, LayerKind::Dequantize(_))),
+        int8_weights: graph.has_int8_weights(),
+        int8_activations: graph
+            .nodes
+            .iter()
+            .any(|n| matches!(n.kind, LayerKind::Quantize(_))),
+        total_weights: total,
+        near_zero_weights: near_zero,
+    }
+}
+
+/// Corpus-level aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OptimCensus {
+    /// Models examined.
+    pub models: u64,
+    /// Models with clustering markers.
+    pub clustered: u64,
+    /// Models with pruning markers.
+    pub prune_marked: u64,
+    /// Models with a dequantize layer.
+    pub dequantize: u64,
+    /// Models with int8 weights.
+    pub int8_weights: u64,
+    /// Models with int8 activations.
+    pub int8_activations: u64,
+    /// Total weights across all models.
+    pub total_weights: u64,
+    /// Near-zero weights across all models.
+    pub near_zero_weights: u64,
+}
+
+impl OptimCensus {
+    /// Fold one model's inspection into the census.
+    pub fn add(&mut self, m: &ModelOptim) {
+        self.models += 1;
+        self.clustered += m.clustered as u64;
+        self.prune_marked += m.prune_marked as u64;
+        self.dequantize += m.has_dequantize as u64;
+        self.int8_weights += m.int8_weights as u64;
+        self.int8_activations += m.int8_activations as u64;
+        self.total_weights += m.total_weights;
+        self.near_zero_weights += m.near_zero_weights;
+    }
+
+    /// Overall near-zero weight fraction (the §6.1 3.15 %).
+    pub fn sparsity(&self) -> f64 {
+        if self.total_weights == 0 {
+            0.0
+        } else {
+            self.near_zero_weights as f64 / self.total_weights as f64
+        }
+    }
+
+    /// Fraction of models with a dequantize layer.
+    pub fn dequantize_fraction(&self) -> f64 {
+        frac(self.dequantize, self.models)
+    }
+
+    /// Fraction of models with int8 weights.
+    pub fn int8_weight_fraction(&self) -> f64 {
+        frac(self.int8_weights, self.models)
+    }
+
+    /// Fraction of models with int8 activations.
+    pub fn int8_activation_fraction(&self) -> f64 {
+        frac(self.int8_activations, self.models)
+    }
+}
+
+fn frac(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugenn_dnn::quant::{apply, cluster_graph, prune_graph, QuantMode};
+    use gaugenn_dnn::task::Task;
+    use gaugenn_dnn::zoo::{build_for_task, SizeClass};
+
+    fn base() -> Graph {
+        build_for_task(Task::MovementTracking, 11, SizeClass::Small, true).graph
+    }
+
+    #[test]
+    fn plain_model_flags() {
+        let m = inspect(&base());
+        assert!(!m.clustered);
+        assert!(!m.prune_marked);
+        assert!(!m.has_dequantize);
+        assert!(!m.int8_weights);
+        assert!(m.total_weights > 0);
+    }
+
+    #[test]
+    fn clustering_detected_by_prefix() {
+        let c = cluster_graph(&base(), 16);
+        assert!(inspect(&c).clustered);
+    }
+
+    #[test]
+    fn quantisation_modes_detected() {
+        let wo = inspect(&apply(&base(), QuantMode::WeightOnly));
+        assert!(wo.int8_weights && !wo.has_dequantize && !wo.int8_activations);
+        let full = inspect(&apply(&base(), QuantMode::Full));
+        assert!(full.int8_weights && full.has_dequantize && full.int8_activations);
+    }
+
+    #[test]
+    fn pruning_raises_sparsity() {
+        let p = inspect(&prune_graph(&base(), 0.10));
+        let frac = p.near_zero_weights as f64 / p.total_weights as f64;
+        assert!(frac >= 0.09, "sparsity {frac}");
+    }
+
+    #[test]
+    fn census_aggregates() {
+        let mut census = OptimCensus::default();
+        census.add(&inspect(&base()));
+        census.add(&inspect(&apply(&base(), QuantMode::Full)));
+        census.add(&inspect(&prune_graph(&base(), 0.5)));
+        assert_eq!(census.models, 3);
+        assert_eq!(census.dequantize, 1);
+        assert!((census.dequantize_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(census.sparsity() > 0.1);
+        assert_eq!(census.int8_weight_fraction(), census.int8_activation_fraction());
+    }
+
+    #[test]
+    fn empty_census_fractions_are_zero() {
+        let c = OptimCensus::default();
+        assert_eq!(c.sparsity(), 0.0);
+        assert_eq!(c.dequantize_fraction(), 0.0);
+    }
+}

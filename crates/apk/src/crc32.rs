@@ -1,0 +1,95 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`), as required by
+//! the ZIP format. Implemented from the public specification; used for
+//! archive integrity only, never for security.
+
+/// Lazily-computed 256-entry lookup table.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Streaming CRC-32 state.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = TABLE[idx] ^ (self.state >> 8);
+        }
+    }
+
+    /// Finish and return the checksum.
+    pub fn finalize(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a buffer.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value from the CRC catalogue.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data = b"hello crc32 world";
+        let mut c = Crc32::new();
+        c.update(&data[..5]);
+        c.update(&data[5..]);
+        assert_eq!(c.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = crc32(b"\x00\x00\x00\x00");
+        let b = crc32(b"\x00\x00\x00\x01");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,206 @@
+//! A simplified Dalvik executable (`classes.dex`) with a genuine string
+//! table.
+//!
+//! gaugeNN "decompiles these binaries and performs string matching on the
+//! smali files to detect known cloud DNN framework calls" (§3.2). Our dex
+//! carries the same observable: class/method reference strings laid out in a
+//! real indexed string section, so decompilation is honest parsing rather
+//! than a lookup in side-band metadata.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic     "dex\n035\0"            8 bytes
+//! file_size u32
+//! string_count u32
+//! offsets   u32 * string_count      (absolute offsets of string data)
+//! data      (u16 length ++ utf-8 bytes) * string_count
+//! ```
+
+use crate::{ApkError, Result};
+
+/// The dex magic for format version 035 (the long-stable Android version).
+pub const DEX_MAGIC: &[u8; 8] = b"dex\n035\0";
+
+/// Builder for a dex image.
+#[derive(Debug, Default)]
+pub struct DexBuilder {
+    strings: Vec<String>,
+}
+
+impl DexBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one string (class reference, method descriptor, constant…).
+    pub fn add_string(&mut self, s: impl Into<String>) -> &mut Self {
+        self.strings.push(s.into());
+        self
+    }
+
+    /// Add a class reference in dex descriptor form, e.g.
+    /// `Lcom/google/firebase/ml/vision/FirebaseVision;`.
+    pub fn add_class_ref(&mut self, dotted: &str) -> &mut Self {
+        self.add_string(format!("L{};", dotted.replace('.', "/")))
+    }
+
+    /// Serialise to bytes.
+    pub fn finish(&self) -> Vec<u8> {
+        let mut header = Vec::new();
+        header.extend_from_slice(DEX_MAGIC);
+        let count = self.strings.len() as u32;
+        // Data section begins after header(8) + file_size(4) + count(4) +
+        // offsets table.
+        let table_start = 8 + 4 + 4;
+        let data_start = table_start + 4 * self.strings.len();
+        let mut offsets = Vec::with_capacity(self.strings.len());
+        let mut data = Vec::new();
+        for s in &self.strings {
+            offsets.push((data_start + data.len()) as u32);
+            let b = s.as_bytes();
+            data.extend_from_slice(&(b.len() as u16).to_le_bytes());
+            data.extend_from_slice(b);
+        }
+        let file_size = (data_start + data.len()) as u32;
+        header.extend_from_slice(&file_size.to_le_bytes());
+        header.extend_from_slice(&count.to_le_bytes());
+        for off in offsets {
+            header.extend_from_slice(&off.to_le_bytes());
+        }
+        header.extend_from_slice(&data);
+        header
+    }
+}
+
+/// Parsed dex image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dex {
+    strings: Vec<String>,
+}
+
+impl Dex {
+    /// Parse a dex byte stream, validating magic, size, and offsets.
+    pub fn parse(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 16 {
+            return Err(ApkError::Malformed("dex too short".into()));
+        }
+        if &bytes[..8] != DEX_MAGIC {
+            return Err(ApkError::Malformed("bad dex magic".into()));
+        }
+        let file_size = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+        if file_size != bytes.len() {
+            return Err(ApkError::Malformed(format!(
+                "dex header claims {file_size} bytes, stream has {}",
+                bytes.len()
+            )));
+        }
+        let count = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as usize;
+        let table_start = 16;
+        if table_start + 4 * count > bytes.len() {
+            return Err(ApkError::Malformed("dex string table truncated".into()));
+        }
+        let mut strings = Vec::with_capacity(count);
+        for i in 0..count {
+            let o = table_start + 4 * i;
+            let off = u32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]])
+                as usize;
+            if off + 2 > bytes.len() {
+                return Err(ApkError::Malformed(format!("string {i} offset out of range")));
+            }
+            let len = u16::from_le_bytes([bytes[off], bytes[off + 1]]) as usize;
+            if off + 2 + len > bytes.len() {
+                return Err(ApkError::Malformed(format!("string {i} data out of range")));
+            }
+            let s = std::str::from_utf8(&bytes[off + 2..off + 2 + len])
+                .map_err(|_| ApkError::Malformed(format!("string {i} is not utf-8")))?;
+            strings.push(s.to_string());
+        }
+        Ok(Dex { strings })
+    }
+
+    /// All strings in table order.
+    pub fn strings(&self) -> &[String] {
+        &self.strings
+    }
+
+    /// "Decompile" to smali-flavoured text: one `const-string` line per
+    /// string-table entry. String matching on this output is exactly what
+    /// the paper's pipeline does with apktool output.
+    pub fn to_smali(&self) -> String {
+        let mut out = String::from(".class public Lgauge/Generated;\n.super Ljava/lang/Object;\n");
+        for (i, s) in self.strings.iter().enumerate() {
+            out.push_str(&format!("    const-string v{i}, \"{s}\"\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_strings() {
+        let mut b = DexBuilder::new();
+        b.add_string("hello")
+            .add_class_ref("com.google.firebase.ml.vision.FirebaseVision")
+            .add_string("org/tensorflow/lite/Interpreter");
+        let bytes = b.finish();
+        let d = Dex::parse(&bytes).unwrap();
+        assert_eq!(d.strings().len(), 3);
+        assert_eq!(
+            d.strings()[1],
+            "Lcom/google/firebase/ml/vision/FirebaseVision;"
+        );
+    }
+
+    #[test]
+    fn empty_dex_roundtrips() {
+        let bytes = DexBuilder::new().finish();
+        let d = Dex::parse(&bytes).unwrap();
+        assert!(d.strings().is_empty());
+    }
+
+    #[test]
+    fn smali_contains_const_strings() {
+        let mut b = DexBuilder::new();
+        b.add_string("com.amazonaws.services.rekognition");
+        let smali = Dex::parse(&b.finish()).unwrap().to_smali();
+        assert!(smali.contains("const-string v0, \"com.amazonaws.services.rekognition\""));
+        assert!(smali.starts_with(".class"));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = DexBuilder::new().finish();
+        bytes[0] = b'x';
+        assert!(Dex::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_size_mismatch() {
+        let mut b = DexBuilder::new();
+        b.add_string("abc");
+        let mut bytes = b.finish();
+        bytes.push(0);
+        assert!(Dex::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut b = DexBuilder::new();
+        b.add_string("abcdef");
+        let bytes = b.finish();
+        assert!(Dex::parse(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let mut b = DexBuilder::new();
+        b.add_string("模型/クラッシュ検出");
+        let d = Dex::parse(&b.finish()).unwrap();
+        assert_eq!(d.strings()[0], "模型/クラッシュ検出");
+    }
+}

@@ -1,0 +1,93 @@
+//! Minimal ELF-flavoured native library (`lib/<abi>/*.so`) images.
+//!
+//! The paper tracks apps whose models are encrypted/obfuscated or downloaded
+//! on demand "by means of library inclusion in the application code and
+//! native libraries … following the methodology of Xu et al. \[70\]" (§3.1).
+//! That methodology scans `.so` dynamic string tables for framework symbol
+//! names. We emit a minimal image with a real ELF magic and an embedded
+//! NUL-separated string table, so the scanner does honest byte scanning.
+
+use crate::{ApkError, Result};
+
+/// ELF magic bytes.
+pub const ELF_MAGIC: [u8; 4] = [0x7F, b'E', b'L', b'F'];
+
+/// Build a `.so` image whose string table holds `symbols`.
+pub fn build_so(soname: &str, symbols: &[&str]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&ELF_MAGIC);
+    // e_ident continuation: 64-bit, little-endian, current version.
+    out.extend_from_slice(&[2, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+    // e_type = ET_DYN (shared object).
+    out.extend_from_slice(&3u16.to_le_bytes());
+    // e_machine = EM_AARCH64 (183): benchmarks are "compiled for aarch64
+    // with Android NDK" (§3.3).
+    out.extend_from_slice(&183u16.to_le_bytes());
+    // String table, NUL separated, prefixed with its length.
+    let mut strtab = Vec::new();
+    strtab.extend_from_slice(soname.as_bytes());
+    strtab.push(0);
+    for s in symbols {
+        strtab.extend_from_slice(s.as_bytes());
+        strtab.push(0);
+    }
+    out.extend_from_slice(&(strtab.len() as u32).to_le_bytes());
+    out.extend_from_slice(&strtab);
+    out
+}
+
+/// Extract the NUL-separated strings from a `.so` image.
+pub fn extract_strings(bytes: &[u8]) -> Result<Vec<String>> {
+    if bytes.len() < 24 || bytes[..4] != ELF_MAGIC {
+        return Err(ApkError::Malformed("not an ELF image".into()));
+    }
+    let len = u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]) as usize;
+    if 24 + len > bytes.len() {
+        return Err(ApkError::Malformed("ELF string table truncated".into()));
+    }
+    let table = &bytes[24..24 + len];
+    Ok(table
+        .split(|&b| b == 0)
+        .filter(|s| !s.is_empty())
+        .map(|s| String::from_utf8_lossy(s).into_owned())
+        .collect())
+}
+
+/// True if the image looks like an ELF shared object at all.
+pub fn is_elf(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == ELF_MAGIC
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_symbols() {
+        let so = build_so("libtensorflowlite_jni.so", &["TfLiteInterpreterCreate", "TfLiteModelCreate"]);
+        assert!(is_elf(&so));
+        let strings = extract_strings(&so).unwrap();
+        assert_eq!(strings[0], "libtensorflowlite_jni.so");
+        assert!(strings.contains(&"TfLiteModelCreate".to_string()));
+    }
+
+    #[test]
+    fn rejects_non_elf() {
+        assert!(extract_strings(b"MZ not an elf").is_err());
+        assert!(!is_elf(b"PK"));
+    }
+
+    #[test]
+    fn rejects_truncated_table() {
+        let mut so = build_so("libncnn.so", &["ncnn_net_load_param"]);
+        so.truncate(so.len() - 5);
+        assert!(extract_strings(&so).is_err());
+    }
+
+    #[test]
+    fn empty_symbol_list_ok() {
+        let so = build_so("libplain.so", &[]);
+        let strings = extract_strings(&so).unwrap();
+        assert_eq!(strings, vec!["libplain.so".to_string()]);
+    }
+}

@@ -1,0 +1,382 @@
+//! A from-scratch ZIP archive implementation (store method only).
+//!
+//! APKs and OBBs are ZIP files; the extraction stage of gaugeNN must walk a
+//! real central directory to find candidate model entries. This module
+//! implements the subset of APPNOTE.TXT that Android packages rely on:
+//!
+//! * local file headers (`PK\x03\x04`),
+//! * the central directory (`PK\x01\x02`),
+//! * the end-of-central-directory record (`PK\x05\x06`),
+//! * method 0 (stored) payloads with CRC-32 validation.
+//!
+//! Compression is deliberately omitted: model weights are high-entropy and
+//! Android leaves `.tflite`/`.bin` assets stored for mmap-ability, so stored
+//! entries are also the realistic case.
+
+use crate::crc32::crc32;
+use crate::{ApkError, Result};
+
+const LOCAL_SIG: u32 = 0x0403_4B50; // PK\x03\x04
+const CENTRAL_SIG: u32 = 0x0201_4B50; // PK\x01\x02
+const EOCD_SIG: u32 = 0x0605_4B50; // PK\x05\x06
+const VERSION: u16 = 20;
+
+/// One file inside an archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZipEntry {
+    /// Entry path, `/`-separated.
+    pub name: String,
+    /// Uncompressed (== stored) payload.
+    pub data: Vec<u8>,
+}
+
+/// Incremental archive writer.
+#[derive(Debug, Default)]
+pub struct ZipWriter {
+    entries: Vec<ZipEntry>,
+}
+
+impl ZipWriter {
+    /// Fresh empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an entry. Names must be unique within an archive.
+    pub fn add(&mut self, name: impl Into<String>, data: Vec<u8>) -> Result<()> {
+        let name = name.into();
+        if self.entries.iter().any(|e| e.name == name) {
+            return Err(ApkError::Duplicate(name));
+        }
+        self.entries.push(ZipEntry { name, data });
+        Ok(())
+    }
+
+    /// Number of entries added so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries were added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialise to the ZIP wire format.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut central = Vec::new();
+        let mut offsets = Vec::with_capacity(self.entries.len());
+        for e in &self.entries {
+            offsets.push(out.len() as u32);
+            let crc = crc32(&e.data);
+            // Local file header.
+            put_u32(&mut out, LOCAL_SIG);
+            put_u16(&mut out, VERSION); // version needed
+            put_u16(&mut out, 0); // flags
+            put_u16(&mut out, 0); // method: stored
+            put_u16(&mut out, 0); // mod time
+            put_u16(&mut out, 0); // mod date
+            put_u32(&mut out, crc);
+            put_u32(&mut out, e.data.len() as u32); // compressed
+            put_u32(&mut out, e.data.len() as u32); // uncompressed
+            put_u16(&mut out, e.name.len() as u16);
+            put_u16(&mut out, 0); // extra len
+            out.extend_from_slice(e.name.as_bytes());
+            out.extend_from_slice(&e.data);
+        }
+        let central_start = out.len() as u32;
+        for (e, &off) in self.entries.iter().zip(&offsets) {
+            let crc = crc32(&e.data);
+            put_u32(&mut central, CENTRAL_SIG);
+            put_u16(&mut central, VERSION); // version made by
+            put_u16(&mut central, VERSION); // version needed
+            put_u16(&mut central, 0); // flags
+            put_u16(&mut central, 0); // method
+            put_u16(&mut central, 0); // time
+            put_u16(&mut central, 0); // date
+            put_u32(&mut central, crc);
+            put_u32(&mut central, e.data.len() as u32);
+            put_u32(&mut central, e.data.len() as u32);
+            put_u16(&mut central, e.name.len() as u16);
+            put_u16(&mut central, 0); // extra
+            put_u16(&mut central, 0); // comment
+            put_u16(&mut central, 0); // disk number
+            put_u16(&mut central, 0); // internal attrs
+            put_u32(&mut central, 0); // external attrs
+            put_u32(&mut central, off);
+            central.extend_from_slice(e.name.as_bytes());
+        }
+        let central_len = central.len() as u32;
+        out.extend_from_slice(&central);
+        // End of central directory.
+        put_u32(&mut out, EOCD_SIG);
+        put_u16(&mut out, 0); // disk
+        put_u16(&mut out, 0); // cd disk
+        put_u16(&mut out, self.entries.len() as u16);
+        put_u16(&mut out, self.entries.len() as u16);
+        put_u32(&mut out, central_len);
+        put_u32(&mut out, central_start);
+        put_u16(&mut out, 0); // comment len
+        out
+    }
+}
+
+/// Parsed archive with random-access entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZipArchive {
+    entries: Vec<ZipEntry>,
+}
+
+impl ZipArchive {
+    /// Parse a ZIP byte stream via its central directory, verifying CRCs.
+    pub fn parse(bytes: &[u8]) -> Result<Self> {
+        let eocd = find_eocd(bytes)?;
+        let mut r = Reader::new(bytes, eocd + 4);
+        let _disk = r.u16()?;
+        let _cd_disk = r.u16()?;
+        let _entries_disk = r.u16()?;
+        let count = r.u16()? as usize;
+        let _cd_len = r.u32()?;
+        let cd_start = r.u32()? as usize;
+
+        let mut entries = Vec::with_capacity(count);
+        let mut c = Reader::new(bytes, cd_start);
+        for _ in 0..count {
+            if c.u32()? != CENTRAL_SIG {
+                return Err(ApkError::Malformed("bad central directory signature".into()));
+            }
+            let _made = c.u16()?;
+            let _need = c.u16()?;
+            let _flags = c.u16()?;
+            let method = c.u16()?;
+            let _time = c.u16()?;
+            let _date = c.u16()?;
+            let crc = c.u32()?;
+            let csize = c.u32()? as usize;
+            let usize_ = c.u32()? as usize;
+            let name_len = c.u16()? as usize;
+            let extra_len = c.u16()? as usize;
+            let comment_len = c.u16()? as usize;
+            let _disk = c.u16()?;
+            let _iattr = c.u16()?;
+            let _eattr = c.u32()?;
+            let local_off = c.u32()? as usize;
+            let name = c.str(name_len)?;
+            c.skip(extra_len + comment_len)?;
+            if method != 0 {
+                return Err(ApkError::Malformed(format!(
+                    "entry '{name}' uses unsupported compression method {method}"
+                )));
+            }
+            if csize != usize_ {
+                return Err(ApkError::Malformed(format!(
+                    "stored entry '{name}' has mismatched sizes"
+                )));
+            }
+            let data = read_local(bytes, local_off, &name, usize_)?;
+            if crc32(&data) != crc {
+                return Err(ApkError::CrcMismatch { entry: name });
+            }
+            entries.push(ZipEntry { name, data });
+        }
+        Ok(ZipArchive { entries })
+    }
+
+    /// All entries in central-directory order.
+    pub fn entries(&self) -> &[ZipEntry] {
+        &self.entries
+    }
+
+    /// Look up an entry payload by exact name.
+    pub fn get(&self, name: &str) -> Option<&[u8]> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.data.as_slice())
+    }
+
+    /// Entry names only.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.name.as_str())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the archive holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn read_local(bytes: &[u8], off: usize, name: &str, size: usize) -> Result<Vec<u8>> {
+    let mut r = Reader::new(bytes, off);
+    if r.u32()? != LOCAL_SIG {
+        return Err(ApkError::Malformed(format!(
+            "entry '{name}' has a bad local header signature"
+        )));
+    }
+    r.skip(2 + 2 + 2 + 2 + 2 + 4 + 4 + 4)?; // through sizes
+    let name_len = r.u16()? as usize;
+    let extra_len = r.u16()? as usize;
+    let stored_name = r.str(name_len)?;
+    if stored_name != name {
+        return Err(ApkError::Malformed(format!(
+            "local header name '{stored_name}' != central name '{name}'"
+        )));
+    }
+    r.skip(extra_len)?;
+    r.bytes(size)
+}
+
+/// Scan backwards for the EOCD signature (the record has a variable-length
+/// trailing comment, so the spec mandates a backwards search).
+fn find_eocd(bytes: &[u8]) -> Result<usize> {
+    if bytes.len() < 22 {
+        return Err(ApkError::Malformed("too short for a zip".into()));
+    }
+    let min = bytes.len().saturating_sub(22 + u16::MAX as usize);
+    let mut i = bytes.len() - 22;
+    loop {
+        if u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]) == EOCD_SIG {
+            return Ok(i);
+        }
+        if i == min {
+            return Err(ApkError::Malformed("missing end-of-central-directory".into()));
+        }
+        i -= 1;
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8], pos: usize) -> Self {
+        Reader { bytes, pos }
+    }
+    fn need(&self, n: usize) -> Result<()> {
+        if self.pos + n > self.bytes.len() {
+            Err(ApkError::Malformed("truncated archive".into()))
+        } else {
+            Ok(())
+        }
+    }
+    fn u16(&mut self) -> Result<u16> {
+        self.need(2)?;
+        let v = u16::from_le_bytes([self.bytes[self.pos], self.bytes[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+    fn u32(&mut self) -> Result<u32> {
+        self.need(4)?;
+        let v = u32::from_le_bytes([
+            self.bytes[self.pos],
+            self.bytes[self.pos + 1],
+            self.bytes[self.pos + 2],
+            self.bytes[self.pos + 3],
+        ]);
+        self.pos += 4;
+        Ok(v)
+    }
+    fn skip(&mut self, n: usize) -> Result<()> {
+        self.need(n)?;
+        self.pos += n;
+        Ok(())
+    }
+    fn bytes(&mut self, n: usize) -> Result<Vec<u8>> {
+        self.need(n)?;
+        let v = self.bytes[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        Ok(v)
+    }
+    fn str(&mut self, n: usize) -> Result<String> {
+        let b = self.bytes(n)?;
+        String::from_utf8(b).map_err(|_| ApkError::Malformed("non-utf8 entry name".into()))
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiple_entries() {
+        let mut w = ZipWriter::new();
+        w.add("classes.dex", vec![1, 2, 3]).unwrap();
+        w.add("assets/model.tflite", vec![9; 100]).unwrap();
+        w.add("lib/arm64-v8a/libtflite.so", vec![0x7F, b'E']).unwrap();
+        let bytes = w.finish();
+        let a = ZipArchive::parse(&bytes).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get("classes.dex"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(a.get("assets/model.tflite").unwrap().len(), 100);
+        assert!(a.get("missing").is_none());
+        let names: Vec<&str> = a.names().collect();
+        assert_eq!(names[0], "classes.dex");
+    }
+
+    #[test]
+    fn empty_archive_roundtrips() {
+        let bytes = ZipWriter::new().finish();
+        let a = ZipArchive::parse(&bytes).unwrap();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut w = ZipWriter::new();
+        w.add("a", vec![]).unwrap();
+        assert_eq!(w.add("a", vec![]), Err(ApkError::Duplicate("a".into())));
+    }
+
+    #[test]
+    fn detects_payload_corruption() {
+        let mut w = ZipWriter::new();
+        w.add("model.bin", vec![42; 64]).unwrap();
+        let mut bytes = w.finish();
+        // Flip a payload byte (after the 30-byte header + 9-byte name).
+        bytes[40] ^= 0xFF;
+        match ZipArchive::parse(&bytes) {
+            Err(ApkError::CrcMismatch { entry }) => assert_eq!(entry, "model.bin"),
+            other => panic!("expected crc mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(ZipArchive::parse(b"not a zip at all").is_err());
+        assert!(ZipArchive::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut w = ZipWriter::new();
+        w.add("x", vec![0; 32]).unwrap();
+        let bytes = w.finish();
+        for cut in [bytes.len() - 1, bytes.len() / 2, 10] {
+            assert!(ZipArchive::parse(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn large_entry_roundtrips() {
+        let payload: Vec<u8> = (0..100_000).map(|i| (i % 251) as u8).collect();
+        let mut w = ZipWriter::new();
+        w.add("assets/big.bin", payload.clone()).unwrap();
+        let a = ZipArchive::parse(&w.finish()).unwrap();
+        assert_eq!(a.get("assets/big.bin"), Some(payload.as_slice()));
+    }
+}

@@ -1,0 +1,241 @@
+//! One Criterion benchmark per paper table/figure.
+//!
+//! Each bench times the experiment computation over the shared Small-scale
+//! corpus and prints the regenerated rows once, so `cargo bench` both
+//! measures and reproduces. Absolute numbers come from the calibrated
+//! simulator — the *shapes* (who wins, by what factor) are the deliverable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gaugenn_bench::shared_reports;
+use gaugenn_core::experiments::{backends, offline, runtime};
+use gaugenn_soc::spec::all_devices;
+use std::hint::black_box;
+use std::sync::Once;
+
+fn print_once(once: &'static Once, text: String) {
+    once.call_once(|| eprintln!("\n{text}"));
+}
+
+fn bench_tab1(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, runtime::tab1());
+    c.bench_function("tab1_device_specs", |b| b.iter(|| black_box(runtime::tab1())));
+}
+
+fn bench_tab2(c: &mut Criterion) {
+    let (r20, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, offline::tab2(r20, r21).render());
+    c.bench_function("tab2_dataset_snapshots", |b| {
+        b.iter(|| black_box(offline::tab2(r20, r21)))
+    });
+}
+
+fn bench_tab3(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, offline::tab3(r21).render());
+    c.bench_function("tab3_task_classification", |b| {
+        b.iter(|| black_box(offline::tab3(r21)))
+    });
+}
+
+fn bench_tab4(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, runtime::tab4(r21).expect("tab4").render());
+    c.bench_function("tab4_scenario_energy", |b| {
+        b.iter(|| black_box(runtime::tab4(r21).expect("tab4")))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, offline::fig4(r21).render());
+    c.bench_function("fig4_models_per_framework_category", |b| {
+        b.iter(|| black_box(offline::fig4(r21)))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let (r20, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, offline::fig5(r20, r21).render());
+    c.bench_function("fig5_temporal_diff", |b| {
+        b.iter(|| black_box(offline::fig5(r20, r21)))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, offline::fig6(r21).render());
+    c.bench_function("fig6_layer_composition", |b| {
+        b.iter(|| black_box(offline::fig6(r21)))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, offline::fig7(r21).render());
+    c.bench_function("fig7_flops_params_per_task", |b| {
+        b.iter(|| black_box(offline::fig7(r21)))
+    });
+}
+
+fn bench_fig8_fig9(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    let devices = all_devices();
+    let sweep = runtime::latency_sweep(r21, &devices);
+    static ONCE8: Once = Once::new();
+    print_once(&ONCE8, runtime::fig8(&sweep).render());
+    static ONCE9: Once = Once::new();
+    print_once(&ONCE9, runtime::fig9(&sweep).render());
+    c.bench_function("fig8_latency_vs_flops_sweep", |b| {
+        b.iter(|| black_box(runtime::latency_sweep(r21, &devices)))
+    });
+    c.bench_function("fig9_latency_ecdf", |b| b.iter(|| black_box(runtime::fig9(&sweep))));
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, runtime::fig10(r21).expect("fig10").render());
+    c.bench_function("fig10_energy_power_efficiency", |b| {
+        b.iter(|| black_box(runtime::fig10(r21).expect("fig10")))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, backends::fig11(r21).render());
+    c.bench_function("fig11_batch_throughput", |b| {
+        b.iter(|| black_box(backends::fig11(r21)))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, backends::fig12(r21).render());
+    c.bench_function("fig12_threads_affinity", |b| {
+        b.iter(|| black_box(backends::fig12(r21)))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(
+        &ONCE,
+        backends::fig13(r21).expect("fig13").render("Fig 13: CPU runtimes"),
+    );
+    c.bench_function("fig13_cpu_runtimes", |b| {
+        b.iter(|| black_box(backends::fig13(r21).expect("fig13")))
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(
+        &ONCE,
+        backends::fig14(r21).expect("fig14").render("Fig 14: SNPE targets"),
+    );
+    c.bench_function("fig14_snpe_targets", |b| {
+        b.iter(|| black_box(backends::fig14(r21).expect("fig14")))
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, offline::fig15(r21).render());
+    c.bench_function("fig15_cloud_apis", |b| b.iter(|| black_box(offline::fig15(r21))));
+}
+
+fn bench_sec45(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, offline::render_sec45(&offline::sec45(r21)));
+    c.bench_function("sec45_uniqueness_dedup", |b| {
+        b.iter(|| black_box(offline::sec45(r21)))
+    });
+}
+
+fn bench_whatif(c: &mut Criterion) {
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, backends_whatif().render());
+    c.bench_function("sec61_whatif_optimisations", |b| {
+        b.iter(|| black_box(backends_whatif()))
+    });
+}
+
+fn backends_whatif() -> gaugenn_core::experiments::whatif::WhatIf {
+    gaugenn_core::experiments::whatif::whatif().expect("whatif")
+}
+
+fn bench_cohab(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(
+        &ONCE,
+        gaugenn_core::experiments::cohab::cohab_study(r21, 4)
+            .expect("cohab")
+            .render(),
+    );
+    c.bench_function("sec81_cohabitation_study", |b| {
+        b.iter(|| black_box(gaugenn_core::experiments::cohab::cohab_study(r21, 4).expect("cohab")))
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(
+        &ONCE,
+        gaugenn_core::experiments::ablations::ablation_study(r21).render(),
+    );
+    c.bench_function("ablations_model_mechanisms", |b| {
+        b.iter(|| black_box(gaugenn_core::experiments::ablations::ablation_study(r21)))
+    });
+}
+
+fn bench_offload(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(
+        &ONCE,
+        gaugenn_core::experiments::offload::offload_study(r21)
+            .expect("offload")
+            .render(),
+    );
+    c.bench_function("sec64_offload_study", |b| {
+        b.iter(|| black_box(gaugenn_core::experiments::offload::offload_study(r21).expect("offload")))
+    });
+}
+
+fn bench_sec61(c: &mut Criterion) {
+    let (_, r21) = shared_reports();
+    static ONCE: Once = Once::new();
+    print_once(&ONCE, offline::render_sec61(&offline::sec61(r21)));
+    c.bench_function("sec61_optimisation_census", |b| {
+        b.iter(|| black_box(offline::sec61(r21)))
+    });
+}
+
+criterion_group! {
+    name = artefacts;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_tab1, bench_tab2, bench_tab3, bench_tab4,
+        bench_fig4, bench_fig5, bench_fig6, bench_fig7,
+        bench_fig8_fig9, bench_fig10, bench_fig11, bench_fig12,
+        bench_fig13, bench_fig14, bench_fig15,
+        bench_sec45, bench_sec61, bench_whatif, bench_cohab, bench_ablations,
+        bench_offload
+}
+criterion_main!(artefacts);

@@ -1,0 +1,120 @@
+//! Microbenchmarks of the substrate crates' hot paths: checksums,
+//! containers, wire codecs, the reference executor, the latency model and
+//! the end-to-end tiny pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gaugenn_analysis::md5::md5;
+use gaugenn_apk::crc32::crc32;
+use gaugenn_apk::zip::{ZipArchive, ZipWriter};
+use gaugenn_core::pipeline::{Pipeline, PipelineConfig};
+use gaugenn_dnn::exec::Executor;
+use gaugenn_dnn::task::Task;
+use gaugenn_dnn::trace::trace_graph;
+use gaugenn_dnn::zoo::{build_for_task, SizeClass};
+use gaugenn_modelfmt::graphcodec::{decode_graph, encode_graph};
+use gaugenn_modelfmt::Framework;
+use gaugenn_playstore::corpus::Snapshot;
+use gaugenn_soc::sched::ThreadConfig;
+use gaugenn_soc::spec::device;
+use gaugenn_soc::thermal::ThermalState;
+use gaugenn_soc::Backend;
+use std::hint::black_box;
+
+fn bench_checksums(c: &mut Criterion) {
+    let data = vec![0xA5u8; 1 << 20];
+    let mut g = c.benchmark_group("checksums");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("md5_1mib", |b| b.iter(|| black_box(md5(&data))));
+    g.bench_function("crc32_1mib", |b| b.iter(|| black_box(crc32(&data))));
+    g.finish();
+}
+
+fn bench_zip(c: &mut Criterion) {
+    let mut w = ZipWriter::new();
+    for i in 0..32 {
+        w.add(format!("assets/file{i}.bin"), vec![i as u8; 8 * 1024])
+            .expect("unique names");
+    }
+    let bytes = w.finish();
+    let mut g = c.benchmark_group("zip");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("parse_32x8k", |b| {
+        b.iter(|| black_box(ZipArchive::parse(&bytes).expect("valid")))
+    });
+    g.finish();
+}
+
+fn bench_graph_codec(c: &mut Criterion) {
+    let graph = build_for_task(Task::ImageClassification, 7, SizeClass::Small, true).graph;
+    let encoded = encode_graph(&graph);
+    let mut g = c.benchmark_group("graph_codec");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_mobilenet", |b| b.iter(|| black_box(encode_graph(&graph))));
+    g.bench_function("decode_mobilenet", |b| {
+        b.iter(|| black_box(decode_graph(&encoded).expect("valid")))
+    });
+    g.finish();
+}
+
+fn bench_container_encode(c: &mut Criterion) {
+    let graph = build_for_task(Task::KeywordDetection, 7, SizeClass::Small, true).graph;
+    let mut g = c.benchmark_group("containers");
+    for fw in Framework::BENCHMARKED {
+        g.bench_function(format!("encode_{}", fw.name()), |b| {
+            b.iter(|| black_box(gaugenn_modelfmt::encode(&graph, fw).expect("encoder")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let graph = build_for_task(Task::KeywordDetection, 7, SizeClass::Small, true).graph;
+    let ex = Executor::new(&graph).expect("valid graph");
+    c.bench_function("exec_keyword_spotter_fwd", |b| {
+        b.iter(|| black_box(ex.run_random(1, 3).expect("runs")))
+    });
+}
+
+fn bench_latency_model(c: &mut Criterion) {
+    let graph = build_for_task(Task::ObjectDetection, 7, SizeClass::Small, true).graph;
+    let trace = trace_graph(&graph).expect("traces");
+    let dev = device("Q845").expect("device");
+    let cool = ThermalState::cool();
+    c.bench_function("soc_latency_estimate_fssd", |b| {
+        b.iter(|| {
+            black_box(
+                gaugenn_soc::estimate_latency(
+                    &dev,
+                    Backend::Cpu(ThreadConfig::unpinned(4)),
+                    &trace,
+                    &cool,
+                )
+                .expect("compatible"),
+            )
+        })
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("tiny_end_to_end", |b| {
+        b.iter(|| {
+            black_box(
+                Pipeline::new(PipelineConfig::tiny(Snapshot::Y2021, 7))
+                    .run()
+                    .expect("pipeline"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = substrates;
+    config = Criterion::default().sample_size(20);
+    targets =
+        bench_checksums, bench_zip, bench_graph_codec, bench_container_encode,
+        bench_executor, bench_latency_model, bench_pipeline
+}
+criterion_main!(substrates);

@@ -1,0 +1,89 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p gaugenn-bench --bin repro -- small      # default
+//! cargo run --release -p gaugenn-bench --bin repro -- paper      # full 16.6k-app corpus
+//! cargo run --release -p gaugenn-bench --bin repro -- tiny 1402  # custom seed
+//! ```
+//!
+//! Output is the text form of Tables 1–4, Figs. 4–15 and the §4.2/§4.5/
+//! §6.1 statistics; `EXPERIMENTS.md` records a captured run.
+
+use gaugenn_core::experiments::{backends, offline, runtime};
+use gaugenn_core::pipeline::{Pipeline, PipelineConfig};
+use gaugenn_playstore::corpus::{CorpusScale, Snapshot};
+use gaugenn_soc::spec::all_devices;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.get(1).map(String::as_str) {
+        Some("tiny") => CorpusScale::Tiny,
+        Some("paper") => CorpusScale::Paper,
+        None | Some("small") => CorpusScale::Small,
+        Some(other) => {
+            eprintln!("unknown scale '{other}' (expected tiny|small|paper)");
+            std::process::exit(2);
+        }
+    };
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1402);
+
+    println!("gaugeNN reproduction — scale {scale:?}, seed {seed}");
+    println!("=================================================================");
+    println!();
+    println!("{}", runtime::tab1());
+
+    eprintln!("[1/5] crawling + analysing the Feb 2020 snapshot...");
+    let r2020 = Pipeline::new(PipelineConfig::with_scale(scale, Snapshot::Y2020, seed)).run()?;
+    eprintln!("[2/5] crawling + analysing the Apr 2021 snapshot...");
+    let r2021 = Pipeline::new(PipelineConfig::with_scale(scale, Snapshot::Y2021, seed)).run()?;
+
+    println!("{}", offline::tab2(&r2020, &r2021).render());
+    println!(
+        "Sec 4.2: device-profile invariance probe: {:?} (paper: no device-specific distribution)\n",
+        r2021.dataset.device_profile_invariant
+    );
+    println!("{}", offline::tab3(&r2021).render());
+    println!("{}", offline::fig4(&r2021).render());
+    println!("{}", offline::fig5(&r2020, &r2021).render());
+    println!("{}", offline::render_sec45(&offline::sec45(&r2021)));
+    println!("{}", offline::fig6(&r2021).render());
+    println!("{}", offline::fig7(&r2021).render());
+
+    eprintln!("[3/5] runtime analysis across the Table 1 devices...");
+    let sweep = runtime::latency_sweep(&r2021, &all_devices());
+    println!("{}", runtime::fig8(&sweep).render());
+    println!("{}", runtime::fig9(&sweep).render());
+    println!("{}", runtime::fig10(&r2021)?.render());
+    println!("{}", runtime::tab4(&r2021)?.render());
+
+    eprintln!("[4/5] optimisation experiments...");
+    println!("{}", offline::render_sec61(&offline::sec61(&r2021)));
+    println!("{}", backends::fig11(&r2021).render());
+    println!("{}", backends::fig12(&r2021).render());
+    println!(
+        "{}",
+        backends::fig13(&r2021)?.render("Fig 13: TFLite CPU runtimes (CPU vs XNNPACK vs NNAPI)")
+    );
+    println!(
+        "{}",
+        backends::fig14(&r2021)?.render("Fig 14: SNPE hardware targets (TFLite + caffe)")
+    );
+    println!("{}", offline::fig15(&r2021).render());
+
+    eprintln!("[5/5] extension experiments (§6.1 what-if, §8.1 co-habitation, ablations)...");
+    println!("{}", gaugenn_core::experiments::whatif::whatif()?.render());
+    println!(
+        "{}",
+        gaugenn_core::experiments::cohab::cohab_study(&r2021, 6)?.render()
+    );
+    println!(
+        "{}",
+        gaugenn_core::experiments::ablations::ablation_study(&r2021).render()
+    );
+    println!(
+        "{}",
+        gaugenn_core::experiments::offload::offload_study(&r2021)?.render()
+    );
+    eprintln!("done.");
+    Ok(())
+}

@@ -1,0 +1,238 @@
+//! Ablations of the SoC model's calibrated design choices.
+//!
+//! The device model has three load-bearing calibration mechanisms (see
+//! `DESIGN.md` §2 and `gaugenn-soc`): the big/LITTLE **cross-island
+//! penalty**, per-SoC **sustained-clock factors**, and the **vendor
+//! factor** separating a sealed phone from its open-deck twin. Each
+//! ablation disables one mechanism and reports which paper shape it
+//! carries — evidence that the reproduced figures are driven by the model
+//! structure rather than per-figure tuning.
+
+use crate::pipeline::PipelineReport;
+use crate::report::TextTable;
+use gaugenn_analysis::stats;
+use gaugenn_modelfmt::Framework;
+use gaugenn_soc::sched::ThreadConfig;
+use gaugenn_soc::spec::{all_devices, DeviceSpec};
+use gaugenn_soc::thermal::ThermalState;
+use gaugenn_soc::Backend;
+
+/// Which mechanism an ablation removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ablation {
+    /// Full model (control).
+    None,
+    /// `cross_island_factor := 1.0` on every SoC.
+    NoCrossIslandPenalty,
+    /// `sustained_clock_factor := 1.0` on every SoC.
+    NoSustainedClockModel,
+    /// `vendor_factor := 1.0` on every device.
+    NoVendorFactor,
+}
+
+impl Ablation {
+    /// Display label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Ablation::None => "full model",
+            Ablation::NoCrossIslandPenalty => "no cross-island penalty",
+            Ablation::NoSustainedClockModel => "no sustained-clock model",
+            Ablation::NoVendorFactor => "no vendor factor",
+        }
+    }
+
+    /// All ablations, control first.
+    pub const ALL: [Ablation; 4] = [
+        Ablation::None,
+        Ablation::NoCrossIslandPenalty,
+        Ablation::NoSustainedClockModel,
+        Ablation::NoVendorFactor,
+    ];
+
+    /// Apply to a device spec.
+    pub fn apply(self, mut d: DeviceSpec) -> DeviceSpec {
+        match self {
+            Ablation::None => {}
+            Ablation::NoCrossIslandPenalty => d.soc.cross_island_factor = 1.0,
+            Ablation::NoSustainedClockModel => d.soc.sustained_clock_factor = 1.0,
+            Ablation::NoVendorFactor => d.vendor_factor = 1.0,
+        }
+        d
+    }
+}
+
+/// One ablation's signature metrics.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Which ablation.
+    pub ablation: Ablation,
+    /// Best unpinned thread count on the A70 (paper/full model: 2).
+    pub a70_best_threads: usize,
+    /// HDK generation spread: Q845 mean latency over Q888's (paper ≈ 2.17).
+    pub hdk_spread: f64,
+    /// Same-SoC gap: S21 mean latency over Q888's (paper: slightly > 1).
+    pub same_soc_gap: f64,
+}
+
+/// The ablation study result.
+#[derive(Debug, Clone)]
+pub struct AblationStudy {
+    /// One row per ablation, control first.
+    pub rows: Vec<AblationRow>,
+}
+
+fn mean_latency(report: &PipelineReport, device: &DeviceSpec) -> f64 {
+    let cool = ThermalState::cool();
+    let lats: Vec<f64> = report
+        .models
+        .iter()
+        .filter(|m| m.framework == Framework::TfLite)
+        .filter_map(|m| {
+            gaugenn_soc::estimate_latency(
+                device,
+                Backend::Cpu(ThreadConfig::unpinned(4)),
+                &m.trace,
+                &cool,
+            )
+            .ok()
+            .map(|l| l.total_ms)
+        })
+        .collect();
+    stats::mean(&lats)
+}
+
+fn best_threads(report: &PipelineReport, device: &DeviceSpec) -> usize {
+    let cool = ThermalState::cool();
+    [2usize, 4, 8]
+        .into_iter()
+        .max_by(|&a, &b| {
+            let t = |threads: usize| -> f64 {
+                let lats: Vec<f64> = report
+                    .models
+                    .iter()
+                    .filter(|m| m.framework == Framework::TfLite)
+                    .filter_map(|m| {
+                        gaugenn_soc::estimate_latency(
+                            device,
+                            Backend::Cpu(ThreadConfig::unpinned(threads)),
+                            &m.trace,
+                            &cool,
+                        )
+                        .ok()
+                        .map(|l| 1e3 / l.total_ms)
+                    })
+                    .collect();
+                stats::mean(&lats)
+            };
+            t(a).partial_cmp(&t(b)).expect("finite throughput")
+        })
+        .expect("non-empty candidate list")
+}
+
+/// Run the ablation study over the report's TFLite models.
+pub fn ablation_study(report: &PipelineReport) -> AblationStudy {
+    let devices = all_devices();
+    let by_name = |name: &str, ab: Ablation| -> DeviceSpec {
+        ab.apply(
+            devices
+                .iter()
+                .find(|d| d.name == name)
+                .expect("Table 1 device")
+                .clone(),
+        )
+    };
+    let rows = Ablation::ALL
+        .iter()
+        .map(|&ab| {
+            let a70 = by_name("A70", ab);
+            let q845 = by_name("Q845", ab);
+            let q888 = by_name("Q888", ab);
+            let s21 = by_name("S21", ab);
+            AblationRow {
+                ablation: ab,
+                a70_best_threads: best_threads(report, &a70),
+                hdk_spread: mean_latency(report, &q845) / mean_latency(report, &q888),
+                same_soc_gap: mean_latency(report, &s21) / mean_latency(report, &q888),
+            }
+        })
+        .collect();
+    AblationStudy { rows }
+}
+
+impl AblationStudy {
+    /// Row lookup.
+    pub fn row(&self, ablation: Ablation) -> &AblationRow {
+        self.rows
+            .iter()
+            .find(|r| r.ablation == ablation)
+            .expect("all ablations present")
+    }
+
+    /// Render the study.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "Ablation",
+            "A70 best threads",
+            "Q845/Q888 spread",
+            "S21/Q888 gap",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.ablation.label().to_string(),
+                r.a70_best_threads.to_string(),
+                format!("{:.2}x", r.hdk_spread),
+                format!("{:.3}x", r.same_soc_gap),
+            ]);
+        }
+        format!(
+            "Ablations: which model mechanism carries which paper shape\n{}\
+             (paper anchors: A70 optimum 2 threads; Q845/Q888 latency spread ~2.17x; S21 slightly slower than Q888)\n",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineConfig};
+    use gaugenn_playstore::corpus::Snapshot;
+
+    #[test]
+    fn each_mechanism_carries_its_shape() {
+        let report = Pipeline::new(PipelineConfig::tiny(Snapshot::Y2021, 7))
+            .run()
+            .unwrap();
+        let s = ablation_study(&report);
+        let full = s.row(Ablation::None);
+        // Control reproduces the three shapes.
+        assert_eq!(full.a70_best_threads, 2, "control: A70 optimum");
+        assert!(full.hdk_spread > 1.6, "control: HDK spread {}", full.hdk_spread);
+        assert!(full.same_soc_gap > 1.0, "control: S21 behind Q888");
+
+        // Removing the cross-island penalty flips the A70 optimum to 4+.
+        let no_island = s.row(Ablation::NoCrossIslandPenalty);
+        assert!(
+            no_island.a70_best_threads > 2,
+            "without the island penalty the A70 should prefer more threads"
+        );
+
+        // Removing sustained clocks compresses the HDK generation spread.
+        let no_clock = s.row(Ablation::NoSustainedClockModel);
+        assert!(
+            no_clock.hdk_spread < full.hdk_spread - 0.2,
+            "clock model carries the generation spread: {} vs {}",
+            no_clock.hdk_spread,
+            full.hdk_spread
+        );
+
+        // Removing the vendor factor erases the same-SoC gap.
+        let no_vendor = s.row(Ablation::NoVendorFactor);
+        assert!(
+            (no_vendor.same_soc_gap - 1.0).abs() < 0.01,
+            "vendor factor carries the S21/Q888 gap, got {}",
+            no_vendor.same_soc_gap
+        );
+        assert!(s.render().contains("Ablation"));
+    }
+}

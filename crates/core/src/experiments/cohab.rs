@@ -1,0 +1,115 @@
+//! §8.1 co-habitation study (future work made concrete).
+//!
+//! Pairs the most popular corpus models and runs them side by side on each
+//! device through the `gaugenn-soc` co-habitation model, quantifying how
+//! much a second resident DNN costs — the workload the paper predicts "OS
+//! or hardware-level solutions" will have to manage.
+
+use crate::pipeline::PipelineReport;
+use crate::report::TextTable;
+use crate::Result;
+use gaugenn_analysis::stats;
+use gaugenn_soc::cohab::cohabitate;
+use gaugenn_soc::spec::all_devices;
+use gaugenn_soc::thermal::ThermalState;
+
+/// Per-device co-habitation summary.
+#[derive(Debug, Clone)]
+pub struct CohabStudy {
+    /// `(device, pairs, mean tenant-A slowdown, mean tenant-B slowdown,
+    /// mean throughput gain)` rows.
+    pub rows: Vec<(String, usize, f64, f64, f64)>,
+}
+
+/// Run the study: pair the top-`k` most duplicated models against each
+/// other on every Table 1 device.
+pub fn cohab_study(report: &PipelineReport, k: usize) -> Result<CohabStudy> {
+    let mut popular: Vec<_> = report.models.iter().collect();
+    popular.sort_by_key(|m| std::cmp::Reverse(m.app_count));
+    let top: Vec<_> = popular.into_iter().take(k.max(2)).collect();
+    let cool = ThermalState::cool();
+    let mut rows = Vec::new();
+    for d in all_devices() {
+        let mut slow_a = Vec::new();
+        let mut slow_b = Vec::new();
+        let mut gains = Vec::new();
+        let mut pairs = 0usize;
+        for (i, a) in top.iter().enumerate() {
+            for b in top.iter().skip(i + 1) {
+                let rep = cohabitate(&d, &a.trace, &b.trace, &cool)?;
+                let [sa, sb] = rep.slowdowns();
+                slow_a.push(sa);
+                slow_b.push(sb);
+                gains.push(rep.throughput_gain());
+                pairs += 1;
+            }
+        }
+        rows.push((
+            d.name.to_string(),
+            pairs,
+            stats::mean(&slow_a),
+            stats::mean(&slow_b),
+            stats::mean(&gains),
+        ));
+    }
+    Ok(CohabStudy { rows })
+}
+
+impl CohabStudy {
+    /// Row lookup.
+    pub fn row(&self, device: &str) -> Option<&(String, usize, f64, f64, f64)> {
+        self.rows.iter().find(|(d, ..)| d == device)
+    }
+
+    /// Paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "Device",
+            "pairs",
+            "tenant-A slowdown",
+            "tenant-B slowdown",
+            "throughput vs sequential",
+        ]);
+        for (dev, pairs, sa, sb, gain) in &self.rows {
+            t.row([
+                dev.clone(),
+                pairs.to_string(),
+                format!("{sa:.2}x"),
+                format!("{sb:.2}x"),
+                format!("{gain:.2}x"),
+            ]);
+        }
+        format!(
+            "Sec 8.1 (extension): DNN co-habitation — two resident models per device\n{}\
+             (naive core partitioning: the late tenant inherits LITTLE cores — the paper's\n\
+              anticipated 'emerging problem' for OS/hardware-level schedulers)\n",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineConfig};
+    use gaugenn_playstore::corpus::Snapshot;
+
+    #[test]
+    fn study_covers_all_devices_with_consistent_shape() {
+        let report = Pipeline::new(PipelineConfig::tiny(Snapshot::Y2021, 7))
+            .run()
+            .unwrap();
+        let s = cohab_study(&report, 4).unwrap();
+        assert_eq!(s.rows.len(), 6);
+        for (dev, pairs, sa, sb, gain) in &s.rows {
+            assert!(*pairs >= 1, "{dev}");
+            // Tenant A can even *gain* on devices whose 4-thread pool
+            // pays a big island-crossing penalty (the A70 pathology of
+            // Fig. 12) — it now has two dedicated big cores.
+            assert!(*sa > 0.7, "{dev}: tenant A factor {sa}");
+            assert!(*sb >= *sa, "{dev}: the late tenant suffers at least as much");
+            assert!(*gain > 0.2 && *gain < 2.0, "{dev}: gain {gain}");
+        }
+        assert!(s.render().contains("tenant-B"));
+    }
+}

@@ -1,0 +1,636 @@
+//! Offline experiments: Tables 2–3, Figs. 4–7, Fig. 15, §4.5 and §6.1.
+
+use crate::pipeline::PipelineReport;
+use crate::report::{count_pct, eng, TextTable};
+use gaugenn_analysis::dedup::{dedup, DedupReport, ModelEntry};
+use gaugenn_analysis::stats;
+use gaugenn_dnn::task::{Modality, Task};
+use gaugenn_modelfmt::Framework;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Table 2: dataset snapshot details, measured from both pipelines.
+#[derive(Debug, Clone)]
+pub struct Tab2 {
+    /// `(label, summary)` per snapshot, 2020 first.
+    pub snapshots: Vec<crate::pipeline::DatasetSummary>,
+}
+
+/// Run Table 2 from both snapshot reports.
+pub fn tab2(r2020: &PipelineReport, r2021: &PipelineReport) -> Tab2 {
+    Tab2 {
+        snapshots: vec![r2020.dataset.clone(), r2021.dataset.clone()],
+    }
+}
+
+impl Tab2 {
+    /// Paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["", "Snapshot '20", "Snapshot '21"]);
+        let g = |f: &dyn Fn(&crate::pipeline::DatasetSummary) -> String| -> Vec<String> {
+            self.snapshots.iter().map(f).collect()
+        };
+        let rows: Vec<(&str, Vec<String>)> = vec![
+            ("Date", g(&|s| s.snapshot.to_string())),
+            ("# apps", g(&|s| s.total_apps.to_string())),
+            (
+                "# apps with ML",
+                g(&|s| count_pct(s.ml_apps, s.total_apps)),
+            ),
+            (
+                "# apps benchmarked",
+                g(&|s| count_pct(s.benchmarkable_apps, s.total_apps)),
+            ),
+            ("# models", g(&|s| s.total_models.to_string())),
+            (
+                "# unique models",
+                g(&|s| count_pct(s.unique_models, s.total_models)),
+            ),
+            (
+                "models outside apk",
+                g(&|s| s.models_outside_apk.to_string()),
+            ),
+            ("# cloud-API apps", g(&|s| s.cloud_apps.to_string())),
+        ];
+        for (label, vals) in rows {
+            let mut cells = vec![label.to_string()];
+            cells.extend(vals);
+            t.row(cells);
+        }
+        format!("Table 2: dataset snapshots\n{}", t.render())
+    }
+}
+
+/// Table 3: task classification of the corpus (instance-weighted, like the
+/// paper's per-model counts).
+#[derive(Debug, Clone)]
+pub struct Tab3 {
+    /// Instance count per task.
+    pub per_task: BTreeMap<Task, usize>,
+    /// Instances that could not be classified.
+    pub unidentified: usize,
+    /// Total instances.
+    pub total: usize,
+    /// Instances whose classification came from a name hint (§4.4 reports
+    /// "around 67 % having names which hint either the model, task at
+    /// hand or both").
+    pub by_name_hint: usize,
+}
+
+/// Run Table 3.
+pub fn tab3(report: &PipelineReport) -> Tab3 {
+    let mut per_task: BTreeMap<Task, usize> = BTreeMap::new();
+    let mut unidentified = 0usize;
+    let mut by_name_hint = 0usize;
+    for inst in &report.instances {
+        match report
+            .model(&inst.checksum)
+            .and_then(|m| m.classification)
+        {
+            Some(c) => {
+                *per_task.entry(c.task).or_default() += 1;
+                if c.evidence == gaugenn_analysis::classify::Evidence::NameHint {
+                    by_name_hint += 1;
+                }
+            }
+            None => unidentified += 1,
+        }
+    }
+    Tab3 {
+        per_task,
+        unidentified,
+        total: report.instances.len(),
+        by_name_hint,
+    }
+}
+
+impl Tab3 {
+    /// Instances per modality.
+    pub fn per_modality(&self) -> BTreeMap<Modality, usize> {
+        let mut out = BTreeMap::new();
+        for (task, n) in &self.per_task {
+            *out.entry(task.modality()).or_default() += n;
+        }
+        out
+    }
+
+    /// Identified fraction (paper: 91.9 %).
+    pub fn identified_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.total - self.unidentified) as f64 / self.total as f64
+        }
+    }
+
+    /// Paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["Task", "Models"]);
+        for modality in Modality::ALL {
+            let mod_total: usize = self
+                .per_task
+                .iter()
+                .filter(|(k, _)| k.modality() == modality)
+                .map(|(_, v)| v)
+                .sum();
+            t.row([
+                format!("{} ({} models)", modality.name(), mod_total),
+                String::new(),
+            ]);
+            let mut rows: Vec<(&Task, &usize)> = self
+                .per_task
+                .iter()
+                .filter(|(k, _)| k.modality() == modality)
+                .collect();
+            rows.sort_by(|a, b| b.1.cmp(a.1));
+            for (task, n) in rows {
+                t.row([format!("  {}", task.name()), count_pct(*n, mod_total)]);
+            }
+        }
+        format!(
+            "Table 3: DNN task classification ({} identified, {:.1}%; {:.0}% via name hints, paper: ~67%)\n{}",
+            self.total - self.unidentified,
+            100.0 * self.identified_fraction(),
+            100.0 * self.by_name_hint as f64 / (self.total - self.unidentified).max(1) as f64,
+            t.render()
+        )
+    }
+}
+
+/// Fig. 4: models per framework and category.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// `(category, framework) -> instance count`.
+    pub counts: BTreeMap<(String, Framework), usize>,
+    /// Instance totals per framework.
+    pub per_framework: BTreeMap<Framework, usize>,
+}
+
+/// Run Fig. 4.
+pub fn fig4(report: &PipelineReport) -> Fig4 {
+    Fig4 {
+        counts: report.instances_per_category_framework(),
+        per_framework: report.instances_per_framework(),
+    }
+}
+
+impl Fig4 {
+    /// Categories sorted by model count descending.
+    pub fn categories_ranked(&self) -> Vec<(String, usize)> {
+        let mut per_cat: BTreeMap<&str, usize> = BTreeMap::new();
+        for ((cat, _), n) in &self.counts {
+            *per_cat.entry(cat).or_default() += n;
+        }
+        let mut v: Vec<(String, usize)> =
+            per_cat.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Paper-style table (categories with ≥ `min_models`).
+    pub fn render(&self) -> String {
+        let total: usize = self.per_framework.values().sum();
+        let mut header = vec!["Category".to_string(), "Total".to_string()];
+        for fw in Framework::BENCHMARKED {
+            header.push(fw.name().to_string());
+        }
+        let mut t = TextTable::new(header);
+        for (cat, n) in self.categories_ranked() {
+            let mut cells = vec![cat.clone(), n.to_string()];
+            for fw in Framework::BENCHMARKED {
+                let c = self.counts.get(&(cat.clone(), fw)).copied().unwrap_or(0);
+                cells.push(c.to_string());
+            }
+            t.row(cells);
+        }
+        let mut fw_line = String::new();
+        for fw in Framework::BENCHMARKED {
+            let n = self.per_framework.get(&fw).copied().unwrap_or(0);
+            fw_line.push_str(&format!("{}: {}  ", fw.name(), count_pct(n, total)));
+        }
+        format!(
+            "Fig 4: models per framework and category ({total} total)\n{}\nFramework split: {}\n",
+            t.render(),
+            fw_line.trim_end()
+        )
+    }
+}
+
+/// Fig. 5: per-category model add/remove between snapshots.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// `(category, added, removed)` sorted by `added - removed` descending.
+    pub rows: Vec<(String, usize, usize)>,
+    /// Unique-model totals `(2020, 2021)`.
+    pub unique_totals: (usize, usize),
+}
+
+/// Run Fig. 5 from both snapshots. Model identity is the checksum.
+pub fn fig5(r2020: &PipelineReport, r2021: &PipelineReport) -> Fig5 {
+    let per_cat_sums = |r: &PipelineReport| -> BTreeMap<String, BTreeSet<String>> {
+        let mut out: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for inst in &r.instances {
+            out.entry(inst.category.clone())
+                .or_default()
+                .insert(inst.checksum.clone());
+        }
+        out
+    };
+    let c20 = per_cat_sums(r2020);
+    let c21 = per_cat_sums(r2021);
+    let cats: BTreeSet<&String> = c20.keys().chain(c21.keys()).collect();
+    let empty = BTreeSet::new();
+    let mut rows: Vec<(String, usize, usize)> = cats
+        .into_iter()
+        .map(|cat| {
+            let s20 = c20.get(cat).unwrap_or(&empty);
+            let s21 = c21.get(cat).unwrap_or(&empty);
+            let added = s21.difference(s20).count();
+            let removed = s20.difference(s21).count();
+            (cat.clone(), added, removed)
+        })
+        .filter(|(_, a, r)| *a + *r > 0)
+        .collect();
+    rows.sort_by_key(|(_, a, r)| std::cmp::Reverse(*a as i64 - *r as i64));
+    Fig5 {
+        rows,
+        unique_totals: (r2020.dataset.unique_models, r2021.dataset.unique_models),
+    }
+}
+
+impl Fig5 {
+    /// Paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["Category", "Added", "Removed", "Net"]);
+        for (cat, a, r) in &self.rows {
+            t.row([
+                cat.clone(),
+                a.to_string(),
+                r.to_string(),
+                format!("{:+}", *a as i64 - *r as i64),
+            ]);
+        }
+        format!(
+            "Fig 5: individual models added/removed between snapshots (unique: {} -> {})\n{}",
+            self.unique_totals.0,
+            self.unique_totals.1,
+            t.render()
+        )
+    }
+}
+
+/// Fig. 6: layer composition per modality.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// `(modality, family, fraction)` rows, top families per modality.
+    pub rows: Vec<(Modality, String, f64)>,
+}
+
+/// Run Fig. 6.
+pub fn fig6(report: &PipelineReport) -> Fig6 {
+    let mut rows = Vec::new();
+    for modality in Modality::ALL {
+        for (family, _count) in report.composition.top_families(modality) {
+            let frac = report.composition.fraction(modality, &family);
+            rows.push((modality, family, frac));
+        }
+    }
+    Fig6 { rows }
+}
+
+impl Fig6 {
+    /// Fraction lookup.
+    pub fn fraction(&self, modality: Modality, family: &str) -> f64 {
+        self.rows
+            .iter()
+            .find(|(m, f, _)| *m == modality && f == family)
+            .map(|(_, _, v)| *v)
+            .unwrap_or(0.0)
+    }
+
+    /// Paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["Modality", "Layer family", "Share"]);
+        for (m, f, frac) in &self.rows {
+            if *frac >= 0.01 {
+                t.row([m.name().to_string(), f.clone(), format!("{:.1}%", frac * 100.0)]);
+            }
+        }
+        format!("Fig 6: model layer composition per input modality\n{}", t.render())
+    }
+}
+
+/// Fig. 7: FLOPs and parameters per task.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Per task: `(count, flops min/median/max, params min/median/max)`.
+    pub rows: Vec<(Task, usize, [f64; 3], [f64; 3])>,
+}
+
+/// Run Fig. 7 over unique models.
+pub fn fig7(report: &PipelineReport) -> Fig7 {
+    let mut per_task: BTreeMap<Task, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    for m in &report.models {
+        if let Some(c) = m.classification {
+            let e = per_task.entry(c.task).or_default();
+            e.0.push(m.trace.total_flops as f64);
+            e.1.push(m.trace.total_params as f64);
+        }
+    }
+    let mut rows = Vec::new();
+    for (task, (flops, params)) in per_task {
+        let f = stats::Ecdf::new(flops.clone());
+        let p = stats::Ecdf::new(params.clone());
+        rows.push((
+            task,
+            flops.len(),
+            [f.quantile(0.0), f.median(), f.quantile(1.0)],
+            [p.quantile(0.0), p.median(), p.quantile(1.0)],
+        ));
+    }
+    rows.sort_by(|a, b| b.2[1].partial_cmp(&a.2[1]).expect("finite medians"));
+    Fig7 { rows }
+}
+
+impl Fig7 {
+    /// Orders-of-magnitude span of median FLOPs across tasks (the paper
+    /// reports four orders of magnitude across models).
+    pub fn flops_magnitude_span(&self) -> f64 {
+        let meds: Vec<f64> = self.rows.iter().map(|r| r.2[1]).filter(|v| *v > 0.0).collect();
+        if meds.is_empty() {
+            return 0.0;
+        }
+        let max = meds.iter().cloned().fold(f64::MIN, f64::max);
+        let min = meds.iter().cloned().fold(f64::MAX, f64::min);
+        (max / min).log10()
+    }
+
+    /// Paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["Task", "n", "FLOPs (min/med/max)", "Params (min/med/max)"]);
+        for (task, n, f, p) in &self.rows {
+            t.row([
+                task.name().to_string(),
+                n.to_string(),
+                format!("{}/{}/{}", eng(f[0]), eng(f[1]), eng(f[2])),
+                format!("{}/{}/{}", eng(p[0]), eng(p[1]), eng(p[2])),
+            ]);
+        }
+        format!("Fig 7: FLOPs and parameters per DNN task (unique models)\n{}", t.render())
+    }
+}
+
+/// Fig. 15: cloud-ML-API apps per category and provider.
+#[derive(Debug, Clone)]
+pub struct Fig15 {
+    /// `(category, google_apps, amazon_apps)` sorted by total.
+    pub rows: Vec<(String, usize, usize)>,
+    /// Total distinct cloud-API apps.
+    pub total: usize,
+    /// Google-family total.
+    pub google: usize,
+    /// Amazon total.
+    pub amazon: usize,
+}
+
+/// Run Fig. 15.
+pub fn fig15(report: &PipelineReport) -> Fig15 {
+    let mut per_cat: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    let mut total = 0;
+    let mut google = 0;
+    let mut amazon = 0;
+    for app in &report.apps {
+        if app.cloud.is_empty() {
+            continue;
+        }
+        total += 1;
+        let has_google = app.cloud.iter().any(|p| p.is_google());
+        let has_amazon = app
+            .cloud
+            .iter()
+            .any(|p| !p.is_google());
+        let e = per_cat.entry(app.category.clone()).or_default();
+        if has_google {
+            e.0 += 1;
+            google += 1;
+        }
+        if has_amazon {
+            e.1 += 1;
+            amazon += 1;
+        }
+    }
+    let mut rows: Vec<(String, usize, usize)> =
+        per_cat.into_iter().map(|(c, (g, a))| (c, g, a)).collect();
+    rows.sort_by_key(|(_, g, a)| std::cmp::Reverse(g + a));
+    Fig15 {
+        rows,
+        total,
+        google,
+        amazon,
+    }
+}
+
+impl Fig15 {
+    /// Paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["Category", "Google", "Amazon"]);
+        for (cat, g, a) in &self.rows {
+            t.row([cat.clone(), g.to_string(), a.to_string()]);
+        }
+        format!(
+            "Fig 15: apps invoking cloud ML APIs ({} apps: {} Google, {} Amazon)\n{}",
+            self.total,
+            self.google,
+            self.amazon,
+            t.render()
+        )
+    }
+}
+
+/// §4.5: uniqueness and fine-tuning analysis.
+pub fn sec45(report: &PipelineReport) -> DedupReport {
+    let entries: Vec<ModelEntry> = report
+        .instances
+        .iter()
+        .map(|inst| {
+            let m = report.model(&inst.checksum).expect("instances link to models");
+            ModelEntry {
+                app: inst.app.clone(),
+                path: inst.path.clone(),
+                checksum: inst.checksum.clone(),
+                layers: m.layers.clone(),
+            }
+        })
+        .collect();
+    dedup(&entries)
+}
+
+/// Render the §4.5 report paper-style.
+pub fn render_sec45(r: &DedupReport) -> String {
+    format!(
+        "Sec 4.5: model uniqueness\n\
+         total instances:            {}\n\
+         unique models:              {} ({:.1}%)\n\
+         instances shared >=2 apps:  {:.1}%\n\
+         unique sharing >=20% wts:   {} ({:.2}% of unique)\n\
+         unique differing <=3 layers:{} ({:.2}% of unique)\n",
+        r.total_instances,
+        r.unique_models,
+        100.0 * r.unique_fraction(),
+        100.0 * r.shared_instance_fraction,
+        r.sharing_20pct,
+        100.0 * r.sharing_20pct as f64 / r.unique_models.max(1) as f64,
+        r.diff_le3_layers,
+        100.0 * r.diff_le3_layers as f64 / r.unique_models.max(1) as f64,
+    )
+}
+
+/// §6.1: optimisation census over unique models.
+pub fn sec61(report: &PipelineReport) -> gaugenn_analysis::optim::OptimCensus {
+    let mut census = gaugenn_analysis::optim::OptimCensus::default();
+    for m in &report.models {
+        census.add(&m.optim);
+    }
+    census
+}
+
+/// Render the §6.1 census paper-style.
+pub fn render_sec61(c: &gaugenn_analysis::optim::OptimCensus) -> String {
+    format!(
+        "Sec 6.1: model-level optimisations ({} unique models)\n\
+         clustering markers:   {}\n\
+         pruning markers:      {}\n\
+         near-zero weights:    {:.2}%\n\
+         dequantize layer:     {:.1}% of models\n\
+         int8 weights:         {:.1}% of models\n\
+         int8 activations:     {:.1}% of models\n",
+        c.models,
+        c.clustered,
+        c.prune_marked,
+        100.0 * c.sparsity(),
+        100.0 * c.dequantize_fraction(),
+        100.0 * c.int8_weight_fraction(),
+        100.0 * c.int8_activation_fraction(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineConfig};
+    use gaugenn_playstore::corpus::Snapshot;
+    use std::sync::OnceLock;
+
+    fn reports() -> &'static (PipelineReport, PipelineReport) {
+        static CELL: OnceLock<(PipelineReport, PipelineReport)> = OnceLock::new();
+        CELL.get_or_init(|| {
+            let r20 = Pipeline::new(PipelineConfig::tiny(Snapshot::Y2020, 7))
+                .run()
+                .unwrap();
+            let r21 = Pipeline::new(PipelineConfig::tiny(Snapshot::Y2021, 7))
+                .run()
+                .unwrap();
+            (r20, r21)
+        })
+    }
+
+    #[test]
+    fn tab2_shows_growth() {
+        let (r20, r21) = reports();
+        let t = tab2(r20, r21);
+        assert!(t.snapshots[1].total_models > t.snapshots[0].total_models);
+        assert!(t.snapshots[1].ml_apps > t.snapshots[0].ml_apps);
+        let s = t.render();
+        assert!(s.contains("Snapshot '21"));
+        assert!(s.contains("# models"));
+    }
+
+    #[test]
+    fn tab3_vision_dominates() {
+        let (_, r21) = reports();
+        let t = tab3(r21);
+        assert!(t.identified_fraction() > 0.8);
+        let per_mod = t.per_modality();
+        let vision = per_mod.get(&Modality::Vision).copied().unwrap_or(0);
+        let others: usize = per_mod
+            .iter()
+            .filter(|(m, _)| **m != Modality::Vision)
+            .map(|(_, n)| n)
+            .sum();
+        assert!(vision > others, "vision {vision} vs others {others}");
+        assert!(t.render().contains("vision"));
+    }
+
+    #[test]
+    fn fig4_tflite_leads() {
+        let (_, r21) = reports();
+        let f = fig4(r21);
+        let tflite = f.per_framework.get(&Framework::TfLite).copied().unwrap_or(0);
+        let total: usize = f.per_framework.values().sum();
+        assert!(tflite * 2 > total, "TFLite should dominate: {tflite}/{total}");
+        assert!(!f.categories_ranked().is_empty());
+        assert!(f.render().contains("tflite"));
+    }
+
+    #[test]
+    fn fig5_has_adds_and_removes() {
+        let (r20, r21) = reports();
+        let f = fig5(r20, r21);
+        let added: usize = f.rows.iter().map(|r| r.1).sum();
+        let removed: usize = f.rows.iter().map(|r| r.2).sum();
+        assert!(added > 0, "new models appear in '21");
+        assert!(removed > 0, "some models disappear from '20");
+        assert!(added > removed, "the corpus grows overall");
+        // Rows sorted by net change.
+        let nets: Vec<i64> = f.rows.iter().map(|(_, a, r)| *a as i64 - *r as i64).collect();
+        assert!(nets.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn fig6_vision_has_conv() {
+        let (_, r21) = reports();
+        let f = fig6(r21);
+        assert!(f.fraction(Modality::Vision, "conv") > 0.1);
+        assert!(f.render().contains("conv"));
+    }
+
+    #[test]
+    fn fig7_span_is_wide() {
+        let (_, r21) = reports();
+        let f = fig7(r21);
+        assert!(!f.rows.is_empty());
+        assert!(
+            f.flops_magnitude_span() >= 1.0,
+            "expect at least an order of magnitude, got {}",
+            f.flops_magnitude_span()
+        );
+    }
+
+    #[test]
+    fn fig15_counts_match_dataset() {
+        let (_, r21) = reports();
+        let f = fig15(r21);
+        assert_eq!(f.total, r21.dataset.cloud_apps);
+        assert!(f.google > f.amazon, "Google APIs dominate (Fig 15)");
+    }
+
+    #[test]
+    fn sec45_dedup_runs() {
+        let (_, r21) = reports();
+        let d = sec45(r21);
+        assert_eq!(d.total_instances, r21.dataset.total_models);
+        assert_eq!(d.unique_models, r21.dataset.unique_models);
+        assert!(d.shared_instance_fraction > 0.0);
+        assert!(render_sec45(&d).contains("unique models"));
+    }
+
+    #[test]
+    fn sec61_census_measures_planted_population() {
+        let (_, r21) = reports();
+        let c = sec61(r21);
+        assert_eq!(c.models as usize, r21.models.len());
+        assert_eq!(c.clustered, 0, "no clustering in the wild (§6.1)");
+        assert_eq!(c.prune_marked, 0, "no pruning markers in the wild (§6.1)");
+        assert!(c.sparsity() > 0.01, "sparsity {}", c.sparsity());
+        assert!(render_sec61(&c).contains("int8 weights"));
+    }
+}

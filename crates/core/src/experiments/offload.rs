@@ -1,0 +1,162 @@
+//! §6.4 extension: when does cloud offloading beat on-device inference?
+//!
+//! The paper tracks *who* calls cloud ML APIs (Fig. 15) and argues the
+//! motivation is consistent QoE across heterogeneous handsets. This study
+//! quantifies it over the extracted corpus: per (device, network), the
+//! fraction of models for which offloading is faster, and the cross-device
+//! latency spread of each strategy.
+
+use crate::pipeline::PipelineReport;
+use crate::report::TextTable;
+use crate::Result;
+use gaugenn_analysis::stats;
+use gaugenn_soc::offload::{compare, CloudSpec, NETWORKS};
+use gaugenn_soc::sched::ThreadConfig;
+use gaugenn_soc::spec::all_devices;
+use gaugenn_soc::Backend;
+
+/// Camera inputs cross the network JPEG-compressed.
+const COMPRESSION: f64 = 20.0;
+
+/// One (device, network) row.
+#[derive(Debug, Clone)]
+pub struct OffloadRow {
+    /// Device name.
+    pub device: String,
+    /// Network name.
+    pub network: &'static str,
+    /// Fraction of models where offloading is strictly faster.
+    pub offload_wins: f64,
+    /// Mean local latency, ms.
+    pub local_mean_ms: f64,
+    /// Mean offloaded latency, ms.
+    pub offload_mean_ms: f64,
+}
+
+/// The offloading study.
+#[derive(Debug, Clone)]
+pub struct OffloadStudy {
+    /// All rows.
+    pub rows: Vec<OffloadRow>,
+}
+
+/// Run the study over every Table 1 device and network profile.
+pub fn offload_study(report: &PipelineReport) -> Result<OffloadStudy> {
+    let cloud = CloudSpec::default();
+    let cpu = Backend::Cpu(ThreadConfig::unpinned(4));
+    let mut rows = Vec::new();
+    for d in all_devices() {
+        for net in &NETWORKS {
+            let mut wins = 0usize;
+            let mut n = 0usize;
+            let mut locals = Vec::new();
+            let mut clouds = Vec::new();
+            for m in &report.models {
+                let Ok((local, off)) = compare(&d, cpu, &m.trace, net, &cloud, COMPRESSION)
+                else {
+                    continue;
+                };
+                n += 1;
+                locals.push(local);
+                clouds.push(off);
+                if off < local {
+                    wins += 1;
+                }
+            }
+            rows.push(OffloadRow {
+                device: d.name.to_string(),
+                network: net.name,
+                offload_wins: wins as f64 / n.max(1) as f64,
+                local_mean_ms: stats::mean(&locals),
+                offload_mean_ms: stats::mean(&clouds),
+            });
+        }
+    }
+    Ok(OffloadStudy { rows })
+}
+
+impl OffloadStudy {
+    /// Row lookup.
+    pub fn row(&self, device: &str, network: &str) -> Option<&OffloadRow> {
+        self.rows
+            .iter()
+            .find(|r| r.device == device && r.network == network)
+    }
+
+    /// Cross-device spread (max/min of mean latency) for a strategy on a
+    /// network — the QoE-consistency metric. `offload=false` → local.
+    pub fn device_spread(&self, network: &str, offload: bool) -> f64 {
+        let means: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.network == network)
+            .map(|r| if offload { r.offload_mean_ms } else { r.local_mean_ms })
+            .collect();
+        let max = means.iter().cloned().fold(f64::MIN, f64::max);
+        let min = means.iter().cloned().fold(f64::MAX, f64::min);
+        max / min
+    }
+
+    /// Paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "Device",
+            "Network",
+            "offload wins",
+            "local mean ms",
+            "cloud mean ms",
+        ]);
+        for r in &self.rows {
+            t.row([
+                r.device.clone(),
+                r.network.to_string(),
+                format!("{:.0}%", 100.0 * r.offload_wins),
+                format!("{:.1}", r.local_mean_ms),
+                format!("{:.1}", r.offload_mean_ms),
+            ]);
+        }
+        format!(
+            "Sec 6.4 (extension): cloud offloading vs on-device inference\n{}\
+             QoE spread across devices on WiFi: local {:.1}x vs cloud {:.1}x\n\
+             (the paper's motivation: cloud latency \"is not dependent on the target device\")\n",
+            t.render(),
+            self.device_spread("WiFi", false),
+            self.device_spread("WiFi", true),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Pipeline, PipelineConfig};
+    use gaugenn_playstore::corpus::Snapshot;
+
+    #[test]
+    fn offloading_helps_weak_devices_most() {
+        let report = Pipeline::new(PipelineConfig::tiny(Snapshot::Y2021, 7))
+            .run()
+            .unwrap();
+        let s = offload_study(&report).unwrap();
+        assert_eq!(s.rows.len(), 6 * 3);
+        // On WiFi, the A20 benefits from offloading more often than the S21.
+        let a20 = s.row("A20", "WiFi").unwrap().offload_wins;
+        let s21 = s.row("S21", "WiFi").unwrap().offload_wins;
+        assert!(a20 >= s21, "A20 {a20} vs S21 {s21}");
+        // Worse networks reduce the win rate on every device.
+        for dev in ["A20", "A70", "S21"] {
+            let wifi = s.row(dev, "WiFi").unwrap().offload_wins;
+            let hspa = s.row(dev, "HSPA").unwrap().offload_wins;
+            assert!(wifi >= hspa, "{dev}: wifi {wifi} vs hspa {hspa}");
+        }
+        // The QoE-consistency claim: cloud latency varies far less across
+        // devices than local latency does.
+        let local_spread = s.device_spread("WiFi", false);
+        let cloud_spread = s.device_spread("WiFi", true);
+        assert!(
+            cloud_spread < 1.01 && local_spread > 2.0,
+            "local {local_spread} vs cloud {cloud_spread}"
+        );
+        assert!(s.render().contains("offload wins"));
+    }
+}

@@ -1,0 +1,410 @@
+//! The end-to-end gaugeNN pipeline: generate a store, crawl it over TCP,
+//! extract + validate + decode models, and run the offline analyses.
+
+use crate::extract::{extract_app, AppExtraction};
+use crate::{CoreError, Result};
+use gaugenn_analysis::classify::{classify_graph, Classification, LayerComposition};
+use gaugenn_analysis::dedup::{layer_checksums, model_checksum};
+use gaugenn_analysis::etl::{doc, Index};
+use gaugenn_analysis::optim::{inspect, ModelOptim};
+use gaugenn_dnn::trace::{trace_graph, TraceReport};
+use gaugenn_modelfmt::Framework;
+use gaugenn_playstore::corpus::{generate, CorpusScale, Snapshot};
+use gaugenn_playstore::crawler::{Crawler, CrawlerConfig};
+use gaugenn_playstore::server::StoreServer;
+use std::collections::BTreeMap;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Corpus scale.
+    pub scale: CorpusScale,
+    /// Which snapshot to crawl.
+    pub snapshot: Snapshot,
+    /// Corpus seed (must match across snapshots of one study).
+    pub seed: u64,
+    /// Crawler identity.
+    pub crawler: CrawlerConfig,
+    /// Re-crawl a sample with an old device profile and compare APKs
+    /// (§4.2's device-specific-distribution probe).
+    pub probe_device_profiles: bool,
+}
+
+impl PipelineConfig {
+    /// Tiny corpus for tests.
+    pub fn tiny(snapshot: Snapshot, seed: u64) -> Self {
+        Self::with_scale(CorpusScale::Tiny, snapshot, seed)
+    }
+
+    /// Small corpus for examples.
+    pub fn small(snapshot: Snapshot, seed: u64) -> Self {
+        Self::with_scale(CorpusScale::Small, snapshot, seed)
+    }
+
+    /// Paper-scale corpus for the repro binary.
+    pub fn paper(snapshot: Snapshot, seed: u64) -> Self {
+        Self::with_scale(CorpusScale::Paper, snapshot, seed)
+    }
+
+    /// Explicit scale.
+    pub fn with_scale(scale: CorpusScale, snapshot: Snapshot, seed: u64) -> Self {
+        PipelineConfig {
+            scale,
+            snapshot,
+            seed,
+            crawler: CrawlerConfig::default(),
+            probe_device_profiles: true,
+        }
+    }
+}
+
+/// One unique (by checksum) model with every offline analysis attached.
+#[derive(Debug, Clone)]
+pub struct ModelRecord {
+    /// md5 over all model files.
+    pub checksum: String,
+    /// Model name from the graph.
+    pub name: String,
+    /// Container framework.
+    pub framework: Framework,
+    /// Serialized size in bytes (all files).
+    pub size_bytes: usize,
+    /// FLOPs/params trace.
+    pub trace: TraceReport,
+    /// Task classification (None for the unidentifiable tail).
+    pub classification: Option<Classification>,
+    /// §6.1 optimisation inspection.
+    pub optim: ModelOptim,
+    /// Per-layer weight checksums for the §4.5 lineage analysis.
+    pub layers: Vec<(String, u64)>,
+    /// Layer-family histogram for Fig. 6.
+    pub layer_families: BTreeMap<String, u64>,
+    /// Number of apps carrying this model.
+    pub app_count: usize,
+}
+
+/// One model instance (a file in an app).
+#[derive(Debug, Clone)]
+pub struct InstanceRecord {
+    /// App package.
+    pub app: String,
+    /// Store category.
+    pub category: String,
+    /// Primary file path inside the app.
+    pub path: String,
+    /// Checksum linking to the [`ModelRecord`].
+    pub checksum: String,
+}
+
+/// Table 2-shaped dataset summary — *measured*, not copied from the
+/// corpus spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Snapshot label.
+    pub snapshot: &'static str,
+    /// Total apps crawled.
+    pub total_apps: usize,
+    /// Apps with ML libraries (incl. obfuscated models).
+    pub ml_apps: usize,
+    /// Apps with at least one validated (benchmarkable) model.
+    pub benchmarkable_apps: usize,
+    /// Total model instances extracted.
+    pub total_models: usize,
+    /// Unique models by checksum.
+    pub unique_models: usize,
+    /// Candidate files that failed signature validation.
+    pub failed_candidates: usize,
+    /// Models found outside the base APK (§4.2: expected 0).
+    pub models_outside_apk: usize,
+    /// Apps using cloud ML APIs.
+    pub cloud_apps: usize,
+    /// Apps using NNAPI / XNNPACK / SNPE (§6.3).
+    pub nnapi_apps: usize,
+    /// Apps using XNNPACK.
+    pub xnnpack_apps: usize,
+    /// Apps using SNPE.
+    pub snpe_apps: usize,
+    /// Apps with on-device-training markers (§4.5: expected 0).
+    pub on_device_training_apps: usize,
+    /// Whether the old-device-profile re-crawl produced identical APKs.
+    pub device_profile_invariant: Option<bool>,
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// Config used.
+    pub snapshot: Snapshot,
+    /// Scale used.
+    pub scale: CorpusScale,
+    /// Seed used.
+    pub seed: u64,
+    /// Table 2 numbers.
+    pub dataset: DatasetSummary,
+    /// Unique models with analyses.
+    pub models: Vec<ModelRecord>,
+    /// All instances.
+    pub instances: Vec<InstanceRecord>,
+    /// Per-app extraction facts.
+    pub apps: Vec<AppExtraction>,
+    /// Metadata index (the ElasticSearch stand-in).
+    pub index: Index,
+    /// Fig. 6 layer composition.
+    pub composition: LayerComposition,
+}
+
+impl PipelineReport {
+    /// Model record by checksum.
+    pub fn model(&self, checksum: &str) -> Option<&ModelRecord> {
+        self.models.iter().find(|m| m.checksum == checksum)
+    }
+
+    /// Instance count per framework (§4.3 / Fig. 4).
+    pub fn instances_per_framework(&self) -> BTreeMap<Framework, usize> {
+        let mut out = BTreeMap::new();
+        for inst in &self.instances {
+            if let Some(m) = self.model(&inst.checksum) {
+                *out.entry(m.framework).or_default() += 1;
+            }
+        }
+        out
+    }
+
+    /// Instance count per (category, framework) for Fig. 4.
+    pub fn instances_per_category_framework(&self) -> BTreeMap<(String, Framework), usize> {
+        let mut out = BTreeMap::new();
+        for inst in &self.instances {
+            if let Some(m) = self.model(&inst.checksum) {
+                *out.entry((inst.category.clone(), m.framework)).or_default() += 1;
+            }
+        }
+        out
+    }
+}
+
+/// The pipeline runner.
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Create a pipeline.
+    pub fn new(config: PipelineConfig) -> Pipeline {
+        Pipeline { config }
+    }
+
+    /// Run end to end: corpus → TCP store → crawl → extract → analyse.
+    pub fn run(&self) -> Result<PipelineReport> {
+        let corpus = generate(self.config.scale, self.config.snapshot, self.config.seed);
+        let server = StoreServer::start(corpus)?;
+        let mut crawler = Crawler::connect(server.addr(), self.config.crawler.clone())?;
+        let crawled = crawler.crawl_all()?;
+
+        // §4.2 probe: re-download a sample of ML-app APKs with a
+        // three-generations-older device profile and compare bytes.
+        let device_profile_invariant = if self.config.probe_device_profiles {
+            let mut old_cfg = self.config.crawler.clone();
+            old_cfg.device_profile = "SM-G935F".into(); // Galaxy S7 edge
+            old_cfg.user_agent = "gaugeNN/1.0 (Android 8; SM-G935F)".into();
+            let mut old_crawler = Crawler::connect(server.addr(), old_cfg)?;
+            let mut invariant = true;
+            for app in crawled.iter().take(20) {
+                let again = old_crawler.download_apk(&app.meta.package)?;
+                if again != app.apk {
+                    invariant = false;
+                    break;
+                }
+            }
+            Some(invariant)
+        } else {
+            None
+        };
+
+        // Offline stage.
+        let mut apps = Vec::with_capacity(crawled.len());
+        let mut models: Vec<ModelRecord> = Vec::new();
+        let mut by_checksum: BTreeMap<String, usize> = BTreeMap::new();
+        let mut model_apps: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();
+        let mut instances = Vec::new();
+        let mut index = Index::new();
+        let mut composition = LayerComposition::default();
+        let mut failed_candidates = 0usize;
+        let mut models_outside_apk = 0usize;
+
+        for app in &crawled {
+            let extraction = extract_app(app)?;
+            failed_candidates += extraction.failed_candidates;
+            models_outside_apk += extraction.models_outside_apk();
+            index.insert(doc([
+                ("package", app.meta.package.as_str().into()),
+                ("category", app.meta.category.as_str().into()),
+                ("downloads", app.meta.downloads.into()),
+                ("rating", (app.meta.rating as f64).into()),
+                ("is_ml", extraction.is_ml_app().into()),
+                ("has_models", (!extraction.models.is_empty()).into()),
+                ("uses_cloud", (!extraction.cloud.is_empty()).into()),
+                ("uses_nnapi", extraction.uses_nnapi.into()),
+            ]));
+            for found in &extraction.models {
+                let checksum = model_checksum(&found.files);
+                instances.push(InstanceRecord {
+                    app: extraction.package.clone(),
+                    category: extraction.category.clone(),
+                    path: found.files[0].0.clone(),
+                    checksum: checksum.clone(),
+                });
+                model_apps
+                    .entry(checksum.clone())
+                    .or_default()
+                    .insert(extraction.package.clone());
+                if by_checksum.contains_key(&checksum) {
+                    continue;
+                }
+                // First sighting: decode and analyse once. A file can pass
+                // the cheap signature probe yet still be undecodable (a
+                // truncated or corrupted body); such models drop out of
+                // the benchmarkable set like the paper's obfuscated tail,
+                // they do not abort the crawl.
+                let graph = match gaugenn_modelfmt::decode(found.framework, &found.files) {
+                    Ok(g) => g,
+                    Err(_) => {
+                        failed_candidates += 1;
+                        instances.pop();
+                        continue;
+                    }
+                };
+                let trace =
+                    trace_graph(&graph).map_err(|e| CoreError::Other(format!("trace: {e}")))?;
+                let classification = classify_graph(&graph);
+                if let Some(c) = classification {
+                    composition.add(c.task.modality(), &graph);
+                }
+                let mut layer_families = BTreeMap::new();
+                for n in &graph.nodes {
+                    if !matches!(n.kind, gaugenn_dnn::graph::LayerKind::Input { .. }) {
+                        *layer_families
+                            .entry(n.kind.family().to_string())
+                            .or_default() += 1;
+                    }
+                }
+                by_checksum.insert(checksum.clone(), models.len());
+                models.push(ModelRecord {
+                    checksum,
+                    name: graph.name.clone(),
+                    framework: found.framework,
+                    size_bytes: found.files.iter().map(|(_, b)| b.len()).sum(),
+                    trace,
+                    classification,
+                    optim: inspect(&graph),
+                    layers: layer_checksums(&graph),
+                    layer_families,
+                    app_count: 0,
+                });
+            }
+            apps.push(extraction);
+        }
+        for m in &mut models {
+            m.app_count = model_apps.get(&m.checksum).map_or(0, |s| s.len());
+        }
+
+        let dataset = DatasetSummary {
+            snapshot: self.config.snapshot.label(),
+            total_apps: apps.len(),
+            ml_apps: apps.iter().filter(|a| a.is_ml_app()).count(),
+            benchmarkable_apps: apps.iter().filter(|a| !a.models.is_empty()).count(),
+            total_models: instances.len(),
+            unique_models: models.len(),
+            failed_candidates,
+            models_outside_apk,
+            cloud_apps: apps.iter().filter(|a| !a.cloud.is_empty()).count(),
+            nnapi_apps: apps.iter().filter(|a| a.uses_nnapi).count(),
+            xnnpack_apps: apps.iter().filter(|a| a.uses_xnnpack).count(),
+            snpe_apps: apps.iter().filter(|a| a.uses_snpe).count(),
+            on_device_training_apps: apps
+                .iter()
+                .filter(|a| a.uses_on_device_training)
+                .count(),
+            device_profile_invariant,
+        };
+
+        Ok(PipelineReport {
+            snapshot: self.config.snapshot,
+            scale: self.config.scale,
+            seed: self.config.seed,
+            dataset,
+            models,
+            instances,
+            apps,
+            index,
+            composition,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_tiny() -> PipelineReport {
+        Pipeline::new(PipelineConfig::tiny(Snapshot::Y2021, 7))
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn tiny_pipeline_end_to_end() {
+        let r = run_tiny();
+        assert_eq!(r.dataset.total_apps, 52);
+        assert_eq!(r.dataset.ml_apps, 11);
+        assert_eq!(r.dataset.benchmarkable_apps, 10);
+        assert!(r.dataset.total_models >= 10);
+        assert!(r.dataset.unique_models <= r.dataset.total_models);
+        assert!(r.dataset.failed_candidates > 0, "decoys + obfuscated models");
+        assert_eq!(r.dataset.models_outside_apk, 0, "the §4.2 finding");
+        assert_eq!(r.dataset.cloud_apps, 7);
+        assert_eq!(r.dataset.device_profile_invariant, Some(true));
+        assert_eq!(r.index.len(), 52);
+    }
+
+    #[test]
+    fn unique_models_have_full_analyses() {
+        let r = run_tiny();
+        for m in &r.models {
+            assert_eq!(m.checksum.len(), 32);
+            assert!(m.trace.total_flops > 0, "{}", m.name);
+            assert!(m.size_bytes > 0);
+            assert!(m.app_count >= 1);
+            assert!(!m.layers.is_empty());
+            assert!(!m.layer_families.is_empty());
+        }
+        // Most models classify (paper: 91.9 %).
+        let classified = r.models.iter().filter(|m| m.classification.is_some()).count();
+        assert!(
+            classified as f64 / r.models.len() as f64 > 0.8,
+            "{classified}/{}",
+            r.models.len()
+        );
+    }
+
+    #[test]
+    fn instances_link_to_models() {
+        let r = run_tiny();
+        for inst in &r.instances {
+            assert!(r.model(&inst.checksum).is_some(), "{}", inst.path);
+        }
+        let per_fw = r.instances_per_framework();
+        let total: usize = per_fw.values().sum();
+        assert_eq!(total, r.instances.len());
+        assert!(per_fw.contains_key(&Framework::TfLite));
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let a = run_tiny();
+        let b = run_tiny();
+        assert_eq!(a.dataset, b.dataset);
+        let sums_a: Vec<&str> = a.models.iter().map(|m| m.checksum.as_str()).collect();
+        let sums_b: Vec<&str> = b.models.iter().map(|m| m.checksum.as_str()).collect();
+        assert_eq!(sums_a, sums_b);
+    }
+}

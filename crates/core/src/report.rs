@@ -1,0 +1,143 @@
+//! Plain-text table rendering for the experiment reports.
+//!
+//! Every experiment prints paper-style rows; this module provides an
+//! aligned-column formatter so the `repro` binary's output is readable
+//! next to the original tables.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: vec![],
+        }
+    }
+
+    /// Append a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                if i + 1 < cols {
+                    line.extend(std::iter::repeat_n(' ', pad));
+                }
+            }
+            line
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a count with a percentage of a total, paper-style: `318 (19.1%)`.
+pub fn count_pct(count: usize, total: usize) -> String {
+    if total == 0 {
+        format!("{count}")
+    } else {
+        format!("{count} ({:.1}%)", 100.0 * count as f64 / total as f64)
+    }
+}
+
+/// Format engineering-notation FLOPs: `12.3M`, `1.2G`.
+pub fn eng(value: f64) -> String {
+    let abs = value.abs();
+    if abs >= 1e9 {
+        format!("{:.2}G", value / 1e9)
+    } else if abs >= 1e6 {
+        format!("{:.2}M", value / 1e6)
+    } else if abs >= 1e3 {
+        format!("{:.2}k", value / 1e3)
+    } else {
+        format!("{value:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(["Device", "Latency"]);
+        t.row(["A20", "123.4"]);
+        t.row(["Q888", "35.0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Device"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "Latency" starts at the same offset everywhere.
+        let col = lines[0].find("Latency").unwrap();
+        assert_eq!(lines[2].find("123.4"), Some(col));
+        assert_eq!(lines[3].find("35.0"), Some(col));
+    }
+
+    #[test]
+    fn rows_resized_to_header() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3", "4"]);
+        assert_eq!(t.len(), 2);
+        assert!(t.render().lines().count() == 4);
+    }
+
+    #[test]
+    fn count_pct_formats() {
+        assert_eq!(count_pct(318, 1666), "318 (19.1%)");
+        assert_eq!(count_pct(5, 0), "5");
+    }
+
+    #[test]
+    fn eng_notation() {
+        assert_eq!(eng(1_500_000_000.0), "1.50G");
+        assert_eq!(eng(12_300_000.0), "12.30M");
+        assert_eq!(eng(1_500.0), "1.50k");
+        assert_eq!(eng(12.0), "12.00");
+    }
+}

@@ -1,0 +1,1028 @@
+//! Reference executor.
+//!
+//! A deliberately simple, allocation-per-layer interpreter that computes the
+//! true forward pass of a [`Graph`]. The benchmark harness uses it so that a
+//! "benchmark inference" really executes the model (the paper's harness runs
+//! native TFLite/caffe/ncnn interpreters); latency and energy figures come
+//! from the analytic SoC model, not from host wall-clock.
+//!
+//! Correctness over speed: kernels are straightforward loop nests that can be
+//! checked against closed-form expectations in the unit tests.
+
+use crate::graph::{ActKind, BinOp, Graph, LayerKind, Padding, PoolKind, ResizeMode};
+use crate::shape::{conv_out_dim, infer_shapes};
+use crate::tensor::{Shape, Tensor};
+use crate::{DnnError, Result};
+
+/// Executes graphs, reusing inferred shapes across calls.
+#[derive(Debug)]
+pub struct Executor<'g> {
+    graph: &'g Graph,
+    shapes: Vec<Shape>,
+}
+
+impl<'g> Executor<'g> {
+    /// Prepare an executor for `graph`, validating it and inferring shapes.
+    pub fn new(graph: &'g Graph) -> Result<Self> {
+        graph.validate()?;
+        let shapes = infer_shapes(graph)?;
+        Ok(Executor { graph, shapes })
+    }
+
+    /// Shape of each node's output at batch 1.
+    pub fn shapes(&self) -> &[Shape] {
+        &self.shapes
+    }
+
+    /// Run one forward pass. `inputs` must provide one tensor per `Input`
+    /// node, in graph order; all batch dims must agree.
+    pub fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        let input_ids = self.graph.input_ids();
+        if inputs.len() != input_ids.len() {
+            return Err(DnnError::BadInput(format!(
+                "graph has {} inputs, got {}",
+                input_ids.len(),
+                inputs.len()
+            )));
+        }
+        let batch = inputs.first().map_or(1, |t| t.shape.batch());
+        let mut values: Vec<Option<Tensor>> = vec![None; self.graph.nodes.len()];
+        let mut next_input = 0usize;
+        for (id, node) in self.graph.nodes.iter().enumerate() {
+            let out = match &node.kind {
+                LayerKind::Input { shape, .. } => {
+                    let given = &inputs[next_input];
+                    next_input += 1;
+                    let want = shape.with_batch(batch);
+                    if given.shape != want {
+                        return Err(DnnError::BadInput(format!(
+                            "input {next_input} expects {want}, got {}",
+                            given.shape
+                        )));
+                    }
+                    given.clone()
+                }
+                kind => {
+                    let ins: Vec<&Tensor> = node
+                        .inputs
+                        .iter()
+                        .map(|&i| values[i].as_ref().expect("topological order"))
+                        .collect();
+                    let out_shape = self.shapes[id].with_batch(batch);
+                    eval(kind, node, &ins, out_shape)?
+                }
+            };
+            values[id] = Some(out);
+        }
+        Ok(self
+            .graph
+            .outputs
+            .iter()
+            .map(|&o| values[o].clone().expect("outputs computed"))
+            .collect())
+    }
+
+    /// Convenience: run with deterministic random inputs of the declared
+    /// shapes (what the paper's benchmark does) and return the outputs.
+    pub fn run_random(&self, batch: usize, seed: u64) -> Result<Vec<Tensor>> {
+        let inputs: Vec<Tensor> = self
+            .graph
+            .input_ids()
+            .iter()
+            .enumerate()
+            .map(|(k, &id)| {
+                let LayerKind::Input { shape, .. } = &self.graph.nodes[id].kind else {
+                    unreachable!("input_ids only returns Input nodes")
+                };
+                Tensor::random_like(shape.with_batch(batch), seed.wrapping_add(k as u64))
+            })
+            .collect();
+        self.run(&inputs)
+    }
+}
+
+fn eval(kind: &LayerKind, node: &crate::graph::Node, ins: &[&Tensor], out_shape: Shape) -> Result<Tensor> {
+    match kind {
+        LayerKind::Input { .. } => unreachable!("handled by caller"),
+        LayerKind::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        } => conv2d(ins[0], node, *out_channels, *kernel, *stride, *padding),
+        LayerKind::DepthwiseConv2d {
+            kernel,
+            stride,
+            padding,
+        } => depthwise(ins[0], node, *kernel, *stride, *padding),
+        LayerKind::TransposeConv2d {
+            out_channels,
+            kernel,
+            stride,
+        } => transpose_conv(ins[0], node, *out_channels, *kernel, *stride),
+        LayerKind::Dense { units } => dense(ins[0], node, *units),
+        LayerKind::Activation(a) => Ok(map(ins[0], |x| activate(*a, x))),
+        LayerKind::Softmax => Ok(softmax(ins[0])),
+        LayerKind::BatchNorm => batchnorm(ins[0], node),
+        LayerKind::L2Norm => Ok(l2norm(ins[0])),
+        LayerKind::Pool {
+            kind,
+            kernel,
+            stride,
+            padding,
+        } => pool(ins[0], *kind, *kernel, *stride, *padding),
+        LayerKind::GlobalPool(kind) => Ok(global_pool(ins[0], *kind)),
+        LayerKind::Binary(op) => binary(ins[0], ins[1], *op),
+        LayerKind::Concat => Ok(concat(ins, out_shape)),
+        LayerKind::Reshape { .. } => Ok(Tensor {
+            shape: out_shape,
+            data: ins[0].data.clone(),
+        }),
+        LayerKind::Resize { out_h, out_w, mode } => Ok(resize(ins[0], *out_h, *out_w, *mode)),
+        LayerKind::Slice { begin, len } => Ok(slice_channels(ins[0], *begin, *len)),
+        LayerKind::Pad { pad } => Ok(pad_spatial(ins[0], *pad)),
+        LayerKind::Quantize(q) => Ok(map(ins[0], |x| q.dequantize(q.quantize(x)))),
+        LayerKind::Dequantize(_) => Ok(ins[0].clone()),
+        LayerKind::Embedding { vocab, dim } => embedding(ins[0], node, *vocab, *dim),
+        LayerKind::Lstm { units } => lstm(ins[0], node, *units),
+        LayerKind::Gru { units } => gru(ins[0], node, *units),
+        LayerKind::MeanTime => Ok(mean_time(ins[0])),
+    }
+}
+
+#[inline]
+fn activate(a: ActKind, x: f32) -> f32 {
+    match a {
+        ActKind::Relu => x.max(0.0),
+        ActKind::Relu6 => x.clamp(0.0, 6.0),
+        ActKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        ActKind::Tanh => x.tanh(),
+        ActKind::HardSwish => x * (x + 3.0).clamp(0.0, 6.0) / 6.0,
+        ActKind::LeakyRelu => {
+            if x >= 0.0 {
+                x
+            } else {
+                0.01 * x
+            }
+        }
+    }
+}
+
+fn map(t: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    Tensor {
+        shape: t.shape.clone(),
+        data: t.data.iter().map(|&x| f(x)).collect(),
+    }
+}
+
+/// SAME padding offset: how many pixels of the kernel hang off the top/left.
+fn pad_before(input: usize, kernel: usize, stride: usize) -> isize {
+    let out = input.div_ceil(stride);
+    let total = ((out - 1) * stride + kernel).saturating_sub(input);
+    (total / 2) as isize
+}
+
+fn conv2d(
+    x: &Tensor,
+    node: &crate::graph::Node,
+    cout: usize,
+    k: usize,
+    stride: usize,
+    padding: Padding,
+) -> Result<Tensor> {
+    let (n, h, w, cin) = dims4(x)?;
+    let oh = conv_out_dim(h, k, stride, padding);
+    let ow = conv_out_dim(w, k, stride, padding);
+    let weights = weights_f32(node, k * k * cin * cout)?;
+    let bias = bias_f32(node, cout);
+    let (ph, pw) = match padding {
+        Padding::Same => (pad_before(h, k, stride), pad_before(w, k, stride)),
+        Padding::Valid => (0, 0),
+    };
+    let mut out = Tensor::zeros(Shape::nhwc(n, oh, ow, cout));
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for oc in 0..cout {
+                    let mut acc = bias.get(oc).copied().unwrap_or(0.0);
+                    for ky in 0..k {
+                        let iy = oy as isize * stride as isize + ky as isize - ph;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = ox as isize * stride as isize + kx as isize - pw;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            for ic in 0..cin {
+                                // Weight layout: [ky][kx][cin][cout].
+                                let widx = ((ky * k + kx) * cin + ic) * cout + oc;
+                                acc += x.at4(b, iy as usize, ix as usize, ic) * weights[widx];
+                            }
+                        }
+                    }
+                    *out.at4_mut(b, oy, ox, oc) = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn depthwise(
+    x: &Tensor,
+    node: &crate::graph::Node,
+    k: usize,
+    stride: usize,
+    padding: Padding,
+) -> Result<Tensor> {
+    let (n, h, w, c) = dims4(x)?;
+    let oh = conv_out_dim(h, k, stride, padding);
+    let ow = conv_out_dim(w, k, stride, padding);
+    let weights = weights_f32(node, k * k * c)?;
+    let bias = bias_f32(node, c);
+    let (ph, pw) = match padding {
+        Padding::Same => (pad_before(h, k, stride), pad_before(w, k, stride)),
+        Padding::Valid => (0, 0),
+    };
+    let mut out = Tensor::zeros(Shape::nhwc(n, oh, ow, c));
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ch in 0..c {
+                    let mut acc = bias.get(ch).copied().unwrap_or(0.0);
+                    for ky in 0..k {
+                        let iy = oy as isize * stride as isize + ky as isize - ph;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = ox as isize * stride as isize + kx as isize - pw;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let widx = (ky * k + kx) * c + ch;
+                            acc += x.at4(b, iy as usize, ix as usize, ch) * weights[widx];
+                        }
+                    }
+                    *out.at4_mut(b, oy, ox, ch) = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn transpose_conv(
+    x: &Tensor,
+    node: &crate::graph::Node,
+    cout: usize,
+    k: usize,
+    stride: usize,
+) -> Result<Tensor> {
+    let (n, h, w, cin) = dims4(x)?;
+    let (oh, ow) = (h * stride, w * stride);
+    let weights = weights_f32(node, k * k * cin * cout)?;
+    let bias = bias_f32(node, cout);
+    let mut out = Tensor::zeros(Shape::nhwc(n, oh, ow, cout));
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for oc in 0..cout {
+                    *out.at4_mut(b, oy, ox, oc) = bias.get(oc).copied().unwrap_or(0.0);
+                }
+            }
+        }
+        for iy in 0..h {
+            for ix in 0..w {
+                for ky in 0..k {
+                    let oy = iy * stride + ky;
+                    if oy >= oh {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ox = ix * stride + kx;
+                        if ox >= ow {
+                            continue;
+                        }
+                        for ic in 0..cin {
+                            let xv = x.at4(b, iy, ix, ic);
+                            for oc in 0..cout {
+                                let widx = ((ky * k + kx) * cin + ic) * cout + oc;
+                                *out.at4_mut(b, oy, ox, oc) += xv * weights[widx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn dense(x: &Tensor, node: &crate::graph::Node, units: usize) -> Result<Tensor> {
+    let cin = x.shape.channels();
+    let rows = x.shape.elems() / cin;
+    let weights = weights_f32(node, cin * units)?;
+    let bias = bias_f32(node, units);
+    let mut shape = x.shape.0.clone();
+    *shape.last_mut().expect("rank >= 1") = units;
+    let mut out = Tensor::zeros(Shape(shape));
+    for r in 0..rows {
+        for u in 0..units {
+            let mut acc = bias.get(u).copied().unwrap_or(0.0);
+            for i in 0..cin {
+                // Weight layout: [cin][units].
+                acc += x.data[r * cin + i] * weights[i * units + u];
+            }
+            out.data[r * units + u] = acc;
+        }
+    }
+    Ok(out)
+}
+
+fn batchnorm(x: &Tensor, node: &crate::graph::Node) -> Result<Tensor> {
+    let c = x.shape.channels();
+    let gamma = weights_f32(node, c)?;
+    let beta = bias_f32(node, c);
+    let mut out = x.clone();
+    for (i, v) in out.data.iter_mut().enumerate() {
+        let ch = i % c;
+        *v = *v * gamma[ch] + beta.get(ch).copied().unwrap_or(0.0);
+    }
+    Ok(out)
+}
+
+fn softmax(x: &Tensor) -> Tensor {
+    let c = x.shape.channels().max(1);
+    let rows = x.shape.elems() / c;
+    let mut out = x.clone();
+    for r in 0..rows {
+        let row = &mut out.data[r * c..(r + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - m).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+fn l2norm(x: &Tensor) -> Tensor {
+    let c = x.shape.channels().max(1);
+    let rows = x.shape.elems() / c;
+    let mut out = x.clone();
+    for r in 0..rows {
+        let row = &mut out.data[r * c..(r + 1) * c];
+        let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+        for v in row.iter_mut() {
+            *v /= norm;
+        }
+    }
+    out
+}
+
+fn pool(x: &Tensor, kind: PoolKind, k: usize, stride: usize, padding: Padding) -> Result<Tensor> {
+    let (n, h, w, c) = dims4(x)?;
+    let oh = conv_out_dim(h, k, stride, padding);
+    let ow = conv_out_dim(w, k, stride, padding);
+    let (ph, pw) = match padding {
+        Padding::Same => (pad_before(h, k, stride), pad_before(w, k, stride)),
+        Padding::Valid => (0, 0),
+    };
+    let mut out = Tensor::zeros(Shape::nhwc(n, oh, ow, c));
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ch in 0..c {
+                    let mut acc = match kind {
+                        PoolKind::Max => f32::NEG_INFINITY,
+                        PoolKind::Avg => 0.0,
+                    };
+                    let mut count = 0usize;
+                    for ky in 0..k {
+                        let iy = oy as isize * stride as isize + ky as isize - ph;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = ox as isize * stride as isize + kx as isize - pw;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let v = x.at4(b, iy as usize, ix as usize, ch);
+                            match kind {
+                                PoolKind::Max => acc = acc.max(v),
+                                PoolKind::Avg => acc += v,
+                            }
+                            count += 1;
+                        }
+                    }
+                    *out.at4_mut(b, oy, ox, ch) = match kind {
+                        PoolKind::Max => acc,
+                        PoolKind::Avg => acc / count.max(1) as f32,
+                    };
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn global_pool(x: &Tensor, kind: PoolKind) -> Tensor {
+    let (n, h, w, c) = (
+        x.shape.0[0],
+        x.shape.0[1],
+        x.shape.0[2],
+        x.shape.0[3],
+    );
+    let mut out = Tensor::zeros(Shape::nhwc(n, 1, 1, c));
+    for b in 0..n {
+        for ch in 0..c {
+            let mut acc = match kind {
+                PoolKind::Max => f32::NEG_INFINITY,
+                PoolKind::Avg => 0.0,
+            };
+            for y in 0..h {
+                for xx in 0..w {
+                    let v = x.at4(b, y, xx, ch);
+                    match kind {
+                        PoolKind::Max => acc = acc.max(v),
+                        PoolKind::Avg => acc += v,
+                    }
+                }
+            }
+            *out.at4_mut(b, 0, 0, ch) = match kind {
+                PoolKind::Max => acc,
+                PoolKind::Avg => acc / (h * w) as f32,
+            };
+        }
+    }
+    out
+}
+
+fn binary(a: &Tensor, b: &Tensor, op: BinOp) -> Result<Tensor> {
+    if a.shape != b.shape {
+        return Err(DnnError::BadInput(format!(
+            "binary shape mismatch {} vs {}",
+            a.shape, b.shape
+        )));
+    }
+    let data = a
+        .data
+        .iter()
+        .zip(&b.data)
+        .map(|(&x, &y)| match op {
+            BinOp::Add => x + y,
+            BinOp::Mul => x * y,
+            BinOp::Sub => x - y,
+        })
+        .collect();
+    Ok(Tensor {
+        shape: a.shape.clone(),
+        data,
+    })
+}
+
+fn concat(ins: &[&Tensor], out_shape: Shape) -> Tensor {
+    let rows = out_shape.elems() / out_shape.channels();
+    let mut out = Tensor::zeros(out_shape);
+    let c_out = out.shape.channels();
+    for r in 0..rows {
+        let mut offset = 0usize;
+        for t in ins {
+            let c = t.shape.channels();
+            out.data[r * c_out + offset..r * c_out + offset + c]
+                .copy_from_slice(&t.data[r * c..(r + 1) * c]);
+            offset += c;
+        }
+    }
+    out
+}
+
+fn resize(x: &Tensor, oh: usize, ow: usize, mode: ResizeMode) -> Tensor {
+    let (n, h, w, c) = (
+        x.shape.0[0],
+        x.shape.0[1],
+        x.shape.0[2],
+        x.shape.0[3],
+    );
+    let mut out = Tensor::zeros(Shape::nhwc(n, oh, ow, c));
+    let sy = h as f32 / oh as f32;
+    let sx = w as f32 / ow as f32;
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for ch in 0..c {
+                    let v = match mode {
+                        ResizeMode::Nearest => {
+                            let iy = ((oy as f32 + 0.5) * sy - 0.5).round().clamp(0.0, (h - 1) as f32)
+                                as usize;
+                            let ix = ((ox as f32 + 0.5) * sx - 0.5).round().clamp(0.0, (w - 1) as f32)
+                                as usize;
+                            x.at4(b, iy, ix, ch)
+                        }
+                        ResizeMode::Bilinear => {
+                            let fy = ((oy as f32 + 0.5) * sy - 0.5).clamp(0.0, (h - 1) as f32);
+                            let fx = ((ox as f32 + 0.5) * sx - 0.5).clamp(0.0, (w - 1) as f32);
+                            let (y0, x0) = (fy.floor() as usize, fx.floor() as usize);
+                            let (y1, x1) = ((y0 + 1).min(h - 1), (x0 + 1).min(w - 1));
+                            let (dy, dx) = (fy - y0 as f32, fx - x0 as f32);
+                            let v00 = x.at4(b, y0, x0, ch);
+                            let v01 = x.at4(b, y0, x1, ch);
+                            let v10 = x.at4(b, y1, x0, ch);
+                            let v11 = x.at4(b, y1, x1, ch);
+                            v00 * (1.0 - dy) * (1.0 - dx)
+                                + v01 * (1.0 - dy) * dx
+                                + v10 * dy * (1.0 - dx)
+                                + v11 * dy * dx
+                        }
+                    };
+                    *out.at4_mut(b, oy, ox, ch) = v;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn slice_channels(x: &Tensor, begin: usize, len: usize) -> Tensor {
+    let c = x.shape.channels();
+    let rows = x.shape.elems() / c;
+    let mut shape = x.shape.0.clone();
+    *shape.last_mut().expect("non-empty") = len;
+    let mut out = Tensor::zeros(Shape(shape));
+    for r in 0..rows {
+        out.data[r * len..(r + 1) * len]
+            .copy_from_slice(&x.data[r * c + begin..r * c + begin + len]);
+    }
+    out
+}
+
+fn pad_spatial(x: &Tensor, pad: usize) -> Tensor {
+    let (n, h, w, c) = (
+        x.shape.0[0],
+        x.shape.0[1],
+        x.shape.0[2],
+        x.shape.0[3],
+    );
+    let mut out = Tensor::zeros(Shape::nhwc(n, h + 2 * pad, w + 2 * pad, c));
+    for b in 0..n {
+        for y in 0..h {
+            for xx in 0..w {
+                for ch in 0..c {
+                    *out.at4_mut(b, y + pad, xx + pad, ch) = x.at4(b, y, xx, ch);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn embedding(x: &Tensor, node: &crate::graph::Node, vocab: usize, dim: usize) -> Result<Tensor> {
+    let weights = weights_f32(node, vocab * dim)?;
+    let (n, t) = (x.shape.dim(0), x.shape.dim(1));
+    let mut out = Tensor::zeros(Shape(vec![n, t, dim]));
+    for i in 0..n * t {
+        let id = (x.data[i].max(0.0) as usize).min(vocab - 1);
+        out.data[i * dim..(i + 1) * dim].copy_from_slice(&weights[id * dim..(id + 1) * dim]);
+    }
+    Ok(out)
+}
+
+/// LSTM weight layout: 4 gates × [(cin + units + 1) × units], gate order
+/// i, f, g, o; the `+1` row is the bias.
+fn lstm(x: &Tensor, node: &crate::graph::Node, units: usize) -> Result<Tensor> {
+    let (n, t, cin) = (x.shape.dim(0), x.shape.dim(1), x.shape.dim(2));
+    let gate_len = (cin + units + 1) * units;
+    let weights = weights_f32(node, 4 * gate_len)?;
+    let mut out = Tensor::zeros(Shape(vec![n, t, units]));
+    for b in 0..n {
+        let mut h = vec![0.0f32; units];
+        let mut c = vec![0.0f32; units];
+        for step in 0..t {
+            let xt = &x.data[(b * t + step) * cin..(b * t + step + 1) * cin];
+            let mut gates = [vec![0.0f32; units], vec![0.0; units], vec![0.0; units], vec![0.0; units]];
+            for (g, gate) in gates.iter_mut().enumerate() {
+                let wg = &weights[g * gate_len..(g + 1) * gate_len];
+                for u in 0..units {
+                    let mut acc = wg[(cin + units) * units + u]; // bias row
+                    for i in 0..cin {
+                        acc += xt[i] * wg[i * units + u];
+                    }
+                    for j in 0..units {
+                        acc += h[j] * wg[(cin + j) * units + u];
+                    }
+                    gate[u] = acc;
+                }
+            }
+            for u in 0..units {
+                let i_g = activate(ActKind::Sigmoid, gates[0][u]);
+                let f_g = activate(ActKind::Sigmoid, gates[1][u]);
+                let g_g = gates[2][u].tanh();
+                let o_g = activate(ActKind::Sigmoid, gates[3][u]);
+                c[u] = f_g * c[u] + i_g * g_g;
+                h[u] = o_g * c[u].tanh();
+            }
+            out.data[(b * t + step) * units..(b * t + step + 1) * units].copy_from_slice(&h);
+        }
+    }
+    Ok(out)
+}
+
+/// GRU weight layout: 3 gates × [(cin + units + 1) × units], gate order
+/// z, r, n.
+fn gru(x: &Tensor, node: &crate::graph::Node, units: usize) -> Result<Tensor> {
+    let (n, t, cin) = (x.shape.dim(0), x.shape.dim(1), x.shape.dim(2));
+    let gate_len = (cin + units + 1) * units;
+    let weights = weights_f32(node, 3 * gate_len)?;
+    let mut out = Tensor::zeros(Shape(vec![n, t, units]));
+    for b in 0..n {
+        let mut h = vec![0.0f32; units];
+        for step in 0..t {
+            let xt = &x.data[(b * t + step) * cin..(b * t + step + 1) * cin];
+            let gate = |g: usize, u: usize, hvec: &[f32]| -> f32 {
+                let wg = &weights[g * gate_len..(g + 1) * gate_len];
+                let mut acc = wg[(cin + units) * units + u];
+                for i in 0..cin {
+                    acc += xt[i] * wg[i * units + u];
+                }
+                for j in 0..units {
+                    acc += hvec[j] * wg[(cin + j) * units + u];
+                }
+                acc
+            };
+            let mut newh = vec![0.0f32; units];
+            let r: Vec<f32> = (0..units)
+                .map(|u| activate(ActKind::Sigmoid, gate(1, u, &h)))
+                .collect();
+            let rh: Vec<f32> = h.iter().zip(&r).map(|(&hv, &rv)| hv * rv).collect();
+            for (u, nh) in newh.iter_mut().enumerate() {
+                let z = activate(ActKind::Sigmoid, gate(0, u, &h));
+                let cand = gate(2, u, &rh).tanh();
+                *nh = (1.0 - z) * cand + z * h[u];
+            }
+            h = newh;
+            out.data[(b * t + step) * units..(b * t + step + 1) * units].copy_from_slice(&h);
+        }
+    }
+    Ok(out)
+}
+
+fn mean_time(x: &Tensor) -> Tensor {
+    let (n, t, c) = (x.shape.dim(0), x.shape.dim(1), x.shape.dim(2));
+    let mut out = Tensor::zeros(Shape::vec2(n, c));
+    for b in 0..n {
+        for step in 0..t {
+            for ch in 0..c {
+                out.data[b * c + ch] += x.data[(b * t + step) * c + ch];
+            }
+        }
+        for ch in 0..c {
+            out.data[b * c + ch] /= t as f32;
+        }
+    }
+    out
+}
+
+fn dims4(x: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    if x.shape.rank() != 4 {
+        return Err(DnnError::BadInput(format!(
+            "expected rank-4 tensor, got {}",
+            x.shape
+        )));
+    }
+    Ok((x.shape.0[0], x.shape.0[1], x.shape.0[2], x.shape.0[3]))
+}
+
+fn weights_f32(node: &crate::graph::Node, want: usize) -> Result<Vec<f32>> {
+    let w = node.weights.as_ref().ok_or(DnnError::BadWeights {
+        node: usize::MAX,
+        reason: format!("layer '{}' missing weights", node.name),
+    })?;
+    if w.len() != want {
+        return Err(DnnError::BadWeights {
+            node: usize::MAX,
+            reason: format!("layer '{}' wants {want} weights, has {}", node.name, w.len()),
+        });
+    }
+    Ok(w.to_f32())
+}
+
+fn bias_f32(node: &crate::graph::Node, _want: usize) -> Vec<f32> {
+    node.bias.as_ref().map(|b| b.to_f32()).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::tensor::{DType, WeightData};
+
+    fn wd(v: Vec<f32>) -> Option<WeightData> {
+        Some(WeightData::F32(v))
+    }
+
+    #[test]
+    fn identity_conv_passes_through() {
+        // 1x1 conv with identity weights over 2 channels.
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::nhwc(1, 2, 2, 2), DType::F32);
+        // weight layout [ky][kx][cin][cout] = [1][1][2][2] identity.
+        let c = b.layer(
+            "c",
+            LayerKind::Conv2d {
+                out_channels: 2,
+                kernel: 1,
+                stride: 1,
+                padding: Padding::Valid,
+            },
+            &[i],
+            wd(vec![1.0, 0.0, 0.0, 1.0]),
+            None,
+        );
+        let g = b.finish(vec![c]).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let input = Tensor::from_vec(
+            Shape::nhwc(1, 2, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        )
+        .unwrap();
+        let out = ex.run(std::slice::from_ref(&input)).unwrap();
+        assert_eq!(out[0].data, input.data);
+    }
+
+    #[test]
+    fn conv_known_value() {
+        // 2x2 input, 2x2 kernel VALID, all-ones: output = sum of inputs.
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::nhwc(1, 2, 2, 1), DType::F32);
+        let c = b.layer(
+            "c",
+            LayerKind::Conv2d {
+                out_channels: 1,
+                kernel: 2,
+                stride: 1,
+                padding: Padding::Valid,
+            },
+            &[i],
+            wd(vec![1.0; 4]),
+            wd(vec![0.5]),
+        );
+        let g = b.finish(vec![c]).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let input =
+            Tensor::from_vec(Shape::nhwc(1, 2, 2, 1), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = ex.run(&[input]).unwrap();
+        assert_eq!(out[0].data, vec![10.5]);
+    }
+
+    #[test]
+    fn depthwise_known_value() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::nhwc(1, 2, 2, 2), DType::F32);
+        let c = b.layer(
+            "dw",
+            LayerKind::DepthwiseConv2d {
+                kernel: 2,
+                stride: 1,
+                padding: Padding::Valid,
+            },
+            &[i],
+            // layout [ky][kx][c]: channel 0 gets weight 1, channel 1 weight 2.
+            wd(vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0]),
+            None,
+        );
+        let g = b.finish(vec![c]).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let input = Tensor::from_vec(
+            Shape::nhwc(1, 2, 2, 2),
+            vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let out = ex.run(&[input]).unwrap();
+        assert_eq!(out[0].data, vec![4.0, 8.0]);
+    }
+
+    #[test]
+    fn dense_known_value() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::vec2(1, 2), DType::F32);
+        // W = [[1,2],[3,4]] (layout [cin][units]), bias [10, 20].
+        let d = b.layer(
+            "fc",
+            LayerKind::Dense { units: 2 },
+            &[i],
+            wd(vec![1.0, 2.0, 3.0, 4.0]),
+            wd(vec![10.0, 20.0]),
+        );
+        let g = b.finish(vec![d]).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let out = ex
+            .run(&[Tensor::from_vec(Shape::vec2(1, 2), vec![1.0, 1.0]).unwrap()])
+            .unwrap();
+        assert_eq!(out[0].data, vec![14.0, 26.0]);
+    }
+
+    #[test]
+    fn softmax_normalises() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::vec2(2, 3), DType::F32);
+        let s = b.op("sm", LayerKind::Softmax, &[i]);
+        let g = b.finish(vec![s]).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let out = ex
+            .run(&[
+                Tensor::from_vec(Shape::vec2(2, 3), vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0]).unwrap()
+            ])
+            .unwrap();
+        let row0: f32 = out[0].data[0..3].iter().sum();
+        let row1: f32 = out[0].data[3..6].iter().sum();
+        assert!((row0 - 1.0).abs() < 1e-6);
+        assert!((row1 - 1.0).abs() < 1e-6);
+        assert!((out[0].data[3] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_pool_known_value() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::nhwc(1, 2, 2, 1), DType::F32);
+        let p = b.op(
+            "p",
+            LayerKind::Pool {
+                kind: PoolKind::Max,
+                kernel: 2,
+                stride: 2,
+                padding: Padding::Valid,
+            },
+            &[i],
+        );
+        let g = b.finish(vec![p]).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let out = ex
+            .run(&[Tensor::from_vec(Shape::nhwc(1, 2, 2, 1), vec![1.0, 7.0, 3.0, 4.0]).unwrap()])
+            .unwrap();
+        assert_eq!(out[0].data, vec![7.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_known_value() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::nhwc(1, 2, 2, 1), DType::F32);
+        let p = b.op("gap", LayerKind::GlobalPool(PoolKind::Avg), &[i]);
+        let g = b.finish(vec![p]).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let out = ex
+            .run(&[Tensor::from_vec(Shape::nhwc(1, 2, 2, 1), vec![1.0, 2.0, 3.0, 6.0]).unwrap()])
+            .unwrap();
+        assert_eq!(out[0].data, vec![3.0]);
+    }
+
+    #[test]
+    fn residual_add_and_concat() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::nhwc(1, 1, 1, 2), DType::F32);
+        let a = b.op("add", LayerKind::Binary(BinOp::Add), &[i, i]);
+        let cat = b.op("cat", LayerKind::Concat, &[i, a]);
+        let g = b.finish(vec![cat]).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let out = ex
+            .run(&[Tensor::from_vec(Shape::nhwc(1, 1, 1, 2), vec![1.0, 2.0]).unwrap()])
+            .unwrap();
+        assert_eq!(out[0].data, vec![1.0, 2.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn resize_nearest_doubles() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::nhwc(1, 1, 2, 1), DType::F32);
+        let r = b.op(
+            "r",
+            LayerKind::Resize {
+                out_h: 1,
+                out_w: 4,
+                mode: ResizeMode::Nearest,
+            },
+            &[i],
+        );
+        let g = b.finish(vec![r]).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let out = ex
+            .run(&[Tensor::from_vec(Shape::nhwc(1, 1, 2, 1), vec![1.0, 2.0]).unwrap()])
+            .unwrap();
+        assert_eq!(out[0].data, vec![1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn lstm_output_bounded_and_deterministic() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape(vec![1, 4, 3]), DType::F32);
+        let units = 5;
+        let gate = (3 + units + 1) * units;
+        let l = b.layer(
+            "lstm",
+            LayerKind::Lstm { units },
+            &[i],
+            wd((0..4 * gate).map(|k| ((k % 7) as f32 - 3.0) * 0.1).collect()),
+            None,
+        );
+        let g = b.finish(vec![l]).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let o1 = ex.run_random(1, 9).unwrap();
+        let o2 = ex.run_random(1, 9).unwrap();
+        assert_eq!(o1, o2);
+        assert!(o1[0].data.iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gru_runs_and_is_bounded() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape(vec![2, 3, 4]), DType::F32);
+        let units = 6;
+        let gate = (4 + units + 1) * units;
+        let l = b.layer(
+            "gru",
+            LayerKind::Gru { units },
+            &[i],
+            wd((0..3 * gate).map(|k| ((k % 5) as f32 - 2.0) * 0.2).collect()),
+            None,
+        );
+        let m = b.op("mean", LayerKind::MeanTime, &[l]);
+        let g = b.finish(vec![m]).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let out = ex.run_random(2, 1).unwrap();
+        assert_eq!(out[0].shape, Shape::vec2(2, 6));
+        assert!(out[0].data.iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn batch_execution_matches_per_sample() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::nhwc(1, 4, 4, 2), DType::F32);
+        let c = b.layer(
+            "c",
+            LayerKind::Conv2d {
+                out_channels: 3,
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+            },
+            &[i],
+            wd((0..3 * 3 * 2 * 3).map(|k| (k as f32) * 0.01).collect()),
+            wd(vec![0.1, 0.2, 0.3]),
+        );
+        let g = b.finish(vec![c]).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let s0 = Tensor::random_like(Shape::nhwc(1, 4, 4, 2), 5);
+        let s1 = Tensor::random_like(Shape::nhwc(1, 4, 4, 2), 6);
+        let mut both = s0.data.clone();
+        both.extend_from_slice(&s1.data);
+        let batched = Tensor::from_vec(Shape::nhwc(2, 4, 4, 2), both).unwrap();
+        let o_b = ex.run(&[batched]).unwrap();
+        let o0 = ex.run(std::slice::from_ref(&s0)).unwrap();
+        let o1 = ex.run(std::slice::from_ref(&s1)).unwrap();
+        let half = o_b[0].data.len() / 2;
+        assert_eq!(&o_b[0].data[..half], &o0[0].data[..]);
+        assert_eq!(&o_b[0].data[half..], &o1[0].data[..]);
+    }
+
+    #[test]
+    fn wrong_input_shape_rejected() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::vec2(1, 4), DType::F32);
+        let s = b.op("sm", LayerKind::Softmax, &[i]);
+        let g = b.finish(vec![s]).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let bad = Tensor::zeros(Shape::vec2(1, 5));
+        assert!(ex.run(&[bad]).is_err());
+        assert!(ex.run(&[]).is_err());
+    }
+
+    #[test]
+    fn quantize_roundtrips_activations() {
+        use crate::tensor::QuantParams;
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::vec2(1, 4), DType::F32);
+        let q = b.op(
+            "q",
+            LayerKind::Quantize(QuantParams {
+                scale: 0.1,
+                zero_point: 0,
+            }),
+            &[i],
+        );
+        let g = b.finish(vec![q]).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let out = ex
+            .run(&[Tensor::from_vec(Shape::vec2(1, 4), vec![0.5, -0.52, 0.0, 1.0]).unwrap()])
+            .unwrap();
+        for (o, e) in out[0].data.iter().zip(&[0.5, -0.5, 0.0, 1.0]) {
+            assert!((o - e).abs() < 0.051, "{o} vs {e}");
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Static shape inference.
+//!
+//! Given a validated [`Graph`], [`infer_shapes`] produces the output shape of
+//! every node. Tracing, the executor and the SoC latency model all consume
+//! these shapes.
+
+use crate::graph::{Graph, LayerKind, Padding};
+use crate::tensor::Shape;
+use crate::{DnnError, Result};
+
+/// Spatial output extent of a windowed op.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: Padding) -> usize {
+    match padding {
+        Padding::Same => input.div_ceil(stride),
+        Padding::Valid => {
+            if input < kernel {
+                0
+            } else {
+                (input - kernel) / stride + 1
+            }
+        }
+    }
+}
+
+fn err(node: usize, reason: impl Into<String>) -> DnnError {
+    DnnError::Shape {
+        node,
+        reason: reason.into(),
+    }
+}
+
+fn want_rank(node: usize, s: &Shape, rank: usize, what: &str) -> Result<()> {
+    if s.rank() != rank {
+        Err(err(
+            node,
+            format!("{what} expects rank-{rank} input, got {s}"),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Infer the output shape of every node in topological order.
+///
+/// Returns one shape per node, indexed by [`crate::NodeId`].
+pub fn infer_shapes(graph: &Graph) -> Result<Vec<Shape>> {
+    let mut shapes: Vec<Shape> = Vec::with_capacity(graph.nodes.len());
+    for (id, node) in graph.nodes.iter().enumerate() {
+        let ins: Vec<&Shape> = node.inputs.iter().map(|&i| &shapes[i]).collect();
+        let out = infer_node(id, &node.kind, &ins)?;
+        shapes.push(out);
+    }
+    Ok(shapes)
+}
+
+fn infer_node(id: usize, kind: &LayerKind, ins: &[&Shape]) -> Result<Shape> {
+    match kind {
+        LayerKind::Input { shape, .. } => Ok(shape.clone()),
+        LayerKind::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        } => {
+            let s = ins[0];
+            want_rank(id, s, 4, "conv2d")?;
+            let (h, w, _c) = s.hwc().expect("rank 4");
+            let oh = conv_out_dim(h, *kernel, *stride, *padding);
+            let ow = conv_out_dim(w, *kernel, *stride, *padding);
+            if oh == 0 || ow == 0 {
+                return Err(err(id, format!("conv2d collapses {s} to zero extent")));
+            }
+            Ok(Shape::nhwc(s.batch(), oh, ow, *out_channels))
+        }
+        LayerKind::DepthwiseConv2d {
+            kernel,
+            stride,
+            padding,
+        } => {
+            let s = ins[0];
+            want_rank(id, s, 4, "depthwise_conv2d")?;
+            let (h, w, c) = s.hwc().expect("rank 4");
+            let oh = conv_out_dim(h, *kernel, *stride, *padding);
+            let ow = conv_out_dim(w, *kernel, *stride, *padding);
+            if oh == 0 || ow == 0 {
+                return Err(err(id, "depthwise conv collapses input to zero extent"));
+            }
+            Ok(Shape::nhwc(s.batch(), oh, ow, c))
+        }
+        LayerKind::TransposeConv2d {
+            out_channels,
+            stride,
+            ..
+        } => {
+            let s = ins[0];
+            want_rank(id, s, 4, "transpose_conv2d")?;
+            let (h, w, _) = s.hwc().expect("rank 4");
+            Ok(Shape::nhwc(s.batch(), h * stride, w * stride, *out_channels))
+        }
+        LayerKind::Dense { units } => {
+            let s = ins[0];
+            if s.rank() < 2 {
+                return Err(err(id, format!("dense expects rank >= 2, got {s}")));
+            }
+            let mut d = s.0.clone();
+            *d.last_mut().expect("rank >= 2") = *units;
+            Ok(Shape(d))
+        }
+        LayerKind::Activation(_) | LayerKind::Softmax | LayerKind::BatchNorm | LayerKind::L2Norm => {
+            Ok(ins[0].clone())
+        }
+        LayerKind::Pool {
+            kernel,
+            stride,
+            padding,
+            ..
+        } => {
+            let s = ins[0];
+            want_rank(id, s, 4, "pool")?;
+            let (h, w, c) = s.hwc().expect("rank 4");
+            let oh = conv_out_dim(h, *kernel, *stride, *padding);
+            let ow = conv_out_dim(w, *kernel, *stride, *padding);
+            if oh == 0 || ow == 0 {
+                return Err(err(id, "pool collapses input to zero extent"));
+            }
+            Ok(Shape::nhwc(s.batch(), oh, ow, c))
+        }
+        LayerKind::GlobalPool(_) => {
+            let s = ins[0];
+            want_rank(id, s, 4, "global_pool")?;
+            Ok(Shape::nhwc(s.batch(), 1, 1, s.channels()))
+        }
+        LayerKind::Binary(_) => {
+            let (a, b) = (ins[0], ins[1]);
+            if a != b {
+                return Err(err(id, format!("binary op shape mismatch: {a} vs {b}")));
+            }
+            Ok(a.clone())
+        }
+        LayerKind::Concat => {
+            let first = ins[0];
+            let mut channels = 0usize;
+            for s in ins {
+                if s.rank() != first.rank() || s.0[..s.rank() - 1] != first.0[..first.rank() - 1] {
+                    return Err(err(
+                        id,
+                        format!("concat mismatch: {s} vs {first} (all dims but last must agree)"),
+                    ));
+                }
+                channels += s.channels();
+            }
+            let mut d = first.0.clone();
+            *d.last_mut().expect("non-empty") = channels;
+            Ok(Shape(d))
+        }
+        LayerKind::Reshape { dims } => {
+            let s = ins[0];
+            let want: usize = dims.iter().product();
+            if want != s.elems_per_sample() {
+                return Err(err(
+                    id,
+                    format!(
+                        "reshape target {want} elems != input {} elems",
+                        s.elems_per_sample()
+                    ),
+                ));
+            }
+            let mut d = vec![s.batch()];
+            d.extend_from_slice(dims);
+            Ok(Shape(d))
+        }
+        LayerKind::Resize { out_h, out_w, .. } => {
+            let s = ins[0];
+            want_rank(id, s, 4, "resize")?;
+            Ok(Shape::nhwc(s.batch(), *out_h, *out_w, s.channels()))
+        }
+        LayerKind::Slice { begin, len } => {
+            let s = ins[0];
+            if begin + len > s.channels() {
+                return Err(err(
+                    id,
+                    format!(
+                        "slice [{begin}, {}) out of range for {} channels",
+                        begin + len,
+                        s.channels()
+                    ),
+                ));
+            }
+            let mut d = s.0.clone();
+            *d.last_mut().expect("non-empty") = *len;
+            Ok(Shape(d))
+        }
+        LayerKind::Pad { pad } => {
+            let s = ins[0];
+            want_rank(id, s, 4, "pad")?;
+            let (h, w, c) = s.hwc().expect("rank 4");
+            Ok(Shape::nhwc(s.batch(), h + 2 * pad, w + 2 * pad, c))
+        }
+        LayerKind::Quantize(_) | LayerKind::Dequantize(_) => Ok(ins[0].clone()),
+        LayerKind::Embedding { dim, .. } => {
+            let s = ins[0];
+            want_rank(id, s, 2, "embedding")?;
+            Ok(Shape(vec![s.batch(), s.dim(1), *dim]))
+        }
+        LayerKind::Lstm { units } | LayerKind::Gru { units } => {
+            let s = ins[0];
+            want_rank(id, s, 3, "recurrent")?;
+            Ok(Shape(vec![s.batch(), s.dim(1), *units]))
+        }
+        LayerKind::MeanTime => {
+            let s = ins[0];
+            want_rank(id, s, 3, "mean_time")?;
+            Ok(Shape::vec2(s.batch(), s.channels()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ActKind, BinOp, GraphBuilder, PoolKind};
+    use crate::tensor::{DType, WeightData};
+
+    #[test]
+    fn conv_out_dims() {
+        assert_eq!(conv_out_dim(224, 3, 2, Padding::Same), 112);
+        assert_eq!(conv_out_dim(224, 3, 1, Padding::Same), 224);
+        assert_eq!(conv_out_dim(224, 3, 1, Padding::Valid), 222);
+        assert_eq!(conv_out_dim(5, 3, 2, Padding::Valid), 2);
+        assert_eq!(conv_out_dim(2, 3, 1, Padding::Valid), 0);
+    }
+
+    fn w(n: usize) -> Option<WeightData> {
+        Some(WeightData::F32(vec![0.0; n]))
+    }
+
+    #[test]
+    fn mobilenet_style_stack_shapes() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::nhwc(1, 32, 32, 3), DType::F32);
+        let c = b.layer(
+            "c1",
+            LayerKind::Conv2d {
+                out_channels: 8,
+                kernel: 3,
+                stride: 2,
+                padding: Padding::Same,
+            },
+            &[i],
+            w(3 * 3 * 3 * 8),
+            w(8),
+        );
+        let d = b.layer(
+            "dw",
+            LayerKind::DepthwiseConv2d {
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+            },
+            &[c],
+            w(3 * 3 * 8),
+            w(8),
+        );
+        let a = b.op("relu", LayerKind::Activation(ActKind::Relu6), &[d]);
+        let g = b.op("gap", LayerKind::GlobalPool(PoolKind::Avg), &[a]);
+        let r = b.op(
+            "flat",
+            LayerKind::Reshape { dims: vec![8] },
+            &[g],
+        );
+        let f = b.layer("fc", LayerKind::Dense { units: 10 }, &[r], w(8 * 10), w(10));
+        let s = b.op("sm", LayerKind::Softmax, &[f]);
+        let graph = b.finish(vec![s]).unwrap();
+        let shapes = infer_shapes(&graph).unwrap();
+        assert_eq!(shapes[1], Shape::nhwc(1, 16, 16, 8));
+        assert_eq!(shapes[2], Shape::nhwc(1, 16, 16, 8));
+        assert_eq!(shapes[4], Shape::nhwc(1, 1, 1, 8));
+        assert_eq!(shapes[5], Shape::vec2(1, 8));
+        assert_eq!(shapes[7], Shape::vec2(1, 10));
+    }
+
+    #[test]
+    fn binary_mismatch_rejected() {
+        let mut b = GraphBuilder::new("t");
+        let i1 = b.input("a", Shape::vec2(1, 4), DType::F32);
+        let i2 = b.input("b", Shape::vec2(1, 5), DType::F32);
+        let add = b.op("add", LayerKind::Binary(BinOp::Add), &[i1, i2]);
+        let g = b.finish(vec![add]).unwrap();
+        assert!(infer_shapes(&g).is_err());
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let mut b = GraphBuilder::new("t");
+        let i1 = b.input("a", Shape::nhwc(1, 4, 4, 3), DType::F32);
+        let i2 = b.input("b", Shape::nhwc(1, 4, 4, 5), DType::F32);
+        let c = b.op("cat", LayerKind::Concat, &[i1, i2]);
+        let g = b.finish(vec![c]).unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[2], Shape::nhwc(1, 4, 4, 8));
+    }
+
+    #[test]
+    fn reshape_elem_mismatch_rejected() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("a", Shape::nhwc(1, 2, 2, 3), DType::F32);
+        let r = b.op("r", LayerKind::Reshape { dims: vec![11] }, &[i]);
+        let g = b.finish(vec![r]).unwrap();
+        assert!(infer_shapes(&g).is_err());
+    }
+
+    #[test]
+    fn recurrent_pipeline_shapes() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("tok", Shape::vec2(1, 16), DType::I32);
+        let e = b.layer(
+            "emb",
+            LayerKind::Embedding {
+                vocab: 100,
+                dim: 32,
+            },
+            &[i],
+            w(100 * 32),
+            None,
+        );
+        let l = b.layer(
+            "lstm",
+            LayerKind::Lstm { units: 64 },
+            &[e],
+            w(4 * (32 + 64 + 1) * 64),
+            None,
+        );
+        let m = b.op("mean", LayerKind::MeanTime, &[l]);
+        let g = b.finish(vec![m]).unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[1], Shape(vec![1, 16, 32]));
+        assert_eq!(shapes[2], Shape(vec![1, 16, 64]));
+        assert_eq!(shapes[3], Shape::vec2(1, 64));
+    }
+
+    #[test]
+    fn slice_and_pad_shapes() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("a", Shape::nhwc(1, 4, 4, 8), DType::F32);
+        let s = b.op("s", LayerKind::Slice { begin: 2, len: 3 }, &[i]);
+        let p = b.op("p", LayerKind::Pad { pad: 1 }, &[s]);
+        let g = b.finish(vec![p]).unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[1], Shape::nhwc(1, 4, 4, 3));
+        assert_eq!(shapes[2], Shape::nhwc(1, 6, 6, 3));
+    }
+
+    #[test]
+    fn slice_out_of_range_rejected() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("a", Shape::nhwc(1, 4, 4, 4), DType::F32);
+        let s = b.op("s", LayerKind::Slice { begin: 2, len: 3 }, &[i]);
+        let g = b.finish(vec![s]).unwrap();
+        assert!(infer_shapes(&g).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Task and modality taxonomy (Table 3 of the paper).
+
+/// Input modality of a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Modality {
+    /// Image / video input.
+    Vision,
+    /// Text input.
+    Nlp,
+    /// Audio waveform / spectrogram input.
+    Audio,
+    /// IMU / accelerometer / gyroscope input.
+    Sensor,
+}
+
+impl Modality {
+    /// Display label.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Modality::Vision => "vision",
+            Modality::Nlp => "nlp",
+            Modality::Audio => "audio",
+            Modality::Sensor => "sensor",
+        }
+    }
+
+    /// All modalities in Table 3 order.
+    pub const ALL: [Modality; 4] = [
+        Modality::Vision,
+        Modality::Nlp,
+        Modality::Audio,
+        Modality::Sensor,
+    ];
+}
+
+/// Fine-grained tasks, exactly the label set of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Task {
+    // Vision (1495 models in the paper's corpus)
+    /// Generic object detection (largest class: 788 models, 52.7 %).
+    ObjectDetection,
+    /// Face detection (197, 13.2 %).
+    FaceDetection,
+    /// Contour / landmark detection (192, 12.8 %).
+    ContourDetection,
+    /// OCR / text recognition (185, 12.4 %).
+    TextRecognition,
+    /// Augmented reality (51, 3.4 %).
+    AugmentedReality,
+    /// Semantic segmentation (14, 0.9 %).
+    SemanticSegmentation,
+    /// Object recognition (14, 0.9 %).
+    ObjectRecognition,
+    /// Human pose estimation (8, 0.5 %).
+    PoseEstimation,
+    /// Photo beautification (8, 0.5 %).
+    PhotoBeauty,
+    /// Image classification (7, 0.4 %).
+    ImageClassification,
+    /// Nudity / NSFW detection (5, 0.3 %).
+    NudityDetection,
+    /// Hair reconstruction / recolouring (part of "other" but called out in
+    /// Fig. 7's heaviest models).
+    HairReconstruction,
+    /// Remaining vision tasks (26, 1.7 %).
+    OtherVision,
+    // NLP (17 models)
+    /// Next-word auto-completion (9, 52.9 %).
+    AutoComplete,
+    /// Sentiment prediction (4, 23.5 %).
+    SentimentPrediction,
+    /// Content filtering (2, 11.8 %).
+    ContentFilter,
+    /// Text classification (1, 5.9 %).
+    TextClassification,
+    /// Machine translation (1, 5.9 %).
+    Translation,
+    // Audio (15 models)
+    /// Ambient sound recognition (12, 80 %).
+    SoundRecognition,
+    /// Speech recognition (2, 13.3 %).
+    SpeechRecognition,
+    /// Keyword spotting (1, 6.7 %).
+    KeywordDetection,
+    // Sensor (4 models)
+    /// Movement tracking (3, 75 %).
+    MovementTracking,
+    /// Car-crash detection (1, 25 %).
+    CrashDetection,
+}
+
+impl Task {
+    /// The modality this task belongs to.
+    pub const fn modality(self) -> Modality {
+        use Task::*;
+        match self {
+            ObjectDetection | FaceDetection | ContourDetection | TextRecognition
+            | AugmentedReality | SemanticSegmentation | ObjectRecognition | PoseEstimation
+            | PhotoBeauty | ImageClassification | NudityDetection | HairReconstruction
+            | OtherVision => Modality::Vision,
+            AutoComplete | SentimentPrediction | ContentFilter | TextClassification
+            | Translation => Modality::Nlp,
+            SoundRecognition | SpeechRecognition | KeywordDetection => Modality::Audio,
+            MovementTracking | CrashDetection => Modality::Sensor,
+        }
+    }
+
+    /// Table 3 row label.
+    pub const fn name(self) -> &'static str {
+        use Task::*;
+        match self {
+            ObjectDetection => "object detection",
+            FaceDetection => "face detection",
+            ContourDetection => "contour detection",
+            TextRecognition => "text recognition",
+            AugmentedReality => "augmented reality",
+            SemanticSegmentation => "semantic segmentation",
+            ObjectRecognition => "object recognition",
+            PoseEstimation => "pose estimation",
+            PhotoBeauty => "photo beauty",
+            ImageClassification => "image classification",
+            NudityDetection => "nudity detection",
+            HairReconstruction => "hair reconstruction",
+            OtherVision => "other",
+            AutoComplete => "auto-complete",
+            SentimentPrediction => "sentiment prediction",
+            ContentFilter => "content filter",
+            TextClassification => "text classification",
+            Translation => "translation",
+            SoundRecognition => "sound recognition",
+            SpeechRecognition => "speech recognition",
+            KeywordDetection => "keyword detection",
+            MovementTracking => "movement tracking",
+            CrashDetection => "crash detection",
+        }
+    }
+
+    /// All tasks in Table 3 order.
+    pub const ALL: [Task; 23] = [
+        Task::ObjectDetection,
+        Task::FaceDetection,
+        Task::ContourDetection,
+        Task::TextRecognition,
+        Task::AugmentedReality,
+        Task::SemanticSegmentation,
+        Task::ObjectRecognition,
+        Task::PoseEstimation,
+        Task::PhotoBeauty,
+        Task::ImageClassification,
+        Task::NudityDetection,
+        Task::HairReconstruction,
+        Task::OtherVision,
+        Task::AutoComplete,
+        Task::SentimentPrediction,
+        Task::ContentFilter,
+        Task::TextClassification,
+        Task::Translation,
+        Task::SoundRecognition,
+        Task::SpeechRecognition,
+        Task::KeywordDetection,
+        Task::MovementTracking,
+        Task::CrashDetection,
+    ];
+
+    /// Short token that model names in the wild tend to contain for this
+    /// task (§4.4: "around 67 % having names which hint either the model,
+    /// task at hand or both").
+    pub const fn name_hint(self) -> &'static str {
+        use Task::*;
+        match self {
+            ObjectDetection => "detect",
+            FaceDetection => "face",
+            ContourDetection => "contour",
+            TextRecognition => "ocr",
+            AugmentedReality => "ar",
+            SemanticSegmentation => "segmentation",
+            ObjectRecognition => "recognize",
+            PoseEstimation => "pose",
+            PhotoBeauty => "beauty",
+            ImageClassification => "classifier",
+            NudityDetection => "nsfw",
+            HairReconstruction => "hair",
+            OtherVision => "vision",
+            AutoComplete => "autocomplete",
+            SentimentPrediction => "sentiment",
+            ContentFilter => "filter",
+            TextClassification => "textclass",
+            Translation => "translate",
+            SoundRecognition => "sound",
+            SpeechRecognition => "speech",
+            KeywordDetection => "keyword",
+            MovementTracking => "movement",
+            CrashDetection => "crash",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_task_has_consistent_modality() {
+        let vision = Task::ALL
+            .iter()
+            .filter(|t| t.modality() == Modality::Vision)
+            .count();
+        let nlp = Task::ALL
+            .iter()
+            .filter(|t| t.modality() == Modality::Nlp)
+            .count();
+        let audio = Task::ALL
+            .iter()
+            .filter(|t| t.modality() == Modality::Audio)
+            .count();
+        let sensor = Task::ALL
+            .iter()
+            .filter(|t| t.modality() == Modality::Sensor)
+            .count();
+        assert_eq!(vision, 13);
+        assert_eq!(nlp, 5);
+        assert_eq!(audio, 3);
+        assert_eq!(sensor, 2);
+        assert_eq!(vision + nlp + audio + sensor, Task::ALL.len());
+    }
+
+    #[test]
+    fn names_and_hints_unique() {
+        let mut names: Vec<&str> = Task::ALL.iter().map(|t| t.name_hint()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate name hints");
+    }
+
+    #[test]
+    fn modality_names() {
+        assert_eq!(Modality::Vision.name(), "vision");
+        assert_eq!(Modality::ALL.len(), 4);
+    }
+}

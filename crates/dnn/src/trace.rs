@@ -1,0 +1,422 @@
+//! Trace-based operation and parameter accounting.
+//!
+//! Mirrors §4.7 of the paper: "we generate a random input with the
+//! DNN-specified input dimensions and perform a DNN inference. During the
+//! forward propagation step, we measure analytically the amount of operations
+//! being performed per layer … and the number of trainable parameters".
+//!
+//! FLOPs are counted as 2 × MACs for multiply-accumulate layers (footnote 3
+//! of the paper). The trace also records per-layer memory traffic, which the
+//! SoC roofline model uses to decide whether a layer is compute- or
+//! memory-bound.
+
+use crate::graph::{Graph, LayerKind};
+use crate::shape::infer_shapes;
+use crate::tensor::Shape;
+use crate::Result;
+
+/// Per-layer accounting record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTrace {
+    /// Node id in the graph.
+    pub node: usize,
+    /// Layer name.
+    pub name: String,
+    /// Coarse family label (see [`LayerKind::family`]).
+    pub family: &'static str,
+    /// Output shape.
+    pub out_shape: Shape,
+    /// Multiply-accumulate count.
+    pub macs: u64,
+    /// Floating-point operation count (2 × MACs for MAC layers, element
+    /// counts for pointwise ops).
+    pub flops: u64,
+    /// Trainable parameters attached to this layer.
+    pub params: u64,
+    /// Bytes of weights + input activations read.
+    pub bytes_read: u64,
+    /// Bytes of output activations written.
+    pub bytes_written: u64,
+    /// Of `bytes_read`, the weight portion (batch-invariant).
+    pub weight_bytes: u64,
+}
+
+impl LayerTrace {
+    /// Arithmetic intensity in FLOPs per byte of traffic; the roofline knee.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = (self.bytes_read + self.bytes_written).max(1);
+        self.flops as f64 / bytes as f64
+    }
+}
+
+/// Whole-graph accounting summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Per-layer records in topological order (inputs excluded).
+    pub layers: Vec<LayerTrace>,
+    /// Total multiply-accumulates.
+    pub total_macs: u64,
+    /// Total FLOPs.
+    pub total_flops: u64,
+    /// Total trainable parameters.
+    pub total_params: u64,
+    /// Peak single-layer activation footprint in elements (proxy for runtime
+    /// memory high-water mark).
+    pub peak_activation_elems: u64,
+}
+
+impl TraceReport {
+    /// Model size in bytes assuming f32 storage of all parameters.
+    pub fn model_bytes_f32(&self) -> u64 {
+        self.total_params * 4
+    }
+
+    /// Giga-FLOPs, for reporting.
+    pub fn gflops(&self) -> f64 {
+        self.total_flops as f64 / 1e9
+    }
+}
+
+/// Rescale a batch-1 trace to `batch` samples without re-deriving it from
+/// the graph. Exact for every layer kind in this IR: compute and
+/// activation traffic scale linearly with batch while weight traffic does
+/// not. The runtime experiments use this so unique-model records can drop
+/// their (weight-heavy) graphs after offline analysis.
+pub fn rebatch(trace: &TraceReport, batch: usize) -> TraceReport {
+    let b = batch as u64;
+    let layers: Vec<LayerTrace> = trace
+        .layers
+        .iter()
+        .map(|l| LayerTrace {
+            node: l.node,
+            name: l.name.clone(),
+            family: l.family,
+            out_shape: l.out_shape.with_batch(batch),
+            macs: l.macs * b,
+            flops: l.flops * b,
+            params: l.params,
+            bytes_read: l.weight_bytes + (l.bytes_read - l.weight_bytes) * b,
+            bytes_written: l.bytes_written * b,
+            weight_bytes: l.weight_bytes,
+        })
+        .collect();
+    TraceReport {
+        total_macs: layers.iter().map(|l| l.macs).sum(),
+        total_flops: layers.iter().map(|l| l.flops).sum(),
+        total_params: trace.total_params,
+        peak_activation_elems: trace.peak_activation_elems * b,
+        layers,
+    }
+}
+
+/// Run the trace for batch size 1.
+pub fn trace_graph(graph: &Graph) -> Result<TraceReport> {
+    trace_graph_batched(graph, 1)
+}
+
+/// Run the trace with every input rebatched to `batch` samples.
+pub fn trace_graph_batched(graph: &Graph, batch: usize) -> Result<TraceReport> {
+    let mut shapes = infer_shapes(graph)?;
+    if batch != 1 {
+        for s in &mut shapes {
+            *s = s.with_batch(batch);
+        }
+    }
+    let mut layers = Vec::new();
+    let mut peak = 0u64;
+    for (id, node) in graph.nodes.iter().enumerate() {
+        let out = &shapes[id];
+        peak = peak.max(out.elems() as u64);
+        if matches!(node.kind, LayerKind::Input { .. }) {
+            continue;
+        }
+        let in_shapes: Vec<&Shape> = node.inputs.iter().map(|&i| &shapes[i]).collect();
+        let (macs, flops) = layer_ops(&node.kind, &in_shapes, out);
+        let params = node.weights.as_ref().map_or(0, |w| w.len() as u64)
+            + node.bias.as_ref().map_or(0, |b| b.len() as u64);
+        let weight_bytes: u64 = node
+            .weights
+            .as_ref()
+            .map_or(0, |w| (w.len() * w.dtype().size_bytes()) as u64)
+            + node.bias.as_ref().map_or(0, |b| (b.len() * 4) as u64);
+        let in_bytes: u64 = in_shapes.iter().map(|s| s.elems() as u64 * 4).sum();
+        let out_bytes = out.elems() as u64 * 4;
+        layers.push(LayerTrace {
+            node: id,
+            name: node.name.clone(),
+            family: node.kind.family(),
+            out_shape: out.clone(),
+            macs,
+            flops,
+            params,
+            bytes_read: weight_bytes + in_bytes,
+            bytes_written: out_bytes,
+            weight_bytes,
+        });
+    }
+    let total_macs = layers.iter().map(|l| l.macs).sum();
+    let total_flops = layers.iter().map(|l| l.flops).sum();
+    let total_params = layers.iter().map(|l| l.params).sum();
+    Ok(TraceReport {
+        layers,
+        total_macs,
+        total_flops,
+        total_params,
+        peak_activation_elems: peak,
+    })
+}
+
+/// (MACs, FLOPs) for one layer application.
+fn layer_ops(kind: &LayerKind, ins: &[&Shape], out: &Shape) -> (u64, u64) {
+    let out_elems = out.elems() as u64;
+    match kind {
+        LayerKind::Input { .. } => (0, 0),
+        LayerKind::Conv2d { kernel, .. } => {
+            let cin = ins[0].channels() as u64;
+            let macs = out_elems * cin * (*kernel as u64) * (*kernel as u64);
+            (macs, 2 * macs)
+        }
+        LayerKind::DepthwiseConv2d { kernel, .. } => {
+            let macs = out_elems * (*kernel as u64) * (*kernel as u64);
+            (macs, 2 * macs)
+        }
+        LayerKind::TransposeConv2d { kernel, .. } => {
+            let cin = ins[0].channels() as u64;
+            // Each output element accumulates k*k*cin contributions on
+            // average divided by stride^2 overlap; we use the dense bound.
+            let macs = out_elems * cin * (*kernel as u64) * (*kernel as u64);
+            (macs, 2 * macs)
+        }
+        LayerKind::Dense { units } => {
+            let cin = ins[0].channels() as u64;
+            let rows = out_elems / (*units as u64).max(1);
+            let macs = rows * cin * *units as u64;
+            (macs, 2 * macs)
+        }
+        LayerKind::Activation(_) => (0, out_elems),
+        LayerKind::Softmax => (0, 5 * out_elems),
+        LayerKind::BatchNorm => (0, 2 * out_elems),
+        LayerKind::L2Norm => (0, 3 * out_elems),
+        LayerKind::Pool { kernel, .. } => {
+            (0, out_elems * (*kernel as u64) * (*kernel as u64))
+        }
+        LayerKind::GlobalPool(_) => (0, ins[0].elems() as u64),
+        LayerKind::Binary(_) => (0, out_elems),
+        LayerKind::Concat | LayerKind::Reshape { .. } | LayerKind::Slice { .. } => (0, 0),
+        LayerKind::Resize { mode, .. } => {
+            let per = match mode {
+                crate::graph::ResizeMode::Nearest => 1,
+                crate::graph::ResizeMode::Bilinear => 7,
+            };
+            (0, per * out_elems)
+        }
+        LayerKind::Pad { .. } => (0, 0),
+        LayerKind::Quantize(_) | LayerKind::Dequantize(_) => (0, 2 * out_elems),
+        LayerKind::Embedding { .. } => (0, 0),
+        LayerKind::Lstm { units } => {
+            let s = ins[0];
+            let (t, cin) = (s.dim(1) as u64, s.channels() as u64);
+            let n = s.batch() as u64;
+            let u = *units as u64;
+            // 4 gates, each a dense over [input ++ hidden].
+            let macs = n * t * 4 * (cin + u) * u;
+            (macs, 2 * macs + n * t * 9 * u)
+        }
+        LayerKind::Gru { units } => {
+            let s = ins[0];
+            let (t, cin) = (s.dim(1) as u64, s.channels() as u64);
+            let n = s.batch() as u64;
+            let u = *units as u64;
+            let macs = n * t * 3 * (cin + u) * u;
+            (macs, 2 * macs + n * t * 7 * u)
+        }
+        LayerKind::MeanTime => (0, ins[0].elems() as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphBuilder, Padding};
+    use crate::tensor::{DType, WeightData};
+
+    fn w(n: usize) -> Option<WeightData> {
+        Some(WeightData::F32(vec![0.5; n]))
+    }
+
+    #[test]
+    fn conv_flops_match_closed_form() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::nhwc(1, 16, 16, 3), DType::F32);
+        let c = b.layer(
+            "c",
+            LayerKind::Conv2d {
+                out_channels: 8,
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+            },
+            &[i],
+            w(3 * 3 * 3 * 8),
+            w(8),
+        );
+        let g = b.finish(vec![c]).unwrap();
+        let r = trace_graph(&g).unwrap();
+        let macs = 16 * 16 * 8 * 3 * 3 * 3;
+        assert_eq!(r.total_macs, macs);
+        assert_eq!(r.total_flops, 2 * macs);
+        assert_eq!(r.total_params, 3 * 3 * 3 * 8 + 8);
+    }
+
+    #[test]
+    fn depthwise_cheaper_than_full_conv() {
+        let make = |depthwise: bool| {
+            let mut b = GraphBuilder::new("t");
+            let i = b.input("in", Shape::nhwc(1, 32, 32, 16), DType::F32);
+            let c = if depthwise {
+                b.layer(
+                    "dw",
+                    LayerKind::DepthwiseConv2d {
+                        kernel: 3,
+                        stride: 1,
+                        padding: Padding::Same,
+                    },
+                    &[i],
+                    w(3 * 3 * 16),
+                    None,
+                )
+            } else {
+                b.layer(
+                    "c",
+                    LayerKind::Conv2d {
+                        out_channels: 16,
+                        kernel: 3,
+                        stride: 1,
+                        padding: Padding::Same,
+                    },
+                    &[i],
+                    w(3 * 3 * 16 * 16),
+                    None,
+                )
+            };
+            trace_graph(&b.finish(vec![c]).unwrap()).unwrap()
+        };
+        let dw = make(true);
+        let full = make(false);
+        assert_eq!(full.total_macs, 16 * dw.total_macs);
+    }
+
+    #[test]
+    fn dense_flops() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::vec2(1, 128), DType::F32);
+        let d = b.layer(
+            "fc",
+            LayerKind::Dense { units: 10 },
+            &[i],
+            w(128 * 10),
+            w(10),
+        );
+        let g = b.finish(vec![d]).unwrap();
+        let r = trace_graph(&g).unwrap();
+        assert_eq!(r.total_macs, 1280);
+        assert_eq!(r.total_flops, 2560);
+    }
+
+    #[test]
+    fn batch_scales_flops_not_params() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::nhwc(1, 8, 8, 3), DType::F32);
+        let c = b.layer(
+            "c",
+            LayerKind::Conv2d {
+                out_channels: 4,
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+            },
+            &[i],
+            w(3 * 3 * 3 * 4),
+            None,
+        );
+        let g = b.finish(vec![c]).unwrap();
+        let r1 = trace_graph_batched(&g, 1).unwrap();
+        let r4 = trace_graph_batched(&g, 4).unwrap();
+        assert_eq!(r4.total_flops, 4 * r1.total_flops);
+        assert_eq!(r4.total_params, r1.total_params);
+        assert_eq!(r4.peak_activation_elems, 4 * r1.peak_activation_elems);
+    }
+
+    #[test]
+    fn rebatch_matches_direct_batched_trace() {
+        use crate::task::Task;
+        use crate::zoo::{build_for_task, SizeClass};
+        for task in [Task::ImageClassification, Task::AutoComplete, Task::KeywordDetection] {
+            let g = build_for_task(task, 77, SizeClass::Small, true).graph;
+            let t1 = trace_graph(&g).unwrap();
+            for batch in [2usize, 5, 25] {
+                let direct = trace_graph_batched(&g, batch).unwrap();
+                let scaled = rebatch(&t1, batch);
+                assert_eq!(scaled, direct, "{task:?} batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn lstm_ops_scale_with_sequence() {
+        let build = |t: usize| {
+            let mut b = GraphBuilder::new("t");
+            let i = b.input("in", Shape(vec![1, t, 32]), DType::F32);
+            let l = b.layer(
+                "lstm",
+                LayerKind::Lstm { units: 64 },
+                &[i],
+                w(4 * (32 + 64 + 1) * 64),
+                None,
+            );
+            trace_graph(&b.finish(vec![l]).unwrap()).unwrap()
+        };
+        let r8 = build(8);
+        let r16 = build(16);
+        assert_eq!(r16.total_macs, 2 * r8.total_macs);
+    }
+
+    #[test]
+    fn arithmetic_intensity_separates_conv_from_activation() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::nhwc(1, 32, 32, 16), DType::F32);
+        let c = b.layer(
+            "c",
+            LayerKind::Conv2d {
+                out_channels: 16,
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+            },
+            &[i],
+            w(3 * 3 * 16 * 16),
+            None,
+        );
+        let a = b.op(
+            "relu",
+            LayerKind::Activation(crate::graph::ActKind::Relu),
+            &[c],
+        );
+        let g = b.finish(vec![a]).unwrap();
+        let r = trace_graph(&g).unwrap();
+        let conv = &r.layers[0];
+        let relu = &r.layers[1];
+        assert!(conv.arithmetic_intensity() > 10.0 * relu.arithmetic_intensity());
+    }
+
+    #[test]
+    fn report_helpers() {
+        let mut b = GraphBuilder::new("t");
+        let i = b.input("in", Shape::vec2(1, 4), DType::F32);
+        let d = b.layer("fc", LayerKind::Dense { units: 2 }, &[i], w(8), w(2));
+        let g = b.finish(vec![d]).unwrap();
+        let r = trace_graph(&g).unwrap();
+        assert_eq!(r.model_bytes_f32(), 40);
+        assert!(r.gflops() > 0.0);
+    }
+}

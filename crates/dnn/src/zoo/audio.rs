@@ -1,0 +1,203 @@
+//! Audio architecture generators: sound recognition CNNs over
+//! log-mel-spectrogram "images", a conv+LSTM speech recogniser and a
+//! depthwise-separable keyword spotter (Table 3's audio column).
+
+use super::{conv_bn_relu, dw_separable, scale_ch, Init};
+use crate::graph::{Graph, GraphBuilder, LayerKind, PoolKind};
+use crate::tensor::{DType, Shape};
+use rand::rngs::StdRng;
+
+/// Ambient sound recognition CNN over a `[mels x frames]` spectrogram —
+/// the heaviest deployed audio task in Fig. 7.
+pub fn sound_cnn(rng: &mut StdRng, mels: usize, frames: usize, alpha: f64) -> Graph {
+    let mut b = GraphBuilder::new("audio_cnn");
+    let mut init = Init::new(rng);
+    let input = b.input("spectrogram", Shape::nhwc(1, mels, frames, 1), DType::F32);
+    let c1 = scale_ch(32, alpha * 2.0);
+    let x1 = conv_bn_relu(&mut b, &mut init, "conv1", input, 1, c1, 3, 2);
+    let c2 = scale_ch(64, alpha * 2.0);
+    let x2 = conv_bn_relu(&mut b, &mut init, "conv2", x1, c1, c2, 3, 2);
+    let c3 = scale_ch(128, alpha * 2.0);
+    let x3 = conv_bn_relu(&mut b, &mut init, "conv3", x2, c2, c3, 3, 1);
+    let c4 = scale_ch(256, alpha * 2.0);
+    let x4 = conv_bn_relu(&mut b, &mut init, "conv4", x3, c3, c4, 3, 2);
+    let gap = b.op("gap", LayerKind::GlobalPool(PoolKind::Avg), &[x4]);
+    let flat = b.op("flatten", LayerKind::Reshape { dims: vec![c4] }, &[gap]);
+    let classes = 521; // AudioSet-style label space
+    let fc = b.layer(
+        "logits",
+        LayerKind::Dense { units: classes },
+        &[flat],
+        Some(init.weights(c4 * classes, c4)),
+        Some(init.bias(classes)),
+    );
+    let sm = b.op("prob", LayerKind::Softmax, &[fc]);
+    b.finish(vec![sm]).expect("sound_cnn is valid by construction")
+}
+
+/// Speech recogniser: conv front-end + LSTM over time + CTC-style charset
+/// projection.
+pub fn speech_crnn(rng: &mut StdRng, mels: usize, frames: usize, alpha: f64) -> Graph {
+    let mut b = GraphBuilder::new("speech_crnn");
+    let mut init = Init::new(rng);
+    let input = b.input("spectrogram", Shape::nhwc(1, mels, frames, 1), DType::F32);
+    let c1 = scale_ch(32, alpha * 2.0);
+    let x1 = conv_bn_relu(&mut b, &mut init, "conv1", input, 1, c1, 3, 2);
+    let (fh, fw) = (mels.div_ceil(2), frames.div_ceil(2));
+    let seq = b.op(
+        "to_seq",
+        LayerKind::Reshape {
+            dims: vec![fw, fh * c1],
+        },
+        &[x1],
+    );
+    let hidden = scale_ch(128, alpha * 2.0);
+    let gate = (fh * c1 + hidden + 1) * hidden;
+    let lstm = b.layer(
+        "lstm",
+        LayerKind::Lstm { units: hidden },
+        &[seq],
+        Some(init.weights(4 * gate, fh * c1 + hidden)),
+        None,
+    );
+    let charset = 29; // a-z + space + apostrophe + blank
+    let logits = b.layer(
+        "logits",
+        LayerKind::Dense { units: charset },
+        &[lstm],
+        Some(init.weights(hidden * charset, hidden)),
+        Some(init.bias(charset)),
+    );
+    let sm = b.op("prob", LayerKind::Softmax, &[logits]);
+    b.finish(vec![sm]).expect("speech_crnn is valid by construction")
+}
+
+/// DS-CNN keyword spotter: the classic tiny always-on topology.
+pub fn keyword_dscnn(rng: &mut StdRng, mels: usize, frames: usize) -> Graph {
+    let mut b = GraphBuilder::new("ds_cnn");
+    let mut init = Init::new(rng);
+    let input = b.input("spectrogram", Shape::nhwc(1, mels, frames, 1), DType::F32);
+    let mut x = conv_bn_relu(&mut b, &mut init, "stem", input, 1, 64, 3, 2);
+    let mut cin = 64;
+    for i in 0..4 {
+        x = dw_separable(&mut b, &mut init, &format!("ds{i}"), x, cin, 64, 1);
+        cin = 64;
+    }
+    let gap = b.op("gap", LayerKind::GlobalPool(PoolKind::Avg), &[x]);
+    let flat = b.op("flatten", LayerKind::Reshape { dims: vec![cin] }, &[gap]);
+    let keywords = 12;
+    let fc = b.layer(
+        "logits",
+        LayerKind::Dense { units: keywords },
+        &[flat],
+        Some(init.weights(cin * keywords, cin)),
+        Some(init.bias(keywords)),
+    );
+    let sm = b.op("prob", LayerKind::Softmax, &[fc]);
+    b.finish(vec![sm]).expect("ds_cnn is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::shape::infer_shapes;
+    use crate::trace::trace_graph;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(4)
+    }
+
+    #[test]
+    fn sound_cnn_has_audioset_head() {
+        let g = sound_cnn(&mut rng(), 40, 96, 0.25);
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[g.outputs[0]].channels(), 521);
+    }
+
+    #[test]
+    fn keyword_spotter_is_tiny() {
+        let g = keyword_dscnn(&mut rng(), 40, 49);
+        let tr = trace_graph(&g).unwrap();
+        assert!(tr.total_params < 200_000, "params {}", tr.total_params);
+        let ex = Executor::new(&g).unwrap();
+        let out = ex.run_random(1, 5).unwrap();
+        assert_eq!(out[0].shape.channels(), 12);
+    }
+
+    #[test]
+    fn speech_crnn_emits_charset_over_time() {
+        let g = speech_crnn(&mut rng(), 40, 64, 0.25);
+        let shapes = infer_shapes(&g).unwrap();
+        let out = &shapes[g.outputs[0]];
+        assert_eq!(out.rank(), 3);
+        assert_eq!(out.channels(), 29);
+    }
+
+    #[test]
+    fn sound_heavier_than_keyword() {
+        let s = trace_graph(&sound_cnn(&mut rng(), 40, 96, 0.25)).unwrap();
+        let k = trace_graph(&keyword_dscnn(&mut rng(), 40, 49)).unwrap();
+        assert!(s.total_flops > k.total_flops);
+    }
+}
+
+/// Wav2letter-flavoured pure-conv speech recogniser: stacked 1-D-style
+/// convs over the time axis (expressed as Kx1 kernels would be; here the
+/// spectrogram stays 2-D with stride-2 time reduction) and a CTC charset
+/// head — the recurrent-free alternative to [`speech_crnn`].
+pub fn wav2letter(rng: &mut StdRng, mels: usize, frames: usize, alpha: f64) -> Graph {
+    let mut b = GraphBuilder::new("wav2letter");
+    let mut init = Init::new(rng);
+    let input = b.input("spectrogram", Shape::nhwc(1, mels, frames, 1), DType::F32);
+    let c1 = scale_ch(48, alpha * 2.0);
+    let mut x = conv_bn_relu(&mut b, &mut init, "conv0", input, 1, c1, 3, 2);
+    let mut cin = c1;
+    for i in 1..=4 {
+        let cout = scale_ch(48 + 16 * i, alpha * 2.0);
+        x = conv_bn_relu(&mut b, &mut init, &format!("conv{i}"), x, cin, cout, 3, 1);
+        cin = cout;
+    }
+    let (fh, fw) = (mels.div_ceil(2), frames.div_ceil(2));
+    let seq = b.op(
+        "to_seq",
+        LayerKind::Reshape {
+            dims: vec![fw, fh * cin],
+        },
+        &[x],
+    );
+    let charset = 29;
+    let logits = b.layer(
+        "logits",
+        LayerKind::Dense { units: charset },
+        &[seq],
+        Some(init.weights(fh * cin * charset, fh * cin)),
+        Some(init.bias(charset)),
+    );
+    let sm = b.op("prob", LayerKind::Softmax, &[logits]);
+    b.finish(vec![sm]).expect("wav2letter is valid by construction")
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use crate::shape::infer_shapes;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wav2letter_is_recurrent_free_with_ctc_head() {
+        let g = wav2letter(&mut StdRng::seed_from_u64(5), 40, 64, 0.25);
+        g.validate().unwrap();
+        assert!(
+            !g.nodes
+                .iter()
+                .any(|n| matches!(n.kind, LayerKind::Lstm { .. } | LayerKind::Gru { .. })),
+            "pure-conv model"
+        );
+        let shapes = infer_shapes(&g).unwrap();
+        let out = &shapes[g.outputs[0]];
+        assert_eq!(out.rank(), 3);
+        assert_eq!(out.channels(), 29);
+    }
+}

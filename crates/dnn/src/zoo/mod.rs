@@ -1,0 +1,364 @@
+//! Model zoo: parameterised generators for the architecture families the
+//! paper observed in the wild (§4.4–§4.5).
+//!
+//! The corpus analysis found MobileNet to be "the most popular architecture
+//! with variants (e.g. FSSD) being used \[for\] other vision tasks including
+//! semantic segmentation, pose estimation or classification", BlazeFace for
+//! face detection, CRNNs for text recognition, LSTMs for auto-completion and
+//! small CNNs for audio. Each generator here produces a *valid, runnable*
+//! [`Graph`] with deterministic, seeded weights, so serialised bytes — and
+//! therefore the md5-based uniqueness analysis — are reproducible.
+
+mod audio;
+mod nlp;
+mod sensor;
+mod vision;
+
+pub use audio::{keyword_dscnn, sound_cnn, speech_crnn, wav2letter};
+pub use nlp::{autocomplete_lstm, sentiment_gru, text_cnn, translation_gru};
+pub use sensor::{crash_lstm, movement_mlp};
+pub use vision::{
+    blazeface, contour_net, crnn_text, fssd, mobilenet_v1, mobilenet_v2, pose_net,
+    squeezenet, style_transfer_net, unet_segmenter,
+};
+
+use crate::graph::{ActKind, Graph, GraphBuilder, LayerKind, NodeId, Padding};
+use crate::task::Task;
+use crate::tensor::WeightData;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Coarse size classes; the paper's corpus spans four orders of magnitude in
+/// FLOPs (§4.7), which these reproduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// Smallest deployable variants (tiny keyword spotters, sensor MLPs).
+    Small,
+    /// Typical mobile models (MobileNet-class).
+    Medium,
+    /// Heavy models (segmentation, beauty GANs).
+    Large,
+}
+
+/// Deterministic weight initialiser (Glorot-uniform-ish) over a seeded RNG.
+pub struct Init<'r> {
+    rng: &'r mut StdRng,
+}
+
+impl<'r> Init<'r> {
+    /// Wrap an RNG.
+    pub fn new(rng: &'r mut StdRng) -> Self {
+        Init { rng }
+    }
+
+    /// A weight tensor of `n` values with scale `1/sqrt(fan_in)`.
+    pub fn weights(&mut self, n: usize, fan_in: usize) -> WeightData {
+        let limit = (1.0 / (fan_in.max(1) as f32)).sqrt();
+        WeightData::F32(
+            (0..n)
+                .map(|_| self.rng.gen_range(-limit..=limit))
+                .collect(),
+        )
+    }
+
+    /// A bias tensor of `n` zeros-ish values.
+    pub fn bias(&mut self, n: usize) -> WeightData {
+        WeightData::F32((0..n).map(|_| self.rng.gen_range(-0.01..=0.01)).collect())
+    }
+}
+
+/// Standard conv + (folded) batch-norm + ReLU6 block.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv_bn_relu(
+    b: &mut GraphBuilder,
+    init: &mut Init,
+    name: &str,
+    input: NodeId,
+    cin: usize,
+    cout: usize,
+    kernel: usize,
+    stride: usize,
+) -> NodeId {
+    let conv = b.layer(
+        format!("{name}/conv"),
+        LayerKind::Conv2d {
+            out_channels: cout,
+            kernel,
+            stride,
+            padding: Padding::Same,
+        },
+        &[input],
+        Some(init.weights(kernel * kernel * cin * cout, kernel * kernel * cin)),
+        Some(init.bias(cout)),
+    );
+    let bn = b.layer(
+        format!("{name}/bn"),
+        LayerKind::BatchNorm,
+        &[conv],
+        Some(init.weights(cout, 1)),
+        Some(init.bias(cout)),
+    );
+    b.op(format!("{name}/relu6"), LayerKind::Activation(ActKind::Relu6), &[bn])
+}
+
+/// Depthwise-separable block: depthwise conv + pointwise conv, the
+/// MobileNetV1 building block [Howard et al. 2017].
+pub(crate) fn dw_separable(
+    b: &mut GraphBuilder,
+    init: &mut Init,
+    name: &str,
+    input: NodeId,
+    cin: usize,
+    cout: usize,
+    stride: usize,
+) -> NodeId {
+    let dw = b.layer(
+        format!("{name}/dw"),
+        LayerKind::DepthwiseConv2d {
+            kernel: 3,
+            stride,
+            padding: Padding::Same,
+        },
+        &[input],
+        Some(init.weights(3 * 3 * cin, 9)),
+        Some(init.bias(cin)),
+    );
+    let act = b.op(
+        format!("{name}/dw_relu6"),
+        LayerKind::Activation(ActKind::Relu6),
+        &[dw],
+    );
+    conv_bn_relu(b, init, &format!("{name}/pw"), act, cin, cout, 1, 1)
+}
+
+/// Scale a channel count by a width multiplier, keeping at least 4 and
+/// rounding to a multiple of 4 (the MobileNet convention, adapted).
+pub(crate) fn scale_ch(base: usize, alpha: f64) -> usize {
+    let c = ((base as f64 * alpha).round() as usize).max(4);
+    c.div_ceil(4) * 4
+}
+
+/// A generated model together with its ground-truth task (kept *outside* the
+/// serialised bytes: the analysis pipeline must re-derive the task).
+#[derive(Debug, Clone)]
+pub struct ZooModel {
+    /// The graph.
+    pub graph: Graph,
+    /// Ground-truth task label (corpus bookkeeping only).
+    pub task: Task,
+    /// Architecture family name, e.g. `"mobilenet_v1"`.
+    pub family: &'static str,
+}
+
+/// Build a model for `task`, with architecture and hyper-parameters chosen
+/// deterministically from `seed`.
+///
+/// `hint_name` controls whether the model name leaks the task (the paper
+/// found ~67 % of names carry hints; the rest get opaque names).
+pub fn build_for_task(task: Task, seed: u64, size: SizeClass, hint_name: bool) -> ZooModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (graph, family) = dispatch(task, &mut rng, size);
+    let mut graph = graph;
+    graph.name = if hint_name {
+        format!("{}_{}_{:04x}", task.name_hint(), family, seed & 0xffff)
+    } else {
+        format!("model_{seed:08x}")
+    };
+    ZooModel {
+        graph,
+        task,
+        family,
+    }
+}
+
+fn dispatch(task: Task, rng: &mut StdRng, size: SizeClass) -> (Graph, &'static str) {
+    use Task::*;
+    let res_s = |lo: usize, hi: usize, rng: &mut StdRng| -> usize {
+        // multiples of 32 keep stride chains clean
+        let steps = (hi - lo) / 32;
+        lo + 32 * rng.gen_range(0..=steps)
+    };
+    let alpha = match size {
+        SizeClass::Small => 0.25,
+        SizeClass::Medium => 0.35,
+        SizeClass::Large => 0.5,
+    };
+    match task {
+        ObjectDetection | NudityDetection | AugmentedReality => {
+            let res = res_s(96, 192, rng);
+            (vision::fssd(rng, res, alpha), "fssd")
+        }
+        FaceDetection => {
+            let res = res_s(96, 128, rng);
+            (vision::blazeface(rng, res), "blazeface")
+        }
+        ContourDetection => {
+            let res = res_s(96, 160, rng);
+            (vision::contour_net(rng, res, alpha), "contournet")
+        }
+        TextRecognition => {
+            let h = 32;
+            let w = 32 * rng.gen_range(2..=4);
+            (vision::crnn_text(rng, h, w, alpha), "crnn")
+        }
+        SemanticSegmentation | HairReconstruction | PhotoBeauty => {
+            let res = res_s(128, 224, rng);
+            let base = match size {
+                SizeClass::Small => 8,
+                SizeClass::Medium => 12,
+                SizeClass::Large => 16,
+            };
+            if task == PhotoBeauty && rng.gen_bool(0.4) {
+                (vision::style_transfer_net(rng, res, base), "styletransfer")
+            } else {
+                (vision::unet_segmenter(rng, res, base), "unet")
+            }
+        }
+        ObjectRecognition | ImageClassification | OtherVision => {
+            let res = res_s(96, 224, rng);
+            match rng.gen_range(0..10) {
+                0..=4 => {
+                    let classes = if rng.gen_bool(0.5) { 1000 } else { 128 };
+                    (vision::mobilenet_v1(rng, res, alpha, classes), "mobilenet_v1")
+                }
+                5..=7 => (vision::mobilenet_v2(rng, res, alpha, 1000), "mobilenet_v2"),
+                _ => (vision::squeezenet(rng, res, alpha, 1000), "squeezenet"),
+            }
+        }
+        PoseEstimation => {
+            let res = res_s(128, 192, rng);
+            (vision::pose_net(rng, res, alpha), "posenet")
+        }
+        AutoComplete => {
+            let vocab = 2000 * rng.gen_range(1..=4);
+            let hidden = 64 * rng.gen_range(1..=3);
+            (nlp::autocomplete_lstm(rng, vocab, 64, hidden, 8), "lstm_lm")
+        }
+        SentimentPrediction => (nlp::sentiment_gru(rng, 4000, 32, 64, 24), "gru_clf"),
+        ContentFilter | TextClassification => (nlp::text_cnn(rng, 4000, 32, 24), "text_cnn"),
+        Translation => (nlp::translation_gru(rng, 6000, 64, 96, 16), "seq2seq_gru"),
+        SoundRecognition => {
+            let mels = 40 + 8 * rng.gen_range(0..=3);
+            (audio::sound_cnn(rng, mels, 96, alpha), "audio_cnn")
+        }
+        SpeechRecognition => {
+            if rng.gen_bool(0.5) {
+                (audio::speech_crnn(rng, 40, 128, alpha), "speech_crnn")
+            } else {
+                (audio::wav2letter(rng, 40, 128, alpha), "wav2letter")
+            }
+        }
+        KeywordDetection => (audio::keyword_dscnn(rng, 40, 49), "ds_cnn"),
+        MovementTracking => (sensor::movement_mlp(rng, 6, 128), "imu_mlp"),
+        CrashDetection => (sensor::crash_lstm(rng, 6, 64), "imu_lstm"),
+    }
+}
+
+/// Fine-tune `graph`: re-initialise the weights of the last
+/// `layers_to_change` weighted layers with a new seed, leaving earlier
+/// layers byte-identical (transfer learning as observed in §4.5, where 4.2 %
+/// of models "only differ in up to three layers").
+pub fn fine_tune(graph: &Graph, layers_to_change: usize, seed: u64) -> Graph {
+    let mut g = graph.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut init = Init::new(&mut rng);
+    let weighted: Vec<usize> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.weights.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    let start = weighted.len().saturating_sub(layers_to_change);
+    for &idx in &weighted[start..] {
+        let n = g.nodes[idx].weights.as_ref().map_or(0, |w| w.len());
+        let fan = n.max(1);
+        g.nodes[idx].weights = Some(init.weights(n, fan));
+        if let Some(b) = &g.nodes[idx].bias {
+            g.nodes[idx].bias = Some(init.bias(b.len()));
+        }
+    }
+    g.name = format!("{}_ft{:x}", g.name, seed & 0xfff);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::trace::trace_graph;
+
+    #[test]
+    fn every_task_builds_a_valid_traceable_graph() {
+        for (i, &task) in Task::ALL.iter().enumerate() {
+            let m = build_for_task(task, 100 + i as u64, SizeClass::Small, true);
+            m.graph.validate().unwrap_or_else(|e| panic!("{task:?}: {e}"));
+            let tr = trace_graph(&m.graph).unwrap_or_else(|e| panic!("{task:?}: {e}"));
+            assert!(tr.total_flops > 0, "{task:?} has zero flops");
+            assert!(tr.total_params > 0, "{task:?} has zero params");
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = build_for_task(Task::FaceDetection, 7, SizeClass::Small, true);
+        let b = build_for_task(Task::FaceDetection, 7, SizeClass::Small, true);
+        assert_eq!(a.graph, b.graph);
+        let c = build_for_task(Task::FaceDetection, 8, SizeClass::Small, true);
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn name_hints_follow_request() {
+        let hinted = build_for_task(Task::SoundRecognition, 3, SizeClass::Small, true);
+        assert!(hinted.graph.name.contains("sound"));
+        let opaque = build_for_task(Task::SoundRecognition, 3, SizeClass::Small, false);
+        assert!(opaque.graph.name.starts_with("model_"));
+    }
+
+    #[test]
+    fn size_classes_order_flops() {
+        let small = build_for_task(Task::ImageClassification, 11, SizeClass::Small, true);
+        let large = build_for_task(Task::ImageClassification, 11, SizeClass::Large, true);
+        let fs = trace_graph(&small.graph).unwrap().total_flops;
+        let fl = trace_graph(&large.graph).unwrap().total_flops;
+        assert!(fl > fs, "large {fl} <= small {fs}");
+    }
+
+    #[test]
+    fn fine_tune_changes_only_tail_layers() {
+        let base = build_for_task(Task::ImageClassification, 5, SizeClass::Small, true);
+        let ft = fine_tune(&base.graph, 2, 99);
+        let weighted: Vec<usize> = base
+            .graph
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.weights.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let changed: Vec<usize> = weighted
+            .iter()
+            .copied()
+            .filter(|&i| base.graph.nodes[i].weights != ft.nodes[i].weights)
+            .collect();
+        assert_eq!(changed.len(), 2);
+        assert_eq!(&changed[..], &weighted[weighted.len() - 2..]);
+        ft.validate().unwrap();
+    }
+
+    #[test]
+    fn small_models_execute() {
+        // Keep to genuinely small families so the test stays fast.
+        for task in [Task::MovementTracking, Task::KeywordDetection, Task::AutoComplete] {
+            let m = build_for_task(task, 21, SizeClass::Small, true);
+            let ex = Executor::new(&m.graph).unwrap();
+            let out = ex.run_random(1, 3).unwrap();
+            assert!(!out.is_empty(), "{task:?}");
+            assert!(
+                out[0].data.iter().all(|v| v.is_finite()),
+                "{task:?} produced non-finite output"
+            );
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! NLP architecture generators: auto-completion language models, sentiment
+//! classifiers, text CNNs and a small seq2seq translator (Table 3's NLP
+//! column).
+
+use super::Init;
+use crate::graph::{ActKind, Graph, GraphBuilder, LayerKind};
+use crate::tensor::{DType, Shape};
+use rand::rngs::StdRng;
+
+/// Next-word auto-completion LM: embedding + LSTM + tied-size softmax.
+/// The heaviest NLP family in Fig. 7 (the output projection dominates).
+pub fn autocomplete_lstm(
+    rng: &mut StdRng,
+    vocab: usize,
+    embed: usize,
+    hidden: usize,
+    seq: usize,
+) -> Graph {
+    let mut b = GraphBuilder::new("lstm_lm");
+    let mut init = Init::new(rng);
+    let input = b.input("tokens", Shape::vec2(1, seq), DType::I32);
+    let emb = b.layer(
+        "embedding",
+        LayerKind::Embedding { vocab, dim: embed },
+        &[input],
+        Some(init.weights(vocab * embed, embed)),
+        None,
+    );
+    let gate = (embed + hidden + 1) * hidden;
+    let lstm = b.layer(
+        "lstm",
+        LayerKind::Lstm { units: hidden },
+        &[emb],
+        Some(init.weights(4 * gate, embed + hidden)),
+        None,
+    );
+    let last = b.op("pool", LayerKind::MeanTime, &[lstm]);
+    let logits = b.layer(
+        "logits",
+        LayerKind::Dense { units: vocab },
+        &[last],
+        Some(init.weights(hidden * vocab, hidden)),
+        Some(init.bias(vocab)),
+    );
+    let sm = b.op("prob", LayerKind::Softmax, &[logits]);
+    b.finish(vec![sm]).expect("lstm_lm is valid by construction")
+}
+
+/// Sentiment classifier: embedding + GRU + small dense head.
+pub fn sentiment_gru(
+    rng: &mut StdRng,
+    vocab: usize,
+    embed: usize,
+    hidden: usize,
+    seq: usize,
+) -> Graph {
+    let mut b = GraphBuilder::new("gru_clf");
+    let mut init = Init::new(rng);
+    let input = b.input("tokens", Shape::vec2(1, seq), DType::I32);
+    let emb = b.layer(
+        "embedding",
+        LayerKind::Embedding { vocab, dim: embed },
+        &[input],
+        Some(init.weights(vocab * embed, embed)),
+        None,
+    );
+    let gate = (embed + hidden + 1) * hidden;
+    let gru = b.layer(
+        "gru",
+        LayerKind::Gru { units: hidden },
+        &[emb],
+        Some(init.weights(3 * gate, embed + hidden)),
+        None,
+    );
+    let pooled = b.op("pool", LayerKind::MeanTime, &[gru]);
+    let fc = b.layer(
+        "dense",
+        LayerKind::Dense { units: 32 },
+        &[pooled],
+        Some(init.weights(hidden * 32, hidden)),
+        Some(init.bias(32)),
+    );
+    let act = b.op("relu", LayerKind::Activation(ActKind::Relu), &[fc]);
+    let logits = b.layer(
+        "logits",
+        LayerKind::Dense { units: 3 },
+        &[act],
+        Some(init.weights(32 * 3, 32)),
+        Some(init.bias(3)),
+    );
+    let sm = b.op("prob", LayerKind::Softmax, &[logits]);
+    b.finish(vec![sm]).expect("gru_clf is valid by construction")
+}
+
+/// Text CNN for content filtering / text classification: embedding treated
+/// as a 1-high image and swept by dense layers per window.
+pub fn text_cnn(rng: &mut StdRng, vocab: usize, embed: usize, seq: usize) -> Graph {
+    let mut b = GraphBuilder::new("text_cnn");
+    let mut init = Init::new(rng);
+    let input = b.input("tokens", Shape::vec2(1, seq), DType::I32);
+    let emb = b.layer(
+        "embedding",
+        LayerKind::Embedding { vocab, dim: embed },
+        &[input],
+        Some(init.weights(vocab * embed, embed)),
+        None,
+    );
+    // Per-position feature transform, then mean over time — a 1-D conv with
+    // window 1 expressed as Dense over the feature axis.
+    let feat = b.layer(
+        "pointwise",
+        LayerKind::Dense { units: 64 },
+        &[emb],
+        Some(init.weights(embed * 64, embed)),
+        Some(init.bias(64)),
+    );
+    let act = b.op("relu", LayerKind::Activation(ActKind::Relu), &[feat]);
+    let pooled = b.op("pool", LayerKind::MeanTime, &[act]);
+    let logits = b.layer(
+        "logits",
+        LayerKind::Dense { units: 2 },
+        &[pooled],
+        Some(init.weights(64 * 2, 64)),
+        Some(init.bias(2)),
+    );
+    let sm = b.op("prob", LayerKind::Softmax, &[logits]);
+    b.finish(vec![sm]).expect("text_cnn is valid by construction")
+}
+
+/// Tiny seq2seq translator: encoder GRU + decoder GRU + vocab projection.
+pub fn translation_gru(
+    rng: &mut StdRng,
+    vocab: usize,
+    embed: usize,
+    hidden: usize,
+    seq: usize,
+) -> Graph {
+    let mut b = GraphBuilder::new("seq2seq_gru");
+    let mut init = Init::new(rng);
+    let input = b.input("tokens", Shape::vec2(1, seq), DType::I32);
+    let emb = b.layer(
+        "embedding",
+        LayerKind::Embedding { vocab, dim: embed },
+        &[input],
+        Some(init.weights(vocab * embed, embed)),
+        None,
+    );
+    let gate_e = (embed + hidden + 1) * hidden;
+    let enc = b.layer(
+        "encoder",
+        LayerKind::Gru { units: hidden },
+        &[emb],
+        Some(init.weights(3 * gate_e, embed + hidden)),
+        None,
+    );
+    let gate_d = (hidden + hidden + 1) * hidden;
+    let dec = b.layer(
+        "decoder",
+        LayerKind::Gru { units: hidden },
+        &[enc],
+        Some(init.weights(3 * gate_d, hidden + hidden)),
+        None,
+    );
+    let logits = b.layer(
+        "logits",
+        LayerKind::Dense { units: vocab },
+        &[dec],
+        Some(init.weights(hidden * vocab, hidden)),
+        Some(init.bias(vocab)),
+    );
+    let sm = b.op("prob", LayerKind::Softmax, &[logits]);
+    b.finish(vec![sm]).expect("seq2seq_gru is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::shape::infer_shapes;
+    use crate::trace::trace_graph;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn autocomplete_outputs_vocab_distribution() {
+        let g = autocomplete_lstm(&mut rng(), 500, 16, 32, 8);
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[g.outputs[0]], Shape::vec2(1, 500));
+        let ex = Executor::new(&g).unwrap();
+        let out = ex.run_random(1, 1).unwrap();
+        let sum: f32 = out[0].data.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "softmax sums to {sum}");
+    }
+
+    #[test]
+    fn sentiment_has_three_classes() {
+        let g = sentiment_gru(&mut rng(), 200, 8, 16, 12);
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[g.outputs[0]].channels(), 3);
+    }
+
+    #[test]
+    fn text_cnn_runs() {
+        let g = text_cnn(&mut rng(), 100, 8, 10);
+        let ex = Executor::new(&g).unwrap();
+        let out = ex.run_random(1, 2).unwrap();
+        assert_eq!(out[0].shape.channels(), 2);
+    }
+
+    #[test]
+    fn translation_is_heavier_than_sentiment() {
+        let t = trace_graph(&translation_gru(&mut rng(), 1000, 32, 64, 12)).unwrap();
+        let s = trace_graph(&sentiment_gru(&mut rng(), 1000, 32, 64, 12)).unwrap();
+        assert!(t.total_flops > s.total_flops);
+    }
+
+    #[test]
+    fn vocab_dominates_params_in_lm() {
+        let g = autocomplete_lstm(&mut rng(), 4000, 32, 64, 8);
+        let tr = trace_graph(&g).unwrap();
+        // embedding (vocab*embed) + projection (hidden*vocab) dominate
+        let vocab_params = (4000 * 32 + 64 * 4000) as u64;
+        assert!(tr.total_params > vocab_params);
+        assert!(tr.total_params < 2 * vocab_params);
+    }
+}

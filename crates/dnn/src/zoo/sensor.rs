@@ -1,0 +1,94 @@
+//! Sensor-modality generators: IMU movement tracking (the paper's horse
+//! movement tracker anecdote) and car-crash detection for insurance apps.
+
+use super::Init;
+use crate::graph::{ActKind, Graph, GraphBuilder, LayerKind};
+use crate::tensor::{DType, Shape};
+use rand::rngs::StdRng;
+
+/// Movement-tracking MLP over a window of 6-axis IMU samples.
+pub fn movement_mlp(rng: &mut StdRng, axes: usize, window: usize) -> Graph {
+    let mut b = GraphBuilder::new("imu_mlp");
+    let mut init = Init::new(rng);
+    let feat = axes * window;
+    let input = b.input("imu_window", Shape::vec2(1, feat), DType::F32);
+    let h1 = b.layer(
+        "dense1",
+        LayerKind::Dense { units: 128 },
+        &[input],
+        Some(init.weights(feat * 128, feat)),
+        Some(init.bias(128)),
+    );
+    let a1 = b.op("relu1", LayerKind::Activation(ActKind::Relu), &[h1]);
+    let h2 = b.layer(
+        "dense2",
+        LayerKind::Dense { units: 64 },
+        &[a1],
+        Some(init.weights(128 * 64, 128)),
+        Some(init.bias(64)),
+    );
+    let a2 = b.op("relu2", LayerKind::Activation(ActKind::Relu), &[h2]);
+    let classes = 6; // walk / trot / canter / gallop / idle / other
+    let logits = b.layer(
+        "logits",
+        LayerKind::Dense { units: classes },
+        &[a2],
+        Some(init.weights(64 * classes, 64)),
+        Some(init.bias(classes)),
+    );
+    let sm = b.op("prob", LayerKind::Softmax, &[logits]);
+    b.finish(vec![sm]).expect("imu_mlp is valid by construction")
+}
+
+/// Crash detector: LSTM over an IMU sequence with a binary head.
+pub fn crash_lstm(rng: &mut StdRng, axes: usize, window: usize) -> Graph {
+    let mut b = GraphBuilder::new("imu_lstm");
+    let mut init = Init::new(rng);
+    let input = b.input("imu_seq", Shape(vec![1, window, axes]), DType::F32);
+    let hidden = 32;
+    let gate = (axes + hidden + 1) * hidden;
+    let lstm = b.layer(
+        "lstm",
+        LayerKind::Lstm { units: hidden },
+        &[input],
+        Some(init.weights(4 * gate, axes + hidden)),
+        None,
+    );
+    let pooled = b.op("pool", LayerKind::MeanTime, &[lstm]);
+    let logits = b.layer(
+        "logits",
+        LayerKind::Dense { units: 2 },
+        &[pooled],
+        Some(init.weights(hidden * 2, hidden)),
+        Some(init.bias(2)),
+    );
+    let sm = b.op("prob", LayerKind::Softmax, &[logits]);
+    b.finish(vec![sm]).expect("imu_lstm is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::trace::trace_graph;
+    use rand::SeedableRng;
+
+    #[test]
+    fn movement_mlp_runs_and_is_tiny() {
+        let g = movement_mlp(&mut StdRng::seed_from_u64(9), 6, 128);
+        let tr = trace_graph(&g).unwrap();
+        assert!(tr.total_params < 200_000);
+        let ex = Executor::new(&g).unwrap();
+        let out = ex.run_random(1, 0).unwrap();
+        let sum: f32 = out[0].data.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn crash_lstm_binary_output() {
+        let g = crash_lstm(&mut StdRng::seed_from_u64(10), 6, 32);
+        let ex = Executor::new(&g).unwrap();
+        let out = ex.run_random(1, 0).unwrap();
+        assert_eq!(out[0].shape.channels(), 2);
+    }
+}

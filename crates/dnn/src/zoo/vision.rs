@@ -1,0 +1,848 @@
+//! Vision architecture generators.
+//!
+//! These mirror the families the paper identified: MobileNetV1/V2 backbones
+//! [31], FSSD detection heads [43], BlazeFace [8], U-Net-style
+//! encoder–decoders for segmentation/hair/beauty, CRNNs for text
+//! recognition, and heatmap heads for pose/contour.
+
+use super::{conv_bn_relu, dw_separable, scale_ch, Init};
+use crate::graph::{
+    ActKind, BinOp, Graph, GraphBuilder, LayerKind, NodeId, Padding, PoolKind, ResizeMode,
+};
+use crate::tensor::{DType, Shape};
+use rand::rngs::StdRng;
+
+/// MobileNetV1 \[31\]: stem conv + 13 depthwise-separable blocks + classifier.
+pub fn mobilenet_v1(rng: &mut StdRng, res: usize, alpha: f64, classes: usize) -> Graph {
+    let mut b = GraphBuilder::new("mobilenet_v1");
+    let mut init = Init::new(rng);
+    let input = b.input("input", Shape::nhwc(1, res, res, 3), DType::F32);
+    let c0 = scale_ch(32, alpha);
+    let mut x = conv_bn_relu(&mut b, &mut init, "stem", input, 3, c0, 3, 2);
+    // (cout_base, stride) per block, MobileNetV1 table.
+    let blocks: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2),
+        (1024, 1),
+    ];
+    let mut cin = c0;
+    for (i, &(cout, stride)) in blocks.iter().enumerate() {
+        let cout = scale_ch(cout, alpha);
+        x = dw_separable(&mut b, &mut init, &format!("block{i}"), x, cin, cout, stride);
+        cin = cout;
+    }
+    let gap = b.op("gap", LayerKind::GlobalPool(PoolKind::Avg), &[x]);
+    let flat = b.op("flatten", LayerKind::Reshape { dims: vec![cin] }, &[gap]);
+    let fc = b.layer(
+        "logits",
+        LayerKind::Dense { units: classes },
+        &[flat],
+        Some(init.weights(cin * classes, cin)),
+        Some(init.bias(classes)),
+    );
+    let sm = b.op("prob", LayerKind::Softmax, &[fc]);
+    b.finish(vec![sm]).expect("mobilenet_v1 is valid by construction")
+}
+
+/// One MobileNetV2 inverted-residual block.
+#[allow(clippy::too_many_arguments)]
+fn inverted_residual(
+    b: &mut GraphBuilder,
+    init: &mut Init,
+    name: &str,
+    input: NodeId,
+    cin: usize,
+    cout: usize,
+    stride: usize,
+    expand: usize,
+) -> NodeId {
+    let mid = cin * expand;
+    let expanded = conv_bn_relu(b, init, &format!("{name}/expand"), input, cin, mid, 1, 1);
+    let dw = b.layer(
+        format!("{name}/dw"),
+        LayerKind::DepthwiseConv2d {
+            kernel: 3,
+            stride,
+            padding: Padding::Same,
+        },
+        &[expanded],
+        Some(init.weights(3 * 3 * mid, 9)),
+        Some(init.bias(mid)),
+    );
+    let dw_act = b.op(
+        format!("{name}/dw_relu6"),
+        LayerKind::Activation(ActKind::Relu6),
+        &[dw],
+    );
+    // Linear bottleneck: projection conv without activation.
+    let proj = b.layer(
+        format!("{name}/project"),
+        LayerKind::Conv2d {
+            out_channels: cout,
+            kernel: 1,
+            stride: 1,
+            padding: Padding::Same,
+        },
+        &[dw_act],
+        Some(init.weights(mid * cout, mid)),
+        Some(init.bias(cout)),
+    );
+    if stride == 1 && cin == cout {
+        b.op(format!("{name}/add"), LayerKind::Binary(BinOp::Add), &[input, proj])
+    } else {
+        proj
+    }
+}
+
+/// MobileNetV2: inverted residual bottlenecks with linear projections.
+pub fn mobilenet_v2(rng: &mut StdRng, res: usize, alpha: f64, classes: usize) -> Graph {
+    let mut b = GraphBuilder::new("mobilenet_v2");
+    let mut init = Init::new(rng);
+    let input = b.input("input", Shape::nhwc(1, res, res, 3), DType::F32);
+    let c0 = scale_ch(32, alpha);
+    let mut x = conv_bn_relu(&mut b, &mut init, "stem", input, 3, c0, 3, 2);
+    // (expand, cout_base, repeats, stride)
+    let cfg: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let mut cin = c0;
+    for (bi, &(expand, cout, repeats, stride)) in cfg.iter().enumerate() {
+        let cout = scale_ch(cout, alpha);
+        for r in 0..repeats {
+            let s = if r == 0 { stride } else { 1 };
+            x = inverted_residual(
+                &mut b,
+                &mut init,
+                &format!("ir{bi}_{r}"),
+                x,
+                cin,
+                cout,
+                s,
+                expand,
+            );
+            cin = cout;
+        }
+    }
+    let head_ch = scale_ch(1280, alpha);
+    x = conv_bn_relu(&mut b, &mut init, "head", x, cin, head_ch, 1, 1);
+    let gap = b.op("gap", LayerKind::GlobalPool(PoolKind::Avg), &[x]);
+    let flat = b.op("flatten", LayerKind::Reshape { dims: vec![head_ch] }, &[gap]);
+    let fc = b.layer(
+        "logits",
+        LayerKind::Dense { units: classes },
+        &[flat],
+        Some(init.weights(head_ch * classes, head_ch)),
+        Some(init.bias(classes)),
+    );
+    let sm = b.op("prob", LayerKind::Softmax, &[fc]);
+    b.finish(vec![sm]).expect("mobilenet_v2 is valid by construction")
+}
+
+/// FSSD \[43\]: MobileNetV1 backbone with multi-scale feature fusion and SSD
+/// box/class heads — the most popular object-detection model in the corpus.
+pub fn fssd(rng: &mut StdRng, res: usize, alpha: f64) -> Graph {
+    let mut b = GraphBuilder::new("fssd");
+    let mut init = Init::new(rng);
+    let input = b.input("input", Shape::nhwc(1, res, res, 3), DType::F32);
+    let c0 = scale_ch(32, alpha);
+    let mut x = conv_bn_relu(&mut b, &mut init, "stem", input, 3, c0, 3, 2);
+    let mut cin = c0;
+    let mut taps: Vec<(NodeId, usize, usize)> = Vec::new(); // (node, channels, spatial)
+    let mut spatial = res / 2;
+    let blocks: [(usize, usize); 8] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2),
+        (512, 1),
+        (512, 2),
+    ];
+    for (i, &(cout, stride)) in blocks.iter().enumerate() {
+        let cout = scale_ch(cout, alpha);
+        x = dw_separable(&mut b, &mut init, &format!("block{i}"), x, cin, cout, stride);
+        cin = cout;
+        if stride == 2 {
+            spatial = spatial.div_ceil(2);
+        }
+        if i == 4 || i == 6 || i == 7 {
+            taps.push((x, cin, spatial));
+        }
+    }
+    // Feature fusion: resize all taps to the first tap's scale and concat.
+    let fuse_hw = taps[0].2;
+    let mut fused_inputs = Vec::new();
+    let mut fused_ch = 0;
+    for (i, &(node, ch, hw)) in taps.iter().enumerate() {
+        let r = if hw == fuse_hw {
+            node
+        } else {
+            b.op(
+                format!("fuse/resize{i}"),
+                LayerKind::Resize {
+                    out_h: fuse_hw,
+                    out_w: fuse_hw,
+                    mode: ResizeMode::Bilinear,
+                },
+                &[node],
+            )
+        };
+        fused_inputs.push(r);
+        fused_ch += ch;
+    }
+    let fused = b.op("fuse/concat", LayerKind::Concat, &fused_inputs);
+    let ff = conv_bn_relu(
+        &mut b,
+        &mut init,
+        "fuse/conv",
+        fused,
+        fused_ch,
+        scale_ch(256, alpha),
+        1,
+        1,
+    );
+    let fch = scale_ch(256, alpha);
+    // SSD heads: per-location class scores and box regressors.
+    let anchors = 6;
+    let classes = 21;
+    let cls = b.layer(
+        "head/cls",
+        LayerKind::Conv2d {
+            out_channels: anchors * classes,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+        },
+        &[ff],
+        Some(init.weights(3 * 3 * fch * anchors * classes, 9 * fch)),
+        Some(init.bias(anchors * classes)),
+    );
+    let boxes = b.layer(
+        "head/box",
+        LayerKind::Conv2d {
+            out_channels: anchors * 4,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+        },
+        &[ff],
+        Some(init.weights(3 * 3 * fch * anchors * 4, 9 * fch)),
+        Some(init.bias(anchors * 4)),
+    );
+    b.finish(vec![cls, boxes]).expect("fssd is valid by construction")
+}
+
+/// BlazeFace \[8\]: sub-millisecond face detector with 5x5 depthwise "blaze"
+/// blocks and a dual-branch anchor head.
+pub fn blazeface(rng: &mut StdRng, res: usize) -> Graph {
+    let mut b = GraphBuilder::new("blazeface");
+    let mut init = Init::new(rng);
+    let input = b.input("input", Shape::nhwc(1, res, res, 3), DType::F32);
+    let mut x = conv_bn_relu(&mut b, &mut init, "stem", input, 3, 24, 5, 2);
+    let mut cin = 24;
+    // Single blaze blocks.
+    for (i, &(cout, stride)) in [(24usize, 1usize), (28, 2), (32, 1), (36, 2), (42, 1)]
+        .iter()
+        .enumerate()
+    {
+        let dw = b.layer(
+            format!("blaze{i}/dw"),
+            LayerKind::DepthwiseConv2d {
+                kernel: 5,
+                stride,
+                padding: Padding::Same,
+            },
+            &[x],
+            Some(init.weights(5 * 5 * cin, 25)),
+            Some(init.bias(cin)),
+        );
+        x = conv_bn_relu(&mut b, &mut init, &format!("blaze{i}/pw"), dw, cin, cout, 1, 1);
+        cin = cout;
+    }
+    // Double blaze blocks with projection.
+    for (i, &(cout, stride)) in [(48usize, 2usize), (56, 1), (64, 2)].iter().enumerate() {
+        let dw = b.layer(
+            format!("dblaze{i}/dw"),
+            LayerKind::DepthwiseConv2d {
+                kernel: 5,
+                stride,
+                padding: Padding::Same,
+            },
+            &[x],
+            Some(init.weights(5 * 5 * cin, 25)),
+            Some(init.bias(cin)),
+        );
+        let proj = conv_bn_relu(
+            &mut b,
+            &mut init,
+            &format!("dblaze{i}/proj"),
+            dw,
+            cin,
+            24,
+            1,
+            1,
+        );
+        x = conv_bn_relu(
+            &mut b,
+            &mut init,
+            &format!("dblaze{i}/pw"),
+            proj,
+            24,
+            cout,
+            1,
+            1,
+        );
+        cin = cout;
+    }
+    let anchors = 2;
+    let score = b.layer(
+        "head/score",
+        LayerKind::Conv2d {
+            out_channels: anchors,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+        },
+        &[x],
+        Some(init.weights(3 * 3 * cin * anchors, 9 * cin)),
+        Some(init.bias(anchors)),
+    );
+    let sig = b.op("head/sigmoid", LayerKind::Activation(ActKind::Sigmoid), &[score]);
+    let boxes = b.layer(
+        "head/box",
+        LayerKind::Conv2d {
+            out_channels: anchors * 16,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+        },
+        &[x],
+        Some(init.weights(3 * 3 * cin * anchors * 16, 9 * cin)),
+        Some(init.bias(anchors * 16)),
+    );
+    b.finish(vec![sig, boxes]).expect("blazeface is valid by construction")
+}
+
+/// U-Net-style encoder-decoder used for segmentation, hair reconstruction
+/// and photo beauty — the heaviest family in Fig. 7.
+pub fn unet_segmenter(rng: &mut StdRng, res: usize, base: usize) -> Graph {
+    let mut b = GraphBuilder::new("unet");
+    let mut init = Init::new(rng);
+    let input = b.input("input", Shape::nhwc(1, res, res, 3), DType::F32);
+    // Encoder.
+    let e1 = conv_bn_relu(&mut b, &mut init, "enc1", input, 3, base, 3, 1);
+    let d1 = b.op(
+        "down1",
+        LayerKind::Pool {
+            kind: PoolKind::Max,
+            kernel: 2,
+            stride: 2,
+            padding: Padding::Valid,
+        },
+        &[e1],
+    );
+    let e2 = conv_bn_relu(&mut b, &mut init, "enc2", d1, base, base * 2, 3, 1);
+    let d2 = b.op(
+        "down2",
+        LayerKind::Pool {
+            kind: PoolKind::Max,
+            kernel: 2,
+            stride: 2,
+            padding: Padding::Valid,
+        },
+        &[e2],
+    );
+    let e3 = conv_bn_relu(&mut b, &mut init, "enc3", d2, base * 2, base * 4, 3, 1);
+    let d3 = b.op(
+        "down3",
+        LayerKind::Pool {
+            kind: PoolKind::Max,
+            kernel: 2,
+            stride: 2,
+            padding: Padding::Valid,
+        },
+        &[e3],
+    );
+    // Bottleneck.
+    let bn = conv_bn_relu(&mut b, &mut init, "bottleneck", d3, base * 4, base * 8, 3, 1);
+    // Decoder with skip connections.
+    let u3 = b.layer(
+        "up3",
+        LayerKind::TransposeConv2d {
+            out_channels: base * 4,
+            kernel: 2,
+            stride: 2,
+        },
+        &[bn],
+        Some(init.weights(2 * 2 * base * 8 * base * 4, 4 * base * 8)),
+        Some(init.bias(base * 4)),
+    );
+    let s3 = b.op("skip3", LayerKind::Concat, &[u3, e3]);
+    let c3 = conv_bn_relu(&mut b, &mut init, "dec3", s3, base * 8, base * 4, 3, 1);
+    let u2 = b.layer(
+        "up2",
+        LayerKind::TransposeConv2d {
+            out_channels: base * 2,
+            kernel: 2,
+            stride: 2,
+        },
+        &[c3],
+        Some(init.weights(2 * 2 * base * 4 * base * 2, 4 * base * 4)),
+        Some(init.bias(base * 2)),
+    );
+    let s2 = b.op("skip2", LayerKind::Concat, &[u2, e2]);
+    let c2 = conv_bn_relu(&mut b, &mut init, "dec2", s2, base * 4, base * 2, 3, 1);
+    let u1 = b.layer(
+        "up1",
+        LayerKind::TransposeConv2d {
+            out_channels: base,
+            kernel: 2,
+            stride: 2,
+        },
+        &[c2],
+        Some(init.weights(2 * 2 * base * 2 * base, 4 * base * 2)),
+        Some(init.bias(base)),
+    );
+    let s1 = b.op("skip1", LayerKind::Concat, &[u1, e1]);
+    let c1 = conv_bn_relu(&mut b, &mut init, "dec1", s1, base * 2, base, 3, 1);
+    let mask = b.layer(
+        "mask",
+        LayerKind::Conv2d {
+            out_channels: 2,
+            kernel: 1,
+            stride: 1,
+            padding: Padding::Same,
+        },
+        &[c1],
+        Some(init.weights(base * 2, base)),
+        Some(init.bias(2)),
+    );
+    let sm = b.op("prob", LayerKind::Softmax, &[mask]);
+    b.finish(vec![sm]).expect("unet is valid by construction")
+}
+
+/// CRNN text recogniser: conv feature extractor + recurrent decoder, the
+/// standard OCR topology (credit-card and document scanners in §4.5).
+pub fn crnn_text(rng: &mut StdRng, h: usize, w: usize, alpha: f64) -> Graph {
+    let mut b = GraphBuilder::new("crnn");
+    let mut init = Init::new(rng);
+    let input = b.input("input", Shape::nhwc(1, h, w, 1), DType::F32);
+    let c1 = scale_ch(64, alpha);
+    let x1 = conv_bn_relu(&mut b, &mut init, "conv1", input, 1, c1, 3, 1);
+    let p1 = b.op(
+        "pool1",
+        LayerKind::Pool {
+            kind: PoolKind::Max,
+            kernel: 2,
+            stride: 2,
+            padding: Padding::Valid,
+        },
+        &[x1],
+    );
+    let c2 = scale_ch(128, alpha);
+    let x2 = conv_bn_relu(&mut b, &mut init, "conv2", p1, c1, c2, 3, 1);
+    let p2 = b.op(
+        "pool2",
+        LayerKind::Pool {
+            kind: PoolKind::Max,
+            kernel: 2,
+            stride: 2,
+            padding: Padding::Valid,
+        },
+        &[x2],
+    );
+    let (fh, fw) = (h / 4, w / 4);
+    // Collapse height into features: [1, fh, fw, c2] -> [1, fw, fh*c2].
+    let seq = b.op(
+        "to_seq",
+        LayerKind::Reshape {
+            dims: vec![fw, fh * c2],
+        },
+        &[p2],
+    );
+    let units = scale_ch(128, alpha);
+    let gate = (fh * c2 + units + 1) * units;
+    let lstm = b.layer(
+        "lstm",
+        LayerKind::Lstm { units },
+        &[seq],
+        Some(init.weights(4 * gate, fh * c2 + units)),
+        None,
+    );
+    let charset = 96;
+    let logits = b.layer(
+        "logits",
+        LayerKind::Dense { units: charset },
+        &[lstm],
+        Some(init.weights(units * charset, units)),
+        Some(init.bias(charset)),
+    );
+    let sm = b.op("prob", LayerKind::Softmax, &[logits]);
+    b.finish(vec![sm]).expect("crnn is valid by construction")
+}
+
+/// Contour / landmark detector: MobileNet-ish trunk regressing a fixed
+/// landmark vector (face meshes, document corners).
+pub fn contour_net(rng: &mut StdRng, res: usize, alpha: f64) -> Graph {
+    let mut b = GraphBuilder::new("contournet");
+    let mut init = Init::new(rng);
+    let input = b.input("input", Shape::nhwc(1, res, res, 3), DType::F32);
+    let c0 = scale_ch(16, alpha * 2.0);
+    let mut x = conv_bn_relu(&mut b, &mut init, "stem", input, 3, c0, 3, 2);
+    let mut cin = c0;
+    for (i, &(cout, stride)) in [(32usize, 2usize), (64, 2), (128, 2), (128, 1)]
+        .iter()
+        .enumerate()
+    {
+        let cout = scale_ch(cout, alpha * 2.0);
+        x = dw_separable(&mut b, &mut init, &format!("block{i}"), x, cin, cout, stride);
+        cin = cout;
+    }
+    let gap = b.op("gap", LayerKind::GlobalPool(PoolKind::Avg), &[x]);
+    let flat = b.op("flatten", LayerKind::Reshape { dims: vec![cin] }, &[gap]);
+    let landmarks = 468 * 3; // dense face mesh
+    let fc = b.layer(
+        "landmarks",
+        LayerKind::Dense { units: landmarks },
+        &[flat],
+        Some(init.weights(cin * landmarks, cin)),
+        Some(init.bias(landmarks)),
+    );
+    b.finish(vec![fc]).expect("contour_net is valid by construction")
+}
+
+/// Pose estimation: trunk + transpose-conv heatmap head (PoseNet-style).
+pub fn pose_net(rng: &mut StdRng, res: usize, alpha: f64) -> Graph {
+    let mut b = GraphBuilder::new("posenet");
+    let mut init = Init::new(rng);
+    let input = b.input("input", Shape::nhwc(1, res, res, 3), DType::F32);
+    let c0 = scale_ch(32, alpha);
+    let mut x = conv_bn_relu(&mut b, &mut init, "stem", input, 3, c0, 3, 2);
+    let mut cin = c0;
+    for (i, &(cout, stride)) in [(64usize, 2usize), (128, 2), (256, 2)].iter().enumerate() {
+        let cout = scale_ch(cout, alpha);
+        x = dw_separable(&mut b, &mut init, &format!("block{i}"), x, cin, cout, stride);
+        cin = cout;
+    }
+    let up_ch = scale_ch(64, alpha);
+    let up = b.layer(
+        "up",
+        LayerKind::TransposeConv2d {
+            out_channels: up_ch,
+            kernel: 4,
+            stride: 2,
+        },
+        &[x],
+        Some(init.weights(4 * 4 * cin * up_ch, 16 * cin)),
+        Some(init.bias(up_ch)),
+    );
+    let act = b.op("up/relu", LayerKind::Activation(ActKind::Relu), &[up]);
+    let keypoints = 17;
+    let heat = b.layer(
+        "heatmaps",
+        LayerKind::Conv2d {
+            out_channels: keypoints,
+            kernel: 1,
+            stride: 1,
+            padding: Padding::Same,
+        },
+        &[act],
+        Some(init.weights(up_ch * keypoints, up_ch)),
+        Some(init.bias(keypoints)),
+    );
+    let sig = b.op("sigmoid", LayerKind::Activation(ActKind::Sigmoid), &[heat]);
+    b.finish(vec![sig]).expect("pose_net is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::infer_shapes;
+    use crate::trace::trace_graph;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn mobilenet_v1_shapes_and_flops() {
+        let g = mobilenet_v1(&mut rng(), 128, 0.25, 1000);
+        g.validate().unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        let out = &shapes[g.outputs[0]];
+        assert_eq!(out.channels(), 1000);
+        let tr = trace_graph(&g).unwrap();
+        // alpha 0.25 @128 is roughly 1/16 * (128/224)^2 of full MobileNet
+        // (~569 MFLOPs) — sanity band, not exact.
+        assert!(tr.total_flops > 5_000_000, "flops {}", tr.total_flops);
+        assert!(tr.total_flops < 200_000_000, "flops {}", tr.total_flops);
+    }
+
+    #[test]
+    fn mobilenet_v2_has_residuals() {
+        let g = mobilenet_v2(&mut rng(), 96, 0.25, 100);
+        g.validate().unwrap();
+        let adds = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, LayerKind::Binary(BinOp::Add)))
+            .count();
+        assert!(adds >= 5, "expected residual adds, found {adds}");
+    }
+
+    #[test]
+    fn fssd_has_two_output_heads_and_fusion() {
+        let g = fssd(&mut rng(), 128, 0.25);
+        g.validate().unwrap();
+        assert_eq!(g.outputs.len(), 2);
+        assert!(g
+            .nodes
+            .iter()
+            .any(|n| matches!(n.kind, LayerKind::Resize { .. })));
+        assert!(g.nodes.iter().any(|n| matches!(n.kind, LayerKind::Concat)));
+    }
+
+    #[test]
+    fn blazeface_uses_5x5_depthwise() {
+        let g = blazeface(&mut rng(), 128);
+        g.validate().unwrap();
+        assert!(g
+            .nodes
+            .iter()
+            .any(|n| matches!(n.kind, LayerKind::DepthwiseConv2d { kernel: 5, .. })));
+        assert_eq!(g.outputs.len(), 2);
+    }
+
+    #[test]
+    fn unet_output_matches_input_resolution() {
+        let g = unet_segmenter(&mut rng(), 64, 8);
+        g.validate().unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        let out = &shapes[g.outputs[0]];
+        assert_eq!(out.hwc(), Some((64, 64, 2)));
+    }
+
+    #[test]
+    fn unet_is_heavy_relative_to_contour() {
+        let u = trace_graph(&unet_segmenter(&mut rng(), 128, 12)).unwrap();
+        let c = trace_graph(&contour_net(&mut rng(), 128, 0.25)).unwrap();
+        assert!(u.total_flops > c.total_flops);
+    }
+
+    #[test]
+    fn crnn_is_sequential_over_width() {
+        let g = crnn_text(&mut rng(), 32, 96, 0.25);
+        g.validate().unwrap();
+        assert!(g
+            .nodes
+            .iter()
+            .any(|n| matches!(n.kind, LayerKind::Lstm { .. })));
+        let shapes = infer_shapes(&g).unwrap();
+        let out = &shapes[g.outputs[0]];
+        assert_eq!(out.dim(1), 96 / 4, "sequence length is width/4");
+    }
+
+    #[test]
+    fn pose_net_emits_17_heatmaps() {
+        let g = pose_net(&mut rng(), 128, 0.25);
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[g.outputs[0]].channels(), 17);
+    }
+
+    #[test]
+    fn generators_differ_across_seeds() {
+        let a = mobilenet_v1(&mut StdRng::seed_from_u64(1), 96, 0.25, 10);
+        let b = mobilenet_v1(&mut StdRng::seed_from_u64(2), 96, 0.25, 10);
+        assert_ne!(a, b);
+    }
+}
+
+/// SqueezeNet-style fire module: a 1×1 squeeze conv followed by parallel
+/// 1×1 and 3×3 expand convs, concatenated.
+fn fire_module(
+    b: &mut GraphBuilder,
+    init: &mut Init,
+    name: &str,
+    input: NodeId,
+    cin: usize,
+    squeeze: usize,
+    expand: usize,
+) -> NodeId {
+    let s = conv_bn_relu(b, init, &format!("{name}/squeeze"), input, cin, squeeze, 1, 1);
+    let e1 = conv_bn_relu(b, init, &format!("{name}/expand1x1"), s, squeeze, expand, 1, 1);
+    let e3 = conv_bn_relu(b, init, &format!("{name}/expand3x3"), s, squeeze, expand, 3, 1);
+    b.op(format!("{name}/concat"), LayerKind::Concat, &[e1, e3])
+}
+
+/// SqueezeNet-flavoured classifier — an alternative compact family some
+/// wild apps ship instead of MobileNets.
+pub fn squeezenet(rng: &mut StdRng, res: usize, alpha: f64, classes: usize) -> Graph {
+    let mut b = GraphBuilder::new("squeezenet");
+    let mut init = Init::new(rng);
+    let input = b.input("input", Shape::nhwc(1, res, res, 3), DType::F32);
+    let c0 = scale_ch(64, alpha);
+    let mut x = conv_bn_relu(&mut b, &mut init, "stem", input, 3, c0, 3, 2);
+    let mut cin = c0;
+    let cfg: [(usize, usize); 4] = [(16, 64), (16, 64), (32, 128), (32, 128)];
+    for (i, &(sq, ex)) in cfg.iter().enumerate() {
+        if i % 2 == 0 {
+            x = b.op(
+                format!("pool{i}"),
+                LayerKind::Pool {
+                    kind: PoolKind::Max,
+                    kernel: 2,
+                    stride: 2,
+                    padding: Padding::Valid,
+                },
+                &[x],
+            );
+        }
+        let sq = scale_ch(sq, alpha);
+        let ex = scale_ch(ex, alpha);
+        x = fire_module(&mut b, &mut init, &format!("fire{i}"), x, cin, sq, ex);
+        cin = 2 * ex;
+    }
+    // SqueezeNet's classifier is a conv, not a dense layer.
+    let logits = b.layer(
+        "conv_classifier",
+        LayerKind::Conv2d {
+            out_channels: classes,
+            kernel: 1,
+            stride: 1,
+            padding: Padding::Same,
+        },
+        &[x],
+        Some(init.weights(cin * classes, cin)),
+        Some(init.bias(classes)),
+    );
+    let gap = b.op("gap", LayerKind::GlobalPool(PoolKind::Avg), &[logits]);
+    let flat = b.op("flatten", LayerKind::Reshape { dims: vec![classes] }, &[gap]);
+    let sm = b.op("prob", LayerKind::Softmax, &[flat]);
+    b.finish(vec![sm]).expect("squeezenet is valid by construction")
+}
+
+/// Fast-style-transfer-flavoured net: strided encoder, residual body,
+/// transpose-conv decoder — the photo-beauty family that is *not* a U-Net.
+pub fn style_transfer_net(rng: &mut StdRng, res: usize, base: usize) -> Graph {
+    let mut b = GraphBuilder::new("styletransfer");
+    let mut init = Init::new(rng);
+    let input = b.input("input", Shape::nhwc(1, res, res, 3), DType::F32);
+    let e1 = conv_bn_relu(&mut b, &mut init, "enc1", input, 3, base, 3, 1);
+    let e2 = conv_bn_relu(&mut b, &mut init, "enc2", e1, base, base * 2, 3, 2);
+    let mut x = conv_bn_relu(&mut b, &mut init, "enc3", e2, base * 2, base * 4, 3, 2);
+    let c = base * 4;
+    for i in 0..3 {
+        let r1 = conv_bn_relu(&mut b, &mut init, &format!("res{i}/a"), x, c, c, 3, 1);
+        let r2 = b.layer(
+            format!("res{i}/b"),
+            LayerKind::Conv2d {
+                out_channels: c,
+                kernel: 3,
+                stride: 1,
+                padding: Padding::Same,
+            },
+            &[r1],
+            Some(init.weights(9 * c * c, 9 * c)),
+            Some(init.bias(c)),
+        );
+        x = b.op(format!("res{i}/add"), LayerKind::Binary(BinOp::Add), &[x, r2]);
+    }
+    let d1 = b.layer(
+        "dec1",
+        LayerKind::TransposeConv2d {
+            out_channels: base * 2,
+            kernel: 2,
+            stride: 2,
+        },
+        &[x],
+        Some(init.weights(4 * c * base * 2, 4 * c)),
+        Some(init.bias(base * 2)),
+    );
+    let a1 = b.op("dec1/relu", LayerKind::Activation(ActKind::Relu), &[d1]);
+    let d2 = b.layer(
+        "dec2",
+        LayerKind::TransposeConv2d {
+            out_channels: base,
+            kernel: 2,
+            stride: 2,
+        },
+        &[a1],
+        Some(init.weights(4 * base * 2 * base, 4 * base * 2)),
+        Some(init.bias(base)),
+    );
+    let a2 = b.op("dec2/relu", LayerKind::Activation(ActKind::Relu), &[d2]);
+    let rgb = b.layer(
+        "to_rgb",
+        LayerKind::Conv2d {
+            out_channels: 3,
+            kernel: 3,
+            stride: 1,
+            padding: Padding::Same,
+        },
+        &[a2],
+        Some(init.weights(9 * base * 3, 9 * base)),
+        Some(init.bias(3)),
+    );
+    let out = b.op("tanh", LayerKind::Activation(ActKind::Tanh), &[rgb]);
+    b.finish(vec![out]).expect("style_transfer_net is valid by construction")
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use crate::shape::infer_shapes;
+    use crate::trace::trace_graph;
+    use rand::SeedableRng;
+
+    #[test]
+    fn squeezenet_concat_structure_and_head() {
+        let g = squeezenet(&mut StdRng::seed_from_u64(2), 96, 0.5, 100);
+        g.validate().unwrap();
+        let concats = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, LayerKind::Concat))
+            .count();
+        assert_eq!(concats, 4, "one concat per fire module");
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[g.outputs[0]].channels(), 100);
+        assert!(
+            !g.nodes.iter().any(|n| matches!(n.kind, LayerKind::Dense { .. })),
+            "squeezenet uses a conv classifier, not dense"
+        );
+    }
+
+    #[test]
+    fn style_transfer_preserves_resolution() {
+        let g = style_transfer_net(&mut StdRng::seed_from_u64(3), 64, 8);
+        g.validate().unwrap();
+        let shapes = infer_shapes(&g).unwrap();
+        assert_eq!(shapes[g.outputs[0]].hwc(), Some((64, 64, 3)));
+        let adds = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, LayerKind::Binary(BinOp::Add)))
+            .count();
+        assert_eq!(adds, 3, "three residual blocks");
+        let tr = trace_graph(&g).unwrap();
+        assert!(tr.total_flops > 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Multi-device benchmark campaigns.
+//!
+//! The paper benchmarks hundreds of models across six devices. A campaign
+//! fans a job list out to one worker thread per device (each with its own
+//! master listener and USB switch), fed from a shared crossbeam channel —
+//! devices of different speeds naturally drain the queue at different
+//! rates, like the physical rack in Fig. 2.
+
+use crate::device::DeviceAgent;
+use crate::job::{JobResult, JobSpec};
+use crate::master::Master;
+use crossbeam::channel;
+use gaugenn_soc::DeviceSpec;
+
+/// One campaign job: a spec plus its model files.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Job spec template (the id is preserved).
+    pub spec: JobSpec,
+    /// Model files to push.
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+/// Outcome of one (device, job) pair.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// Device name.
+    pub device: String,
+    /// Job id.
+    pub job_id: u64,
+    /// The measurement, or the device-side failure.
+    pub outcome: Result<JobResult, String>,
+}
+
+/// Run every job on every device. Returns one result per (device, job).
+///
+/// Jobs are cloned per device (each device runs the full list, as in the
+/// paper's per-device sweeps); devices run in parallel threads.
+pub fn run_campaign(devices: &[DeviceSpec], jobs: &[Campaign]) -> Vec<CampaignResult> {
+    let mut handles = Vec::new();
+    for spec in devices {
+        let (tx, rx) = channel::unbounded::<Campaign>();
+        for j in jobs {
+            tx.send(j.clone()).expect("receiver alive");
+        }
+        drop(tx);
+        let spec = spec.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut out = Vec::new();
+            let master = match Master::new() {
+                Ok(m) => m,
+                Err(e) => {
+                    return vec![CampaignResult {
+                        device: spec.name.to_string(),
+                        job_id: 0,
+                        outcome: Err(format!("master bind failed: {e}")),
+                    }]
+                }
+            };
+            let mut agent = DeviceAgent::new(spec.clone());
+            while let Ok(job) = rx.recv() {
+                let outcome = master
+                    .run_job(&mut agent, &job.spec, &job.files)
+                    .map_err(|e| e.to_string());
+                out.push(CampaignResult {
+                    device: spec.name.to_string(),
+                    job_id: job.spec.id,
+                    outcome,
+                });
+            }
+            out
+        }));
+    }
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("device worker panicked"));
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugenn_dnn::task::Task;
+    use gaugenn_dnn::zoo::{build_for_task, SizeClass};
+    use gaugenn_modelfmt::Framework;
+    use gaugenn_soc::sched::ThreadConfig;
+    use gaugenn_soc::spec::{device, hdks};
+    use gaugenn_soc::Backend;
+
+    fn campaign(id: u64, task: Task, seed: u64) -> Campaign {
+        let g = build_for_task(task, seed, SizeClass::Small, true).graph;
+        let files = gaugenn_modelfmt::encode(&g, Framework::TfLite).unwrap().files;
+        Campaign {
+            spec: JobSpec {
+                runs: 4,
+                warmups: 1,
+                ..JobSpec::new(id, files[0].0.clone(), Backend::Cpu(ThreadConfig::unpinned(4)))
+            },
+            files,
+        }
+    }
+
+    #[test]
+    fn campaign_covers_devices_times_jobs() {
+        let devices = hdks();
+        let jobs = vec![
+            campaign(1, Task::MovementTracking, 1),
+            campaign(2, Task::KeywordDetection, 2),
+        ];
+        let results = run_campaign(&devices, &jobs);
+        assert_eq!(results.len(), devices.len() * jobs.len());
+        assert!(results.iter().all(|r| r.outcome.is_ok()), "{results:?}");
+        // Generations must order on mean latency for the same job.
+        let mean = |dev: &str| -> f64 {
+            results
+                .iter()
+                .filter(|r| r.device == dev)
+                .filter_map(|r| r.outcome.as_ref().ok())
+                .map(|j| j.mean_latency_ms())
+                .sum::<f64>()
+        };
+        assert!(mean("Q845") > mean("Q855"));
+        assert!(mean("Q855") > mean("Q888"));
+    }
+
+    #[test]
+    fn failures_are_isolated_per_job() {
+        let devices = vec![device("Q845").unwrap()];
+        let good = campaign(1, Task::MovementTracking, 1);
+        let mut bad = campaign(2, Task::AutoComplete, 2);
+        bad.spec.backend = Backend::Snpe(gaugenn_soc::SnpeTarget::Dsp);
+        let results = run_campaign(&devices, &[good, bad]);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().any(|r| r.outcome.is_ok()));
+        assert!(results.iter().any(|r| r.outcome.is_err()));
+    }
+}

@@ -1,0 +1,269 @@
+//! Benchmark job specifications and result files.
+//!
+//! Jobs and results cross the adb boundary as text files — the same way
+//! the paper's headless on-device script consumes a config and leaves a
+//! results file for the master to pull.
+
+use crate::{HarnessError, Result};
+use gaugenn_soc::sched::ThreadConfig;
+use gaugenn_soc::{Backend, SnpeTarget};
+
+/// One benchmark job (§3.3: "a configurable amount of warmup inferences …
+/// the actual benchmark inferences with a configurable inter-experiment
+/// sleep period").
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique job id.
+    pub id: u64,
+    /// Model file name on the device (under the push directory).
+    pub model_file: String,
+    /// Backend to execute on.
+    pub backend: Backend,
+    /// Batch size per inference.
+    pub batch: usize,
+    /// Warm-up inferences (cold-cache outlier removal).
+    pub warmups: u32,
+    /// Measured inferences.
+    pub runs: u32,
+    /// Sleep between runs, milliseconds (simulated time).
+    pub sleep_ms: u32,
+    /// Execute a real reference-interpreter forward pass per measured run
+    /// (tests only; expensive for big models).
+    pub verify_outputs: bool,
+}
+
+impl JobSpec {
+    /// Conventional defaults: 3 warmups, 10 runs, 50 ms sleeps.
+    pub fn new(id: u64, model_file: impl Into<String>, backend: Backend) -> JobSpec {
+        JobSpec {
+            id,
+            model_file: model_file.into(),
+            backend,
+            batch: 1,
+            warmups: 3,
+            runs: 10,
+            sleep_ms: 50,
+            verify_outputs: false,
+        }
+    }
+
+    /// Serialise to the on-device config file format.
+    pub fn to_text(&self) -> String {
+        format!(
+            "job={}\nmodel={}\nbackend={}\nbatch={}\nwarmups={}\nruns={}\nsleep_ms={}\nverify={}\n",
+            self.id,
+            self.model_file,
+            backend_token(&self.backend),
+            self.batch,
+            self.warmups,
+            self.runs,
+            self.sleep_ms,
+            self.verify_outputs,
+        )
+    }
+
+    /// Parse the on-device config file format.
+    pub fn from_text(text: &str) -> Result<JobSpec> {
+        let get = |key: &str| -> Result<&str> {
+            text.lines()
+                .find_map(|l| l.strip_prefix(key))
+                .ok_or_else(|| HarnessError::Format(format!("job file missing '{key}'")))
+        };
+        Ok(JobSpec {
+            id: parse(get("job=")?)?,
+            model_file: get("model=")?.to_string(),
+            backend: parse_backend(get("backend=")?)?,
+            batch: parse(get("batch=")?)?,
+            warmups: parse(get("warmups=")?)?,
+            runs: parse(get("runs=")?)?,
+            sleep_ms: parse(get("sleep_ms=")?)?,
+            verify_outputs: get("verify=")? == "true",
+        })
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T> {
+    s.parse()
+        .map_err(|_| HarnessError::Format(format!("bad numeric field '{s}'")))
+}
+
+fn backend_token(b: &Backend) -> String {
+    match b {
+        Backend::Cpu(c) => format!("cpu:{}", c.label()),
+        Backend::Xnnpack(c) => format!("xnnpack:{}", c.label()),
+        Backend::Nnapi => "nnapi".into(),
+        Backend::Gpu => "gpu".into(),
+        Backend::Snpe(SnpeTarget::Cpu) => "snpe-cpu".into(),
+        Backend::Snpe(SnpeTarget::Gpu) => "snpe-gpu".into(),
+        Backend::Snpe(SnpeTarget::Dsp) => "snpe-dsp".into(),
+    }
+}
+
+fn parse_backend(s: &str) -> Result<Backend> {
+    let thread_cfg = |label: &str| -> Result<ThreadConfig> {
+        if let Some((t, a)) = label.split_once('a') {
+            Ok(ThreadConfig::pinned(parse(t)?, parse(a)?))
+        } else {
+            Ok(ThreadConfig::unpinned(parse(label)?))
+        }
+    };
+    Ok(match s {
+        "nnapi" => Backend::Nnapi,
+        "gpu" => Backend::Gpu,
+        "snpe-cpu" => Backend::Snpe(SnpeTarget::Cpu),
+        "snpe-gpu" => Backend::Snpe(SnpeTarget::Gpu),
+        "snpe-dsp" => Backend::Snpe(SnpeTarget::Dsp),
+        other => {
+            let (kind, label) = other
+                .split_once(':')
+                .ok_or_else(|| HarnessError::Format(format!("bad backend '{other}'")))?;
+            match kind {
+                "cpu" => Backend::Cpu(thread_cfg(label)?),
+                "xnnpack" => Backend::Xnnpack(thread_cfg(label)?),
+                _ => return Err(HarnessError::Format(format!("bad backend '{other}'"))),
+            }
+        }
+    })
+}
+
+/// Measured results of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Job id.
+    pub job_id: u64,
+    /// Device name.
+    pub device: String,
+    /// Per-run latency, milliseconds.
+    pub latencies_ms: Vec<f64>,
+    /// Per-run energy, millijoules.
+    pub energies_mj: Vec<f64>,
+    /// Mean power across runs, watts.
+    pub avg_power_w: f64,
+    /// Die temperature at the end of the job, °C.
+    pub final_temp_c: f64,
+}
+
+impl JobResult {
+    /// Mean latency over the measured runs.
+    pub fn mean_latency_ms(&self) -> f64 {
+        mean(&self.latencies_ms)
+    }
+
+    /// Mean energy over the measured runs.
+    pub fn mean_energy_mj(&self) -> f64 {
+        mean(&self.energies_mj)
+    }
+
+    /// Serialise to the on-device results file format.
+    pub fn to_text(&self) -> String {
+        let lat: Vec<String> = self.latencies_ms.iter().map(|v| format!("{v:.6}")).collect();
+        let en: Vec<String> = self.energies_mj.iter().map(|v| format!("{v:.6}")).collect();
+        format!(
+            "job={}\ndevice={}\nlat_ms={}\nenergy_mj={}\navg_power_w={:.6}\nfinal_temp_c={:.3}\n",
+            self.job_id,
+            self.device,
+            lat.join(","),
+            en.join(","),
+            self.avg_power_w,
+            self.final_temp_c,
+        )
+    }
+
+    /// Parse the results file format.
+    pub fn from_text(text: &str) -> Result<JobResult> {
+        let get = |key: &str| -> Result<&str> {
+            text.lines()
+                .find_map(|l| l.strip_prefix(key))
+                .ok_or_else(|| HarnessError::Format(format!("result file missing '{key}'")))
+        };
+        let list = |s: &str| -> Result<Vec<f64>> {
+            if s.is_empty() {
+                return Ok(vec![]);
+            }
+            s.split(',').map(parse::<f64>).collect()
+        };
+        Ok(JobResult {
+            job_id: parse(get("job=")?)?,
+            device: get("device=")?.to_string(),
+            latencies_ms: list(get("lat_ms=")?)?,
+            energies_mj: list(get("energy_mj=")?)?,
+            avg_power_w: parse(get("avg_power_w=")?)?,
+            final_temp_c: parse(get("final_temp_c=")?)?,
+        })
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_roundtrip_all_backends() {
+        let backends = [
+            Backend::Cpu(ThreadConfig::unpinned(4)),
+            Backend::Cpu(ThreadConfig::pinned(4, 2)),
+            Backend::Xnnpack(ThreadConfig::unpinned(2)),
+            Backend::Nnapi,
+            Backend::Gpu,
+            Backend::Snpe(SnpeTarget::Cpu),
+            Backend::Snpe(SnpeTarget::Gpu),
+            Backend::Snpe(SnpeTarget::Dsp),
+        ];
+        for (i, b) in backends.into_iter().enumerate() {
+            let spec = JobSpec {
+                batch: 5,
+                verify_outputs: true,
+                ..JobSpec::new(i as u64, "m.tflite", b)
+            };
+            let back = JobSpec::from_text(&spec.to_text()).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn result_roundtrip() {
+        let r = JobResult {
+            job_id: 9,
+            device: "Q845".into(),
+            latencies_ms: vec![10.5, 11.25, 10.75],
+            energies_mj: vec![80.0, 81.5],
+            avg_power_w: 7.2,
+            final_temp_c: 41.5,
+        };
+        let back = JobResult::from_text(&r.to_text()).unwrap();
+        assert_eq!(back.job_id, 9);
+        assert_eq!(back.latencies_ms.len(), 3);
+        assert!((back.mean_latency_ms() - r.mean_latency_ms()).abs() < 1e-9);
+        assert!((back.avg_power_w - 7.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_runs_roundtrip() {
+        let r = JobResult {
+            job_id: 1,
+            device: "A20".into(),
+            latencies_ms: vec![],
+            energies_mj: vec![],
+            avg_power_w: 0.0,
+            final_temp_c: 25.0,
+        };
+        let back = JobResult::from_text(&r.to_text()).unwrap();
+        assert!(back.latencies_ms.is_empty());
+        assert_eq!(back.mean_latency_ms(), 0.0);
+    }
+
+    #[test]
+    fn malformed_files_rejected() {
+        assert!(JobSpec::from_text("nonsense").is_err());
+        assert!(JobResult::from_text("job=1\n").is_err());
+        assert!(JobSpec::from_text("job=x\nmodel=m\nbackend=gpu\nbatch=1\nwarmups=1\nruns=1\nsleep_ms=0\nverify=false\n").is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! # gaugenn-harness — master–slave on-device benchmark harness
+//!
+//! Reproduces the gaugeNN benchmarking platform of §3.3 (Figs. 2 and 3):
+//! a master orchestrates phones connected over USB, pushes models and a
+//! headless benchmark script via adb, cuts USB power through a
+//! programmable switch so charging cannot pollute the Monsoon capture,
+//! waits for the device's netcat-style TCP completion message, then
+//! restores power and collects results.
+//!
+//! The "devices" here are simulated agents wrapping the `gaugenn-soc`
+//! performance model and `gaugenn-power` energy substrate, but the
+//! *orchestration* is real: a TCP listener on the master, a device thread
+//! that connects back, adb-style push/pull gated on the USB data channel,
+//! and text-framed job/result files.
+//!
+//! * [`job`] — job specs and result files (text-framed, adb-pullable).
+//! * [`adb`] — the adb transport and on-device file system stand-in.
+//! * [`device`] — the device agent: state assertions, warm-up runs, timed
+//!   runs, completion notification.
+//! * [`master`] — single-device orchestration (the Fig. 3 workflow).
+//! * [`campaign`] — multi-device fan-out with crossbeam work queues.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adb;
+pub mod campaign;
+pub mod device;
+pub mod job;
+pub mod master;
+
+pub use campaign::{run_campaign, Campaign, CampaignResult};
+pub use job::{JobSpec, JobResult};
+pub use master::Master;
+
+/// Errors from the harness.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// Socket failure.
+    Io(std::io::Error),
+    /// adb operation attempted without a data channel.
+    AdbUnreachable,
+    /// Device-side failure (model incompatible with backend, bad state…).
+    Device(String),
+    /// Job/result file framing problem.
+    Format(String),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Io(e) => write!(f, "io error: {e}"),
+            HarnessError::AdbUnreachable => write!(f, "adb unreachable (usb data channel off)"),
+            HarnessError::Device(r) => write!(f, "device error: {r}"),
+            HarnessError::Format(r) => write!(f, "format error: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<std::io::Error> for HarnessError {
+    fn from(e: std::io::Error) -> Self {
+        HarnessError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, HarnessError>;

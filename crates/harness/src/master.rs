@@ -1,0 +1,178 @@
+//! The master: single-device orchestration of the Fig. 3 workflow.
+//!
+//! For each job the master ① pushes the model and job file over adb and
+//! asserts the device state, ② launches the headless agent (a thread),
+//! ③ cuts USB power via the switch board, ④ waits for the device's TCP
+//! completion message on its listener, ⑤ restores power, pulls the result
+//! file and cleans up.
+
+use crate::adb::Adb;
+use crate::device::{DeviceAgent, JOB_PATH, MODEL_DIR, RESULT_PATH};
+use crate::job::{JobResult, JobSpec};
+use crate::{HarnessError, Result};
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+/// The benchmark master for one device.
+pub struct Master {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Master {
+    /// Bind the completion listener on an ephemeral loopback port.
+    pub fn new() -> Result<Master> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        Ok(Master { listener, addr })
+    }
+
+    /// Completion-listener address the device will netcat to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Run one job on one device agent, end to end.
+    ///
+    /// `model_files` are `(file_name, bytes)` pairs to push (split formats
+    /// push several files).
+    pub fn run_job(
+        &self,
+        agent: &mut DeviceAgent,
+        job: &JobSpec,
+        model_files: &[(String, Vec<u8>)],
+    ) -> Result<JobResult> {
+        let endpoint = agent.endpoint.clone();
+        let adb = Adb::connect(endpoint.clone());
+
+        // ① Push dependencies and assert device state (USB power is on).
+        endpoint.usb_power_restore();
+        for (name, bytes) in model_files {
+            adb.push(&format!("{MODEL_DIR}/{name}"), bytes.clone())?;
+        }
+        adb.push(JOB_PATH, job.to_text().into_bytes())?;
+        adb.assert_benchmark_state()?;
+
+        // ② Launch the headless agent thread, then ③ cut USB power.
+        let master_addr = self.addr;
+        let mut moved_agent = std::mem::replace(agent, DeviceAgent::new(agent.spec.clone()));
+        let handle = std::thread::spawn(move || {
+            let res = moved_agent.run_headless(master_addr, Duration::from_secs(10));
+            (moved_agent, res)
+        });
+        endpoint.usb_power_off();
+
+        // ④ Wait for the completion message.
+        self.listener
+            .set_nonblocking(false)
+            .map_err(HarnessError::Io)?;
+        let (stream, _) = self.listener.accept()?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line)?;
+        let line = line.trim_end();
+
+        // ⑤ Restore power, join the agent (keeping its thermal state),
+        // pull results, clean up.
+        endpoint.usb_power_restore();
+        let (returned_agent, headless_result) = handle
+            .join()
+            .map_err(|_| HarnessError::Device("device agent panicked".into()))?;
+        *agent = returned_agent;
+        headless_result?;
+
+        let result_bytes = adb.pull(RESULT_PATH)?;
+        adb.rm(RESULT_PATH)?;
+        adb.rm(JOB_PATH)?;
+        for (name, _) in model_files {
+            adb.rm(&format!("{MODEL_DIR}/{name}"))?;
+        }
+
+        let text = String::from_utf8_lossy(&result_bytes);
+        if let Some(err) = text.strip_prefix("error=") {
+            return Err(HarnessError::Device(err.trim().to_string()));
+        }
+        let expected = format!("DONE {}", job.id);
+        if line != expected {
+            return Err(HarnessError::Device(format!(
+                "unexpected completion message '{line}', wanted '{expected}'"
+            )));
+        }
+        JobResult::from_text(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugenn_dnn::task::Task;
+    use gaugenn_dnn::zoo::{build_for_task, SizeClass};
+    use gaugenn_modelfmt::Framework;
+    use gaugenn_soc::sched::ThreadConfig;
+    use gaugenn_soc::spec::device;
+    use gaugenn_soc::Backend;
+
+    fn model_files(task: Task, seed: u64) -> Vec<(String, Vec<u8>)> {
+        let g = build_for_task(task, seed, SizeClass::Small, true).graph;
+        gaugenn_modelfmt::encode(&g, Framework::TfLite).unwrap().files
+    }
+
+    #[test]
+    fn full_workflow_roundtrip() {
+        let master = Master::new().unwrap();
+        let mut agent = DeviceAgent::new(device("Q845").unwrap());
+        let files = model_files(Task::MovementTracking, 1);
+        let job = JobSpec::new(
+            42,
+            files[0].0.clone(),
+            Backend::Cpu(ThreadConfig::unpinned(4)),
+        );
+        let result = master.run_job(&mut agent, &job, &files).unwrap();
+        assert_eq!(result.job_id, 42);
+        assert_eq!(result.device, "Q845");
+        assert_eq!(result.latencies_ms.len(), 10);
+        // Device is back on USB power with WiFi restored.
+        assert!(agent.endpoint.usb().power_on);
+        assert!(agent.endpoint.state().wifi_on);
+        // Files were cleaned up.
+        assert!(agent.endpoint.read_local(RESULT_PATH).is_none());
+    }
+
+    #[test]
+    fn sequential_jobs_share_thermal_history() {
+        let master = Master::new().unwrap();
+        let mut agent = DeviceAgent::new(device("S21").unwrap());
+        let files = model_files(Task::SemanticSegmentation, 2);
+        let mut temps = Vec::new();
+        for id in 0..3 {
+            let job = JobSpec {
+                runs: 8,
+                sleep_ms: 0,
+                ..JobSpec::new(id, files[0].0.clone(), Backend::Cpu(ThreadConfig::unpinned(4)))
+            };
+            let r = master.run_job(&mut agent, &job, &files).unwrap();
+            temps.push(r.final_temp_c);
+        }
+        assert!(
+            temps[2] > temps[0],
+            "continuous benchmarking should accumulate heat: {temps:?}"
+        );
+    }
+
+    #[test]
+    fn device_failure_is_reported() {
+        let master = Master::new().unwrap();
+        let mut agent = DeviceAgent::new(device("Q845").unwrap());
+        let files = model_files(Task::AutoComplete, 3); // LSTM: DSP-incompatible
+        let job = JobSpec::new(
+            7,
+            files[0].0.clone(),
+            Backend::Snpe(gaugenn_soc::SnpeTarget::Dsp),
+        );
+        let err = master.run_job(&mut agent, &job, &files).unwrap_err();
+        assert!(matches!(err, HarnessError::Device(_)), "{err}");
+        // Device recovered: power restored, adb reachable.
+        assert!(agent.endpoint.usb().power_on);
+    }
+}

@@ -1,0 +1,82 @@
+//! A FlatBuffer-style file layout.
+//!
+//! Real TFLite models are FlatBuffers: bytes 0..4 hold the root table
+//! offset and bytes 4..8 hold the 4-character *file identifier* — `"TFL3"`
+//! for TFLite — which is exactly what the paper's validator probes for
+//! (§3.1). This module reproduces that envelope: a root offset, the file
+//! identifier, and a payload the root offset points at.
+
+use crate::{FmtError, Result};
+
+/// Wrap `payload` in a FlatBuffer-style envelope with the 4-byte `ident`.
+///
+/// Layout: `[root_offset: u32][ident: 4B][version: u32][payload]`, with the
+/// root offset pointing at the version word (offset 8), mirroring how real
+/// FlatBuffers put the root table after the identifier.
+pub fn wrap(ident: &[u8; 4], version: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&8u32.to_le_bytes()); // root offset
+    out.extend_from_slice(ident);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Check whether `bytes` carry `ident` at offset 4 (the Netron-style probe).
+pub fn has_identifier(bytes: &[u8], ident: &[u8; 4]) -> bool {
+    bytes.len() >= 8 && &bytes[4..8] == ident
+}
+
+/// Unwrap an envelope, validating identifier and root offset.
+/// Returns `(version, payload)`.
+pub fn unwrap<'a>(bytes: &'a [u8], ident: &[u8; 4]) -> Result<(u32, &'a [u8])> {
+    if bytes.len() < 12 {
+        return Err(FmtError::Wire("flatbuffer envelope too short".into()));
+    }
+    if !has_identifier(bytes, ident) {
+        return Err(FmtError::Wire(format!(
+            "missing file identifier {:?} at offset 4",
+            String::from_utf8_lossy(ident)
+        )));
+    }
+    let root = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    if root + 4 > bytes.len() {
+        return Err(FmtError::Wire("root offset out of range".into()));
+    }
+    let version = u32::from_le_bytes([
+        bytes[root],
+        bytes[root + 1],
+        bytes[root + 2],
+        bytes[root + 3],
+    ]);
+    Ok((version, &bytes[root + 4..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let bytes = wrap(b"TFL3", 3, b"payload");
+        assert!(has_identifier(&bytes, b"TFL3"));
+        assert!(!has_identifier(&bytes, b"TFL2"));
+        let (v, p) = unwrap(&bytes, b"TFL3").unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(p, b"payload");
+    }
+
+    #[test]
+    fn rejects_wrong_ident() {
+        let bytes = wrap(b"XXXX", 1, b"");
+        assert!(unwrap(&bytes, b"TFL3").is_err());
+    }
+
+    #[test]
+    fn rejects_short_and_bad_root() {
+        assert!(unwrap(b"short", b"TFL3").is_err());
+        let mut bytes = wrap(b"TFL3", 1, b"data");
+        bytes[0] = 0xFF; // root offset way out of range
+        assert!(unwrap(&bytes, b"TFL3").is_err());
+    }
+}

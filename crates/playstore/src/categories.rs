@@ -1,0 +1,152 @@
+//! Play Store categories and per-category DNN densities.
+//!
+//! The weights below shape Fig. 4 (models per category, 2021) and Fig. 5
+//! (models added/removed between snapshots): communication and finance
+//! lead in 2021 — a pandemic-era reshuffle away from 2020's
+//! photography-first ranking — while lifestyle, food & drink and Wear
+//! shrink (§4.4, §4.6).
+
+/// One Play Store category row with its model-count weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Category {
+    /// Store display name.
+    pub name: &'static str,
+    /// Relative weight for DNN model instances in the 2021 snapshot.
+    pub models_2021: u32,
+    /// Relative weight for DNN model instances in the 2020 snapshot.
+    pub models_2020: u32,
+    /// Relative weight for cloud-ML-API-using apps (Fig. 15).
+    pub cloud_apps: u32,
+}
+
+/// The full category roster (34 categories, enough that 500-app pages
+/// cover the paper's 16.6 k-app snapshot).
+pub const CATEGORIES: [Category; 34] = [
+    Category { name: "communication", models_2021: 283, models_2020: 90, cloud_apps: 60 },
+    Category { name: "finance", models_2021: 230, models_2020: 85, cloud_apps: 75 },
+    Category { name: "photography", models_2021: 180, models_2020: 140, cloud_apps: 50 },
+    Category { name: "beauty", models_2021: 130, models_2020: 95, cloud_apps: 25 },
+    Category { name: "social", models_2021: 120, models_2020: 70, cloud_apps: 45 },
+    Category { name: "productivity", models_2021: 90, models_2020: 55, cloud_apps: 40 },
+    Category { name: "tools", models_2021: 80, models_2020: 50, cloud_apps: 35 },
+    Category { name: "video players", models_2021: 70, models_2020: 40, cloud_apps: 20 },
+    Category { name: "health & fitness", models_2021: 60, models_2020: 18, cloud_apps: 22 },
+    Category { name: "business", models_2021: 50, models_2020: 30, cloud_apps: 30 },
+    Category { name: "shopping", models_2021: 45, models_2020: 28, cloud_apps: 28 },
+    Category { name: "medical", models_2021: 45, models_2020: 12, cloud_apps: 15 },
+    Category { name: "education", models_2021: 40, models_2020: 22, cloud_apps: 18 },
+    Category { name: "entertainment", models_2021: 35, models_2020: 20, cloud_apps: 16 },
+    Category { name: "maps & navigation", models_2021: 30, models_2020: 18, cloud_apps: 12 },
+    Category { name: "music & audio", models_2021: 25, models_2020: 15, cloud_apps: 10 },
+    Category { name: "news & magazines", models_2021: 20, models_2020: 12, cloud_apps: 8 },
+    Category { name: "sports", models_2021: 18, models_2020: 10, cloud_apps: 6 },
+    Category { name: "travel & local", models_2021: 15, models_2020: 8, cloud_apps: 9 },
+    Category { name: "dating", models_2021: 14, models_2020: 8, cloud_apps: 5 },
+    Category { name: "parenting", models_2021: 12, models_2020: 7, cloud_apps: 3 },
+    Category { name: "books & reference", models_2021: 12, models_2020: 6, cloud_apps: 4 },
+    Category { name: "food & drink", models_2021: 10, models_2020: 22, cloud_apps: 4 },
+    Category { name: "personalization", models_2021: 9, models_2020: 6, cloud_apps: 2 },
+    Category { name: "art & design", models_2021: 8, models_2020: 5, cloud_apps: 2 },
+    Category { name: "lifestyle", models_2021: 8, models_2020: 28, cloud_apps: 3 },
+    Category { name: "auto & vehicles", models_2021: 6, models_2020: 3, cloud_apps: 2 },
+    Category { name: "house & home", models_2021: 5, models_2020: 3, cloud_apps: 1 },
+    Category { name: "weather", models_2021: 5, models_2020: 2, cloud_apps: 1 },
+    Category { name: "android wear", models_2021: 4, models_2020: 12, cloud_apps: 1 },
+    Category { name: "events", models_2021: 3, models_2020: 1, cloud_apps: 1 },
+    Category { name: "comics", models_2021: 2, models_2020: 1, cloud_apps: 0 },
+    Category { name: "libraries & demo", models_2021: 2, models_2020: 1, cloud_apps: 0 },
+    Category { name: "games", models_2021: 0, models_2020: 0, cloud_apps: 4 },
+];
+
+/// Apportion `total` units across `weights` with the largest-remainder
+/// method (exact total, deterministic).
+pub fn apportion(weights: &[u32], total: u32) -> Vec<u32> {
+    let sum: u64 = weights.iter().map(|&w| w as u64).sum();
+    if sum == 0 || total == 0 {
+        return vec![0; weights.len()];
+    }
+    let mut out: Vec<u32> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(usize, u64)> = Vec::with_capacity(weights.len());
+    let mut assigned: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = w as u64 * total as u64;
+        let floor = exact / sum;
+        out.push(floor as u32);
+        assigned += floor;
+        remainders.push((i, exact % sum));
+    }
+    // Hand out the leftover units to the largest remainders (ties by
+    // index for determinism).
+    remainders.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let leftover = (total as u64 - assigned) as usize;
+    for &(i, _) in remainders.iter().take(leftover) {
+        out[i] += 1;
+    }
+    out
+}
+
+/// Index of a category by name.
+pub fn category_index(name: &str) -> Option<usize> {
+    CATEGORIES.iter().position(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apportion_exact_total() {
+        let w = [3, 1, 1];
+        let a = apportion(&w, 10);
+        assert_eq!(a.iter().sum::<u32>(), 10);
+        assert_eq!(a[0], 6);
+    }
+
+    #[test]
+    fn apportion_zero_cases() {
+        assert_eq!(apportion(&[0, 0], 5), vec![0, 0]);
+        assert_eq!(apportion(&[1, 2], 0), vec![0, 0]);
+    }
+
+    #[test]
+    fn apportion_deterministic_ties() {
+        let a = apportion(&[1, 1, 1], 2);
+        let b = apportion(&[1, 1, 1], 2);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn fig4_ranking_2021() {
+        // communication and finance lead in '21; photography led in '20.
+        let top21 = CATEGORIES
+            .iter()
+            .max_by_key(|c| c.models_2021)
+            .unwrap()
+            .name;
+        assert_eq!(top21, "communication");
+        let top20 = CATEGORIES
+            .iter()
+            .max_by_key(|c| c.models_2020)
+            .unwrap()
+            .name;
+        assert_eq!(top20, "photography");
+    }
+
+    #[test]
+    fn fig5_decliners() {
+        for name in ["lifestyle", "food & drink", "android wear"] {
+            let c = CATEGORIES.iter().find(|c| c.name == name).unwrap();
+            assert!(
+                c.models_2021 < c.models_2020,
+                "{name} should decline between snapshots"
+            );
+        }
+    }
+
+    #[test]
+    fn category_lookup() {
+        assert_eq!(category_index("communication"), Some(0));
+        assert_eq!(category_index("nonexistent"), None);
+    }
+}

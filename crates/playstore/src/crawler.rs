@@ -1,0 +1,295 @@
+//! The gaugeNN crawler client (§3.1).
+//!
+//! Walks every category page by page (the store caps listings at 500 per
+//! category), fetches metadata, the base APK, companion OBB files and the
+//! bundle form when advertised — "gaugeNN supports file extraction from
+//! i) the base apk, ii) expansion files (OBBs) and iii) Android App
+//! Bundles".
+
+use crate::proto::{read_response, write_request, Response};
+use crate::{Result, StoreError};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+
+/// Crawler identity headers (§3.1/§4.1: a UK account on a Galaxy S10).
+#[derive(Debug, Clone)]
+pub struct CrawlerConfig {
+    /// User-agent string sent with every request.
+    pub user_agent: String,
+    /// Store locale.
+    pub locale: String,
+    /// Device profile the store sees.
+    pub device_profile: String,
+    /// Page size for category listings.
+    pub page_size: usize,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> Self {
+        CrawlerConfig {
+            user_agent: "gaugeNN/1.0 (Android 11; SM-G977B)".into(),
+            locale: "en_GB".into(),
+            device_profile: "SM-G977B".into(),
+            page_size: 100,
+        }
+    }
+}
+
+/// App metadata as parsed from the store response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppMeta {
+    /// Package name.
+    pub package: String,
+    /// Store title.
+    pub title: String,
+    /// Category name.
+    pub category: String,
+    /// Download count.
+    pub downloads: u64,
+    /// Star rating.
+    pub rating: f32,
+    /// Version code.
+    pub version_code: u32,
+    /// Whether the store advertises OBB expansion files.
+    pub has_obb: bool,
+    /// Whether the app is distributed as a bundle.
+    pub has_bundle: bool,
+}
+
+/// Everything downloaded for one app.
+#[derive(Debug, Clone)]
+pub struct CrawledApp {
+    /// Parsed metadata.
+    pub meta: AppMeta,
+    /// Base APK bytes.
+    pub apk: Vec<u8>,
+    /// OBB expansion files `(filename, bytes)`.
+    pub obbs: Vec<(String, Vec<u8>)>,
+    /// Bundle bytes when distributed as a bundle.
+    pub bundle: Option<Vec<u8>>,
+}
+
+/// The crawler: one keep-alive connection to the store.
+pub struct Crawler {
+    config: CrawlerConfig,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Crawler {
+    /// Connect to a store server.
+    pub fn connect(addr: SocketAddr, config: CrawlerConfig) -> Result<Crawler> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Crawler {
+            config,
+            reader,
+            writer: stream,
+        })
+    }
+
+    fn get(&mut self, path: &str) -> Result<Response> {
+        let headers = [
+            ("User-Agent", self.config.user_agent.as_str()),
+            ("X-Locale", self.config.locale.as_str()),
+            ("X-Device-Profile", self.config.device_profile.as_str()),
+        ];
+        write_request(&mut self.writer, path, &headers)?;
+        read_response(&mut self.reader)
+    }
+
+    fn get_ok(&mut self, path: &str) -> Result<Response> {
+        let resp = self.get(path)?;
+        if resp.status != 200 {
+            return Err(StoreError::NotFound(format!(
+                "{path} -> {} ({})",
+                resp.status,
+                resp.text()
+            )));
+        }
+        Ok(resp)
+    }
+
+    /// List all store categories.
+    pub fn categories(&mut self) -> Result<Vec<String>> {
+        let resp = self.get_ok("/categories")?;
+        Ok(resp
+            .text()
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect())
+    }
+
+    /// List the top apps of a category (paged until the 500 cap or the
+    /// category runs out).
+    pub fn list_category(&mut self, category: &str) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        loop {
+            let path = format!(
+                "/category/{}?start={start}&count={}",
+                crate::proto::encode_component(category),
+                self.config.page_size
+            );
+            let resp = self.get_ok(&path)?;
+            let page: Vec<String> = resp
+                .text()
+                .lines()
+                .filter(|l| !l.is_empty())
+                .map(str::to_string)
+                .collect();
+            if page.is_empty() {
+                break;
+            }
+            start += page.len();
+            out.extend(page);
+            if out.len() >= crate::server::MAX_PER_CATEGORY {
+                out.truncate(crate::server::MAX_PER_CATEGORY);
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fetch and parse one app's metadata.
+    pub fn app_meta(&mut self, package: &str) -> Result<AppMeta> {
+        let resp = self.get_ok(&format!("/app/{package}"))?;
+        let kv: BTreeMap<String, String> = resp
+            .text()
+            .lines()
+            .filter_map(|l| l.split_once('='))
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let field = |k: &str| -> Result<String> {
+            kv.get(k)
+                .cloned()
+                .ok_or_else(|| StoreError::Protocol(format!("metadata missing '{k}'")))
+        };
+        Ok(AppMeta {
+            package: field("package")?,
+            title: field("title")?,
+            category: field("category")?,
+            downloads: field("downloads")?.parse().unwrap_or(0),
+            rating: field("rating")?.parse().unwrap_or(0.0),
+            version_code: field("version")?.parse().unwrap_or(0),
+            has_obb: field("has_obb")? == "true",
+            has_bundle: field("has_bundle")? == "true",
+        })
+    }
+
+    /// Download the base APK.
+    pub fn download_apk(&mut self, package: &str) -> Result<Vec<u8>> {
+        Ok(self.get_ok(&format!("/apk/{package}"))?.body)
+    }
+
+    /// Download everything for one app, honouring its OBB/bundle flags.
+    pub fn crawl_app(&mut self, package: &str) -> Result<CrawledApp> {
+        let meta = self.app_meta(package)?;
+        let apk = self.download_apk(package)?;
+        let mut obbs = Vec::new();
+        if meta.has_obb {
+            let resp = self.get_ok(&format!("/obb/{package}"))?;
+            let name = resp
+                .headers
+                .iter()
+                .find(|(k, _)| k == "x-obb-name")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| format!("main.{}.{package}.obb", meta.version_code));
+            obbs.push((name, resp.body));
+        }
+        let bundle = if meta.has_bundle {
+            Some(self.get_ok(&format!("/bundle/{package}"))?.body)
+        } else {
+            None
+        };
+        Ok(CrawledApp {
+            meta,
+            apk,
+            obbs,
+            bundle,
+        })
+    }
+
+    /// Full store sweep: every category, every listed app.
+    pub fn crawl_all(&mut self) -> Result<Vec<CrawledApp>> {
+        let mut out = Vec::new();
+        for cat in self.categories()? {
+            for pkg in self.list_category(&cat)? {
+                out.push(self.crawl_app(&pkg)?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, CorpusScale, Snapshot};
+    use crate::server::StoreServer;
+
+    fn start_tiny() -> StoreServer {
+        StoreServer::start(generate(CorpusScale::Tiny, Snapshot::Y2021, 7)).unwrap()
+    }
+
+    #[test]
+    fn full_crawl_covers_corpus() {
+        let server = start_tiny();
+        let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
+        let apps = crawler.crawl_all().unwrap();
+        assert_eq!(apps.len(), 52, "tiny 2021 corpus is 52 apps");
+        // Every APK parses and matches its metadata.
+        for app in &apps {
+            let parsed = gaugenn_apk::Apk::parse(&app.apk).unwrap();
+            assert_eq!(parsed.package(), app.meta.package);
+        }
+    }
+
+    #[test]
+    fn paging_collects_whole_categories() {
+        let server = start_tiny();
+        let cfg = CrawlerConfig {
+            page_size: 2, // force multiple pages
+            ..CrawlerConfig::default()
+        };
+        let mut crawler = Crawler::connect(server.addr(), cfg).unwrap();
+        let cats = crawler.categories().unwrap();
+        assert!(cats.len() >= 30);
+        let all: usize = cats
+            .iter()
+            .map(|c| crawler.list_category(c).unwrap().len())
+            .sum();
+        assert_eq!(all, 52);
+    }
+
+    #[test]
+    fn obbs_and_bundles_fetched_when_advertised() {
+        let server = start_tiny();
+        let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
+        let apps = crawler.crawl_all().unwrap();
+        for app in &apps {
+            if app.meta.has_obb {
+                assert_eq!(app.obbs.len(), 1);
+                let (name, bytes) = &app.obbs[0];
+                let obb = gaugenn_apk::obb::Obb::parse(name, bytes).unwrap();
+                assert_eq!(obb.package, app.meta.package);
+            } else {
+                assert!(app.obbs.is_empty());
+            }
+            if app.meta.has_bundle {
+                let b = gaugenn_apk::bundle::Bundle::parse(app.bundle.as_ref().unwrap()).unwrap();
+                assert!(!b.packs.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn missing_package_is_error() {
+        let server = start_tiny();
+        let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
+        assert!(crawler.app_meta("com.not.there").is_err());
+    }
+}

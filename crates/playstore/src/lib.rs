@@ -1,0 +1,73 @@
+//! # gaugenn-playstore — synthetic Google Play Store + crawler
+//!
+//! The study's input is the Google Play Store: two snapshots of the top
+//! free apps per category (up to 500 each), taken in February 2020 and
+//! April 2021 (§4.1). That corpus is not downloadable here, so this crate
+//! builds a *store you must still crawl*:
+//!
+//! * [`categories`] — the Play category roster and the per-category model
+//!   densities that shape Figs. 4 and 5.
+//! * [`corpus`] — the deterministic corpus generator: app population, the
+//!   unique-model pool with its duplication / fine-tuning / quantisation
+//!   structure (§4.5, §6.1), cloud-API usage (§6.4), obfuscated-model apps
+//!   and the hardware-acceleration adopters (§6.3).
+//! * [`proto`] — a small HTTP/1.0-flavoured wire protocol.
+//! * [`server`] — a TCP server that serves category listings, app
+//!   metadata, APKs (assembled on demand), OBBs and bundles; it honours
+//!   user-agent / locale / device-profile headers the way the real store
+//!   API shapes responses.
+//! * [`crawler`] — the gaugeNN crawler client that walks categories and
+//!   downloads everything, mimicking "the web API calls made from the
+//!   Google Play store of a typical mobile device" (§3.1).
+//!
+//! Ground truth (which app got which model) never crosses the wire in
+//! analysable form: the pipeline must re-derive every statistic from the
+//! downloaded binary artefacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod categories;
+pub mod corpus;
+pub mod crawler;
+pub mod proto;
+pub mod server;
+
+pub use corpus::{CorpusScale, Snapshot, StoreCorpus};
+pub use crawler::{CrawledApp, Crawler};
+pub use server::StoreServer;
+
+/// Errors from the store substrate.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Protocol violation (bad request/response framing).
+    Protocol(String),
+    /// Requested entity does not exist.
+    NotFound(String),
+    /// Corpus generation failed (e.g. model encode error).
+    Corpus(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Protocol(r) => write!(f, "protocol error: {r}"),
+            StoreError::NotFound(e) => write!(f, "not found: {e}"),
+            StoreError::Corpus(r) => write!(f, "corpus error: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,321 @@
+//! Wire protocol between the store server and the crawler.
+//!
+//! An HTTP/1.0-flavoured framing, built by hand (per the session's
+//! networking idioms): request line + headers + blank line, response with a
+//! status line and `Content-Length`-framed body. The crawler sets the
+//! `User-Agent`, `X-Locale` and `X-Device-Profile` headers — "both the
+//! user-agent and locale headers are defined, which determine the variant
+//! of the store and apps retrieved" (§3.1).
+
+use crate::{Result, StoreError};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Protocol identifier on the wire.
+pub const PROTO: &str = "GAUGE/1.0";
+/// Hard cap on declared body sizes (matches the APK limit with headroom).
+pub const MAX_BODY: usize = 256 * 1024 * 1024;
+
+/// Percent-encode a path component (spaces, `&`, `?`, `%`, `/` and
+/// non-ASCII become `%XX`); category names like `"health & fitness"` would
+/// otherwise break the request line.
+pub fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decode a percent-encoded component. Invalid escapes pass through.
+pub fn decode_component(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    // Byte-level hex parsing: slicing the &str could land mid-way through
+    // a multi-byte character on hostile input and panic.
+    let hex = |b: u8| -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    };
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            if let (Some(hi), Some(lo)) = (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                out.push(hi * 16 + lo);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Path, e.g. `/category/finance?start=0&count=100`.
+    pub path: String,
+    /// Headers as `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+}
+
+impl Request {
+    /// Header lookup (case-insensitive name).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Path without the query string.
+    pub fn path_only(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+
+    /// Query parameter lookup.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        let q = self.path.split_once('?')?.1;
+        q.split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// A response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (200, 400, 404, …).
+    pub status: u16,
+    /// Extra headers.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 response with a body.
+    pub fn ok(body: Vec<u8>) -> Self {
+        Response {
+            status: 200,
+            headers: vec![],
+            body,
+        }
+    }
+
+    /// A 404 with a reason body.
+    pub fn not_found(what: &str) -> Self {
+        Response {
+            status: 404,
+            headers: vec![],
+            body: format!("not found: {what}").into_bytes(),
+        }
+    }
+
+    /// A 400 with a reason body.
+    pub fn bad_request(why: &str) -> Self {
+        Response {
+            status: 400,
+            headers: vec![],
+            body: format!("bad request: {why}").into_bytes(),
+        }
+    }
+
+    /// Body as UTF-8 text.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Write a request.
+pub fn write_request(
+    w: &mut impl Write,
+    path: &str,
+    headers: &[(&str, &str)],
+) -> Result<()> {
+    write!(w, "GET {path} {PROTO}\r\n")?;
+    for (k, v) in headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    write!(w, "\r\n")?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a request. Returns `None` on clean EOF (client closed keep-alive).
+pub fn read_request(r: &mut BufReader<impl Read>) -> Result<Option<Request>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let line = line.trim_end();
+    let mut parts = line.split(' ');
+    let (method, path, proto) = (parts.next(), parts.next(), parts.next());
+    if method != Some("GET") || proto != Some(PROTO) {
+        return Err(StoreError::Protocol(format!("bad request line: {line}")));
+    }
+    let path = path
+        .ok_or_else(|| StoreError::Protocol("missing path".into()))?
+        .to_string();
+    let headers = read_headers(r)?;
+    Ok(Some(Request { path, headers }))
+}
+
+/// Write a response.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<()> {
+    let reason = match resp.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    write!(w, "{PROTO} {} {reason}\r\n", resp.status)?;
+    write!(w, "Content-Length: {}\r\n", resp.body.len())?;
+    for (k, v) in &resp.headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    write!(w, "\r\n")?;
+    w.write_all(&resp.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a response.
+pub fn read_response(r: &mut BufReader<impl Read>) -> Result<Response> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(StoreError::Protocol("connection closed mid-response".into()));
+    }
+    let line_t = line.trim_end();
+    let mut parts = line_t.split(' ');
+    if parts.next() != Some(PROTO) {
+        return Err(StoreError::Protocol(format!("bad status line: {line_t}")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| StoreError::Protocol("missing status code".into()))?;
+    let headers = read_headers(r)?;
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .ok_or_else(|| StoreError::Protocol("missing content-length".into()))?;
+    if len > MAX_BODY {
+        return Err(StoreError::Protocol(format!("body too large: {len}")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn read_headers(r: &mut BufReader<impl Read>) -> Result<Vec<(String, String)>> {
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(StoreError::Protocol("eof in headers".into()));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| StoreError::Protocol(format!("bad header: {line}")))?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            "/category/finance?start=0&count=100",
+            &[("User-Agent", "gaugeNN/1.0"), ("X-Locale", "en_GB")],
+        )
+        .unwrap();
+        let mut r = BufReader::new(Cursor::new(buf));
+        let req = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(req.path_only(), "/category/finance");
+        assert_eq!(req.query("start"), Some("0"));
+        assert_eq!(req.query("count"), Some("100"));
+        assert_eq!(req.header("user-agent"), Some("gaugeNN/1.0"));
+        assert_eq!(req.header("X-LOCALE"), Some("en_GB"));
+        assert_eq!(req.header("missing"), None);
+    }
+
+    #[test]
+    fn response_roundtrip_binary_body() {
+        let body: Vec<u8> = (0..=255u8).collect();
+        let mut buf = Vec::new();
+        let mut resp = Response::ok(body.clone());
+        resp.headers.push(("x-obb-name".into(), "main.1.com.a.obb".into()));
+        write_response(&mut buf, &resp).unwrap();
+        let got = read_response(&mut BufReader::new(Cursor::new(buf))).unwrap();
+        assert_eq!(got.status, 200);
+        assert_eq!(got.body, body);
+        assert!(got
+            .headers
+            .iter()
+            .any(|(k, v)| k == "x-obb-name" && v == "main.1.com.a.obb"));
+    }
+
+    #[test]
+    fn eof_is_clean_end_of_keepalive() {
+        let mut r = BufReader::new(Cursor::new(Vec::<u8>::new()));
+        assert!(read_request(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_frames_rejected() {
+        let mut r = BufReader::new(Cursor::new(b"POST / GAUGE/1.0\r\n\r\n".to_vec()));
+        assert!(read_request(&mut r).is_err());
+        let mut r2 = BufReader::new(Cursor::new(b"HTTP/1.1 200 OK\r\n\r\n".to_vec()));
+        assert!(read_response(&mut r2).is_err());
+        let mut r3 = BufReader::new(Cursor::new(b"GAUGE/1.0 200 OK\r\nno-length: 1\r\n\r\n".to_vec()));
+        assert!(read_response(&mut r3).is_err());
+    }
+
+    #[test]
+    fn component_encoding_roundtrips_category_names() {
+        for name in ["health & fitness", "video players", "maps & navigation", "plain"] {
+            let enc = encode_component(name);
+            assert!(!enc.contains(' ') && !enc.contains('&'), "{enc}");
+            assert_eq!(decode_component(&enc), name);
+        }
+        // Invalid escapes pass through untouched.
+        assert_eq!(decode_component("50%_off"), "50%_off");
+        assert_eq!(decode_component("%"), "%");
+        assert_eq!(decode_component("%2"), "%2");
+    }
+
+    #[test]
+    fn status_helpers() {
+        assert_eq!(Response::not_found("x").status, 404);
+        assert_eq!(Response::bad_request("y").status, 400);
+        assert!(Response::not_found("pkg").text().contains("pkg"));
+    }
+}

@@ -1,0 +1,368 @@
+//! The store server: serves category listings, app metadata, APKs, OBBs
+//! and bundles over TCP.
+//!
+//! APKs are assembled on demand; unique-model artifacts are memoised so
+//! duplicated models across apps are byte-identical (which is precisely
+//! what makes the §4.5 checksum analysis work) without re-encoding.
+
+use crate::corpus::{AppSpec, StoreCorpus};
+use crate::proto::{read_request, write_response, Request, Response};
+use crate::{categories::CATEGORIES, Result};
+use gaugenn_apk::bundle::{AssetPack, BundleBuilder, Delivery};
+use gaugenn_apk::obb::{build_obb, ObbKind};
+use gaugenn_modelfmt::ModelArtifact;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maximum apps returned per category listing — the store's hard page
+/// ceiling ("the list of the top free apps per category … returns a
+/// maximum of 500 apps", §3.1).
+pub const MAX_PER_CATEGORY: usize = 500;
+
+struct Shared {
+    corpus: StoreCorpus,
+    artifact_cache: Mutex<HashMap<usize, Arc<ModelArtifact>>>,
+    requests_served: Mutex<u64>,
+}
+
+impl Shared {
+    fn artifact(&self, id: usize) -> Arc<ModelArtifact> {
+        if let Some(a) = self.artifact_cache.lock().get(&id) {
+            return a.clone();
+        }
+        // Build outside the lock: artifact generation is deterministic, so
+        // a rare double-build is harmless.
+        let built = Arc::new(self.corpus.pool[id].artifact(&self.corpus.pool));
+        self.artifact_cache
+            .lock()
+            .entry(id)
+            .or_insert(built)
+            .clone()
+    }
+}
+
+/// A running store server. Dropping it stops the accept loop.
+pub struct StoreServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl StoreServer {
+    /// Start serving `corpus` on an ephemeral loopback port.
+    pub fn start(corpus: StoreCorpus) -> Result<StoreServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            corpus,
+            artifact_cache: Mutex::new(HashMap::new()),
+            requests_served: Mutex::new(0),
+        });
+        let t_stop = stop.clone();
+        let t_shared = shared.clone();
+        let accept_thread = std::thread::spawn(move || {
+            while !t_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn_shared = t_shared.clone();
+                        let conn_stop = t_stop.clone();
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(stream, &conn_shared, &conn_stop);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(StoreServer {
+            addr,
+            stop,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// Address to point the crawler at.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        *self.shared.requests_served.lock()
+    }
+
+    /// Stop accepting and join the accept loop.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for StoreServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared, stop: &AtomicBool) -> Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    // Responses are written as several small frames; without TCP_NODELAY
+    // Nagle + delayed-ACK add ~40 ms to every request on loopback.
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = std::io::BufWriter::new(stream);
+    while !stop.load(Ordering::Relaxed) {
+        let Some(req) = read_request(&mut reader)? else {
+            return Ok(()); // client closed keep-alive
+        };
+        *shared.requests_served.lock() += 1;
+        let resp = route(shared, &req);
+        write_response(&mut writer, &resp)?;
+    }
+    Ok(())
+}
+
+fn route(shared: &Shared, req: &Request) -> Response {
+    // The real store varies responses by user-agent/locale; we require the
+    // headers (a crawler that forgets them is told so) but serve one
+    // variant — the §4.2 finding is precisely that responses do not vary
+    // by device profile.
+    if req.header("user-agent").is_none() {
+        return Response::bad_request("missing User-Agent");
+    }
+    let path = req.path_only().to_string();
+    let corpus = &shared.corpus;
+    match path.as_str() {
+        "/categories" => {
+            let body = CATEGORIES
+                .iter()
+                .map(|c| c.name)
+                .collect::<Vec<_>>()
+                .join("\n");
+            Response::ok(body.into_bytes())
+        }
+        p if p.starts_with("/category/") => {
+            let name = crate::proto::decode_component(&p["/category/".len()..]);
+            let name = name.as_str();
+            let apps = corpus.apps_in(name);
+            if apps.is_empty() && crate::categories::category_index(name).is_none() {
+                return Response::not_found(name);
+            }
+            let start: usize = req.query("start").and_then(|v| v.parse().ok()).unwrap_or(0);
+            let count: usize = req
+                .query("count")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100)
+                .min(MAX_PER_CATEGORY);
+            let end = (start + count).min(apps.len()).min(MAX_PER_CATEGORY);
+            let page = if start < end { &apps[start..end] } else { &[] };
+            let body = page
+                .iter()
+                .map(|a| a.package.as_str())
+                .collect::<Vec<_>>()
+                .join("\n");
+            Response::ok(body.into_bytes())
+        }
+        p if p.starts_with("/app/") => {
+            let pkg = &p["/app/".len()..];
+            match corpus.app(pkg) {
+                Some(app) => Response::ok(meta_body(app).into_bytes()),
+                None => Response::not_found(pkg),
+            }
+        }
+        p if p.starts_with("/apk/") => {
+            let pkg = &p["/apk/".len()..];
+            match corpus.app(pkg) {
+                Some(app) => {
+                    let bytes =
+                        corpus.build_apk(app, &mut |id| (*shared.artifact(id)).clone());
+                    Response::ok(bytes)
+                }
+                None => Response::not_found(pkg),
+            }
+        }
+        p if p.starts_with("/obb/") => {
+            let pkg = &p["/obb/".len()..];
+            match corpus.app(pkg) {
+                Some(app) if app.has_obb => {
+                    let (name, bytes) = build_obb(
+                        ObbKind::Main,
+                        app.version_code,
+                        &app.package,
+                        &[
+                            ("textures/atlas0.tex", vec![0xA5; 4096]),
+                            ("audio/theme.pcm", vec![0x11; 2048]),
+                        ],
+                    )
+                    .expect("obb assembly is infallible for fixed inputs");
+                    let mut resp = Response::ok(bytes);
+                    resp.headers.push(("x-obb-name".into(), name));
+                    resp
+                }
+                Some(_) => Response::not_found("no expansion files"),
+                None => Response::not_found(pkg),
+            }
+        }
+        p if p.starts_with("/bundle/") => {
+            let pkg = &p["/bundle/".len()..];
+            match corpus.app(pkg) {
+                Some(app) if app.has_bundle => {
+                    let base =
+                        corpus.build_apk(app, &mut |id| (*shared.artifact(id)).clone());
+                    let mut bb = BundleBuilder::new(base);
+                    bb.add_pack(AssetPack {
+                        name: "hires_textures".into(),
+                        delivery: Delivery::OnDemand,
+                        targeting: String::new(),
+                        files: vec![("pack0.tex".into(), vec![0x77; 4096])],
+                    });
+                    match bb.finish() {
+                        Ok(bytes) => Response::ok(bytes),
+                        Err(e) => Response::bad_request(&e.to_string()),
+                    }
+                }
+                Some(_) => Response::not_found("not distributed as a bundle"),
+                None => Response::not_found(pkg),
+            }
+        }
+        other => Response::not_found(other),
+    }
+}
+
+fn meta_body(app: &AppSpec) -> String {
+    format!(
+        "package={}\ntitle={}\ncategory={}\ndownloads={}\nrating={:.2}\nversion={}\nhas_obb={}\nhas_bundle={}\n",
+        app.package,
+        app.title,
+        CATEGORIES[app.category].name,
+        app.downloads,
+        app.rating,
+        app.version_code,
+        app.has_obb,
+        app.has_bundle,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, CorpusScale, Snapshot};
+    use crate::proto::{read_response, write_request};
+
+    fn start_tiny() -> StoreServer {
+        let corpus = generate(CorpusScale::Tiny, Snapshot::Y2021, 7);
+        StoreServer::start(corpus).unwrap()
+    }
+
+    fn get(addr: SocketAddr, path: &str, headers: &[(&str, &str)]) -> Response {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        write_request(&mut w, path, headers).unwrap();
+        read_response(&mut r).unwrap()
+    }
+
+    const UA: (&str, &str) = ("User-Agent", "test/1.0");
+
+    #[test]
+    fn serves_categories_and_listings() {
+        let server = start_tiny();
+        let resp = get(server.addr(), "/categories", &[UA]);
+        assert_eq!(resp.status, 200);
+        let cats = resp.text();
+        assert!(cats.lines().any(|l| l == "communication"));
+        let listing = get(server.addr(), "/category/communication?start=0&count=10", &[UA]);
+        assert_eq!(listing.status, 200);
+        assert!(!listing.text().is_empty());
+    }
+
+    #[test]
+    fn requires_user_agent() {
+        let server = start_tiny();
+        let resp = get(server.addr(), "/categories", &[("X-Locale", "en_GB")]);
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn serves_metadata_and_apk() {
+        let server = start_tiny();
+        let listing = get(server.addr(), "/category/communication?start=0&count=1", &[UA]);
+        let pkg = listing.text().lines().next().unwrap().to_string();
+        let meta = get(server.addr(), &format!("/app/{pkg}"), &[UA]);
+        assert!(meta.text().contains(&format!("package={pkg}")));
+        let apk = get(server.addr(), &format!("/apk/{pkg}"), &[UA]);
+        assert_eq!(apk.status, 200);
+        let parsed = gaugenn_apk::Apk::parse(&apk.body).unwrap();
+        assert_eq!(parsed.package(), pkg);
+    }
+
+    #[test]
+    fn unknown_paths_and_packages_404() {
+        let server = start_tiny();
+        assert_eq!(get(server.addr(), "/nope", &[UA]).status, 404);
+        assert_eq!(get(server.addr(), "/app/com.missing.app", &[UA]).status, 404);
+        assert_eq!(get(server.addr(), "/category/notacategory", &[UA]).status, 404);
+    }
+
+    #[test]
+    fn apk_bytes_identical_across_downloads() {
+        // Duplicated models must be byte-identical across fetches; the
+        // md5 dedup analysis depends on it.
+        let server = start_tiny();
+        let listing = get(server.addr(), "/category/communication?start=0&count=1", &[UA]);
+        let pkg = listing.text().lines().next().unwrap().to_string();
+        let a = get(server.addr(), &format!("/apk/{pkg}"), &[UA]);
+        let b = get(server.addr(), &format!("/apk/{pkg}"), &[UA]);
+        assert_eq!(a.body, b.body);
+    }
+
+    #[test]
+    fn keepalive_serves_multiple_requests() {
+        let server = start_tiny();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut r = BufReader::new(stream.try_clone().unwrap());
+        let mut w = stream;
+        for _ in 0..3 {
+            write_request(&mut w, "/categories", &[UA]).unwrap();
+            let resp = read_response(&mut r).unwrap();
+            assert_eq!(resp.status, 200);
+        }
+        assert!(server.requests_served() >= 3);
+    }
+
+    #[test]
+    fn device_profile_does_not_change_the_apk() {
+        // §4.2: "we downloaded an extra snapshot with a three-generations
+        // older device profile and found no evidence of device-specific
+        // model customisation" — the server must behave that way.
+        let server = start_tiny();
+        let listing = get(server.addr(), "/category/communication?start=0&count=1", &[UA]);
+        let pkg = listing.text().lines().next().unwrap().to_string();
+        let new_dev = get(
+            server.addr(),
+            &format!("/apk/{pkg}"),
+            &[UA, ("X-Device-Profile", "SM-G977B")],
+        );
+        let old_dev = get(
+            server.addr(),
+            &format!("/apk/{pkg}"),
+            &[UA, ("X-Device-Profile", "SM-G935F")],
+        );
+        assert_eq!(new_dev.body, old_dev.body);
+    }
+}

@@ -1,0 +1,99 @@
+//! Battery discharge bookkeeping for the scenario analysis (Table 4, §5.2.2).
+//!
+//! The paper reports scenario costs as "battery discharge (mAh)" against
+//! nominal capacities — e.g. an hour of segmentation consuming 26.6–30.5 %
+//! of a common 4000 mAh battery. Conversion uses the nominal cell voltage.
+
+/// Nominal Li-ion cell voltage used for J → mAh conversion.
+pub const NOMINAL_VOLTAGE_V: f64 = 3.85;
+
+/// A battery with nominal capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    /// Nominal capacity in mAh.
+    pub capacity_mah: f64,
+    /// Remaining charge in mAh.
+    pub remaining_mah: f64,
+}
+
+impl Battery {
+    /// A full battery of `capacity_mah`.
+    pub fn new(capacity_mah: f64) -> Self {
+        Battery {
+            capacity_mah,
+            remaining_mah: capacity_mah,
+        }
+    }
+
+    /// Convert joules to mAh at nominal voltage.
+    pub fn joules_to_mah(energy_j: f64) -> f64 {
+        // mAh = J / V / 3600 * 1000
+        energy_j / NOMINAL_VOLTAGE_V / 3600.0 * 1000.0
+    }
+
+    /// Drain `energy_j` joules; returns the mAh actually drained (clamped
+    /// at empty).
+    pub fn drain_joules(&mut self, energy_j: f64) -> f64 {
+        let want = Self::joules_to_mah(energy_j);
+        let got = want.min(self.remaining_mah);
+        self.remaining_mah -= got;
+        got
+    }
+
+    /// State of charge in `[0, 1]`.
+    pub fn state_of_charge(&self) -> f64 {
+        if self.capacity_mah <= 0.0 {
+            0.0
+        } else {
+            self.remaining_mah / self.capacity_mah
+        }
+    }
+
+    /// Percentage of nominal capacity that `energy_j` joules represents.
+    pub fn fraction_of_capacity(&self, energy_j: f64) -> f64 {
+        Self::joules_to_mah(energy_j) / self.capacity_mah
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joule_conversion_known_value() {
+        // 1 Wh = 3600 J = 1000/3.85 mAh ≈ 259.7 mAh.
+        let mah = Battery::joules_to_mah(3600.0);
+        assert!((mah - 259.74).abs() < 0.1, "{mah}");
+    }
+
+    #[test]
+    fn drain_and_soc() {
+        let mut b = Battery::new(4000.0);
+        assert_eq!(b.state_of_charge(), 1.0);
+        // Half the battery: 2000 mAh = 2000/1000*3.85*3600 J.
+        let half_j = 2000.0 / 1000.0 * NOMINAL_VOLTAGE_V * 3600.0;
+        let drained = b.drain_joules(half_j);
+        assert!((drained - 2000.0).abs() < 1e-6);
+        assert!((b.state_of_charge() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_clamps_at_empty() {
+        let mut b = Battery::new(10.0);
+        let drained = b.drain_joules(1e9);
+        assert!((drained - 10.0).abs() < 1e-9);
+        assert_eq!(b.state_of_charge(), 0.0);
+        // Further drain yields nothing.
+        assert_eq!(b.drain_joules(100.0), 0.0);
+    }
+
+    #[test]
+    fn capacity_fraction() {
+        let b = Battery::new(4000.0);
+        let one_hour_4w = 4.0 * 3600.0;
+        let frac = b.fraction_of_capacity(one_hour_4w);
+        // 4 W for 1 h ≈ 1039 mAh ≈ 26 % of 4000 mAh — the paper's
+        // segmentation ballpark.
+        assert!(frac > 0.2 && frac < 0.3, "{frac}");
+    }
+}

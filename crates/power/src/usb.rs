@@ -1,0 +1,78 @@
+//! USB power/data switch (YKUSH YKUSH3 substitute, §3.3).
+//!
+//! "Connecting the device over USB charges it, interfering with the energy
+//! measurements" — so the workflow programmatically cuts the power channel
+//! before each benchmark and restores it to collect results over adb. The
+//! harness drives this state machine and refuses to record while power is
+//! on, mirroring the physical constraint.
+
+use crate::{PowerError, Result};
+
+/// Channel state of a YKUSH-style controllable hub port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsbSwitch {
+    /// Whether VBUS is supplied to the device.
+    pub power_on: bool,
+    /// Whether the data pair is connected (adb reachability).
+    pub data_on: bool,
+}
+
+impl Default for UsbSwitch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UsbSwitch {
+    /// Initial state: fully connected (device charging, adb up).
+    pub fn new() -> Self {
+        UsbSwitch {
+            power_on: true,
+            data_on: true,
+        }
+    }
+
+    /// Cut VBUS (and with it, on a phone, the data pair) for a measurement.
+    pub fn power_off(&mut self) {
+        self.power_on = false;
+        self.data_on = false;
+    }
+
+    /// Restore VBUS and data to collect results.
+    pub fn power_restore(&mut self) {
+        self.power_on = true;
+        self.data_on = true;
+    }
+
+    /// Guard: measurements are only valid with power off.
+    pub fn assert_measurable(&self) -> Result<()> {
+        if self.power_on {
+            Err(PowerError::UsbPowerOn)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Guard: adb operations need the data channel.
+    pub fn adb_reachable(&self) -> bool {
+        self.data_on
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_gated_on_power_state() {
+        let mut sw = UsbSwitch::new();
+        assert!(sw.assert_measurable().is_err());
+        assert!(sw.adb_reachable());
+        sw.power_off();
+        assert!(sw.assert_measurable().is_ok());
+        assert!(!sw.adb_reachable());
+        sw.power_restore();
+        assert!(sw.assert_measurable().is_err());
+        assert!(sw.adb_reachable());
+    }
+}

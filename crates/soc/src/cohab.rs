@@ -1,0 +1,151 @@
+//! DNN co-habitation model (§8.1 future work).
+//!
+//! "With more and more applications shipping DNN-powered solutions, we
+//! also anticipate the co-existence and parallel runtime of more than one
+//! DNN in the future. Thus, researchers will need to tackle this emerging
+//! problem…" — this module implements the study that sentence calls for:
+//! two models running concurrently on one device, contending for CPU cores
+//! and memory bandwidth.
+//!
+//! Contention model: the thread pool is partitioned between the tenants
+//! (big cores first, as the scheduler would), memory bandwidth is shared
+//! in proportion to demand, and both pay a cache-interference factor.
+
+use crate::backend::Backend;
+use crate::latency::estimate_latency;
+use crate::sched::ThreadConfig;
+use crate::spec::DeviceSpec;
+use crate::thermal::ThermalState;
+use crate::Result;
+use gaugenn_dnn::trace::TraceReport;
+
+/// Cache/bandwidth interference factor applied to each tenant when two
+/// DNNs share the SoC (L3 and DRAM-controller contention).
+pub const INTERFERENCE_FACTOR: f64 = 0.85;
+
+/// Result of running two models side by side.
+#[derive(Debug, Clone)]
+pub struct CohabReport {
+    /// Isolated latency of each model with the full 4-thread pool, ms.
+    pub isolated_ms: [f64; 2],
+    /// Latency of each model while co-habiting, ms.
+    pub cohab_ms: [f64; 2],
+}
+
+impl CohabReport {
+    /// Per-model slowdown factors.
+    pub fn slowdowns(&self) -> [f64; 2] {
+        [
+            self.cohab_ms[0] / self.isolated_ms[0],
+            self.cohab_ms[1] / self.isolated_ms[1],
+        ]
+    }
+
+    /// System throughput ratio vs running the pair sequentially on the
+    /// full pool: > 1 means co-habitation wins wall-clock.
+    pub fn throughput_gain(&self) -> f64 {
+        let sequential = self.isolated_ms[0] + self.isolated_ms[1];
+        let cohab = self.cohab_ms[0].max(self.cohab_ms[1]);
+        sequential / cohab
+    }
+}
+
+/// Run two models concurrently on `device` (CPU backends only: each
+/// tenant gets half of the 4-thread benchmark pool via affinity splits).
+pub fn cohabitate(
+    device: &DeviceSpec,
+    a: &TraceReport,
+    b: &TraceReport,
+    thermal: &ThermalState,
+) -> Result<CohabReport> {
+    let full = Backend::Cpu(ThreadConfig::unpinned(4));
+    let full_lat_a = estimate_latency(device, full, a, thermal)?;
+    let full_lat_b = estimate_latency(device, full, b, thermal)?;
+    let iso_a = full_lat_a.total_ms;
+    let iso_b = full_lat_b.total_ms;
+
+    // Each tenant runs 2 threads. Tenant A lands on the two biggest cores
+    // (it arrived first); tenant B inherits the next two, which on
+    // big.LITTLE parts often means crossing into the LITTLE cluster.
+    let eff_full = crate::sched::assign(device, ThreadConfig::unpinned(4))?.effective_gflops;
+    let eff_a = crate::sched::assign_slice(device, 0, 2)?.effective_gflops;
+    let eff_b = crate::sched::assign_slice(device, 2, 2)?.effective_gflops;
+    // Compute time scales with the throughput loss; the shared-bandwidth
+    // interference factor applies to both tenants.
+    let co_a = iso_a * (eff_full / eff_a) / INTERFERENCE_FACTOR;
+    let co_b = iso_b * (eff_full / eff_b) / INTERFERENCE_FACTOR;
+    Ok(CohabReport {
+        isolated_ms: [iso_a, iso_b],
+        cohab_ms: [co_a, co_b],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::device;
+    use gaugenn_dnn::task::Task;
+    use gaugenn_dnn::trace::trace_graph;
+    use gaugenn_dnn::zoo::{build_for_task, SizeClass};
+
+    fn tr(task: Task, seed: u64) -> TraceReport {
+        trace_graph(&build_for_task(task, seed, SizeClass::Small, true).graph).unwrap()
+    }
+
+    #[test]
+    fn cohabitation_slows_both_tenants() {
+        let d = device("S21").unwrap();
+        let a = tr(Task::FaceDetection, 1);
+        let b = tr(Task::ImageClassification, 2);
+        let rep = cohabitate(&d, &a, &b, &ThermalState::cool()).unwrap();
+        let [sa, sb] = rep.slowdowns();
+        assert!(sa > 1.0, "tenant A slowdown {sa}");
+        assert!(sb > 1.0, "tenant B slowdown {sb}");
+        assert!(sa < sb, "the first tenant keeps the big cores");
+    }
+
+    #[test]
+    fn naive_cohabitation_loses_wall_clock_on_big_little() {
+        // The §8.1 thesis: naive core partitioning on a heterogeneous SoC
+        // leaves the second tenant on weak cores, so co-habitation loses
+        // to sequential execution — the "emerging problem" researchers
+        // "will need to tackle … by means of OS or hardware-level
+        // solutions".
+        let d = device("Q888").unwrap();
+        let a = tr(Task::SemanticSegmentation, 3);
+        let b = tr(Task::SemanticSegmentation, 4);
+        let rep = cohabitate(&d, &a, &b, &ThermalState::cool()).unwrap();
+        let gain = rep.throughput_gain();
+        assert!(gain < 1.0, "naive co-habitation should lose, gain {gain}");
+        assert!(gain > 0.3, "…but not catastrophically, gain {gain}");
+    }
+
+    #[test]
+    fn placement_order_matters() {
+        // Giving the heavy model the big cores beats the reverse — the
+        // scheduling decision the future-work section anticipates.
+        let d = device("S21").unwrap();
+        let heavy = tr(Task::SemanticSegmentation, 7);
+        let light = tr(Task::FaceDetection, 8);
+        let cool = ThermalState::cool();
+        let heavy_first = cohabitate(&d, &heavy, &light, &cool).unwrap();
+        let light_first = cohabitate(&d, &light, &heavy, &cool).unwrap();
+        let makespan_hf = heavy_first.cohab_ms[0].max(heavy_first.cohab_ms[1]);
+        let makespan_lf = light_first.cohab_ms[0].max(light_first.cohab_ms[1]);
+        assert!(
+            makespan_hf < makespan_lf,
+            "heavy-on-big {makespan_hf} should beat light-on-big {makespan_lf}"
+        );
+    }
+
+    #[test]
+    fn low_end_device_suffers_more() {
+        let a = tr(Task::FaceDetection, 5);
+        let b = tr(Task::SoundRecognition, 6);
+        let cool = ThermalState::cool();
+        let s21 = cohabitate(&device("S21").unwrap(), &a, &b, &cool).unwrap();
+        let a20 = cohabitate(&device("A20").unwrap(), &a, &b, &cool).unwrap();
+        // The A20's second tenant lands on far weaker cores.
+        assert!(a20.slowdowns()[1] > s21.slowdowns()[1] * 0.9);
+    }
+}

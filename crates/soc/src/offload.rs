@@ -1,0 +1,176 @@
+//! Cloud-offloading latency model (§6.4, §8.1).
+//!
+//! The paper observes developers "resorting to cloud-powered inference"
+//! because it "offers a consistent QoE, which is not dependent on the
+//! target device, at the expense of privacy and monetary cost". This
+//! module makes that trade-off measurable: an offloaded inference pays the
+//! network round-trip and payload transfer but runs on datacenter silicon
+//! whose speed does not vary with the handset.
+
+use crate::thermal::ThermalState;
+use crate::{Backend, DeviceSpec, Result};
+use gaugenn_dnn::trace::TraceReport;
+
+/// A mobile network condition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Uplink throughput, Mbit/s.
+    pub uplink_mbps: f64,
+    /// Downlink throughput, Mbit/s.
+    pub downlink_mbps: f64,
+    /// Round-trip time to the inference endpoint, ms.
+    pub rtt_ms: f64,
+}
+
+/// Typical 2021 network conditions.
+pub const NETWORKS: [NetworkProfile; 3] = [
+    NetworkProfile { name: "WiFi", uplink_mbps: 50.0, downlink_mbps: 100.0, rtt_ms: 12.0 },
+    NetworkProfile { name: "LTE", uplink_mbps: 10.0, downlink_mbps: 30.0, rtt_ms: 45.0 },
+    NetworkProfile { name: "HSPA", uplink_mbps: 1.5, downlink_mbps: 6.0, rtt_ms: 90.0 },
+];
+
+/// The cloud endpoint: a datacenter accelerator behind an API.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudSpec {
+    /// Sustained effective GFLOPS the service dedicates per request.
+    pub effective_gflops: f64,
+    /// Fixed service overhead per request (queueing, deserialisation), ms.
+    pub service_overhead_ms: f64,
+}
+
+impl Default for CloudSpec {
+    fn default() -> Self {
+        // A slice of a datacenter GPU — orders of magnitude above any
+        // 2021 handset, which is the whole point.
+        CloudSpec {
+            effective_gflops: 2000.0,
+            service_overhead_ms: 5.0,
+        }
+    }
+}
+
+/// Input payload bytes of a model (the first layer's activation traffic,
+/// excluding weights). JPEG-style compression of camera inputs is left to
+/// the caller via `compression_ratio`.
+pub fn input_bytes(trace: &TraceReport) -> u64 {
+    trace
+        .layers
+        .first()
+        .map(|l| l.bytes_read - l.weight_bytes)
+        .unwrap_or(0)
+}
+
+/// Output payload bytes (the last layer's written activations).
+pub fn output_bytes(trace: &TraceReport) -> u64 {
+    trace.layers.last().map(|l| l.bytes_written).unwrap_or(0)
+}
+
+/// End-to-end offloaded-inference latency in milliseconds.
+pub fn offload_latency_ms(
+    trace: &TraceReport,
+    network: &NetworkProfile,
+    cloud: &CloudSpec,
+    compression_ratio: f64,
+) -> f64 {
+    let up_bits = input_bytes(trace) as f64 * 8.0 / compression_ratio.max(1.0);
+    let down_bits = output_bytes(trace) as f64 * 8.0;
+    let upload_ms = up_bits / (network.uplink_mbps * 1e6) * 1e3;
+    let download_ms = down_bits / (network.downlink_mbps * 1e6) * 1e3;
+    let compute_ms = trace.total_flops as f64 / (cloud.effective_gflops * 1e9) * 1e3;
+    network.rtt_ms + upload_ms + compute_ms + download_ms + cloud.service_overhead_ms
+}
+
+/// Compare local vs offloaded execution for one model on one device.
+///
+/// Returns `(local_ms, offload_ms)`; the caller decides the policy.
+pub fn compare(
+    device: &DeviceSpec,
+    backend: Backend,
+    trace: &TraceReport,
+    network: &NetworkProfile,
+    cloud: &CloudSpec,
+    compression_ratio: f64,
+) -> Result<(f64, f64)> {
+    let local = crate::estimate_latency(device, backend, trace, &ThermalState::cool())?;
+    Ok((
+        local.total_ms,
+        offload_latency_ms(trace, network, cloud, compression_ratio),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::ThreadConfig;
+    use crate::spec::device;
+    use gaugenn_dnn::task::Task;
+    use gaugenn_dnn::trace::trace_graph;
+    use gaugenn_dnn::zoo::{build_for_task, SizeClass};
+
+    fn tr(task: Task, size: SizeClass) -> TraceReport {
+        trace_graph(&build_for_task(task, 9, size, true).graph).unwrap()
+    }
+
+    fn cpu4() -> Backend {
+        Backend::Cpu(ThreadConfig::unpinned(4))
+    }
+
+    #[test]
+    fn payload_accessors_positive_for_vision() {
+        let t = tr(Task::ImageClassification, SizeClass::Small);
+        assert!(input_bytes(&t) > 0);
+        assert!(output_bytes(&t) > 0);
+        assert!(input_bytes(&t) > output_bytes(&t), "image in, logits out");
+    }
+
+    #[test]
+    fn heavy_model_on_weak_device_prefers_cloud() {
+        let t = tr(Task::SemanticSegmentation, SizeClass::Large);
+        let a20 = device("A20").unwrap();
+        let wifi = &NETWORKS[0];
+        let (local, cloud) = compare(&a20, cpu4(), &t, wifi, &CloudSpec::default(), 20.0).unwrap();
+        assert!(cloud < local, "offload {cloud} should beat A20 local {local}");
+    }
+
+    #[test]
+    fn tiny_model_on_flagship_prefers_local() {
+        let t = tr(Task::AutoComplete, SizeClass::Small);
+        let s21 = device("S21").unwrap();
+        let hspa = &NETWORKS[2];
+        let (local, cloud) = compare(&s21, cpu4(), &t, hspa, &CloudSpec::default(), 1.0).unwrap();
+        assert!(local < cloud, "local {local} should beat offload {cloud} over HSPA");
+    }
+
+    #[test]
+    fn offload_latency_is_device_independent() {
+        // The §6.4 QoE point: the cloud number does not change with the
+        // handset.
+        let t = tr(Task::ObjectDetection, SizeClass::Medium);
+        let wifi = &NETWORKS[0];
+        let x = offload_latency_ms(&t, wifi, &CloudSpec::default(), 20.0);
+        let y = offload_latency_ms(&t, wifi, &CloudSpec::default(), 20.0);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn slower_networks_raise_offload_cost_monotonically() {
+        let t = tr(Task::FaceDetection, SizeClass::Small);
+        let c = CloudSpec::default();
+        let wifi = offload_latency_ms(&t, &NETWORKS[0], &c, 20.0);
+        let lte = offload_latency_ms(&t, &NETWORKS[1], &c, 20.0);
+        let hspa = offload_latency_ms(&t, &NETWORKS[2], &c, 20.0);
+        assert!(wifi < lte);
+        assert!(lte < hspa);
+    }
+
+    #[test]
+    fn compression_reduces_upload_cost() {
+        let t = tr(Task::SemanticSegmentation, SizeClass::Small);
+        let c = CloudSpec::default();
+        let raw = offload_latency_ms(&t, &NETWORKS[2], &c, 1.0);
+        let jpeg = offload_latency_ms(&t, &NETWORKS[2], &c, 20.0);
+        assert!(jpeg < raw);
+    }
+}

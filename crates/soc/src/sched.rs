@@ -1,0 +1,280 @@
+//! CPU thread placement model (§6.2, Fig. 12).
+//!
+//! TFLite-style inference splits each operator across a thread pool. The
+//! achievable throughput of that pool depends on which cores the Android
+//! scheduler lands the threads on, whether the set spans big.LITTLE
+//! islands, synchronisation overheads that grow with thread count, and
+//! time-sharing when pinned to fewer cores than threads. This module turns
+//! a [`ThreadConfig`] into an effective-GFLOPS figure for a device.
+
+use crate::spec::{CoreType, DeviceSpec};
+use crate::{Result, SocError};
+
+/// A benchmark CPU configuration: thread count plus optional affinity to
+/// the top-N cores (the paper's `4a2` notation = 4 threads on top 2 cores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadConfig {
+    /// Worker thread count.
+    pub threads: usize,
+    /// When set, threads are pinned to the `n` biggest cores.
+    pub affinity_top: Option<usize>,
+}
+
+impl ThreadConfig {
+    /// Unpinned configuration with `threads` workers.
+    pub fn unpinned(threads: usize) -> Self {
+        ThreadConfig {
+            threads,
+            affinity_top: None,
+        }
+    }
+
+    /// Pinned configuration: `threads` workers on the top `cores` cores.
+    pub fn pinned(threads: usize, cores: usize) -> Self {
+        ThreadConfig {
+            threads,
+            affinity_top: Some(cores),
+        }
+    }
+
+    /// Paper-style label: `4`, `4a2`, …
+    pub fn label(&self) -> String {
+        match self.affinity_top {
+            Some(a) => format!("{}a{}", self.threads, a),
+            None => format!("{}", self.threads),
+        }
+    }
+}
+
+/// Synchronisation efficiency of an N-thread operator fork/join. Values
+/// fitted to the Fig. 12 shape: near-linear to 4 threads, collapsing at 8.
+fn sync_efficiency(threads: usize) -> f64 {
+    match threads {
+        0 | 1 => 1.0,
+        2 => 0.92,
+        3 => 0.86,
+        4 => 0.80,
+        5 => 0.68,
+        6 => 0.58,
+        7 => 0.50,
+        _ => 0.42,
+    }
+}
+
+/// Resolved thread placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// The configuration that produced this assignment.
+    pub config: ThreadConfig,
+    /// `(core type, peak GFLOPS)` of each core hosting at least one thread.
+    pub cores: Vec<(CoreType, f64)>,
+    /// Aggregate effective GFLOPS after all penalties.
+    pub effective_gflops: f64,
+    /// Aggregate active-core power draw at full load, watts.
+    pub active_power_w: f64,
+    /// Whether the placement spans multiple islands.
+    pub spans_islands: bool,
+    /// Whether threads outnumber distinct cores (time-sharing).
+    pub time_shared: bool,
+}
+
+/// Place `config` threads on `device` and compute effective throughput.
+pub fn assign(device: &DeviceSpec, config: ThreadConfig) -> Result<Assignment> {
+    let soc = &device.soc;
+    if config.threads == 0 {
+        return Err(SocError::BadConfig("thread count must be >= 1".into()));
+    }
+    if let Some(a) = config.affinity_top {
+        if a == 0 || a > soc.core_count() {
+            return Err(SocError::BadConfig(format!(
+                "affinity {a} outside 1..={}",
+                soc.core_count()
+            )));
+        }
+    }
+    let all = soc.cores_by_speed();
+    let avail = config.affinity_top.unwrap_or(soc.core_count()).min(all.len());
+    // The scheduler fills the biggest cores first (performance governor
+    // during benchmarks — the device-state assertions of §3.3).
+    let used = config.threads.min(avail);
+    let cores: Vec<(CoreType, f64)> = all[..used].to_vec();
+    let time_shared = config.threads > avail;
+
+    // The penalty boundary is the big/LITTLE class split, not every
+    // DynamIQ island: prime+gold clusters share a DSU and L3.
+    let has_big = cores.iter().any(|(c, _)| !c.is_little());
+    let has_little = cores.iter().any(|(c, _)| c.is_little());
+    let spans_islands = has_big && has_little;
+
+    let raw: f64 = cores.iter().map(|(_, g)| g).sum();
+    let mut eff = raw * sync_efficiency(config.threads);
+    if spans_islands {
+        eff *= soc.cross_island_factor;
+    }
+    if time_shared {
+        // Oversubscription: context-switch churn on top of getting no extra
+        // silicon. §6.2: "4a2 and 8a4 result in significant performance
+        // degradation … due to time-sharing".
+        eff *= 0.55;
+    }
+    if config.affinity_top.is_some() && !time_shared {
+        // Pinning prevents migration but also blocks the scheduler's
+        // load-balancing; measured as a slight loss (§6.2: "4a4 performs
+        // worse to 4 threads").
+        eff *= 0.96;
+    }
+    eff *= device.vendor_factor * soc.sustained_clock_factor;
+
+    let active_power_w: f64 = cores.iter().map(|(c, _)| c.max_power_w()).sum();
+    Ok(Assignment {
+        config,
+        cores,
+        effective_gflops: eff,
+        active_power_w,
+        spans_islands,
+        time_shared,
+    })
+}
+
+/// Effective GFLOPS of a co-habitation tenant running `count` threads on
+/// cores `[start, start + count)` of the big-first ordering (the §8.1
+/// study: a second DNN inherits whatever cores the first left free).
+pub fn assign_slice(device: &DeviceSpec, start: usize, count: usize) -> Result<Assignment> {
+    let soc = &device.soc;
+    let all = soc.cores_by_speed();
+    if count == 0 || start + count > all.len() {
+        return Err(SocError::BadConfig(format!(
+            "core slice [{start}, {}) outside 0..{}",
+            start + count,
+            all.len()
+        )));
+    }
+    let cores: Vec<(CoreType, f64)> = all[start..start + count].to_vec();
+    let has_big = cores.iter().any(|(c, _)| !c.is_little());
+    let has_little = cores.iter().any(|(c, _)| c.is_little());
+    let spans_islands = has_big && has_little;
+    let raw: f64 = cores.iter().map(|(_, g)| g).sum();
+    let mut eff = raw * sync_efficiency(count);
+    if spans_islands {
+        eff *= soc.cross_island_factor;
+    }
+    eff *= device.vendor_factor * soc.sustained_clock_factor;
+    let active_power_w: f64 = cores.iter().map(|(c, _)| c.max_power_w()).sum();
+    Ok(Assignment {
+        config: ThreadConfig::pinned(count, start + count),
+        cores,
+        effective_gflops: eff,
+        active_power_w,
+        spans_islands,
+        time_shared: false,
+    })
+}
+
+/// The default benchmark configuration (4 threads, unpinned) used for the
+/// headline latency figures.
+pub fn default_config() -> ThreadConfig {
+    ThreadConfig::unpinned(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::device;
+
+    fn eff(name: &str, cfg: ThreadConfig) -> f64 {
+        assign(&device(name).unwrap(), cfg).unwrap().effective_gflops
+    }
+
+    #[test]
+    fn optimal_thread_counts_match_fig12() {
+        // §6.2: "A20, A70 and S21 performing better with 4, 2 and 4
+        // threads, respectively".
+        for (dev, best) in [("A20", 4usize), ("A70", 2), ("S21", 4)] {
+            let candidates = [2usize, 4, 8];
+            let winner = candidates
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    eff(dev, ThreadConfig::unpinned(a))
+                        .partial_cmp(&eff(dev, ThreadConfig::unpinned(b)))
+                        .unwrap()
+                })
+                .unwrap();
+            assert_eq!(winner, best, "{dev}");
+        }
+    }
+
+    #[test]
+    fn eight_threads_collapse() {
+        // "the 8-threaded performance drops significantly across devices".
+        for dev in ["A20", "A70", "S21"] {
+            let best = eff(dev, ThreadConfig::unpinned(2)).max(eff(dev, ThreadConfig::unpinned(4)));
+            assert!(
+                eff(dev, ThreadConfig::unpinned(8)) < best,
+                "{dev}: 8 threads should underperform"
+            );
+        }
+    }
+
+    #[test]
+    fn oversubscribed_affinity_degrades() {
+        // 4a2 and 8a4 must lose badly to their unpinned counterparts.
+        for dev in ["A20", "A70", "S21"] {
+            assert!(
+                eff(dev, ThreadConfig::pinned(4, 2)) < eff(dev, ThreadConfig::unpinned(4)),
+                "{dev} 4a2"
+            );
+            assert!(
+                eff(dev, ThreadConfig::pinned(8, 4)) < eff(dev, ThreadConfig::unpinned(4)),
+                "{dev} 8a4"
+            );
+        }
+    }
+
+    #[test]
+    fn matched_affinity_no_gain() {
+        // "setting the affinity to the same number of top cores does not
+        // yield any significant gain … 4a4 performs worse to 4 threads".
+        for dev in ["A20", "A70", "S21"] {
+            let pinned = eff(dev, ThreadConfig::pinned(4, 4));
+            let unpinned = eff(dev, ThreadConfig::unpinned(4));
+            assert!(pinned <= unpinned, "{dev}");
+            assert!(pinned > 0.85 * unpinned, "{dev}: 4a4 should be close to 4");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let d = device("A20").unwrap();
+        assert!(assign(&d, ThreadConfig::unpinned(0)).is_err());
+        assert!(assign(&d, ThreadConfig::pinned(2, 0)).is_err());
+        assert!(assign(&d, ThreadConfig::pinned(2, 99)).is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ThreadConfig::unpinned(4).label(), "4");
+        assert_eq!(ThreadConfig::pinned(4, 2).label(), "4a2");
+    }
+
+    #[test]
+    fn assignment_flags() {
+        let d = device("S21").unwrap();
+        let a = assign(&d, ThreadConfig::unpinned(8)).unwrap();
+        assert!(a.spans_islands); // big cores + A55 LITTLEs
+        assert!(!a.time_shared);
+        let b = assign(&d, ThreadConfig::pinned(4, 2)).unwrap();
+        assert!(b.time_shared);
+        let c = assign(&d, ThreadConfig::pinned(1, 1)).unwrap();
+        assert!(!c.spans_islands);
+        assert_eq!(c.cores.len(), 1);
+    }
+
+    #[test]
+    fn power_scales_with_cores() {
+        let d = device("Q845").unwrap();
+        let p1 = assign(&d, ThreadConfig::unpinned(1)).unwrap().active_power_w;
+        let p4 = assign(&d, ThreadConfig::unpinned(4)).unwrap().active_power_w;
+        assert!(p4 > 2.0 * p1);
+    }
+}

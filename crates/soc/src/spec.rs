@@ -1,0 +1,448 @@
+//! Device and SoC specifications (Table 1 of the paper).
+//!
+//! Microarchitectural constants (FLOPs/cycle, frequencies, core power) are
+//! drawn from public ARM documentation and vendor datasheets; they are the
+//! calibration inputs of the model, not measurements.
+
+/// ARM core microarchitectures present in the Table 1 devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreType {
+    /// Cortex-A53 (in-order little, Exynos 7884).
+    A53,
+    /// Cortex-A55 (in-order little, DynamIQ).
+    A55,
+    /// Cortex-A73 (out-of-order big, Exynos 7884).
+    A73,
+    /// Cortex-A75 (Snapdragon 845 "Kryo 385 Gold").
+    A75,
+    /// Cortex-A76 (SD675 / SD855).
+    A76,
+    /// Cortex-A78 (SD888 "Kryo 680 Gold").
+    A78,
+    /// Cortex-X1 (SD888 prime core).
+    X1,
+}
+
+impl CoreType {
+    /// Peak f32 FLOPs per cycle (NEON FMA lanes × issue width).
+    pub const fn flops_per_cycle(self) -> f64 {
+        match self {
+            CoreType::A53 => 4.0,
+            CoreType::A55 => 8.0,
+            CoreType::A73 => 8.0,
+            // Two NEON pipes like the A76, but shallower OoO window —
+            // effective FMA issue lands below the A76 in practice.
+            CoreType::A75 => 12.0,
+            CoreType::A76 => 16.0,
+            CoreType::A78 => 16.0,
+            CoreType::X1 => 32.0,
+        }
+    }
+
+    /// Dynamic power at maximum frequency, in watts (order-of-magnitude
+    /// values from vendor power models).
+    pub const fn max_power_w(self) -> f64 {
+        match self {
+            CoreType::A53 => 0.25,
+            CoreType::A55 => 0.35,
+            CoreType::A73 => 0.9,
+            CoreType::A75 => 1.6,
+            CoreType::A76 => 1.8,
+            CoreType::A78 => 2.0,
+            CoreType::X1 => 3.0,
+        }
+    }
+
+    /// Whether this is an in-order LITTLE core. The cross-island scheduling
+    /// penalty applies only when an inference spans the big/LITTLE class
+    /// boundary — prime + gold clusters (e.g. SD855's two A76 islands)
+    /// share a DSU and L3 and do not pay it.
+    pub const fn is_little(self) -> bool {
+        matches!(self, CoreType::A53 | CoreType::A55)
+    }
+
+    /// Short display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CoreType::A53 => "A53",
+            CoreType::A55 => "A55",
+            CoreType::A73 => "A73",
+            CoreType::A75 => "A75",
+            CoreType::A76 => "A76",
+            CoreType::A78 => "A78",
+            CoreType::X1 => "X1",
+        }
+    }
+}
+
+/// A homogeneous cluster of cores (one DynamIQ/big.LITTLE island).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreIsland {
+    /// Microarchitecture.
+    pub core: CoreType,
+    /// Number of cores in the island.
+    pub count: usize,
+    /// Maximum frequency in GHz.
+    pub freq_ghz: f64,
+}
+
+impl CoreIsland {
+    /// Peak GFLOPS of a single core in this island.
+    pub fn core_gflops(&self) -> f64 {
+        self.core.flops_per_cycle() * self.freq_ghz
+    }
+}
+
+/// An SoC: core islands (big first), memory system and accelerators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocSpec {
+    /// Marketing name, e.g. `"Snapdragon 888"`.
+    pub name: &'static str,
+    /// Core islands, ordered from biggest to littlest.
+    pub islands: Vec<CoreIsland>,
+    /// Sustained memory bandwidth available to one inference, GB/s.
+    pub mem_bw_gbps: f64,
+    /// Mobile GPU sustained f32 GFLOPS.
+    pub gpu_gflops: f64,
+    /// GPU power draw under inference load, watts.
+    pub gpu_power_w: f64,
+    /// DSP/NPU sustained int8 GOPS (0 when absent).
+    pub dsp_gops: f64,
+    /// DSP power draw under load, watts.
+    pub dsp_power_w: f64,
+    /// SoC idle floor (rails, interconnect), watts.
+    pub idle_power_w: f64,
+    /// Penalty factor applied when one inference's threads span more than
+    /// one island (cache-coherence traffic across clusters + DVFS policy
+    /// interactions — §6.2). 1.0 = no penalty.
+    pub cross_island_factor: f64,
+    /// Fraction of maximum CPU frequency the governor sustains under
+    /// inference load (DVFS/EAS policies; older process nodes clock down
+    /// harder — this is what separates the HDK generations as strongly as
+    /// the paper measures).
+    pub sustained_clock_factor: f64,
+}
+
+impl SocSpec {
+    /// Total core count.
+    pub fn core_count(&self) -> usize {
+        self.islands.iter().map(|i| i.count).sum()
+    }
+
+    /// Per-core peak GFLOPS, big cores first (the "top N cores" ordering
+    /// used by affinity pinning).
+    pub fn cores_by_speed(&self) -> Vec<(CoreType, f64)> {
+        let mut cores = Vec::with_capacity(self.core_count());
+        for island in &self.islands {
+            for _ in 0..island.count {
+                cores.push((island.core, island.core_gflops()));
+            }
+        }
+        cores.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite speeds"));
+        cores
+    }
+
+    /// Island index a given top-N core ordinal belongs to.
+    pub fn island_of_core(&self, ordinal: usize) -> usize {
+        let mut seen = 0;
+        for (idx, island) in self.islands.iter().enumerate() {
+            seen += island.count;
+            if ordinal < seen {
+                return idx;
+            }
+        }
+        self.islands.len().saturating_sub(1)
+    }
+}
+
+/// Market tier of a device (§5.1 groups results this way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceTier {
+    /// Budget phone (A20).
+    Low,
+    /// Mid-range phone (A70).
+    Mid,
+    /// Flagship phone (S21).
+    High,
+    /// Open-deck development board (HDKs).
+    DevBoard,
+}
+
+/// Physical form of the device, which drives thermals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormFactor {
+    /// Sealed phone chassis.
+    Phone,
+    /// Open-deck board with free airflow (HDKs, §5.1: "heat dissipation of
+    /// the open design").
+    OpenDeck,
+}
+
+/// A benchmark device (Table 1 row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Device name as used in the figures.
+    pub name: &'static str,
+    /// The SoC.
+    pub soc: SocSpec,
+    /// RAM in GB.
+    pub ram_gb: u32,
+    /// Battery capacity in mAh (None for externally-powered HDKs).
+    pub battery_mah: Option<u32>,
+    /// Market tier.
+    pub tier: DeviceTier,
+    /// Chassis form.
+    pub form: FormFactor,
+    /// Vendor software efficiency factor: the S21 runs a vendor Android
+    /// build with more background load than the HDK's vanilla image
+    /// (§5.1's same-SoC observation). 1.0 = vanilla.
+    pub vendor_factor: f64,
+    /// Screen power when held on during benchmarks (black screen, §3.3),
+    /// watts. HDKs have no panel.
+    pub screen_power_w: f64,
+}
+
+fn exynos_7884() -> SocSpec {
+    SocSpec {
+        name: "Exynos 7884",
+        islands: vec![
+            CoreIsland { core: CoreType::A73, count: 2, freq_ghz: 1.6 },
+            CoreIsland { core: CoreType::A53, count: 6, freq_ghz: 1.35 },
+        ],
+        mem_bw_gbps: 5.5,
+        gpu_gflops: 40.0,
+        gpu_power_w: 0.9,
+        dsp_gops: 0.0,
+        dsp_power_w: 0.0,
+        idle_power_w: 0.55,
+        cross_island_factor: 0.95,
+        sustained_clock_factor: 0.90,
+    }
+}
+
+fn snapdragon_675() -> SocSpec {
+    SocSpec {
+        name: "Snapdragon 675",
+        islands: vec![
+            CoreIsland { core: CoreType::A76, count: 2, freq_ghz: 2.0 },
+            CoreIsland { core: CoreType::A55, count: 6, freq_ghz: 1.7 },
+        ],
+        mem_bw_gbps: 11.0,
+        gpu_gflops: 130.0,
+        gpu_power_w: 1.2,
+        dsp_gops: 100.0,
+        dsp_power_w: 0.7,
+        idle_power_w: 0.6,
+        cross_island_factor: 0.62,
+        sustained_clock_factor: 0.95,
+    }
+}
+
+fn snapdragon_845() -> SocSpec {
+    SocSpec {
+        name: "Snapdragon 845",
+        islands: vec![
+            CoreIsland { core: CoreType::A75, count: 4, freq_ghz: 2.8 },
+            CoreIsland { core: CoreType::A55, count: 4, freq_ghz: 1.77 },
+        ],
+        mem_bw_gbps: 10.0,
+        gpu_gflops: 520.0,
+        gpu_power_w: 1.7,
+        dsp_gops: 256.0,
+        dsp_power_w: 0.9,
+        idle_power_w: 0.7,
+        cross_island_factor: 0.8,
+        sustained_clock_factor: 0.65,
+    }
+}
+
+fn snapdragon_855() -> SocSpec {
+    SocSpec {
+        name: "Snapdragon 855",
+        islands: vec![
+            CoreIsland { core: CoreType::A76, count: 1, freq_ghz: 2.84 },
+            CoreIsland { core: CoreType::A76, count: 3, freq_ghz: 2.42 },
+            CoreIsland { core: CoreType::A55, count: 4, freq_ghz: 1.8 },
+        ],
+        mem_bw_gbps: 13.0,
+        gpu_gflops: 700.0,
+        gpu_power_w: 1.9,
+        dsp_gops: 512.0,
+        dsp_power_w: 1.0,
+        idle_power_w: 0.72,
+        cross_island_factor: 0.82,
+        sustained_clock_factor: 0.78,
+    }
+}
+
+fn snapdragon_888() -> SocSpec {
+    SocSpec {
+        name: "Snapdragon 888",
+        islands: vec![
+            CoreIsland { core: CoreType::X1, count: 1, freq_ghz: 2.84 },
+            CoreIsland { core: CoreType::A78, count: 3, freq_ghz: 2.42 },
+            CoreIsland { core: CoreType::A55, count: 4, freq_ghz: 1.8 },
+        ],
+        mem_bw_gbps: 24.0,
+        gpu_gflops: 1200.0,
+        gpu_power_w: 2.4,
+        dsp_gops: 1024.0,
+        dsp_power_w: 1.2,
+        idle_power_w: 0.8,
+        cross_island_factor: 0.85,
+        sustained_clock_factor: 0.95,
+    }
+}
+
+/// The three phone devices of Table 1 (tiers low → high).
+pub fn phones() -> Vec<DeviceSpec> {
+    vec![
+        DeviceSpec {
+            name: "A20",
+            soc: exynos_7884(),
+            ram_gb: 4,
+            battery_mah: Some(4000),
+            tier: DeviceTier::Low,
+            form: FormFactor::Phone,
+            vendor_factor: 0.95,
+            screen_power_w: 0.45,
+        },
+        DeviceSpec {
+            name: "A70",
+            soc: snapdragon_675(),
+            ram_gb: 6,
+            battery_mah: Some(4500),
+            tier: DeviceTier::Mid,
+            form: FormFactor::Phone,
+            vendor_factor: 0.95,
+            screen_power_w: 0.5,
+        },
+        DeviceSpec {
+            name: "S21",
+            soc: snapdragon_888(),
+            ram_gb: 8,
+            battery_mah: Some(4000),
+            tier: DeviceTier::High,
+            form: FormFactor::Phone,
+            vendor_factor: 0.93,
+            screen_power_w: 0.55,
+        },
+    ]
+}
+
+/// The three Qualcomm HDK boards of Table 1 (generations 845 → 888).
+pub fn hdks() -> Vec<DeviceSpec> {
+    vec![
+        DeviceSpec {
+            name: "Q845",
+            soc: snapdragon_845(),
+            ram_gb: 8,
+            battery_mah: Some(2850),
+            tier: DeviceTier::DevBoard,
+            form: FormFactor::OpenDeck,
+            vendor_factor: 1.0,
+            screen_power_w: 0.4,
+        },
+        DeviceSpec {
+            name: "Q855",
+            soc: snapdragon_855(),
+            ram_gb: 8,
+            battery_mah: None,
+            tier: DeviceTier::DevBoard,
+            form: FormFactor::OpenDeck,
+            vendor_factor: 1.0,
+            screen_power_w: 0.4,
+        },
+        DeviceSpec {
+            name: "Q888",
+            soc: snapdragon_888(),
+            ram_gb: 8,
+            battery_mah: None,
+            tier: DeviceTier::DevBoard,
+            form: FormFactor::OpenDeck,
+            vendor_factor: 1.0,
+            screen_power_w: 0.4,
+        },
+    ]
+}
+
+/// All six Table 1 devices, phones first.
+pub fn all_devices() -> Vec<DeviceSpec> {
+    let mut v = phones();
+    v.extend(hdks());
+    v
+}
+
+/// Find a device by name.
+pub fn device(name: &str) -> Option<DeviceSpec> {
+    all_devices().into_iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_roster() {
+        let devs = all_devices();
+        assert_eq!(devs.len(), 6);
+        let names: Vec<&str> = devs.iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["A20", "A70", "S21", "Q845", "Q855", "Q888"]);
+        // Battery capacities from Table 1.
+        assert_eq!(device("A20").unwrap().battery_mah, Some(4000));
+        assert_eq!(device("A70").unwrap().battery_mah, Some(4500));
+        assert_eq!(device("Q845").unwrap().battery_mah, Some(2850));
+        assert_eq!(device("Q855").unwrap().battery_mah, None);
+    }
+
+    #[test]
+    fn q888_matches_paper_topology() {
+        // §6.2: "Q888 has 1×X1, 3×A78, 4×A55".
+        let q888 = device("Q888").unwrap();
+        let islands = &q888.soc.islands;
+        assert_eq!(islands.len(), 3);
+        assert_eq!((islands[0].core, islands[0].count), (CoreType::X1, 1));
+        assert_eq!((islands[1].core, islands[1].count), (CoreType::A78, 3));
+        assert_eq!((islands[2].core, islands[2].count), (CoreType::A55, 4));
+        assert_eq!(q888.soc.core_count(), 8);
+    }
+
+    #[test]
+    fn cores_sorted_big_first() {
+        let s21 = device("S21").unwrap();
+        let cores = s21.soc.cores_by_speed();
+        assert_eq!(cores.len(), 8);
+        assert_eq!(cores[0].0, CoreType::X1);
+        assert!(cores.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn island_of_core_maps_ordinals() {
+        let s21 = device("S21").unwrap();
+        assert_eq!(s21.soc.island_of_core(0), 0); // X1
+        assert_eq!(s21.soc.island_of_core(1), 1); // A78
+        assert_eq!(s21.soc.island_of_core(3), 1);
+        assert_eq!(s21.soc.island_of_core(4), 2); // A55
+        assert_eq!(s21.soc.island_of_core(7), 2);
+    }
+
+    #[test]
+    fn generations_get_monotonic_resources() {
+        let q845 = device("Q845").unwrap().soc;
+        let q855 = device("Q855").unwrap().soc;
+        let q888 = device("Q888").unwrap().soc;
+        assert!(q845.mem_bw_gbps < q855.mem_bw_gbps);
+        assert!(q855.mem_bw_gbps < q888.mem_bw_gbps);
+        assert!(q845.dsp_gops < q855.dsp_gops);
+        assert!(q845.gpu_gflops < q888.gpu_gflops);
+    }
+
+    #[test]
+    fn s21_and_q888_share_soc_but_differ_in_form() {
+        let s21 = device("S21").unwrap();
+        let q888 = device("Q888").unwrap();
+        assert_eq!(s21.soc, q888.soc);
+        assert_ne!(s21.form, q888.form);
+        assert!(s21.vendor_factor < q888.vendor_factor);
+    }
+}

@@ -1,0 +1,139 @@
+//! Thermal model: sustained load raises die temperature; past a threshold
+//! the governor throttles frequency. Open-deck boards shed heat faster than
+//! sealed phones (§5.1's Q888-vs-S21 gap; §5.2.2's hour-long scenarios are
+//! where this matters most).
+
+use crate::spec::{DeviceSpec, FormFactor};
+
+/// Ambient temperature assumed by the model, °C.
+pub const AMBIENT_C: f64 = 25.0;
+/// Die temperature where throttling begins, °C.
+pub const THROTTLE_START_C: f64 = 65.0;
+/// Die temperature of maximum throttle, °C.
+pub const THROTTLE_FULL_C: f64 = 95.0;
+/// Throughput factor at maximum throttle.
+pub const MIN_THROTTLE: f64 = 0.45;
+
+/// Mutable thermal state of a device under test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalState {
+    /// Current die temperature, °C.
+    pub temp_c: f64,
+}
+
+impl ThermalState {
+    /// A device at ambient temperature (benchmarks with inter-experiment
+    /// sleeps, §3.3).
+    pub fn cool() -> Self {
+        ThermalState { temp_c: AMBIENT_C }
+    }
+
+    /// Current throughput multiplier in `[MIN_THROTTLE, 1.0]`.
+    pub fn throttle_factor(&self, _device: &DeviceSpec) -> f64 {
+        if self.temp_c <= THROTTLE_START_C {
+            1.0
+        } else if self.temp_c >= THROTTLE_FULL_C {
+            MIN_THROTTLE
+        } else {
+            let t = (self.temp_c - THROTTLE_START_C) / (THROTTLE_FULL_C - THROTTLE_START_C);
+            1.0 - t * (1.0 - MIN_THROTTLE)
+        }
+    }
+
+    /// Advance the state by `dt_s` seconds of dissipating `power_w` watts.
+    ///
+    /// First-order lumped model: `C dT/dt = P - k (T - ambient)`, with the
+    /// dissipation constant `k` depending on the chassis.
+    pub fn step(&mut self, device: &DeviceSpec, power_w: f64, dt_s: f64) {
+        let k = match device.form {
+            FormFactor::Phone => 0.10,     // W per °C of headroom
+            FormFactor::OpenDeck => 0.22, // free airflow
+        };
+        let heat_capacity = 28.0; // J per °C, phone-scale thermal mass
+        // Integrate in sub-steps for stability on long scenarios.
+        let mut remaining = dt_s;
+        while remaining > 0.0 {
+            let step = remaining.min(1.0);
+            let d_temp = (power_w - k * (self.temp_c - AMBIENT_C)) / heat_capacity * step;
+            self.temp_c = (self.temp_c + d_temp).max(AMBIENT_C);
+            remaining -= step;
+        }
+    }
+
+    /// Equilibrium temperature under a constant load.
+    pub fn steady_state_c(device: &DeviceSpec, power_w: f64) -> f64 {
+        let k = match device.form {
+            FormFactor::Phone => 0.10,
+            FormFactor::OpenDeck => 0.22,
+        };
+        AMBIENT_C + power_w / k
+    }
+}
+
+impl Default for ThermalState {
+    fn default() -> Self {
+        Self::cool()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::device;
+
+    #[test]
+    fn cool_state_never_throttles() {
+        let d = device("S21").unwrap();
+        assert_eq!(ThermalState::cool().throttle_factor(&d), 1.0);
+    }
+
+    #[test]
+    fn throttle_interpolates() {
+        let d = device("S21").unwrap();
+        let mid = ThermalState {
+            temp_c: (THROTTLE_START_C + THROTTLE_FULL_C) / 2.0,
+        };
+        let f = mid.throttle_factor(&d);
+        assert!(f < 1.0 && f > MIN_THROTTLE);
+        let hot = ThermalState { temp_c: 120.0 };
+        assert_eq!(hot.throttle_factor(&d), MIN_THROTTLE);
+    }
+
+    #[test]
+    fn sustained_load_heats_phone_more_than_open_deck() {
+        let s21 = device("S21").unwrap();
+        let q888 = device("Q888").unwrap();
+        let mut phone = ThermalState::cool();
+        let mut deck = ThermalState::cool();
+        // 10 minutes at 6 W — a segmentation-style sustained load.
+        phone.step(&s21, 6.0, 600.0);
+        deck.step(&q888, 6.0, 600.0);
+        assert!(phone.temp_c > deck.temp_c);
+        assert!(phone.temp_c > THROTTLE_START_C, "phone should be throttling");
+    }
+
+    #[test]
+    fn cooling_returns_to_ambient() {
+        let d = device("S21").unwrap();
+        let mut s = ThermalState { temp_c: 80.0 };
+        s.step(&d, 0.0, 10_000.0);
+        assert!((s.temp_c - AMBIENT_C).abs() < 1.0);
+    }
+
+    #[test]
+    fn steady_state_sanity() {
+        let s21 = device("S21").unwrap();
+        let q888 = device("Q888").unwrap();
+        assert!(ThermalState::steady_state_c(&s21, 5.0) > ThermalState::steady_state_c(&q888, 5.0));
+        assert_eq!(ThermalState::steady_state_c(&s21, 0.0), AMBIENT_C);
+    }
+
+    #[test]
+    fn step_is_stable_over_long_durations() {
+        let d = device("A20").unwrap();
+        let mut s = ThermalState::cool();
+        s.step(&d, 4.0, 3600.0);
+        assert!(s.temp_c.is_finite());
+        assert!(s.temp_c < 120.0, "bounded near steady state, got {}", s.temp_c);
+    }
+}

@@ -1,0 +1,32 @@
+//! Device sweep: the paper's §5 runtime analysis — latency across device
+//! tiers and SoC generations (Figs. 8–9), energy/power/efficiency
+//! distributions on the HDK boards (Fig. 10) and the scenario-driven
+//! battery analysis (Table 4).
+//!
+//! ```sh
+//! cargo run --release --example device_sweep
+//! ```
+
+use gaugenn::core::experiments::runtime;
+use gaugenn::core::pipeline::{Pipeline, PipelineConfig};
+use gaugenn::playstore::corpus::Snapshot;
+use gaugenn::soc::spec::all_devices;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", runtime::tab1());
+
+    println!("crawling + extracting the corpus...");
+    let report = Pipeline::new(PipelineConfig::small(Snapshot::Y2021, 1402)).run()?;
+    println!(
+        "benchmarking {} unique models across {} devices...\n",
+        report.models.len(),
+        all_devices().len()
+    );
+
+    let sweep = runtime::latency_sweep(&report, &all_devices());
+    println!("{}", runtime::fig8(&sweep).render());
+    println!("{}", runtime::fig9(&sweep).render());
+    println!("{}", runtime::fig10(&report)?.render());
+    println!("{}", runtime::tab4(&report)?.render());
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Offload advisor: for every model extracted from the store, decide per
+//! device and network whether a developer should run it locally or call a
+//! cloud API — the §6.4 trade-off the paper's Fig. 15 apps face.
+//!
+//! ```sh
+//! cargo run --release --example offload_advisor
+//! ```
+
+use gaugenn::core::experiments::offload::offload_study;
+use gaugenn::core::pipeline::{Pipeline, PipelineConfig};
+use gaugenn::playstore::corpus::Snapshot;
+use gaugenn::soc::offload::{offload_latency_ms, CloudSpec, NETWORKS};
+use gaugenn::soc::sched::ThreadConfig;
+use gaugenn::soc::spec::device;
+use gaugenn::soc::thermal::ThermalState;
+use gaugenn::soc::Backend;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("crawling + extracting the corpus...");
+    let report = Pipeline::new(PipelineConfig::small(Snapshot::Y2021, 1402)).run()?;
+
+    println!("\n{}", offload_study(&report)?.render());
+
+    // Per-model advice on the weakest device over LTE.
+    let a20 = device("A20").expect("Table 1 device");
+    let lte = &NETWORKS[1];
+    let cloud = CloudSpec::default();
+    let cpu = Backend::Cpu(ThreadConfig::unpinned(4));
+    let cool = ThermalState::cool();
+    println!("per-model advice on the A20 over LTE (first 12 models):");
+    println!(
+        "{:34} {:>10} {:>10}  advice",
+        "model", "local ms", "cloud ms"
+    );
+    for m in report.models.iter().take(12) {
+        let Ok(local) = gaugenn::soc::estimate_latency(&a20, cpu, &m.trace, &cool) else {
+            continue;
+        };
+        let off = offload_latency_ms(&m.trace, lte, &cloud, 20.0);
+        let advice = if off < local.total_ms { "offload" } else { "stay local" };
+        println!(
+            "{:34} {:>10.1} {:>10.1}  {advice}",
+            m.name.chars().take(34).collect::<String>(),
+            local.total_ms,
+            off
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Optimisation explorer: the paper's §6.2–§6.3 system-level experiments —
+//! batch-size scaling (Fig. 11), thread count and core affinity (Fig. 12),
+//! CPU-runtime delegates (Fig. 13) and SNPE hardware targets (Fig. 14).
+//!
+//! ```sh
+//! cargo run --release --example optimisation_explorer
+//! ```
+
+use gaugenn::core::experiments::backends;
+use gaugenn::core::pipeline::{Pipeline, PipelineConfig};
+use gaugenn::playstore::corpus::Snapshot;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("crawling + extracting the corpus...");
+    let report = Pipeline::new(PipelineConfig::small(Snapshot::Y2021, 1402)).run()?;
+    println!("{} unique models extracted\n", report.models.len());
+
+    println!("{}", backends::fig11(&report).render());
+    println!("{}", backends::fig12(&report).render());
+    println!(
+        "{}",
+        backends::fig13(&report)?.render("Fig 13: TFLite CPU runtimes (CPU vs XNNPACK vs NNAPI)")
+    );
+    println!(
+        "{}",
+        backends::fig14(&report)?.render("Fig 14: SNPE hardware targets (TFLite + caffe models)")
+    );
+    println!(
+        "paper anchors: XNNPACK 1.03x faster / 1.13x more efficient; NNAPI 0.49x; \
+         SNPE-DSP 5.72x faster / 20.3x more efficient; SNPE-GPU 2.28x / 8.39x (vs CPU)."
+    );
+    Ok(())
+}

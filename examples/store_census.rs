@@ -1,0 +1,38 @@
+//! Store census: the full offline analysis across both snapshots — the
+//! paper's §4 (Tables 2–3, Figs. 4–7), §4.5 uniqueness, §6.1 optimisation
+//! census and §6.4 cloud APIs (Fig. 15) — on a Small-scale corpus.
+//!
+//! ```sh
+//! cargo run --release --example store_census
+//! ```
+
+use gaugenn::core::experiments::offline;
+use gaugenn::core::pipeline::{Pipeline, PipelineConfig};
+use gaugenn::playstore::corpus::Snapshot;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = 1402;
+    println!("crawling the Feb 2020 snapshot...");
+    let r2020 = Pipeline::new(PipelineConfig::small(Snapshot::Y2020, seed)).run()?;
+    println!("crawling the Apr 2021 snapshot...");
+    let r2021 = Pipeline::new(PipelineConfig::small(Snapshot::Y2021, seed)).run()?;
+
+    println!();
+    println!("{}", offline::tab2(&r2020, &r2021).render());
+    println!("{}", offline::tab3(&r2021).render());
+    println!("{}", offline::fig4(&r2021).render());
+    println!("{}", offline::fig5(&r2020, &r2021).render());
+    println!("{}", offline::fig6(&r2021).render());
+    println!("{}", offline::fig7(&r2021).render());
+    println!("{}", offline::render_sec45(&offline::sec45(&r2021)));
+    println!("{}", offline::render_sec61(&offline::sec61(&r2021)));
+    println!("{}", offline::fig15(&r2021).render());
+
+    // Temporal headline (§4.6): the model count roughly doubles.
+    let growth = r2021.dataset.total_models as f64 / r2020.dataset.total_models.max(1) as f64;
+    println!(
+        "temporal growth: {} -> {} model instances ({growth:.2}x; paper: 821 -> 1,666, ~2x)",
+        r2020.dataset.total_models, r2021.dataset.total_models
+    );
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Concurrency: the store server must serve parallel crawlers with
+//! identical, uncorrupted results, and the multi-device harness campaign
+//! must be deterministic in content (not ordering).
+
+use gaugenn::playstore::corpus::{generate, CorpusScale, Snapshot};
+use gaugenn::playstore::crawler::{Crawler, CrawlerConfig};
+use gaugenn::playstore::server::StoreServer;
+
+#[test]
+fn parallel_crawlers_get_identical_corpora() {
+    let server = StoreServer::start(generate(CorpusScale::Tiny, Snapshot::Y2021, 7)).unwrap();
+    let addr = server.addr();
+    let crawl = move || {
+        let mut c = Crawler::connect(addr, CrawlerConfig::default()).expect("connect");
+        let apps = c.crawl_all().expect("crawl");
+        let mut sums: Vec<(String, String)> = apps
+            .iter()
+            .map(|a| {
+                (
+                    a.meta.package.clone(),
+                    gaugenn::analysis::md5::md5_hex(&a.apk),
+                )
+            })
+            .collect();
+        sums.sort();
+        sums
+    };
+    let handles: Vec<_> = (0..4).map(|_| std::thread::spawn(crawl)).collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for r in &results[1..] {
+        assert_eq!(r, &results[0], "all crawlers must see identical bytes");
+    }
+    assert!(server.requests_served() >= 4 * 52);
+}
+
+#[test]
+fn interleaved_requests_do_not_cross_wires() {
+    // Two crawlers ping-pong between different endpoints; responses must
+    // stay matched to their connection.
+    let server = StoreServer::start(generate(CorpusScale::Tiny, Snapshot::Y2021, 7)).unwrap();
+    let addr = server.addr();
+    let t1 = std::thread::spawn(move || {
+        let mut c = Crawler::connect(addr, CrawlerConfig::default()).unwrap();
+        for _ in 0..20 {
+            let cats = c.categories().unwrap();
+            assert!(cats.contains(&"communication".to_string()));
+        }
+    });
+    let t2 = std::thread::spawn(move || {
+        let mut c = Crawler::connect(addr, CrawlerConfig::default()).unwrap();
+        for _ in 0..20 {
+            let apps = c.list_category("communication").unwrap();
+            assert!(!apps.is_empty());
+            assert!(apps.iter().all(|p| p.starts_with("com.")));
+        }
+    });
+    t1.join().unwrap();
+    t2.join().unwrap();
+}
+
+#[test]
+fn campaign_results_content_deterministic_across_runs() {
+    use gaugenn::dnn::task::Task;
+    use gaugenn::dnn::zoo::{build_for_task, SizeClass};
+    use gaugenn::harness::campaign::{run_campaign, Campaign};
+    use gaugenn::harness::job::JobSpec;
+    use gaugenn::modelfmt::Framework;
+    use gaugenn::soc::sched::ThreadConfig;
+    use gaugenn::soc::spec::hdks;
+    use gaugenn::soc::Backend;
+
+    let g = build_for_task(Task::FaceDetection, 4, SizeClass::Small, true).graph;
+    let files = gaugenn::modelfmt::encode(&g, Framework::TfLite).unwrap().files;
+    let jobs = vec![Campaign {
+        spec: JobSpec {
+            warmups: 1,
+            runs: 3,
+            ..JobSpec::new(1, files[0].0.clone(), Backend::Cpu(ThreadConfig::unpinned(4)))
+        },
+        files,
+    }];
+    let collect = || {
+        let mut rows: Vec<(String, String)> = run_campaign(&hdks(), &jobs)
+            .into_iter()
+            .map(|r| {
+                let j = r.outcome.expect("job succeeds");
+                (r.device, format!("{:.9}", j.mean_latency_ms()))
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(collect(), collect(), "device threads race only in ordering");
+}

@@ -1,0 +1,314 @@
+//! Property-based tests over the core data structures and codecs
+//! (proptest): archive/codec roundtrips, checksum stability, statistics
+//! invariants and quantisation error bounds.
+
+use gaugenn::analysis::md5::md5_hex;
+use gaugenn::analysis::stats::{line_fit, Ecdf};
+use gaugenn::apk::crc32::crc32;
+use gaugenn::apk::dex::{Dex, DexBuilder};
+use gaugenn::apk::zip::{ZipArchive, ZipWriter};
+use gaugenn::dnn::tensor::QuantParams;
+use gaugenn::modelfmt::minipb::{unpack_floats, unpack_varints, PbReader, PbWriter};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn zip_roundtrips_arbitrary_entries(
+        entries in prop::collection::vec(
+            ("[a-z0-9_/]{1,24}", prop::collection::vec(any::<u8>(), 0..512)),
+            0..8,
+        )
+    ) {
+        let mut w = ZipWriter::new();
+        let mut expected: Vec<(String, Vec<u8>)> = Vec::new();
+        for (name, data) in entries {
+            if w.add(name.clone(), data.clone()).is_ok() {
+                expected.push((name, data));
+            }
+        }
+        let archive = ZipArchive::parse(&w.finish()).unwrap();
+        prop_assert_eq!(archive.len(), expected.len());
+        for (name, data) in &expected {
+            prop_assert_eq!(archive.get(name), Some(data.as_slice()));
+        }
+    }
+
+    #[test]
+    fn zip_rejects_any_single_byte_corruption_of_payload(
+        data in prop::collection::vec(any::<u8>(), 16..128),
+        flip in 0usize..16,
+        xor in 1u8..=255,
+    ) {
+        let mut w = ZipWriter::new();
+        w.add("f", data.clone()).unwrap();
+        let mut bytes = w.finish();
+        // Payload begins after 30-byte local header + 1-byte name.
+        let idx = 31 + (flip % data.len());
+        bytes[idx] ^= xor;
+        prop_assert!(ZipArchive::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn dex_string_table_roundtrips(
+        strings in prop::collection::vec("[ -~]{0,64}", 0..16)
+    ) {
+        let mut b = DexBuilder::new();
+        for s in &strings {
+            b.add_string(s.clone());
+        }
+        let dex = Dex::parse(&b.finish()).unwrap();
+        prop_assert_eq!(dex.strings(), &strings[..]);
+    }
+
+    #[test]
+    fn minipb_varints_roundtrip(vals in prop::collection::vec(any::<u64>(), 0..64)) {
+        let mut w = PbWriter::new();
+        w.packed_varints(1, &vals);
+        let bytes = w.finish();
+        let mut r = PbReader::new(&bytes);
+        let (_, v) = r.next_field().unwrap();
+        prop_assert_eq!(unpack_varints(v.as_bytes().unwrap()).unwrap(), vals);
+    }
+
+    #[test]
+    fn minipb_floats_roundtrip_bitexact(vals in prop::collection::vec(any::<f32>(), 0..64)) {
+        let mut w = PbWriter::new();
+        w.packed_floats(7, &vals);
+        let bytes = w.finish();
+        let mut r = PbReader::new(&bytes);
+        let (_, v) = r.next_field().unwrap();
+        let back = unpack_floats(v.as_bytes().unwrap()).unwrap();
+        prop_assert_eq!(back.len(), vals.len());
+        for (a, b) in back.iter().zip(&vals) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn md5_and_crc_are_deterministic_and_sensitive(
+        data in prop::collection::vec(any::<u8>(), 1..256),
+        idx in 0usize..256,
+        xor in 1u8..=255,
+    ) {
+        let idx = idx % data.len();
+        let mut mutated = data.clone();
+        mutated[idx] ^= xor;
+        prop_assert_eq!(md5_hex(&data), md5_hex(&data));
+        prop_assert_ne!(md5_hex(&data), md5_hex(&mutated));
+        prop_assert_ne!(crc32(&data), crc32(&mutated));
+    }
+
+    #[test]
+    fn quantisation_error_bounded_by_half_scale(
+        scale in 0.001f32..1.0,
+        zero in -20i32..20,
+        x in -50.0f32..50.0,
+    ) {
+        let q = QuantParams { scale, zero_point: zero };
+        let back = q.dequantize(q.quantize(x));
+        // Inside the representable range the error is at most scale/2.
+        let lo = q.dequantize(i8::MIN);
+        let hi = q.dequantize(i8::MAX);
+        if x >= lo && x <= hi {
+            prop_assert!((back - x).abs() <= scale / 2.0 + 1e-6,
+                "x={x} back={back} scale={scale}");
+        } else {
+            // Saturated: result clamps to the range edge.
+            prop_assert!(back >= lo - scale && back <= hi + scale);
+        }
+    }
+
+    #[test]
+    fn ecdf_is_a_valid_distribution(sample in prop::collection::vec(-1e6f64..1e6, 1..128)) {
+        let e = Ecdf::new(sample.clone());
+        // Monotone non-decreasing, 0 before min, 1 at max.
+        let min = sample.iter().cloned().fold(f64::MAX, f64::min);
+        let max = sample.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(e.eval(min - 1.0), 0.0);
+        prop_assert_eq!(e.eval(max), 1.0);
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let x = min + (max - min) * i as f64 / 20.0;
+            let y = e.eval(x);
+            prop_assert!(y >= prev - 1e-12);
+            prev = y;
+        }
+        // Quantiles come from the sample.
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            prop_assert!(sample.contains(&e.quantile(q)));
+        }
+    }
+
+    #[test]
+    fn line_fit_recovers_exact_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        xs in prop::collection::btree_set(-1000i32..1000, 2..32),
+    ) {
+        let pts: Vec<(f64, f64)> = xs
+            .iter()
+            .map(|&x| (x as f64, slope * x as f64 + intercept))
+            .collect();
+        let f = line_fit(&pts).unwrap();
+        prop_assert!((f.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((f.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+        prop_assert!(f.r2 > 1.0 - 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn graph_codec_roundtrips_random_zoo_models(seed in 0u64..5000, task_idx in 0usize..23) {
+        use gaugenn::dnn::task::Task;
+        use gaugenn::dnn::zoo::{build_for_task, SizeClass};
+        use gaugenn::modelfmt::graphcodec::{decode_graph, encode_graph};
+        let task = Task::ALL[task_idx];
+        let g = build_for_task(task, seed, SizeClass::Small, seed % 2 == 0).graph;
+        let back = decode_graph(&encode_graph(&g)).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn every_framework_artifact_validates_and_decodes(seed in 0u64..2000) {
+        use gaugenn::dnn::task::Task;
+        use gaugenn::dnn::zoo::{build_for_task, SizeClass};
+        use gaugenn::modelfmt::{decode, encode, validate, Framework};
+        let g = build_for_task(Task::MovementTracking, seed, SizeClass::Small, true).graph;
+        for fw in Framework::BENCHMARKED {
+            let art = encode(&g, fw).unwrap();
+            for (name, bytes) in &art.files {
+                prop_assert!(validate(name, bytes).is_some(), "{:?} {}", fw, name);
+            }
+            prop_assert_eq!(decode(fw, &art.files).unwrap(), g.clone());
+        }
+    }
+
+    #[test]
+    fn rebatch_consistent_for_random_models(seed in 0u64..2000, batch in 2usize..32) {
+        use gaugenn::dnn::task::Task;
+        use gaugenn::dnn::trace::{rebatch, trace_graph, trace_graph_batched};
+        use gaugenn::dnn::zoo::{build_for_task, SizeClass};
+        let task = Task::ALL[(seed % 23) as usize];
+        let g = build_for_task(task, seed, SizeClass::Small, true).graph;
+        let direct = trace_graph_batched(&g, batch).unwrap();
+        let scaled = rebatch(&trace_graph(&g).unwrap(), batch);
+        prop_assert_eq!(direct, scaled);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn executor_output_shapes_match_inference(seed in 0u64..1000) {
+        // The executor's runtime shapes must agree with static inference
+        // for every (cheap) zoo family.
+        use gaugenn::dnn::exec::Executor;
+        use gaugenn::dnn::shape::infer_shapes;
+        use gaugenn::dnn::task::Task;
+        use gaugenn::dnn::zoo::{build_for_task, SizeClass};
+        let cheap = [
+            Task::MovementTracking,
+            Task::CrashDetection,
+            Task::KeywordDetection,
+            Task::SentimentPrediction,
+        ];
+        let task = cheap[(seed % cheap.len() as u64) as usize];
+        let g = build_for_task(task, seed, SizeClass::Small, true).graph;
+        let shapes = infer_shapes(&g).unwrap();
+        let ex = Executor::new(&g).unwrap();
+        let outs = ex.run_random(1, seed).unwrap();
+        for (out, &node) in outs.iter().zip(&g.outputs) {
+            prop_assert_eq!(&out.shape, &shapes[node], "{:?}", task);
+        }
+    }
+
+    #[test]
+    fn obb_roundtrip_arbitrary_files(
+        version in 1u32..1000,
+        files in prop::collection::vec(("[a-z]{1,12}", prop::collection::vec(any::<u8>(), 0..128)), 0..5),
+    ) {
+        use gaugenn::apk::obb::{build_obb, Obb, ObbKind};
+        let mut uniq: Vec<(String, Vec<u8>)> = Vec::new();
+        for (name, data) in files {
+            if !uniq.iter().any(|(n, _)| *n == name) {
+                uniq.push((name, data));
+            }
+        }
+        let refs: Vec<(&str, Vec<u8>)> = uniq.iter().map(|(n, d)| (n.as_str(), d.clone())).collect();
+        let (name, bytes) = build_obb(ObbKind::Main, version, "com.a.b", &refs).unwrap();
+        let obb = Obb::parse(&name, &bytes).unwrap();
+        prop_assert_eq!(obb.version_code, version);
+        prop_assert_eq!(obb.archive.len(), uniq.len());
+        for (n, d) in &uniq {
+            prop_assert_eq!(obb.archive.get(n), Some(d.as_slice()));
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_batch(seed in 0u64..500, b1 in 1usize..8, extra in 1usize..8) {
+        // More samples can never be faster end-to-end.
+        use gaugenn::dnn::task::Task;
+        use gaugenn::dnn::trace::{rebatch, trace_graph};
+        use gaugenn::dnn::zoo::{build_for_task, SizeClass};
+        use gaugenn::soc::sched::ThreadConfig;
+        use gaugenn::soc::spec::device;
+        use gaugenn::soc::thermal::ThermalState;
+        use gaugenn::soc::Backend;
+        let g = build_for_task(Task::KeywordDetection, seed, SizeClass::Small, true).graph;
+        let t = trace_graph(&g).unwrap();
+        let d = device("S21").unwrap();
+        let cool = ThermalState::cool();
+        let cpu = Backend::Cpu(ThreadConfig::unpinned(4));
+        let small = gaugenn::soc::estimate_latency(&d, cpu, &rebatch(&t, b1), &cool).unwrap();
+        let big = gaugenn::soc::estimate_latency(&d, cpu, &rebatch(&t, b1 + extra), &cool).unwrap();
+        prop_assert!(big.total_ms >= small.total_ms);
+        // …but throughput must not collapse: the bigger batch processes
+        // more samples per unit time than a linear slowdown would imply.
+        prop_assert!(big.total_ms <= small.total_ms * (b1 + extra) as f64 / b1 as f64 + 1e-9);
+    }
+
+    #[test]
+    fn fine_tuned_models_share_majority_of_weights(seed in 0u64..300, layers in 1usize..3) {
+        use gaugenn::analysis::dedup::layer_checksums;
+        use gaugenn::dnn::task::Task;
+        use gaugenn::dnn::zoo::{build_for_task, fine_tune, SizeClass};
+        let base = build_for_task(Task::ImageClassification, seed, SizeClass::Small, true).graph;
+        let ft = fine_tune(&base, layers, seed ^ 0xF00D);
+        let a = layer_checksums(&base);
+        let b = layer_checksums(&ft);
+        prop_assert_eq!(a.len(), b.len());
+        let differing = a.iter().zip(&b).filter(|(x, y)| x.0 != y.0).count();
+        prop_assert_eq!(differing, layers);
+    }
+}
+
+proptest! {
+    #[test]
+    fn percent_encoding_roundtrips_any_string(s in "\\PC{0,40}") {
+        use gaugenn::playstore::proto::{decode_component, encode_component};
+        prop_assert_eq!(decode_component(&encode_component(&s)), s);
+    }
+
+    #[test]
+    fn job_files_roundtrip_any_counts(
+        warmups in 0u32..100,
+        runs in 1u32..1000,
+        sleep_ms in 0u32..10_000,
+        batch in 1usize..64,
+    ) {
+        use gaugenn::harness::job::JobSpec;
+        use gaugenn::soc::sched::ThreadConfig;
+        use gaugenn::soc::Backend;
+        let spec = JobSpec {
+            warmups,
+            runs,
+            sleep_ms,
+            batch,
+            ..JobSpec::new(7, "m.tflite", Backend::Cpu(ThreadConfig::unpinned(4)))
+        };
+        prop_assert_eq!(JobSpec::from_text(&spec.to_text()).unwrap(), spec);
+    }
+}
