@@ -50,6 +50,10 @@ impl Tab2 {
                 g(&|s| s.models_outside_apk.to_string()),
             ),
             ("# cloud-API apps", g(&|s| s.cloud_apps.to_string())),
+            (
+                "# download drop-outs",
+                g(&|s| s.download_dropouts.to_string()),
+            ),
         ];
         for (label, vals) in rows {
             let mut cells = vec![label.to_string()];
@@ -542,6 +546,7 @@ mod tests {
         let s = t.render();
         assert!(s.contains("Snapshot '21"));
         assert!(s.contains("# models"));
+        assert!(s.contains("# download drop-outs"));
     }
 
     #[test]

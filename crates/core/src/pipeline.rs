@@ -9,8 +9,9 @@ use gaugenn_analysis::etl::{doc, Index};
 use gaugenn_analysis::optim::{inspect, ModelOptim};
 use gaugenn_dnn::trace::{trace_graph, TraceReport};
 use gaugenn_modelfmt::Framework;
+use gaugenn_playstore::chaos::{FaultPlan, FaultPlanConfig};
 use gaugenn_playstore::corpus::{generate, CorpusScale, Snapshot};
-use gaugenn_playstore::crawler::{Crawler, CrawlerConfig};
+use gaugenn_playstore::crawler::{Crawler, CrawlerConfig, DropOut, RetryPolicy};
 use gaugenn_playstore::server::StoreServer;
 use std::collections::BTreeMap;
 
@@ -25,6 +26,12 @@ pub struct PipelineConfig {
     pub seed: u64,
     /// Crawler identity.
     pub crawler: CrawlerConfig,
+    /// Retry/backoff policy for every store request.
+    pub retry: RetryPolicy,
+    /// Run the store under a seeded fault plan (None = clean store).
+    /// Transient faults are absorbed by the crawler's retries; permanent
+    /// routes surface as download drop-outs in the Table 2 accounting.
+    pub chaos: Option<FaultPlanConfig>,
     /// Re-crawl a sample with an old device profile and compare APKs
     /// (§4.2's device-specific-distribution probe).
     pub probe_device_profiles: bool,
@@ -53,6 +60,8 @@ impl PipelineConfig {
             snapshot,
             seed,
             crawler: CrawlerConfig::default(),
+            retry: RetryPolicy::default(),
+            chaos: None,
             probe_device_profiles: true,
         }
     }
@@ -126,6 +135,9 @@ pub struct DatasetSummary {
     pub snpe_apps: usize,
     /// Apps with on-device-training markers (§4.5: expected 0).
     pub on_device_training_apps: usize,
+    /// Apps (or listings) that never downloaded after every retry — the
+    /// paper's download-failure line in the Table 2 accounting.
+    pub download_dropouts: usize,
     /// Whether the old-device-profile re-crawl produced identical APKs.
     pub device_profile_invariant: Option<bool>,
 }
@@ -151,6 +163,8 @@ pub struct PipelineReport {
     pub index: Index,
     /// Fig. 6 layer composition.
     pub composition: LayerComposition,
+    /// Per-app download failures with their failing stage.
+    pub dropouts: Vec<DropOut>,
 }
 
 impl PipelineReport {
@@ -196,9 +210,14 @@ impl Pipeline {
     /// Run end to end: corpus → TCP store → crawl → extract → analyse.
     pub fn run(&self) -> Result<PipelineReport> {
         let corpus = generate(self.config.scale, self.config.snapshot, self.config.seed);
-        let server = StoreServer::start(corpus)?;
-        let mut crawler = Crawler::connect(server.addr(), self.config.crawler.clone())?;
-        let crawled = crawler.crawl_all()?;
+        let server = match &self.config.chaos {
+            Some(cfg) => StoreServer::start_with_chaos(corpus, FaultPlan::new(cfg.clone()))?,
+            None => StoreServer::start(corpus)?,
+        };
+        let mut crawler = Crawler::connect(server.addr(), self.config.crawler.clone())?
+            .with_retry(self.config.retry.clone());
+        let outcome = crawler.crawl_all()?;
+        let crawled = &outcome.apps;
 
         // §4.2 probe: re-download a sample of ML-app APKs with a
         // three-generations-older device profile and compare bytes.
@@ -206,7 +225,8 @@ impl Pipeline {
             let mut old_cfg = self.config.crawler.clone();
             old_cfg.device_profile = "SM-G935F".into(); // Galaxy S7 edge
             old_cfg.user_agent = "gaugeNN/1.0 (Android 8; SM-G935F)".into();
-            let mut old_crawler = Crawler::connect(server.addr(), old_cfg)?;
+            let mut old_crawler = Crawler::connect(server.addr(), old_cfg)?
+                .with_retry(self.config.retry.clone());
             let mut invariant = true;
             for app in crawled.iter().take(20) {
                 let again = old_crawler.download_apk(&app.meta.package)?;
@@ -221,7 +241,7 @@ impl Pipeline {
         };
 
         // Offline stage.
-        let mut apps = Vec::with_capacity(crawled.len());
+        let mut apps: Vec<AppExtraction> = Vec::with_capacity(crawled.len());
         let mut models: Vec<ModelRecord> = Vec::new();
         let mut by_checksum: BTreeMap<String, usize> = BTreeMap::new();
         let mut model_apps: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();
@@ -231,7 +251,7 @@ impl Pipeline {
         let mut failed_candidates = 0usize;
         let mut models_outside_apk = 0usize;
 
-        for app in &crawled {
+        for app in crawled {
             let extraction = extract_app(app)?;
             failed_candidates += extraction.failed_candidates;
             models_outside_apk += extraction.models_outside_apk();
@@ -324,6 +344,7 @@ impl Pipeline {
                 .iter()
                 .filter(|a| a.uses_on_device_training)
                 .count(),
+            download_dropouts: outcome.dropouts.len(),
             device_profile_invariant,
         };
 
@@ -337,6 +358,7 @@ impl Pipeline {
             apps,
             index,
             composition,
+            dropouts: outcome.dropouts,
         })
     }
 }
@@ -362,8 +384,47 @@ mod tests {
         assert!(r.dataset.failed_candidates > 0, "decoys + obfuscated models");
         assert_eq!(r.dataset.models_outside_apk, 0, "the §4.2 finding");
         assert_eq!(r.dataset.cloud_apps, 7);
+        assert_eq!(r.dataset.download_dropouts, 0, "clean store drops nothing");
         assert_eq!(r.dataset.device_profile_invariant, Some(true));
         assert_eq!(r.index.len(), 52);
+    }
+
+    #[test]
+    fn chaotic_store_yields_the_same_dataset() {
+        // Every fault under the default plan is transient (bounded per
+        // route), so the crawler's retries must recover the full corpus
+        // and the Table 2 numbers must match the clean run exactly.
+        let clean = run_tiny();
+        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
+        cfg.chaos = Some(gaugenn_playstore::chaos::FaultPlanConfig {
+            fault_permille: 250,
+            ..Default::default()
+        });
+        let chaotic = Pipeline::new(cfg).run().unwrap();
+        assert_eq!(chaotic.dataset, clean.dataset);
+        assert!(chaotic.dropouts.is_empty(), "{:?}", chaotic.dropouts);
+    }
+
+    #[test]
+    fn permanent_failures_become_dropouts() {
+        let corpus = generate(CorpusScale::Tiny, Snapshot::Y2021, 7);
+        let victim = corpus.apps[0].package.clone();
+        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
+        cfg.probe_device_profiles = false; // the victim may be in the probe sample
+        cfg.chaos = Some(gaugenn_playstore::chaos::FaultPlanConfig {
+            fault_permille: 0,
+            permanent_routes: vec![format!("/apk/{victim}")],
+            ..Default::default()
+        });
+        let r = Pipeline::new(cfg).run().unwrap();
+        assert_eq!(r.dataset.total_apps, 51, "one app dropped out");
+        assert_eq!(r.dataset.download_dropouts, 1);
+        assert_eq!(r.dropouts.len(), 1);
+        assert_eq!(r.dropouts[0].package, victim);
+        assert_eq!(
+            r.dropouts[0].stage,
+            gaugenn_playstore::crawler::CrawlStage::Apk
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@ struct EndpointInner {
     files: BTreeMap<String, Vec<u8>>,
     state: DeviceState,
     usb: UsbSwitch,
+    reboots: u32,
 }
 
 impl Default for DeviceEndpoint {
@@ -65,6 +66,7 @@ impl DeviceEndpoint {
                 files: BTreeMap::new(),
                 state: DeviceState::default(),
                 usb: UsbSwitch::new(),
+                reboots: 0,
             })),
         }
     }
@@ -93,6 +95,23 @@ impl DeviceEndpoint {
     /// Device-side file write.
     pub fn write_local(&self, path: &str, bytes: Vec<u8>) {
         self.inner.lock().files.insert(path.to_string(), bytes);
+    }
+
+    /// Hard-reboot the device: the watchdog's recovery action when an
+    /// agent hangs. USB power comes back (the switch is master-side), the
+    /// state block resets to factory defaults (WiFi on, short timeout —
+    /// the master must re-assert the benchmark state), and flash contents
+    /// survive, exactly like power-cycling a real phone.
+    pub fn hard_reboot(&self) {
+        let mut inner = self.inner.lock();
+        inner.usb.power_restore();
+        inner.state = DeviceState::default();
+        inner.reboots += 1;
+    }
+
+    /// How many times the device has been hard-rebooted.
+    pub fn reboots(&self) -> u32 {
+        self.inner.lock().reboots
     }
 
     /// Device-side state snapshot.

@@ -5,12 +5,21 @@
 //! master listener and USB switch), fed from a shared crossbeam channel —
 //! devices of different speeds naturally drain the queue at different
 //! rates, like the physical rack in Fig. 2.
+//!
+//! Campaigns are built to survive a bad night on the rack: a panicking
+//! worker is isolated into per-job `Err` outcomes instead of tearing down
+//! the run, transient failures (watchdog timeouts, dead adb links) are
+//! retried, and a device that fails [`CampaignConfig::quarantine_after`]
+//! jobs in a row is quarantined — its remaining jobs are marked failed
+//! without being run, so one bricked phone cannot stall the fleet. Every
+//! (device, job) pair always yields exactly one [`CampaignResult`].
 
 use crate::device::DeviceAgent;
 use crate::job::{JobResult, JobSpec};
-use crate::master::Master;
+use crate::master::{Master, MasterConfig};
 use crossbeam::channel;
 use gaugenn_soc::DeviceSpec;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One campaign job: a spec plus its model files.
 #[derive(Debug, Clone)]
@@ -19,6 +28,42 @@ pub struct Campaign {
     pub spec: JobSpec,
     /// Model files to push.
     pub files: Vec<(String, Vec<u8>)>,
+}
+
+/// Scripted fault for one device in a campaign (test/chaos hook): the
+/// named device's agent hangs for its first `hang_jobs` jobs.
+#[derive(Debug, Clone)]
+pub struct DeviceScript {
+    /// Device name the script applies to.
+    pub device: String,
+    /// Number of jobs the agent hangs on (`u32::MAX` ≈ bricked).
+    pub hang_jobs: u32,
+}
+
+/// Resilience knobs for a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Watchdog/retry configuration handed to each per-device master.
+    pub master: MasterConfig,
+    /// Campaign-level retries per job on *transient* errors (on top of
+    /// the master's own watchdog attempts).
+    pub job_retries: u32,
+    /// Quarantine a device after this many consecutive failed jobs; its
+    /// remaining jobs fail fast without touching the hardware.
+    pub quarantine_after: u32,
+    /// Scripted faults (empty for production runs).
+    pub scripts: Vec<DeviceScript>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            master: MasterConfig::default(),
+            job_retries: 1,
+            quarantine_after: 3,
+            scripts: Vec::new(),
+        }
+    }
 }
 
 /// Outcome of one (device, job) pair.
@@ -32,11 +77,21 @@ pub struct CampaignResult {
     pub outcome: Result<JobResult, String>,
 }
 
-/// Run every job on every device. Returns one result per (device, job).
+/// Run every job on every device with the default resilience config.
+pub fn run_campaign(devices: &[DeviceSpec], jobs: &[Campaign]) -> Vec<CampaignResult> {
+    run_campaign_with(devices, jobs, &CampaignConfig::default())
+}
+
+/// Run every job on every device. Returns exactly one result per
+/// (device, job) pair, whatever fails.
 ///
 /// Jobs are cloned per device (each device runs the full list, as in the
 /// paper's per-device sweeps); devices run in parallel threads.
-pub fn run_campaign(devices: &[DeviceSpec], jobs: &[Campaign]) -> Vec<CampaignResult> {
+pub fn run_campaign_with(
+    devices: &[DeviceSpec],
+    jobs: &[Campaign],
+    config: &CampaignConfig,
+) -> Vec<CampaignResult> {
     let mut handles = Vec::new();
     for spec in devices {
         let (tx, rx) = channel::unbounded::<Campaign>();
@@ -45,37 +100,116 @@ pub fn run_campaign(devices: &[DeviceSpec], jobs: &[Campaign]) -> Vec<CampaignRe
         }
         drop(tx);
         let spec = spec.clone();
-        handles.push(std::thread::spawn(move || {
-            let mut out = Vec::new();
-            let master = match Master::new() {
-                Ok(m) => m,
-                Err(e) => {
-                    return vec![CampaignResult {
-                        device: spec.name.to_string(),
-                        job_id: 0,
-                        outcome: Err(format!("master bind failed: {e}")),
-                    }]
-                }
-            };
-            let mut agent = DeviceAgent::new(spec.clone());
-            while let Ok(job) = rx.recv() {
-                let outcome = master
-                    .run_job(&mut agent, &job.spec, &job.files)
-                    .map_err(|e| e.to_string());
-                out.push(CampaignResult {
-                    device: spec.name.to_string(),
-                    job_id: job.spec.id,
-                    outcome,
-                });
-            }
-            out
-        }));
+        let config = config.clone();
+        let device_name = spec.name.to_string();
+        let worker = std::thread::spawn(move || device_worker(spec, rx, &config));
+        handles.push((device_name, worker, jobs.len()));
     }
     let mut all = Vec::new();
-    for h in handles {
-        all.extend(h.join().expect("device worker panicked"));
+    for (device, handle, n_jobs) in handles {
+        match handle.join() {
+            Ok(results) => all.extend(results),
+            // A worker that somehow panicked outside the per-job guard
+            // still yields one Err per job, keeping the devices×jobs
+            // invariant for downstream accounting.
+            Err(_) => all.extend((0..n_jobs).map(|_| CampaignResult {
+                device: device.clone(),
+                job_id: 0,
+                outcome: Err("device worker panicked".into()),
+            })),
+        }
     }
     all
+}
+
+/// The per-device worker loop: drain the queue, retrying transient
+/// failures and quarantining the device after too many consecutive ones.
+fn device_worker(
+    spec: DeviceSpec,
+    rx: channel::Receiver<Campaign>,
+    config: &CampaignConfig,
+) -> Vec<CampaignResult> {
+    let device = spec.name.to_string();
+    let mut out = Vec::new();
+    let master = match Master::with_config(config.master.clone()) {
+        Ok(m) => m,
+        Err(e) => {
+            // No listener, no campaign: every queued job becomes a
+            // structured failure instead of a silent disappearance.
+            let err = format!("master bind failed: {e}");
+            while let Ok(job) = rx.recv() {
+                out.push(CampaignResult {
+                    device: device.clone(),
+                    job_id: job.spec.id,
+                    outcome: Err(err.clone()),
+                });
+            }
+            return out;
+        }
+    };
+    let mut agent = DeviceAgent::new(spec);
+    if let Some(script) = config.scripts.iter().find(|s| s.device == device) {
+        agent.hang_jobs_remaining = script.hang_jobs;
+    }
+    let mut consecutive_failures = 0u32;
+    while let Ok(job) = rx.recv() {
+        if consecutive_failures >= config.quarantine_after.max(1) {
+            out.push(CampaignResult {
+                device: device.clone(),
+                job_id: job.spec.id,
+                outcome: Err(format!(
+                    "device quarantined after {consecutive_failures} consecutive failures"
+                )),
+            });
+            continue;
+        }
+        let outcome = run_one_job(&master, &mut agent, &job, config.job_retries);
+        match &outcome {
+            Ok(_) => consecutive_failures = 0,
+            Err(_) => consecutive_failures += 1,
+        }
+        out.push(CampaignResult {
+            device: device.clone(),
+            job_id: job.spec.id,
+            outcome,
+        });
+    }
+    out
+}
+
+/// One job with campaign-level retries. A panic anywhere inside the
+/// master/agent machinery is caught and reported as this job's failure.
+fn run_one_job(
+    master: &Master,
+    agent: &mut DeviceAgent,
+    job: &Campaign,
+    retries: u32,
+) -> Result<JobResult, String> {
+    let mut last = String::new();
+    for _ in 0..=retries {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            master.run_job(agent, &job.spec, &job.files)
+        }));
+        match attempt {
+            Ok(Ok(r)) => return Ok(r),
+            Ok(Err(e)) => {
+                let transient = e.is_transient();
+                last = e.to_string();
+                if !transient {
+                    return Err(last);
+                }
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".into());
+                return Err(format!("worker panicked: {msg}"));
+            }
+        }
+    }
+    Err(last)
 }
 
 #[cfg(test)]
@@ -87,6 +221,7 @@ mod tests {
     use gaugenn_soc::sched::ThreadConfig;
     use gaugenn_soc::spec::{device, hdks};
     use gaugenn_soc::Backend;
+    use std::time::Duration;
 
     fn campaign(id: u64, task: Task, seed: u64) -> Campaign {
         let g = build_for_task(task, seed, SizeClass::Small, true).graph;
@@ -134,5 +269,46 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert!(results.iter().any(|r| r.outcome.is_ok()));
         assert!(results.iter().any(|r| r.outcome.is_err()));
+    }
+
+    #[test]
+    fn hung_device_is_quarantined_while_others_finish() {
+        let devices = vec![device("Q845").unwrap(), device("Q888").unwrap()];
+        let jobs: Vec<Campaign> = (1..=4)
+            .map(|id| campaign(id, Task::MovementTracking, id))
+            .collect();
+        let config = CampaignConfig {
+            master: MasterConfig {
+                accept_timeout: Duration::from_millis(50),
+                attempts: 1,
+            },
+            job_retries: 0,
+            quarantine_after: 2,
+            scripts: vec![DeviceScript {
+                device: "Q845".into(),
+                hang_jobs: u32::MAX,
+            }],
+        };
+        let results = run_campaign_with(&devices, &jobs, &config);
+        assert_eq!(results.len(), devices.len() * jobs.len());
+        // The healthy device finished everything.
+        assert!(results
+            .iter()
+            .filter(|r| r.device == "Q888")
+            .all(|r| r.outcome.is_ok()));
+        // The hung one failed everything: two real watchdog timeouts,
+        // then fail-fast quarantine for the rest of its queue.
+        let hung: Vec<_> = results.iter().filter(|r| r.device == "Q845").collect();
+        assert!(hung.iter().all(|r| r.outcome.is_err()));
+        let quarantined = hung
+            .iter()
+            .filter(|r| {
+                r.outcome
+                    .as_ref()
+                    .unwrap_err()
+                    .contains("quarantined")
+            })
+            .count();
+        assert_eq!(quarantined, 2, "{results:?}");
     }
 }

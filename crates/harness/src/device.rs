@@ -35,6 +35,10 @@ pub struct DeviceAgent {
     pub thermal: ThermalState,
     /// Seed for measurement noise.
     pub noise_seed: u64,
+    /// Scripted-fault knob: for this many upcoming jobs the agent "hangs"
+    /// — it returns without ever phoning the master back, so the master's
+    /// watchdog must fire. Zero (the default) means behave normally.
+    pub hang_jobs_remaining: u32,
 }
 
 impl DeviceAgent {
@@ -45,6 +49,7 @@ impl DeviceAgent {
             endpoint: DeviceEndpoint::new(),
             thermal: ThermalState::cool(),
             noise_seed: 0xD17E,
+            hang_jobs_remaining: 0,
         }
     }
 
@@ -53,6 +58,14 @@ impl DeviceAgent {
     ///
     /// Blocks until USB power is observed off or `poll_timeout` expires.
     pub fn run_headless(&mut self, master_addr: SocketAddr, poll_timeout: Duration) -> Result<()> {
+        // Scripted hang: the agent dies silently — no completion message,
+        // no result file — and the master's watchdog has to notice.
+        if self.hang_jobs_remaining > 0 {
+            self.hang_jobs_remaining = self.hang_jobs_remaining.saturating_sub(1);
+            return Err(HarnessError::Device(
+                "scripted hang: agent never phoned home".into(),
+            ));
+        }
         // ① Wait until the USB power channel goes dark.
         let deadline = std::time::Instant::now() + poll_timeout;
         while self.endpoint.usb().power_on {

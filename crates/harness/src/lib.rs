@@ -29,9 +29,11 @@ pub mod device;
 pub mod job;
 pub mod master;
 
-pub use campaign::{run_campaign, Campaign, CampaignResult};
+pub use campaign::{
+    run_campaign, run_campaign_with, Campaign, CampaignConfig, CampaignResult, DeviceScript,
+};
 pub use job::{JobSpec, JobResult};
-pub use master::Master;
+pub use master::{Master, MasterConfig};
 
 /// Errors from the harness.
 #[derive(Debug)]
@@ -44,6 +46,21 @@ pub enum HarnessError {
     Device(String),
     /// Job/result file framing problem.
     Format(String),
+    /// The watchdog deadline expired before the device phoned home.
+    Timeout(String),
+}
+
+impl HarnessError {
+    /// Whether the same job may succeed on retry: watchdog timeouts, IO
+    /// hiccups and a dead adb link are transient (the device may recover
+    /// after a power-cycle); device-side rejections and framing errors
+    /// will fail identically every time.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            HarnessError::Timeout(_) | HarnessError::Io(_) | HarnessError::AdbUnreachable
+        )
+    }
 }
 
 impl std::fmt::Display for HarnessError {
@@ -53,6 +70,7 @@ impl std::fmt::Display for HarnessError {
             HarnessError::AdbUnreachable => write!(f, "adb unreachable (usb data channel off)"),
             HarnessError::Device(r) => write!(f, "device error: {r}"),
             HarnessError::Format(r) => write!(f, "format error: {r}"),
+            HarnessError::Timeout(r) => write!(f, "watchdog timeout: {r}"),
         }
     }
 }

@@ -5,27 +5,67 @@
 //! ③ cuts USB power via the switch board, ④ waits for the device's TCP
 //! completion message on its listener, ⑤ restores power, pulls the result
 //! file and cleans up.
+//!
+//! Step ④ runs under a watchdog: an unattended rack cannot afford one hung
+//! phone to stall a multi-day campaign, so the completion wait carries a
+//! deadline. When it expires the master power-cycles the device through
+//! the USB switch, hard-reboots it, re-asserts the benchmark state and
+//! retries the job up to [`MasterConfig::attempts`] times before giving up
+//! with [`HarnessError::Timeout`]. Stale completion messages from a
+//! previous (timed-out) attempt are drained before each new attempt so the
+//! listener can never hand an old "DONE" to a new job.
 
 use crate::adb::Adb;
 use crate::device::{DeviceAgent, JOB_PATH, MODEL_DIR, RESULT_PATH};
 use crate::job::{JobResult, JobSpec};
 use crate::{HarnessError, Result};
 use std::io::{BufRead, BufReader};
-use std::net::{SocketAddr, TcpListener};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Watchdog/retry knobs for one master.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// Deadline for the device's completion message per attempt.
+    pub accept_timeout: Duration,
+    /// Total attempts per job (first try included). Must be ≥ 1.
+    pub attempts: u32,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        MasterConfig {
+            accept_timeout: Duration::from_secs(30),
+            attempts: 3,
+        }
+    }
+}
 
 /// The benchmark master for one device.
 pub struct Master {
     listener: TcpListener,
     addr: SocketAddr,
+    config: MasterConfig,
 }
 
 impl Master {
-    /// Bind the completion listener on an ephemeral loopback port.
+    /// Bind the completion listener on an ephemeral loopback port, with
+    /// the default watchdog configuration.
     pub fn new() -> Result<Master> {
+        Master::with_config(MasterConfig::default())
+    }
+
+    /// Bind with explicit watchdog/retry knobs.
+    pub fn with_config(config: MasterConfig) -> Result<Master> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        Ok(Master { listener, addr })
+        // The watchdog polls the listener, so it stays nonblocking for life.
+        listener.set_nonblocking(true)?;
+        Ok(Master {
+            listener,
+            addr,
+            config,
+        })
     }
 
     /// Completion-listener address the device will netcat to.
@@ -33,7 +73,15 @@ impl Master {
         self.addr
     }
 
-    /// Run one job on one device agent, end to end.
+    /// The watchdog/retry configuration.
+    pub fn config(&self) -> &MasterConfig {
+        &self.config
+    }
+
+    /// Run one job on one device agent, retrying through watchdog
+    /// timeouts (power-cycle + reboot between attempts). Device-side
+    /// failures are *not* retried — a model the device rejects once will
+    /// be rejected every time.
     ///
     /// `model_files` are `(file_name, bytes)` pairs to push (split formats
     /// push several files).
@@ -43,8 +91,74 @@ impl Master {
         job: &JobSpec,
         model_files: &[(String, Vec<u8>)],
     ) -> Result<JobResult> {
+        let attempts = self.config.attempts.max(1);
+        let mut last = None;
+        for attempt in 1..=attempts {
+            match self.run_job_once(agent, job, model_files) {
+                Ok(r) => return Ok(r),
+                Err(e @ HarnessError::Timeout(_)) => {
+                    // Hung device: power-cycle and reboot it, then retry.
+                    agent.endpoint.usb_power_restore();
+                    agent.endpoint.hard_reboot();
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+            let _ = attempt;
+        }
+        Err(last.unwrap_or_else(|| {
+            HarnessError::Timeout(format!("job {} never completed", job.id))
+        }))
+    }
+
+    /// Eat completion messages left over from a previous timed-out
+    /// attempt, so the next accept cannot pair an old "DONE" with a new
+    /// job. The listener is nonblocking, so this returns immediately once
+    /// the backlog is empty.
+    fn drain_stale_completions(&self) {
+        while let Ok((stream, _)) = self.listener.accept() {
+            // Read and discard whatever the stale agent sent.
+            let _ = stream.set_nonblocking(false);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+            let mut sink = String::new();
+            let _ = BufReader::new(stream).read_line(&mut sink);
+        }
+    }
+
+    /// Accept the completion connection under the watchdog deadline.
+    fn accept_with_deadline(&self, deadline: Instant) -> Result<TcpStream> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    return Ok(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(HarnessError::Timeout(format!(
+                            "no completion message within {:?}",
+                            self.config.accept_timeout
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(HarnessError::Io(e)),
+            }
+        }
+    }
+
+    /// One attempt of the Fig. 3 workflow. On a watchdog timeout the
+    /// agent is always recovered (joined) and USB power restored before
+    /// the error propagates, so the caller can retry immediately.
+    fn run_job_once(
+        &self,
+        agent: &mut DeviceAgent,
+        job: &JobSpec,
+        model_files: &[(String, Vec<u8>)],
+    ) -> Result<JobResult> {
         let endpoint = agent.endpoint.clone();
         let adb = Adb::connect(endpoint.clone());
+        self.drain_stale_completions();
 
         // ① Push dependencies and assert device state (USB power is on).
         endpoint.usb_power_restore();
@@ -63,11 +177,20 @@ impl Master {
         });
         endpoint.usb_power_off();
 
-        // ④ Wait for the completion message.
-        self.listener
-            .set_nonblocking(false)
-            .map_err(HarnessError::Io)?;
-        let (stream, _) = self.listener.accept()?;
+        // ④ Wait for the completion message, under the watchdog.
+        let deadline = Instant::now() + self.config.accept_timeout;
+        let stream = match self.accept_with_deadline(deadline) {
+            Ok(s) => s,
+            Err(timeout) => {
+                // Hung agent: restore power so the (possibly stuck) agent
+                // thread can unblock, recover it, and report the timeout.
+                endpoint.usb_power_restore();
+                if let Ok((returned_agent, _)) = handle.join() {
+                    *agent = returned_agent;
+                }
+                return Err(timeout);
+            }
+        };
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
         let mut line = String::new();
         BufReader::new(stream).read_line(&mut line)?;
@@ -172,7 +295,53 @@ mod tests {
         );
         let err = master.run_job(&mut agent, &job, &files).unwrap_err();
         assert!(matches!(err, HarnessError::Device(_)), "{err}");
-        // Device recovered: power restored, adb reachable.
+        // Device-side failures are deterministic, not watchdog events: no
+        // power-cycle/reboot happened and the device is reachable again.
+        assert_eq!(agent.endpoint.reboots(), 0);
+        assert!(agent.endpoint.usb().power_on);
+    }
+
+    #[test]
+    fn watchdog_recovers_a_hung_device() {
+        let master = Master::with_config(MasterConfig {
+            accept_timeout: Duration::from_millis(100),
+            attempts: 3,
+        })
+        .unwrap();
+        let mut agent = DeviceAgent::new(device("Q845").unwrap());
+        agent.hang_jobs_remaining = 1; // hang once, then behave
+        let files = model_files(Task::MovementTracking, 6);
+        let job = JobSpec::new(
+            9,
+            files[0].0.clone(),
+            Backend::Cpu(ThreadConfig::unpinned(4)),
+        );
+        let result = master.run_job(&mut agent, &job, &files).unwrap();
+        assert_eq!(result.job_id, 9);
+        // The hang cost exactly one power-cycle + reboot.
+        assert_eq!(agent.endpoint.reboots(), 1);
+        assert!(agent.endpoint.usb().power_on);
+    }
+
+    #[test]
+    fn watchdog_gives_up_after_all_attempts() {
+        let master = Master::with_config(MasterConfig {
+            accept_timeout: Duration::from_millis(50),
+            attempts: 2,
+        })
+        .unwrap();
+        let mut agent = DeviceAgent::new(device("Q855").unwrap());
+        agent.hang_jobs_remaining = u32::MAX; // bricked for good
+        let files = model_files(Task::KeywordDetection, 8);
+        let job = JobSpec::new(
+            11,
+            files[0].0.clone(),
+            Backend::Cpu(ThreadConfig::unpinned(4)),
+        );
+        let err = master.run_job(&mut agent, &job, &files).unwrap_err();
+        assert!(matches!(err, HarnessError::Timeout(_)), "{err}");
+        assert_eq!(agent.endpoint.reboots(), 2, "one reboot per attempt");
+        // Even a permanently hung device is left powered for inspection.
         assert!(agent.endpoint.usb().power_on);
     }
 }

@@ -1,0 +1,343 @@
+//! Deterministic fault injection for the store server.
+//!
+//! The paper's crawl is dominated by partial failures — downloads that
+//! reset, throttle, stall or corrupt — and gaugeNN retries them rather
+//! than aborting the sweep. To make that resilience *testable*, this
+//! module gives [`crate::server::StoreServer`] a seeded [`FaultPlan`] it
+//! consults once per request. The plan decides, purely from
+//! `(seed, path, per-path attempt number)`, whether to serve the request
+//! cleanly or to inject one of five fault kinds:
+//!
+//! * connection reset (close before any byte of the response),
+//! * truncated response (a prefix of the frame, then close),
+//! * stalled response (hold the socket silent, then close),
+//! * transient `429`/`503` status,
+//! * corrupted payload bytes (detected by the integrity checksum).
+//!
+//! Because the schedule is a pure function of the request sequence, two
+//! crawls of the same store with the same seeds observe byte-identical
+//! faults and produce byte-identical results — the repo's determinism
+//! guarantee (DESIGN.md §6) extends to its failures.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// SplitMix64: the small deterministic mixer behind every chaos decision
+/// and every retry-jitter draw. Public so the crawler's backoff jitter
+/// shares the same primitive.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a string, for keying chaos/jitter decisions on a route.
+pub fn hash_str(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The fault taxonomy (DESIGN.md §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Close the connection before writing any response byte.
+    Reset,
+    /// Write a strict prefix of the response frame, then close.
+    Truncate,
+    /// Hold the connection silent for `stall_ms`, then close.
+    Stall,
+    /// Serve a transient 429/503 status instead of the real response.
+    TransientStatus,
+    /// Flip payload bytes (Content-Length stays correct; only the
+    /// integrity checksum exposes it).
+    Corrupt,
+}
+
+impl FaultKind {
+    /// Every kind, for "inject everything" plans.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Reset,
+        FaultKind::Truncate,
+        FaultKind::Stall,
+        FaultKind::TransientStatus,
+        FaultKind::Corrupt,
+    ];
+}
+
+/// The concrete action the server takes for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Serve cleanly.
+    None,
+    /// Drop the connection without a response.
+    Reset,
+    /// Keep `keep_permille`/1000 of the serialized frame, then close.
+    Truncate {
+        /// Fraction of the frame to write, in permille (always < 1000).
+        keep_permille: u32,
+    },
+    /// Sleep this long without writing, then close.
+    Stall {
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
+    /// Replace the response with this transient status.
+    Status(u16),
+    /// XOR every body byte with this non-zero mask after the checksum
+    /// header is computed.
+    Corrupt {
+        /// XOR mask applied to the body.
+        xor: u8,
+    },
+}
+
+/// Configuration for a [`FaultPlan`].
+#[derive(Debug, Clone)]
+pub struct FaultPlanConfig {
+    /// Seed for the fault schedule.
+    pub seed: u64,
+    /// Per-request fault probability in permille (0..=1000).
+    pub fault_permille: u32,
+    /// Enabled fault kinds (empty disables injection entirely).
+    pub kinds: Vec<FaultKind>,
+    /// Ceiling on injected faults per route: after this many faulted
+    /// attempts a route is served cleanly, so every fault is *transient*
+    /// and a crawler with enough retry budget recovers 100 % of apps.
+    pub max_faults_per_route: u32,
+    /// Stall duration for [`FaultKind::Stall`].
+    pub stall_ms: u64,
+    /// Routes (substring match on the request path) that fail on *every*
+    /// attempt — the permanent drop-outs of the Table 2 accounting.
+    pub permanent_routes: Vec<String>,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            seed: 0xC4A0_5,
+            fault_permille: 250,
+            kinds: FaultKind::ALL.to_vec(),
+            max_faults_per_route: 2,
+            stall_ms: 30,
+            permanent_routes: Vec::new(),
+        }
+    }
+}
+
+/// A seeded, route-aware fault schedule.
+///
+/// Thread-safe: the per-route attempt counters live behind a mutex so a
+/// chaos-wrapped server can still serve concurrent connections, but the
+/// determinism guarantee only covers a *sequential* request stream (one
+/// crawler), where the attempt numbering is reproducible.
+#[derive(Debug)]
+pub struct FaultPlan {
+    cfg: FaultPlanConfig,
+    state: Mutex<PlanState>,
+}
+
+#[derive(Debug, Default)]
+struct PlanState {
+    attempts: HashMap<String, u32>,
+    requests: u64,
+    injected: u64,
+}
+
+impl FaultPlan {
+    /// Build a plan from a config.
+    pub fn new(cfg: FaultPlanConfig) -> FaultPlan {
+        FaultPlan {
+            cfg,
+            state: Mutex::new(PlanState::default()),
+        }
+    }
+
+    /// The configuration this plan runs.
+    pub fn config(&self) -> &FaultPlanConfig {
+        &self.cfg
+    }
+
+    /// Total requests the plan has ruled on.
+    pub fn requests_seen(&self) -> u64 {
+        self.state.lock().requests
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.state.lock().injected
+    }
+
+    /// Decide the fate of one request. Deterministic in
+    /// `(seed, path, attempt#)`, where the attempt number counts prior
+    /// requests to the same path.
+    pub fn decide(&self, path: &str) -> FaultAction {
+        let mut st = self.state.lock();
+        st.requests += 1;
+        let attempt = {
+            let a = st.attempts.entry(path.to_string()).or_insert(0);
+            let n = *a;
+            *a += 1;
+            n
+        };
+        let h = splitmix64(self.cfg.seed ^ hash_str(path) ^ (attempt as u64).wrapping_mul(0xA5A5));
+        if self
+            .cfg
+            .permanent_routes
+            .iter()
+            .any(|r| path.contains(r.as_str()))
+        {
+            st.injected += 1;
+            return self.action_for(h);
+        }
+        if attempt >= self.cfg.max_faults_per_route {
+            return FaultAction::None;
+        }
+        if (h % 1000) as u32 >= self.cfg.fault_permille {
+            return FaultAction::None;
+        }
+        st.injected += 1;
+        self.action_for(h >> 10)
+    }
+
+    fn action_for(&self, h: u64) -> FaultAction {
+        if self.cfg.kinds.is_empty() {
+            return FaultAction::None;
+        }
+        match self.cfg.kinds[(h as usize) % self.cfg.kinds.len()] {
+            FaultKind::Reset => FaultAction::Reset,
+            FaultKind::Truncate => FaultAction::Truncate {
+                // Keep 10–90 % of the frame: always a strict prefix.
+                keep_permille: 100 + ((h >> 8) % 800) as u32,
+            },
+            FaultKind::Stall => FaultAction::Stall {
+                ms: self.cfg.stall_ms,
+            },
+            FaultKind::TransientStatus => {
+                FaultAction::Status(if h & (1 << 9) == 0 { 429 } else { 503 })
+            }
+            FaultKind::Corrupt => FaultAction::Corrupt {
+                xor: 0x01 | (h >> 16) as u8,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(cfg: FaultPlanConfig) -> FaultPlan {
+        FaultPlan::new(cfg)
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let cfg = FaultPlanConfig {
+            fault_permille: 500,
+            ..FaultPlanConfig::default()
+        };
+        let a = plan(cfg.clone());
+        let b = plan(cfg);
+        for path in ["/categories", "/app/com.x", "/apk/com.x", "/app/com.x"] {
+            assert_eq!(a.decide(path), b.decide(path), "{path}");
+        }
+        assert_eq!(a.injected(), b.injected());
+        assert_eq!(a.requests_seen(), 4);
+    }
+
+    #[test]
+    fn faults_per_route_are_bounded() {
+        let p = plan(FaultPlanConfig {
+            fault_permille: 1000, // fault every eligible attempt
+            max_faults_per_route: 2,
+            ..FaultPlanConfig::default()
+        });
+        let first = p.decide("/apk/com.a");
+        let second = p.decide("/apk/com.a");
+        assert_ne!(first, FaultAction::None);
+        assert_ne!(second, FaultAction::None);
+        // Attempts beyond the ceiling are always served cleanly.
+        for _ in 0..5 {
+            assert_eq!(p.decide("/apk/com.a"), FaultAction::None);
+        }
+    }
+
+    #[test]
+    fn permanent_routes_never_recover() {
+        let p = plan(FaultPlanConfig {
+            fault_permille: 0,
+            permanent_routes: vec!["/apk/com.doomed".into()],
+            ..FaultPlanConfig::default()
+        });
+        for _ in 0..10 {
+            assert_ne!(p.decide("/apk/com.doomed"), FaultAction::None);
+        }
+        assert_eq!(p.decide("/apk/com.fine"), FaultAction::None);
+        assert_eq!(p.injected(), 10);
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let p = plan(FaultPlanConfig {
+            fault_permille: 0,
+            ..FaultPlanConfig::default()
+        });
+        for i in 0..100 {
+            assert_eq!(p.decide(&format!("/app/com.pkg{i}")), FaultAction::None);
+        }
+        assert_eq!(p.injected(), 0);
+    }
+
+    #[test]
+    fn rate_roughly_honoured_across_routes() {
+        let p = plan(FaultPlanConfig {
+            fault_permille: 300,
+            max_faults_per_route: 1,
+            ..FaultPlanConfig::default()
+        });
+        let mut faulted = 0;
+        for i in 0..1000 {
+            if p.decide(&format!("/app/com.pkg{i}")) != FaultAction::None {
+                faulted += 1;
+            }
+        }
+        assert!((200..400).contains(&faulted), "{faulted} faults at 30%");
+    }
+
+    #[test]
+    fn truncation_keeps_a_strict_prefix() {
+        let p = plan(FaultPlanConfig {
+            fault_permille: 1000,
+            kinds: vec![FaultKind::Truncate],
+            ..FaultPlanConfig::default()
+        });
+        for i in 0..50 {
+            match p.decide(&format!("/apk/com.t{i}")) {
+                FaultAction::Truncate { keep_permille } => {
+                    assert!((100..1000).contains(&keep_permille))
+                }
+                other => panic!("expected truncate, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_mask_is_nonzero() {
+        let p = plan(FaultPlanConfig {
+            fault_permille: 1000,
+            kinds: vec![FaultKind::Corrupt],
+            ..FaultPlanConfig::default()
+        });
+        for i in 0..50 {
+            match p.decide(&format!("/apk/com.c{i}")) {
+                FaultAction::Corrupt { xor } => assert_ne!(xor, 0),
+                other => panic!("expected corrupt, got {other:?}"),
+            }
+        }
+    }
+}

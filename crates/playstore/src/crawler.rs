@@ -5,12 +5,31 @@
 //! bundle form when advertised — "gaugeNN supports file extraction from
 //! i) the base apk, ii) expansion files (OBBs) and iii) Android App
 //! Bundles".
+//!
+//! The crawler is built to survive a hostile store: every request runs
+//! under a [`RetryPolicy`] (exponential backoff, deterministic jitter),
+//! the keep-alive stream is invalidated and re-dialled after any IO or
+//! framing error (a desynced `BufReader` must never feed stale bytes into
+//! the next response), payloads are verified against the server's
+//! integrity checksum, and a full [`Crawler::crawl_all`] sweep returns a
+//! [`CrawlOutcome`] that records permanently-failing apps as structured
+//! drop-outs — the paper's Table 2 accounting — instead of aborting the
+//! sweep on the first bad app.
+//!
+//! Backoff delays run on a logical clock by default: they are *recorded*
+//! in [`CrawlStats`] but not slept, preserving the repo's bit-for-bit
+//! determinism guarantee (DESIGN.md §6) and keeping chaos tests fast.
+//! Set [`RetryPolicy::real_sleep`] for wall-clock pacing against a real
+//! endpoint.
 
-use crate::proto::{read_response, write_request, Response};
+use crate::chaos::{hash_str, splitmix64};
+use crate::proto::{read_response, write_request, Response, CRC_HEADER};
 use crate::{Result, StoreError};
+use gaugenn_apk::crc32::crc32;
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 /// Crawler identity headers (§3.1/§4.1: a UK account on a Galaxy S10).
 #[derive(Debug, Clone)]
@@ -34,6 +53,116 @@ impl Default for CrawlerConfig {
             page_size: 100,
         }
     }
+}
+
+/// Retry policy for store requests: bounded attempts with exponential
+/// backoff and deterministic (seeded) jitter keyed on the request path.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Base backoff before the first retry, milliseconds.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub max_backoff_ms: u64,
+    /// Seed for the jitter draws.
+    pub jitter_seed: u64,
+    /// Sleep the computed delays for real. Off by default: delays are
+    /// accounted on the logical clock ([`CrawlStats::backoff_ms_total`])
+    /// so chaos runs stay deterministic and fast.
+    pub real_sleep: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_ms: 5,
+            max_backoff_ms: 80,
+            jitter_seed: 0x9A43E,
+            real_sleep: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (1-based) of `path`:
+    /// `min(max, base·2^(retry-1))`, half fixed and half jittered by a
+    /// splitmix64 draw on `(seed, path, retry)`.
+    pub fn backoff_ms(&self, path: &str, retry: u32) -> u64 {
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << (retry.saturating_sub(1)).min(10))
+            .min(self.max_backoff_ms);
+        let half = exp / 2;
+        let h = splitmix64(self.jitter_seed ^ hash_str(path) ^ retry as u64);
+        half + h % (half + 1)
+    }
+}
+
+/// Counters the crawler keeps while surviving a hostile store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrawlStats {
+    /// Requests attempted (including retries).
+    pub requests: u64,
+    /// Retries performed after transient failures.
+    pub retries: u64,
+    /// Times the keep-alive stream was re-dialled after an error.
+    pub reconnects: u64,
+    /// Total backoff accounted on the logical clock, milliseconds.
+    pub backoff_ms_total: u64,
+}
+
+/// The crawl stage at which an app dropped out (paper Fig. 1 stages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrawlStage {
+    /// Category listing fetch.
+    Listing,
+    /// App metadata fetch/parse.
+    Meta,
+    /// Base APK download.
+    Apk,
+    /// OBB expansion download.
+    Obb,
+    /// App-bundle download.
+    Bundle,
+}
+
+impl CrawlStage {
+    /// Stable label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrawlStage::Listing => "listing",
+            CrawlStage::Meta => "meta",
+            CrawlStage::Apk => "apk",
+            CrawlStage::Obb => "obb",
+            CrawlStage::Bundle => "bundle",
+        }
+    }
+}
+
+/// One app (or category listing) that never made it into the corpus —
+/// the paper tracks these as download failures in the Table 2 accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropOut {
+    /// Package name (or `category:<name>` for a listing failure).
+    pub package: String,
+    /// Stage that failed.
+    pub stage: CrawlStage,
+    /// Final error after every retry, stringified.
+    pub error: String,
+}
+
+/// Everything a full store sweep produced: the corpus plus the drop-out
+/// ledger and the resilience counters.
+#[derive(Debug, Clone)]
+pub struct CrawlOutcome {
+    /// Successfully downloaded apps.
+    pub apps: Vec<CrawledApp>,
+    /// Apps/listings that failed permanently.
+    pub dropouts: Vec<DropOut>,
+    /// Retry/reconnect/backoff accounting.
+    pub stats: CrawlStats,
 }
 
 /// App metadata as parsed from the store response.
@@ -70,51 +199,170 @@ pub struct CrawledApp {
     pub bundle: Option<Vec<u8>>,
 }
 
-/// The crawler: one keep-alive connection to the store.
-pub struct Crawler {
-    config: CrawlerConfig,
+/// One live keep-alive connection.
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
+/// The crawler: a keep-alive connection to the store that re-dials and
+/// retries its way through transient failures.
+pub struct Crawler {
+    config: CrawlerConfig,
+    retry: RetryPolicy,
+    addr: SocketAddr,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+    conn: Option<Conn>,
+    stats: CrawlStats,
+}
+
 impl Crawler {
-    /// Connect to a store server.
+    /// Connect to a store server with the default [`RetryPolicy`].
     pub fn connect(addr: SocketAddr, config: CrawlerConfig) -> Result<Crawler> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
-        Ok(Crawler {
+        let mut c = Crawler {
             config,
-            reader,
-            writer: stream,
-        })
+            retry: RetryPolicy::default(),
+            addr,
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(2),
+            conn: None,
+            stats: CrawlStats::default(),
+        };
+        c.dial()?;
+        Ok(c)
     }
 
-    fn get(&mut self, path: &str) -> Result<Response> {
+    /// Replace the retry policy (builder-style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Crawler {
+        self.retry = retry;
+        self
+    }
+
+    /// Replace the connect/read timeouts (builder-style).
+    pub fn with_timeouts(mut self, connect: Duration, read: Duration) -> Crawler {
+        self.connect_timeout = connect;
+        self.read_timeout = read;
+        if let Some(conn) = &self.conn {
+            let _ = conn.writer.set_read_timeout(Some(read));
+            let _ = conn.writer.set_write_timeout(Some(read));
+        }
+        self
+    }
+
+    /// Resilience counters so far.
+    pub fn stats(&self) -> &CrawlStats {
+        &self.stats
+    }
+
+    fn dial(&mut self) -> Result<()> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.read_timeout))?;
+        stream.set_write_timeout(Some(self.read_timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        if self.conn.is_some() {
+            self.stats.reconnects += 1;
+        }
+        self.conn = Some(Conn {
+            reader,
+            writer: stream,
+        });
+        Ok(())
+    }
+
+    /// Drop the keep-alive stream: after any mid-response error the old
+    /// `BufReader` may hold stale bytes, and reading the next response
+    /// from it would desync the protocol.
+    fn invalidate(&mut self) {
+        self.conn = None;
+    }
+
+    /// One raw request/response exchange on the current stream.
+    fn exchange(&mut self, path: &str) -> Result<Response> {
+        if self.conn.is_none() {
+            self.dial()?;
+            // A fresh dial replaces a previously-invalidated stream; the
+            // reconnect counter is bumped in `dial` only when a stream
+            // existed before, so count invalidated re-dials here.
+            self.stats.reconnects += 1;
+        }
         let headers = [
             ("User-Agent", self.config.user_agent.as_str()),
             ("X-Locale", self.config.locale.as_str()),
             ("X-Device-Profile", self.config.device_profile.as_str()),
         ];
-        write_request(&mut self.writer, path, &headers)?;
-        read_response(&mut self.reader)
-    }
-
-    fn get_ok(&mut self, path: &str) -> Result<Response> {
-        let resp = self.get(path)?;
-        if resp.status != 200 {
-            return Err(StoreError::NotFound(format!(
-                "{path} -> {} ({})",
-                resp.status,
-                resp.text()
-            )));
+        let conn = self.conn.as_mut().expect("dialled above");
+        write_request(&mut conn.writer, path, &headers)?;
+        let resp = read_response(&mut conn.reader)?;
+        // Verify the integrity header when the server supplies one.
+        if let Some(want) = resp
+            .headers
+            .iter()
+            .find(|(k, _)| k == CRC_HEADER)
+            .map(|(_, v)| v.clone())
+        {
+            let got = format!("{:08x}", crc32(&resp.body));
+            if got != want {
+                return Err(StoreError::Integrity { path: path.into() });
+            }
         }
         Ok(resp)
     }
 
+    /// Issue one request with retries; only a 200 comes back `Ok`.
+    fn request(&mut self, path: &str) -> Result<Response> {
+        let mut last: Option<StoreError> = None;
+        for attempt in 1..=self.retry.max_attempts.max(1) {
+            if attempt > 1 {
+                self.stats.retries += 1;
+                let delay = self.retry.backoff_ms(path, attempt - 1);
+                self.stats.backoff_ms_total += delay;
+                if self.retry.real_sleep {
+                    std::thread::sleep(Duration::from_millis(delay));
+                }
+            }
+            self.stats.requests += 1;
+            let err = match self.exchange(path) {
+                Ok(resp) if resp.status == 200 => return Ok(resp),
+                Ok(resp) if resp.status == 429 || (500..=599).contains(&resp.status) => {
+                    // The frame itself was well-formed, so the stream is
+                    // still in sync: keep the connection for the retry.
+                    StoreError::Transient {
+                        status: resp.status,
+                        path: path.into(),
+                    }
+                }
+                Ok(resp) => {
+                    // Permanent status (404/400/…): not retriable.
+                    return Err(StoreError::NotFound(format!(
+                        "{path} -> {} ({})",
+                        resp.status,
+                        resp.text()
+                    )));
+                }
+                Err(e) => {
+                    // IO, framing or integrity failure: the stream can no
+                    // longer be trusted to be request-aligned.
+                    self.invalidate();
+                    e
+                }
+            };
+            if !err.is_transient() {
+                return Err(err);
+            }
+            last = Some(err);
+        }
+        Err(StoreError::RetriesExhausted {
+            path: path.into(),
+            attempts: self.retry.max_attempts.max(1),
+            last: last.map_or_else(|| "no error recorded".into(), |e| e.to_string()),
+        })
+    }
+
     /// List all store categories.
     pub fn categories(&mut self) -> Result<Vec<String>> {
-        let resp = self.get_ok("/categories")?;
+        let resp = self.request("/categories")?;
         Ok(resp
             .text()
             .lines()
@@ -134,7 +382,7 @@ impl Crawler {
                 crate::proto::encode_component(category),
                 self.config.page_size
             );
-            let resp = self.get_ok(&path)?;
+            let resp = self.request(&path)?;
             let page: Vec<String> = resp
                 .text()
                 .lines()
@@ -154,9 +402,10 @@ impl Crawler {
         Ok(out)
     }
 
-    /// Fetch and parse one app's metadata.
+    /// Fetch and parse one app's metadata. Malformed numeric fields are a
+    /// typed [`StoreError::Protocol`] — never silently coerced to zero.
     pub fn app_meta(&mut self, package: &str) -> Result<AppMeta> {
-        let resp = self.get_ok(&format!("/app/{package}"))?;
+        let resp = self.request(&format!("/app/{package}"))?;
         let kv: BTreeMap<String, String> = resp
             .text()
             .lines()
@@ -168,13 +417,21 @@ impl Crawler {
                 .cloned()
                 .ok_or_else(|| StoreError::Protocol(format!("metadata missing '{k}'")))
         };
+        let bad = |k: &str, v: &str| {
+            StoreError::Protocol(format!("malformed metadata field '{k}': '{v}'"))
+        };
+        let downloads_s = field("downloads")?;
+        let rating_s = field("rating")?;
+        let version_s = field("version")?;
         Ok(AppMeta {
             package: field("package")?,
             title: field("title")?,
             category: field("category")?,
-            downloads: field("downloads")?.parse().unwrap_or(0),
-            rating: field("rating")?.parse().unwrap_or(0.0),
-            version_code: field("version")?.parse().unwrap_or(0),
+            downloads: downloads_s
+                .parse()
+                .map_err(|_| bad("downloads", &downloads_s))?,
+            rating: rating_s.parse().map_err(|_| bad("rating", &rating_s))?,
+            version_code: version_s.parse().map_err(|_| bad("version", &version_s))?,
             has_obb: field("has_obb")? == "true",
             has_bundle: field("has_bundle")? == "true",
         })
@@ -182,16 +439,31 @@ impl Crawler {
 
     /// Download the base APK.
     pub fn download_apk(&mut self, package: &str) -> Result<Vec<u8>> {
-        Ok(self.get_ok(&format!("/apk/{package}"))?.body)
+        Ok(self.request(&format!("/apk/{package}"))?.body)
     }
 
     /// Download everything for one app, honouring its OBB/bundle flags.
     pub fn crawl_app(&mut self, package: &str) -> Result<CrawledApp> {
-        let meta = self.app_meta(package)?;
-        let apk = self.download_apk(package)?;
+        self.crawl_app_staged(package).map_err(|(_, e)| e)
+    }
+
+    /// Like [`Crawler::crawl_app`], but tagging the failing stage so
+    /// drop-outs can be attributed (meta vs apk vs obb vs bundle).
+    fn crawl_app_staged(
+        &mut self,
+        package: &str,
+    ) -> std::result::Result<CrawledApp, (CrawlStage, StoreError)> {
+        let meta = self
+            .app_meta(package)
+            .map_err(|e| (CrawlStage::Meta, e))?;
+        let apk = self
+            .download_apk(package)
+            .map_err(|e| (CrawlStage::Apk, e))?;
         let mut obbs = Vec::new();
         if meta.has_obb {
-            let resp = self.get_ok(&format!("/obb/{package}"))?;
+            let resp = self
+                .request(&format!("/obb/{package}"))
+                .map_err(|e| (CrawlStage::Obb, e))?;
             let name = resp
                 .headers
                 .iter()
@@ -201,7 +473,11 @@ impl Crawler {
             obbs.push((name, resp.body));
         }
         let bundle = if meta.has_bundle {
-            Some(self.get_ok(&format!("/bundle/{package}"))?.body)
+            Some(
+                self.request(&format!("/bundle/{package}"))
+                    .map_err(|e| (CrawlStage::Bundle, e))?
+                    .body,
+            )
         } else {
             None
         };
@@ -213,21 +489,48 @@ impl Crawler {
         })
     }
 
-    /// Full store sweep: every category, every listed app.
-    pub fn crawl_all(&mut self) -> Result<Vec<CrawledApp>> {
-        let mut out = Vec::new();
+    /// Full store sweep: every category, every listed app. Apps (and
+    /// category listings) that keep failing after retries become
+    /// [`DropOut`] records instead of aborting the sweep; only a failure
+    /// to enumerate the categories themselves is fatal.
+    pub fn crawl_all(&mut self) -> Result<CrawlOutcome> {
+        let mut apps = Vec::new();
+        let mut dropouts = Vec::new();
         for cat in self.categories()? {
-            for pkg in self.list_category(&cat)? {
-                out.push(self.crawl_app(&pkg)?);
+            let pkgs = match self.list_category(&cat) {
+                Ok(p) => p,
+                Err(e) => {
+                    dropouts.push(DropOut {
+                        package: format!("category:{cat}"),
+                        stage: CrawlStage::Listing,
+                        error: e.to_string(),
+                    });
+                    continue;
+                }
+            };
+            for pkg in pkgs {
+                match self.crawl_app_staged(&pkg) {
+                    Ok(app) => apps.push(app),
+                    Err((stage, e)) => dropouts.push(DropOut {
+                        package: pkg,
+                        stage,
+                        error: e.to_string(),
+                    }),
+                }
             }
         }
-        Ok(out)
+        Ok(CrawlOutcome {
+            apps,
+            dropouts,
+            stats: self.stats.clone(),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::{FaultPlan, FaultPlanConfig};
     use crate::corpus::{generate, CorpusScale, Snapshot};
     use crate::server::StoreServer;
 
@@ -239,10 +542,12 @@ mod tests {
     fn full_crawl_covers_corpus() {
         let server = start_tiny();
         let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
-        let apps = crawler.crawl_all().unwrap();
-        assert_eq!(apps.len(), 52, "tiny 2021 corpus is 52 apps");
+        let outcome = crawler.crawl_all().unwrap();
+        assert_eq!(outcome.apps.len(), 52, "tiny 2021 corpus is 52 apps");
+        assert!(outcome.dropouts.is_empty(), "{:?}", outcome.dropouts);
+        assert_eq!(outcome.stats.retries, 0, "clean store needs no retries");
         // Every APK parses and matches its metadata.
-        for app in &apps {
+        for app in &outcome.apps {
             let parsed = gaugenn_apk::Apk::parse(&app.apk).unwrap();
             assert_eq!(parsed.package(), app.meta.package);
         }
@@ -269,8 +574,8 @@ mod tests {
     fn obbs_and_bundles_fetched_when_advertised() {
         let server = start_tiny();
         let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
-        let apps = crawler.crawl_all().unwrap();
-        for app in &apps {
+        let outcome = crawler.crawl_all().unwrap();
+        for app in &outcome.apps {
             if app.meta.has_obb {
                 assert_eq!(app.obbs.len(), 1);
                 let (name, bytes) = &app.obbs[0];
@@ -291,5 +596,60 @@ mod tests {
         let server = start_tiny();
         let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
         assert!(crawler.app_meta("com.not.there").is_err());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for retry in 1..=6 {
+            let a = p.backoff_ms("/apk/com.x", retry);
+            let b = p.backoff_ms("/apk/com.x", retry);
+            assert_eq!(a, b, "same (path, retry) draws the same jitter");
+            assert!(a <= p.max_backoff_ms, "{a} > cap at retry {retry}");
+        }
+        // Different paths draw different jitter (with overwhelming odds).
+        let spread: std::collections::BTreeSet<u64> = (0..32)
+            .map(|i| p.backoff_ms(&format!("/apk/com.p{i}"), 3))
+            .collect();
+        assert!(spread.len() > 1, "jitter should vary by path");
+    }
+
+    #[test]
+    fn transient_statuses_are_retried_to_success() {
+        let corpus = generate(CorpusScale::Tiny, Snapshot::Y2021, 7);
+        let server = StoreServer::start_with_chaos(
+            corpus,
+            FaultPlan::new(FaultPlanConfig {
+                fault_permille: 1000,
+                kinds: vec![crate::chaos::FaultKind::TransientStatus],
+                max_faults_per_route: 2,
+                ..FaultPlanConfig::default()
+            }),
+        )
+        .unwrap();
+        let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
+        let cats = crawler.categories().unwrap();
+        assert!(cats.len() >= 30);
+        assert!(crawler.stats().retries >= 2, "{:?}", crawler.stats());
+    }
+
+    #[test]
+    fn corrupted_payload_detected_and_refetched() {
+        let corpus = generate(CorpusScale::Tiny, Snapshot::Y2021, 7);
+        let server = StoreServer::start_with_chaos(
+            corpus,
+            FaultPlan::new(FaultPlanConfig {
+                fault_permille: 1000,
+                kinds: vec![crate::chaos::FaultKind::Corrupt],
+                max_faults_per_route: 1,
+                ..FaultPlanConfig::default()
+            }),
+        )
+        .unwrap();
+        let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
+        // First attempt is corrupted (checksum catches it), retry is clean.
+        let cats = crawler.categories().unwrap();
+        assert!(cats.len() >= 30);
+        assert!(crawler.stats().retries >= 1);
     }
 }

@@ -28,13 +28,15 @@
 #![warn(missing_docs)]
 
 pub mod categories;
+pub mod chaos;
 pub mod corpus;
 pub mod crawler;
 pub mod proto;
 pub mod server;
 
+pub use chaos::{FaultKind, FaultPlan, FaultPlanConfig};
 pub use corpus::{CorpusScale, Snapshot, StoreCorpus};
-pub use crawler::{CrawledApp, Crawler};
+pub use crawler::{CrawlOutcome, CrawlStage, CrawledApp, Crawler, DropOut, RetryPolicy};
 pub use server::StoreServer;
 
 /// Errors from the store substrate.
@@ -48,6 +50,42 @@ pub enum StoreError {
     NotFound(String),
     /// Corpus generation failed (e.g. model encode error).
     Corpus(String),
+    /// Transient server-side status (429/503/5xx) — retriable.
+    Transient {
+        /// The status code served.
+        status: u16,
+        /// The request path.
+        path: String,
+    },
+    /// Body-integrity check failed (checksum mismatch) — retriable.
+    Integrity {
+        /// The request path.
+        path: String,
+    },
+    /// A request kept failing after every retry attempt.
+    RetriesExhausted {
+        /// The request path.
+        path: String,
+        /// Attempts made.
+        attempts: u32,
+        /// Final error, stringified.
+        last: String,
+    },
+}
+
+impl StoreError {
+    /// Whether retrying the same request may succeed: IO and framing
+    /// errors (broken/desynced streams), throttling statuses and
+    /// integrity failures are transient; missing entities are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StoreError::Io(_)
+                | StoreError::Protocol(_)
+                | StoreError::Transient { .. }
+                | StoreError::Integrity { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -57,6 +95,17 @@ impl std::fmt::Display for StoreError {
             StoreError::Protocol(r) => write!(f, "protocol error: {r}"),
             StoreError::NotFound(e) => write!(f, "not found: {e}"),
             StoreError::Corpus(r) => write!(f, "corpus error: {r}"),
+            StoreError::Transient { status, path } => {
+                write!(f, "transient status {status} on {path}")
+            }
+            StoreError::Integrity { path } => {
+                write!(f, "body checksum mismatch on {path}")
+            }
+            StoreError::RetriesExhausted {
+                path,
+                attempts,
+                last,
+            } => write!(f, "{path} failed after {attempts} attempts: {last}"),
         }
     }
 }

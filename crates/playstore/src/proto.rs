@@ -14,6 +14,10 @@ use std::io::{BufRead, BufReader, Read, Write};
 pub const PROTO: &str = "GAUGE/1.0";
 /// Hard cap on declared body sizes (matches the APK limit with headroom).
 pub const MAX_BODY: usize = 256 * 1024 * 1024;
+/// Body-integrity header: lower-case hex CRC32 of the body bytes. The
+/// server sets it on every response; the crawler verifies it when present
+/// so corrupted payloads surface as retriable errors, not wrong answers.
+pub const CRC_HEADER: &str = "x-body-crc32";
 
 /// Percent-encode a path component (spaces, `&`, `?`, `%`, `/` and
 /// non-ASCII become `%XX`); category names like `"health & fitness"` would
@@ -179,6 +183,8 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<()> {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     write!(w, "{PROTO} {} {reason}\r\n", resp.status)?;

@@ -5,9 +5,11 @@
 //! duplicated models across apps are byte-identical (which is precisely
 //! what makes the §4.5 checksum analysis work) without re-encoding.
 
+use crate::chaos::{FaultAction, FaultPlan};
 use crate::corpus::{AppSpec, StoreCorpus};
-use crate::proto::{read_request, write_response, Request, Response};
+use crate::proto::{read_request, write_response, Request, Response, CRC_HEADER};
 use crate::{categories::CATEGORIES, Result};
+use gaugenn_apk::crc32::crc32;
 use gaugenn_apk::bundle::{AssetPack, BundleBuilder, Delivery};
 use gaugenn_apk::obb::{build_obb, ObbKind};
 use gaugenn_modelfmt::ModelArtifact;
@@ -29,6 +31,7 @@ struct Shared {
     corpus: StoreCorpus,
     artifact_cache: Mutex<HashMap<usize, Arc<ModelArtifact>>>,
     requests_served: Mutex<u64>,
+    chaos: Option<FaultPlan>,
 }
 
 impl Shared {
@@ -58,6 +61,17 @@ pub struct StoreServer {
 impl StoreServer {
     /// Start serving `corpus` on an ephemeral loopback port.
     pub fn start(corpus: StoreCorpus) -> Result<StoreServer> {
+        Self::start_inner(corpus, None)
+    }
+
+    /// Start serving `corpus` with a chaos [`FaultPlan`] consulted on
+    /// every request (resets, truncations, stalls, transient statuses,
+    /// payload corruption — see [`crate::chaos`]).
+    pub fn start_with_chaos(corpus: StoreCorpus, plan: FaultPlan) -> Result<StoreServer> {
+        Self::start_inner(corpus, Some(plan))
+    }
+
+    fn start_inner(corpus: StoreCorpus, chaos: Option<FaultPlan>) -> Result<StoreServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -66,6 +80,7 @@ impl StoreServer {
             corpus,
             artifact_cache: Mutex::new(HashMap::new()),
             requests_served: Mutex::new(0),
+            chaos,
         });
         let t_stop = stop.clone();
         let t_shared = shared.clone();
@@ -104,6 +119,11 @@ impl StoreServer {
         *self.shared.requests_served.lock()
     }
 
+    /// The chaos plan, when the server was started with one.
+    pub fn chaos(&self) -> Option<&FaultPlan> {
+        self.shared.chaos.as_ref()
+    }
+
     /// Stop accepting and join the accept loop.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
@@ -131,8 +151,52 @@ fn handle_connection(stream: TcpStream, shared: &Shared, stop: &AtomicBool) -> R
             return Ok(()); // client closed keep-alive
         };
         *shared.requests_served.lock() += 1;
-        let resp = route(shared, &req);
-        write_response(&mut writer, &resp)?;
+        let mut resp = route(shared, &req);
+        // Integrity header: lets the crawler detect silent payload
+        // corruption (chaos-injected or otherwise) without trusting the
+        // transport.
+        resp.headers
+            .push((CRC_HEADER.into(), format!("{:08x}", crc32(&resp.body))));
+        let action = match &shared.chaos {
+            Some(plan) => plan.decide(req.path_only()),
+            None => FaultAction::None,
+        };
+        match action {
+            FaultAction::None => write_response(&mut writer, &resp)?,
+            FaultAction::Reset => return Ok(()), // close without a byte
+            FaultAction::Truncate { keep_permille } => {
+                let mut frame = Vec::new();
+                write_response(&mut frame, &resp)?;
+                let keep = (frame.len() * keep_permille as usize / 1000).max(1);
+                std::io::Write::write_all(&mut writer, &frame[..keep.min(frame.len() - 1)])?;
+                std::io::Write::flush(&mut writer)?;
+                return Ok(()); // close mid-frame
+            }
+            FaultAction::Stall { ms } => {
+                // Hold the socket silent, then close: the client sees a
+                // read timeout or an EOF mid-response, whichever first.
+                std::thread::sleep(Duration::from_millis(ms));
+                return Ok(());
+            }
+            FaultAction::Status(status) => {
+                let mut t = Response {
+                    status,
+                    headers: vec![],
+                    body: b"injected transient failure".to_vec(),
+                };
+                t.headers
+                    .push((CRC_HEADER.into(), format!("{:08x}", crc32(&t.body))));
+                write_response(&mut writer, &t)?;
+            }
+            FaultAction::Corrupt { xor } => {
+                // Flip body bytes *after* the checksum header was set, so
+                // the frame stays well-formed but the payload lies.
+                for b in resp.body.iter_mut() {
+                    *b ^= xor;
+                }
+                write_response(&mut writer, &resp)?;
+            }
+        }
     }
     Ok(())
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build + full test suite (see ROADMAP.md).
+#
+# Works without network access: if the registry is unreachable, cargo is
+# retried in --offline mode (using whatever is already vendored/cached).
+# Exits nonzero when neither mode can build or any test fails.
+set -u
+cd "$(dirname "$0")/.."
+
+run_cargo() {
+    mode="$1"; shift
+    echo "==> cargo $* ($mode)"
+    if [ "$mode" = "offline" ]; then
+        cargo --offline "$@"
+    else
+        cargo "$@"
+    fi
+}
+
+verify() {
+    mode="$1"
+    run_cargo "$mode" build --release && run_cargo "$mode" test -q
+}
+
+if verify online; then
+    echo "verify: OK (online)"
+    exit 0
+fi
+echo "verify: online build failed (no network / registry unreachable?); retrying offline"
+if verify offline; then
+    echo "verify: OK (offline)"
+    exit 0
+fi
+echo "verify: FAILED in both online and offline modes" >&2
+exit 1

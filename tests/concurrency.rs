@@ -12,8 +12,10 @@ fn parallel_crawlers_get_identical_corpora() {
     let addr = server.addr();
     let crawl = move || {
         let mut c = Crawler::connect(addr, CrawlerConfig::default()).expect("connect");
-        let apps = c.crawl_all().expect("crawl");
-        let mut sums: Vec<(String, String)> = apps
+        let outcome = c.crawl_all().expect("crawl");
+        assert!(outcome.dropouts.is_empty(), "clean store drops nothing");
+        let mut sums: Vec<(String, String)> = outcome
+            .apps
             .iter()
             .map(|a| {
                 (
