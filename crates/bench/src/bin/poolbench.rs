@@ -1,0 +1,69 @@
+//! `poolbench` — worker-count vs wall-time for the sharded crawl pool.
+//!
+//! ```sh
+//! cargo run --release -p gaugenn-bench --bin poolbench            # small corpus
+//! cargo run --release -p gaugenn-bench --bin poolbench -- tiny
+//! ```
+//!
+//! Crawls one snapshot sequentially and then through [`CrawlPool`]s of
+//! 2/4/8 workers, verifying every run merges to the identical corpus and
+//! printing the wall time of each. EXPERIMENTS.md records a captured run.
+
+use gaugenn_playstore::corpus::{generate, CorpusScale, Snapshot};
+use gaugenn_playstore::crawler::Crawler;
+use gaugenn_playstore::pool::{CrawlPool, CrawlPoolConfig};
+use gaugenn_playstore::server::StoreServer;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.get(1).map(String::as_str) {
+        Some("tiny") => CorpusScale::Tiny,
+        Some("paper") => CorpusScale::Paper,
+        None | Some("small") => CorpusScale::Small,
+        Some(other) => {
+            eprintln!("unknown scale '{other}' (expected tiny|small|paper)");
+            std::process::exit(2);
+        }
+    };
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1402);
+
+    let server = StoreServer::start(generate(scale, Snapshot::Y2021, seed))?;
+    let addr = server.addr();
+
+    println!("crawl pool scaling — scale {scale:?}, seed {seed}, host cores: {}", cores());
+    let t0 = Instant::now();
+    let mut seq = Crawler::builder(addr).build()?;
+    let baseline = seq.crawl_all()?;
+    let t_seq = t0.elapsed();
+    println!(
+        "  sequential: {:>8.1} ms  ({} apps, {} requests)",
+        t_seq.as_secs_f64() * 1e3,
+        baseline.apps.len(),
+        baseline.stats.requests
+    );
+
+    for workers in [2usize, 4, 8] {
+        let t = Instant::now();
+        let pooled = CrawlPool::new(CrawlPoolConfig {
+            workers,
+            ..CrawlPoolConfig::default()
+        })
+        .crawl(addr)?;
+        let dt = t.elapsed();
+        assert_eq!(
+            pooled.outcome.apps, baseline.apps,
+            "pool must merge to the sequential corpus"
+        );
+        println!(
+            "  {workers} workers:  {:>8.1} ms  (speedup {:.2}x)",
+            dt.as_secs_f64() * 1e3,
+            t_seq.as_secs_f64() / dt.as_secs_f64()
+        );
+    }
+    Ok(())
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

@@ -1,9 +1,10 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```sh
-//! cargo run --release -p gaugenn-bench --bin repro -- small      # default
-//! cargo run --release -p gaugenn-bench --bin repro -- paper      # full 16.6k-app corpus
-//! cargo run --release -p gaugenn-bench --bin repro -- tiny 1402  # custom seed
+//! cargo run --release -p gaugenn-bench --bin repro -- small        # default
+//! cargo run --release -p gaugenn-bench --bin repro -- paper        # full 16.6k-app corpus
+//! cargo run --release -p gaugenn-bench --bin repro -- tiny 1402    # custom seed
+//! cargo run --release -p gaugenn-bench --bin repro -- small 1402 8 # 8 crawl workers
 //! ```
 //!
 //! Output is the text form of Tables 1–4, Figs. 4–15 and the §4.2/§4.5/
@@ -26,18 +27,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     };
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1402);
+    // The sharded pool merges deterministically, so the worker count only
+    // changes wall time, never a table.
+    let workers: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
 
-    println!("gaugeNN reproduction — scale {scale:?}, seed {seed}");
+    println!("gaugeNN reproduction — scale {scale:?}, seed {seed}, {workers} crawl worker(s)");
     println!("=================================================================");
     println!();
     println!("{}", runtime::tab1());
 
+    let config = |snapshot| {
+        let mut c = PipelineConfig::with_scale(scale, snapshot, seed);
+        c.workers = workers;
+        c
+    };
     eprintln!("[1/5] crawling + analysing the Feb 2020 snapshot...");
-    let r2020 = Pipeline::new(PipelineConfig::with_scale(scale, Snapshot::Y2020, seed)).run()?;
+    let r2020 = Pipeline::new(config(Snapshot::Y2020)).run()?;
+    eprintln!("  {}", r2020.crawl_summary());
     eprintln!("[2/5] crawling + analysing the Apr 2021 snapshot...");
-    let r2021 = Pipeline::new(PipelineConfig::with_scale(scale, Snapshot::Y2021, seed)).run()?;
+    let r2021 = Pipeline::new(config(Snapshot::Y2021)).run()?;
+    eprintln!("  {}", r2021.crawl_summary());
 
     println!("{}", offline::tab2(&r2020, &r2021).render());
+    println!("Crawl drop-out breakdown (Apr 2021 snapshot):");
+    println!("{}", r2021.dropout_breakdown().render());
+    println!("{}\n", r2021.crawl_summary());
     println!(
         "Sec 4.2: device-profile invariance probe: {:?} (paper: no device-specific distribution)\n",
         r2021.dataset.device_profile_invariant

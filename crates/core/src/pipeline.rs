@@ -2,6 +2,7 @@
 //! extract + validate + decode models, and run the offline analyses.
 
 use crate::extract::{extract_app, AppExtraction};
+use crate::report::TextTable;
 use crate::{CoreError, Result};
 use gaugenn_analysis::classify::{classify_graph, Classification, LayerComposition};
 use gaugenn_analysis::dedup::{layer_checksums, model_checksum};
@@ -9,9 +10,11 @@ use gaugenn_analysis::etl::{doc, Index};
 use gaugenn_analysis::optim::{inspect, ModelOptim};
 use gaugenn_dnn::trace::{trace_graph, TraceReport};
 use gaugenn_modelfmt::Framework;
+use gaugenn_playstore::admission::{AdmissionConfig, AdmissionStats};
 use gaugenn_playstore::chaos::{FaultPlan, FaultPlanConfig};
 use gaugenn_playstore::corpus::{generate, CorpusScale, Snapshot};
-use gaugenn_playstore::crawler::{Crawler, CrawlerConfig, DropOut, RetryPolicy};
+use gaugenn_playstore::crawler::{CrawlStage, CrawlStats, Crawler, CrawlerConfig, DropOut, RetryPolicy};
+use gaugenn_playstore::pool::{CrawlPool, CrawlPoolConfig};
 use gaugenn_playstore::server::StoreServer;
 use std::collections::BTreeMap;
 
@@ -28,6 +31,13 @@ pub struct PipelineConfig {
     pub crawler: CrawlerConfig,
     /// Retry/backoff policy for every store request.
     pub retry: RetryPolicy,
+    /// Crawl worker threads. 1 (the default) crawls sequentially; more
+    /// run a sharded [`CrawlPool`] whose merged corpus is byte-identical
+    /// to the sequential crawl at any worker count.
+    pub workers: usize,
+    /// Store-wide admission control (rate limit + circuit breaker) the
+    /// crawl fleet shares when `workers > 1`.
+    pub admission: AdmissionConfig,
     /// Run the store under a seeded fault plan (None = clean store).
     /// Transient faults are absorbed by the crawler's retries; permanent
     /// routes surface as download drop-outs in the Table 2 accounting.
@@ -61,6 +71,8 @@ impl PipelineConfig {
             seed,
             crawler: CrawlerConfig::default(),
             retry: RetryPolicy::default(),
+            workers: 1,
+            admission: AdmissionConfig::default(),
             chaos: None,
             probe_device_profiles: true,
         }
@@ -165,6 +177,13 @@ pub struct PipelineReport {
     pub composition: LayerComposition,
     /// Per-app download failures with their failing stage.
     pub dropouts: Vec<DropOut>,
+    /// Crawl resilience counters (merged across workers when pooled).
+    pub crawl_stats: CrawlStats,
+    /// Fleet-wide admission counters (None for sequential crawls, which
+    /// run without an admission controller).
+    pub admission: Option<AdmissionStats>,
+    /// Crawl workers used.
+    pub workers: usize,
 }
 
 impl PipelineReport {
@@ -182,6 +201,45 @@ impl PipelineReport {
             }
         }
         out
+    }
+
+    /// Per-stage drop-out breakdown — the crawl half of the Table 2
+    /// accounting: how many apps (or listings) were lost at each crawl
+    /// stage, with an example package for triage.
+    pub fn dropout_breakdown(&self) -> TextTable {
+        let mut t = TextTable::new(["crawl stage", "drop-outs", "example"]);
+        for stage in CrawlStage::ALL {
+            let mut of_stage = self.dropouts.iter().filter(|d| d.stage == stage);
+            let example = of_stage
+                .next()
+                .map_or(String::new(), |d| d.package.clone());
+            let count = self.dropouts.iter().filter(|d| d.stage == stage).count();
+            t.row([stage.name().to_string(), count.to_string(), example]);
+        }
+        t.row([
+            "total".to_string(),
+            self.dropouts.len().to_string(),
+            String::new(),
+        ]);
+        t
+    }
+
+    /// One-line crawl resilience summary (pool stats included when the
+    /// crawl ran sharded).
+    pub fn crawl_summary(&self) -> String {
+        let s = &self.crawl_stats;
+        let mut line = format!(
+            "crawl: {} worker(s), {} requests, {} retries, {} reconnects, \
+             {} range resumes, {} ms logical backoff",
+            self.workers, s.requests, s.retries, s.reconnects, s.range_resumes, s.backoff_ms_total
+        );
+        if let Some(a) = &self.admission {
+            line.push_str(&format!(
+                "; admission: {} admitted, {} throttled ({} ms), {} rejected, breaker opened {}x",
+                a.admitted, a.throttled, a.throttle_ms_total, a.rejections, a.breaker_opens
+            ));
+        }
+        line
     }
 
     /// Instance count per (category, framework) for Fig. 4.
@@ -214,9 +272,22 @@ impl Pipeline {
             Some(cfg) => StoreServer::start_with_chaos(corpus, FaultPlan::new(cfg.clone()))?,
             None => StoreServer::start(corpus)?,
         };
-        let mut crawler = Crawler::connect(server.addr(), self.config.crawler.clone())?
-            .with_retry(self.config.retry.clone());
-        let outcome = crawler.crawl_all()?;
+        let (outcome, admission, workers) = if self.config.workers > 1 {
+            let pooled = CrawlPool::new(CrawlPoolConfig {
+                workers: self.config.workers,
+                crawler: self.config.crawler.clone(),
+                retry: self.config.retry.clone(),
+                admission: self.config.admission.clone(),
+            })
+            .crawl(server.addr())?;
+            (pooled.outcome, Some(pooled.admission), pooled.workers)
+        } else {
+            let mut crawler = Crawler::builder(server.addr())
+                .config(self.config.crawler.clone())
+                .retry(self.config.retry.clone())
+                .build()?;
+            (crawler.crawl_all()?, None, 1)
+        };
         let crawled = &outcome.apps;
 
         // §4.2 probe: re-download a sample of ML-app APKs with a
@@ -225,8 +296,13 @@ impl Pipeline {
             let mut old_cfg = self.config.crawler.clone();
             old_cfg.device_profile = "SM-G935F".into(); // Galaxy S7 edge
             old_cfg.user_agent = "gaugeNN/1.0 (Android 8; SM-G935F)".into();
-            let mut old_crawler = Crawler::connect(server.addr(), old_cfg)?
-                .with_retry(self.config.retry.clone());
+            // A distinct connection id keeps the probe's chaos fault
+            // schedule independent of the crawl fleet's.
+            let mut old_crawler = Crawler::builder(server.addr())
+                .config(old_cfg)
+                .retry(self.config.retry.clone())
+                .connection_id(u64::MAX)
+                .build()?;
             let mut invariant = true;
             for app in crawled.iter().take(20) {
                 let again = old_crawler.download_apk(&app.meta.package)?;
@@ -359,6 +435,9 @@ impl Pipeline {
             index,
             composition,
             dropouts: outcome.dropouts,
+            crawl_stats: outcome.stats,
+            admission,
+            workers,
         })
     }
 }
@@ -425,6 +504,26 @@ mod tests {
             r.dropouts[0].stage,
             gaugenn_playstore::crawler::CrawlStage::Apk
         );
+    }
+
+    #[test]
+    fn pooled_pipeline_matches_sequential() {
+        let sequential = run_tiny();
+        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
+        cfg.workers = 4;
+        let pooled = Pipeline::new(cfg).run().unwrap();
+        assert_eq!(pooled.workers, 4);
+        assert_eq!(pooled.dataset, sequential.dataset);
+        let sums_p: Vec<&str> = pooled.models.iter().map(|m| m.checksum.as_str()).collect();
+        let sums_s: Vec<&str> = sequential
+            .models
+            .iter()
+            .map(|m| m.checksum.as_str())
+            .collect();
+        assert_eq!(sums_p, sums_s, "same models in the same order");
+        let adm = pooled.admission.expect("pooled runs carry admission stats");
+        assert_eq!(adm.admitted, pooled.crawl_stats.requests);
+        assert!(sequential.admission.is_none());
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! than aborting the sweep. To make that resilience *testable*, this
 //! module gives [`crate::server::StoreServer`] a seeded [`FaultPlan`] it
 //! consults once per request. The plan decides, purely from
-//! `(seed, path, per-path attempt number)`, whether to serve the request
-//! cleanly or to inject one of five fault kinds:
+//! `(seed ⊕ connection id, route, per-(connection, route) attempt
+//! number)`, whether to serve the request cleanly or to inject one of
+//! five fault kinds:
 //!
 //! * connection reset (close before any byte of the response),
 //! * truncated response (a prefix of the frame, then close),
@@ -14,11 +15,16 @@
 //! * transient `429`/`503` status,
 //! * corrupted payload bytes (detected by the integrity checksum).
 //!
-//! Because the schedule is a pure function of the request sequence, two
-//! crawls of the same store with the same seeds observe byte-identical
-//! faults and produce byte-identical results — the repo's determinism
-//! guarantee (DESIGN.md §6) extends to its failures.
+//! Because schedules are keyed per connection (the crawler announces its
+//! id in the `x-connection-id` header), each crawler's fault sequence is
+//! a pure function of its own request order, not of how the kernel
+//! happens to interleave threads: an 8-worker chaos crawl with a fixed
+//! seed observes byte-identical faults on every run — the repo's
+//! determinism guarantee (DESIGN.md §6) extends to its failures, even
+//! concurrent ones. (PR 1 keyed attempts globally per route, so
+//! concurrent crawlers stole each other's fault budget; see ROADMAP.)
 
+use crate::route::Route;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -105,9 +111,10 @@ pub struct FaultPlanConfig {
     pub fault_permille: u32,
     /// Enabled fault kinds (empty disables injection entirely).
     pub kinds: Vec<FaultKind>,
-    /// Ceiling on injected faults per route: after this many faulted
-    /// attempts a route is served cleanly, so every fault is *transient*
-    /// and a crawler with enough retry budget recovers 100 % of apps.
+    /// Ceiling on injected faults per `(connection, route)` pair: after
+    /// this many faulted attempts a route is served cleanly to that
+    /// connection, so every fault is *transient* and a crawler with
+    /// enough retry budget recovers 100 % of apps.
     pub max_faults_per_route: u32,
     /// Stall duration for [`FaultKind::Stall`].
     pub stall_ms: u64,
@@ -119,7 +126,7 @@ pub struct FaultPlanConfig {
 impl Default for FaultPlanConfig {
     fn default() -> Self {
         FaultPlanConfig {
-            seed: 0xC4A0_5,
+            seed: 0xC4A05,
             fault_permille: 250,
             kinds: FaultKind::ALL.to_vec(),
             max_faults_per_route: 2,
@@ -129,12 +136,13 @@ impl Default for FaultPlanConfig {
     }
 }
 
-/// A seeded, route-aware fault schedule.
+/// A seeded, route-aware fault schedule with per-connection attempt
+/// counters.
 ///
-/// Thread-safe: the per-route attempt counters live behind a mutex so a
-/// chaos-wrapped server can still serve concurrent connections, but the
-/// determinism guarantee only covers a *sequential* request stream (one
-/// crawler), where the attempt numbering is reproducible.
+/// Thread-safe, and deterministic even under concurrency: attempts are
+/// keyed by `(connection id, route)`, so every crawler connection draws
+/// from its own schedule (seeded `base_seed ⊕ mix(connection_id)`) in its
+/// own request order, no matter how server threads interleave.
 #[derive(Debug)]
 pub struct FaultPlan {
     cfg: FaultPlanConfig,
@@ -143,7 +151,7 @@ pub struct FaultPlan {
 
 #[derive(Debug, Default)]
 struct PlanState {
-    attempts: HashMap<String, u32>,
+    attempts: HashMap<(u64, String), u32>,
     requests: u64,
     injected: u64,
 }
@@ -173,23 +181,27 @@ impl FaultPlan {
     }
 
     /// Decide the fate of one request. Deterministic in
-    /// `(seed, path, attempt#)`, where the attempt number counts prior
-    /// requests to the same path.
-    pub fn decide(&self, path: &str) -> FaultAction {
+    /// `(seed ⊕ mix(connection), route, attempt#)`, where the attempt
+    /// number counts prior requests *from the same connection* to the
+    /// same route (query strings ignored, so every page of a category and
+    /// every range-resumed retry of an APK share one schedule).
+    pub fn decide(&self, connection_id: u64, route: &Route) -> FaultAction {
+        let key = route.fault_key();
         let mut st = self.state.lock();
         st.requests += 1;
         let attempt = {
-            let a = st.attempts.entry(path.to_string()).or_insert(0);
+            let a = st.attempts.entry((connection_id, key.clone())).or_insert(0);
             let n = *a;
             *a += 1;
             n
         };
-        let h = splitmix64(self.cfg.seed ^ hash_str(path) ^ (attempt as u64).wrapping_mul(0xA5A5));
+        let conn_seed = self.cfg.seed ^ splitmix64(connection_id);
+        let h = splitmix64(conn_seed ^ hash_str(&key) ^ (attempt as u64).wrapping_mul(0xA5A5));
         if self
             .cfg
             .permanent_routes
             .iter()
-            .any(|r| path.contains(r.as_str()))
+            .any(|r| key.contains(r.as_str()))
         {
             st.injected += 1;
             return self.action_for(h);
@@ -235,6 +247,18 @@ mod tests {
         FaultPlan::new(cfg)
     }
 
+    fn apk(pkg: &str) -> Route {
+        Route::Apk {
+            package: pkg.into(),
+        }
+    }
+
+    fn app(pkg: &str) -> Route {
+        Route::App {
+            package: pkg.into(),
+        }
+    }
+
     #[test]
     fn schedule_is_deterministic() {
         let cfg = FaultPlanConfig {
@@ -243,11 +267,46 @@ mod tests {
         };
         let a = plan(cfg.clone());
         let b = plan(cfg);
-        for path in ["/categories", "/app/com.x", "/apk/com.x", "/app/com.x"] {
-            assert_eq!(a.decide(path), b.decide(path), "{path}");
+        for route in [Route::Categories, app("com.x"), apk("com.x"), app("com.x")] {
+            assert_eq!(a.decide(0, &route), b.decide(0, &route), "{route}");
         }
         assert_eq!(a.injected(), b.injected());
         assert_eq!(a.requests_seen(), 4);
+    }
+
+    #[test]
+    fn connections_draw_independent_schedules() {
+        // Same route, same attempt number, different connections: the
+        // draws come from different streams (seed ⊕ connection), so over
+        // many connections the actions differ.
+        let p = plan(FaultPlanConfig {
+            fault_permille: 500,
+            ..FaultPlanConfig::default()
+        });
+        let actions: Vec<FaultAction> =
+            (0..32).map(|conn| p.decide(conn, &apk("com.x"))).collect();
+        let distinct: std::collections::BTreeSet<String> =
+            actions.iter().map(|a| format!("{a:?}")).collect();
+        assert!(distinct.len() > 1, "schedules must vary by connection");
+    }
+
+    #[test]
+    fn connection_attempts_are_counted_separately() {
+        // One connection exhausting its fault budget must not eat into
+        // another's — the PR 1 bug this redesign removes.
+        let p = plan(FaultPlanConfig {
+            fault_permille: 1000,
+            max_faults_per_route: 2,
+            ..FaultPlanConfig::default()
+        });
+        for _ in 0..2 {
+            assert_ne!(p.decide(1, &apk("com.a")), FaultAction::None);
+        }
+        assert_eq!(p.decide(1, &apk("com.a")), FaultAction::None);
+        // Connection 2 still gets its own two faults on the same route.
+        assert_ne!(p.decide(2, &apk("com.a")), FaultAction::None);
+        assert_ne!(p.decide(2, &apk("com.a")), FaultAction::None);
+        assert_eq!(p.decide(2, &apk("com.a")), FaultAction::None);
     }
 
     #[test]
@@ -257,14 +316,33 @@ mod tests {
             max_faults_per_route: 2,
             ..FaultPlanConfig::default()
         });
-        let first = p.decide("/apk/com.a");
-        let second = p.decide("/apk/com.a");
+        let first = p.decide(0, &apk("com.a"));
+        let second = p.decide(0, &apk("com.a"));
         assert_ne!(first, FaultAction::None);
         assert_ne!(second, FaultAction::None);
         // Attempts beyond the ceiling are always served cleanly.
         for _ in 0..5 {
-            assert_eq!(p.decide("/apk/com.a"), FaultAction::None);
+            assert_eq!(p.decide(0, &apk("com.a")), FaultAction::None);
         }
+    }
+
+    #[test]
+    fn pages_share_one_schedule() {
+        // Query strings are ignored in the schedule key: pages of one
+        // category consume one fault budget, not one per page.
+        let p = plan(FaultPlanConfig {
+            fault_permille: 1000,
+            max_faults_per_route: 1,
+            ..FaultPlanConfig::default()
+        });
+        let page = |start| Route::Category {
+            name: "games".into(),
+            start,
+            count: 2,
+        };
+        assert_ne!(p.decide(0, &page(0)), FaultAction::None);
+        assert_eq!(p.decide(0, &page(2)), FaultAction::None);
+        assert_eq!(p.decide(0, &page(4)), FaultAction::None);
     }
 
     #[test]
@@ -274,10 +352,12 @@ mod tests {
             permanent_routes: vec!["/apk/com.doomed".into()],
             ..FaultPlanConfig::default()
         });
-        for _ in 0..10 {
-            assert_ne!(p.decide("/apk/com.doomed"), FaultAction::None);
+        for conn in 0..2 {
+            for _ in 0..5 {
+                assert_ne!(p.decide(conn, &apk("com.doomed")), FaultAction::None);
+            }
         }
-        assert_eq!(p.decide("/apk/com.fine"), FaultAction::None);
+        assert_eq!(p.decide(0, &apk("com.fine")), FaultAction::None);
         assert_eq!(p.injected(), 10);
     }
 
@@ -288,7 +368,7 @@ mod tests {
             ..FaultPlanConfig::default()
         });
         for i in 0..100 {
-            assert_eq!(p.decide(&format!("/app/com.pkg{i}")), FaultAction::None);
+            assert_eq!(p.decide(0, &app(&format!("com.pkg{i}"))), FaultAction::None);
         }
         assert_eq!(p.injected(), 0);
     }
@@ -302,7 +382,7 @@ mod tests {
         });
         let mut faulted = 0;
         for i in 0..1000 {
-            if p.decide(&format!("/app/com.pkg{i}")) != FaultAction::None {
+            if p.decide(0, &app(&format!("com.pkg{i}"))) != FaultAction::None {
                 faulted += 1;
             }
         }
@@ -317,7 +397,7 @@ mod tests {
             ..FaultPlanConfig::default()
         });
         for i in 0..50 {
-            match p.decide(&format!("/apk/com.t{i}")) {
+            match p.decide(0, &apk(&format!("com.t{i}"))) {
                 FaultAction::Truncate { keep_permille } => {
                     assert!((100..1000).contains(&keep_permille))
                 }
@@ -334,7 +414,7 @@ mod tests {
             ..FaultPlanConfig::default()
         });
         for i in 0..50 {
-            match p.decide(&format!("/apk/com.c{i}")) {
+            match p.decide(0, &apk(&format!("com.c{i}"))) {
                 FaultAction::Corrupt { xor } => assert_ne!(xor, 0),
                 other => panic!("expected corrupt, got {other:?}"),
             }

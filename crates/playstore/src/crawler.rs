@@ -7,14 +7,26 @@
 //! Bundles".
 //!
 //! The crawler is built to survive a hostile store: every request runs
-//! under a [`RetryPolicy`] (exponential backoff, deterministic jitter),
-//! the keep-alive stream is invalidated and re-dialled after any IO or
-//! framing error (a desynced `BufReader` must never feed stale bytes into
-//! the next response), payloads are verified against the server's
-//! integrity checksum, and a full [`Crawler::crawl_all`] sweep returns a
-//! [`CrawlOutcome`] that records permanently-failing apps as structured
-//! drop-outs — the paper's Table 2 accounting — instead of aborting the
-//! sweep on the first bad app.
+//! under a [`RetryPolicy`] (exponential backoff, deterministic jitter
+//! keyed on `(connection, route, retry)`), the keep-alive stream is
+//! invalidated and re-dialled after any IO or framing error (a desynced
+//! `BufReader` must never feed stale bytes into the next response),
+//! payloads are verified against the server's integrity checksum, and a
+//! full [`Crawler::crawl_all`] sweep returns a [`CrawlOutcome`] that
+//! records permanently-failing apps as structured drop-outs — the
+//! paper's Table 2 accounting — instead of aborting the sweep on the
+//! first bad app.
+//!
+//! Large downloads survive truncation without starting over: a cut
+//! mid-body keeps the received prefix and the retry asks for the
+//! remainder with a range header, validating the stitched result against
+//! the server's full-body checksum (see [`crate::proto`]).
+//!
+//! Crawlers are constructed through [`Crawler::builder`]; when several
+//! crawl the same store concurrently (see [`crate::pool::CrawlPool`]),
+//! give each a distinct [`CrawlerBuilder::connection_id`] and a clone of
+//! one shared [`AdmissionController`] so the fleet respects one
+//! store-wide rate limit and circuit breaker.
 //!
 //! Backoff delays run on a logical clock by default: they are *recorded*
 //! in [`CrawlStats`] but not slept, preserving the repo's bit-for-bit
@@ -22,13 +34,19 @@
 //! Set [`RetryPolicy::real_sleep`] for wall-clock pacing against a real
 //! endpoint.
 
+use crate::admission::{Admission, AdmissionController};
 use crate::chaos::{hash_str, splitmix64};
-use crate::proto::{read_response, write_request, Response, CRC_HEADER};
+use crate::proto::{
+    read_response_resumable, write_request, ReadOutcome, Response, CONNECTION_ID_HEADER,
+    CRC_HEADER, FULL_CRC_HEADER, RANGE_START_HEADER,
+};
+use crate::route::Route;
 use crate::{Result, StoreError};
 use gaugenn_apk::crc32::crc32;
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Crawler identity headers (§3.1/§4.1: a UK account on a Galaxy S10).
@@ -56,7 +74,8 @@ impl Default for CrawlerConfig {
 }
 
 /// Retry policy for store requests: bounded attempts with exponential
-/// backoff and deterministic (seeded) jitter keyed on the request path.
+/// backoff and deterministic (seeded) jitter keyed on the connection id
+/// and the request route.
 #[derive(Debug, Clone)]
 pub struct RetryPolicy {
     /// Total attempts per request (first try included). Must be ≥ 1.
@@ -86,16 +105,21 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
-    /// Backoff before retry number `retry` (1-based) of `path`:
-    /// `min(max, base·2^(retry-1))`, half fixed and half jittered by a
-    /// splitmix64 draw on `(seed, path, retry)`.
-    pub fn backoff_ms(&self, path: &str, retry: u32) -> u64 {
+    /// Backoff before retry number `retry` (1-based) of `route_key` on
+    /// connection `connection_id`: `min(max, base·2^(retry-1))`, half
+    /// fixed and half jittered by a splitmix64 draw on
+    /// `(seed, connection, route, retry)`. Folding the connection id in
+    /// keeps two workers that retry the same package from colliding on
+    /// identical backoff sequences.
+    pub fn backoff_ms(&self, connection_id: u64, route_key: &str, retry: u32) -> u64 {
         let exp = self
             .base_backoff_ms
             .saturating_mul(1u64 << (retry.saturating_sub(1)).min(10))
             .min(self.max_backoff_ms);
         let half = exp / 2;
-        let h = splitmix64(self.jitter_seed ^ hash_str(path) ^ retry as u64);
+        let h = splitmix64(
+            self.jitter_seed ^ splitmix64(connection_id) ^ hash_str(route_key) ^ retry as u64,
+        );
         half + h % (half + 1)
     }
 }
@@ -111,10 +135,33 @@ pub struct CrawlStats {
     pub reconnects: u64,
     /// Total backoff accounted on the logical clock, milliseconds.
     pub backoff_ms_total: u64,
+    /// Truncated downloads completed by a range-request resume instead
+    /// of a from-scratch refetch.
+    pub range_resumes: u64,
+    /// Requests that paid an admission-controller pacing charge.
+    pub throttled: u64,
+    /// Total pacing charge accounted on the logical clock, milliseconds.
+    pub throttle_ms_total: u64,
+    /// Attempts rejected outright by an open circuit breaker.
+    pub breaker_rejections: u64,
+}
+
+impl CrawlStats {
+    /// Fold another counter set into this one (pool merging).
+    pub fn merge(&mut self, other: &CrawlStats) {
+        self.requests += other.requests;
+        self.retries += other.retries;
+        self.reconnects += other.reconnects;
+        self.backoff_ms_total += other.backoff_ms_total;
+        self.range_resumes += other.range_resumes;
+        self.throttled += other.throttled;
+        self.throttle_ms_total += other.throttle_ms_total;
+        self.breaker_rejections += other.breaker_rejections;
+    }
 }
 
 /// The crawl stage at which an app dropped out (paper Fig. 1 stages).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum CrawlStage {
     /// Category listing fetch.
     Listing,
@@ -129,6 +176,15 @@ pub enum CrawlStage {
 }
 
 impl CrawlStage {
+    /// Every stage, in pipeline order (for breakdown tables).
+    pub const ALL: [CrawlStage; 5] = [
+        CrawlStage::Listing,
+        CrawlStage::Meta,
+        CrawlStage::Apk,
+        CrawlStage::Obb,
+        CrawlStage::Bundle,
+    ];
+
     /// Stable label for reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -155,7 +211,7 @@ pub struct DropOut {
 
 /// Everything a full store sweep produced: the corpus plus the drop-out
 /// ledger and the resilience counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrawlOutcome {
     /// Successfully downloaded apps.
     pub apps: Vec<CrawledApp>,
@@ -187,7 +243,7 @@ pub struct AppMeta {
 }
 
 /// Everything downloaded for one app.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrawledApp {
     /// Parsed metadata.
     pub meta: AppMeta,
@@ -205,6 +261,103 @@ struct Conn {
     writer: TcpStream,
 }
 
+/// Configures and dials a [`Crawler`]. Obtained from
+/// [`Crawler::builder`]; every knob has a sensible default.
+///
+/// ```no_run
+/// # use gaugenn_playstore::crawler::{Crawler, RetryPolicy};
+/// # fn demo(addr: std::net::SocketAddr) -> gaugenn_playstore::Result<()> {
+/// let crawler = Crawler::builder(addr)
+///     .retry(RetryPolicy { max_attempts: 6, ..RetryPolicy::default() })
+///     .timeouts(std::time::Duration::from_secs(1), std::time::Duration::from_secs(3))
+///     .connection_id(3)
+///     .build()?;
+/// # let _ = crawler; Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrawlerBuilder {
+    addr: SocketAddr,
+    config: CrawlerConfig,
+    retry: RetryPolicy,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+    connection_id: u64,
+    admission: Option<Arc<AdmissionController>>,
+}
+
+impl CrawlerBuilder {
+    fn new(addr: SocketAddr) -> CrawlerBuilder {
+        CrawlerBuilder {
+            addr,
+            config: CrawlerConfig::default(),
+            retry: RetryPolicy::default(),
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(2),
+            connection_id: 0,
+            admission: None,
+        }
+    }
+
+    /// Identity headers and page size.
+    pub fn config(mut self, config: CrawlerConfig) -> CrawlerBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Retry/backoff policy for every store request.
+    pub fn retry(mut self, retry: RetryPolicy) -> CrawlerBuilder {
+        self.retry = retry;
+        self
+    }
+
+    /// Connect and read timeouts.
+    pub fn timeouts(mut self, connect: Duration, read: Duration) -> CrawlerBuilder {
+        self.connect_timeout = connect;
+        self.read_timeout = read;
+        self
+    }
+
+    /// Connection id: announced to the server on every request, folded
+    /// into the backoff jitter, and the key of this connection's chaos
+    /// fault schedule. Pool workers get distinct ids; the default is 0.
+    pub fn connection_id(mut self, id: u64) -> CrawlerBuilder {
+        self.connection_id = id;
+        self
+    }
+
+    /// Seed for the retry-jitter draws (shorthand for setting
+    /// [`RetryPolicy::jitter_seed`]).
+    pub fn jitter_seed(mut self, seed: u64) -> CrawlerBuilder {
+        self.retry.jitter_seed = seed;
+        self
+    }
+
+    /// Store-wide admission controller (rate limit + circuit breaker)
+    /// shared with the other workers of a pool.
+    pub fn admission(mut self, controller: Arc<AdmissionController>) -> CrawlerBuilder {
+        self.admission = Some(controller);
+        self
+    }
+
+    /// Dial the store and hand back a ready crawler.
+    pub fn build(self) -> Result<Crawler> {
+        let mut c = Crawler {
+            config: self.config,
+            retry: self.retry,
+            addr: self.addr,
+            connect_timeout: self.connect_timeout,
+            read_timeout: self.read_timeout,
+            connection_id: self.connection_id,
+            admission: self.admission,
+            conn: None,
+            stats: CrawlStats::default(),
+        };
+        c.dial()?;
+        Ok(c)
+    }
+}
+
 /// The crawler: a keep-alive connection to the store that re-dials and
 /// retries its way through transient failures.
 pub struct Crawler {
@@ -213,33 +366,33 @@ pub struct Crawler {
     addr: SocketAddr,
     connect_timeout: Duration,
     read_timeout: Duration,
+    connection_id: u64,
+    admission: Option<Arc<AdmissionController>>,
     conn: Option<Conn>,
     stats: CrawlStats,
 }
 
 impl Crawler {
-    /// Connect to a store server with the default [`RetryPolicy`].
-    pub fn connect(addr: SocketAddr, config: CrawlerConfig) -> Result<Crawler> {
-        let mut c = Crawler {
-            config,
-            retry: RetryPolicy::default(),
-            addr,
-            connect_timeout: Duration::from_secs(2),
-            read_timeout: Duration::from_secs(2),
-            conn: None,
-            stats: CrawlStats::default(),
-        };
-        c.dial()?;
-        Ok(c)
+    /// Start configuring a crawler for the store at `addr`.
+    pub fn builder(addr: SocketAddr) -> CrawlerBuilder {
+        CrawlerBuilder::new(addr)
     }
 
-    /// Replace the retry policy (builder-style).
+    /// Connect to a store server with the default [`RetryPolicy`].
+    #[deprecated(note = "use Crawler::builder(addr).config(config).build()")]
+    pub fn connect(addr: SocketAddr, config: CrawlerConfig) -> Result<Crawler> {
+        Crawler::builder(addr).config(config).build()
+    }
+
+    /// Replace the retry policy.
+    #[deprecated(note = "use CrawlerBuilder::retry before build()")]
     pub fn with_retry(mut self, retry: RetryPolicy) -> Crawler {
         self.retry = retry;
         self
     }
 
-    /// Replace the connect/read timeouts (builder-style).
+    /// Replace the connect/read timeouts.
+    #[deprecated(note = "use CrawlerBuilder::timeouts before build()")]
     pub fn with_timeouts(mut self, connect: Duration, read: Duration) -> Crawler {
         self.connect_timeout = connect;
         self.read_timeout = read;
@@ -253,6 +406,11 @@ impl Crawler {
     /// Resilience counters so far.
     pub fn stats(&self) -> &CrawlStats {
         &self.stats
+    }
+
+    /// This crawler's connection id.
+    pub fn connection_id(&self) -> u64 {
+        self.connection_id
     }
 
     fn dial(&mut self) -> Result<()> {
@@ -278,8 +436,9 @@ impl Crawler {
         self.conn = None;
     }
 
-    /// One raw request/response exchange on the current stream.
-    fn exchange(&mut self, path: &str) -> Result<Response> {
+    /// One raw request/response exchange on the current stream. With
+    /// `range_start`, asks the server to serve the body from that offset.
+    fn exchange(&mut self, wire_path: &str, range_start: Option<usize>) -> Result<ReadOutcome> {
         if self.conn.is_none() {
             self.dial()?;
             // A fresh dial replaces a previously-invalidated stream; the
@@ -287,59 +446,156 @@ impl Crawler {
             // existed before, so count invalidated re-dials here.
             self.stats.reconnects += 1;
         }
-        let headers = [
+        let conn_id = self.connection_id.to_string();
+        let range = range_start.map(|n| n.to_string());
+        let mut headers: Vec<(&str, &str)> = vec![
             ("User-Agent", self.config.user_agent.as_str()),
             ("X-Locale", self.config.locale.as_str()),
             ("X-Device-Profile", self.config.device_profile.as_str()),
+            (CONNECTION_ID_HEADER, conn_id.as_str()),
         ];
+        if let Some(r) = &range {
+            headers.push((RANGE_START_HEADER, r.as_str()));
+        }
         let conn = self.conn.as_mut().expect("dialled above");
-        write_request(&mut conn.writer, path, &headers)?;
-        let resp = read_response(&mut conn.reader)?;
-        // Verify the integrity header when the server supplies one.
-        if let Some(want) = resp
-            .headers
-            .iter()
-            .find(|(k, _)| k == CRC_HEADER)
-            .map(|(_, v)| v.clone())
-        {
-            let got = format!("{:08x}", crc32(&resp.body));
-            if got != want {
-                return Err(StoreError::Integrity { path: path.into() });
+        write_request(&mut conn.writer, wire_path, &headers)?;
+        let outcome = read_response_resumable(&mut conn.reader)?;
+        // Verify the integrity header when the server supplies one (it
+        // covers exactly the bytes served, a range suffix included).
+        if let ReadOutcome::Complete(resp) = &outcome {
+            if let Some(want) = resp
+                .headers
+                .iter()
+                .find(|(k, _)| k == CRC_HEADER)
+                .map(|(_, v)| v.clone())
+            {
+                let got = format!("{:08x}", crc32(&resp.body));
+                if got != want {
+                    return Err(StoreError::Integrity {
+                        path: wire_path.into(),
+                    });
+                }
             }
         }
-        Ok(resp)
+        Ok(outcome)
     }
 
     /// Issue one request with retries; only a 200 comes back `Ok`.
-    fn request(&mut self, path: &str) -> Result<Response> {
+    fn request(&mut self, route: &Route) -> Result<Response> {
+        self.request_inner(route, false)
+    }
+
+    /// Like [`Crawler::request`] but keeping truncated body prefixes and
+    /// resuming them with range requests — for the large binary payloads
+    /// (APKs, OBBs, bundles).
+    fn request_resumable(&mut self, route: &Route) -> Result<Response> {
+        self.request_inner(route, true)
+    }
+
+    fn request_inner(&mut self, route: &Route, resumable: bool) -> Result<Response> {
+        let key = route.fault_key();
+        let wire = route.wire_path();
+        let mut prefix: Vec<u8> = Vec::new();
         let mut last: Option<StoreError> = None;
-        for attempt in 1..=self.retry.max_attempts.max(1) {
+        let max = self.retry.max_attempts.max(1);
+        for attempt in 1..=max {
             if attempt > 1 {
                 self.stats.retries += 1;
-                let delay = self.retry.backoff_ms(path, attempt - 1);
+                let delay = self.retry.backoff_ms(self.connection_id, &key, attempt - 1);
                 self.stats.backoff_ms_total += delay;
                 if self.retry.real_sleep {
                     std::thread::sleep(Duration::from_millis(delay));
                 }
             }
-            self.stats.requests += 1;
-            let err = match self.exchange(path) {
-                Ok(resp) if resp.status == 200 => return Ok(resp),
-                Ok(resp) if resp.status == 429 || (500..=599).contains(&resp.status) => {
-                    // The frame itself was well-formed, so the stream is
-                    // still in sync: keep the connection for the retry.
-                    StoreError::Transient {
-                        status: resp.status,
-                        path: path.into(),
+            // Store-wide admission: pay the pacing charge, or fail fast
+            // (consuming this attempt) while the breaker is open.
+            if let Some(ctrl) = &self.admission {
+                match ctrl.admit() {
+                    Admission::Granted { throttle_ms } => {
+                        if throttle_ms > 0 {
+                            self.stats.throttled += 1;
+                            self.stats.throttle_ms_total += throttle_ms;
+                            if self.retry.real_sleep {
+                                std::thread::sleep(Duration::from_millis(throttle_ms));
+                            }
+                        }
+                    }
+                    Admission::Rejected { retry_after_ms } => {
+                        self.stats.breaker_rejections += 1;
+                        self.stats.backoff_ms_total += retry_after_ms;
+                        if self.retry.real_sleep {
+                            std::thread::sleep(Duration::from_millis(retry_after_ms));
+                        }
+                        last = Some(StoreError::CircuitOpen { path: key.clone() });
+                        continue;
                     }
                 }
-                Ok(resp) => {
+            }
+            self.stats.requests += 1;
+            let range_start = if prefix.is_empty() {
+                None
+            } else {
+                Some(prefix.len())
+            };
+            let err = match self.exchange(&wire, range_start) {
+                Ok(ReadOutcome::Complete(resp)) if resp.status == 200 => {
+                    if let Some(ctrl) = &self.admission {
+                        ctrl.report_success();
+                    }
+                    match self.finish_body(resp, &mut prefix, &wire, range_start) {
+                        Ok(resp) => return Ok(resp),
+                        // Stitched-body checksum mismatch: the prefix was
+                        // poisoned; retry from byte 0.
+                        Err(e) => e,
+                    }
+                }
+                Ok(ReadOutcome::Complete(resp))
+                    if resp.status == 429 || (500..=599).contains(&resp.status) =>
+                {
+                    if let Some(ctrl) = &self.admission {
+                        ctrl.report_transient();
+                    }
+                    // The frame itself was well-formed, so the stream is
+                    // still in sync: keep the connection (and any resume
+                    // prefix) for the retry.
+                    StoreError::Transient {
+                        status: resp.status,
+                        path: wire.clone(),
+                    }
+                }
+                Ok(ReadOutcome::Complete(resp)) => {
                     // Permanent status (404/400/…): not retriable.
                     return Err(StoreError::NotFound(format!(
-                        "{path} -> {} ({})",
+                        "{wire} -> {} ({})",
                         resp.status,
                         resp.text()
                     )));
+                }
+                Ok(ReadOutcome::Truncated {
+                    status,
+                    headers,
+                    received,
+                    expected_len,
+                }) => {
+                    // Mid-body cut: the stream is desynced either way.
+                    self.invalidate();
+                    if resumable && status == 200 && !received.is_empty() {
+                        let echoed = headers.iter().any(|(k, v)| {
+                            k == RANGE_START_HEADER && v.parse::<usize>().ok() == range_start
+                        });
+                        if range_start.is_some() && echoed {
+                            // The suffix continues our prefix.
+                            prefix.extend_from_slice(&received);
+                        } else {
+                            // A fresh body from byte 0 (first attempt, or
+                            // the server declined the range).
+                            prefix = received;
+                        }
+                    }
+                    StoreError::Protocol(format!(
+                        "response truncated mid-body ({} of {expected_len} bytes held)",
+                        prefix.len()
+                    ))
                 }
                 Err(e) => {
                     // IO, framing or integrity failure: the stream can no
@@ -354,15 +610,56 @@ impl Crawler {
             last = Some(err);
         }
         Err(StoreError::RetriesExhausted {
-            path: path.into(),
-            attempts: self.retry.max_attempts.max(1),
+            path: wire,
+            attempts: max,
             last: last.map_or_else(|| "no error recorded".into(), |e| e.to_string()),
         })
     }
 
+    /// Complete a 200 response: when a resume prefix is outstanding,
+    /// stitch it to the served suffix and validate the whole body against
+    /// the server's full-body checksum.
+    fn finish_body(
+        &mut self,
+        mut resp: Response,
+        prefix: &mut Vec<u8>,
+        wire: &str,
+        range_start: Option<usize>,
+    ) -> Result<Response> {
+        if prefix.is_empty() {
+            return Ok(resp);
+        }
+        let echoed = resp
+            .headers
+            .iter()
+            .find(|(k, _)| k == RANGE_START_HEADER)
+            .and_then(|(_, v)| v.parse::<usize>().ok());
+        if echoed != range_start {
+            // The server served the whole body; the prefix is superseded.
+            prefix.clear();
+            return Ok(resp);
+        }
+        let want = resp
+            .headers
+            .iter()
+            .find(|(k, _)| k == FULL_CRC_HEADER)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| {
+                StoreError::Protocol(format!("{wire}: ranged response missing {FULL_CRC_HEADER}"))
+            })?;
+        let mut stitched = std::mem::take(prefix);
+        stitched.extend_from_slice(&resp.body);
+        if format!("{:08x}", crc32(&stitched)) != want {
+            return Err(StoreError::Integrity { path: wire.into() });
+        }
+        self.stats.range_resumes += 1;
+        resp.body = stitched;
+        Ok(resp)
+    }
+
     /// List all store categories.
     pub fn categories(&mut self) -> Result<Vec<String>> {
-        let resp = self.request("/categories")?;
+        let resp = self.request(&Route::Categories)?;
         Ok(resp
             .text()
             .lines()
@@ -377,12 +674,12 @@ impl Crawler {
         let mut out = Vec::new();
         let mut start = 0usize;
         loop {
-            let path = format!(
-                "/category/{}?start={start}&count={}",
-                crate::proto::encode_component(category),
-                self.config.page_size
-            );
-            let resp = self.request(&path)?;
+            let route = Route::Category {
+                name: category.to_string(),
+                start,
+                count: self.config.page_size,
+            };
+            let resp = self.request(&route)?;
             let page: Vec<String> = resp
                 .text()
                 .lines()
@@ -405,7 +702,9 @@ impl Crawler {
     /// Fetch and parse one app's metadata. Malformed numeric fields are a
     /// typed [`StoreError::Protocol`] — never silently coerced to zero.
     pub fn app_meta(&mut self, package: &str) -> Result<AppMeta> {
-        let resp = self.request(&format!("/app/{package}"))?;
+        let resp = self.request(&Route::App {
+            package: package.to_string(),
+        })?;
         let kv: BTreeMap<String, String> = resp
             .text()
             .lines()
@@ -437,9 +736,13 @@ impl Crawler {
         })
     }
 
-    /// Download the base APK.
+    /// Download the base APK (range-resuming truncated transfers).
     pub fn download_apk(&mut self, package: &str) -> Result<Vec<u8>> {
-        Ok(self.request(&format!("/apk/{package}"))?.body)
+        Ok(self
+            .request_resumable(&Route::Apk {
+                package: package.to_string(),
+            })?
+            .body)
     }
 
     /// Download everything for one app, honouring its OBB/bundle flags.
@@ -462,7 +765,9 @@ impl Crawler {
         let mut obbs = Vec::new();
         if meta.has_obb {
             let resp = self
-                .request(&format!("/obb/{package}"))
+                .request_resumable(&Route::Obb {
+                    package: package.to_string(),
+                })
                 .map_err(|e| (CrawlStage::Obb, e))?;
             let name = resp
                 .headers
@@ -474,9 +779,11 @@ impl Crawler {
         }
         let bundle = if meta.has_bundle {
             Some(
-                self.request(&format!("/bundle/{package}"))
-                    .map_err(|e| (CrawlStage::Bundle, e))?
-                    .body,
+                self.request_resumable(&Route::Bundle {
+                    package: package.to_string(),
+                })
+                .map_err(|e| (CrawlStage::Bundle, e))?
+                .body,
             )
         } else {
             None
@@ -489,6 +796,36 @@ impl Crawler {
         })
     }
 
+    /// Crawl one category end to end: the listing plus every listed app.
+    /// Failures become [`DropOut`] records, not errors — the building
+    /// block of both [`Crawler::crawl_all`] and the pool's shards.
+    pub fn crawl_category(&mut self, category: &str) -> (Vec<CrawledApp>, Vec<DropOut>) {
+        let mut apps = Vec::new();
+        let mut dropouts = Vec::new();
+        let pkgs = match self.list_category(category) {
+            Ok(p) => p,
+            Err(e) => {
+                dropouts.push(DropOut {
+                    package: format!("category:{category}"),
+                    stage: CrawlStage::Listing,
+                    error: e.to_string(),
+                });
+                return (apps, dropouts);
+            }
+        };
+        for pkg in pkgs {
+            match self.crawl_app_staged(&pkg) {
+                Ok(app) => apps.push(app),
+                Err((stage, e)) => dropouts.push(DropOut {
+                    package: pkg,
+                    stage,
+                    error: e.to_string(),
+                }),
+            }
+        }
+        (apps, dropouts)
+    }
+
     /// Full store sweep: every category, every listed app. Apps (and
     /// category listings) that keep failing after retries become
     /// [`DropOut`] records instead of aborting the sweep; only a failure
@@ -497,27 +834,9 @@ impl Crawler {
         let mut apps = Vec::new();
         let mut dropouts = Vec::new();
         for cat in self.categories()? {
-            let pkgs = match self.list_category(&cat) {
-                Ok(p) => p,
-                Err(e) => {
-                    dropouts.push(DropOut {
-                        package: format!("category:{cat}"),
-                        stage: CrawlStage::Listing,
-                        error: e.to_string(),
-                    });
-                    continue;
-                }
-            };
-            for pkg in pkgs {
-                match self.crawl_app_staged(&pkg) {
-                    Ok(app) => apps.push(app),
-                    Err((stage, e)) => dropouts.push(DropOut {
-                        package: pkg,
-                        stage,
-                        error: e.to_string(),
-                    }),
-                }
-            }
+            let (a, d) = self.crawl_category(&cat);
+            apps.extend(a);
+            dropouts.extend(d);
         }
         Ok(CrawlOutcome {
             apps,
@@ -538,10 +857,14 @@ mod tests {
         StoreServer::start(generate(CorpusScale::Tiny, Snapshot::Y2021, 7)).unwrap()
     }
 
+    fn crawler(server: &StoreServer) -> Crawler {
+        Crawler::builder(server.addr()).build().unwrap()
+    }
+
     #[test]
     fn full_crawl_covers_corpus() {
         let server = start_tiny();
-        let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
+        let mut crawler = crawler(&server);
         let outcome = crawler.crawl_all().unwrap();
         assert_eq!(outcome.apps.len(), 52, "tiny 2021 corpus is 52 apps");
         assert!(outcome.dropouts.is_empty(), "{:?}", outcome.dropouts);
@@ -560,7 +883,7 @@ mod tests {
             page_size: 2, // force multiple pages
             ..CrawlerConfig::default()
         };
-        let mut crawler = Crawler::connect(server.addr(), cfg).unwrap();
+        let mut crawler = Crawler::builder(server.addr()).config(cfg).build().unwrap();
         let cats = crawler.categories().unwrap();
         assert!(cats.len() >= 30);
         let all: usize = cats
@@ -573,7 +896,7 @@ mod tests {
     #[test]
     fn obbs_and_bundles_fetched_when_advertised() {
         let server = start_tiny();
-        let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
+        let mut crawler = crawler(&server);
         let outcome = crawler.crawl_all().unwrap();
         for app in &outcome.apps {
             if app.meta.has_obb {
@@ -594,7 +917,7 @@ mod tests {
     #[test]
     fn missing_package_is_error() {
         let server = start_tiny();
-        let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
+        let mut crawler = crawler(&server);
         assert!(crawler.app_meta("com.not.there").is_err());
     }
 
@@ -602,16 +925,33 @@ mod tests {
     fn backoff_is_deterministic_and_bounded() {
         let p = RetryPolicy::default();
         for retry in 1..=6 {
-            let a = p.backoff_ms("/apk/com.x", retry);
-            let b = p.backoff_ms("/apk/com.x", retry);
-            assert_eq!(a, b, "same (path, retry) draws the same jitter");
+            let a = p.backoff_ms(0, "/apk/com.x", retry);
+            let b = p.backoff_ms(0, "/apk/com.x", retry);
+            assert_eq!(a, b, "same (conn, path, retry) draws the same jitter");
             assert!(a <= p.max_backoff_ms, "{a} > cap at retry {retry}");
         }
         // Different paths draw different jitter (with overwhelming odds).
         let spread: std::collections::BTreeSet<u64> = (0..32)
-            .map(|i| p.backoff_ms(&format!("/apk/com.p{i}"), 3))
+            .map(|i| p.backoff_ms(0, &format!("/apk/com.p{i}"), 3))
             .collect();
         assert!(spread.len() > 1, "jitter should vary by path");
+    }
+
+    #[test]
+    fn backoff_jitter_varies_by_connection() {
+        // The PR 1 bug: jitter keyed only on the path made every worker
+        // retry the same package on an identical schedule. With the
+        // connection id folded in, the draws must decorrelate.
+        let p = RetryPolicy::default();
+        let spread: std::collections::BTreeSet<u64> = (0..32)
+            .map(|conn| p.backoff_ms(conn, "/apk/com.x", 3))
+            .collect();
+        assert!(spread.len() > 1, "jitter must vary by connection id");
+        // And stay reproducible per connection.
+        assert_eq!(
+            p.backoff_ms(7, "/apk/com.x", 3),
+            p.backoff_ms(7, "/apk/com.x", 3)
+        );
     }
 
     #[test]
@@ -627,7 +967,7 @@ mod tests {
             }),
         )
         .unwrap();
-        let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
+        let mut crawler = crawler(&server);
         let cats = crawler.categories().unwrap();
         assert!(cats.len() >= 30);
         assert!(crawler.stats().retries >= 2, "{:?}", crawler.stats());
@@ -646,10 +986,81 @@ mod tests {
             }),
         )
         .unwrap();
-        let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
+        let mut crawler = crawler(&server);
         // First attempt is corrupted (checksum catches it), retry is clean.
         let cats = crawler.categories().unwrap();
         assert!(cats.len() >= 30);
         assert!(crawler.stats().retries >= 1);
+    }
+
+    #[test]
+    fn truncated_apk_resumes_with_a_range_request() {
+        // Truncate-only chaos: the first APK attempt is cut mid-body; the
+        // retry must fetch only the remainder and stitch, not restart.
+        let corpus = generate(CorpusScale::Tiny, Snapshot::Y2021, 7);
+        let pkg = corpus.apps[0].package.clone();
+        let clean_server = StoreServer::start(corpus.clone()).unwrap();
+        let mut clean = Crawler::builder(clean_server.addr()).build().unwrap();
+        let want = clean.download_apk(&pkg).unwrap();
+
+        let server = StoreServer::start_with_chaos(
+            corpus,
+            FaultPlan::new(FaultPlanConfig {
+                fault_permille: 1000,
+                kinds: vec![crate::chaos::FaultKind::Truncate],
+                max_faults_per_route: 1,
+                ..FaultPlanConfig::default()
+            }),
+        )
+        .unwrap();
+        let mut c = Crawler::builder(server.addr()).build().unwrap();
+        let got = c.download_apk(&pkg).unwrap();
+        assert_eq!(got, want, "stitched body must be byte-identical");
+        assert!(
+            c.stats().range_resumes >= 1,
+            "resume must go through the range path: {:?}",
+            c.stats()
+        );
+    }
+
+    #[test]
+    fn admission_counters_flow_into_stats() {
+        use crate::admission::{AdmissionConfig, AdmissionController};
+        let server = start_tiny();
+        let ctrl = Arc::new(AdmissionController::new(AdmissionConfig {
+            burst: 3,
+            throttle_ms: 5,
+            ..AdmissionConfig::default()
+        }));
+        let mut c = Crawler::builder(server.addr())
+            .admission(ctrl.clone())
+            .build()
+            .unwrap();
+        let cats = crawler_categories_n(&mut c, 10);
+        assert!(cats >= 10);
+        let stats = c.stats();
+        assert!(stats.throttled >= 7, "{stats:?}");
+        assert_eq!(stats.throttle_ms_total, stats.throttled * 5);
+        assert_eq!(ctrl.stats().throttled, stats.throttled);
+    }
+
+    fn crawler_categories_n(c: &mut Crawler, n: usize) -> usize {
+        let mut total = 0;
+        for _ in 0..n {
+            total += usize::from(!c.categories().unwrap().is_empty());
+        }
+        total
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        // The pre-builder constructors stay callable for one release.
+        let server = start_tiny();
+        let mut c = Crawler::connect(server.addr(), CrawlerConfig::default())
+            .unwrap()
+            .with_retry(RetryPolicy::default())
+            .with_timeouts(Duration::from_secs(2), Duration::from_secs(2));
+        assert!(c.categories().unwrap().len() >= 30);
     }
 }

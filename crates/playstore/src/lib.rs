@@ -27,16 +27,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod categories;
 pub mod chaos;
 pub mod corpus;
 pub mod crawler;
+pub mod pool;
 pub mod proto;
+pub mod route;
 pub mod server;
 
+pub use admission::{Admission, AdmissionConfig, AdmissionController, AdmissionStats, BreakerState};
 pub use chaos::{FaultKind, FaultPlan, FaultPlanConfig};
 pub use corpus::{CorpusScale, Snapshot, StoreCorpus};
-pub use crawler::{CrawlOutcome, CrawlStage, CrawledApp, Crawler, DropOut, RetryPolicy};
+pub use crawler::{
+    CrawlOutcome, CrawlStage, CrawlStats, CrawledApp, Crawler, CrawlerBuilder, DropOut, RetryPolicy,
+};
+pub use pool::{CrawlPool, CrawlPoolConfig, PoolOutcome, WorkerReport};
+pub use route::Route;
 pub use server::StoreServer;
 
 /// Errors from the store substrate.
@@ -62,6 +70,12 @@ pub enum StoreError {
         /// The request path.
         path: String,
     },
+    /// The store-wide circuit breaker is open: the request was not sent.
+    /// Retriable — the breaker half-opens once its cool-down elapses.
+    CircuitOpen {
+        /// The request path (query stripped).
+        path: String,
+    },
     /// A request kept failing after every retry attempt.
     RetriesExhausted {
         /// The request path.
@@ -84,6 +98,7 @@ impl StoreError {
                 | StoreError::Protocol(_)
                 | StoreError::Transient { .. }
                 | StoreError::Integrity { .. }
+                | StoreError::CircuitOpen { .. }
         )
     }
 }
@@ -100,6 +115,9 @@ impl std::fmt::Display for StoreError {
             }
             StoreError::Integrity { path } => {
                 write!(f, "body checksum mismatch on {path}")
+            }
+            StoreError::CircuitOpen { path } => {
+                write!(f, "circuit breaker open, request to {path} not sent")
             }
             StoreError::RetriesExhausted {
                 path,

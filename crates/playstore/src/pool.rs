@@ -1,0 +1,300 @@
+//! Sharded concurrent crawl pool.
+//!
+//! A [`CrawlPool`] partitions the store's category space across N worker
+//! threads. Each worker owns a private [`Crawler`] (its own connection,
+//! its own connection id, its own retry/backoff jitter stream) and crawls
+//! the categories whose index is congruent to the worker index mod N —
+//! a static partition, so which worker crawls which category never
+//! depends on thread scheduling.
+//!
+//! All workers share one [`AdmissionController`]: the fleet collectively
+//! respects a single store-wide rate limit, and a sustained 429/503 storm
+//! trips one circuit breaker for everybody.
+//!
+//! # Determinism
+//!
+//! The merged [`CrawlOutcome`] is assembled in category-index order, not
+//! completion order, so a chaos run with a fixed seed produces a
+//! byte-identical corpus and drop-out ledger no matter how the workers
+//! interleave:
+//!
+//! * each worker's request stream is a pure function of its (static)
+//!   category shard — no work stealing, no shared queues;
+//! * chaos fault schedules are keyed per connection
+//!   (`seed ⊕ connection id`, see [`crate::chaos::FaultPlan`]), so worker
+//!   k sees the same faults whether it runs alone or alongside seven
+//!   others;
+//! * the shared admission controller's aggregate charges are
+//!   interleaving-independent while the breaker stays closed (see
+//!   [`crate::admission`]).
+//!
+//! Per-worker *throttle* counters are the one thing that legitimately
+//! varies run to run (which worker drains the last burst token is a
+//! race); only the merged sums are stable, which is why
+//! [`PoolOutcome::outcome`] carries merged stats and the per-worker
+//! reports are explicitly diagnostic.
+
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats};
+use crate::crawler::{CrawlOutcome, CrawlStats, CrawledApp, Crawler, CrawlerConfig, DropOut, RetryPolicy};
+use crate::Result;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// Tunables for a [`CrawlPool`].
+#[derive(Debug, Clone)]
+pub struct CrawlPoolConfig {
+    /// Worker threads (each with its own store connection). Clamped to a
+    /// minimum of 1.
+    pub workers: usize,
+    /// Identity/paging configuration every worker crawls with.
+    pub crawler: CrawlerConfig,
+    /// Retry policy every worker runs under.
+    pub retry: RetryPolicy,
+    /// Store-wide admission control shared by the whole fleet.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for CrawlPoolConfig {
+    fn default() -> Self {
+        CrawlPoolConfig {
+            workers: 4,
+            crawler: CrawlerConfig::default(),
+            retry: RetryPolicy::default(),
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// Diagnostic summary of one worker's share of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerReport {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Connection id the worker announced to the store (worker + 1; the
+    /// bootstrap category fetch uses connection 0).
+    pub connection_id: u64,
+    /// Categories in this worker's shard.
+    pub categories: usize,
+    /// Apps the worker crawled successfully.
+    pub apps: usize,
+    /// Drop-outs the worker recorded.
+    pub dropouts: usize,
+    /// The worker's own resilience counters. Note: throttle counters are
+    /// interleaving-dependent (which worker drains the last burst token
+    /// is a race) — only the merged sums in
+    /// [`PoolOutcome::outcome`] are run-to-run stable.
+    pub stats: CrawlStats,
+}
+
+/// Everything a pooled sweep produced.
+#[derive(Debug, Clone)]
+pub struct PoolOutcome {
+    /// Merged corpus + drop-out ledger + summed stats, in deterministic
+    /// category-index order — byte-identical to what the same seed
+    /// produces at any worker count while the breaker stays closed.
+    pub outcome: CrawlOutcome,
+    /// Per-worker diagnostics, in worker order.
+    pub per_worker: Vec<WorkerReport>,
+    /// Aggregate admission-controller counters for the fleet.
+    pub admission: AdmissionStats,
+    /// Worker count actually used.
+    pub workers: usize,
+}
+
+/// One worker's crawl of one category, tagged with the category's global
+/// index so shards merge deterministically.
+struct CategoryShard {
+    index: usize,
+    apps: Vec<CrawledApp>,
+    dropouts: Vec<DropOut>,
+}
+
+/// The sharded pool. See the module docs for the determinism contract.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlPool {
+    config: CrawlPoolConfig,
+}
+
+impl CrawlPool {
+    /// Build a pool.
+    pub fn new(config: CrawlPoolConfig) -> CrawlPool {
+        CrawlPool { config }
+    }
+
+    /// Sweep the whole store at `addr` with the configured worker fleet.
+    ///
+    /// Connection 0 bootstraps the category list; worker k then crawls
+    /// every category with `index % workers == k` on connection `k + 1`.
+    pub fn crawl(&self, addr: SocketAddr) -> Result<PoolOutcome> {
+        let workers = self.config.workers.max(1);
+        let admission = Arc::new(AdmissionController::new(self.config.admission.clone()));
+
+        let mut bootstrap = Crawler::builder(addr)
+            .config(self.config.crawler.clone())
+            .retry(self.config.retry.clone())
+            .connection_id(0)
+            .admission(admission.clone())
+            .build()?;
+        let categories = bootstrap.categories()?;
+        let bootstrap_stats = bootstrap.stats().clone();
+        drop(bootstrap);
+
+        let shards: Vec<(usize, &str)> = categories
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.as_str()))
+            .collect();
+
+        let mut results: Vec<Result<(Vec<CategoryShard>, CrawlStats)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let shard: Vec<(usize, &str)> = shards
+                            .iter()
+                            .filter(|(i, _)| i % workers == w)
+                            .copied()
+                            .collect();
+                        let admission = admission.clone();
+                        let crawler_cfg = self.config.crawler.clone();
+                        let retry = self.config.retry.clone();
+                        scope.spawn(move || {
+                            let mut crawler = Crawler::builder(addr)
+                                .config(crawler_cfg)
+                                .retry(retry)
+                                .connection_id(w as u64 + 1)
+                                .admission(admission)
+                                .build()?;
+                            let mut out = Vec::with_capacity(shard.len());
+                            for (index, category) in shard {
+                                let (apps, dropouts) = crawler.crawl_category(category);
+                                out.push(CategoryShard {
+                                    index,
+                                    apps,
+                                    dropouts,
+                                });
+                            }
+                            Ok((out, crawler.stats().clone()))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pool worker panicked"))
+                    .collect()
+            });
+
+        // Merge deterministically: worker order for stats/reports,
+        // category-index order for the corpus itself.
+        let mut per_worker = Vec::with_capacity(workers);
+        let mut merged_stats = bootstrap_stats;
+        let mut all_shards: Vec<CategoryShard> = Vec::with_capacity(categories.len());
+        for (w, res) in results.drain(..).enumerate() {
+            let (worker_shards, stats) = res?;
+            per_worker.push(WorkerReport {
+                worker: w,
+                connection_id: w as u64 + 1,
+                categories: worker_shards.len(),
+                apps: worker_shards.iter().map(|s| s.apps.len()).sum(),
+                dropouts: worker_shards.iter().map(|s| s.dropouts.len()).sum(),
+                stats: stats.clone(),
+            });
+            merged_stats.merge(&stats);
+            all_shards.extend(worker_shards);
+        }
+        all_shards.sort_by_key(|s| s.index);
+
+        let mut apps = Vec::new();
+        let mut dropouts = Vec::new();
+        for shard in all_shards {
+            apps.extend(shard.apps);
+            dropouts.extend(shard.dropouts);
+        }
+
+        Ok(PoolOutcome {
+            outcome: CrawlOutcome {
+                apps,
+                dropouts,
+                stats: merged_stats,
+            },
+            per_worker,
+            admission: admission.stats(),
+            workers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate, CorpusScale, Snapshot};
+    use crate::server::StoreServer;
+
+    fn start_tiny() -> StoreServer {
+        StoreServer::start(generate(CorpusScale::Tiny, Snapshot::Y2021, 7)).unwrap()
+    }
+
+    #[test]
+    fn pool_matches_sequential_crawl() {
+        let server = start_tiny();
+        let mut seq = Crawler::builder(server.addr()).build().unwrap();
+        let sequential = seq.crawl_all().unwrap();
+
+        let pooled = CrawlPool::new(CrawlPoolConfig {
+            workers: 4,
+            ..CrawlPoolConfig::default()
+        })
+        .crawl(server.addr())
+        .unwrap();
+
+        assert_eq!(pooled.workers, 4);
+        assert_eq!(pooled.outcome.apps, sequential.apps, "same corpus, same order");
+        assert_eq!(pooled.outcome.dropouts, sequential.dropouts);
+        assert_eq!(pooled.per_worker.len(), 4);
+        let shard_apps: usize = pooled.per_worker.iter().map(|w| w.apps).sum();
+        assert_eq!(shard_apps, pooled.outcome.apps.len());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_corpus() {
+        let server = start_tiny();
+        let one = CrawlPool::new(CrawlPoolConfig {
+            workers: 1,
+            ..CrawlPoolConfig::default()
+        })
+        .crawl(server.addr())
+        .unwrap();
+        let eight = CrawlPool::new(CrawlPoolConfig {
+            workers: 8,
+            ..CrawlPoolConfig::default()
+        })
+        .crawl(server.addr())
+        .unwrap();
+        assert_eq!(one.outcome.apps, eight.outcome.apps);
+        assert_eq!(one.outcome.dropouts, eight.outcome.dropouts);
+    }
+
+    #[test]
+    fn fleet_shares_one_admission_budget() {
+        let server = start_tiny();
+        let pooled = CrawlPool::new(CrawlPoolConfig {
+            workers: 4,
+            admission: AdmissionConfig {
+                burst: 16,
+                throttle_ms: 2,
+                ..AdmissionConfig::default()
+            },
+            ..CrawlPoolConfig::default()
+        })
+        .crawl(server.addr())
+        .unwrap();
+        let adm = &pooled.admission;
+        assert_eq!(adm.admitted, pooled.outcome.stats.requests);
+        // Everything past the shared 16-token burst paid the charge,
+        // regardless of which worker issued it.
+        assert_eq!(adm.throttled, adm.admitted - 16);
+        assert_eq!(adm.throttle_ms_total, adm.throttled * 2);
+        // The crawler-side merged counters agree with the controller's.
+        assert_eq!(pooled.outcome.stats.throttled, adm.throttled);
+        assert_eq!(pooled.outcome.stats.throttle_ms_total, adm.throttle_ms_total);
+    }
+}

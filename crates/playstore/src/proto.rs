@@ -18,6 +18,19 @@ pub const MAX_BODY: usize = 256 * 1024 * 1024;
 /// server sets it on every response; the crawler verifies it when present
 /// so corrupted payloads surface as retriable errors, not wrong answers.
 pub const CRC_HEADER: &str = "x-body-crc32";
+/// Range-resume request header: byte offset the client already holds.
+/// The server serves the body suffix from that offset and echoes the
+/// header back so the client knows the range was honoured.
+pub const RANGE_START_HEADER: &str = "x-range-start";
+/// On a ranged response, the CRC32 of the *full* body (the served slice
+/// is covered by [`CRC_HEADER`] as usual) — what the client validates the
+/// stitched prefix + suffix against.
+pub const FULL_CRC_HEADER: &str = "x-full-crc32";
+/// Crawler-assigned connection id, sent on every request. The chaos
+/// [`crate::chaos::FaultPlan`] keys its per-connection fault schedules on
+/// it; ids are client-assigned because server accept order is not
+/// deterministic.
+pub const CONNECTION_ID_HEADER: &str = "x-connection-id";
 
 /// Percent-encode a path component (spaces, `&`, `?`, `%`, `/` and
 /// non-ASCII become `%XX`); category names like `"health & fitness"` would
@@ -198,8 +211,46 @@ pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<()> {
     Ok(())
 }
 
-/// Read a response.
+/// Outcome of reading a response on a path where partial bodies are
+/// recoverable (range-request resume).
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete, well-formed response.
+    Complete(Response),
+    /// The status line and headers arrived intact but the connection
+    /// died mid-body: the received prefix is preserved so the caller can
+    /// resume from `received.len()` with a [`RANGE_START_HEADER`] retry.
+    Truncated {
+        /// Status of the interrupted response.
+        status: u16,
+        /// Headers of the interrupted response.
+        headers: Vec<(String, String)>,
+        /// The body bytes that made it before the cut.
+        received: Vec<u8>,
+        /// The declared `Content-Length`.
+        expected_len: usize,
+    },
+}
+
+/// Read a response, failing on any truncation.
 pub fn read_response(r: &mut BufReader<impl Read>) -> Result<Response> {
+    match read_response_resumable(r)? {
+        ReadOutcome::Complete(resp) => Ok(resp),
+        ReadOutcome::Truncated {
+            received,
+            expected_len,
+            ..
+        } => Err(StoreError::Protocol(format!(
+            "response truncated mid-body: {}/{} bytes",
+            received.len(),
+            expected_len
+        ))),
+    }
+}
+
+/// Read a response, preserving a truncated body prefix instead of
+/// discarding it — the raw material for range-request resume.
+pub fn read_response_resumable(r: &mut BufReader<impl Read>) -> Result<ReadOutcome> {
     let mut line = String::new();
     if r.read_line(&mut line)? == 0 {
         return Err(StoreError::Protocol("connection closed mid-response".into()));
@@ -222,13 +273,41 @@ pub fn read_response(r: &mut BufReader<impl Read>) -> Result<Response> {
     if len > MAX_BODY {
         return Err(StoreError::Protocol(format!("body too large: {len}")));
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    Ok(Response {
+    let mut body = Vec::with_capacity(len.min(1 << 20));
+    let mut chunk = [0u8; 8192];
+    while body.len() < len {
+        let want = (len - body.len()).min(chunk.len());
+        match r.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return Ok(ReadOutcome::Truncated {
+                    status,
+                    headers,
+                    received: body,
+                    expected_len: len,
+                })
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                // A timeout/reset mid-body: whatever arrived is still a
+                // valid prefix worth resuming from.
+                if body.is_empty() {
+                    return Err(e.into());
+                }
+                return Ok(ReadOutcome::Truncated {
+                    status,
+                    headers,
+                    received: body,
+                    expected_len: len,
+                });
+            }
+        }
+    }
+    Ok(ReadOutcome::Complete(Response {
         status,
         headers,
         body,
-    })
+    }))
 }
 
 fn read_headers(r: &mut BufReader<impl Read>) -> Result<Vec<(String, String)>> {
@@ -316,6 +395,45 @@ mod tests {
         assert_eq!(decode_component("50%_off"), "50%_off");
         assert_eq!(decode_component("%"), "%");
         assert_eq!(decode_component("%2"), "%2");
+    }
+
+    #[test]
+    fn truncated_body_preserves_the_prefix() {
+        let body: Vec<u8> = (0..100u8).collect();
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Response::ok(body.clone())).unwrap();
+        // Cut 30 bytes into the body.
+        let header_end = buf.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        buf.truncate(header_end + 30);
+        let outcome =
+            read_response_resumable(&mut BufReader::new(Cursor::new(buf.clone()))).unwrap();
+        match outcome {
+            ReadOutcome::Truncated {
+                status,
+                received,
+                expected_len,
+                ..
+            } => {
+                assert_eq!(status, 200);
+                assert_eq!(expected_len, 100);
+                assert_eq!(received, body[..30].to_vec());
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        // The strict reader refuses the same bytes with a typed error.
+        let err = read_response(&mut BufReader::new(Cursor::new(buf))).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn complete_bodies_read_identically_on_both_paths() {
+        let body: Vec<u8> = (0..=255u8).collect();
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Response::ok(body.clone())).unwrap();
+        match read_response_resumable(&mut BufReader::new(Cursor::new(buf))).unwrap() {
+            ReadOutcome::Complete(resp) => assert_eq!(resp.body, body),
+            other => panic!("expected complete, got {other:?}"),
+        }
     }
 
     #[test]

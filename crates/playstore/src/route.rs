@@ -1,0 +1,219 @@
+//! Typed request routes.
+//!
+//! One `Route` value is the single source of truth for a store endpoint:
+//! the crawler renders it onto the wire ([`Route::wire_path`]), the
+//! server parses it back for dispatch ([`Route::parse`]), and the chaos
+//! planner keys fault schedules on it ([`Route::fault_key`]). Before this
+//! enum the three sides each carried their own `format!`/`starts_with`
+//! strings, which could (and did) drift.
+
+use crate::proto::{decode_component, encode_component};
+use std::fmt;
+
+/// Default listing page size when a category request carries no `count`.
+pub const DEFAULT_PAGE_SIZE: usize = 100;
+
+/// A store endpoint, fully typed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Route {
+    /// `GET /categories` — enumerate category names.
+    Categories,
+    /// `GET /category/{name}?start=&count=` — one listing page.
+    Category {
+        /// Decoded category name (may contain spaces/`&`).
+        name: String,
+        /// First index of the page.
+        start: usize,
+        /// Page length requested.
+        count: usize,
+    },
+    /// `GET /app/{package}` — app metadata.
+    App {
+        /// Package name.
+        package: String,
+    },
+    /// `GET /apk/{package}` — base APK bytes.
+    Apk {
+        /// Package name.
+        package: String,
+    },
+    /// `GET /obb/{package}` — main OBB expansion file.
+    Obb {
+        /// Package name.
+        package: String,
+    },
+    /// `GET /bundle/{package}` — app-bundle form.
+    Bundle {
+        /// Package name.
+        package: String,
+    },
+}
+
+impl Route {
+    /// The full wire path, query string included, components
+    /// percent-encoded.
+    pub fn wire_path(&self) -> String {
+        match self {
+            Route::Categories => "/categories".into(),
+            Route::Category { name, start, count } => format!(
+                "/category/{}?start={start}&count={count}",
+                encode_component(name)
+            ),
+            Route::App { package } => format!("/app/{}", encode_component(package)),
+            Route::Apk { package } => format!("/apk/{}", encode_component(package)),
+            Route::Obb { package } => format!("/obb/{}", encode_component(package)),
+            Route::Bundle { package } => format!("/bundle/{}", encode_component(package)),
+        }
+    }
+
+    /// The schedule key for chaos/backoff decisions: the wire path with
+    /// the query stripped, so every page of one category (and every
+    /// range-resumed retry of one APK) shares a single fault schedule.
+    pub fn fault_key(&self) -> String {
+        let wire = self.wire_path();
+        match wire.split_once('?') {
+            Some((path, _)) => path.to_string(),
+            None => wire,
+        }
+    }
+
+    /// Parse a wire path (as found in a request line) back into a route.
+    /// Returns `None` for paths outside the store's surface — the server
+    /// answers those with a 404.
+    pub fn parse(path: &str) -> Option<Route> {
+        let (path_only, query) = match path.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (path, None),
+        };
+        let q = |key: &str| -> Option<&str> {
+            query?
+                .split('&')
+                .filter_map(|kv| kv.split_once('='))
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v)
+        };
+        if path_only == "/categories" {
+            return Some(Route::Categories);
+        }
+        if let Some(rest) = path_only.strip_prefix("/category/") {
+            return Some(Route::Category {
+                name: decode_component(rest),
+                start: q("start").and_then(|v| v.parse().ok()).unwrap_or(0),
+                count: q("count")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(DEFAULT_PAGE_SIZE),
+            });
+        }
+        let pkg_route = |prefix: &str, build: fn(String) -> Route| -> Option<Route> {
+            path_only
+                .strip_prefix(prefix)
+                .filter(|rest| !rest.is_empty())
+                .map(|rest| build(decode_component(rest)))
+        };
+        pkg_route("/app/", |package| Route::App { package })
+            .or_else(|| pkg_route("/apk/", |package| Route::Apk { package }))
+            .or_else(|| pkg_route("/obb/", |package| Route::Obb { package }))
+            .or_else(|| pkg_route("/bundle/", |package| Route::Bundle { package }))
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.wire_path())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_paths_roundtrip_through_parse() {
+        let routes = [
+            Route::Categories,
+            Route::Category {
+                name: "health & fitness".into(),
+                start: 40,
+                count: 20,
+            },
+            Route::App {
+                package: "com.example.app".into(),
+            },
+            Route::Apk {
+                package: "com.example.app".into(),
+            },
+            Route::Obb {
+                package: "com.example.app".into(),
+            },
+            Route::Bundle {
+                package: "com.example.app".into(),
+            },
+        ];
+        for r in routes {
+            assert_eq!(Route::parse(&r.wire_path()), Some(r.clone()), "{r}");
+        }
+    }
+
+    #[test]
+    fn category_query_defaults_apply() {
+        assert_eq!(
+            Route::parse("/category/finance"),
+            Some(Route::Category {
+                name: "finance".into(),
+                start: 0,
+                count: DEFAULT_PAGE_SIZE,
+            })
+        );
+        assert_eq!(
+            Route::parse("/category/finance?start=7"),
+            Some(Route::Category {
+                name: "finance".into(),
+                start: 7,
+                count: DEFAULT_PAGE_SIZE,
+            })
+        );
+    }
+
+    #[test]
+    fn fault_key_strips_the_query() {
+        let a = Route::Category {
+            name: "games".into(),
+            start: 0,
+            count: 2,
+        };
+        let b = Route::Category {
+            name: "games".into(),
+            start: 2,
+            count: 2,
+        };
+        assert_eq!(a.fault_key(), b.fault_key(), "pages share one schedule");
+        assert_eq!(a.fault_key(), "/category/games");
+        assert_eq!(
+            Route::Apk {
+                package: "com.x".into()
+            }
+            .fault_key(),
+            "/apk/com.x"
+        );
+    }
+
+    #[test]
+    fn encoded_components_survive() {
+        let r = Route::Category {
+            name: "maps & navigation".into(),
+            start: 0,
+            count: 100,
+        };
+        let wire = r.wire_path();
+        assert!(!wire.contains(' ') && !wire.contains('&') || wire.contains("start="));
+        assert!(wire.starts_with("/category/maps%20%26%20navigation"));
+        assert_eq!(Route::parse(&wire), Some(r));
+    }
+
+    #[test]
+    fn foreign_paths_are_rejected()  {
+        for p in ["/nope", "/", "", "/app/", "/apkX/com.x", "/categories/extra"] {
+            assert_eq!(Route::parse(p), None, "{p:?}");
+        }
+    }
+}

@@ -7,7 +7,11 @@
 
 use crate::chaos::{FaultAction, FaultPlan};
 use crate::corpus::{AppSpec, StoreCorpus};
-use crate::proto::{read_request, write_response, Request, Response, CRC_HEADER};
+use crate::proto::{
+    read_request, write_response, Request, Response, CONNECTION_ID_HEADER, CRC_HEADER,
+    FULL_CRC_HEADER, RANGE_START_HEADER,
+};
+use crate::route::Route;
 use crate::{categories::CATEGORIES, Result};
 use gaugenn_apk::crc32::crc32;
 use gaugenn_apk::bundle::{AssetPack, BundleBuilder, Delivery};
@@ -151,15 +155,43 @@ fn handle_connection(stream: TcpStream, shared: &Shared, stop: &AtomicBool) -> R
             return Ok(()); // client closed keep-alive
         };
         *shared.requests_served.lock() += 1;
-        let mut resp = route(shared, &req);
+        let parsed = Route::parse(&req.path);
+        let mut resp = match &parsed {
+            Some(r) => route(shared, &req, r),
+            None => Response::not_found(req.path_only()),
+        };
+        // Range resume: a client that already holds a verified prefix asks
+        // for the suffix; the full-body checksum lets it validate the
+        // stitched result. Applied before the integrity header so that
+        // CRC_HEADER covers exactly the bytes served.
+        if resp.status == 200 {
+            if let Some(start) = req
+                .header(RANGE_START_HEADER)
+                .and_then(|v| v.parse::<usize>().ok())
+            {
+                if start > 0 && start < resp.body.len() {
+                    resp.headers
+                        .push((FULL_CRC_HEADER.into(), format!("{:08x}", crc32(&resp.body))));
+                    resp.headers
+                        .push((RANGE_START_HEADER.into(), start.to_string()));
+                    resp.body.drain(..start);
+                }
+                // start == 0 or beyond the body: serve the full body with
+                // no range echo; the client treats it as a fresh download.
+            }
+        }
         // Integrity header: lets the crawler detect silent payload
         // corruption (chaos-injected or otherwise) without trusting the
         // transport.
         resp.headers
             .push((CRC_HEADER.into(), format!("{:08x}", crc32(&resp.body))));
-        let action = match &shared.chaos {
-            Some(plan) => plan.decide(req.path_only()),
-            None => FaultAction::None,
+        let conn_id = req
+            .header(CONNECTION_ID_HEADER)
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        let action = match (&shared.chaos, &parsed) {
+            (Some(plan), Some(r)) => plan.decide(conn_id, r),
+            _ => FaultAction::None,
         };
         match action {
             FaultAction::None => write_response(&mut writer, &resp)?,
@@ -201,7 +233,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared, stop: &AtomicBool) -> R
     Ok(())
 }
 
-fn route(shared: &Shared, req: &Request) -> Response {
+fn route(shared: &Shared, req: &Request, route: &Route) -> Response {
     // The real store varies responses by user-agent/locale; we require the
     // headers (a crawler that forgets them is told so) but serve one
     // variant — the §4.2 finding is precisely that responses do not vary
@@ -209,10 +241,9 @@ fn route(shared: &Shared, req: &Request) -> Response {
     if req.header("user-agent").is_none() {
         return Response::bad_request("missing User-Agent");
     }
-    let path = req.path_only().to_string();
     let corpus = &shared.corpus;
-    match path.as_str() {
-        "/categories" => {
+    match route {
+        Route::Categories => {
             let body = CATEGORIES
                 .iter()
                 .map(|c| c.name)
@@ -220,21 +251,14 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 .join("\n");
             Response::ok(body.into_bytes())
         }
-        p if p.starts_with("/category/") => {
-            let name = crate::proto::decode_component(&p["/category/".len()..]);
-            let name = name.as_str();
+        Route::Category { name, start, count } => {
             let apps = corpus.apps_in(name);
             if apps.is_empty() && crate::categories::category_index(name).is_none() {
                 return Response::not_found(name);
             }
-            let start: usize = req.query("start").and_then(|v| v.parse().ok()).unwrap_or(0);
-            let count: usize = req
-                .query("count")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(100)
-                .min(MAX_PER_CATEGORY);
+            let count = (*count).min(MAX_PER_CATEGORY);
             let end = (start + count).min(apps.len()).min(MAX_PER_CATEGORY);
-            let page = if start < end { &apps[start..end] } else { &[] };
+            let page = if *start < end { &apps[*start..end] } else { &[] };
             let body = page
                 .iter()
                 .map(|a| a.package.as_str())
@@ -242,69 +266,54 @@ fn route(shared: &Shared, req: &Request) -> Response {
                 .join("\n");
             Response::ok(body.into_bytes())
         }
-        p if p.starts_with("/app/") => {
-            let pkg = &p["/app/".len()..];
-            match corpus.app(pkg) {
-                Some(app) => Response::ok(meta_body(app).into_bytes()),
-                None => Response::not_found(pkg),
+        Route::App { package } => match corpus.app(package) {
+            Some(app) => Response::ok(meta_body(app).into_bytes()),
+            None => Response::not_found(package),
+        },
+        Route::Apk { package } => match corpus.app(package) {
+            Some(app) => {
+                let bytes = corpus.build_apk(app, &mut |id| (*shared.artifact(id)).clone());
+                Response::ok(bytes)
             }
-        }
-        p if p.starts_with("/apk/") => {
-            let pkg = &p["/apk/".len()..];
-            match corpus.app(pkg) {
-                Some(app) => {
-                    let bytes =
-                        corpus.build_apk(app, &mut |id| (*shared.artifact(id)).clone());
-                    Response::ok(bytes)
+            None => Response::not_found(package),
+        },
+        Route::Obb { package } => match corpus.app(package) {
+            Some(app) if app.has_obb => {
+                let (name, bytes) = build_obb(
+                    ObbKind::Main,
+                    app.version_code,
+                    &app.package,
+                    &[
+                        ("textures/atlas0.tex", vec![0xA5; 4096]),
+                        ("audio/theme.pcm", vec![0x11; 2048]),
+                    ],
+                )
+                .expect("obb assembly is infallible for fixed inputs");
+                let mut resp = Response::ok(bytes);
+                resp.headers.push(("x-obb-name".into(), name));
+                resp
+            }
+            Some(_) => Response::not_found("no expansion files"),
+            None => Response::not_found(package),
+        },
+        Route::Bundle { package } => match corpus.app(package) {
+            Some(app) if app.has_bundle => {
+                let base = corpus.build_apk(app, &mut |id| (*shared.artifact(id)).clone());
+                let mut bb = BundleBuilder::new(base);
+                bb.add_pack(AssetPack {
+                    name: "hires_textures".into(),
+                    delivery: Delivery::OnDemand,
+                    targeting: String::new(),
+                    files: vec![("pack0.tex".into(), vec![0x77; 4096])],
+                });
+                match bb.finish() {
+                    Ok(bytes) => Response::ok(bytes),
+                    Err(e) => Response::bad_request(&e.to_string()),
                 }
-                None => Response::not_found(pkg),
             }
-        }
-        p if p.starts_with("/obb/") => {
-            let pkg = &p["/obb/".len()..];
-            match corpus.app(pkg) {
-                Some(app) if app.has_obb => {
-                    let (name, bytes) = build_obb(
-                        ObbKind::Main,
-                        app.version_code,
-                        &app.package,
-                        &[
-                            ("textures/atlas0.tex", vec![0xA5; 4096]),
-                            ("audio/theme.pcm", vec![0x11; 2048]),
-                        ],
-                    )
-                    .expect("obb assembly is infallible for fixed inputs");
-                    let mut resp = Response::ok(bytes);
-                    resp.headers.push(("x-obb-name".into(), name));
-                    resp
-                }
-                Some(_) => Response::not_found("no expansion files"),
-                None => Response::not_found(pkg),
-            }
-        }
-        p if p.starts_with("/bundle/") => {
-            let pkg = &p["/bundle/".len()..];
-            match corpus.app(pkg) {
-                Some(app) if app.has_bundle => {
-                    let base =
-                        corpus.build_apk(app, &mut |id| (*shared.artifact(id)).clone());
-                    let mut bb = BundleBuilder::new(base);
-                    bb.add_pack(AssetPack {
-                        name: "hires_textures".into(),
-                        delivery: Delivery::OnDemand,
-                        targeting: String::new(),
-                        files: vec![("pack0.tex".into(), vec![0x77; 4096])],
-                    });
-                    match bb.finish() {
-                        Ok(bytes) => Response::ok(bytes),
-                        Err(e) => Response::bad_request(&e.to_string()),
-                    }
-                }
-                Some(_) => Response::not_found("not distributed as a bundle"),
-                None => Response::not_found(pkg),
-            }
-        }
-        other => Response::not_found(other),
+            Some(_) => Response::not_found("not distributed as a bundle"),
+            None => Response::not_found(package),
+        },
     }
 }
 
@@ -407,6 +416,48 @@ mod tests {
             assert_eq!(resp.status, 200);
         }
         assert!(server.requests_served() >= 3);
+    }
+
+    #[test]
+    fn range_requests_serve_the_suffix_with_full_crc() {
+        let server = start_tiny();
+        let listing = get(server.addr(), "/category/communication?start=0&count=1", &[UA]);
+        let pkg = listing.text().lines().next().unwrap().to_string();
+        let full = get(server.addr(), &format!("/apk/{pkg}"), &[UA]);
+        assert!(full.body.len() > 1000, "need a body worth ranging");
+        let ranged = get(
+            server.addr(),
+            &format!("/apk/{pkg}"),
+            &[UA, (RANGE_START_HEADER, "1000")],
+        );
+        assert_eq!(ranged.status, 200);
+        assert_eq!(ranged.body, full.body[1000..].to_vec());
+        let header = |r: &Response, k: &str| {
+            r.headers
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(header(&ranged, RANGE_START_HEADER).as_deref(), Some("1000"));
+        assert_eq!(
+            header(&ranged, FULL_CRC_HEADER),
+            Some(format!("{:08x}", crc32(&full.body))),
+            "full-body checksum advertised for stitch validation"
+        );
+        assert_eq!(
+            header(&ranged, CRC_HEADER),
+            Some(format!("{:08x}", crc32(&ranged.body))),
+            "per-response checksum covers the served slice"
+        );
+        // Offsets at/after the end fall back to a full, un-echoed body.
+        let past = get(
+            server.addr(),
+            &format!("/apk/{pkg}"),
+            &[UA, (RANGE_START_HEADER, "99999999")],
+        );
+        assert_eq!(past.body, full.body);
+        assert_eq!(header(&past, RANGE_START_HEADER), None);
+        assert_eq!(header(&past, FULL_CRC_HEADER), None);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 #!/usr/bin/env sh
-# Tier-1 verification: build + full test suite (see ROADMAP.md).
+# Tier-1 verification: build + full test suite (see ROADMAP.md), the
+# concurrency suite re-run single-threaded, and a clippy gate on the
+# store/crawler crate.
 #
 # Works without network access: if the registry is unreachable, cargo is
 # retried in --offline mode (using whatever is already vendored/cached).
@@ -19,7 +21,18 @@ run_cargo() {
 
 verify() {
     mode="$1"
-    run_cargo "$mode" build --release && run_cargo "$mode" test -q
+    run_cargo "$mode" build --release || return 1
+    run_cargo "$mode" test -q || return 1
+    # The concurrency suite exercises the sharded crawl pool; re-run it
+    # with the test harness single-threaded so pool determinism is also
+    # proven without inter-test parallelism masking (or causing) races.
+    run_cargo "$mode" test -q --test concurrency -- --test-threads=1 || return 1
+    # Lint gate for the crate this PR reworked; extend crate by crate.
+    if run_cargo "$mode" clippy --version >/dev/null 2>&1; then
+        run_cargo "$mode" clippy -p gaugenn-playstore --all-targets -- -D warnings || return 1
+    else
+        echo "verify: clippy unavailable in $mode mode; skipping lint gate"
+    fi
 }
 
 if verify online; then

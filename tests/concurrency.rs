@@ -2,16 +2,21 @@
 //! identical, uncorrupted results, and the multi-device harness campaign
 //! must be deterministic in content (not ordering).
 
+use gaugenn::playstore::chaos::{FaultPlan, FaultPlanConfig};
 use gaugenn::playstore::corpus::{generate, CorpusScale, Snapshot};
-use gaugenn::playstore::crawler::{Crawler, CrawlerConfig};
+use gaugenn::playstore::crawler::Crawler;
+use gaugenn::playstore::pool::{CrawlPool, CrawlPoolConfig};
 use gaugenn::playstore::server::StoreServer;
 
 #[test]
 fn parallel_crawlers_get_identical_corpora() {
     let server = StoreServer::start(generate(CorpusScale::Tiny, Snapshot::Y2021, 7)).unwrap();
     let addr = server.addr();
-    let crawl = move || {
-        let mut c = Crawler::connect(addr, CrawlerConfig::default()).expect("connect");
+    let crawl = move |conn: u64| {
+        let mut c = Crawler::builder(addr)
+            .connection_id(conn)
+            .build()
+            .expect("connect");
         let outcome = c.crawl_all().expect("crawl");
         assert!(outcome.dropouts.is_empty(), "clean store drops nothing");
         let mut sums: Vec<(String, String)> = outcome
@@ -27,7 +32,9 @@ fn parallel_crawlers_get_identical_corpora() {
         sums.sort();
         sums
     };
-    let handles: Vec<_> = (0..4).map(|_| std::thread::spawn(crawl)).collect();
+    let handles: Vec<_> = (0..4u64)
+        .map(|i| std::thread::spawn(move || crawl(i)))
+        .collect();
     let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     for r in &results[1..] {
         assert_eq!(r, &results[0], "all crawlers must see identical bytes");
@@ -42,14 +49,14 @@ fn interleaved_requests_do_not_cross_wires() {
     let server = StoreServer::start(generate(CorpusScale::Tiny, Snapshot::Y2021, 7)).unwrap();
     let addr = server.addr();
     let t1 = std::thread::spawn(move || {
-        let mut c = Crawler::connect(addr, CrawlerConfig::default()).unwrap();
+        let mut c = Crawler::builder(addr).connection_id(1).build().unwrap();
         for _ in 0..20 {
             let cats = c.categories().unwrap();
             assert!(cats.contains(&"communication".to_string()));
         }
     });
     let t2 = std::thread::spawn(move || {
-        let mut c = Crawler::connect(addr, CrawlerConfig::default()).unwrap();
+        let mut c = Crawler::builder(addr).connection_id(2).build().unwrap();
         for _ in 0..20 {
             let apps = c.list_category("communication").unwrap();
             assert!(!apps.is_empty());
@@ -58,6 +65,67 @@ fn interleaved_requests_do_not_cross_wires() {
     });
     t1.join().unwrap();
     t2.join().unwrap();
+}
+
+#[test]
+fn eight_worker_chaos_crawl_is_deterministic() {
+    // The tentpole guarantee: with per-connection fault schedules and a
+    // static category partition, a seeded chaos run through an 8-worker
+    // pool merges to a byte-identical CrawlOutcome every time — corpus,
+    // drop-out ledger and summed resilience counters included.
+    let run = || {
+        let corpus = generate(CorpusScale::Tiny, Snapshot::Y2021, 7);
+        let server = StoreServer::start_with_chaos(
+            corpus,
+            FaultPlan::new(FaultPlanConfig {
+                seed: 0xD15EA5E,
+                fault_permille: 300,
+                ..FaultPlanConfig::default()
+            }),
+        )
+        .unwrap();
+        CrawlPool::new(CrawlPoolConfig {
+            workers: 8,
+            ..CrawlPoolConfig::default()
+        })
+        .crawl(server.addr())
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.outcome, b.outcome, "merged outcome must be byte-identical");
+    assert_eq!(a.admission, b.admission, "fleet totals must be stable");
+    assert_eq!(a.outcome.apps.len(), 52, "every app recovered despite chaos");
+    assert!(a.outcome.dropouts.is_empty(), "{:?}", a.outcome.dropouts);
+    assert!(
+        a.outcome.stats.retries > 0,
+        "the plan must actually have injected faults: {:?}",
+        a.outcome.stats
+    );
+}
+
+#[test]
+#[ignore = "wall-clock comparison; run manually (cargo test -- --ignored) on an idle machine"]
+fn pooled_crawl_is_faster_than_sequential_on_small() {
+    let server = StoreServer::start(generate(CorpusScale::Small, Snapshot::Y2021, 7)).unwrap();
+    let addr = server.addr();
+    let t0 = std::time::Instant::now();
+    let mut seq = Crawler::builder(addr).build().unwrap();
+    let sequential = seq.crawl_all().unwrap();
+    let t_seq = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let pooled = CrawlPool::new(CrawlPoolConfig {
+        workers: 8,
+        ..CrawlPoolConfig::default()
+    })
+    .crawl(addr)
+    .unwrap();
+    let t_pool = t1.elapsed();
+    assert_eq!(pooled.outcome.apps, sequential.apps);
+    assert!(
+        t_pool < t_seq,
+        "8 workers ({t_pool:?}) should beat sequential ({t_seq:?})"
+    );
 }
 
 #[test]

@@ -7,7 +7,7 @@ use gaugenn::apk::zip::{ZipArchive, ZipWriter};
 use gaugenn::core::extract::extract_app;
 use gaugenn::playstore::chaos::{FaultKind, FaultPlan, FaultPlanConfig};
 use gaugenn::playstore::corpus::{generate, CorpusScale, Snapshot};
-use gaugenn::playstore::crawler::{AppMeta, CrawlStage, CrawledApp, Crawler, CrawlerConfig};
+use gaugenn::playstore::crawler::{AppMeta, CrawlStage, CrawledApp, Crawler};
 use gaugenn::playstore::server::StoreServer;
 use std::io::Write;
 use std::net::TcpListener;
@@ -85,7 +85,7 @@ fn crawler_surfaces_server_that_closes_mid_response() {
             drop(stream);
         }
     });
-    let mut crawler = Crawler::connect(addr, CrawlerConfig::default()).unwrap();
+    let mut crawler = Crawler::builder(addr).build().unwrap();
     assert!(crawler.categories().is_err());
     handle.join().unwrap();
 }
@@ -101,7 +101,7 @@ fn crawler_surfaces_partial_response() {
             let _ = stream.write_all(b"GAUGE/1.0 200 OK\r\nContent-Length: 999\r\n\r\nshort");
         }
     });
-    let mut crawler = Crawler::connect(addr, CrawlerConfig::default()).unwrap();
+    let mut crawler = Crawler::builder(addr).build().unwrap();
     assert!(crawler.categories().is_err());
     handle.join().unwrap();
 }
@@ -160,7 +160,7 @@ fn chaos_crawl_recovers_every_transient_app_deterministically() {
     let crawl = |cfg: FaultPlanConfig| {
         let corpus = generate(CorpusScale::Tiny, Snapshot::Y2021, 7);
         let server = StoreServer::start_with_chaos(corpus, FaultPlan::new(cfg)).unwrap();
-        let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
+        let mut crawler = Crawler::builder(server.addr()).build().unwrap();
         let outcome = crawler.crawl_all().unwrap();
         let requests = server.chaos().unwrap().requests_seen();
         let injected = server.chaos().unwrap().injected();
@@ -208,7 +208,7 @@ fn permanent_failures_surface_as_staged_dropouts() {
         }),
     )
     .unwrap();
-    let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
+    let mut crawler = Crawler::builder(server.addr()).build().unwrap();
     let outcome = crawler.crawl_all().unwrap();
     assert_eq!(outcome.apps.len(), 50);
     assert_eq!(outcome.dropouts.len(), 2, "{:?}", outcome.dropouts);
@@ -247,7 +247,7 @@ fn malformed_metadata_is_a_typed_error_not_a_zero() {
             }
         }
     });
-    let mut crawler = Crawler::connect(addr, CrawlerConfig::default()).unwrap();
+    let mut crawler = Crawler::builder(addr).build().unwrap();
     let err = crawler.app_meta("com.x").unwrap_err();
     assert!(
         err.to_string().contains("malformed metadata field 'downloads'"),
@@ -273,7 +273,7 @@ fn desynced_keepalive_stream_is_reconnected() {
         }),
     )
     .unwrap();
-    let mut crawler = Crawler::connect(server.addr(), CrawlerConfig::default()).unwrap();
+    let mut crawler = Crawler::builder(server.addr()).build().unwrap();
     let cats = crawler.categories().unwrap();
     assert!(cats.contains(&"communication".to_string()));
     let apps = crawler.list_category("communication").unwrap();

@@ -1,0 +1,219 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace
+//! uses: `Criterion`, `benchmark_group`, `bench_function`, `Throughput`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! It times each benchmark closure over `sample_size` iterations with
+//! `std::time::Instant` and prints a one-line median + throughput — no
+//! warm-up, outlier rejection, or HTML reports. Good enough to keep the
+//! bench targets compiling, runnable, and indicative offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, once per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = f();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        run_one(&id.into(), self.sample_size, None, f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group sharing throughput/sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput for the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the group's sample size.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Close the group (kept for API parity; reporting is per-bench).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            format!("  {:>10.1} MiB/s", n as f64 / median.as_secs_f64() / (1 << 20) as f64)
+        }
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!("  {:>10.1} elem/s", n as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{id:<40} median {median:>12.3?} ({} samples){rate}", samples.len());
+}
+
+/// Define a named benchmark suite (both the `name=/config=/targets=` form
+/// and the positional `criterion_group!(name, target, ..)` form).
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the listed suites. Accepts and ignores criterion's
+/// CLI flags (`--bench`, filters) so `cargo bench`'s harness calls work.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($suite:path),+ $(,)?) => {
+        fn main() {
+            $( $suite(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure_sample_size_times() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default().sample_size(5);
+        c.bench_function("counter", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn groups_honour_overrides() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default().sample_size(50);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert_eq!(calls, 3);
+    }
+
+    criterion_group! {
+        name = demo;
+        config = Criterion::default().sample_size(2);
+        targets = demo_target
+    }
+
+    fn demo_target(c: &mut Criterion) {
+        c.bench_function("demo", |b| b.iter(|| std::hint::black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_macro_expands() {
+        demo();
+    }
+}

@@ -1,0 +1,276 @@
+//! Offline stand-in for the subset of `crossbeam` 0.8 this workspace
+//! uses: `channel::{unbounded, Sender, Receiver}` with MPMC semantics
+//! (both halves are `Clone`; `recv` unblocks with `Err` once every sender
+//! is dropped and the queue is drained).
+//!
+//! Implemented as a `Mutex<VecDeque>` + `Condvar` — adequate for the
+//! work-queue fan-out patterns in this repo, with none of crossbeam's
+//! lock-free performance. The API shape is what matters offline.
+
+#![forbid(unsafe_code)]
+
+/// MPMC channels (the only crossbeam module this workspace touches).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is drained
+    /// and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel momentarily empty but senders remain.
+        Empty,
+        /// Channel drained and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Deadline elapsed with the channel still empty.
+        Timeout,
+        /// Channel drained and all senders dropped.
+        Disconnected,
+    }
+
+    /// Producer half; cloning adds another producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Consumer half; cloning adds another consumer competing for items.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`. Never blocks (unbounded); errs only if every
+        /// receiver has been dropped — which this shim cannot observe
+        /// cheaply, so like crossbeam's unbounded channel it simply
+        /// enqueues (the value is dropped with the queue).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.items.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders += 1;
+            drop(state);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
+                // Wake every blocked receiver so they can observe EOF.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until an item arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(item) = state.items.pop_front() {
+                Ok(item)
+            } else if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (s, _timed_out) = self
+                    .shared
+                    .ready
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = s;
+            }
+        }
+
+        /// Iterator that drains the channel until disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    /// Blocking iterator over received items.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn fifo_single_consumer() {
+            let (tx, rx) = unbounded::<u32>();
+            for i in 0..5 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let got: Vec<u32> = rx.iter().collect();
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn competing_consumers_partition_the_queue() {
+            let (tx, rx) = unbounded::<u32>();
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    thread::spawn(move || rx.iter().count())
+                })
+                .collect();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            drop(rx);
+            let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+            assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn timeout_fires_on_empty_channel() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn try_recv_distinguishes_empty_and_disconnected() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(1).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+    }
+}

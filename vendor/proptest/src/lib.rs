@@ -1,0 +1,596 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! Supports the `proptest! { #[test] fn name(x in strategy, ..) { .. } }`
+//! macro (with an optional `#![proptest_config(..)]` header), the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!` macros, `any::<T>()`,
+//! numeric range strategies, regex-subset string strategies
+//! (`"[a-z0-9_/]{1,24}"`, `"\\PC{0,40}"`, …), tuple strategies, and
+//! `prop::collection::{vec, btree_set}`.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! file: each test runs `cases` deterministic inputs derived from the
+//! test's name, so a failure reproduces on every run. The printed case
+//! index identifies the failing input.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test deterministic random stream (SplitMix64). The seed mixes the
+/// test name and the case index so every case across every test draws an
+/// independent, reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for `case` of the test `name`.
+    pub fn new(name: &str, case: u32) -> TestRng {
+        let mut h = 0xcbf29ce484222325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            state: h ^ ((case as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi]` (inclusive).
+    pub fn below(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "empty draw span");
+        self.next_u64() % span
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Number of cases to run per property (the only config knob used here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many generated inputs each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; these properties are cheap, so
+        // match it.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+// ---- numeric ranges ------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*}
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*}
+}
+float_range_strategy!(f32, f64);
+
+// ---- any::<T>() ----------------------------------------------------------
+
+/// Types with a whole-domain default strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        // Arbitrary bit patterns, with signalling NaNs quietened so
+        // bit-exact roundtrip assertions are not at the mercy of the FPU.
+        let mut bits = rng.next_u64() as u32;
+        if bits & 0x7F80_0000 == 0x7F80_0000 && bits & 0x007F_FFFF != 0 {
+            bits |= 0x0040_0000;
+        }
+        f32::from_bits(bits)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mut bits = rng.next_u64();
+        if bits & 0x7FF0_0000_0000_0000 == 0x7FF0_0000_0000_0000
+            && bits & 0x000F_FFFF_FFFF_FFFF != 0
+        {
+            bits |= 0x0008_0000_0000_0000;
+        }
+        f64::from_bits(bits)
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---- tuples --------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*}
+}
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+// ---- regex-subset string strategies --------------------------------------
+
+/// One parsed pattern atom: a set of candidate chars plus a repetition.
+struct Atom {
+    chars: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+/// Candidate pool for `\PC` ("any printable char"): full ASCII printable
+/// plus a few multi-byte scalars so UTF-8 handling gets exercised.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (' '..='~').collect();
+    pool.extend(['é', 'ß', 'λ', 'Ж', '中', '日', '€', '→', '𝄞', '🙂']);
+    pool
+}
+
+/// Parse the regex subset used by the workspace's patterns: sequences of
+/// `[class]`, `\PC`, or literal chars, each with an optional `{n}`/`{m,n}`
+/// repetition. Panics on anything outside that subset so an unsupported
+/// pattern fails loudly instead of silently generating garbage.
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let pool = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated [class] in pattern {pattern:?}")
+                    });
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().expect("checked");
+                            let hi = chars.next().expect("peeked");
+                            assert!(lo <= hi, "bad range {lo}-{hi} in {pattern:?}");
+                            // `lo` is already in `class`; add the rest.
+                            for code in (lo as u32 + 1)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(code) {
+                                    class.push(ch);
+                                }
+                            }
+                        }
+                        c => {
+                            class.push(c);
+                            prev = Some(c);
+                        }
+                    }
+                }
+                assert!(!class.is_empty(), "empty [class] in {pattern:?}");
+                class
+            }
+            '\\' => match chars.next() {
+                Some('P') => {
+                    assert_eq!(
+                        chars.next(),
+                        Some('C'),
+                        "only \\PC is supported in {pattern:?}"
+                    );
+                    printable_pool()
+                }
+                Some(esc @ ('\\' | '.' | '[' | ']' | '{' | '}')) => vec![esc],
+                other => panic!("unsupported escape \\{other:?} in {pattern:?}"),
+            },
+            '.' => printable_pool(),
+            c => vec![c],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => panic!("unterminated {{m,n}} in {pattern:?}"),
+                }
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repetition min"),
+                    n.trim().parse().expect("repetition max"),
+                ),
+                None => {
+                    let n: u32 = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition {{{min},{max}}} in {pattern:?}");
+        atoms.push(Atom {
+            chars: pool,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as u32;
+            for _ in 0..n {
+                out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+// ---- collections ---------------------------------------------------------
+
+/// A size argument for collection strategies.
+pub trait IntoSizeRange {
+    /// Inclusive (min, max) element counts.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::{IntoSizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Strategy producing `Vec<S::Value>` with a length in `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `Vec` strategy with element strategy `elem` and `size` elements.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { elem, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet<S::Value>` with a size in `size`.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `BTreeSet` strategy. The element strategy's domain must comfortably
+    /// exceed the requested size (true for every use in this repo); the
+    /// generator gives up with a panic after a bounded number of duplicate
+    /// draws rather than looping forever.
+    pub fn btree_set<S>(elem: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        let (min, max) = size.bounds();
+        BTreeSetStrategy { elem, min, max }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+            let mut set = BTreeSet::new();
+            let mut misses = 0usize;
+            while set.len() < target {
+                if !set.insert(self.elem.generate(rng)) {
+                    misses += 1;
+                    assert!(
+                        misses < 1000 + target * 100,
+                        "btree_set strategy: element domain too small for size {target}"
+                    );
+                }
+            }
+            set
+        }
+    }
+}
+
+/// Everything a property test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy, TestRng,
+    };
+}
+
+/// Assert a condition inside a property (panics, as shrinking-free
+/// stand-in for proptest's early-return).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ..)`
+/// becomes a regular `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        #[test]
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::new(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(panic) = __outcome {
+                    eprintln!(
+                        "proptest `{}`: case {}/{} failed (deterministic; reruns reproduce it)",
+                        stringify!($name), __case, __config.cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = TestRng::new("pattern", 0);
+        for _ in 0..200 {
+            let s = Strategy::generate("[a-z0-9_/]{1,24}", &mut rng);
+            assert!((1..=24).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '/'));
+            let t = Strategy::generate("[ -~]{0,64}", &mut rng);
+            assert!(t.chars().count() <= 64);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)), "{t:?}");
+            let u = Strategy::generate("\\PC{0,40}", &mut rng);
+            assert!(u.chars().count() <= 40);
+            assert!(u.chars().all(|c| !c.is_control()), "{u:?}");
+        }
+    }
+
+    #[test]
+    fn collection_sizes_respect_bounds() {
+        let mut rng = TestRng::new("sizes", 1);
+        for _ in 0..100 {
+            let v = prop::collection::vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s: BTreeSet<i32> =
+                prop::collection::btree_set(-1000i32..1000, 2..32).generate(&mut rng);
+            assert!((2..32).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name_and_index() {
+        let a = Strategy::generate(&(0u64..1_000_000), &mut TestRng::new("t", 3));
+        let b = Strategy::generate(&(0u64..1_000_000), &mut TestRng::new("t", 3));
+        let c = Strategy::generate(&(0u64..1_000_000), &mut TestRng::new("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn the_macro_itself_expands_and_runs(
+            xs in prop::collection::vec(any::<u8>(), 0..8),
+            k in 1u32..=4,
+        ) {
+            prop_assert!(xs.len() < 8);
+            prop_assert_eq!(k.min(4), k, "k={}", k);
+            prop_assert_ne!(k, 0);
+        }
+    }
+}
