@@ -7,21 +7,22 @@
 //! layers — the signature of off-the-shelf models fine-tuned in their last
 //! layers.
 
-use crate::md5::md5_hex;
+use crate::md5::Md5;
 use gaugenn_dnn::Graph;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Checksum of a serialised model (all of its files; caffe and ncnn split
 /// graph and weights, and "we perform an md5 checksum on both the model
-/// and weights" — §4.5 footnote 6).
+/// and weights" — §4.5 footnote 6). The files are streamed through the
+/// block hasher in path order, never concatenated.
 pub fn model_checksum(files: &[(String, Vec<u8>)]) -> String {
     let mut sorted: Vec<&(String, Vec<u8>)> = files.iter().collect();
     sorted.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut all = Vec::new();
+    let mut h = Md5::new();
     for (_, bytes) in sorted {
-        all.extend_from_slice(bytes);
+        h.update(bytes);
     }
-    md5_hex(&all)
+    h.finalize_hex()
 }
 
 /// Per-layer weight checksums of a decoded graph: `(md5, weight_count)`
@@ -32,12 +33,13 @@ pub fn layer_checksums(graph: &Graph) -> Vec<(String, u64)> {
         .iter()
         .filter_map(|n| {
             let w = n.weights.as_ref()?;
-            let mut bytes = w.to_bytes();
+            let mut h = Md5::new();
+            h.update(&w.to_bytes());
             if let Some(b) = &n.bias {
-                bytes.extend_from_slice(&b.to_bytes());
+                h.update(&b.to_bytes());
             }
             let count = w.len() as u64 + n.bias.as_ref().map_or(0, |b| b.len() as u64);
-            Some((md5_hex(&bytes), count))
+            Some((h.finalize_hex(), count))
         })
         .collect()
 }

@@ -3,6 +3,16 @@
 //! Used exactly as the paper uses it: content fingerprinting for model and
 //! per-layer weight dedup (§4.5). MD5 is cryptographically broken; nothing
 //! here treats it as a security primitive.
+//!
+//! The hasher is streaming and block-at-a-time: [`Md5::update`] compresses
+//! 64-byte blocks straight out of the caller's slice, so hashing an APK's
+//! model files never copies the payload (the original implementation
+//! cloned the whole message to pad it — an extra allocation and memcpy of
+//! every model in the corpus, on what is now the analysis pool's hot
+//! path). The four round groups are unrolled so the per-step `f`/`g`
+//! selection is resolved at compile time. A byte-exact port of the old
+//! scalar one-shot implementation is kept in [`reference`] and pinned
+//! against the kernel by property tests.
 
 /// Per-round shift amounts.
 const S: [u32; 64] = [
@@ -25,68 +35,225 @@ const K: [u32; 64] = [
     0xeb86d391,
 ];
 
-/// Compute the 16-byte MD5 digest of `data`.
-pub fn md5(data: &[u8]) -> [u8; 16] {
-    let mut a0: u32 = 0x6745_2301;
-    let mut b0: u32 = 0xefcd_ab89;
-    let mut c0: u32 = 0x98ba_dcfe;
-    let mut d0: u32 = 0x1032_5476;
+/// Streaming MD5 state. Feed any number of [`Md5::update`] calls, then
+/// [`Md5::finalize`]; the digest equals `md5` of the concatenated input.
+#[derive(Debug, Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    /// Total message bytes fed so far.
+    len: u64,
+    /// Carry buffer for a trailing partial block.
+    buf: [u8; 64],
+    buf_len: usize,
+}
 
-    // Padding: 0x80, zeros, then the 64-bit little-endian bit length.
-    let bit_len = (data.len() as u64).wrapping_mul(8);
-    let mut msg = data.to_vec();
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
     }
-    msg.extend_from_slice(&bit_len.to_le_bytes());
+}
 
-    for chunk in msg.chunks_exact(64) {
+/// One compression round step, with `f` and `g` resolved at the call site.
+macro_rules! md5_step {
+    ($a:ident, $b:ident, $c:ident, $d:ident, $f:expr, $i:expr, $g:expr, $m:ident) => {
+        let f = $f;
+        let tmp = $d;
+        $d = $c;
+        $c = $b;
+        $b = $b.wrapping_add(
+            $a.wrapping_add(f)
+                .wrapping_add(K[$i])
+                .wrapping_add($m[$g])
+                .rotate_left(S[$i]),
+        );
+        $a = tmp;
+    };
+}
+
+impl Md5 {
+    /// Fresh hasher.
+    pub fn new() -> Md5 {
+        Md5 {
+            state: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Compress one 64-byte block into the running state.
+    fn compress(state: &mut [u32; 4], block: &[u8]) {
+        debug_assert_eq!(block.len(), 64);
         let mut m = [0u32; 16];
         for (i, w) in m.iter_mut().enumerate() {
             *w = u32::from_le_bytes([
-                chunk[4 * i],
-                chunk[4 * i + 1],
-                chunk[4 * i + 2],
-                chunk[4 * i + 3],
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
             ]);
         }
-        let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
-        for i in 0..64 {
-            let (f, g) = match i / 16 {
-                0 => ((b & c) | (!b & d), i),
-                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
-                2 => (b ^ c ^ d, (3 * i + 5) % 16),
-                _ => (c ^ (b | !d), (7 * i) % 16),
-            };
-            let tmp = d;
-            d = c;
-            c = b;
-            b = b.wrapping_add(
-                a.wrapping_add(f)
-                    .wrapping_add(K[i])
-                    .wrapping_add(m[g])
-                    .rotate_left(S[i]),
-            );
-            a = tmp;
+        let (mut a, mut b, mut c, mut d) = (state[0], state[1], state[2], state[3]);
+        let mut i = 0;
+        while i < 16 {
+            md5_step!(a, b, c, d, (b & c) | (!b & d), i, i, m);
+            i += 1;
         }
-        a0 = a0.wrapping_add(a);
-        b0 = b0.wrapping_add(b);
-        c0 = c0.wrapping_add(c);
-        d0 = d0.wrapping_add(d);
+        while i < 32 {
+            md5_step!(a, b, c, d, (d & b) | (!d & c), i, (5 * i + 1) % 16, m);
+            i += 1;
+        }
+        while i < 48 {
+            md5_step!(a, b, c, d, b ^ c ^ d, i, (3 * i + 5) % 16, m);
+            i += 1;
+        }
+        while i < 64 {
+            md5_step!(a, b, c, d, c ^ (b | !d), i, (7 * i) % 16, m);
+            i += 1;
+        }
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
     }
 
-    let mut out = [0u8; 16];
-    out[0..4].copy_from_slice(&a0.to_le_bytes());
-    out[4..8].copy_from_slice(&b0.to_le_bytes());
-    out[8..12].copy_from_slice(&c0.to_le_bytes());
-    out[12..16].copy_from_slice(&d0.to_le_bytes());
-    out
+    /// Feed bytes; whole blocks compress directly from `data` with no copy.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 64 {
+                return;
+            }
+            let buf = self.buf;
+            Self::compress(&mut self.state, &buf);
+            self.buf_len = 0;
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            Self::compress(&mut self.state, block);
+        }
+        let rest = chunks.remainder();
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buf_len = rest.len();
+    }
+
+    /// Pad and return the 16-byte digest.
+    pub fn finalize(mut self) -> [u8; 16] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding fits in at most two blocks: 0x80, zeros to 56 mod 64,
+        // then the 64-bit little-endian bit length.
+        let mut tail = [0u8; 128];
+        tail[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        tail[self.buf_len] = 0x80;
+        let tail_len = if self.buf_len < 56 { 64 } else { 128 };
+        tail[tail_len - 8..tail_len].copy_from_slice(&bit_len.to_le_bytes());
+        for block in tail[..tail_len].chunks_exact(64) {
+            Self::compress(&mut self.state, block);
+        }
+        let mut out = [0u8; 16];
+        for (i, w) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Pad and return the digest as a lowercase hex string.
+    pub fn finalize_hex(self) -> String {
+        digest_hex(self.finalize())
+    }
+}
+
+/// Compute the 16-byte MD5 digest of `data`.
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    let mut h = Md5::new();
+    h.update(data);
+    h.finalize()
 }
 
 /// MD5 digest as a lowercase hex string.
 pub fn md5_hex(data: &[u8]) -> String {
-    md5(data).iter().map(|b| format!("{b:02x}")).collect()
+    digest_hex(md5(data))
+}
+
+/// Render a digest as lowercase hex.
+pub fn digest_hex(digest: [u8; 16]) -> String {
+    let mut out = String::with_capacity(32);
+    for b in digest {
+        use std::fmt::Write;
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+/// The original scalar one-shot implementation (copy-and-pad, one fused
+/// round loop), kept byte-for-byte so property tests can pin the block
+/// kernel against it on arbitrary inputs.
+pub mod reference {
+    use super::{K, S};
+
+    /// One-shot scalar MD5 of `data`.
+    pub fn md5(data: &[u8]) -> [u8; 16] {
+        let mut a0: u32 = 0x6745_2301;
+        let mut b0: u32 = 0xefcd_ab89;
+        let mut c0: u32 = 0x98ba_dcfe;
+        let mut d0: u32 = 0x1032_5476;
+
+        // Padding: 0x80, zeros, then the 64-bit little-endian bit length.
+        let bit_len = (data.len() as u64).wrapping_mul(8);
+        let mut msg = data.to_vec();
+        msg.push(0x80);
+        while msg.len() % 64 != 56 {
+            msg.push(0);
+        }
+        msg.extend_from_slice(&bit_len.to_le_bytes());
+
+        for chunk in msg.chunks_exact(64) {
+            let mut m = [0u32; 16];
+            for (i, w) in m.iter_mut().enumerate() {
+                *w = u32::from_le_bytes([
+                    chunk[4 * i],
+                    chunk[4 * i + 1],
+                    chunk[4 * i + 2],
+                    chunk[4 * i + 3],
+                ]);
+            }
+            let (mut a, mut b, mut c, mut d) = (a0, b0, c0, d0);
+            for i in 0..64 {
+                let (f, g) = match i / 16 {
+                    0 => ((b & c) | (!b & d), i),
+                    1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                    2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                    _ => (c ^ (b | !d), (7 * i) % 16),
+                };
+                let tmp = d;
+                d = c;
+                c = b;
+                b = b.wrapping_add(
+                    a.wrapping_add(f)
+                        .wrapping_add(K[i])
+                        .wrapping_add(m[g])
+                        .rotate_left(S[i]),
+                );
+                a = tmp;
+            }
+            a0 = a0.wrapping_add(a);
+            b0 = b0.wrapping_add(b);
+            c0 = c0.wrapping_add(c);
+            d0 = d0.wrapping_add(d);
+        }
+
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&a0.to_le_bytes());
+        out[4..8].copy_from_slice(&b0.to_le_bytes());
+        out[8..12].copy_from_slice(&c0.to_le_bytes());
+        out[12..16].copy_from_slice(&d0.to_le_bytes());
+        out
+    }
 }
 
 #[cfg(test)]
@@ -116,21 +283,42 @@ mod tests {
         ];
         for (input, want) in vectors {
             assert_eq!(md5_hex(input.as_bytes()), want, "md5({input:?})");
+            assert_eq!(digest_hex(reference::md5(input.as_bytes())), want);
         }
     }
 
     #[test]
     fn padding_boundaries() {
-        // Lengths straddling the 56-byte padding boundary must all work.
-        for n in 54..70 {
+        // Lengths straddling the 56-byte padding boundary must all work,
+        // and the block kernel must agree with the reference scalar.
+        for n in 0..200 {
             let data = vec![0xABu8; n];
             let h = md5_hex(&data);
             assert_eq!(h.len(), 32);
+            assert_eq!(h, digest_hex(reference::md5(&data)), "len {n}");
             // Digest changes with one more byte.
             let mut data2 = data.clone();
             data2.push(0xAB);
             assert_ne!(h, md5_hex(&data2), "len {n}");
         }
+    }
+
+    #[test]
+    fn streaming_split_points_match_oneshot() {
+        let data: Vec<u8> = (0..512u32).map(|i| (i * 7 + 3) as u8).collect();
+        let want = md5_hex(&data);
+        for split in [0, 1, 55, 56, 63, 64, 65, 127, 128, 300, 511, 512] {
+            let mut h = Md5::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize_hex(), want, "split at {split}");
+        }
+        // Many tiny updates.
+        let mut h = Md5::new();
+        for chunk in data.chunks(3) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize_hex(), want);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! `analyzebench` — worker-count and cache scaling for the offline
+//! analysis pool.
+//!
+//! ```sh
+//! cargo run --release -p gaugenn-bench --bin analyzebench            # small corpus
+//! cargo run --release -p gaugenn-bench --bin analyzebench -- tiny
+//! ```
+//!
+//! Crawls one snapshot once, then analyses it four ways: sequentially
+//! with the content-addressed cache disabled (every instance pays the
+//! full decode + trace — the pre-cache behaviour for duplicated and
+//! undecodable models), then through [`AnalysisPool`]s of 1/2/4/8
+//! workers with the cache on. Every run must produce the identical model
+//! list; wall time, speedup over the uncached baseline, and cache hit
+//! rate are printed. EXPERIMENTS.md records a captured run.
+
+use gaugenn_core::analyze::{AnalysisConfig, AnalysisPool};
+use gaugenn_playstore::corpus::{generate, CorpusScale, Snapshot};
+use gaugenn_playstore::crawler::Crawler;
+use gaugenn_playstore::server::StoreServer;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.get(1).map(String::as_str) {
+        Some("tiny") => CorpusScale::Tiny,
+        Some("paper") => CorpusScale::Paper,
+        None | Some("small") => CorpusScale::Small,
+        Some(other) => {
+            eprintln!("unknown scale '{other}' (expected tiny|small|paper)");
+            std::process::exit(2);
+        }
+    };
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1402);
+
+    let server = StoreServer::start(generate(scale, Snapshot::Y2021, seed))?;
+    let mut crawler = Crawler::builder(server.addr()).build()?;
+    let crawled = crawler.crawl_all()?.apps;
+
+    println!(
+        "analysis pool scaling — scale {scale:?}, seed {seed}, {} apps, host cores: {}",
+        crawled.len(),
+        cores()
+    );
+
+    let t0 = Instant::now();
+    let baseline = AnalysisPool::new(AnalysisConfig {
+        workers: 1,
+        dedup_cache: false,
+    })
+    .analyse(&crawled)?;
+    let t_base = t0.elapsed();
+    let sums: Vec<&str> = baseline.models.iter().map(|m| m.checksum.as_str()).collect();
+    println!(
+        "  sequential, no cache: {:>8.1} ms  ({} instances, {} unique models)",
+        t_base.as_secs_f64() * 1e3,
+        baseline.instances.len(),
+        baseline.models.len()
+    );
+
+    for workers in [1usize, 2, 4, 8] {
+        let t = Instant::now();
+        let out = AnalysisPool::new(AnalysisConfig::with_workers(workers)).analyse(&crawled)?;
+        let dt = t.elapsed();
+        let got: Vec<&str> = out.models.iter().map(|m| m.checksum.as_str()).collect();
+        assert_eq!(got, sums, "pool must merge to the sequential model list");
+        println!(
+            "  {workers} worker(s), cached:  {:>8.1} ms  (speedup {:.2}x, hit rate {:.1}%)",
+            dt.as_secs_f64() * 1e3,
+            t_base.as_secs_f64() / dt.as_secs_f64(),
+            out.stats.cache_hit_rate() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

@@ -5,6 +5,7 @@
 //! cargo run --release -p gaugenn-bench --bin repro -- paper        # full 16.6k-app corpus
 //! cargo run --release -p gaugenn-bench --bin repro -- tiny 1402    # custom seed
 //! cargo run --release -p gaugenn-bench --bin repro -- small 1402 8 # 8 crawl workers
+//! cargo run --release -p gaugenn-bench --bin repro -- small 1402 8 4 # + 4 analysis workers
 //! ```
 //!
 //! Output is the text form of Tables 1–4, Figs. 4–15 and the §4.2/§4.5/
@@ -27,11 +28,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     };
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1402);
-    // The sharded pool merges deterministically, so the worker count only
-    // changes wall time, never a table.
+    // Both pools merge deterministically, so neither worker count ever
+    // changes a table — only wall time.
     let workers: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let analysis_workers: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(workers);
 
-    println!("gaugeNN reproduction — scale {scale:?}, seed {seed}, {workers} crawl worker(s)");
+    println!(
+        "gaugeNN reproduction — scale {scale:?}, seed {seed}, \
+         {workers} crawl worker(s), {analysis_workers} analysis worker(s)"
+    );
     println!("=================================================================");
     println!();
     println!("{}", runtime::tab1());
@@ -39,19 +44,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = |snapshot| {
         let mut c = PipelineConfig::with_scale(scale, snapshot, seed);
         c.workers = workers;
+        c.analysis_workers = analysis_workers;
         c
     };
     eprintln!("[1/5] crawling + analysing the Feb 2020 snapshot...");
     let r2020 = Pipeline::new(config(Snapshot::Y2020)).run()?;
     eprintln!("  {}", r2020.crawl_summary());
+    eprintln!("  {}", r2020.analysis_summary());
     eprintln!("[2/5] crawling + analysing the Apr 2021 snapshot...");
     let r2021 = Pipeline::new(config(Snapshot::Y2021)).run()?;
     eprintln!("  {}", r2021.crawl_summary());
+    eprintln!("  {}", r2021.analysis_summary());
 
     println!("{}", offline::tab2(&r2020, &r2021).render());
     println!("Crawl drop-out breakdown (Apr 2021 snapshot):");
     println!("{}", r2021.dropout_breakdown().render());
     println!("{}\n", r2021.crawl_summary());
+    println!(
+        "Offline analysis (Apr 2021 snapshot): {} instances, {} cache hits / {} misses, {} unique analysed\n",
+        r2021.analysis.instances,
+        r2021.analysis.cache_hits,
+        r2021.analysis.cache_misses,
+        r2021.analysis.unique_analysed
+    );
+    // Wall-clock content goes to stderr with the rest of the progress
+    // output so stdout stays byte-identical across runs.
+    eprintln!("offline-analysis stage breakdown (Apr 2021 snapshot):");
+    eprintln!("{}", r2021.analysis_breakdown().render());
     println!(
         "Sec 4.2: device-profile invariance probe: {:?} (paper: no device-specific distribution)\n",
         r2021.dataset.device_profile_invariant

@@ -1,0 +1,714 @@
+//! Parallel offline analysis with a content-addressed model cache.
+//!
+//! The paper's offline stage (§4–§6: extraction, DAG decode, FLOPs/params
+//! tracing, md5 + per-layer checksumming) used to run as one sequential
+//! loop over the crawled corpus. [`AnalysisPool`] fans it out over N
+//! worker threads using the same static-shard + ordered-merge discipline
+//! as [`gaugenn_playstore::pool::CrawlPool`]: worker `k` analyses every
+//! app whose corpus index is congruent to `k` mod N, and the merge walks
+//! apps in corpus-index order, so the produced models, instances, index
+//! docs and counters are **byte-identical to the sequential run at any
+//! worker count**.
+//!
+//! # The content-addressed cache
+//!
+//! The paper's dataset is heavily duplicated — most model instances are
+//! byte-identical copies shipped by many apps — so the expensive work
+//! (graph decode, [`trace_graph`], [`classify_graph`], [`inspect`],
+//! [`layer_checksums`]) is keyed by the cheap [`model_checksum`] over the
+//! raw bytes. The [`ModelCache`] is a sharded map (per-shard mutex, so
+//! workers hashing different models never contend on one lock) of
+//! compute-once slots: the first worker to claim a checksum computes the
+//! full analysis under the slot's own lock while later instances block on
+//! that slot and then attach to the finished result. Failed decodes are
+//! cached too — an obfuscated model shipped by 40 apps is probed once,
+//! not 40 times — while still charging one `failed_candidates` count per
+//! instance, exactly as the sequential loop did.
+//!
+//! # Determinism
+//!
+//! * which worker analyses which app is a pure function of the corpus
+//!   index — no work stealing, no shared queues;
+//! * the cache only memoises a pure function of the model bytes, so the
+//!   race for who computes a checksum first never changes *what* is
+//!   computed;
+//! * cache hit/miss totals are interleaving-independent (misses = unique
+//!   checksums, hits = instances − misses) because slots are claimed
+//!   exactly once under the shard lock;
+//! * the merge assembles everything in corpus order, so first-sighting
+//!   order — and with it model numbering, Table 2 counts and the Fig. 6
+//!   composition — matches the sequential loop bit for bit.
+//!
+//! Only the wall-clock stage timings in [`AnalysisStats`] vary run to
+//! run; they are reported for the `repro`/`analyzebench` breakdowns and
+//! deliberately excluded from [`crate::pipeline::PipelineReport`]'s
+//! deterministic text render.
+
+use crate::extract::{extract_app, AppExtraction};
+use crate::{CoreError, Result};
+use gaugenn_analysis::classify::{classify_graph, Classification, LayerComposition};
+use gaugenn_analysis::dedup::{layer_checksums, model_checksum};
+use gaugenn_analysis::etl::{doc, Index};
+use gaugenn_analysis::optim::{inspect, ModelOptim};
+use gaugenn_dnn::graph::LayerKind;
+use gaugenn_dnn::trace::{trace_graph, TraceReport};
+use gaugenn_modelfmt::Framework;
+use gaugenn_playstore::crawler::CrawledApp;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables for an [`AnalysisPool`].
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Worker threads. Clamped to a minimum of 1; 1 reproduces the old
+    /// sequential loop through the same code path.
+    pub workers: usize,
+    /// Content-addressed dedup cache in front of decode/trace. On by
+    /// default; `analyzebench` switches it off to measure what the cache
+    /// buys (every instance then pays the full decode + trace).
+    pub dedup_cache: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            workers: 1,
+            dedup_cache: true,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// Config with `workers` threads and the cache enabled.
+    pub fn with_workers(workers: usize) -> AnalysisConfig {
+        AnalysisConfig {
+            workers,
+            ..AnalysisConfig::default()
+        }
+    }
+}
+
+/// Everything computed once per unique model checksum.
+#[derive(Debug)]
+pub struct ModelAnalysis {
+    /// Model name from the decoded graph.
+    pub name: String,
+    /// FLOPs/params trace.
+    pub trace: TraceReport,
+    /// Task classification.
+    pub classification: Option<Classification>,
+    /// §6.1 optimisation inspection.
+    pub optim: ModelOptim,
+    /// Per-layer weight checksums.
+    pub layers: Vec<(String, u64)>,
+    /// Layer-family histogram (Input layers excluded) — also the Fig. 6
+    /// composition contribution, so the merge never needs the graph.
+    pub layer_families: BTreeMap<String, u64>,
+}
+
+/// Why a cached model analysis failed.
+#[derive(Debug, Clone)]
+pub enum AnalyzeFailure {
+    /// The file passed the cheap signature probe but would not decode
+    /// (truncated/corrupted/obfuscated body) — the instance drops out of
+    /// the benchmarkable set, charging one failed candidate.
+    Undecodable,
+    /// The decoded graph would not trace — fatal, aborts the pipeline
+    /// like the sequential loop's `?` did.
+    Trace(String),
+}
+
+/// A cache lookup result: the shared analysis, or the memoised failure.
+pub type ModelOutcome = std::result::Result<Arc<ModelAnalysis>, AnalyzeFailure>;
+
+/// Number of independently locked cache shards.
+const CACHE_SHARDS: usize = 16;
+
+/// One compute-once slot: the first claimant computes under the slot
+/// lock; later claimants block on it and read the finished outcome.
+struct Slot(Mutex<Option<ModelOutcome>>);
+
+/// Sharded, content-addressed, compute-once cache over model checksums.
+pub struct ModelCache {
+    shards: Vec<Mutex<BTreeMap<String, Arc<Slot>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ModelCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelCache {
+    /// Empty cache.
+    pub fn new() -> ModelCache {
+        ModelCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(BTreeMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Shard index for a checksum (FNV-1a over the hex string).
+    fn shard_of(checksum: &str) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in checksum.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        (h % CACHE_SHARDS as u64) as usize
+    }
+
+    /// Return the cached outcome for `checksum`, or run `compute` exactly
+    /// once across all workers and cache its result. Counts a miss for
+    /// the claimant and a hit for everyone else, so the totals are a pure
+    /// function of the corpus, not of thread interleaving.
+    pub fn get_or_compute(
+        &self,
+        checksum: &str,
+        compute: impl FnOnce() -> ModelOutcome,
+    ) -> ModelOutcome {
+        let slot = {
+            let mut map = self.shards[Self::shard_of(checksum)]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            match map.get(checksum) {
+                Some(slot) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    slot.clone()
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let slot = Arc::new(Slot(Mutex::new(None)));
+                    map.insert(checksum.to_string(), slot.clone());
+                    slot
+                }
+            }
+        };
+        let mut guard = slot.0.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            *guard = Some(compute());
+        }
+        guard.as_ref().expect("slot filled above").clone()
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Merged counters and wall-clock stage timings for one analysis run.
+///
+/// The counter fields are deterministic (pure functions of the corpus);
+/// the `*_us` timings are wall-clock sums across workers and vary run to
+/// run — keep them out of anything that must be byte-stable.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Apps analysed.
+    pub apps: usize,
+    /// Model instances that went through the checksum funnel.
+    pub instances: u64,
+    /// Cache hits (instances that attached to an already-claimed slot).
+    pub cache_hits: u64,
+    /// Cache misses (unique checksums, decodable or not).
+    pub cache_misses: u64,
+    /// Unique models that decoded and traced successfully.
+    pub unique_analysed: u64,
+    /// Wall-clock in app extraction across all workers, microseconds.
+    pub extract_us: u64,
+    /// Wall-clock computing whole-model checksums, microseconds.
+    pub checksum_us: u64,
+    /// Wall-clock in graph decode, microseconds.
+    pub decode_us: u64,
+    /// Wall-clock in trace/classify/inspect/layer-checksums, microseconds.
+    pub trace_us: u64,
+}
+
+impl AnalysisStats {
+    /// Fraction of instances served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.instances as f64
+        }
+    }
+
+    /// Total analysis wall-clock across all stages, milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        (self.extract_us + self.checksum_us + self.decode_us + self.trace_us) as f64 / 1e3
+    }
+}
+
+/// One unique (by checksum) model with every offline analysis attached.
+#[derive(Debug, Clone)]
+pub struct ModelRecord {
+    /// md5 over all model files.
+    pub checksum: String,
+    /// Model name from the graph.
+    pub name: String,
+    /// Container framework.
+    pub framework: Framework,
+    /// Serialized size in bytes (all files).
+    pub size_bytes: usize,
+    /// FLOPs/params trace.
+    pub trace: TraceReport,
+    /// Task classification (None for the unidentifiable tail).
+    pub classification: Option<Classification>,
+    /// §6.1 optimisation inspection.
+    pub optim: ModelOptim,
+    /// Per-layer weight checksums for the §4.5 lineage analysis.
+    pub layers: Vec<(String, u64)>,
+    /// Layer-family histogram for Fig. 6.
+    pub layer_families: BTreeMap<String, u64>,
+    /// Number of apps carrying this model.
+    pub app_count: usize,
+}
+
+/// One model instance (a file in an app).
+#[derive(Debug, Clone)]
+pub struct InstanceRecord {
+    /// App package.
+    pub app: String,
+    /// Store category.
+    pub category: String,
+    /// Primary file path inside the app.
+    pub path: String,
+    /// Checksum linking to the [`ModelRecord`].
+    pub checksum: String,
+}
+
+/// Everything the offline stage produced, merged in corpus order.
+#[derive(Debug)]
+pub struct AnalysisOutput {
+    /// Per-app extraction facts, in corpus order.
+    pub apps: Vec<AppExtraction>,
+    /// Unique models in first-sighting order.
+    pub models: Vec<ModelRecord>,
+    /// Checksum → index into `models`.
+    pub model_index: BTreeMap<String, usize>,
+    /// All decodable model instances, in corpus order.
+    pub instances: Vec<InstanceRecord>,
+    /// Metadata index (the ElasticSearch stand-in).
+    pub index: Index,
+    /// Fig. 6 layer composition.
+    pub composition: LayerComposition,
+    /// Candidate files that failed signature validation or decode.
+    pub failed_candidates: usize,
+    /// Models found outside the base APK (§4.2: expected 0).
+    pub models_outside_apk: usize,
+    /// Merged counters + stage timings.
+    pub stats: AnalysisStats,
+}
+
+/// Per-worker wall-clock accumulators.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageTimers {
+    extract: Duration,
+    checksum: Duration,
+    decode: Duration,
+    trace: Duration,
+}
+
+/// One analysed model instance, pre-merge.
+struct InstanceWork {
+    path: String,
+    checksum: String,
+    framework: Framework,
+    size_bytes: usize,
+    outcome: ModelOutcome,
+}
+
+/// One analysed app, pre-merge.
+struct AppWork {
+    extraction: AppExtraction,
+    instances: Vec<InstanceWork>,
+}
+
+/// What one worker hands the merge: its shard's `(corpus index, analysed
+/// app)` pairs plus its stage timers.
+type ShardOutput = (Vec<(usize, Result<AppWork>)>, StageTimers);
+
+/// The sharded analysis pool. See the module docs for the determinism
+/// contract.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisPool {
+    config: AnalysisConfig,
+}
+
+impl AnalysisPool {
+    /// Build a pool.
+    pub fn new(config: AnalysisConfig) -> AnalysisPool {
+        AnalysisPool { config }
+    }
+
+    /// Analyse a crawled corpus with the configured worker fleet.
+    ///
+    /// Worker `k` analyses every app with `index % workers == k`; results
+    /// merge in corpus-index order, byte-identical at any worker count.
+    pub fn analyse(&self, crawled: &[CrawledApp]) -> Result<AnalysisOutput> {
+        let workers = self.config.workers.max(1);
+        let cache = ModelCache::new();
+        let use_cache = self.config.dedup_cache;
+
+        let results: Vec<ShardOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let cache = &cache;
+                    scope.spawn(move || {
+                        let mut timers = StageTimers::default();
+                        let mut out = Vec::new();
+                        for (i, app) in crawled.iter().enumerate().filter(|(i, _)| i % workers == w)
+                        {
+                            let work = analyse_app(app, cache, use_cache, &mut timers);
+                            let failed = work.is_err();
+                            out.push((i, work));
+                            if failed {
+                                // The merge aborts at the lowest-index
+                                // error; anything this worker analysed
+                                // past its own first failure is waste.
+                                break;
+                            }
+                        }
+                        (out, timers)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("analysis worker panicked"))
+                .collect()
+        });
+
+        // Merge in corpus-index order, replicating the sequential loop.
+        let mut timers = StageTimers::default();
+        let mut slots: Vec<Option<Result<AppWork>>> = (0..crawled.len()).map(|_| None).collect();
+        for (worker_out, t) in results {
+            timers.extract += t.extract;
+            timers.checksum += t.checksum;
+            timers.decode += t.decode;
+            timers.trace += t.trace;
+            for (i, work) in worker_out {
+                slots[i] = Some(work);
+            }
+        }
+
+        let mut apps: Vec<AppExtraction> = Vec::with_capacity(crawled.len());
+        let mut models: Vec<ModelRecord> = Vec::new();
+        let mut model_index: BTreeMap<String, usize> = BTreeMap::new();
+        let mut model_apps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut instances = Vec::new();
+        let mut index = Index::new();
+        let mut composition = LayerComposition::default();
+        let mut failed_candidates = 0usize;
+        let mut models_outside_apk = 0usize;
+
+        for (app, slot) in crawled.iter().zip(slots) {
+            let work = slot.expect("every app before the first error is analysed")?;
+            let extraction = work.extraction;
+            failed_candidates += extraction.failed_candidates;
+            models_outside_apk += extraction.models_outside_apk();
+            index.insert(doc([
+                ("package", app.meta.package.as_str().into()),
+                ("category", app.meta.category.as_str().into()),
+                ("downloads", app.meta.downloads.into()),
+                ("rating", (app.meta.rating as f64).into()),
+                ("is_ml", extraction.is_ml_app().into()),
+                ("has_models", (!extraction.models.is_empty()).into()),
+                ("uses_cloud", (!extraction.cloud.is_empty()).into()),
+                ("uses_nnapi", extraction.uses_nnapi.into()),
+            ]));
+            for inst in work.instances {
+                let analysis = match inst.outcome {
+                    Ok(a) => a,
+                    Err(AnalyzeFailure::Undecodable) => {
+                        // A file can pass the cheap signature probe yet
+                        // still be undecodable (truncated or corrupted
+                        // body); such instances drop out of the
+                        // benchmarkable set like the paper's obfuscated
+                        // tail, they do not abort the run.
+                        failed_candidates += 1;
+                        continue;
+                    }
+                    Err(AnalyzeFailure::Trace(e)) => {
+                        return Err(CoreError::Other(format!("trace: {e}")));
+                    }
+                };
+                instances.push(InstanceRecord {
+                    app: extraction.package.clone(),
+                    category: extraction.category.clone(),
+                    path: inst.path,
+                    checksum: inst.checksum.clone(),
+                });
+                model_apps
+                    .entry(inst.checksum.clone())
+                    .or_default()
+                    .insert(extraction.package.clone());
+                if model_index.contains_key(&inst.checksum) {
+                    continue;
+                }
+                // First sighting in corpus order: materialise the record.
+                if let Some(c) = &analysis.classification {
+                    let modality = c.task.modality();
+                    for (family, count) in &analysis.layer_families {
+                        *composition
+                            .counts
+                            .entry((modality, family.clone()))
+                            .or_default() += count;
+                    }
+                }
+                model_index.insert(inst.checksum.clone(), models.len());
+                models.push(ModelRecord {
+                    checksum: inst.checksum,
+                    name: analysis.name.clone(),
+                    framework: inst.framework,
+                    size_bytes: inst.size_bytes,
+                    trace: analysis.trace.clone(),
+                    classification: analysis.classification,
+                    optim: analysis.optim,
+                    layers: analysis.layers.clone(),
+                    layer_families: analysis.layer_families.clone(),
+                    app_count: 0,
+                });
+            }
+            apps.push(extraction);
+        }
+        for m in &mut models {
+            m.app_count = model_apps.get(&m.checksum).map_or(0, |s| s.len());
+        }
+
+        let (cache_hits, cache_misses) = cache.counters();
+        let stats = AnalysisStats {
+            workers,
+            apps: apps.len(),
+            instances: cache_hits + cache_misses,
+            cache_hits,
+            cache_misses,
+            unique_analysed: models.len() as u64,
+            extract_us: timers.extract.as_micros() as u64,
+            checksum_us: timers.checksum.as_micros() as u64,
+            decode_us: timers.decode.as_micros() as u64,
+            trace_us: timers.trace.as_micros() as u64,
+        };
+
+        Ok(AnalysisOutput {
+            apps,
+            models,
+            model_index,
+            instances,
+            index,
+            composition,
+            failed_candidates,
+            models_outside_apk,
+            stats,
+        })
+    }
+}
+
+/// Extract one app and push every found model through the cache.
+fn analyse_app(
+    app: &CrawledApp,
+    cache: &ModelCache,
+    use_cache: bool,
+    timers: &mut StageTimers,
+) -> Result<AppWork> {
+    let t0 = Instant::now();
+    let extraction = extract_app(app)?;
+    timers.extract += t0.elapsed();
+
+    let mut instances = Vec::with_capacity(extraction.models.len());
+    for found in &extraction.models {
+        let t1 = Instant::now();
+        let checksum = model_checksum(&found.files);
+        timers.checksum += t1.elapsed();
+        let outcome = if use_cache {
+            cache.get_or_compute(&checksum, || {
+                analyse_model(found.framework, &found.files, timers)
+            })
+        } else {
+            analyse_model(found.framework, &found.files, timers)
+        };
+        instances.push(InstanceWork {
+            path: found.files[0].0.clone(),
+            checksum,
+            framework: found.framework,
+            size_bytes: found.files.iter().map(|(_, b)| b.len()).sum(),
+            outcome,
+        });
+    }
+    Ok(AppWork {
+        extraction,
+        instances,
+    })
+}
+
+/// The expensive once-per-unique-checksum work: decode, trace, classify,
+/// inspect, layer-checksum.
+fn analyse_model(
+    framework: Framework,
+    files: &[(String, Vec<u8>)],
+    timers: &mut StageTimers,
+) -> ModelOutcome {
+    let t0 = Instant::now();
+    let graph = match gaugenn_modelfmt::decode(framework, files) {
+        Ok(g) => g,
+        Err(_) => {
+            timers.decode += t0.elapsed();
+            return Err(AnalyzeFailure::Undecodable);
+        }
+    };
+    timers.decode += t0.elapsed();
+
+    let t1 = Instant::now();
+    let trace = match trace_graph(&graph) {
+        Ok(t) => t,
+        Err(e) => {
+            timers.trace += t1.elapsed();
+            return Err(AnalyzeFailure::Trace(e.to_string()));
+        }
+    };
+    let classification = classify_graph(&graph);
+    let mut layer_families = BTreeMap::new();
+    for n in &graph.nodes {
+        if !matches!(n.kind, LayerKind::Input { .. }) {
+            *layer_families
+                .entry(n.kind.family().to_string())
+                .or_default() += 1;
+        }
+    }
+    let analysis = ModelAnalysis {
+        name: graph.name.clone(),
+        classification,
+        optim: inspect(&graph),
+        layers: layer_checksums(&graph),
+        trace,
+        layer_families,
+    };
+    timers.trace += t1.elapsed();
+    Ok(Arc::new(analysis))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugenn_playstore::corpus::{generate, CorpusScale, Snapshot};
+    use gaugenn_playstore::crawler::Crawler;
+    use gaugenn_playstore::server::StoreServer;
+
+    fn crawl_tiny() -> Vec<CrawledApp> {
+        let server = StoreServer::start(generate(CorpusScale::Tiny, Snapshot::Y2021, 7)).unwrap();
+        let mut c = Crawler::builder(server.addr()).build().unwrap();
+        c.crawl_all().unwrap().apps
+    }
+
+    fn checksums(out: &AnalysisOutput) -> Vec<&str> {
+        out.models.iter().map(|m| m.checksum.as_str()).collect()
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_output() {
+        let apps = crawl_tiny();
+        let one = AnalysisPool::new(AnalysisConfig::with_workers(1))
+            .analyse(&apps)
+            .unwrap();
+        for workers in [2usize, 4, 8] {
+            let n = AnalysisPool::new(AnalysisConfig::with_workers(workers))
+                .analyse(&apps)
+                .unwrap();
+            assert_eq!(checksums(&n), checksums(&one), "{workers} workers");
+            assert_eq!(n.instances.len(), one.instances.len());
+            assert_eq!(n.failed_candidates, one.failed_candidates);
+            assert_eq!(n.composition.counts, one.composition.counts);
+            assert_eq!(n.index.len(), one.index.len());
+            assert_eq!(
+                n.stats.cache_hits, one.stats.cache_hits,
+                "{workers} workers"
+            );
+            assert_eq!(n.stats.cache_misses, one.stats.cache_misses);
+        }
+    }
+
+    #[test]
+    fn cache_dedups_duplicate_models() {
+        let apps = crawl_tiny();
+        let out = AnalysisPool::new(AnalysisConfig::with_workers(4))
+            .analyse(&apps)
+            .unwrap();
+        // The corpus plants cross-app duplicates, so some instances must
+        // attach to an already-analysed checksum.
+        assert!(out.stats.cache_hits > 0, "{:?}", out.stats);
+        assert_eq!(
+            out.stats.cache_hits + out.stats.cache_misses,
+            out.stats.instances
+        );
+        // Decodable uniques are a subset of the misses (undecodable
+        // candidates also claim a slot, once each).
+        assert!(out.stats.unique_analysed <= out.stats.cache_misses);
+        assert_eq!(out.stats.unique_analysed as usize, out.models.len());
+    }
+
+    #[test]
+    fn cache_disabled_matches_cached_output() {
+        let apps = crawl_tiny();
+        let cached = AnalysisPool::new(AnalysisConfig::with_workers(2))
+            .analyse(&apps)
+            .unwrap();
+        let uncached = AnalysisPool::new(AnalysisConfig {
+            workers: 2,
+            dedup_cache: false,
+        })
+        .analyse(&apps)
+        .unwrap();
+        assert_eq!(checksums(&uncached), checksums(&cached));
+        assert_eq!(uncached.failed_candidates, cached.failed_candidates);
+        assert_eq!(uncached.stats.cache_hits, 0, "no cache, no hits");
+    }
+
+    #[test]
+    fn model_index_points_at_models() {
+        let apps = crawl_tiny();
+        let out = AnalysisPool::new(AnalysisConfig::default())
+            .analyse(&apps)
+            .unwrap();
+        assert_eq!(out.model_index.len(), out.models.len());
+        for (sum, &i) in &out.model_index {
+            assert_eq!(&out.models[i].checksum, sum);
+        }
+    }
+
+    #[test]
+    fn compute_once_under_contention() {
+        use std::sync::atomic::AtomicUsize;
+        let cache = ModelCache::new();
+        let computed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..100 {
+                        let key = format!("checksum-{}", i % 10);
+                        let _ = cache.get_or_compute(&key, || {
+                            computed.fetch_add(1, Ordering::Relaxed);
+                            Err(AnalyzeFailure::Undecodable)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(computed.load(Ordering::Relaxed), 10, "one compute per key");
+        let (hits, misses) = cache.counters();
+        assert_eq!(misses, 10);
+        assert_eq!(hits, 800 - 10);
+    }
+}

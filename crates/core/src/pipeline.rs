@@ -1,19 +1,19 @@
 //! The end-to-end gaugeNN pipeline: generate a store, crawl it over TCP,
 //! extract + validate + decode models, and run the offline analyses.
 
-use crate::extract::{extract_app, AppExtraction};
+use crate::analyze::{AnalysisConfig, AnalysisPool, AnalysisStats};
+use crate::extract::AppExtraction;
 use crate::report::TextTable;
-use crate::{CoreError, Result};
-use gaugenn_analysis::classify::{classify_graph, Classification, LayerComposition};
-use gaugenn_analysis::dedup::{layer_checksums, model_checksum};
-use gaugenn_analysis::etl::{doc, Index};
-use gaugenn_analysis::optim::{inspect, ModelOptim};
-use gaugenn_dnn::trace::{trace_graph, TraceReport};
+use crate::Result;
+use gaugenn_analysis::classify::LayerComposition;
+use gaugenn_analysis::etl::Index;
 use gaugenn_modelfmt::Framework;
 use gaugenn_playstore::admission::{AdmissionConfig, AdmissionStats};
 use gaugenn_playstore::chaos::{FaultPlan, FaultPlanConfig};
 use gaugenn_playstore::corpus::{generate, CorpusScale, Snapshot};
-use gaugenn_playstore::crawler::{CrawlStage, CrawlStats, Crawler, CrawlerConfig, DropOut, RetryPolicy};
+use gaugenn_playstore::crawler::{
+    CrawlStage, CrawlStats, Crawler, CrawlerConfig, DropOut, RetryPolicy,
+};
 use gaugenn_playstore::pool::{CrawlPool, CrawlPoolConfig};
 use gaugenn_playstore::server::StoreServer;
 use std::collections::BTreeMap;
@@ -45,6 +45,11 @@ pub struct PipelineConfig {
     /// Re-crawl a sample with an old device profile and compare APKs
     /// (§4.2's device-specific-distribution probe).
     pub probe_device_profiles: bool,
+    /// Offline-analysis worker threads. 1 (the default) analyses
+    /// sequentially; more fan the crawled corpus over a sharded
+    /// [`AnalysisPool`] whose merged report is byte-identical to the
+    /// sequential run at any worker count.
+    pub analysis_workers: usize,
 }
 
 impl PipelineConfig {
@@ -75,47 +80,12 @@ impl PipelineConfig {
             admission: AdmissionConfig::default(),
             chaos: None,
             probe_device_profiles: true,
+            analysis_workers: 1,
         }
     }
 }
 
-/// One unique (by checksum) model with every offline analysis attached.
-#[derive(Debug, Clone)]
-pub struct ModelRecord {
-    /// md5 over all model files.
-    pub checksum: String,
-    /// Model name from the graph.
-    pub name: String,
-    /// Container framework.
-    pub framework: Framework,
-    /// Serialized size in bytes (all files).
-    pub size_bytes: usize,
-    /// FLOPs/params trace.
-    pub trace: TraceReport,
-    /// Task classification (None for the unidentifiable tail).
-    pub classification: Option<Classification>,
-    /// §6.1 optimisation inspection.
-    pub optim: ModelOptim,
-    /// Per-layer weight checksums for the §4.5 lineage analysis.
-    pub layers: Vec<(String, u64)>,
-    /// Layer-family histogram for Fig. 6.
-    pub layer_families: BTreeMap<String, u64>,
-    /// Number of apps carrying this model.
-    pub app_count: usize,
-}
-
-/// One model instance (a file in an app).
-#[derive(Debug, Clone)]
-pub struct InstanceRecord {
-    /// App package.
-    pub app: String,
-    /// Store category.
-    pub category: String,
-    /// Primary file path inside the app.
-    pub path: String,
-    /// Checksum linking to the [`ModelRecord`].
-    pub checksum: String,
-}
+pub use crate::analyze::{InstanceRecord, ModelRecord};
 
 /// Table 2-shaped dataset summary — *measured*, not copied from the
 /// corpus spec.
@@ -167,6 +137,9 @@ pub struct PipelineReport {
     pub dataset: DatasetSummary,
     /// Unique models with analyses.
     pub models: Vec<ModelRecord>,
+    /// Checksum → index into `models`, kept alongside so per-checksum
+    /// lookups are a map probe, not a linear scan.
+    pub model_index: BTreeMap<String, usize>,
     /// All instances.
     pub instances: Vec<InstanceRecord>,
     /// Per-app extraction facts.
@@ -184,12 +157,17 @@ pub struct PipelineReport {
     pub admission: Option<AdmissionStats>,
     /// Crawl workers used.
     pub workers: usize,
+    /// Offline-analysis counters and per-stage wall-clock timings (the
+    /// timing fields vary run to run and are excluded from
+    /// [`PipelineReport::render_text`]).
+    pub analysis: AnalysisStats,
 }
 
 impl PipelineReport {
-    /// Model record by checksum.
+    /// Model record by checksum — a `model_index` probe, so iterating
+    /// every instance stays O(n log u) instead of the old O(n·u) scan.
     pub fn model(&self, checksum: &str) -> Option<&ModelRecord> {
-        self.models.iter().find(|m| m.checksum == checksum)
+        self.model_index.get(checksum).map(|&i| &self.models[i])
     }
 
     /// Instance count per framework (§4.3 / Fig. 4).
@@ -210,9 +188,7 @@ impl PipelineReport {
         let mut t = TextTable::new(["crawl stage", "drop-outs", "example"]);
         for stage in CrawlStage::ALL {
             let mut of_stage = self.dropouts.iter().filter(|d| d.stage == stage);
-            let example = of_stage
-                .next()
-                .map_or(String::new(), |d| d.package.clone());
+            let example = of_stage.next().map_or(String::new(), |d| d.package.clone());
             let count = self.dropouts.iter().filter(|d| d.stage == stage).count();
             t.row([stage.name().to_string(), count.to_string(), example]);
         }
@@ -249,6 +225,94 @@ impl PipelineReport {
             if let Some(m) = self.model(&inst.checksum) {
                 *out.entry((inst.category.clone(), m.framework)).or_default() += 1;
             }
+        }
+        out
+    }
+
+    /// One-line offline-analysis summary. Cache counters are corpus
+    /// properties (deterministic at any worker count); the trailing
+    /// wall-clock total is not.
+    pub fn analysis_summary(&self) -> String {
+        let a = &self.analysis;
+        format!(
+            "analysis: {} worker(s), {} apps, {} instances, \
+             {} cache hits / {} misses ({:.1}% hit rate), {} unique analysed, {:.1} ms",
+            a.workers,
+            a.apps,
+            a.instances,
+            a.cache_hits,
+            a.cache_misses,
+            a.cache_hit_rate() * 100.0,
+            a.unique_analysed,
+            a.total_ms(),
+        )
+    }
+
+    /// Per-stage wall-clock breakdown of the offline analysis (extract /
+    /// checksum / decode / trace), summed across workers. Wall-clock
+    /// content: do not fold into anything that must be byte-stable.
+    pub fn analysis_breakdown(&self) -> TextTable {
+        let a = &self.analysis;
+        let stages = [
+            ("extract", a.extract_us),
+            ("checksum", a.checksum_us),
+            ("decode", a.decode_us),
+            ("trace+classify", a.trace_us),
+        ];
+        let total: u64 = stages.iter().map(|(_, us)| us).sum();
+        let mut t = TextTable::new(["analysis stage", "ms", "share"]);
+        for (name, us) in stages {
+            let share = if total == 0 {
+                0.0
+            } else {
+                us as f64 / total as f64 * 100.0
+            };
+            t.row([
+                name.to_string(),
+                format!("{:.1}", us as f64 / 1e3),
+                format!("{share:.1}%"),
+            ]);
+        }
+        t.row([
+            "total".to_string(),
+            format!("{:.1}", total as f64 / 1e3),
+            String::new(),
+        ]);
+        t
+    }
+
+    /// Deterministic text render of the corpus-derived report content:
+    /// the dataset summary, drop-out breakdown, cache counters, every
+    /// model record and the per-framework instance counts. Byte-identical
+    /// across crawl and analysis worker counts on the same corpus —
+    /// wall-clock timings and worker counts are deliberately excluded —
+    /// which is what the determinism tests pin.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "gaugeNN report: scale={:?} snapshot={:?} seed={}\n",
+            self.scale, self.snapshot, self.seed
+        ));
+        out.push_str(&format!("{:#?}\n", self.dataset));
+        out.push_str(&self.dropout_breakdown().render());
+        out.push_str(&format!(
+            "cache: {} hits, {} misses over {} instances\n",
+            self.analysis.cache_hits, self.analysis.cache_misses, self.analysis.instances
+        ));
+        let mut models = TextTable::new(["model", "checksum", "fw", "bytes", "flops", "apps"]);
+        for m in &self.models {
+            models.row([
+                m.name.clone(),
+                m.checksum.clone(),
+                format!("{:?}", m.framework),
+                m.size_bytes.to_string(),
+                m.trace.total_flops.to_string(),
+                m.app_count.to_string(),
+            ]);
+        }
+        out.push_str(&models.render());
+        for (fw, n) in self.instances_per_framework() {
+            out.push_str(&format!("instances[{fw:?}] = {n}\n"));
         }
         out
     }
@@ -316,92 +380,22 @@ impl Pipeline {
             None
         };
 
-        // Offline stage.
-        let mut apps: Vec<AppExtraction> = Vec::with_capacity(crawled.len());
-        let mut models: Vec<ModelRecord> = Vec::new();
-        let mut by_checksum: BTreeMap<String, usize> = BTreeMap::new();
-        let mut model_apps: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();
-        let mut instances = Vec::new();
-        let mut index = Index::new();
-        let mut composition = LayerComposition::default();
-        let mut failed_candidates = 0usize;
-        let mut models_outside_apk = 0usize;
-
-        for app in crawled {
-            let extraction = extract_app(app)?;
-            failed_candidates += extraction.failed_candidates;
-            models_outside_apk += extraction.models_outside_apk();
-            index.insert(doc([
-                ("package", app.meta.package.as_str().into()),
-                ("category", app.meta.category.as_str().into()),
-                ("downloads", app.meta.downloads.into()),
-                ("rating", (app.meta.rating as f64).into()),
-                ("is_ml", extraction.is_ml_app().into()),
-                ("has_models", (!extraction.models.is_empty()).into()),
-                ("uses_cloud", (!extraction.cloud.is_empty()).into()),
-                ("uses_nnapi", extraction.uses_nnapi.into()),
-            ]));
-            for found in &extraction.models {
-                let checksum = model_checksum(&found.files);
-                instances.push(InstanceRecord {
-                    app: extraction.package.clone(),
-                    category: extraction.category.clone(),
-                    path: found.files[0].0.clone(),
-                    checksum: checksum.clone(),
-                });
-                model_apps
-                    .entry(checksum.clone())
-                    .or_default()
-                    .insert(extraction.package.clone());
-                if by_checksum.contains_key(&checksum) {
-                    continue;
-                }
-                // First sighting: decode and analyse once. A file can pass
-                // the cheap signature probe yet still be undecodable (a
-                // truncated or corrupted body); such models drop out of
-                // the benchmarkable set like the paper's obfuscated tail,
-                // they do not abort the crawl.
-                let graph = match gaugenn_modelfmt::decode(found.framework, &found.files) {
-                    Ok(g) => g,
-                    Err(_) => {
-                        failed_candidates += 1;
-                        instances.pop();
-                        continue;
-                    }
-                };
-                let trace =
-                    trace_graph(&graph).map_err(|e| CoreError::Other(format!("trace: {e}")))?;
-                let classification = classify_graph(&graph);
-                if let Some(c) = classification {
-                    composition.add(c.task.modality(), &graph);
-                }
-                let mut layer_families = BTreeMap::new();
-                for n in &graph.nodes {
-                    if !matches!(n.kind, gaugenn_dnn::graph::LayerKind::Input { .. }) {
-                        *layer_families
-                            .entry(n.kind.family().to_string())
-                            .or_default() += 1;
-                    }
-                }
-                by_checksum.insert(checksum.clone(), models.len());
-                models.push(ModelRecord {
-                    checksum,
-                    name: graph.name.clone(),
-                    framework: found.framework,
-                    size_bytes: found.files.iter().map(|(_, b)| b.len()).sum(),
-                    trace,
-                    classification,
-                    optim: inspect(&graph),
-                    layers: layer_checksums(&graph),
-                    layer_families,
-                    app_count: 0,
-                });
-            }
-            apps.push(extraction);
-        }
-        for m in &mut models {
-            m.app_count = model_apps.get(&m.checksum).map_or(0, |s| s.len());
-        }
+        // Offline stage: fan the corpus over the analysis pool (1 worker
+        // reproduces the old sequential loop through the same code path).
+        let analysed =
+            AnalysisPool::new(AnalysisConfig::with_workers(self.config.analysis_workers))
+                .analyse(crawled)?;
+        let crate::analyze::AnalysisOutput {
+            apps,
+            models,
+            model_index,
+            instances,
+            index,
+            composition,
+            failed_candidates,
+            models_outside_apk,
+            stats: analysis,
+        } = analysed;
 
         let dataset = DatasetSummary {
             snapshot: self.config.snapshot.label(),
@@ -416,10 +410,7 @@ impl Pipeline {
             nnapi_apps: apps.iter().filter(|a| a.uses_nnapi).count(),
             xnnpack_apps: apps.iter().filter(|a| a.uses_xnnpack).count(),
             snpe_apps: apps.iter().filter(|a| a.uses_snpe).count(),
-            on_device_training_apps: apps
-                .iter()
-                .filter(|a| a.uses_on_device_training)
-                .count(),
+            on_device_training_apps: apps.iter().filter(|a| a.uses_on_device_training).count(),
             download_dropouts: outcome.dropouts.len(),
             device_profile_invariant,
         };
@@ -430,6 +421,7 @@ impl Pipeline {
             seed: self.config.seed,
             dataset,
             models,
+            model_index,
             instances,
             apps,
             index,
@@ -438,6 +430,7 @@ impl Pipeline {
             crawl_stats: outcome.stats,
             admission,
             workers,
+            analysis,
         })
     }
 }
@@ -460,7 +453,10 @@ mod tests {
         assert_eq!(r.dataset.benchmarkable_apps, 10);
         assert!(r.dataset.total_models >= 10);
         assert!(r.dataset.unique_models <= r.dataset.total_models);
-        assert!(r.dataset.failed_candidates > 0, "decoys + obfuscated models");
+        assert!(
+            r.dataset.failed_candidates > 0,
+            "decoys + obfuscated models"
+        );
         assert_eq!(r.dataset.models_outside_apk, 0, "the §4.2 finding");
         assert_eq!(r.dataset.cloud_apps, 7);
         assert_eq!(r.dataset.download_dropouts, 0, "clean store drops nothing");
@@ -527,6 +523,51 @@ mod tests {
     }
 
     #[test]
+    fn parallel_analysis_matches_sequential() {
+        let sequential = run_tiny();
+        assert_eq!(sequential.analysis.workers, 1);
+        for analysis_workers in [2usize, 8] {
+            let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
+            cfg.analysis_workers = analysis_workers;
+            let parallel = Pipeline::new(cfg).run().unwrap();
+            assert_eq!(parallel.analysis.workers, analysis_workers);
+            assert_eq!(parallel.dataset, sequential.dataset);
+            assert_eq!(
+                parallel.render_text(),
+                sequential.render_text(),
+                "{analysis_workers} analysis workers"
+            );
+        }
+    }
+
+    #[test]
+    fn analysis_cache_hits_on_duplicate_models() {
+        let r = run_tiny();
+        // The corpus plants cross-app duplicate models, so instances must
+        // outnumber unique checksums and the cache must score hits.
+        assert!(r.analysis.cache_hits > 0, "{:?}", r.analysis);
+        assert_eq!(
+            r.analysis.cache_hits + r.analysis.cache_misses,
+            r.analysis.instances
+        );
+        assert_eq!(r.analysis.unique_analysed as usize, r.models.len());
+        assert!(r.analysis_summary().contains("cache hits"));
+        let breakdown = r.analysis_breakdown().render();
+        assert!(breakdown.contains("decode"), "{breakdown}");
+    }
+
+    #[test]
+    fn model_index_is_consistent() {
+        let r = run_tiny();
+        assert_eq!(r.model_index.len(), r.models.len());
+        for (i, m) in r.models.iter().enumerate() {
+            assert_eq!(r.model_index[&m.checksum], i);
+            assert_eq!(r.model(&m.checksum).unwrap().checksum, m.checksum);
+        }
+        assert!(r.model("not-a-checksum").is_none());
+    }
+
+    #[test]
     fn unique_models_have_full_analyses() {
         let r = run_tiny();
         for m in &r.models {
@@ -538,7 +579,11 @@ mod tests {
             assert!(!m.layer_families.is_empty());
         }
         // Most models classify (paper: 91.9 %).
-        let classified = r.models.iter().filter(|m| m.classification.is_some()).count();
+        let classified = r
+            .models
+            .iter()
+            .filter(|m| m.classification.is_some())
+            .count();
         assert!(
             classified as f64 / r.models.len() as f64 > 0.8,
             "{classified}/{}",

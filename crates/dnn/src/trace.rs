@@ -122,15 +122,20 @@ pub fn trace_graph_batched(graph: &Graph, batch: usize) -> Result<TraceReport> {
             *s = s.with_batch(batch);
         }
     }
-    let mut layers = Vec::new();
+    let mut layers = Vec::with_capacity(graph.nodes.len());
     let mut peak = 0u64;
+    // Scratch for the per-node input-shape views, reused across nodes so
+    // the trace (which the analysis pool runs once per unique model) does
+    // not allocate per layer.
+    let mut in_shapes: Vec<&Shape> = Vec::new();
     for (id, node) in graph.nodes.iter().enumerate() {
         let out = &shapes[id];
         peak = peak.max(out.elems() as u64);
         if matches!(node.kind, LayerKind::Input { .. }) {
             continue;
         }
-        let in_shapes: Vec<&Shape> = node.inputs.iter().map(|&i| &shapes[i]).collect();
+        in_shapes.clear();
+        in_shapes.extend(node.inputs.iter().map(|&i| &shapes[i]));
         let (macs, flops) = layer_ops(&node.kind, &in_shapes, out);
         let params = node.weights.as_ref().map_or(0, |w| w.len() as u64)
             + node.bias.as_ref().map_or(0, |b| b.len() as u64);

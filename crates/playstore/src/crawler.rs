@@ -378,31 +378,6 @@ impl Crawler {
         CrawlerBuilder::new(addr)
     }
 
-    /// Connect to a store server with the default [`RetryPolicy`].
-    #[deprecated(note = "use Crawler::builder(addr).config(config).build()")]
-    pub fn connect(addr: SocketAddr, config: CrawlerConfig) -> Result<Crawler> {
-        Crawler::builder(addr).config(config).build()
-    }
-
-    /// Replace the retry policy.
-    #[deprecated(note = "use CrawlerBuilder::retry before build()")]
-    pub fn with_retry(mut self, retry: RetryPolicy) -> Crawler {
-        self.retry = retry;
-        self
-    }
-
-    /// Replace the connect/read timeouts.
-    #[deprecated(note = "use CrawlerBuilder::timeouts before build()")]
-    pub fn with_timeouts(mut self, connect: Duration, read: Duration) -> Crawler {
-        self.connect_timeout = connect;
-        self.read_timeout = read;
-        if let Some(conn) = &self.conn {
-            let _ = conn.writer.set_read_timeout(Some(read));
-            let _ = conn.writer.set_write_timeout(Some(read));
-        }
-        self
-    }
-
     /// Resilience counters so far.
     pub fn stats(&self) -> &CrawlStats {
         &self.stats
@@ -1050,17 +1025,5 @@ mod tests {
             total += usize::from(!c.categories().unwrap().is_empty());
         }
         total
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        // The pre-builder constructors stay callable for one release.
-        let server = start_tiny();
-        let mut c = Crawler::connect(server.addr(), CrawlerConfig::default())
-            .unwrap()
-            .with_retry(RetryPolicy::default())
-            .with_timeouts(Duration::from_secs(2), Duration::from_secs(2));
-        assert!(c.categories().unwrap().len() >= 30);
     }
 }

@@ -23,13 +23,21 @@ verify() {
     mode="$1"
     run_cargo "$mode" build --release || return 1
     run_cargo "$mode" test -q || return 1
-    # The concurrency suite exercises the sharded crawl pool; re-run it
-    # with the test harness single-threaded so pool determinism is also
-    # proven without inter-test parallelism masking (or causing) races.
+    # The concurrency suite exercises the sharded crawl pool and the
+    # analysis pool's render determinism; re-run it with the test harness
+    # single-threaded so pool determinism is also proven without
+    # inter-test parallelism masking (or causing) races.
     run_cargo "$mode" test -q --test concurrency -- --test-threads=1 || return 1
-    # Lint gate for the crate this PR reworked; extend crate by crate.
+    # And pin the analysis-pool determinism test by name so a filtered-out
+    # rename fails loudly instead of silently skipping the gate.
+    run_cargo "$mode" test -q --test concurrency \
+        analysis_worker_count_never_changes_the_report -- --test-threads=1 \
+        || return 1
+    # Lint gate for the crates reworked so far; extend crate by crate.
     if run_cargo "$mode" clippy --version >/dev/null 2>&1; then
-        run_cargo "$mode" clippy -p gaugenn-playstore --all-targets -- -D warnings || return 1
+        run_cargo "$mode" clippy \
+            -p gaugenn-playstore -p gaugenn-core -p gaugenn-analysis \
+            --all-targets -- -D warnings || return 1
     else
         echo "verify: clippy unavailable in $mode mode; skipping lint gate"
     fi

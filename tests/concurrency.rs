@@ -105,6 +105,38 @@ fn eight_worker_chaos_crawl_is_deterministic() {
 }
 
 #[test]
+fn analysis_worker_count_never_changes_the_report() {
+    // The analysis-pool guarantee: the full pipeline's deterministic text
+    // render is byte-identical at any analysis worker count, with and
+    // without a chaotic store in front of the crawl.
+    use gaugenn::core::pipeline::{Pipeline, PipelineConfig};
+
+    let render = |analysis_workers: usize, chaos: bool| {
+        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
+        cfg.analysis_workers = analysis_workers;
+        if chaos {
+            cfg.chaos = Some(FaultPlanConfig {
+                seed: 0xD15EA5E,
+                fault_permille: 300,
+                ..FaultPlanConfig::default()
+            });
+        }
+        Pipeline::new(cfg).run().unwrap().render_text()
+    };
+    for chaos in [false, true] {
+        let sequential = render(1, chaos);
+        assert!(sequential.contains("cache:"), "render carries cache counters");
+        for workers in [2usize, 8] {
+            assert_eq!(
+                render(workers, chaos),
+                sequential,
+                "{workers} analysis workers, chaos={chaos}"
+            );
+        }
+    }
+}
+
+#[test]
 #[ignore = "wall-clock comparison; run manually (cargo test -- --ignored) on an idle machine"]
 fn pooled_crawl_is_faster_than_sequential_on_small() {
     let server = StoreServer::start(generate(CorpusScale::Small, Snapshot::Y2021, 7)).unwrap();

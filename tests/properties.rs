@@ -99,6 +99,68 @@ proptest! {
     }
 
     #[test]
+    fn md5_block_kernel_matches_reference(
+        data in prop::collection::vec(any::<u8>(), 0..700),
+        split in 0usize..700,
+    ) {
+        use gaugenn::analysis::md5::{digest_hex, reference, Md5};
+        // One-shot block kernel vs the original copy-and-pad scalar.
+        prop_assert_eq!(md5_hex(&data), digest_hex(reference::md5(&data)));
+        // Streaming at an arbitrary split point agrees too.
+        let split = split % (data.len() + 1);
+        let mut h = Md5::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize_hex(), digest_hex(reference::md5(&data)));
+    }
+
+    #[test]
+    fn md5_block_kernel_matches_reference_at_block_boundaries(
+        fill in any::<u8>(),
+        delta in 0usize..3,
+        blocks in 0usize..4,
+    ) {
+        use gaugenn::analysis::md5::{digest_hex, reference};
+        // Exactly the padding edge cases: empty, 1 byte, and lengths
+        // straddling the 55/56/64-byte block and length-field boundaries.
+        for base in [0usize, 1, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128] {
+            let len = base + delta + 64 * blocks;
+            let data = vec![fill; len];
+            prop_assert_eq!(md5_hex(&data), digest_hex(reference::md5(&data)), "len {}", len);
+        }
+    }
+
+    #[test]
+    fn crc32_sliced_kernel_matches_reference(
+        data in prop::collection::vec(any::<u8>(), 0..700),
+        split in 0usize..700,
+    ) {
+        use gaugenn::apk::crc32::{reference, Crc32};
+        // Slice-by-8 vs the original byte-at-a-time table loop, covering
+        // the empty input, the scalar tail (len % 8 != 0) and multi-fold
+        // runs in one strategy.
+        prop_assert_eq!(crc32(&data), reference::crc32(&data));
+        let split = split % (data.len() + 1);
+        let mut c = Crc32::new();
+        c.update(&data[..split]);
+        c.update(&data[split..]);
+        prop_assert_eq!(c.finalize(), reference::crc32(&data));
+    }
+
+    #[test]
+    fn crc32_sliced_kernel_matches_reference_at_fold_boundaries(
+        fill in any::<u8>(),
+        delta in 0usize..9,
+    ) {
+        use gaugenn::apk::crc32::reference;
+        // Empty, 1 byte, and every length around the 8-byte fold window.
+        for base in [0usize, 1, 7, 8, 9, 15, 16, 17, 64] {
+            let data = vec![fill; base + delta];
+            prop_assert_eq!(crc32(&data), reference::crc32(&data), "len {}", base + delta);
+        }
+    }
+
+    #[test]
     fn quantisation_error_bounded_by_half_scale(
         scale in 0.001f32..1.0,
         zero in -20i32..20,
