@@ -207,7 +207,10 @@ pub fn word_entropy(bytes: &[u8]) -> f64 {
     if words.is_empty() {
         return 0.0;
     }
-    let mut counts: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+    // BTreeMap, not HashMap: `values()` feeds a float sum below, and the
+    // entropy figure lands in the rendered report — the accumulation
+    // order must not depend on hash iteration order.
+    let mut counts: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
     for w in &words {
         *counts.entry(*w).or_default() += 1;
     }

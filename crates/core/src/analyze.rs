@@ -524,13 +524,13 @@ fn analyse_app(
     use_cache: bool,
     timers: &mut StageTimers,
 ) -> Result<AppWork> {
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // gaugelint: allow(wall-clock) — stage timers are diagnostics, never rendered into the deterministic report
     let extraction = extract_app(app)?;
     timers.extract += t0.elapsed();
 
     let mut instances = Vec::with_capacity(extraction.models.len());
     for found in &extraction.models {
-        let t1 = Instant::now();
+        let t1 = Instant::now(); // gaugelint: allow(wall-clock) — stage timers are diagnostics, never rendered into the deterministic report
         let checksum = model_checksum(&found.files);
         timers.checksum += t1.elapsed();
         let outcome = if use_cache {
@@ -561,7 +561,7 @@ fn analyse_model(
     files: &[(String, Vec<u8>)],
     timers: &mut StageTimers,
 ) -> ModelOutcome {
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // gaugelint: allow(wall-clock) — stage timers are diagnostics, never rendered into the deterministic report
     let graph = match gaugenn_modelfmt::decode(framework, files) {
         Ok(g) => g,
         Err(_) => {
@@ -571,7 +571,7 @@ fn analyse_model(
     };
     timers.decode += t0.elapsed();
 
-    let t1 = Instant::now();
+    let t1 = Instant::now(); // gaugelint: allow(wall-clock) — stage timers are diagnostics, never rendered into the deterministic report
     let trace = match trace_graph(&graph) {
         Ok(t) => t,
         Err(e) => {

@@ -244,7 +244,7 @@ mod tests {
     fn crawl_tiny() -> Vec<CrawledApp> {
         let corpus = generate(CorpusScale::Tiny, Snapshot::Y2021, 7);
         let pool = corpus.pool.clone();
-        let mut cache: std::collections::HashMap<usize, gaugenn_modelfmt::ModelArtifact> =
+        let mut cache: std::collections::BTreeMap<usize, gaugenn_modelfmt::ModelArtifact> =
             Default::default();
         corpus
             .apps

@@ -96,6 +96,7 @@ pub fn run_campaign_with(
     for spec in devices {
         let (tx, rx) = channel::unbounded::<Campaign>();
         for j in jobs {
+            // gaugelint: allow(unwrap-in-fault-path) — provably infallible: rx lives in this scope until after the loop, the channel cannot be closed yet
             tx.send(j.clone()).expect("receiver alive");
         }
         drop(tx);
@@ -148,6 +149,9 @@ fn device_worker(
         }
     };
     let mut agent = DeviceAgent::new(spec);
+    // The agent polls on the same clock the master's watchdog runs on,
+    // so a campaign on a logical clock is fully time-reproducible.
+    agent.clock = config.master.clock.clone();
     if let Some(script) = config.scripts.iter().find(|s| s.device == device) {
         agent.hang_jobs_remaining = script.hang_jobs;
     }
@@ -281,6 +285,7 @@ mod tests {
             master: MasterConfig {
                 accept_timeout: Duration::from_millis(50),
                 attempts: 1,
+                ..MasterConfig::default()
             },
             job_retries: 0,
             quarantine_after: 2,

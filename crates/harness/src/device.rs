@@ -6,6 +6,7 @@
 //! between; ④ turn WiFi on and notify the master over TCP.
 
 use crate::adb::DeviceEndpoint;
+use crate::clock::{Clock, WallClock};
 use crate::job::{JobResult, JobSpec};
 use crate::{HarnessError, Result};
 use gaugenn_dnn::exec::Executor;
@@ -16,6 +17,7 @@ use gaugenn_soc::thermal::ThermalState;
 use gaugenn_soc::DeviceSpec;
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Conventional on-device paths.
@@ -39,6 +41,10 @@ pub struct DeviceAgent {
     /// — it returns without ever phoning the master back, so the master's
     /// watchdog must fire. Zero (the default) means behave normally.
     pub hang_jobs_remaining: u32,
+    /// Time source for the power-off poll deadline. Tests share a
+    /// [`LogicalClock`](crate::clock::LogicalClock) with the master so
+    /// watchdog interplay is reproducible.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl DeviceAgent {
@@ -50,6 +56,7 @@ impl DeviceAgent {
             thermal: ThermalState::cool(),
             noise_seed: 0xD17E,
             hang_jobs_remaining: 0,
+            clock: Arc::new(WallClock),
         }
     }
 
@@ -67,12 +74,12 @@ impl DeviceAgent {
             ));
         }
         // ① Wait until the USB power channel goes dark.
-        let deadline = std::time::Instant::now() + poll_timeout;
+        let deadline_ms = self.clock.now_ms() + poll_timeout.as_millis() as u64;
         while self.endpoint.usb().power_on {
-            if std::time::Instant::now() > deadline {
+            if self.clock.now_ms() > deadline_ms {
                 return Err(HarnessError::Device("usb power never went off".into()));
             }
-            std::thread::sleep(Duration::from_millis(1));
+            self.clock.sleep_ms(1);
         }
         // The measurement gate: exactly the physical constraint the YKUSH
         // exists to enforce.

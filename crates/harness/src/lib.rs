@@ -15,6 +15,8 @@
 //!
 //! * [`job`] — job specs and result files (text-framed, adb-pullable).
 //! * [`adb`] — the adb transport and on-device file system stand-in.
+//! * [`clock`] — the injectable time source the watchdog deadlines run
+//!   on (wall clock in production, logical clock in tests).
 //! * [`device`] — the device agent: state assertions, warm-up runs, timed
 //!   runs, completion notification.
 //! * [`master`] — single-device orchestration (the Fig. 3 workflow).
@@ -25,6 +27,7 @@
 
 pub mod adb;
 pub mod campaign;
+pub mod clock;
 pub mod device;
 pub mod job;
 pub mod master;
@@ -32,6 +35,7 @@ pub mod master;
 pub use campaign::{
     run_campaign, run_campaign_with, Campaign, CampaignConfig, CampaignResult, DeviceScript,
 };
+pub use clock::{Clock, LogicalClock, WallClock};
 pub use job::{JobSpec, JobResult};
 pub use master::{Master, MasterConfig};
 

@@ -16,12 +16,14 @@
 //! listener can never hand an old "DONE" to a new job.
 
 use crate::adb::Adb;
+use crate::clock::{Clock, WallClock};
 use crate::device::{DeviceAgent, JOB_PATH, MODEL_DIR, RESULT_PATH};
 use crate::job::{JobResult, JobSpec};
 use crate::{HarnessError, Result};
 use std::io::{BufRead, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Watchdog/retry knobs for one master.
 #[derive(Debug, Clone)]
@@ -30,6 +32,11 @@ pub struct MasterConfig {
     pub accept_timeout: Duration,
     /// Total attempts per job (first try included). Must be ≥ 1.
     pub attempts: u32,
+    /// Time source the watchdog deadline runs on. Production uses the
+    /// default [`WallClock`]; tests inject a
+    /// [`LogicalClock`](crate::clock::LogicalClock) for reproducible
+    /// timeout behaviour.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for MasterConfig {
@@ -37,6 +44,7 @@ impl Default for MasterConfig {
         MasterConfig {
             accept_timeout: Duration::from_secs(30),
             attempts: 3,
+            clock: Arc::new(WallClock),
         }
     }
 }
@@ -125,8 +133,9 @@ impl Master {
         }
     }
 
-    /// Accept the completion connection under the watchdog deadline.
-    fn accept_with_deadline(&self, deadline: Instant) -> Result<TcpStream> {
+    /// Accept the completion connection under the watchdog deadline
+    /// (milliseconds on the configured clock).
+    fn accept_with_deadline(&self, deadline_ms: u64) -> Result<TcpStream> {
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
@@ -134,13 +143,13 @@ impl Master {
                     return Ok(stream);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if Instant::now() > deadline {
+                    if self.config.clock.now_ms() > deadline_ms {
                         return Err(HarnessError::Timeout(format!(
                             "no completion message within {:?}",
                             self.config.accept_timeout
                         )));
                     }
-                    std::thread::sleep(Duration::from_millis(1));
+                    self.config.clock.sleep_ms(1);
                 }
                 Err(e) => return Err(HarnessError::Io(e)),
             }
@@ -178,8 +187,9 @@ impl Master {
         endpoint.usb_power_off();
 
         // ④ Wait for the completion message, under the watchdog.
-        let deadline = Instant::now() + self.config.accept_timeout;
-        let stream = match self.accept_with_deadline(deadline) {
+        let deadline_ms =
+            self.config.clock.now_ms() + self.config.accept_timeout.as_millis() as u64;
+        let stream = match self.accept_with_deadline(deadline_ms) {
             Ok(s) => s,
             Err(timeout) => {
                 // Hung agent: restore power so the (possibly stuck) agent
@@ -306,6 +316,7 @@ mod tests {
         let master = Master::with_config(MasterConfig {
             accept_timeout: Duration::from_millis(100),
             attempts: 3,
+            ..MasterConfig::default()
         })
         .unwrap();
         let mut agent = DeviceAgent::new(device("Q845").unwrap());
@@ -324,10 +335,43 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_on_logical_clock_is_time_reproducible() {
+        // With master and agent sharing a LogicalClock, a scripted hang
+        // consumes an exact number of logical milliseconds: the accept
+        // loop alone advances time, so each attempt burns deadline+1 ms.
+        let run = || {
+            let clock = Arc::new(crate::clock::LogicalClock::new());
+            let master = Master::with_config(MasterConfig {
+                accept_timeout: Duration::from_millis(250),
+                attempts: 2,
+                clock: clock.clone(),
+            })
+            .unwrap();
+            let mut agent = DeviceAgent::new(device("Q855").unwrap());
+            agent.clock = clock.clone();
+            agent.hang_jobs_remaining = u32::MAX;
+            let files = model_files(Task::KeywordDetection, 8);
+            let job = JobSpec::new(
+                13,
+                files[0].0.clone(),
+                Backend::Cpu(ThreadConfig::unpinned(4)),
+            );
+            let err = master.run_job(&mut agent, &job, &files).unwrap_err();
+            assert!(matches!(err, HarnessError::Timeout(_)), "{err}");
+            assert_eq!(agent.endpoint.reboots(), 2);
+            clock.now_ms()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "watchdog must burn identical logical time");
+        assert_eq!(a, 502, "two attempts × (250 ms deadline + 1 ms overrun)");
+    }
+
+    #[test]
     fn watchdog_gives_up_after_all_attempts() {
         let master = Master::with_config(MasterConfig {
             accept_timeout: Duration::from_millis(50),
             attempts: 2,
+            ..MasterConfig::default()
         })
         .unwrap();
         let mut agent = DeviceAgent::new(device("Q855").unwrap());

@@ -1,0 +1,134 @@
+//! gaugelint — the repo's in-tree invariant checker.
+//!
+//! The determinism contract (DESIGN.md §10) says the merged
+//! `PipelineReport` is byte-identical at any crawl/analysis worker count
+//! and that chaos faults surface as typed errors, never panics. The three
+//! classic ways that contract rots are (a) iterating a `HashMap` into
+//! rendered output, (b) reading the wall clock on a control path, and
+//! (c) `unwrap()` on a path a fault schedule can reach. gaugelint is a
+//! lexical pass — a small tokenizer plus token-shape rules, zero
+//! dependencies — that fails `scripts/verify.sh` when one of those (or a
+//! handful of related hazards) reappears.
+//!
+//! # Suppressions
+//!
+//! A finding is silenced by a plain line comment on the same line or the
+//! line above:
+//!
+//! ```text
+//! // gaugelint: allow(wall-clock) — reason for the exception
+//! ```
+//!
+//! Unknown rule names and malformed directives are themselves findings
+//! (`bad-suppression`), and `bad-suppression` cannot be suppressed — a
+//! typo'd allow can never silently disable a rule.
+
+pub mod lexer;
+mod rules;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Every rule gaugelint knows, in documentation order. `bad-suppression`
+/// is the meta-rule for broken `allow(...)` directives.
+pub const RULES: &[&str] = &[
+    "hashmap-iter-order",
+    "wall-clock",
+    "unwrap-in-fault-path",
+    "deprecated-api",
+    "lock-across-send",
+    "seed-from-entropy",
+    "float-accum-order",
+    "todo-unimplemented",
+    "bad-suppression",
+];
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name (an entry of [`RULES`]).
+    pub rule: &'static str,
+    /// File the finding is in (as passed to [`lint_source`]).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Trimmed source line, truncated to ~120 chars.
+    pub snippet: String,
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Unsuppressed findings, ordered by (line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a valid `allow(...)` directive.
+    pub suppressed: usize,
+}
+
+/// Lint one source file. `path` drives the path-scoped rules
+/// (`unwrap-in-fault-path`, `float-accum-order`, bench/test exemptions),
+/// so callers must pass repo-relative paths like
+/// `crates/playstore/src/crawler.rs`.
+pub fn lint_source(path: &str, src: &str) -> FileReport {
+    let lex = lexer::lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        let Some(l) = lines.get(line.saturating_sub(1) as usize) else {
+            return String::new();
+        };
+        let t = l.trim();
+        if t.chars().count() > 120 {
+            let cut: String = t.chars().take(117).collect();
+            format!("{cut}...")
+        } else {
+            t.to_string()
+        }
+    };
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allow: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for d in &lex.directives {
+        match d {
+            lexer::Directive::Malformed { line } => findings.push(Finding {
+                rule: "bad-suppression",
+                file: path.to_string(),
+                line: *line,
+                snippet: snippet(*line),
+            }),
+            lexer::Directive::Allow { line, rules } => {
+                for r in rules {
+                    if r != "bad-suppression" && RULES.contains(&r.as_str()) {
+                        allow.entry(*line).or_default().insert(r.clone());
+                    } else {
+                        findings.push(Finding {
+                            rule: "bad-suppression",
+                            file: path.to_string(),
+                            line: *line,
+                            snippet: snippet(*line),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let ctx = rules::Ctx::new(path, &lex);
+    let mut suppressed = 0usize;
+    for (rule, line) in rules::run_all(&ctx) {
+        let hit = |l: u32| allow.get(&l).is_some_and(|s| s.contains(rule));
+        if hit(line) || (line > 1 && hit(line - 1)) {
+            suppressed += 1;
+            continue;
+        }
+        findings.push(Finding {
+            rule,
+            file: path.to_string(),
+            line,
+            snippet: snippet(line),
+        });
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    FileReport {
+        findings,
+        suppressed,
+    }
+}

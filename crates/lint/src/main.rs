@@ -1,0 +1,87 @@
+//! gaugelint CLI: `cargo run -p lint -- crates tests`.
+//!
+//! Walks the given roots (default `crates tests`) for `.rs` files —
+//! skipping `target/`, `vendor/`, `fixtures/`, and `.git/` — lints each,
+//! prints one line per finding plus a machine-readable summary trailer,
+//! and exits non-zero if anything unsuppressed was found.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<String> = if args.is_empty() {
+        vec!["crates".to_string(), "tests".to_string()]
+    } else {
+        args
+    };
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for root in &roots {
+        let p = Path::new(root);
+        if !p.exists() {
+            eprintln!("gaugelint: no such path: {root}");
+            return ExitCode::from(2);
+        }
+        collect(p, &mut files);
+    }
+    files.sort();
+    files.dedup();
+
+    let mut findings = 0usize;
+    let mut suppressed = 0usize;
+    let mut per_rule: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for f in &files {
+        let Ok(src) = std::fs::read_to_string(f) else {
+            eprintln!("gaugelint: skipping unreadable file {}", f.display());
+            continue;
+        };
+        let rel = f.to_string_lossy().replace('\\', "/");
+        let report = lint::lint_source(&rel, &src);
+        suppressed += report.suppressed;
+        for fd in &report.findings {
+            println!("gaugelint[{}] {}:{}: {}", fd.rule, fd.file, fd.line, fd.snippet);
+            *per_rule.entry(fd.rule).or_insert(0) += 1;
+            findings += 1;
+        }
+    }
+
+    // Machine-readable trailer (stable key order; no JSON library needed).
+    let per_rule_json = per_rule
+        .iter()
+        .map(|(k, v)| format!("\"{k}\":{v}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    println!(
+        "gaugelint-summary {{\"files\":{},\"findings\":{},\"suppressed\":{},\"per_rule\":{{{}}}}}",
+        files.len(),
+        findings,
+        suppressed,
+        per_rule_json
+    );
+    if findings > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Recursively gather `.rs` files, skipping build output, vendored code,
+/// and binary fixtures.
+fn collect(p: &Path, out: &mut Vec<PathBuf>) {
+    if p.is_dir() {
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if matches!(name, "target" | "vendor" | "fixtures" | ".git") {
+            return;
+        }
+        let Ok(rd) = std::fs::read_dir(p) else { return };
+        let mut entries: Vec<PathBuf> = rd.flatten().map(|e| e.path()).collect();
+        entries.sort();
+        for e in entries {
+            collect(&e, out);
+        }
+    } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+        out.push(p.to_path_buf());
+    }
+}

@@ -1,0 +1,543 @@
+//! The gaugelint rule set.
+//!
+//! Every rule is a linear scan over the token stream from
+//! [`crate::lexer`]. Rules are deliberately lexical: they trade a little
+//! precision for zero dependencies and total predictability — a rule
+//! either matches a token shape or it does not, and a human can read the
+//! match in one screen. Findings are `(rule, line)` pairs; suppression
+//! and snippet extraction happen in [`crate::lint_source`].
+
+use crate::lexer::{
+    Lexed,
+    Pat::{I, P},
+    TokKind,
+};
+use std::collections::BTreeSet;
+
+/// Method names whose call on a hash container walks it in nondeterministic
+/// order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "values",
+    "values_mut",
+    "keys",
+    "drain",
+];
+
+/// Everything a rule needs to know about one file.
+pub(crate) struct Ctx<'a> {
+    /// Normalized (forward-slash) path, as passed on the command line.
+    path: String,
+    /// The token stream.
+    lex: &'a Lexed,
+    /// Per-token flag: is this token inside test code (`#[cfg(test)]` /
+    /// `#[test]` item, or a file under a `tests/` directory)?
+    test_mask: Vec<bool>,
+    /// Benchmark sources (`crates/bench/…`) are allowed wall-clock reads.
+    is_bench: bool,
+    /// Names bound or declared with a `HashMap`/`HashSet` type in this file.
+    hash_names: BTreeSet<String>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Build the per-file context: path classification, test spans, and
+    /// the set of hash-container binding names.
+    pub(crate) fn new(path: &str, lex: &'a Lexed) -> Ctx<'a> {
+        let norm = path.replace('\\', "/");
+        let comps: Vec<&str> = norm.split('/').collect();
+        let whole_test = comps.contains(&"tests");
+        let is_bench = comps.iter().any(|c| *c == "bench" || *c == "benches");
+        let test_mask = compute_test_mask(lex, whole_test);
+        let hash_names = collect_hash_names(lex);
+        Ctx {
+            path: norm,
+            lex,
+            test_mask,
+            is_bench,
+            hash_names,
+        }
+    }
+
+    fn in_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// Crates whose non-test unwraps sit on chaos-reachable fault paths.
+    fn in_fault_path(&self) -> bool {
+        self.path.contains("crates/playstore/src") || self.path.contains("crates/harness/src")
+    }
+
+    /// The analysis crate renders floats into the merged report.
+    fn in_analysis(&self) -> bool {
+        self.path.contains("crates/analysis/")
+    }
+}
+
+/// Run every rule; returns raw `(rule, line)` findings in scan order.
+pub(crate) fn run_all(ctx: &Ctx<'_>) -> Vec<(&'static str, u32)> {
+    let mut out = Vec::new();
+    rule_hashmap_iter_order(ctx, &mut out);
+    rule_wall_clock(ctx, &mut out);
+    rule_unwrap_in_fault_path(ctx, &mut out);
+    rule_deprecated_api(ctx, &mut out);
+    rule_lock_across_send(ctx, &mut out);
+    rule_seed_from_entropy(ctx, &mut out);
+    rule_float_accum_order(ctx, &mut out);
+    rule_todo_unimplemented(ctx, &mut out);
+    out
+}
+
+/// Mark every token inside `#[cfg(test)]` / `#[test]`-attributed items
+/// (attribute through matching close brace). `whole` marks the entire
+/// file (integration-test sources).
+fn compute_test_mask(lex: &Lexed, whole: bool) -> Vec<bool> {
+    let n = lex.toks.len();
+    let mut mask = vec![whole; n];
+    if whole {
+        return mask;
+    }
+    let mut i = 0usize;
+    while i < n {
+        if !(lex.punct(i) == Some('#') && lex.punct(i + 1) == Some('[')) {
+            i += 1;
+            continue;
+        }
+        // Find the attribute's matching `]`.
+        let mut depth = 0i32;
+        let mut end = None;
+        let mut j = i + 1;
+        while j < n && j < i + 200 {
+            match lex.punct(j) {
+                Some('[') => depth += 1,
+                Some(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(end) = end else {
+            i += 1;
+            continue;
+        };
+        let mut has_test = false;
+        let mut has_not = false;
+        for k in i..=end {
+            match lex.ident(k) {
+                Some("test") | Some("tests") => has_test = true,
+                Some("not") => has_not = true,
+                _ => {}
+            }
+        }
+        if !has_test || has_not {
+            i = end + 1;
+            continue;
+        }
+        // Mark through the attributed item's body: the next `{ … }`
+        // block, unless a `;` ends the item first (cfg'd use/static).
+        let mut open = None;
+        let mut k = end + 1;
+        while k < n && k < end + 100 {
+            match lex.punct(k) {
+                Some('{') => {
+                    open = Some(k);
+                    break;
+                }
+                Some(';') => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(open) = open {
+            let mut bd = 0i32;
+            let mut m = open;
+            while m < n {
+                match lex.punct(m) {
+                    Some('{') => bd += 1,
+                    Some('}') => {
+                        bd -= 1;
+                        if bd == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            for t in mask.iter_mut().take(m.min(n - 1) + 1).skip(i) {
+                *t = true;
+            }
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Collect names declared with a hash-container type: `let` bindings whose
+/// initialiser or type mentions `HashMap`/`HashSet`, plus field and
+/// parameter declarations (`name: …HashMap<…>`), found by walking back
+/// from the type name over type-ish tokens to a single `:`.
+fn collect_hash_names(lex: &Lexed) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let n = lex.toks.len();
+    let is_hash = |id: Option<&str>| matches!(id, Some("HashMap") | Some("HashSet"));
+
+    for i in 0..n {
+        if lex.ident(i) != Some("let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if lex.ident(j) == Some("mut") {
+            j += 1;
+        }
+        let Some(name) = lex.ident(j) else { continue };
+        let mut k = j + 1;
+        while k < n && k < j + 100 {
+            if lex.punct(k) == Some(';') {
+                break;
+            }
+            if is_hash(lex.ident(k)) {
+                names.insert(name.to_string());
+                break;
+            }
+            k += 1;
+        }
+    }
+
+    for i in 0..n {
+        if !is_hash(lex.ident(i)) {
+            continue;
+        }
+        let mut k = i;
+        while k > 0 {
+            k -= 1;
+            let tok = &lex.toks[k];
+            if tok.kind == TokKind::Ident {
+                continue;
+            }
+            if tok.kind != TokKind::Punct {
+                break;
+            }
+            match tok.text.chars().next() {
+                Some('<') | Some('&') => continue,
+                Some(':') => {
+                    if k > 0 && lex.punct(k - 1) == Some(':') {
+                        // `::` path separator — still inside the type.
+                        k -= 1;
+                        continue;
+                    }
+                    // Single `:` — the declaration boundary.
+                    if k > 0 {
+                        if let Some(name) = lex.ident(k - 1) {
+                            names.insert(name.to_string());
+                        }
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+    names
+}
+
+/// Token indices where a known hash container is iterated: either
+/// `name.iter()`-style method calls or `for … in [&][mut] name`.
+fn hash_iteration_sites(ctx: &Ctx<'_>) -> Vec<usize> {
+    let lex = ctx.lex;
+    let n = lex.toks.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        let Some(name) = lex.ident(i) else { continue };
+        if !ctx.hash_names.contains(name) {
+            continue;
+        }
+        if lex.punct(i + 1) == Some('.') {
+            if let Some(m) = lex.ident(i + 2) {
+                if ITER_METHODS.contains(&m) && lex.punct(i + 3) == Some('(') {
+                    out.push(i + 2);
+                    continue;
+                }
+            }
+            // Other method calls (get, insert, len, …) are order-safe.
+            continue;
+        }
+        // `for pat in &mut name` — walk back over `&`/`mut` to `in`, and
+        // require a `for` shortly before it so `if x in …` shapes (none in
+        // Rust, but cheap insurance) don't match.
+        let mut b = i;
+        while b > 0 && (lex.punct(b - 1) == Some('&') || lex.ident(b - 1) == Some("mut")) {
+            b -= 1;
+        }
+        if b > 0 && lex.ident(b - 1) == Some("in") {
+            let start = (b - 1).saturating_sub(10);
+            if (start..b - 1).any(|k| lex.ident(k) == Some("for")) {
+                out.push(i);
+            }
+        }
+    }
+    out
+}
+
+/// Rule `hashmap-iter-order`: iterating a `HashMap`/`HashSet` yields a
+/// nondeterministic order; anything order-sensitive (rendered reports,
+/// merged vectors, accumulated floats) must use `BTreeMap`/sorted keys.
+/// Applies to test code too — goldens built from hash iteration flake.
+fn rule_hashmap_iter_order(ctx: &Ctx<'_>, out: &mut Vec<(&'static str, u32)>) {
+    for site in hash_iteration_sites(ctx) {
+        out.push(("hashmap-iter-order", ctx.lex.line(site)));
+    }
+}
+
+/// Rule `wall-clock`: `Instant::now()` / `SystemTime::now()` outside test
+/// code must go through the injectable `Clock` trait so watchdog and
+/// deadline behaviour replays deterministically. Bench sources are exempt
+/// (measuring wall time is their whole job).
+fn rule_wall_clock(ctx: &Ctx<'_>, out: &mut Vec<(&'static str, u32)>) {
+    if ctx.is_bench {
+        return;
+    }
+    let lex = ctx.lex;
+    for i in 0..lex.toks.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        if lex.matches(i, &[I("Instant"), P(':'), P(':'), I("now")])
+            || lex.matches(i, &[I("SystemTime"), P(':'), P(':'), I("now")])
+        {
+            out.push(("wall-clock", lex.line(i)));
+        }
+    }
+}
+
+/// Rule `unwrap-in-fault-path`: `.unwrap()` / `.expect()` in non-test
+/// playstore/harness sources — code chaos tests deliberately push into
+/// fault paths, where a panic tears down a worker instead of producing a
+/// typed error. Provably-infallible cases carry an allow with a reason.
+fn rule_unwrap_in_fault_path(ctx: &Ctx<'_>, out: &mut Vec<(&'static str, u32)>) {
+    if !ctx.in_fault_path() {
+        return;
+    }
+    let lex = ctx.lex;
+    for i in 0..lex.toks.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        if lex.punct(i) == Some('.')
+            && matches!(lex.ident(i + 1), Some("unwrap") | Some("expect"))
+            && lex.punct(i + 2) == Some('(')
+        {
+            out.push(("unwrap-in-fault-path", lex.line(i + 1)));
+        }
+    }
+}
+
+/// Rule `deprecated-api`: pre-builder crawler entry points that bypass
+/// admission control. Kept as a rule (not just dead-code removal) so a
+/// revert or copy-paste from an old branch fails the gate.
+fn rule_deprecated_api(ctx: &Ctx<'_>, out: &mut Vec<(&'static str, u32)>) {
+    let lex = ctx.lex;
+    for i in 0..lex.toks.len() {
+        if lex.matches(i, &[P('.'), I("with_retry"), P('(')])
+            || lex.matches(i, &[P('.'), I("with_timeouts"), P('(')])
+        {
+            out.push(("deprecated-api", lex.line(i + 1)));
+        }
+        if lex.matches(i, &[I("Crawler"), P(':'), P(':'), I("connect"), P('(')]) {
+            out.push(("deprecated-api", lex.line(i)));
+        }
+    }
+}
+
+/// Rule `lock-across-send`: calling `.send(…)` while a lock guard from a
+/// `let g = ….lock()/.read()/.write()` binding is still live. Holding a
+/// lock across a channel send invites lock-order inversions with the
+/// receiver (the runtime `lock-order-check` feature catches the dynamic
+/// version; this catches it in review). A binding stops being a guard at
+/// `drop(g)` or when its scope closes; chains that extract a value
+/// (`….lock().unwrap().clone()`) are not guards.
+fn rule_lock_across_send(ctx: &Ctx<'_>, out: &mut Vec<(&'static str, u32)>) {
+    let lex = ctx.lex;
+    let n = lex.toks.len();
+    struct Guard {
+        name: String,
+        depth: i32,
+    }
+    let mut depth = 0i32;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        match lex.punct(i) {
+            Some('{') => depth += 1,
+            Some('}') => {
+                depth -= 1;
+                guards.retain(|g| g.depth <= depth);
+            }
+            _ => {}
+        }
+        if lex.ident(i) == Some("let") && !ctx.in_test(i) {
+            let mut j = i + 1;
+            if lex.ident(j) == Some("mut") {
+                j += 1;
+            }
+            if let Some(name) = lex.ident(j) {
+                if let Some(after) = guard_acquisition(lex, j + 1) {
+                    if statement_tail_is_guard(lex, after) {
+                        guards.push(Guard {
+                            name: name.to_string(),
+                            depth,
+                        });
+                    }
+                }
+            }
+        }
+        if lex.ident(i) == Some("drop")
+            && lex.punct(i + 1) == Some('(')
+            && lex.punct(i + 3) == Some(')')
+        {
+            if let Some(name) = lex.ident(i + 2) {
+                guards.retain(|g| g.name != name);
+            }
+        }
+        if lex.punct(i) == Some('.')
+            && lex.ident(i + 1) == Some("send")
+            && lex.punct(i + 2) == Some('(')
+            && !ctx.in_test(i)
+            && !guards.is_empty()
+        {
+            out.push(("lock-across-send", lex.line(i + 1)));
+        }
+        i += 1;
+    }
+}
+
+/// Scan a `let` initialiser for a no-argument `.lock()`/`.read()`/`.write()`
+/// call before the statement's `;`. Returns the token index just past the
+/// call's `()` on a match.
+fn guard_acquisition(lex: &Lexed, from: usize) -> Option<usize> {
+    let n = lex.toks.len();
+    let mut k = from;
+    while k < n && k < from + 120 {
+        // `;` ends the statement; `{`/`|` open a block or closure whose
+        // inner locks have their own `let` bindings — the outer binding
+        // is a value, not a guard.
+        if matches!(lex.punct(k), Some(';') | Some('{') | Some('|')) {
+            return None;
+        }
+        if lex.punct(k) == Some('.')
+            && matches!(lex.ident(k + 1), Some("lock") | Some("read") | Some("write"))
+            && lex.punct(k + 2) == Some('(')
+            && lex.punct(k + 3) == Some(')')
+        {
+            return Some(k + 4);
+        }
+        k += 1;
+    }
+    None
+}
+
+/// After the lock call, the binding is a guard only if the rest of the
+/// statement is just `?`/`.unwrap(…)`/`.expect(…)` chained to the `;` —
+/// any other method call extracts a value and releases the temporary.
+fn statement_tail_is_guard(lex: &Lexed, mut k: usize) -> bool {
+    let n = lex.toks.len();
+    while k < n {
+        if lex.punct(k) == Some(';') {
+            return true;
+        }
+        if lex.punct(k) == Some('?') {
+            k += 1;
+            continue;
+        }
+        if lex.punct(k) == Some('.')
+            && matches!(lex.ident(k + 1), Some("unwrap") | Some("expect"))
+            && lex.punct(k + 2) == Some('(')
+        {
+            // Skip to the matching `)` (expect carries a message).
+            let mut depth = 0i32;
+            let mut m = k + 2;
+            while m < n {
+                match lex.punct(m) {
+                    Some('(') => depth += 1,
+                    Some(')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            k = m + 1;
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Rule `seed-from-entropy`: RNGs must be seeded from configuration, not
+/// OS entropy — `from_entropy`, `thread_rng`, `OsRng`, `rand::random` all
+/// make a run unrepeatable. Applies to tests too; a test seeded from
+/// entropy is a flake generator.
+fn rule_seed_from_entropy(ctx: &Ctx<'_>, out: &mut Vec<(&'static str, u32)>) {
+    let lex = ctx.lex;
+    for i in 0..lex.toks.len() {
+        if matches!(
+            lex.ident(i),
+            Some("from_entropy") | Some("thread_rng") | Some("OsRng")
+        ) || lex.matches(i, &[I("rand"), P(':'), P(':'), I("random")])
+        {
+            out.push(("seed-from-entropy", lex.line(i)));
+        }
+    }
+}
+
+/// Rule `float-accum-order`: in the analysis crate, reducing a hash
+/// iteration with `.sum()`/`.fold()`/`.product()` — float addition is not
+/// associative, so the total depends on iteration order and the rendered
+/// report stops being byte-stable.
+fn rule_float_accum_order(ctx: &Ctx<'_>, out: &mut Vec<(&'static str, u32)>) {
+    if !ctx.in_analysis() {
+        return;
+    }
+    let lex = ctx.lex;
+    for site in hash_iteration_sites(ctx) {
+        let end = (site + 64).min(lex.toks.len());
+        for j in site..end {
+            if lex.punct(j) == Some('.')
+                && matches!(
+                    lex.ident(j + 1),
+                    Some("sum") | Some("fold") | Some("product")
+                )
+            {
+                out.push(("float-accum-order", lex.line(j + 1)));
+                break;
+            }
+        }
+    }
+}
+
+/// Rule `todo-unimplemented`: `todo!()` / `unimplemented!()` outside test
+/// code — a chaos run that reaches one tears down a worker with a panic
+/// instead of a typed error.
+fn rule_todo_unimplemented(ctx: &Ctx<'_>, out: &mut Vec<(&'static str, u32)>) {
+    let lex = ctx.lex;
+    for i in 0..lex.toks.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        if matches!(lex.ident(i), Some("todo") | Some("unimplemented"))
+            && lex.punct(i + 1) == Some('!')
+        {
+            out.push(("todo-unimplemented", lex.line(i)));
+        }
+    }
+}

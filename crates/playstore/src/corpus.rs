@@ -203,6 +203,7 @@ impl UniqueModel {
     /// Serialise the artifact (deterministic).
     pub fn artifact(&self, pool: &[UniqueModel]) -> ModelArtifact {
         let g = self.graph(pool);
+        // gaugelint: allow(unwrap-in-fault-path) — provably infallible: pool generation only draws frameworks from the encoder roster
         encode(&g, self.framework).expect("pool frameworks all have encoders")
     }
 }
@@ -421,6 +422,7 @@ pub fn build_pool(scale: CorpusScale, seed: u64) -> Vec<UniqueModel> {
         // odd).
         let base = (0..total)
             .find(|&b| b != id && pool[b].fine_tune_of.is_none())
+            // gaugelint: allow(unwrap-in-fault-path) — provably infallible: every CorpusScale pools ≥ 2 entries and fine-tunes are a strict subset
             .expect("pool has at least two entries");
         let layers = if k < small_diff_count {
             1 + (k % 3) // differ in up to three layers
@@ -807,6 +809,7 @@ impl StoreCorpus {
                 b.add_code_string("android.widget.TextView");
             }
         }
+        // gaugelint: allow(unwrap-in-fault-path) — provably infallible: generated assets are KBs, nowhere near the APK size limit
         b.finish().expect("corpus apps stay under the 100MB limit")
     }
 }
@@ -938,7 +941,7 @@ mod tests {
             .iter()
             .find(|a| a.ml.as_ref().is_some_and(|m| !m.obfuscated))
             .unwrap();
-        let mut cache = std::collections::HashMap::new();
+        let mut cache = std::collections::BTreeMap::new();
         let pool = c.pool.clone();
         let apk_bytes = c.build_apk(app, &mut |id| {
             cache
@@ -978,7 +981,7 @@ mod tests {
     #[test]
     fn duplication_exists_at_tiny_scale() {
         let c = generate(CorpusScale::Tiny, Snapshot::Y2021, 7);
-        let mut by_model: std::collections::HashMap<usize, usize> = Default::default();
+        let mut by_model: std::collections::BTreeMap<usize, usize> = Default::default();
         for app in &c.apps {
             if let Some(ml) = &app.ml {
                 for &id in &ml.model_ids {

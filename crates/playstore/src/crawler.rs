@@ -432,6 +432,7 @@ impl Crawler {
         if let Some(r) = &range {
             headers.push((RANGE_START_HEADER, r.as_str()));
         }
+        // gaugelint: allow(unwrap-in-fault-path) — provably infallible: ensure_connected() above either filled self.conn or returned Err
         let conn = self.conn.as_mut().expect("dialled above");
         write_request(&mut conn.writer, wire_path, &headers)?;
         let outcome = read_response_resumable(&mut conn.reader)?;

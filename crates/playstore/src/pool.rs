@@ -179,7 +179,15 @@ impl CrawlPool {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("pool worker panicked"))
+                    .map(|h| match h.join() {
+                        Ok(res) => res,
+                        // A worker panicking mid-shard (chaos runs push the
+                        // crawler hard) becomes a typed error on its slot of
+                        // the merge instead of tearing down the whole pool.
+                        Err(_) => Err(crate::StoreError::Protocol(
+                            "crawl pool worker panicked mid-shard".into(),
+                        )),
+                    })
                     .collect()
             });
 

@@ -288,6 +288,7 @@ fn route(shared: &Shared, req: &Request, route: &Route) -> Response {
                         ("audio/theme.pcm", vec![0x11; 2048]),
                     ],
                 )
+                // gaugelint: allow(unwrap-in-fault-path) — provably infallible: fixed-size literal assets cannot overflow the OBB container
                 .expect("obb assembly is infallible for fixed inputs");
                 let mut resp = Response::ok(bytes);
                 resp.headers.push(("x-obb-name".into(), name));

@@ -33,11 +33,23 @@ verify() {
     run_cargo "$mode" test -q --test concurrency \
         analysis_worker_count_never_changes_the_report -- --test-threads=1 \
         || return 1
-    # Lint gate for the crates reworked so far; extend crate by crate.
+    # gaugelint gate: the in-repo invariant checker (DESIGN.md §10) must
+    # pass its own fixture suite and report zero unsuppressed findings
+    # across crates/ and tests/.
+    run_cargo "$mode" test -q -p lint || return 1
+    run_cargo "$mode" run -q -p lint -- crates tests || return 1
+    # Runtime lock-order deadlock detector: the vendored parking_lot's own
+    # detector suite, then the concurrency suite re-run with every lock in
+    # the build graph order-checked (single-threaded, so a detected cycle
+    # panics one test instead of wedging the harness).
+    run_cargo "$mode" test -q -p parking_lot --features lock-order-check \
+        || return 1
+    run_cargo "$mode" test -q --test concurrency --features lock-order-check \
+        -- --test-threads=1 || return 1
+    # Workspace-wide clippy gate (kept after the repo went warning-clean).
     if run_cargo "$mode" clippy --version >/dev/null 2>&1; then
-        run_cargo "$mode" clippy \
-            -p gaugenn-playstore -p gaugenn-core -p gaugenn-analysis \
-            --all-targets -- -D warnings || return 1
+        run_cargo "$mode" clippy --workspace --all-targets -- -D warnings \
+            || return 1
     else
         echo "verify: clippy unavailable in $mode mode; skipping lint gate"
     fi

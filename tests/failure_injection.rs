@@ -317,6 +317,7 @@ fn campaign_quarantines_hung_device_while_fleet_finishes() {
         master: MasterConfig {
             accept_timeout: Duration::from_millis(50),
             attempts: 1,
+            ..MasterConfig::default()
         },
         job_retries: 0,
         quarantine_after: 2,

@@ -5,21 +5,125 @@
 //! Implemented over `std::sync` primitives; a poisoned std lock (a thread
 //! panicked while holding it) is recovered with `into_inner` on the error,
 //! matching parking_lot's behaviour of not propagating poison.
+//!
+//! # The `lock-order-check` feature
+//!
+//! With the (default-off) `lock-order-check` feature, every blocking
+//! acquisition is recorded in a global lock-order graph keyed by
+//! per-thread acquisition chains (see [`order`]'s module docs in the
+//! source). Acquiring two locks in an order that — combined with any
+//! order previously observed anywhere in the process — forms a cycle
+//! panics immediately with both acquisition sites, turning a latent
+//! deadlock into a deterministic test failure. The feature changes guard
+//! *types* (they become wrappers that pop the held-lock stack on drop)
+//! but not the API surface, so it can be flipped on for a test run
+//! without touching calling code: `cargo test --features lock-order-check`.
 
 #![forbid(unsafe_code)]
 
+#[cfg(feature = "lock-order-check")]
+mod order;
+
 use std::sync::{self, TryLockError};
 
+/// Whether this build of the crate has the lock-order detector armed.
+/// Lets integration suites assert that the `lock-order-check` feature
+/// actually reached the vendored crate through feature unification.
+pub fn lock_order_check_enabled() -> bool {
+    cfg!(feature = "lock-order-check")
+}
+
 /// Mutex guard (std's, re-exported under parking_lot's name).
+#[cfg(not(feature = "lock-order-check"))]
 pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 /// Shared read guard.
+#[cfg(not(feature = "lock-order-check"))]
 pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
 /// Exclusive write guard.
+#[cfg(not(feature = "lock-order-check"))]
 pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+/// Mutex guard that unregisters the lock from the order tracker on drop.
+#[cfg(feature = "lock-order-check")]
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+    lock_id: usize,
+}
+
+/// Shared read guard that unregisters the lock on drop.
+#[cfg(feature = "lock-order-check")]
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+    lock_id: usize,
+}
+
+/// Exclusive write guard that unregisters the lock on drop.
+#[cfg(feature = "lock-order-check")]
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+    lock_id: usize,
+}
+
+#[cfg(feature = "lock-order-check")]
+mod guard_impls {
+    use super::*;
+    use std::ops::{Deref, DerefMut};
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            order::released(self.lock_id);
+        }
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+    impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            order::released(self.lock_id);
+        }
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+    impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            order::released(self.lock_id);
+        }
+    }
+}
 
 /// Poison-free mutex mirroring `parking_lot::Mutex`.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lock-order-check")]
+    id: order::LockId,
     inner: sync::Mutex<T>,
 }
 
@@ -27,6 +131,8 @@ impl<T> Mutex<T> {
     /// Wrap `value` in a new mutex.
     pub const fn new(value: T) -> Mutex<T> {
         Mutex {
+            #[cfg(feature = "lock-order-check")]
+            id: order::LockId::new(),
             inner: sync::Mutex::new(value),
         }
     }
@@ -39,17 +145,48 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Block until the lock is acquired.
+    #[cfg(not(feature = "lock-order-check"))]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Block until the lock is acquired, recording the acquisition in the
+    /// global lock-order graph (panics on an order cycle — see crate docs).
+    #[cfg(feature = "lock-order-check")]
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let id = self.id.get();
+        let site = std::panic::Location::caller();
+        order::before_blocking_acquire(id, site, false);
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        order::acquired(id, site);
+        MutexGuard { inner, lock_id: id }
+    }
+
     /// Acquire the lock if it is free right now.
+    #[cfg(not(feature = "lock-order-check"))]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(g),
             Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
             Err(TryLockError::WouldBlock) => None,
         }
+    }
+
+    /// Acquire the lock if it is free right now. A successful `try_lock`
+    /// cannot block, so it registers the lock as held (later blocking
+    /// acquisitions order against it) without adding an order edge.
+    #[cfg(feature = "lock-order-check")]
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        let id = self.id.get();
+        order::acquired(id, std::panic::Location::caller());
+        Some(MutexGuard { inner, lock_id: id })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -61,6 +198,8 @@ impl<T: ?Sized> Mutex<T> {
 /// Poison-free reader-writer lock mirroring `parking_lot::RwLock`.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lock-order-check")]
+    id: order::LockId,
     inner: sync::RwLock<T>,
 }
 
@@ -68,6 +207,8 @@ impl<T> RwLock<T> {
     /// Wrap `value` in a new lock.
     pub const fn new(value: T) -> RwLock<T> {
         RwLock {
+            #[cfg(feature = "lock-order-check")]
+            id: order::LockId::new(),
             inner: sync::RwLock::new(value),
         }
     }
@@ -80,13 +221,43 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Block until a shared read lock is acquired.
+    #[cfg(not(feature = "lock-order-check"))]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Block until a shared read lock is acquired. Read acquisitions
+    /// participate in order tracking like writes: reader/reader inversions
+    /// deadlock for real as soon as a write-priority writer lands between
+    /// them.
+    #[cfg(feature = "lock-order-check")]
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let id = self.id.get();
+        let site = std::panic::Location::caller();
+        order::before_blocking_acquire(id, site, true);
+        let inner = self.inner.read().unwrap_or_else(|e| e.into_inner());
+        order::acquired(id, site);
+        RwLockReadGuard { inner, lock_id: id }
+    }
+
     /// Block until the exclusive write lock is acquired.
+    #[cfg(not(feature = "lock-order-check"))]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Block until the exclusive write lock is acquired, recording the
+    /// acquisition in the global lock-order graph.
+    #[cfg(feature = "lock-order-check")]
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let id = self.id.get();
+        let site = std::panic::Location::caller();
+        order::before_blocking_acquire(id, site, false);
+        let inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        order::acquired(id, site);
+        RwLockWriteGuard { inner, lock_id: id }
     }
 }
 

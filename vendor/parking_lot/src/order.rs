@@ -1,0 +1,199 @@
+//! Runtime lock-order (deadlock-potential) detector, enabled by the
+//! `lock-order-check` feature.
+//!
+//! Every [`crate::Mutex`]/[`crate::RwLock`] gets a process-unique id the
+//! first time it is locked. Each thread keeps a stack of the locks it
+//! currently holds; a *blocking* acquisition of lock `B` while holding
+//! lock `A` records the directed edge `A → B` (with the source locations
+//! of both acquisitions) in a global order graph. If the new edge closes
+//! a cycle, the acquiring thread panics immediately — *before* blocking —
+//! with both acquisition sites in the message, so the offending pair can
+//! be fixed instead of deadlocking a test run.
+//!
+//! Design notes:
+//!
+//! * Edges are only recorded for blocking acquisitions (`lock`, `read`,
+//!   `write`). A successful `try_lock` cannot block, so it records the
+//!   lock as held (future blocking acquisitions order against it) but
+//!   adds no edge of its own.
+//! * Read locks participate like write locks: two threads taking the
+//!   same two `RwLock`s as readers in opposite orders is flagged even
+//!   though readers alone cannot deadlock, because a write-priority
+//!   implementation deadlocks that pattern as soon as a writer wedges
+//!   itself between the two read acquisitions.
+//! * Ids are monotonically assigned and never reused, so edges from
+//!   dropped locks linger harmlessly (a dead id can never be re-acquired
+//!   and thus never completes a cycle).
+//! * Re-acquiring a lock the thread already holds is reported as a
+//!   self-deadlock (parking_lot locks are not re-entrant).
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::Location;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex as StdMutex;
+
+/// Lazily assigned process-unique id for one lock instance.
+#[derive(Debug, Default)]
+pub(crate) struct LockId(AtomicUsize);
+
+/// Ids start at 1; 0 means "not yet assigned".
+static NEXT_ID: AtomicUsize = AtomicUsize::new(1);
+
+impl LockId {
+    /// Unassigned id (const so `Mutex::new` stays `const`).
+    pub(crate) const fn new() -> LockId {
+        LockId(AtomicUsize::new(0))
+    }
+
+    /// The id, assigning one on first use. Racing assigners agree on the
+    /// winner's value.
+    pub(crate) fn get(&self) -> usize {
+        let current = self.0.load(Ordering::Relaxed);
+        if current != 0 {
+            return current;
+        }
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match self
+            .0
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(winner) => winner,
+        }
+    }
+}
+
+/// One observed ordering: while `from` was held, `to` was acquired.
+/// Sites are where `from` and `to` were (first) acquired when the edge
+/// was recorded.
+#[derive(Debug, Clone, Copy)]
+struct EdgeSites {
+    from_site: &'static Location<'static>,
+    to_site: &'static Location<'static>,
+}
+
+#[derive(Debug, Default)]
+struct OrderGraph {
+    /// `from → to → first-observed sites`.
+    edges: BTreeMap<usize, BTreeMap<usize, EdgeSites>>,
+}
+
+impl OrderGraph {
+    /// Is `target` reachable from `start` along recorded edges?
+    fn reaches(&self, start: usize, target: usize) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            if n == target {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&n) {
+                stack.extend(next.keys().copied());
+            }
+        }
+        false
+    }
+}
+
+static GRAPH: StdMutex<Option<OrderGraph>> = StdMutex::new(None);
+
+thread_local! {
+    /// Locks this thread currently holds, with their acquisition sites.
+    static HELD: RefCell<Vec<(usize, &'static Location<'static>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// Called before a blocking acquisition of `id` at `site`. Records the
+/// edges `held → id` and panics if any of them closes a cycle.
+///
+/// `reentrant_ok` is set for shared (read) acquisitions: re-reading a
+/// lock this thread already holds is served by the std implementation, so
+/// it is not reported as a self-deadlock (exclusive re-acquisition is).
+pub(crate) fn before_blocking_acquire(
+    id: usize,
+    site: &'static Location<'static>,
+    reentrant_ok: bool,
+) {
+    HELD.with(|held| {
+        let held = held.borrow();
+        if held.is_empty() {
+            return;
+        }
+        if let Some(&(_, prior)) = held.iter().find(|&&(h, _)| h == id) {
+            if reentrant_ok {
+                return;
+            }
+            panic!(
+                "lock-order-check: self-deadlock: lock #{id} re-acquired at \
+                 {site} while already held by this thread (acquired at {prior})"
+            );
+        }
+        // The graph mutex is poisoned if a previous violation panicked
+        // while holding it; recover the inner state — the detector must
+        // keep working for the rest of the process.
+        let mut graph = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+        let graph = graph.get_or_insert_with(OrderGraph::default);
+        for &(from, from_site) in held.iter() {
+            graph
+                .edges
+                .entry(from)
+                .or_default()
+                .entry(id)
+                .or_insert(EdgeSites {
+                    from_site,
+                    to_site: site,
+                });
+        }
+        // A cycle exists iff the lock being acquired already reaches one
+        // of the held locks: held → id (the new edges) → … → held.
+        for &(back_to, back_site) in held.iter() {
+            if !graph.reaches(id, back_to) {
+                continue;
+            }
+            // The first hop of the return path carries the conflicting
+            // prior order: the recorded edge out of `id` that leads back
+            // to the held lock.
+            let conflict = graph
+                .edges
+                .get(&id)
+                .and_then(|m| {
+                    m.iter()
+                        .find(|(mid, _)| **mid == back_to || graph.reaches(**mid, back_to))
+                })
+                .map(|(mid, e)| {
+                    format!(
+                        " (conflicting prior order: while lock #{id} was held \
+                         (acquired at {}), lock #{mid} was acquired at {})",
+                        e.from_site, e.to_site
+                    )
+                })
+                .unwrap_or_default();
+            panic!(
+                "lock-order-check: lock order cycle: acquiring lock #{id} at {site} \
+                 while holding lock #{back_to} acquired at {back_site}{conflict}"
+            );
+        }
+    });
+}
+
+/// Called after any successful acquisition (blocking or `try_lock`).
+pub(crate) fn acquired(id: usize, site: &'static Location<'static>) {
+    // `try_with`: guards may be dropped (and locks re-taken) during TLS
+    // teardown, when the HELD cell is gone; the detector just stands down.
+    let _ = HELD.try_with(|held| held.borrow_mut().push((id, site)));
+}
+
+/// Called when a guard drops. Removes the most recent entry for `id`
+/// (guards need not drop in LIFO order).
+pub(crate) fn released(id: usize) {
+    let _ = HELD.try_with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&(h, _)| h == id) {
+            held.remove(pos);
+        }
+    });
+}

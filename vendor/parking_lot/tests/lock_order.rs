@@ -1,0 +1,138 @@
+//! Tests for the `lock-order-check` runtime deadlock detector. The whole
+//! file is gated on the feature: without it the detector does not exist
+//! and guard types are plain std guards.
+#![cfg(feature = "lock-order-check")]
+
+use parking_lot::{Mutex, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+#[test]
+fn feature_is_armed() {
+    assert!(parking_lot::lock_order_check_enabled());
+}
+
+#[test]
+fn consistent_order_is_quiet() {
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let a = Arc::clone(&a);
+        let b = Arc::clone(&b);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..100 {
+                let ga = a.lock();
+                let mut gb = b.lock();
+                *gb += *ga;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("consistent a-then-b order must not trip the detector");
+    }
+    assert_eq!(*b.lock(), 0);
+}
+
+#[test]
+fn cycle_panics_with_both_acquisition_sites() {
+    let a = Mutex::new(());
+    let b = Mutex::new(());
+    // Establish the order a → b.
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    // Now acquire in the reverse order: the second acquisition must panic
+    // (before blocking) and the message must carry both sites — the
+    // acquisition being attempted and the lock already held — so both
+    // point into this file.
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }))
+    .expect_err("reversed order must panic");
+    let msg = panic_message(err);
+    assert!(msg.contains("lock order cycle"), "{msg}");
+    assert!(
+        msg.matches("lock_order.rs").count() >= 2,
+        "both acquisition sites must be reported: {msg}"
+    );
+}
+
+#[test]
+fn self_relock_is_reported_as_self_deadlock() {
+    let m = Mutex::new(());
+    let _g = m.lock();
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _again = m.lock();
+    }))
+    .expect_err("re-locking a held mutex must panic, not hang");
+    let msg = panic_message(err);
+    assert!(msg.contains("self-deadlock"), "{msg}");
+}
+
+#[test]
+fn non_lifo_release_unregisters_the_right_lock() {
+    let a = Mutex::new(1);
+    let b = Mutex::new(2);
+    let c = Mutex::new(3);
+    {
+        let ga = a.lock();
+        let gb = b.lock(); // order a → b
+        drop(ga); // non-LIFO: a must leave the held stack, b must stay
+        assert_eq!(*gb, 2);
+    }
+    // Both guards are gone. If the non-LIFO drop had failed to
+    // unregister `a`, it would still look held here and this acquisition
+    // would record the bogus edge a → c …
+    let gc = c.lock();
+    drop(gc);
+    // … and this reverse acquisition would then (wrongly) panic. The
+    // legitimate a → b edge is irrelevant: c has no recorded successors.
+    let _gc = c.lock();
+    let _ga = a.lock();
+}
+
+#[test]
+fn rwlock_participates_in_ordering() {
+    let a = RwLock::new(());
+    let b = RwLock::new(());
+    {
+        let _ra = a.read();
+        let _wb = b.write();
+    }
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _rb = b.read();
+        let _wa = a.write();
+    }))
+    .expect_err("reader/writer inversion must panic");
+    let msg = panic_message(err);
+    assert!(msg.contains("lock order cycle"), "{msg}");
+}
+
+#[test]
+fn try_lock_orders_later_blocking_acquisitions() {
+    let a = Mutex::new(());
+    let b = Mutex::new(());
+    {
+        // try_lock itself adds no edge, but the held lock still orders
+        // the subsequent blocking acquisition: a → b.
+        let _ga = a.try_lock().expect("uncontended");
+        let _gb = b.lock();
+    }
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }))
+    .expect_err("reverse of a try_lock-established order must panic");
+    assert!(panic_message(err).contains("lock order cycle"));
+}
