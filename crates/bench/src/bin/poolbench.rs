@@ -1,18 +1,25 @@
-//! `poolbench` — worker-count vs wall-time for the sharded crawl pool.
+//! `poolbench` — worker-count and scheduling-mode scaling for the
+//! sharded crawl pool.
 //!
 //! ```sh
 //! cargo run --release -p gaugenn-bench --bin poolbench            # small corpus
 //! cargo run --release -p gaugenn-bench --bin poolbench -- tiny
 //! ```
 //!
-//! Crawls one snapshot sequentially and then through [`CrawlPool`]s of
-//! 2/4/8 workers, verifying every run merges to the identical corpus and
-//! printing the wall time of each. EXPERIMENTS.md records a captured run.
+//! Crawls one snapshot sequentially, then through [`CrawlPool`]s at
+//! several worker counts under each scheduling mode (static shards,
+//! deterministic LPT, planned stealing), verifying every run merges to
+//! the identical corpus. Besides wall time, each pooled run prints its
+//! per-worker byte imbalance (max worker bytes / mean worker bytes, 1.00
+//! = perfectly balanced) — on a single-core host that planning metric,
+//! not wall time, is the honest scheduling comparison. EXPERIMENTS.md
+//! and `results/BENCH_sched.json` record a captured run.
 
 use gaugenn_playstore::corpus::{generate, CorpusScale, Snapshot};
 use gaugenn_playstore::crawler::Crawler;
 use gaugenn_playstore::pool::{CrawlPool, CrawlPoolConfig};
 use gaugenn_playstore::server::StoreServer;
+use gaugenn_sched::SchedMode;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -43,25 +50,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         baseline.stats.requests
     );
 
-    for workers in [2usize, 4, 8] {
-        let t = Instant::now();
-        let pooled = CrawlPool::new(CrawlPoolConfig {
-            workers,
-            ..CrawlPoolConfig::default()
-        })
-        .crawl(addr)?;
-        let dt = t.elapsed();
-        assert_eq!(
-            pooled.outcome.apps, baseline.apps,
-            "pool must merge to the sequential corpus"
-        );
-        println!(
-            "  {workers} workers:  {:>8.1} ms  (speedup {:.2}x)",
-            dt.as_secs_f64() * 1e3,
-            t_seq.as_secs_f64() / dt.as_secs_f64()
-        );
+    for mode in [SchedMode::Static, SchedMode::Lpt, SchedMode::Stealing] {
+        println!("  mode {}:", mode.name());
+        for workers in [2usize, 4, 8] {
+            let t = Instant::now();
+            let pooled = CrawlPool::new(CrawlPoolConfig {
+                workers,
+                sched: mode,
+                sched_seed: seed,
+                ..CrawlPoolConfig::default()
+            })
+            .crawl(addr)?;
+            let dt = t.elapsed();
+            assert_eq!(
+                pooled.outcome.apps, baseline.apps,
+                "pool must merge to the sequential corpus in every mode"
+            );
+            println!(
+                "    {workers} workers:  {:>8.1} ms  (speedup {:.2}x, byte imbalance {:.2})",
+                dt.as_secs_f64() * 1e3,
+                t_seq.as_secs_f64() / dt.as_secs_f64(),
+                byte_imbalance(&pooled.per_worker.iter().map(|w| w.bytes).collect::<Vec<_>>())
+            );
+        }
     }
     Ok(())
+}
+
+/// Max worker bytes over mean worker bytes; 1.00 is a perfect balance.
+fn byte_imbalance(bytes: &[u64]) -> f64 {
+    if bytes.is_empty() {
+        return 1.0;
+    }
+    let total: u64 = bytes.iter().sum();
+    let max = bytes.iter().copied().max().unwrap_or(0);
+    if total == 0 {
+        1.0
+    } else {
+        max as f64 * bytes.len() as f64 / total as f64
+    }
 }
 
 fn cores() -> usize {

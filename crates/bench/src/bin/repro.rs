@@ -10,6 +10,14 @@
 //!
 //! Output is the text form of Tables 1–4, Figs. 4–15 and the §4.2/§4.5/
 //! §6.1 statistics; `EXPERIMENTS.md` records a captured run.
+//!
+//! Set `GAUGENN_CACHE_DIR=<dir>` to point both snapshots' analysis at a
+//! persistent on-disk model cache: the Apr 2021 snapshot then attaches to
+//! the Feb 2020 snapshot's analyses (models shared across snapshots are
+//! loaded, not re-traced), and a repeated run is warm end to end. The
+//! persistent counters print on stderr only — stdout stays byte-identical
+//! with or without the cache. `GAUGENN_SCHED=static|lpt|stealing` picks
+//! the pool scheduling mode (also stdout-invariant).
 
 use gaugenn_core::experiments::{backends, offline, runtime};
 use gaugenn_core::pipeline::{Pipeline, PipelineConfig};
@@ -41,10 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("{}", runtime::tab1());
 
+    let cache_dir = std::env::var_os("GAUGENN_CACHE_DIR").map(std::path::PathBuf::from);
     let config = |snapshot| {
         let mut c = PipelineConfig::with_scale(scale, snapshot, seed);
         c.workers = workers;
         c.analysis_workers = analysis_workers;
+        c.analysis_cache_dir = cache_dir.clone();
         c
     };
     eprintln!("[1/5] crawling + analysing the Feb 2020 snapshot...");

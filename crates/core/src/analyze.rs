@@ -3,12 +3,24 @@
 //! The paper's offline stage (§4–§6: extraction, DAG decode, FLOPs/params
 //! tracing, md5 + per-layer checksumming) used to run as one sequential
 //! loop over the crawled corpus. [`AnalysisPool`] fans it out over N
-//! worker threads using the same static-shard + ordered-merge discipline
-//! as [`gaugenn_playstore::pool::CrawlPool`]: worker `k` analyses every
-//! app whose corpus index is congruent to `k` mod N, and the merge walks
-//! apps in corpus-index order, so the produced models, instances, index
-//! docs and counters are **byte-identical to the sequential run at any
-//! worker count**.
+//! worker threads in two scheduled phases sharing the
+//! size-aware-assignment + ordered-merge discipline of
+//! [`gaugenn_playstore::pool::CrawlPool`]:
+//!
+//! 1. **Extraction** — work units are apps, sized by container bytes
+//!    (APK + OBBs + bundle), partitioned by the [`gaugenn_sched`]
+//!    scheduler ([`SchedMode::Lpt`] by default; `GAUGENN_SCHED`
+//!    overrides).
+//! 2. **Model analysis** — work units are the *individual model files*
+//!    found in phase 1, sized by their file bytes, scheduled the same
+//!    way. One model-dense app no longer straggles its shard: its models
+//!    spread across the fleet.
+//!
+//! The merge walks apps (and their models) in corpus-index order, so the
+//! produced models, instances, index docs and counters are
+//! **byte-identical to the sequential run at any worker count and under
+//! any scheduling mode** — assignment moves wall-clock between workers,
+//! never content.
 //!
 //! # The content-addressed cache
 //!
@@ -25,10 +37,22 @@
 //! not 40 times — while still charging one `failed_candidates` count per
 //! instance, exactly as the sequential loop did.
 //!
+//! With [`AnalysisConfig::cache_dir`] set the cache is additionally
+//! backed by a persistent [`CacheStore`]: the first claimant of a
+//! checksum consults the on-disk store before computing, so the second
+//! snapshot of a two-snapshot `repro` run (or a whole later invocation
+//! pointed at the same directory) attaches to the first snapshot's
+//! finished analyses. Persistent hits are tracked separately
+//! ([`AnalysisStats::persistent_hits`]) and deliberately do **not**
+//! perturb `cache_hits`/`cache_misses` — those appear in the
+//! deterministic report render, which must stay byte-identical between
+//! cold and warm runs.
+//!
 //! # Determinism
 //!
-//! * which worker analyses which app is a pure function of the corpus
-//!   index — no work stealing, no shared queues;
+//! * which worker analyses which unit is a pure function of `(unit
+//!   sizes, workers, mode, seed)`, all fixed before any thread starts —
+//!   no runtime work stealing, no shared queues;
 //! * the cache only memoises a pure function of the model bytes, so the
 //!   race for who computes a checksum first never changes *what* is
 //!   computed;
@@ -44,6 +68,7 @@
 //! deliberately excluded from [`crate::pipeline::PipelineReport`]'s
 //! deterministic text render.
 
+use crate::cachestore::CacheStore;
 use crate::extract::{extract_app, AppExtraction};
 use crate::{CoreError, Result};
 use gaugenn_analysis::classify::{classify_graph, Classification, LayerComposition};
@@ -54,7 +79,9 @@ use gaugenn_dnn::graph::LayerKind;
 use gaugenn_dnn::trace::{trace_graph, TraceReport};
 use gaugenn_modelfmt::Framework;
 use gaugenn_playstore::crawler::CrawledApp;
+use gaugenn_sched::{assign, SchedMode, WorkUnit};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -69,6 +96,16 @@ pub struct AnalysisConfig {
     /// default; `analyzebench` switches it off to measure what the cache
     /// buys (every instance then pays the full decode + trace).
     pub dedup_cache: bool,
+    /// How work units (apps in the extraction phase, model files in the
+    /// analysis phase) are partitioned across workers. Defaults to the
+    /// `GAUGENN_SCHED` environment variable (falling back to LPT).
+    pub sched: SchedMode,
+    /// Seed for the planned-steal sequence ([`SchedMode::Stealing`]).
+    pub sched_seed: u64,
+    /// Directory backing the [`ModelCache`] persistently across runs
+    /// (see [`CacheStore`]). `None` keeps the cache in-memory only.
+    /// Ignored when `dedup_cache` is off.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for AnalysisConfig {
@@ -76,6 +113,9 @@ impl Default for AnalysisConfig {
         AnalysisConfig {
             workers: 1,
             dedup_cache: true,
+            sched: SchedMode::from_env(),
+            sched_seed: 0,
+            cache_dir: None,
         }
     }
 }
@@ -130,11 +170,19 @@ const CACHE_SHARDS: usize = 16;
 /// lock; later claimants block on it and read the finished outcome.
 struct Slot(Mutex<Option<ModelOutcome>>);
 
-/// Sharded, content-addressed, compute-once cache over model checksums.
+/// Sharded, content-addressed, compute-once cache over model checksums,
+/// optionally backed by a persistent [`CacheStore`].
+///
+/// Counter atomics use `SeqCst`: the totals feed the rendered report,
+/// and gaugelint's `relaxed-ordering-in-report` rule bans `Relaxed`
+/// near report state so a future refactor cannot quietly weaken them.
 pub struct ModelCache {
     shards: Vec<Mutex<BTreeMap<String, Arc<Slot>>>>,
+    store: Option<Arc<CacheStore>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    persistent_hits: AtomicU64,
+    persistent_stores: AtomicU64,
 }
 
 impl Default for ModelCache {
@@ -144,14 +192,22 @@ impl Default for ModelCache {
 }
 
 impl ModelCache {
-    /// Empty cache.
+    /// Empty in-memory cache.
     pub fn new() -> ModelCache {
+        Self::with_store(None)
+    }
+
+    /// Empty cache, consulting (and writing back to) `store` when set.
+    pub fn with_store(store: Option<Arc<CacheStore>>) -> ModelCache {
         ModelCache {
             shards: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(BTreeMap::new()))
                 .collect(),
+            store,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            persistent_hits: AtomicU64::new(0),
+            persistent_stores: AtomicU64::new(0),
         }
     }
 
@@ -180,11 +236,11 @@ impl ModelCache {
                 .unwrap_or_else(|e| e.into_inner());
             match map.get(checksum) {
                 Some(slot) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::SeqCst);
                     slot.clone()
                 }
                 None => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::SeqCst);
                     let slot = Arc::new(Slot(Mutex::new(None)));
                     map.insert(checksum.to_string(), slot.clone());
                     slot
@@ -193,7 +249,25 @@ impl ModelCache {
         };
         let mut guard = slot.0.lock().unwrap_or_else(|e| e.into_inner());
         if guard.is_none() {
-            *guard = Some(compute());
+            // First claimant: try the persistent store before paying the
+            // full compute. A persistent hit still counted as an
+            // in-memory *miss* above — disk state must never change the
+            // hit/miss totals that reach the deterministic report.
+            let outcome = match self.store.as_ref().and_then(|s| s.load(checksum)) {
+                Some(found) => {
+                    self.persistent_hits.fetch_add(1, Ordering::SeqCst);
+                    found
+                }
+                None => {
+                    let computed = compute();
+                    if let Some(store) = &self.store {
+                        store.save(checksum, &computed);
+                        self.persistent_stores.fetch_add(1, Ordering::SeqCst);
+                    }
+                    computed
+                }
+            };
+            *guard = Some(outcome);
         }
         guard.as_ref().expect("slot filled above").clone()
     }
@@ -201,8 +275,17 @@ impl ModelCache {
     /// `(hits, misses)` so far.
     pub fn counters(&self) -> (u64, u64) {
         (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
+            self.hits.load(Ordering::SeqCst),
+            self.misses.load(Ordering::SeqCst),
+        )
+    }
+
+    /// `(persistent hits, persistent write-backs)` so far. Zero unless
+    /// the cache was built over a [`CacheStore`].
+    pub fn persistent_counters(&self) -> (u64, u64) {
+        (
+            self.persistent_hits.load(Ordering::SeqCst),
+            self.persistent_stores.load(Ordering::SeqCst),
         )
     }
 }
@@ -226,6 +309,13 @@ pub struct AnalysisStats {
     pub cache_misses: u64,
     /// Unique models that decoded and traced successfully.
     pub unique_analysed: u64,
+    /// Unique checksums whose analysis was loaded from the persistent
+    /// [`CacheStore`] instead of recomputed. These are a subset of
+    /// `cache_misses` by design: disk state must not perturb the hit/miss
+    /// totals that reach the deterministic report.
+    pub persistent_hits: u64,
+    /// Outcomes offered to the persistent store for write-back.
+    pub persistent_stores: u64,
     /// Wall-clock in app extraction across all workers, microseconds.
     pub extract_us: u64,
     /// Wall-clock computing whole-model checksums, microseconds.
@@ -243,6 +333,16 @@ impl AnalysisStats {
             0.0
         } else {
             self.cache_hits as f64 / self.instances as f64
+        }
+    }
+
+    /// Fraction of unique checksums served from the persistent store —
+    /// the cross-snapshot attach rate of a warm `repro` run.
+    pub fn persistent_hit_rate(&self) -> f64 {
+        if self.cache_misses == 0 {
+            0.0
+        } else {
+            self.persistent_hits as f64 / self.cache_misses as f64
         }
     }
 
@@ -322,26 +422,15 @@ struct StageTimers {
     trace: Duration,
 }
 
-/// One analysed model instance, pre-merge.
-struct InstanceWork {
-    path: String,
-    checksum: String,
-    framework: Framework,
-    size_bytes: usize,
-    outcome: ModelOutcome,
+/// Size estimate for one crawled app: every container byte the
+/// extraction phase will walk.
+fn container_bytes(app: &CrawledApp) -> u64 {
+    app.apk.len() as u64
+        + app.obbs.iter().map(|(_, b)| b.len() as u64).sum::<u64>()
+        + app.bundle.as_ref().map_or(0, |b| b.len() as u64)
 }
 
-/// One analysed app, pre-merge.
-struct AppWork {
-    extraction: AppExtraction,
-    instances: Vec<InstanceWork>,
-}
-
-/// What one worker hands the merge: its shard's `(corpus index, analysed
-/// app)` pairs plus its stage timers.
-type ShardOutput = (Vec<(usize, Result<AppWork>)>, StageTimers);
-
-/// The sharded analysis pool. See the module docs for the determinism
+/// The scheduled analysis pool. See the module docs for the determinism
 /// contract.
 #[derive(Debug, Clone, Default)]
 pub struct AnalysisPool {
@@ -356,55 +445,150 @@ impl AnalysisPool {
 
     /// Analyse a crawled corpus with the configured worker fleet.
     ///
-    /// Worker `k` analyses every app with `index % workers == k`; results
-    /// merge in corpus-index order, byte-identical at any worker count.
+    /// Work is partitioned by the deterministic scheduler in two phases
+    /// (apps for extraction, model files for decode/trace); results merge
+    /// in corpus-index order, byte-identical at any worker count and
+    /// under any [`SchedMode`].
     pub fn analyse(&self, crawled: &[CrawledApp]) -> Result<AnalysisOutput> {
         let workers = self.config.workers.max(1);
-        let cache = ModelCache::new();
+        let mode = self.config.sched;
+        let seed = self.config.sched_seed;
         let use_cache = self.config.dedup_cache;
-
-        let results: Vec<ShardOutput> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let cache = &cache;
-                    scope.spawn(move || {
-                        let mut timers = StageTimers::default();
-                        let mut out = Vec::new();
-                        for (i, app) in crawled.iter().enumerate().filter(|(i, _)| i % workers == w)
-                        {
-                            let work = analyse_app(app, cache, use_cache, &mut timers);
-                            let failed = work.is_err();
-                            out.push((i, work));
-                            if failed {
-                                // The merge aborts at the lowest-index
-                                // error; anything this worker analysed
-                                // past its own first failure is waste.
-                                break;
-                            }
-                        }
-                        (out, timers)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("analysis worker panicked"))
-                .collect()
-        });
-
-        // Merge in corpus-index order, replicating the sequential loop.
+        let store = if use_cache {
+            self.config.cache_dir.as_deref().map(CacheStore::open)
+        } else {
+            None
+        };
+        let cache = ModelCache::with_store(store);
         let mut timers = StageTimers::default();
-        let mut slots: Vec<Option<Result<AppWork>>> = (0..crawled.len()).map(|_| None).collect();
-        for (worker_out, t) in results {
-            timers.extract += t.extract;
-            timers.checksum += t.checksum;
-            timers.decode += t.decode;
-            timers.trace += t.trace;
-            for (i, work) in worker_out {
-                slots[i] = Some(work);
+
+        // Phase 1 — extraction. Units are apps, sized by container bytes.
+        let app_units: Vec<WorkUnit> = crawled
+            .iter()
+            .enumerate()
+            .map(|(index, app)| WorkUnit {
+                index,
+                size: container_bytes(app),
+            })
+            .collect();
+        let app_plan = assign(&app_units, workers, mode, seed);
+        let mut extractions: Vec<Option<Result<AppExtraction>>> =
+            (0..crawled.len()).map(|_| None).collect();
+        // Per-worker output: (corpus index, extraction) pairs plus the
+        // worker's extraction timer.
+        type ExtractShard = (Vec<(usize, Result<AppExtraction>)>, Duration);
+        let phase1: Vec<ExtractShard> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = app_plan
+                    .iter()
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            let mut spent = Duration::default();
+                            let mut out = Vec::new();
+                            // Shards are ascending, so everything this
+                            // worker extracts before its own first error
+                            // is below any corpus index it skips — the
+                            // merge aborts at the lowest-index error and
+                            // never reads a skipped slot.
+                            for &i in shard {
+                                let t0 = Instant::now(); // gaugelint: allow(wall-clock) — stage timers are diagnostics, never rendered into the deterministic report
+                                let ext = extract_app(&crawled[i]).map_err(CoreError::from);
+                                spent += t0.elapsed();
+                                let failed = ext.is_err();
+                                out.push((i, ext));
+                                if failed {
+                                    break;
+                                }
+                            }
+                            (out, spent)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("extraction worker panicked"))
+                    .collect()
+            });
+        for (worker_out, spent) in phase1 {
+            timers.extract += spent;
+            for (i, ext) in worker_out {
+                extractions[i] = Some(ext);
             }
         }
 
+        // Phase 2 — model analysis. Units are the individual model files
+        // of every successfully extracted app, enumerated app-major in
+        // corpus order (the merge below walks the same sequence), sized
+        // by their file bytes.
+        let mut refs: Vec<(usize, usize)> = Vec::new();
+        let mut model_units: Vec<WorkUnit> = Vec::new();
+        for (i, slot) in extractions.iter().enumerate() {
+            if let Some(Ok(ext)) = slot {
+                for (j, found) in ext.models.iter().enumerate() {
+                    model_units.push(WorkUnit {
+                        index: model_units.len(),
+                        size: found.files.iter().map(|(_, b)| b.len() as u64).sum(),
+                    });
+                    refs.push((i, j));
+                }
+            }
+        }
+        let model_plan = assign(&model_units, workers, mode, seed);
+        let mut outcomes: Vec<Option<(String, ModelOutcome)>> =
+            (0..model_units.len()).map(|_| None).collect();
+        // Per-worker output: (unit sequence number, (checksum, outcome))
+        // pairs plus the worker's stage timers.
+        type AnalyseShard = (Vec<(usize, (String, ModelOutcome))>, StageTimers);
+        let phase2: Vec<AnalyseShard> = {
+            let cache = &cache;
+            let refs = &refs;
+            let extractions = &extractions;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = model_plan
+                    .iter()
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            let mut t = StageTimers::default();
+                            let mut out = Vec::new();
+                            for &u in shard {
+                                let (i, j) = refs[u];
+                                let ext = match &extractions[i] {
+                                    Some(Ok(e)) => e,
+                                    _ => unreachable!("units come from successful extractions"),
+                                };
+                                let found = &ext.models[j];
+                                let t1 = Instant::now(); // gaugelint: allow(wall-clock) — stage timers are diagnostics, never rendered into the deterministic report
+                                let checksum = model_checksum(&found.files);
+                                t.checksum += t1.elapsed();
+                                let outcome = if use_cache {
+                                    cache.get_or_compute(&checksum, || {
+                                        analyse_model(found.framework, &found.files, &mut t)
+                                    })
+                                } else {
+                                    analyse_model(found.framework, &found.files, &mut t)
+                                };
+                                out.push((u, (checksum, outcome)));
+                            }
+                            (out, t)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("analysis worker panicked"))
+                    .collect()
+            })
+        };
+        for (worker_out, t) in phase2 {
+            timers.checksum += t.checksum;
+            timers.decode += t.decode;
+            timers.trace += t.trace;
+            for (u, pair) in worker_out {
+                outcomes[u] = Some(pair);
+            }
+        }
+
+        // Merge in corpus-index order, replicating the sequential loop.
         let mut apps: Vec<AppExtraction> = Vec::with_capacity(crawled.len());
         let mut models: Vec<ModelRecord> = Vec::new();
         let mut model_index: BTreeMap<String, usize> = BTreeMap::new();
@@ -415,9 +599,11 @@ impl AnalysisPool {
         let mut failed_candidates = 0usize;
         let mut models_outside_apk = 0usize;
 
-        for (app, slot) in crawled.iter().zip(slots) {
-            let work = slot.expect("every app before the first error is analysed")?;
-            let extraction = work.extraction;
+        let mut seq = 0usize;
+        for (i, app) in crawled.iter().enumerate() {
+            let extraction = extractions[i]
+                .take()
+                .expect("every app before the first error is extracted")?;
             failed_candidates += extraction.failed_candidates;
             models_outside_apk += extraction.models_outside_apk();
             index.insert(doc([
@@ -430,8 +616,12 @@ impl AnalysisPool {
                 ("uses_cloud", (!extraction.cloud.is_empty()).into()),
                 ("uses_nnapi", extraction.uses_nnapi.into()),
             ]));
-            for inst in work.instances {
-                let analysis = match inst.outcome {
+            for found in &extraction.models {
+                let (checksum, outcome) = outcomes[seq]
+                    .take()
+                    .expect("one phase-2 unit per model of an extracted app");
+                seq += 1;
+                let analysis = match outcome {
                     Ok(a) => a,
                     Err(AnalyzeFailure::Undecodable) => {
                         // A file can pass the cheap signature probe yet
@@ -449,14 +639,14 @@ impl AnalysisPool {
                 instances.push(InstanceRecord {
                     app: extraction.package.clone(),
                     category: extraction.category.clone(),
-                    path: inst.path,
-                    checksum: inst.checksum.clone(),
+                    path: found.files[0].0.clone(),
+                    checksum: checksum.clone(),
                 });
                 model_apps
-                    .entry(inst.checksum.clone())
+                    .entry(checksum.clone())
                     .or_default()
                     .insert(extraction.package.clone());
-                if model_index.contains_key(&inst.checksum) {
+                if model_index.contains_key(&checksum) {
                     continue;
                 }
                 // First sighting in corpus order: materialise the record.
@@ -469,12 +659,12 @@ impl AnalysisPool {
                             .or_default() += count;
                     }
                 }
-                model_index.insert(inst.checksum.clone(), models.len());
+                model_index.insert(checksum.clone(), models.len());
                 models.push(ModelRecord {
-                    checksum: inst.checksum,
+                    checksum,
                     name: analysis.name.clone(),
-                    framework: inst.framework,
-                    size_bytes: inst.size_bytes,
+                    framework: found.framework,
+                    size_bytes: found.files.iter().map(|(_, b)| b.len()).sum(),
                     trace: analysis.trace.clone(),
                     classification: analysis.classification,
                     optim: analysis.optim,
@@ -490,6 +680,7 @@ impl AnalysisPool {
         }
 
         let (cache_hits, cache_misses) = cache.counters();
+        let (persistent_hits, persistent_stores) = cache.persistent_counters();
         let stats = AnalysisStats {
             workers,
             apps: apps.len(),
@@ -497,6 +688,8 @@ impl AnalysisPool {
             cache_hits,
             cache_misses,
             unique_analysed: models.len() as u64,
+            persistent_hits,
+            persistent_stores,
             extract_us: timers.extract.as_micros() as u64,
             checksum_us: timers.checksum.as_micros() as u64,
             decode_us: timers.decode.as_micros() as u64,
@@ -515,43 +708,6 @@ impl AnalysisPool {
             stats,
         })
     }
-}
-
-/// Extract one app and push every found model through the cache.
-fn analyse_app(
-    app: &CrawledApp,
-    cache: &ModelCache,
-    use_cache: bool,
-    timers: &mut StageTimers,
-) -> Result<AppWork> {
-    let t0 = Instant::now(); // gaugelint: allow(wall-clock) — stage timers are diagnostics, never rendered into the deterministic report
-    let extraction = extract_app(app)?;
-    timers.extract += t0.elapsed();
-
-    let mut instances = Vec::with_capacity(extraction.models.len());
-    for found in &extraction.models {
-        let t1 = Instant::now(); // gaugelint: allow(wall-clock) — stage timers are diagnostics, never rendered into the deterministic report
-        let checksum = model_checksum(&found.files);
-        timers.checksum += t1.elapsed();
-        let outcome = if use_cache {
-            cache.get_or_compute(&checksum, || {
-                analyse_model(found.framework, &found.files, timers)
-            })
-        } else {
-            analyse_model(found.framework, &found.files, timers)
-        };
-        instances.push(InstanceWork {
-            path: found.files[0].0.clone(),
-            checksum,
-            framework: found.framework,
-            size_bytes: found.files.iter().map(|(_, b)| b.len()).sum(),
-            outcome,
-        });
-    }
-    Ok(AppWork {
-        extraction,
-        instances,
-    })
 }
 
 /// The expensive once-per-unique-checksum work: decode, trace, classify,
@@ -668,6 +824,7 @@ mod tests {
         let uncached = AnalysisPool::new(AnalysisConfig {
             workers: 2,
             dedup_cache: false,
+            ..AnalysisConfig::default()
         })
         .analyse(&apps)
         .unwrap();
@@ -699,16 +856,72 @@ mod tests {
                     for i in 0..100 {
                         let key = format!("checksum-{}", i % 10);
                         let _ = cache.get_or_compute(&key, || {
-                            computed.fetch_add(1, Ordering::Relaxed);
+                            computed.fetch_add(1, Ordering::SeqCst);
                             Err(AnalyzeFailure::Undecodable)
                         });
                     }
                 });
             }
         });
-        assert_eq!(computed.load(Ordering::Relaxed), 10, "one compute per key");
+        assert_eq!(computed.load(Ordering::SeqCst), 10, "one compute per key");
         let (hits, misses) = cache.counters();
         assert_eq!(misses, 10);
         assert_eq!(hits, 800 - 10);
+    }
+
+    #[test]
+    fn sched_mode_does_not_change_the_output() {
+        let apps = crawl_tiny();
+        let base = AnalysisPool::new(AnalysisConfig {
+            workers: 3,
+            sched: SchedMode::Static,
+            ..AnalysisConfig::default()
+        })
+        .analyse(&apps)
+        .unwrap();
+        for mode in [SchedMode::Lpt, SchedMode::Stealing] {
+            let out = AnalysisPool::new(AnalysisConfig {
+                workers: 3,
+                sched: mode,
+                sched_seed: 0xBEEF,
+                ..AnalysisConfig::default()
+            })
+            .analyse(&apps)
+            .unwrap();
+            assert_eq!(checksums(&out), checksums(&base), "{mode:?}");
+            assert_eq!(out.instances.len(), base.instances.len());
+            assert_eq!(out.stats.cache_hits, base.stats.cache_hits, "{mode:?}");
+            assert_eq!(out.stats.cache_misses, base.stats.cache_misses);
+            assert_eq!(out.composition.counts, base.composition.counts);
+            assert_eq!(out.failed_candidates, base.failed_candidates);
+        }
+    }
+
+    #[test]
+    fn persistent_cache_attaches_second_run() {
+        let apps = crawl_tiny();
+        let dir = std::env::temp_dir().join(format!("gaugenn-warm-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = |workers| AnalysisConfig {
+            workers,
+            cache_dir: Some(dir.clone()),
+            ..AnalysisConfig::default()
+        };
+        let cold = AnalysisPool::new(cfg(2)).analyse(&apps).unwrap();
+        assert_eq!(cold.stats.persistent_hits, 0, "{:?}", cold.stats);
+        assert!(cold.stats.persistent_stores > 0, "{:?}", cold.stats);
+        // A second pool over the same directory attaches to the first
+        // run's analyses, even at a different worker count.
+        let warm = AnalysisPool::new(cfg(4)).analyse(&apps).unwrap();
+        assert!(warm.stats.persistent_hits > 0, "{:?}", warm.stats);
+        assert!(warm.stats.persistent_hit_rate() > 0.0);
+        // Disk state must not leak into the deterministic counters or
+        // the merged content.
+        assert_eq!(warm.stats.cache_hits, cold.stats.cache_hits);
+        assert_eq!(warm.stats.cache_misses, cold.stats.cache_misses);
+        assert_eq!(checksums(&warm), checksums(&cold));
+        assert_eq!(warm.instances.len(), cold.instances.len());
+        assert_eq!(warm.failed_candidates, cold.failed_candidates);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

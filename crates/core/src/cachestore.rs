@@ -1,0 +1,705 @@
+//! Persistent, checksum-keyed store for model analyses.
+//!
+//! The paper's study is a *two-snapshot* design (§3): most unique models
+//! in the 2021 crawl already existed in the 2020 one, so re-deriving
+//! their decode/trace/classify/inspect results from scratch on every
+//! `repro` run is pure waste. [`CacheStore`] persists each
+//! [`ModelAnalysis`] (and each memoised undecodable verdict) under its
+//! content checksum so a later run — the second snapshot of the same
+//! process, or a whole separate invocation pointed at the same directory
+//! — attaches to the finished analysis instead of recomputing it.
+//!
+//! # On-disk format
+//!
+//! * `cache.idx` — a text index: the header line `gnca v1`, then one
+//!   32-hex-digit checksum per line for every persisted entry. A missing
+//!   or mismatched header disables the whole index; a malformed line
+//!   (e.g. the torn tail of a truncated file) disables just that entry.
+//! * `<checksum>.gnce` — one binary entry per checksum:
+//!   `b"GNCE" | version:u32 | crc32(payload):u32 | len(payload):u64 |
+//!   payload`, all integers little-endian. The payload serialises the
+//!   [`ModelOutcome`] with a hand-rolled codec (no serde in the build
+//!   environment): a tag byte (0 = undecodable, 1 = analysis) followed by
+//!   the analysis fields.
+//!
+//! # Corruption policy
+//!
+//! The cache is an accelerator, never an authority: **every** failure —
+//! unreadable directory, truncated index, bit-flipped entry, version
+//! mismatch, short payload, unknown enum code — degrades to a cache miss
+//! and the caller recomputes from the model bytes. No corruption can
+//! surface as an error or, worse, as wrong analysis output; the crc32
+//! guard plus strict bounds-checked parsing reject torn writes before any
+//! field is trusted.
+//!
+//! Trace failures ([`AnalyzeFailure::Trace`]) are deliberately *not*
+//! persisted: they abort the pipeline, so memoising them across runs
+//! would turn a transient abort into a sticky one.
+
+use crate::analyze::{AnalyzeFailure, ModelAnalysis, ModelOutcome};
+use gaugenn_analysis::classify::{Classification, Evidence};
+use gaugenn_analysis::optim::ModelOptim;
+use gaugenn_apk::crc32::crc32;
+use gaugenn_dnn::task::Task;
+use gaugenn_dnn::tensor::Shape;
+use gaugenn_dnn::trace::{LayerTrace, TraceReport};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Entry-file magic.
+const MAGIC: &[u8; 4] = b"GNCE";
+/// Entry/index format version. Bump on any codec change; old entries
+/// then read as misses and are rewritten.
+const VERSION: u32 = 1;
+/// Index header line.
+const INDEX_HEADER: &str = "gnca v1";
+/// Index file name.
+const INDEX_FILE: &str = "cache.idx";
+
+/// Every layer-family label [`gaugenn_dnn::graph::LayerKind::family`] can
+/// produce, used to re-intern deserialised `&'static str` families. An
+/// unknown label in a file means a corrupt or future-format entry — a
+/// miss, per the corruption policy.
+const FAMILIES: [&str; 16] = [
+    "input",
+    "conv",
+    "depth_conv",
+    "dense",
+    "activation",
+    "pool",
+    "math",
+    "concat",
+    "reshape",
+    "resize",
+    "slice",
+    "norm",
+    "pad",
+    "quant",
+    "embedding",
+    "recurrent",
+];
+
+fn intern_family(s: &str) -> Option<&'static str> {
+    FAMILIES.iter().find(|f| **f == s).copied()
+}
+
+/// Stable wire codes for [`Task`]. Exhaustive in both directions so
+/// adding a variant without bumping [`VERSION`] fails to compile here.
+fn task_code(t: Task) -> u8 {
+    match t {
+        Task::ObjectDetection => 0,
+        Task::FaceDetection => 1,
+        Task::ContourDetection => 2,
+        Task::TextRecognition => 3,
+        Task::AugmentedReality => 4,
+        Task::SemanticSegmentation => 5,
+        Task::ObjectRecognition => 6,
+        Task::PoseEstimation => 7,
+        Task::PhotoBeauty => 8,
+        Task::ImageClassification => 9,
+        Task::NudityDetection => 10,
+        Task::HairReconstruction => 11,
+        Task::OtherVision => 12,
+        Task::AutoComplete => 13,
+        Task::SentimentPrediction => 14,
+        Task::ContentFilter => 15,
+        Task::TextClassification => 16,
+        Task::Translation => 17,
+        Task::SoundRecognition => 18,
+        Task::SpeechRecognition => 19,
+        Task::KeywordDetection => 20,
+        Task::MovementTracking => 21,
+        Task::CrashDetection => 22,
+    }
+}
+
+fn task_from(code: u8) -> Option<Task> {
+    Some(match code {
+        0 => Task::ObjectDetection,
+        1 => Task::FaceDetection,
+        2 => Task::ContourDetection,
+        3 => Task::TextRecognition,
+        4 => Task::AugmentedReality,
+        5 => Task::SemanticSegmentation,
+        6 => Task::ObjectRecognition,
+        7 => Task::PoseEstimation,
+        8 => Task::PhotoBeauty,
+        9 => Task::ImageClassification,
+        10 => Task::NudityDetection,
+        11 => Task::HairReconstruction,
+        12 => Task::OtherVision,
+        13 => Task::AutoComplete,
+        14 => Task::SentimentPrediction,
+        15 => Task::ContentFilter,
+        16 => Task::TextClassification,
+        17 => Task::Translation,
+        18 => Task::SoundRecognition,
+        19 => Task::SpeechRecognition,
+        20 => Task::KeywordDetection,
+        21 => Task::MovementTracking,
+        22 => Task::CrashDetection,
+        _ => return None,
+    })
+}
+
+fn evidence_code(e: Evidence) -> u8 {
+    match e {
+        Evidence::NameHint => 0,
+        Evidence::IoDims => 1,
+        Evidence::Structure => 2,
+    }
+}
+
+fn evidence_from(code: u8) -> Option<Evidence> {
+    Some(match code {
+        0 => Evidence::NameHint,
+        1 => Evidence::IoDims,
+        2 => Evidence::Structure,
+        _ => return None,
+    })
+}
+
+/// The persistent cache. Cheap to share behind an [`Arc`]; `load` takes
+/// `&self` and `save` serialises writers on an internal index lock.
+#[derive(Debug)]
+pub struct CacheStore {
+    dir: PathBuf,
+    /// Checksums the on-disk index vouches for. Guarded so concurrent
+    /// workers appending new entries keep the index file line-atomic.
+    index: Mutex<BTreeSet<String>>,
+}
+
+impl CacheStore {
+    /// Open (creating if needed) the cache at `dir` and return it shared.
+    ///
+    /// Never fails: an unreadable/uncreatable directory or a corrupt
+    /// index just yields an empty index, so every lookup misses and every
+    /// save is attempted fresh — the pipeline's output is identical
+    /// either way.
+    pub fn open(dir: &Path) -> Arc<CacheStore> {
+        let _ = fs::create_dir_all(dir);
+        let index = Mutex::new(read_index(&dir.join(INDEX_FILE)));
+        Arc::new(CacheStore {
+            dir: dir.to_path_buf(),
+            index,
+        })
+    }
+
+    /// Entries the index currently vouches for.
+    pub fn len(&self) -> usize {
+        self.index.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn entry_path(&self, checksum: &str) -> PathBuf {
+        self.dir.join(format!("{checksum}.gnce"))
+    }
+
+    /// Look up a persisted outcome. `None` is a miss — absent, corrupt,
+    /// truncated, wrong-version and future-format entries all land here.
+    pub fn load(&self, checksum: &str) -> Option<ModelOutcome> {
+        if !valid_checksum(checksum)
+            || !self
+                .index
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .contains(checksum)
+        {
+            return None;
+        }
+        let raw = fs::read(self.entry_path(checksum)).ok()?;
+        decode_entry(&raw)
+    }
+
+    /// Persist an outcome, best-effort: serialisation is infallible but
+    /// I/O errors are swallowed (the cache never gets to fail a run).
+    /// Trace failures are not persisted (see the module docs).
+    pub fn save(&self, checksum: &str, outcome: &ModelOutcome) {
+        if !valid_checksum(checksum) {
+            return;
+        }
+        let payload = match outcome {
+            Ok(analysis) => encode_analysis(analysis),
+            Err(AnalyzeFailure::Undecodable) => vec![0u8],
+            Err(AnalyzeFailure::Trace(_)) => return,
+        };
+        let mut entry = Vec::with_capacity(payload.len() + 20);
+        entry.extend_from_slice(MAGIC);
+        entry.extend_from_slice(&VERSION.to_le_bytes());
+        entry.extend_from_slice(&crc32(&payload).to_le_bytes());
+        entry.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        entry.extend_from_slice(&payload);
+
+        // Write-then-rename so a torn write never leaves a half entry
+        // under the final name; then publish in the index.
+        let tmp = self.dir.join(format!("{checksum}.tmp"));
+        if fs::write(&tmp, &entry).is_err() || fs::rename(&tmp, self.entry_path(checksum)).is_err()
+        {
+            let _ = fs::remove_file(&tmp);
+            return;
+        }
+        let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
+        if index.insert(checksum.to_string()) {
+            append_index_line(&self.dir.join(INDEX_FILE), checksum, index.len() == 1);
+        }
+    }
+}
+
+/// 32 lowercase hex digits (an md5), which also keeps entry file names
+/// shell-safe by construction.
+fn valid_checksum(s: &str) -> bool {
+    s.len() == 32 && s.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+}
+
+/// Parse the index file. Header mismatch disables the whole index;
+/// malformed lines (torn tails) disable just themselves.
+fn read_index(path: &Path) -> BTreeSet<String> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return BTreeSet::new();
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(INDEX_HEADER) {
+        return BTreeSet::new();
+    }
+    lines
+        .filter(|l| valid_checksum(l))
+        .map(str::to_string)
+        .collect()
+}
+
+fn append_index_line(path: &Path, checksum: &str, first: bool) {
+    use std::io::Write as _;
+    let mut opts = fs::OpenOptions::new();
+    opts.append(true).create(true);
+    if let Ok(mut f) = opts.open(path) {
+        let line = if first {
+            format!("{INDEX_HEADER}\n{checksum}\n")
+        } else {
+            format!("{checksum}\n")
+        };
+        let _ = f.write_all(line.as_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload codec.
+// ---------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn encode_trace(out: &mut Vec<u8>, trace: &TraceReport) {
+    put_u64(out, trace.layers.len() as u64);
+    for l in &trace.layers {
+        put_u64(out, l.node as u64);
+        put_str(out, &l.name);
+        put_str(out, l.family);
+        put_u64(out, l.out_shape.0.len() as u64);
+        for &d in &l.out_shape.0 {
+            put_u64(out, d as u64);
+        }
+        for v in [l.macs, l.flops, l.params, l.bytes_read, l.bytes_written, l.weight_bytes] {
+            put_u64(out, v);
+        }
+    }
+    for v in [
+        trace.total_macs,
+        trace.total_flops,
+        trace.total_params,
+        trace.peak_activation_elems,
+    ] {
+        put_u64(out, v);
+    }
+}
+
+fn encode_analysis(a: &ModelAnalysis) -> Vec<u8> {
+    let mut out = vec![1u8];
+    put_str(&mut out, &a.name);
+    encode_trace(&mut out, &a.trace);
+    match &a.classification {
+        None => out.push(0),
+        Some(c) => {
+            out.push(1);
+            out.push(task_code(c.task));
+            out.push(evidence_code(c.evidence));
+        }
+    }
+    for flag in [
+        a.optim.clustered,
+        a.optim.prune_marked,
+        a.optim.has_dequantize,
+        a.optim.int8_weights,
+        a.optim.int8_activations,
+    ] {
+        out.push(flag as u8);
+    }
+    put_u64(&mut out, a.optim.total_weights);
+    put_u64(&mut out, a.optim.near_zero_weights);
+    put_u64(&mut out, a.layers.len() as u64);
+    for (name, sum) in &a.layers {
+        put_str(&mut out, name);
+        put_u64(&mut out, *sum);
+    }
+    put_u64(&mut out, a.layer_families.len() as u64);
+    for (family, count) in &a.layer_families {
+        put_str(&mut out, family);
+        put_u64(&mut out, *count);
+    }
+    out
+}
+
+/// Strict bounds-checked reader over a payload; every getter returns
+/// `None` past the end, which bubbles up as a cache miss.
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, at: 0 }
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.at)?;
+        self.at += 1;
+        Some(b)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let bytes = self.buf.get(self.at..self.at + 8)?;
+        self.at += 8;
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+
+    /// A length prefix that must still fit in the remaining buffer —
+    /// rejects absurd lengths before any allocation trusts them.
+    fn len(&mut self) -> Option<usize> {
+        let n = usize::try_from(self.u64()?).ok()?;
+        (n <= self.buf.len() - self.at).then_some(n)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.len()?;
+        let bytes = self.buf.get(self.at..self.at + n)?;
+        self.at += n;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+}
+
+fn decode_trace(r: &mut Reader<'_>) -> Option<TraceReport> {
+    let n_layers = r.len()?;
+    let mut layers = Vec::with_capacity(n_layers.min(1 << 16));
+    for _ in 0..n_layers {
+        let node = usize::try_from(r.u64()?).ok()?;
+        let name = r.str()?;
+        let family = intern_family(&r.str()?)?;
+        let n_dims = r.len()?;
+        let mut dims = Vec::with_capacity(n_dims.min(64));
+        for _ in 0..n_dims {
+            dims.push(usize::try_from(r.u64()?).ok()?);
+        }
+        let [macs, flops, params, bytes_read, bytes_written, weight_bytes] =
+            [r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?, r.u64()?];
+        layers.push(LayerTrace {
+            node,
+            name,
+            family,
+            out_shape: Shape(dims),
+            macs,
+            flops,
+            params,
+            bytes_read,
+            bytes_written,
+            weight_bytes,
+        });
+    }
+    Some(TraceReport {
+        layers,
+        total_macs: r.u64()?,
+        total_flops: r.u64()?,
+        total_params: r.u64()?,
+        peak_activation_elems: r.u64()?,
+    })
+}
+
+fn decode_analysis(r: &mut Reader<'_>) -> Option<ModelAnalysis> {
+    let name = r.str()?;
+    let trace = decode_trace(r)?;
+    let classification = match r.u8()? {
+        0 => None,
+        1 => Some(Classification {
+            task: task_from(r.u8()?)?,
+            evidence: evidence_from(r.u8()?)?,
+        }),
+        _ => return None,
+    };
+    let mut flags = [false; 5];
+    for f in &mut flags {
+        *f = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+    }
+    let optim = ModelOptim {
+        clustered: flags[0],
+        prune_marked: flags[1],
+        has_dequantize: flags[2],
+        int8_weights: flags[3],
+        int8_activations: flags[4],
+        total_weights: r.u64()?,
+        near_zero_weights: r.u64()?,
+    };
+    let n_layers = r.len()?;
+    let mut layers = Vec::with_capacity(n_layers.min(1 << 16));
+    for _ in 0..n_layers {
+        let name = r.str()?;
+        layers.push((name, r.u64()?));
+    }
+    let n_families = r.len()?;
+    let mut layer_families = BTreeMap::new();
+    for _ in 0..n_families {
+        let family = r.str()?;
+        layer_families.insert(family, r.u64()?);
+    }
+    Some(ModelAnalysis {
+        name,
+        trace,
+        classification,
+        optim,
+        layers,
+        layer_families,
+    })
+}
+
+/// Validate and decode one entry file. `None` on any anomaly.
+fn decode_entry(raw: &[u8]) -> Option<ModelOutcome> {
+    if raw.len() < 20 || &raw[0..4] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(raw[4..8].try_into().ok()?);
+    if version != VERSION {
+        return None;
+    }
+    let want_crc = u32::from_le_bytes(raw[8..12].try_into().ok()?);
+    let len = usize::try_from(u64::from_le_bytes(raw[12..20].try_into().ok()?)).ok()?;
+    let payload = raw.get(20..)?;
+    if payload.len() != len || crc32(payload) != want_crc {
+        return None;
+    }
+    let mut r = Reader::new(payload);
+    let outcome = match r.u8()? {
+        0 => Err(AnalyzeFailure::Undecodable),
+        1 => Ok(Arc::new(decode_analysis(&mut r)?)),
+        _ => return None,
+    };
+    r.done().then_some(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_analysis() -> ModelAnalysis {
+        ModelAnalysis {
+            name: "mobilenet_v2_quant".into(),
+            trace: TraceReport {
+                layers: vec![LayerTrace {
+                    node: 3,
+                    name: "conv_0".into(),
+                    family: "conv",
+                    out_shape: Shape(vec![1, 112, 112, 32]),
+                    macs: 10_838_016,
+                    flops: 21_676_032,
+                    params: 864,
+                    bytes_read: 650_000,
+                    bytes_written: 1_605_632,
+                    weight_bytes: 3_456,
+                }],
+                total_macs: 300_000_000,
+                total_flops: 600_000_000,
+                total_params: 3_500_000,
+                peak_activation_elems: 401_408,
+            },
+            classification: Some(Classification {
+                task: Task::ImageClassification,
+                evidence: Evidence::NameHint,
+            }),
+            optim: ModelOptim {
+                clustered: false,
+                prune_marked: true,
+                has_dequantize: true,
+                int8_weights: true,
+                int8_activations: false,
+                total_weights: 3_500_000,
+                near_zero_weights: 420,
+            },
+            layers: vec![("conv_0".into(), 0xDEADBEEF), ("dense_1".into(), 0x1234)],
+            layer_families: [("conv".to_string(), 30u64), ("dense".to_string(), 1)]
+                .into_iter()
+                .collect(),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gaugenn-cachestore-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn assert_same_analysis(a: &ModelAnalysis, b: &ModelAnalysis) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.classification, b.classification);
+        assert_eq!(a.optim, b.optim);
+        assert_eq!(a.layers, b.layers);
+        assert_eq!(a.layer_families, b.layer_families);
+    }
+
+    const SUM: &str = "0123456789abcdef0123456789abcdef";
+    const SUM2: &str = "ffffffffffffffffffffffffffffffff";
+
+    #[test]
+    fn roundtrips_analysis_and_undecodable() {
+        let dir = tmp_dir("roundtrip");
+        let store = CacheStore::open(&dir);
+        store.save(SUM, &Ok(Arc::new(sample_analysis())));
+        store.save(SUM2, &Err(AnalyzeFailure::Undecodable));
+
+        let loaded = store.load(SUM).expect("hit");
+        assert_same_analysis(&loaded.unwrap(), &sample_analysis());
+        assert!(matches!(
+            store.load(SUM2),
+            Some(Err(AnalyzeFailure::Undecodable))
+        ));
+
+        // A second open (the "next repro invocation") sees both entries.
+        let reopened = CacheStore::open(&dir);
+        assert_eq!(reopened.len(), 2);
+        assert!(reopened.load(SUM).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_failures_are_not_persisted() {
+        let dir = tmp_dir("trace");
+        let store = CacheStore::open(&dir);
+        store.save(SUM, &Err(AnalyzeFailure::Trace("cycle".into())));
+        assert!(store.load(SUM).is_none());
+        assert!(store.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flipped_entry_is_a_miss() {
+        let dir = tmp_dir("bitflip");
+        let store = CacheStore::open(&dir);
+        store.save(SUM, &Ok(Arc::new(sample_analysis())));
+        let path = dir.join(format!("{SUM}.gnce"));
+        let mut raw = fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x40;
+        fs::write(&path, &raw).unwrap();
+        assert!(store.load(SUM).is_none(), "crc must catch the flip");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_is_a_miss() {
+        let dir = tmp_dir("trunc-entry");
+        let store = CacheStore::open(&dir);
+        store.save(SUM, &Ok(Arc::new(sample_analysis())));
+        let path = dir.join(format!("{SUM}.gnce"));
+        let raw = fs::read(&path).unwrap();
+        for keep in [0usize, 3, 19, raw.len() - 1] {
+            fs::write(&path, &raw[..keep]).unwrap();
+            assert!(store.load(SUM).is_none(), "kept {keep} bytes");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_miss() {
+        let dir = tmp_dir("version");
+        let store = CacheStore::open(&dir);
+        store.save(SUM, &Ok(Arc::new(sample_analysis())));
+        let path = dir.join(format!("{SUM}.gnce"));
+        let mut raw = fs::read(&path).unwrap();
+        raw[4..8].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        fs::write(&path, &raw).unwrap();
+        assert!(store.load(SUM).is_none(), "future version must miss");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_index_degrades_to_misses() {
+        let dir = tmp_dir("trunc-index");
+        {
+            let store = CacheStore::open(&dir);
+            store.save(SUM, &Ok(Arc::new(sample_analysis())));
+            store.save(SUM2, &Err(AnalyzeFailure::Undecodable));
+        }
+        let idx = dir.join(INDEX_FILE);
+        let full = fs::read_to_string(&idx).unwrap();
+        // Tear the file mid-way through the second entry's line: the torn
+        // line fails validation, the intact first entry survives.
+        fs::write(&idx, &full[..full.len() - 10]).unwrap();
+        let store = CacheStore::open(&dir);
+        assert_eq!(store.len(), 1);
+        assert!(store.load(SUM).is_some());
+        assert!(store.load(SUM2).is_none());
+        // Tear it inside the header: the whole index is disabled.
+        fs::write(&idx, &full[..3]).unwrap();
+        let store = CacheStore::open(&dir);
+        assert!(store.is_empty());
+        assert!(store.load(SUM).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unlisted_entry_file_is_a_miss() {
+        // An entry file without its index line (torn index append) is
+        // never trusted.
+        let dir = tmp_dir("unlisted");
+        {
+            let store = CacheStore::open(&dir);
+            store.save(SUM, &Ok(Arc::new(sample_analysis())));
+        }
+        fs::remove_file(dir.join(INDEX_FILE)).unwrap();
+        let store = CacheStore::open(&dir);
+        assert!(store.load(SUM).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_checksums_are_rejected_outright() {
+        let dir = tmp_dir("badsum");
+        let store = CacheStore::open(&dir);
+        for bad in ["", "short", "ABCDEF0123456789ABCDEF0123456789", "../../etc/passwd"] {
+            store.save(bad, &Err(AnalyzeFailure::Undecodable));
+            assert!(store.load(bad).is_none());
+        }
+        assert!(store.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod cachestore;
 pub mod experiments;
 pub mod extract;
 pub mod pipeline;

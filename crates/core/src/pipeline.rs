@@ -16,7 +16,9 @@ use gaugenn_playstore::crawler::{
 };
 use gaugenn_playstore::pool::{CrawlPool, CrawlPoolConfig};
 use gaugenn_playstore::server::StoreServer;
+use gaugenn_sched::SchedMode;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -50,6 +52,18 @@ pub struct PipelineConfig {
     /// [`AnalysisPool`] whose merged report is byte-identical to the
     /// sequential run at any worker count.
     pub analysis_workers: usize,
+    /// How both pools partition work across their fleets. Defaults to
+    /// the `GAUGENN_SCHED` environment variable (falling back to LPT);
+    /// never changes report content, only who does the work.
+    pub sched: SchedMode,
+    /// Per-category crawl-size hints in bytes (e.g. measured by a
+    /// previous snapshot) — passed to the crawl pool so size-aware modes
+    /// skip their bootstrap listing probe.
+    pub crawl_size_hints: Option<BTreeMap<String, u64>>,
+    /// Directory for the persistent analysis cache. When set, a second
+    /// run (or second snapshot) over the same directory attaches to
+    /// already-computed model analyses instead of re-tracing them.
+    pub analysis_cache_dir: Option<PathBuf>,
 }
 
 impl PipelineConfig {
@@ -81,6 +95,9 @@ impl PipelineConfig {
             chaos: None,
             probe_device_profiles: true,
             analysis_workers: 1,
+            sched: SchedMode::from_env(),
+            crawl_size_hints: None,
+            analysis_cache_dir: None,
         }
     }
 }
@@ -234,7 +251,7 @@ impl PipelineReport {
     /// wall-clock total is not.
     pub fn analysis_summary(&self) -> String {
         let a = &self.analysis;
-        format!(
+        let mut line = format!(
             "analysis: {} worker(s), {} apps, {} instances, \
              {} cache hits / {} misses ({:.1}% hit rate), {} unique analysed, {:.1} ms",
             a.workers,
@@ -245,7 +262,16 @@ impl PipelineReport {
             a.cache_hit_rate() * 100.0,
             a.unique_analysed,
             a.total_ms(),
-        )
+        );
+        if a.persistent_hits > 0 || a.persistent_stores > 0 {
+            line.push_str(&format!(
+                "; persistent cache: {} hits / {} stored ({:.1}% of uniques warm)",
+                a.persistent_hits,
+                a.persistent_stores,
+                a.persistent_hit_rate() * 100.0,
+            ));
+        }
+        line
     }
 
     /// Per-stage wall-clock breakdown of the offline analysis (extract /
@@ -342,6 +368,9 @@ impl Pipeline {
                 crawler: self.config.crawler.clone(),
                 retry: self.config.retry.clone(),
                 admission: self.config.admission.clone(),
+                sched: self.config.sched,
+                sched_seed: self.config.seed,
+                size_hints: self.config.crawl_size_hints.clone(),
             })
             .crawl(server.addr())?;
             (pooled.outcome, Some(pooled.admission), pooled.workers)
@@ -382,9 +411,14 @@ impl Pipeline {
 
         // Offline stage: fan the corpus over the analysis pool (1 worker
         // reproduces the old sequential loop through the same code path).
-        let analysed =
-            AnalysisPool::new(AnalysisConfig::with_workers(self.config.analysis_workers))
-                .analyse(crawled)?;
+        let analysed = AnalysisPool::new(AnalysisConfig {
+            workers: self.config.analysis_workers,
+            sched: self.config.sched,
+            sched_seed: self.config.seed,
+            cache_dir: self.config.analysis_cache_dir.clone(),
+            ..AnalysisConfig::default()
+        })
+        .analyse(crawled)?;
         let crate::analyze::AnalysisOutput {
             apps,
             models,

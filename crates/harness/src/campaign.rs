@@ -13,6 +13,16 @@
 //! jobs in a row is quarantined — its remaining jobs are marked failed
 //! without being run, so one bricked phone cannot stall the fleet. Every
 //! (device, job) pair always yields exactly one [`CampaignResult`].
+//!
+//! Quarantine is permanent by default (a bricked phone stays bricked for
+//! the night), but [`CampaignConfig::probation_cooldown_ms`] turns it
+//! into a cool-down on the campaign's own clock: once the cool-down
+//! elapses the next job runs as a *probe*. A successful probe clears the
+//! quarantine and its strike count; a failed probe re-quarantines the
+//! device with a **doubled** cool-down, so a flapping device backs off
+//! exponentially instead of burning a probe job per queue entry. On a
+//! [`LogicalClock`](crate::clock::LogicalClock) the whole
+//! quarantine/probation schedule is time-reproducible.
 
 use crate::device::DeviceAgent;
 use crate::job::{JobResult, JobSpec};
@@ -51,6 +61,12 @@ pub struct CampaignConfig {
     /// Quarantine a device after this many consecutive failed jobs; its
     /// remaining jobs fail fast without touching the hardware.
     pub quarantine_after: u32,
+    /// Probation cool-down in milliseconds on the campaign clock
+    /// ([`MasterConfig::clock`]). `None` (the default) keeps quarantine
+    /// permanent; `Some(ms)` lets a quarantined device run one probe job
+    /// after the cool-down elapses — success clears the quarantine,
+    /// failure re-quarantines with the cool-down doubled.
+    pub probation_cooldown_ms: Option<u64>,
     /// Scripted faults (empty for production runs).
     pub scripts: Vec<DeviceScript>,
 }
@@ -61,6 +77,7 @@ impl Default for CampaignConfig {
             master: MasterConfig::default(),
             job_retries: 1,
             quarantine_after: 3,
+            probation_cooldown_ms: None,
             scripts: Vec::new(),
         }
     }
@@ -155,23 +172,26 @@ fn device_worker(
     if let Some(script) = config.scripts.iter().find(|s| s.device == device) {
         agent.hang_jobs_remaining = script.hang_jobs;
     }
-    let mut consecutive_failures = 0u32;
+    let mut gate = ProbationGate::new(config.quarantine_after, config.probation_cooldown_ms);
     while let Ok(job) = rx.recv() {
-        if consecutive_failures >= config.quarantine_after.max(1) {
+        let verdict = gate.verdict(config.master.clock.now_ms());
+        if matches!(verdict, GateVerdict::Quarantined) {
             out.push(CampaignResult {
                 device: device.clone(),
                 job_id: job.spec.id,
                 outcome: Err(format!(
-                    "device quarantined after {consecutive_failures} consecutive failures"
+                    "device quarantined after {} consecutive failures",
+                    gate.strikes
                 )),
             });
             continue;
         }
         let outcome = run_one_job(&master, &mut agent, &job, config.job_retries);
-        match &outcome {
-            Ok(_) => consecutive_failures = 0,
-            Err(_) => consecutive_failures += 1,
-        }
+        gate.record(
+            config.master.clock.now_ms(),
+            outcome.is_ok(),
+            matches!(verdict, GateVerdict::Probe),
+        );
         out.push(CampaignResult {
             device: device.clone(),
             job_id: job.spec.id,
@@ -179,6 +199,80 @@ fn device_worker(
         });
     }
     out
+}
+
+/// What the probation gate says about the next job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateVerdict {
+    /// Device healthy: run the job normally.
+    Run,
+    /// Device quarantined but its cool-down has been served: run the job
+    /// as a probe.
+    Probe,
+    /// Device quarantined and still cooling down (or quarantine is
+    /// permanent): fail the job fast without touching the hardware.
+    Quarantined,
+}
+
+/// Per-device quarantine/probation state machine on explicit millisecond
+/// timestamps (the campaign clock), so the schedule is unit-testable and
+/// time-reproducible on a logical clock.
+#[derive(Debug)]
+struct ProbationGate {
+    quarantine_after: u32,
+    base_cooldown: Option<u64>,
+    /// Consecutive failures so far.
+    strikes: u32,
+    /// When the current quarantine (or failed probe) started.
+    quarantined_at: Option<u64>,
+    /// Cool-down the current quarantine must serve; doubles on every
+    /// failed probe, resets to base on any success.
+    cooldown_ms: u64,
+}
+
+impl ProbationGate {
+    fn new(quarantine_after: u32, base_cooldown: Option<u64>) -> ProbationGate {
+        ProbationGate {
+            quarantine_after: quarantine_after.max(1),
+            base_cooldown,
+            strikes: 0,
+            quarantined_at: None,
+            cooldown_ms: base_cooldown.unwrap_or(0),
+        }
+    }
+
+    fn verdict(&self, now_ms: u64) -> GateVerdict {
+        if self.strikes < self.quarantine_after {
+            return GateVerdict::Run;
+        }
+        match (self.base_cooldown, self.quarantined_at) {
+            (Some(_), Some(since)) if now_ms.saturating_sub(since) >= self.cooldown_ms => {
+                GateVerdict::Probe
+            }
+            _ => GateVerdict::Quarantined,
+        }
+    }
+
+    /// Record a job outcome. Only called after a `Run` or `Probe`
+    /// verdict — quarantined jobs never reach the hardware.
+    fn record(&mut self, now_ms: u64, ok: bool, probing: bool) {
+        if ok {
+            self.strikes = 0;
+            self.quarantined_at = None;
+            self.cooldown_ms = self.base_cooldown.unwrap_or(0);
+            return;
+        }
+        self.strikes += 1;
+        if probing {
+            // Failed probe: straight back to quarantine, and the next
+            // probe waits twice as long.
+            self.quarantined_at = Some(now_ms);
+            self.cooldown_ms = self.cooldown_ms.saturating_mul(2).max(1);
+        } else if self.strikes >= self.quarantine_after && self.quarantined_at.is_none() {
+            // Strike threshold crossed: start serving the cool-down.
+            self.quarantined_at = Some(now_ms);
+        }
+    }
 }
 
 /// One job with campaign-level retries. A panic anywhere inside the
@@ -289,6 +383,7 @@ mod tests {
             },
             job_retries: 0,
             quarantine_after: 2,
+            probation_cooldown_ms: None,
             scripts: vec![DeviceScript {
                 device: "Q845".into(),
                 hang_jobs: u32::MAX,
@@ -315,5 +410,69 @@ mod tests {
             })
             .count();
         assert_eq!(quarantined, 2, "{results:?}");
+    }
+
+    #[test]
+    fn probation_gate_probes_after_cooldown_and_doubles_on_refailure() {
+        let mut g = ProbationGate::new(2, Some(40));
+        // Two strikes quarantine the device at t = 100.
+        g.record(50, false, false);
+        assert_eq!(g.verdict(50), GateVerdict::Run);
+        g.record(100, false, false);
+        assert_eq!(g.verdict(100), GateVerdict::Quarantined);
+        assert_eq!(g.verdict(139), GateVerdict::Quarantined);
+        // Cool-down served: the next job is a probe. It fails, so the
+        // next cool-down is doubled and served from the failure time.
+        assert_eq!(g.verdict(140), GateVerdict::Probe);
+        g.record(150, false, true);
+        assert_eq!(g.cooldown_ms, 80);
+        assert_eq!(g.verdict(229), GateVerdict::Quarantined);
+        assert_eq!(g.verdict(230), GateVerdict::Probe);
+        // A successful probe clears the strikes and resets the cool-down.
+        g.record(240, true, true);
+        assert_eq!(g.verdict(240), GateVerdict::Run);
+        assert_eq!(g.strikes, 0);
+        assert_eq!(g.cooldown_ms, 40);
+    }
+
+    #[test]
+    fn probation_gate_without_cooldown_is_permanent() {
+        let mut g = ProbationGate::new(1, None);
+        g.record(10, false, false);
+        assert_eq!(g.verdict(u64::MAX), GateVerdict::Quarantined);
+    }
+
+    #[test]
+    fn probed_device_rejoins_the_campaign() {
+        // The device hangs on its first two jobs (earning quarantine),
+        // then recovers. With a zero cool-down the third job runs as the
+        // probe, succeeds, and clears the quarantine — the schedule is
+        // exact on the shared logical clock.
+        let devices = vec![device("Q845").unwrap()];
+        let jobs: Vec<Campaign> = (1..=4)
+            .map(|id| campaign(id, Task::MovementTracking, id))
+            .collect();
+        let config = CampaignConfig {
+            master: MasterConfig {
+                accept_timeout: Duration::from_millis(50),
+                attempts: 1,
+                clock: std::sync::Arc::new(crate::clock::LogicalClock::new()),
+            },
+            job_retries: 0,
+            quarantine_after: 2,
+            probation_cooldown_ms: Some(0),
+            scripts: vec![DeviceScript {
+                device: "Q845".into(),
+                hang_jobs: 2,
+            }],
+        };
+        let results = run_campaign_with(&devices, &jobs, &config);
+        assert_eq!(results.len(), 4);
+        let ok: Vec<bool> = results.iter().map(|r| r.outcome.is_ok()).collect();
+        assert_eq!(ok, [false, false, true, true], "{results:?}");
+        // Nothing was failed fast: the probe (job 3) reached the device.
+        assert!(results
+            .iter()
+            .all(|r| !matches!(&r.outcome, Err(e) if e.contains("quarantined"))));
     }
 }

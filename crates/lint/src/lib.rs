@@ -38,6 +38,7 @@ pub const RULES: &[&str] = &[
     "lock-across-send",
     "seed-from-entropy",
     "float-accum-order",
+    "relaxed-ordering-in-report",
     "todo-unimplemented",
     "bad-suppression",
 ];

@@ -73,6 +73,12 @@ impl<'a> Ctx<'a> {
     fn in_analysis(&self) -> bool {
         self.path.contains("crates/analysis/")
     }
+
+    /// Crates whose atomics feed the rendered report (cache and analysis
+    /// counters end up in `PipelineReport::render_text`).
+    fn in_report_crate(&self) -> bool {
+        self.path.contains("crates/core/") || self.path.contains("crates/analysis/")
+    }
 }
 
 /// Run every rule; returns raw `(rule, line)` findings in scan order.
@@ -85,6 +91,7 @@ pub(crate) fn run_all(ctx: &Ctx<'_>) -> Vec<(&'static str, u32)> {
     rule_lock_across_send(ctx, &mut out);
     rule_seed_from_entropy(ctx, &mut out);
     rule_float_accum_order(ctx, &mut out);
+    rule_relaxed_ordering_in_report(ctx, &mut out);
     rule_todo_unimplemented(ctx, &mut out);
     out
 }
@@ -521,6 +528,29 @@ fn rule_float_accum_order(ctx: &Ctx<'_>, out: &mut Vec<(&'static str, u32)>) {
                 out.push(("float-accum-order", lex.line(j + 1)));
                 break;
             }
+        }
+    }
+}
+
+/// Rule `relaxed-ordering-in-report`: `Ordering::Relaxed` in non-test
+/// core/analysis sources. Counter atomics there (cache hits/misses,
+/// analysis stats) are rendered into the merged report; `Relaxed`
+/// increments are individually atomic but invite torn read-modify-write
+/// *patterns* (load-then-store) that undercount under contention, and
+/// counters that drift make the "byte-identical at any worker count"
+/// tests flake. Use `SeqCst` — these are cold paths — or carry an allow
+/// with a reason for a genuinely report-invisible atomic.
+fn rule_relaxed_ordering_in_report(ctx: &Ctx<'_>, out: &mut Vec<(&'static str, u32)>) {
+    if !ctx.in_report_crate() {
+        return;
+    }
+    let lex = ctx.lex;
+    for i in 0..lex.toks.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        if lex.matches(i, &[I("Ordering"), P(':'), P(':'), I("Relaxed")]) {
+            out.push(("relaxed-ordering-in-report", lex.line(i)));
         }
     }
 }

@@ -298,6 +298,52 @@ fn entropy(counts: &BTreeMap<char, f64>) -> f64 {
 // ---------------------------------------------------------------- rule 8
 
 #[test]
+fn relaxed_ordering_is_flagged_in_report_crates() {
+    let src = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+fn bump(hits: &AtomicU64) {
+    hits.fetch_add(1, Ordering::Relaxed);
+}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn probe(n: &AtomicU64) -> u64 {
+        n.load(Ordering::Relaxed)
+    }
+}
+"#;
+    assert_eq!(
+        rules_at("crates/core/src/analyze.rs", src),
+        vec![("relaxed-ordering-in-report", 4)]
+    );
+    assert_eq!(
+        rules("crates/analysis/src/dedup.rs", src),
+        vec!["relaxed-ordering-in-report"]
+    );
+    // Crates that never render reports keep their Relaxed stop flags.
+    assert!(rules("crates/playstore/src/server.rs", src).is_empty());
+    // SeqCst is always clean.
+    let seqcst = "fn bump(h: &std::sync::atomic::AtomicU64) { h.fetch_add(1, std::sync::atomic::Ordering::SeqCst); }\n";
+    assert!(rules("crates/core/src/analyze.rs", seqcst).is_empty());
+}
+
+#[test]
+fn relaxed_ordering_is_suppressible_with_a_reason() {
+    let src = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+fn bump(scratch: &AtomicU64) {
+    // gaugelint: allow(relaxed-ordering-in-report) — scratch counter, never rendered
+    scratch.fetch_add(1, Ordering::Relaxed);
+}
+"#;
+    let report = lint_source("crates/core/src/scratch.rs", src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed, 1);
+}
+
+// ---------------------------------------------------------------- rule 9
+
+#[test]
 fn todo_and_unimplemented_are_flagged_outside_tests() {
     let src = r#"
 fn later() {

@@ -486,7 +486,7 @@ impl Crawler {
             // Store-wide admission: pay the pacing charge, or fail fast
             // (consuming this attempt) while the breaker is open.
             if let Some(ctrl) = &self.admission {
-                match ctrl.admit() {
+                match ctrl.admit_for(self.connection_id) {
                     Admission::Granted { throttle_ms } => {
                         if throttle_ms > 0 {
                             self.stats.throttled += 1;

@@ -2,10 +2,25 @@
 //!
 //! A [`CrawlPool`] partitions the store's category space across N worker
 //! threads. Each worker owns a private [`Crawler`] (its own connection,
-//! its own connection id, its own retry/backoff jitter stream) and crawls
-//! the categories whose index is congruent to the worker index mod N —
-//! a static partition, so which worker crawls which category never
-//! depends on thread scheduling.
+//! its own connection id, its own retry/backoff jitter stream). Which
+//! worker crawls which category is decided **before any worker thread
+//! starts** by the shared deterministic scheduler in [`gaugenn_sched`]:
+//!
+//! * [`SchedMode::Static`] reproduces the original `index % workers`
+//!   partition;
+//! * [`SchedMode::Lpt`] (the default) assigns categories
+//!   largest-catalog-first to the least-loaded worker, so one heavy
+//!   category no longer straggles whatever shard its index happens to
+//!   fall in;
+//! * [`SchedMode::Stealing`] rebalances the static partition with a
+//!   planned steal sequence that is a pure function of
+//!   `(seed, thief id, round)`.
+//!
+//! Category sizes come from [`CrawlPoolConfig::size_hints`] when the
+//! caller has real byte counts (e.g. the previous snapshot's crawl of the
+//! same store), otherwise from a bootstrap probe that lists each category
+//! once on connection 0 and uses the listed app count as the catalog size
+//! estimate.
 //!
 //! All workers share one [`AdmissionController`]: the fleet collectively
 //! respects a single store-wide rate limit, and a sustained 429/503 storm
@@ -16,14 +31,15 @@
 //! The merged [`CrawlOutcome`] is assembled in category-index order, not
 //! completion order, so a chaos run with a fixed seed produces a
 //! byte-identical corpus and drop-out ledger no matter how the workers
-//! interleave:
+//! interleave — and no matter which scheduling mode assigned the shards:
 //!
-//! * each worker's request stream is a pure function of its (static)
-//!   category shard — no work stealing, no shared queues;
-//! * chaos fault schedules are keyed per connection
-//!   (`seed ⊕ connection id`, see [`crate::chaos::FaultPlan`]), so worker
-//!   k sees the same faults whether it runs alone or alongside seven
-//!   others;
+//! * the assignment is computed up front from `(category sizes, workers,
+//!   mode, seed)` — no runtime work stealing, no shared queues — and each
+//!   worker walks its shard in ascending category-index order;
+//! * chaos fault schedules cap transient faults per route and make
+//!   permanent faults connection-independent (see [`crate::chaos`]), so
+//!   reassigning a category to a different connection never changes
+//!   whether it survives;
 //! * the shared admission controller's aggregate charges are
 //!   interleaving-independent while the breaker stays closed (see
 //!   [`crate::admission`]).
@@ -37,6 +53,8 @@
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats};
 use crate::crawler::{CrawlOutcome, CrawlStats, CrawledApp, Crawler, CrawlerConfig, DropOut, RetryPolicy};
 use crate::Result;
+use gaugenn_sched::{assign, SchedMode, WorkUnit};
+use std::collections::BTreeMap;
 use std::net::SocketAddr;
 use std::sync::Arc;
 
@@ -52,6 +70,16 @@ pub struct CrawlPoolConfig {
     pub retry: RetryPolicy,
     /// Store-wide admission control shared by the whole fleet.
     pub admission: AdmissionConfig,
+    /// How categories are partitioned across workers. Defaults to the
+    /// `GAUGENN_SCHED` environment variable (falling back to LPT).
+    pub sched: SchedMode,
+    /// Seed for the planned-steal sequence ([`SchedMode::Stealing`] only).
+    pub sched_seed: u64,
+    /// Per-category catalog sizes in bytes, when the caller already knows
+    /// them (e.g. measured by the previous snapshot's crawl). When absent
+    /// and the mode is size-aware, the pool probes each category's listing
+    /// once on the bootstrap connection and uses the app count instead.
+    pub size_hints: Option<BTreeMap<String, u64>>,
 }
 
 impl Default for CrawlPoolConfig {
@@ -61,6 +89,9 @@ impl Default for CrawlPoolConfig {
             crawler: CrawlerConfig::default(),
             retry: RetryPolicy::default(),
             admission: AdmissionConfig::default(),
+            sched: SchedMode::from_env(),
+            sched_seed: 0,
+            size_hints: None,
         }
     }
 }
@@ -77,6 +108,9 @@ pub struct WorkerReport {
     pub categories: usize,
     /// Apps the worker crawled successfully.
     pub apps: usize,
+    /// Bytes (APK + OBB + bundle) the worker pulled — the load-balance
+    /// metric `poolbench` compares across scheduling modes.
+    pub bytes: u64,
     /// Drop-outs the worker recorded.
     pub dropouts: usize,
     /// The worker's own resilience counters. Note: throttle counters are
@@ -91,7 +125,8 @@ pub struct WorkerReport {
 pub struct PoolOutcome {
     /// Merged corpus + drop-out ledger + summed stats, in deterministic
     /// category-index order — byte-identical to what the same seed
-    /// produces at any worker count while the breaker stays closed.
+    /// produces at any worker count and in any scheduling mode while the
+    /// breaker stays closed.
     pub outcome: CrawlOutcome,
     /// Per-worker diagnostics, in worker order.
     pub per_worker: Vec<WorkerReport>,
@@ -99,6 +134,8 @@ pub struct PoolOutcome {
     pub admission: AdmissionStats,
     /// Worker count actually used.
     pub workers: usize,
+    /// Scheduling mode the shards were assigned under.
+    pub sched: SchedMode,
 }
 
 /// One worker's crawl of one category, tagged with the category's global
@@ -107,6 +144,12 @@ struct CategoryShard {
     index: usize,
     apps: Vec<CrawledApp>,
     dropouts: Vec<DropOut>,
+}
+
+fn app_bytes(app: &CrawledApp) -> u64 {
+    (app.apk.len()
+        + app.obbs.iter().map(|(_, b)| b.len()).sum::<usize>()
+        + app.bundle.as_ref().map_or(0, |b| b.len())) as u64
 }
 
 /// The sharded pool. See the module docs for the determinism contract.
@@ -121,10 +164,35 @@ impl CrawlPool {
         CrawlPool { config }
     }
 
+    /// Size estimates for the category units: caller-provided byte hints
+    /// when available, otherwise (for size-aware modes) a listing probe on
+    /// the bootstrap connection counting each category's apps. A probe
+    /// failure estimates 1 — the worker assigned the category will record
+    /// the real drop-out itself.
+    fn size_units(&self, bootstrap: &mut Crawler, categories: &[String]) -> Vec<WorkUnit> {
+        categories
+            .iter()
+            .enumerate()
+            .map(|(index, cat)| {
+                let size = match (&self.config.size_hints, self.config.sched) {
+                    (Some(hints), _) => hints.get(cat).copied().unwrap_or(1),
+                    (None, SchedMode::Static) => 0, // unused by the static partition
+                    (None, _) => bootstrap
+                        .list_category(cat)
+                        .map(|apps| apps.len() as u64)
+                        .unwrap_or(1),
+                };
+                WorkUnit { index, size }
+            })
+            .collect()
+    }
+
     /// Sweep the whole store at `addr` with the configured worker fleet.
     ///
-    /// Connection 0 bootstraps the category list; worker k then crawls
-    /// every category with `index % workers == k` on connection `k + 1`.
+    /// Connection 0 bootstraps the category list (and, in size-aware
+    /// modes without size hints, probes each category's listing for a
+    /// catalog size estimate); worker k then crawls the categories the
+    /// scheduler assigned to shard k on connection `k + 1`.
     pub fn crawl(&self, addr: SocketAddr) -> Result<PoolOutcome> {
         let workers = self.config.workers.max(1);
         let admission = Arc::new(AdmissionController::new(self.config.admission.clone()));
@@ -136,23 +204,21 @@ impl CrawlPool {
             .admission(admission.clone())
             .build()?;
         let categories = bootstrap.categories()?;
+        let units = self.size_units(&mut bootstrap, &categories);
         let bootstrap_stats = bootstrap.stats().clone();
         drop(bootstrap);
 
-        let shards: Vec<(usize, &str)> = categories
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, c.as_str()))
-            .collect();
+        let plan = assign(&units, workers, self.config.sched, self.config.sched_seed);
 
         let mut results: Vec<Result<(Vec<CategoryShard>, CrawlStats)>> =
             std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        let shard: Vec<(usize, &str)> = shards
+                let handles: Vec<_> = plan
+                    .iter()
+                    .enumerate()
+                    .map(|(w, shard)| {
+                        let shard: Vec<(usize, &str)> = shard
                             .iter()
-                            .filter(|(i, _)| i % workers == w)
-                            .copied()
+                            .map(|&i| (i, categories[i].as_str()))
                             .collect();
                         let admission = admission.clone();
                         let crawler_cfg = self.config.crawler.clone();
@@ -203,6 +269,10 @@ impl CrawlPool {
                 connection_id: w as u64 + 1,
                 categories: worker_shards.len(),
                 apps: worker_shards.iter().map(|s| s.apps.len()).sum(),
+                bytes: worker_shards
+                    .iter()
+                    .flat_map(|s| s.apps.iter().map(app_bytes))
+                    .sum(),
                 dropouts: worker_shards.iter().map(|s| s.dropouts.len()).sum(),
                 stats: stats.clone(),
             });
@@ -227,6 +297,7 @@ impl CrawlPool {
             per_worker,
             admission: admission.stats(),
             workers,
+            sched: self.config.sched,
         })
     }
 }
@@ -239,6 +310,14 @@ mod tests {
 
     fn start_tiny() -> StoreServer {
         StoreServer::start(generate(CorpusScale::Tiny, Snapshot::Y2021, 7)).unwrap()
+    }
+
+    fn with_mode(workers: usize, sched: SchedMode) -> CrawlPoolConfig {
+        CrawlPoolConfig {
+            workers,
+            sched,
+            ..CrawlPoolConfig::default()
+        }
     }
 
     #[test]
@@ -265,20 +344,59 @@ mod tests {
     #[test]
     fn worker_count_does_not_change_the_corpus() {
         let server = start_tiny();
-        let one = CrawlPool::new(CrawlPoolConfig {
-            workers: 1,
-            ..CrawlPoolConfig::default()
-        })
-        .crawl(server.addr())
-        .unwrap();
-        let eight = CrawlPool::new(CrawlPoolConfig {
-            workers: 8,
-            ..CrawlPoolConfig::default()
-        })
-        .crawl(server.addr())
-        .unwrap();
+        let one = CrawlPool::new(with_mode(1, SchedMode::Lpt))
+            .crawl(server.addr())
+            .unwrap();
+        let eight = CrawlPool::new(with_mode(8, SchedMode::Lpt))
+            .crawl(server.addr())
+            .unwrap();
         assert_eq!(one.outcome.apps, eight.outcome.apps);
         assert_eq!(one.outcome.dropouts, eight.outcome.dropouts);
+    }
+
+    #[test]
+    fn sched_mode_does_not_change_the_corpus() {
+        let server = start_tiny();
+        let baseline = CrawlPool::new(with_mode(4, SchedMode::Static))
+            .crawl(server.addr())
+            .unwrap();
+        for sched in [SchedMode::Lpt, SchedMode::Stealing] {
+            let other = CrawlPool::new(with_mode(4, sched)).crawl(server.addr()).unwrap();
+            assert_eq!(other.outcome.apps, baseline.outcome.apps, "{sched:?}");
+            assert_eq!(other.outcome.dropouts, baseline.outcome.dropouts);
+            let covered: usize = other.per_worker.iter().map(|w| w.categories).sum();
+            let statically: usize = baseline.per_worker.iter().map(|w| w.categories).sum();
+            assert_eq!(covered, statically, "every category still crawled once");
+        }
+    }
+
+    #[test]
+    fn size_hints_suppress_the_listing_probe() {
+        let server = start_tiny();
+        // First crawl (static: no probe) measures real per-category bytes.
+        let first = CrawlPool::new(with_mode(2, SchedMode::Static))
+            .crawl(server.addr())
+            .unwrap();
+        let mut hints: BTreeMap<String, u64> = BTreeMap::new();
+        for app in &first.outcome.apps {
+            *hints.entry(app.meta.category.clone()).or_default() += app_bytes(app);
+        }
+        let probe_free = CrawlPool::new(CrawlPoolConfig {
+            workers: 4,
+            sched: SchedMode::Lpt,
+            size_hints: Some(hints),
+            ..CrawlPoolConfig::default()
+        })
+        .crawl(server.addr())
+        .unwrap();
+        assert_eq!(probe_free.outcome.apps, first.outcome.apps);
+        // With hints the bootstrap connection only fetches the category
+        // list, so the hinted LPT crawl pays no more requests than the
+        // static one.
+        assert_eq!(
+            probe_free.outcome.stats.requests,
+            first.outcome.stats.requests
+        );
     }
 
     #[test]

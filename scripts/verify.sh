@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Tier-1 verification: build + full test suite (see ROADMAP.md), the
-# concurrency suite re-run single-threaded, and a clippy gate on the
-# store/crawler crate.
+# concurrency suite re-run single-threaded (and again under each forced
+# pool scheduling mode), a double-repro persistent-cache determinism
+# check, the gaugelint and lock-order gates, and workspace clippy.
 #
 # Works without network access: if the registry is unreachable, cargo is
 # retried in --offline mode (using whatever is already vendored/cached).
@@ -33,6 +34,36 @@ verify() {
     run_cargo "$mode" test -q --test concurrency \
         analysis_worker_count_never_changes_the_report -- --test-threads=1 \
         || return 1
+    # Scheduling-mode determinism: the same suite must pass with the pool
+    # scheduler forced to static shards and to deterministic LPT — the
+    # mode may move wall time, never report bytes (DESIGN.md §11).
+    GAUGENN_SCHED=static run_cargo "$mode" test -q --test concurrency \
+        -- --test-threads=1 || return 1
+    GAUGENN_SCHED=lpt run_cargo "$mode" test -q --test concurrency \
+        -- --test-threads=1 || return 1
+    # Persistent-cache determinism: two back-to-back repro runs against a
+    # fresh cache directory must emit byte-identical stdout, and the
+    # second must actually attach to the first's persisted analyses.
+    cache_dir="target/verify-cache.$$"
+    rm -rf "$cache_dir"
+    GAUGENN_CACHE_DIR="$cache_dir" run_cargo "$mode" run --release -q \
+        -p gaugenn-bench --bin repro -- tiny 1402 2 2 \
+        >"$cache_dir.out1" 2>"$cache_dir.err1" || return 1
+    GAUGENN_CACHE_DIR="$cache_dir" run_cargo "$mode" run --release -q \
+        -p gaugenn-bench --bin repro -- tiny 1402 2 2 \
+        >"$cache_dir.out2" 2>"$cache_dir.err2" || return 1
+    if ! cmp -s "$cache_dir.out1" "$cache_dir.out2"; then
+        echo "verify: repro stdout differs between cold and warm cache runs" >&2
+        diff "$cache_dir.out1" "$cache_dir.out2" | head -20 >&2
+        return 1
+    fi
+    if ! grep -q "persistent cache: [1-9][0-9]* hits" "$cache_dir.err2"; then
+        echo "verify: warm repro run reported no persistent cache hits" >&2
+        grep "persistent cache:" "$cache_dir.err2" >&2
+        return 1
+    fi
+    rm -rf "$cache_dir" "$cache_dir.out1" "$cache_dir.out2" \
+        "$cache_dir.err1" "$cache_dir.err2"
     # gaugelint gate: the in-repo invariant checker (DESIGN.md §10) must
     # pass its own fixture suite and report zero unsuppressed findings
     # across crates/ and tests/.

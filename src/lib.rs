@@ -32,5 +32,6 @@ pub use gaugenn_dnn as dnn;
 pub use gaugenn_harness as harness;
 pub use gaugenn_modelfmt as modelfmt;
 pub use gaugenn_playstore as playstore;
+pub use gaugenn_sched as sched;
 pub use gaugenn_power as power;
 pub use gaugenn_soc as soc;

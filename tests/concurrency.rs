@@ -137,6 +137,91 @@ fn analysis_worker_count_never_changes_the_report() {
 }
 
 #[test]
+fn sched_mode_and_cache_state_never_change_the_report() {
+    // The scheduling tentpole's acceptance matrix: the deterministic text
+    // render is byte-identical across worker counts {1, 2, 8}, scheduling
+    // modes {static, lpt, stealing}, and cache states {cold, warm}. The
+    // first run against the cache directory populates it (cold); every
+    // later one attaches to it (warm).
+    use gaugenn::core::pipeline::{Pipeline, PipelineConfig};
+    use gaugenn::sched::SchedMode;
+
+    let dir = std::env::temp_dir().join(format!("gaugenn-matrix-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = |workers: usize, mode: SchedMode, cached: bool| {
+        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
+        cfg.workers = workers;
+        cfg.analysis_workers = workers;
+        cfg.sched = mode;
+        cfg.analysis_cache_dir = cached.then(|| dir.clone());
+        Pipeline::new(cfg).run().unwrap()
+    };
+    let baseline = run(1, SchedMode::Static, false).render_text();
+    let mut warm_hits = 0u64;
+    for workers in [1usize, 2, 8] {
+        for mode in [SchedMode::Static, SchedMode::Lpt, SchedMode::Stealing] {
+            for cached in [false, true] {
+                let report = run(workers, mode, cached);
+                assert_eq!(
+                    report.render_text(),
+                    baseline,
+                    "workers={workers} mode={mode:?} cached={cached}"
+                );
+                if cached {
+                    warm_hits += report.analysis.persistent_hits;
+                }
+            }
+        }
+    }
+    assert!(warm_hits > 0, "warm runs must attach to the persisted cache");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_store_never_changes_the_report() {
+    // Satellite guarantee for the persistent cache: flipped bits in
+    // entries and a torn index degrade to misses — the report stays
+    // byte-identical and the pipeline recomputes instead of erroring.
+    use gaugenn::core::pipeline::{Pipeline, PipelineConfig};
+
+    let dir = std::env::temp_dir().join(format!("gaugenn-corrupt-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = |cached: bool| {
+        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
+        cfg.analysis_cache_dir = cached.then(|| dir.clone());
+        Pipeline::new(cfg).run().unwrap()
+    };
+    let baseline = run(false).render_text();
+    let cold = run(true);
+    assert_eq!(cold.render_text(), baseline);
+    assert!(cold.analysis.persistent_stores > 0, "{:?}", cold.analysis);
+
+    // Bit-flip the tail of every entry (breaks each payload checksum).
+    let mut entries = 0usize;
+    for f in std::fs::read_dir(&dir).unwrap() {
+        let path = f.unwrap().path();
+        if path.extension().is_some_and(|e| e == "gnce") {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x40;
+            std::fs::write(&path, bytes).unwrap();
+            entries += 1;
+        }
+    }
+    assert!(entries > 0, "the cold run must have persisted entries");
+    let flipped = run(true);
+    assert_eq!(flipped.render_text(), baseline, "bit flips degrade to misses");
+    assert_eq!(flipped.analysis.persistent_hits, 0, "{:?}", flipped.analysis);
+
+    // Tear the index header: the whole store degrades to misses.
+    std::fs::write(dir.join("cache.idx"), b"not an index\n").unwrap();
+    let torn = run(true);
+    assert_eq!(torn.render_text(), baseline, "torn index degrades to misses");
+    assert_eq!(torn.analysis.persistent_hits, 0, "{:?}", torn.analysis);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 #[ignore = "wall-clock comparison; run manually (cargo test -- --ignored) on an idle machine"]
 fn pooled_crawl_is_faster_than_sequential_on_small() {
     let server = StoreServer::start(generate(CorpusScale::Small, Snapshot::Y2021, 7)).unwrap();
