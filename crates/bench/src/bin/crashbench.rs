@@ -1,0 +1,182 @@
+//! `crashbench` — recovery time and replayed work per crash point.
+//!
+//! ```sh
+//! cargo run --release -p gaugenn-bench --bin crashbench             # tiny corpus
+//! cargo run --release -p gaugenn-bench --bin crashbench -- small
+//! cargo run --release -p gaugenn-bench --bin crashbench -- tiny 7 --json
+//! ```
+//!
+//! For each pipeline crash point (`post-crawl`, `app-extract`,
+//! `model-analysis`, `cache-append`) this arms a deterministic
+//! [`CrashPlan`] in panic mode, runs a journaled + persistently-cached
+//! pipeline until the injected crash unwinds it, then times the
+//! `--resume` run and verifies its rendered report is **byte-identical**
+//! to an uninterrupted baseline. Replayed work is reported as the
+//! journal's app restores (crawl skipped from disk) and the persistent
+//! cache's hits vs re-traced models. The campaign-side `job-commit`
+//! point is exercised by `tests/failure_injection.rs` instead — it needs
+//! a harness, not a pipeline.
+//!
+//! `--json` prints a machine-readable record for
+//! `results/BENCH_crash.json`.
+//!
+//! [`CrashPlan`]: gaugenn_core::crashpoint::CrashPlan
+
+use gaugenn_core::crashpoint::{self, CrashMode, CrashPlan, CrashPoint};
+use gaugenn_core::pipeline::{Pipeline, PipelineConfig};
+use gaugenn_playstore::corpus::{CorpusScale, Snapshot};
+use std::time::Instant;
+
+struct PointResult {
+    point: &'static str,
+    nth: u64,
+    crash_ms: f64,
+    recovery_ms: f64,
+    journal_restores: u64,
+    persistent_hits: u64,
+    retraced: u64,
+    byte_identical: bool,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let scale = match args.get(1).map(String::as_str) {
+        Some("small") => CorpusScale::Small,
+        Some("paper") => CorpusScale::Paper,
+        None | Some("tiny") => CorpusScale::Tiny,
+        Some(other) => {
+            eprintln!("unknown scale '{other}' (expected tiny|small|paper)");
+            std::process::exit(2);
+        }
+    };
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1402);
+
+    let scratch = std::env::temp_dir().join(format!("gaugenn-crashbench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let config = |journal: Option<&std::path::Path>, resume: bool| {
+        let mut c = PipelineConfig::with_scale(scale, Snapshot::Y2021, seed);
+        if let Some(dir) = journal {
+            c.journal_dir = Some(dir.to_path_buf());
+            c.analysis_cache_dir = Some(dir.join("cache"));
+            c.resume = resume;
+        }
+        c
+    };
+
+    eprintln!("crashbench — scale {scale:?}, seed {seed}");
+    let t0 = Instant::now();
+    let baseline = Pipeline::new(config(None, false)).run()?;
+    let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let reference = baseline.render_text();
+    eprintln!(
+        "  uninterrupted baseline: {baseline_ms:.1} ms, {} apps, {} unique models",
+        baseline.dataset.total_apps, baseline.dataset.unique_models
+    );
+
+    // Hit counts chosen to land mid-stage, where recovery has real work
+    // on both sides of the cut.
+    let points: [(CrashPoint, u64); 4] = [
+        (CrashPoint::PostCrawl, 1),
+        (CrashPoint::AppExtract, 3),
+        (CrashPoint::ModelAnalysis, 3),
+        (CrashPoint::CacheAppend, 2),
+    ];
+
+    let mut results = Vec::new();
+    for (i, (point, nth)) in points.into_iter().enumerate() {
+        let dir = scratch.join(point.name());
+        crashpoint::arm(CrashPlan::new(point, nth, CrashMode::Panic));
+        // The induced unwind is expected noise: silence the panic hook
+        // while it fires, restore it before the timed resume.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let t_crash = Instant::now();
+        let crashed = std::panic::catch_unwind(|| Pipeline::new(config(Some(&dir), false)).run());
+        let crash_ms = t_crash.elapsed().as_secs_f64() * 1e3;
+        std::panic::set_hook(hook);
+        crashpoint::disarm();
+        assert!(
+            crashed.is_err(),
+            "{}:{nth} must unwind the run",
+            point.name()
+        );
+
+        let t_rec = Instant::now();
+        let resumed = Pipeline::new(config(Some(&dir), true)).run()?;
+        let recovery_ms = t_rec.elapsed().as_secs_f64() * 1e3;
+        let byte_identical = resumed.render_text() == reference;
+        // After a post-crawl checkpoint the *whole* corpus comes off the
+        // journal; mid-crawl kills restore app by app instead.
+        let journal_restores = if resumed.crawl_replayed {
+            resumed.dataset.total_apps as u64
+        } else {
+            resumed.crawl_stats.journal_restores
+        };
+        let r = PointResult {
+            point: point.name(),
+            nth,
+            crash_ms,
+            recovery_ms,
+            journal_restores,
+            persistent_hits: resumed.analysis.persistent_hits,
+            retraced: resumed.analysis.unique_analysed - resumed.analysis.persistent_hits,
+            byte_identical,
+        };
+        eprintln!(
+            "  [{}/{}] {}:{nth} — crashed after {:.1} ms, recovered in {:.1} ms \
+             ({} apps from journal, {} models warm, {} re-traced, identical: {})",
+            i + 1,
+            4,
+            r.point,
+            r.crash_ms,
+            r.recovery_ms,
+            r.journal_restores,
+            r.persistent_hits,
+            r.retraced,
+            r.byte_identical
+        );
+        assert!(r.byte_identical, "{}: resumed stdout diverged", r.point);
+        results.push(r);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    if json {
+        println!("{{");
+        println!("  \"bench\": \"crash-recovery\",");
+        println!("  \"scale\": \"{scale:?}\",");
+        println!("  \"seed\": {seed},");
+        println!("  \"baseline_ms\": {baseline_ms:.1},");
+        println!("  \"points\": [");
+        for (i, r) in results.iter().enumerate() {
+            let comma = if i + 1 == results.len() { "" } else { "," };
+            println!(
+                "    {{\"point\": \"{}\", \"nth\": {}, \"crash_ms\": {:.1}, \
+                 \"recovery_ms\": {:.1}, \"journal_restores\": {}, \
+                 \"persistent_hits\": {}, \"retraced\": {}, \"byte_identical\": {}}}{comma}",
+                r.point,
+                r.nth,
+                r.crash_ms,
+                r.recovery_ms,
+                r.journal_restores,
+                r.persistent_hits,
+                r.retraced,
+                r.byte_identical
+            );
+        }
+        println!("  ]");
+        println!("}}");
+    } else {
+        println!("crash recovery — scale {scale:?}, seed {seed}, baseline {baseline_ms:.1} ms");
+        println!("point            nth  crash ms  recover ms  journal apps  warm models  re-traced");
+        for r in &results {
+            println!(
+                "{:<16} {:>3}  {:>8.1}  {:>10.1}  {:>12}  {:>11}  {:>9}",
+                r.point, r.nth, r.crash_ms, r.recovery_ms, r.journal_restores, r.persistent_hits, r.retraced
+            );
+        }
+    }
+    Ok(())
+}

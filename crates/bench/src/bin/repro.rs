@@ -18,6 +18,13 @@
 //! persistent counters print on stderr only — stdout stays byte-identical
 //! with or without the cache. `GAUGENN_SCHED=static|lpt|stealing` picks
 //! the pool scheduling mode (also stdout-invariant).
+//!
+//! Set `GAUGENN_JOURNAL_DIR=<dir>` to journal completed work units
+//! (crawled apps, the end-of-crawl marker, the probe verdict) as they
+//! finish; after a crash — induced or real — re-run with `--resume` to
+//! skip the journaled work and still print byte-identical stdout
+//! (DESIGN.md §12). `GAUGENN_CRASH=<point>[:n]` arms a deterministic
+//! kill point for the crash-recovery matrix in `verify.sh`.
 
 use gaugenn_core::experiments::{backends, offline, runtime};
 use gaugenn_core::pipeline::{Pipeline, PipelineConfig};
@@ -25,7 +32,9 @@ use gaugenn_playstore::corpus::{CorpusScale, Snapshot};
 use gaugenn_soc::spec::all_devices;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let resume = args.iter().any(|a| a == "--resume");
+    args.retain(|a| a != "--resume");
     let scale = match args.get(1).map(String::as_str) {
         Some("tiny") => CorpusScale::Tiny,
         Some("paper") => CorpusScale::Paper,
@@ -50,11 +59,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", runtime::tab1());
 
     let cache_dir = std::env::var_os("GAUGENN_CACHE_DIR").map(std::path::PathBuf::from);
+    let journal_dir = std::env::var_os("GAUGENN_JOURNAL_DIR").map(std::path::PathBuf::from);
+    if resume && journal_dir.is_none() {
+        eprintln!("--resume needs GAUGENN_JOURNAL_DIR to point at the journal directory");
+        std::process::exit(2);
+    }
     let config = |snapshot| {
         let mut c = PipelineConfig::with_scale(scale, snapshot, seed);
         c.workers = workers;
         c.analysis_workers = analysis_workers;
         c.analysis_cache_dir = cache_dir.clone();
+        c.journal_dir = journal_dir.clone();
+        c.resume = resume;
         c
     };
     eprintln!("[1/5] crawling + analysing the Feb 2020 snapshot...");

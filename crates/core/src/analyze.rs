@@ -69,6 +69,7 @@
 //! deterministic text render.
 
 use crate::cachestore::CacheStore;
+use crate::crashpoint::{self, CrashPoint};
 use crate::extract::{extract_app, AppExtraction};
 use crate::{CoreError, Result};
 use gaugenn_analysis::classify::{classify_graph, Classification, LayerComposition};
@@ -459,6 +460,7 @@ impl AnalysisPool {
         } else {
             None
         };
+        let store_handle = store.clone();
         let cache = ModelCache::with_store(store);
         let mut timers = StageTimers::default();
 
@@ -494,6 +496,7 @@ impl AnalysisPool {
                                 let t0 = Instant::now(); // gaugelint: allow(wall-clock) — stage timers are diagnostics, never rendered into the deterministic report
                                 let ext = extract_app(&crawled[i]).map_err(CoreError::from);
                                 spent += t0.elapsed();
+                                crashpoint::hit(CrashPoint::AppExtract);
                                 let failed = ext.is_err();
                                 out.push((i, ext));
                                 if failed {
@@ -567,6 +570,7 @@ impl AnalysisPool {
                                 } else {
                                     analyse_model(found.framework, &found.files, &mut t)
                                 };
+                                crashpoint::hit(CrashPoint::ModelAnalysis);
                                 out.push((u, (checksum, outcome)));
                             }
                             (out, t)
@@ -695,6 +699,13 @@ impl AnalysisPool {
             decode_us: timers.decode.as_micros() as u64,
             trace_us: timers.trace.as_micros() as u64,
         };
+
+        // End-of-run compaction sweep: with `GAUGENN_CACHE_MAX_BYTES`
+        // set, the cache directory is back under budget before the run
+        // reports success (DESIGN.md §12).
+        if let Some(store) = &store_handle {
+            store.compact_if_over();
+        }
 
         Ok(AnalysisOutput {
             apps,

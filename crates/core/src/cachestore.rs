@@ -11,16 +11,35 @@
 //!
 //! # On-disk format
 //!
-//! * `cache.idx` — a text index: the header line `gnca v1`, then one
-//!   32-hex-digit checksum per line for every persisted entry. A missing
-//!   or mismatched header disables the whole index; a malformed line
-//!   (e.g. the torn tail of a truncated file) disables just that entry.
+//! * `cache.idx` — a text index: the header line `gnca v2 gen <N>`
+//!   (`<N>` is the compaction generation), then one line per persisted
+//!   entry: `<checksum> <clock> <bytes>` — a 32-hex-digit checksum, the
+//!   logical-clock tick of the entry's last use, and the entry file's
+//!   size. Appends are line-atomic; a *touch* (cache hit) appends a
+//!   fresh line for the same checksum and replay keeps the last one, so
+//!   recency survives restarts without rewriting the file. A missing or
+//!   mismatched header disables the whole index; a malformed line (e.g.
+//!   the torn tail of a truncated file) disables just that entry.
 //! * `<checksum>.gnce` — one binary entry per checksum:
 //!   `b"GNCE" | version:u32 | crc32(payload):u32 | len(payload):u64 |
 //!   payload`, all integers little-endian. The payload serialises the
 //!   [`ModelOutcome`] with a hand-rolled codec (no serde in the build
 //!   environment): a tag byte (0 = undecodable, 1 = analysis) followed by
 //!   the analysis fields.
+//!
+//! # Size bound, eviction, compaction
+//!
+//! `GAUGENN_CACHE_MAX_BYTES` (or [`CacheStore::open_with_limit`]) caps
+//! the cache directory. When entries plus the index exceed the cap, a
+//! compaction sweep evicts entries in **deterministic LRU order** —
+//! ascending last-use clock, checksum as the tie-break — until the
+//! survivors fit, rewrites the index (header generation +1, survivors
+//! only) through the same write-temp + atomic-rename helper every index
+//! rewrite uses, and only then deletes the evicted entry files plus any
+//! orphaned `.gnce` the index no longer vouches for. A crash at any
+//! point mid-compaction therefore degrades to the *old* generation: the
+//! previous index is intact until the rename lands, and entry files
+//! deleted after it are exactly the ones the new index already disowned.
 //!
 //! # Corruption policy
 //!
@@ -37,13 +56,14 @@
 //! would turn a transient abort into a sticky one.
 
 use crate::analyze::{AnalyzeFailure, ModelAnalysis, ModelOutcome};
+use crate::crashpoint::{self, CrashPoint};
 use gaugenn_analysis::classify::{Classification, Evidence};
 use gaugenn_analysis::optim::ModelOptim;
 use gaugenn_apk::crc32::crc32;
 use gaugenn_dnn::task::Task;
 use gaugenn_dnn::tensor::Shape;
 use gaugenn_dnn::trace::{LayerTrace, TraceReport};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -53,10 +73,14 @@ const MAGIC: &[u8; 4] = b"GNCE";
 /// Entry/index format version. Bump on any codec change; old entries
 /// then read as misses and are rewritten.
 const VERSION: u32 = 1;
-/// Index header line.
-const INDEX_HEADER: &str = "gnca v1";
+/// Index header prefix; the full header line is `gnca v2 gen <N>`. A
+/// `gnca v1` index (or anything else) fails the header check and reads
+/// as cold — its entries are recomputed and re-persisted in v2 form.
+const INDEX_HEADER: &str = "gnca v2";
 /// Index file name.
 const INDEX_FILE: &str = "cache.idx";
+/// Environment cap on the cache directory, in bytes.
+pub const MAX_BYTES_ENV: &str = "GAUGENN_CACHE_MAX_BYTES";
 
 /// Every layer-family label [`gaugenn_dnn::graph::LayerKind::family`] can
 /// produce, used to re-intern deserialised `&'static str` families. An
@@ -161,40 +185,121 @@ fn evidence_from(code: u8) -> Option<Evidence> {
     })
 }
 
+/// Recency + size metadata for one indexed entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EntryMeta {
+    /// Logical-clock tick of the entry's last save or load.
+    clock: u64,
+    /// Entry file size in bytes (as written; the eviction budget metric).
+    bytes: u64,
+}
+
+/// The mutable index state, guarded by one lock so concurrent workers
+/// keep the index file line-atomic and the logical clock monotonic.
+#[derive(Debug)]
+struct IndexState {
+    entries: BTreeMap<String, EntryMeta>,
+    /// Next logical-clock tick.
+    next_clock: u64,
+    /// Compaction generation (from the header; bumped on every sweep).
+    generation: u64,
+    /// Whether the on-disk index already carries a valid v2 header.
+    header_written: bool,
+}
+
 /// The persistent cache. Cheap to share behind an [`Arc`]; `load` takes
 /// `&self` and `save` serialises writers on an internal index lock.
 #[derive(Debug)]
 pub struct CacheStore {
     dir: PathBuf,
-    /// Checksums the on-disk index vouches for. Guarded so concurrent
-    /// workers appending new entries keep the index file line-atomic.
-    index: Mutex<BTreeSet<String>>,
+    /// Directory size cap; `None` = unbounded (no compaction).
+    max_bytes: Option<u64>,
+    state: Mutex<IndexState>,
 }
 
 impl CacheStore {
-    /// Open (creating if needed) the cache at `dir` and return it shared.
+    /// Open (creating if needed) the cache at `dir` and return it
+    /// shared, honouring a `GAUGENN_CACHE_MAX_BYTES` cap when set (a
+    /// malformed value means unbounded — the cache never fails a run).
     ///
     /// Never fails: an unreadable/uncreatable directory or a corrupt
     /// index just yields an empty index, so every lookup misses and every
     /// save is attempted fresh — the pipeline's output is identical
     /// either way.
     pub fn open(dir: &Path) -> Arc<CacheStore> {
+        let max = std::env::var(MAX_BYTES_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok());
+        CacheStore::open_with_limit(dir, max)
+    }
+
+    /// [`CacheStore::open`] with an explicit size cap. Runs a compaction
+    /// sweep immediately when the directory is already over budget.
+    pub fn open_with_limit(dir: &Path, max_bytes: Option<u64>) -> Arc<CacheStore> {
         let _ = fs::create_dir_all(dir);
-        let index = Mutex::new(read_index(&dir.join(INDEX_FILE)));
-        Arc::new(CacheStore {
+        let index_path = dir.join(INDEX_FILE);
+        let parsed = read_index(&index_path);
+        if parsed.is_none() && index_path.exists() {
+            // Stale format or corrupt header: everything below it is
+            // untrusted, so clear the file rather than appending v2
+            // lines after a dead header.
+            let _ = fs::remove_file(&index_path);
+        }
+        let (entries, generation) = parsed.clone().unwrap_or_default();
+        let next_clock = entries.values().map(|m| m.clock).max().map_or(1, |c| c + 1);
+        let store = Arc::new(CacheStore {
             dir: dir.to_path_buf(),
-            index,
-        })
+            max_bytes,
+            state: Mutex::new(IndexState {
+                entries,
+                next_clock,
+                generation,
+                header_written: parsed.is_some(),
+            }),
+        });
+        store.compact_if_over();
+        store
     }
 
     /// Entries the index currently vouches for.
     pub fn len(&self) -> usize {
-        self.index.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .len()
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The current compaction generation.
+    pub fn generation(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .generation
+    }
+
+    /// Configured directory cap, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
+    /// Bytes the cache accounts for: indexed entry files plus the index
+    /// file itself.
+    pub fn total_bytes(&self) -> u64 {
+        let entries: u64 = self
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entries
+            .values()
+            .map(|m| m.bytes)
+            .sum();
+        entries + fs::metadata(self.dir.join(INDEX_FILE)).map_or(0, |m| m.len())
     }
 
     fn entry_path(&self, checksum: &str) -> PathBuf {
@@ -203,15 +308,20 @@ impl CacheStore {
 
     /// Look up a persisted outcome. `None` is a miss — absent, corrupt,
     /// truncated, wrong-version and future-format entries all land here.
+    /// A hit is a *touch*: it advances the entry's last-use clock and
+    /// appends the refreshed line so LRU recency survives restarts.
     pub fn load(&self, checksum: &str) -> Option<ModelOutcome> {
-        if !valid_checksum(checksum)
-            || !self
-                .index
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .contains(checksum)
-        {
+        if !valid_checksum(checksum) {
             return None;
+        }
+        {
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            let clock = st.next_clock;
+            let meta = st.entries.get_mut(checksum)?;
+            meta.clock = clock;
+            let bytes = meta.bytes;
+            st.next_clock = clock + 1;
+            append_index_line(&self.dir, &mut st, checksum, clock, bytes);
         }
         let raw = fs::read(self.entry_path(checksum)).ok()?;
         decode_entry(&raw)
@@ -236,19 +346,103 @@ impl CacheStore {
         entry.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         entry.extend_from_slice(&payload);
 
-        // Write-then-rename so a torn write never leaves a half entry
-        // under the final name; then publish in the index.
-        let tmp = self.dir.join(format!("{checksum}.tmp"));
-        if fs::write(&tmp, &entry).is_err() || fs::rename(&tmp, self.entry_path(checksum)).is_err()
-        {
-            let _ = fs::remove_file(&tmp);
+        // Atomic-publish the entry file, then its index line. The crash
+        // point sits in the gap on purpose: a run killed here leaves an
+        // entry file the index never vouches for — the torn-append
+        // window the `unlisted entry ⇒ miss` policy absorbs.
+        let name = format!("{checksum}.gnce");
+        if !write_atomic(&self.dir, &name, &entry) {
             return;
         }
-        let mut index = self.index.lock().unwrap_or_else(|e| e.into_inner());
-        if index.insert(checksum.to_string()) {
-            append_index_line(&self.dir.join(INDEX_FILE), checksum, index.len() == 1);
+        crashpoint::hit(CrashPoint::CacheAppend);
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let clock = st.next_clock;
+        st.next_clock = clock + 1;
+        let bytes = entry.len() as u64;
+        st.entries.insert(checksum.to_string(), EntryMeta { clock, bytes });
+        append_index_line(&self.dir, &mut st, checksum, clock, bytes);
+    }
+
+    /// Run a compaction sweep if the configured cap is exceeded.
+    pub fn compact_if_over(&self) {
+        if let Some(max) = self.max_bytes {
+            self.compact_to(max);
         }
     }
+
+    /// Evict-and-compact down to `max` bytes (entries + rewritten
+    /// index). Victims leave in deterministic LRU order: ascending
+    /// last-use clock, checksum as the tie-break. The new index is
+    /// published with [`write_atomic`] before any entry file is deleted,
+    /// so a crash anywhere mid-sweep degrades to the old generation.
+    pub fn compact_to(&self, max: u64) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let index_path = self.dir.join(INDEX_FILE);
+        let entries_total: u64 = st.entries.values().map(|m| m.bytes).sum();
+        let index_len = fs::metadata(&index_path).map_or(0, |m| m.len());
+        if entries_total + index_len <= max {
+            return;
+        }
+        let generation = st.generation + 1;
+        let header = format!("{INDEX_HEADER} gen {generation}\n");
+
+        // Keep most-recent-first while the survivors (entry bytes plus
+        // their index lines plus the header) still fit under the cap.
+        let mut by_recency: Vec<(String, EntryMeta)> = st
+            .entries
+            .iter()
+            .map(|(k, m)| (k.clone(), *m))
+            .collect();
+        by_recency.sort_by(|a, b| b.1.clock.cmp(&a.1.clock).then(a.0.cmp(&b.0)));
+        let mut used = header.len() as u64;
+        let mut keep: BTreeMap<String, EntryMeta> = BTreeMap::new();
+        for (sum, meta) in by_recency {
+            let line_len = index_line(&sum, meta.clock, meta.bytes).len() as u64;
+            if used + meta.bytes + line_len <= max {
+                used += meta.bytes + line_len;
+                keep.insert(sum, meta);
+            }
+        }
+
+        let mut content = header;
+        for (sum, meta) in &keep {
+            content.push_str(&index_line(sum, meta.clock, meta.bytes));
+        }
+        if !write_atomic(&self.dir, INDEX_FILE, content.as_bytes()) {
+            return; // old index (old generation) stays authoritative
+        }
+        st.generation = generation;
+        st.header_written = true;
+        st.entries = keep;
+
+        // Only now delete what the new index disowns: evicted entries
+        // plus any orphaned `.gnce` a torn append left behind.
+        if let Ok(dirents) = fs::read_dir(&self.dir) {
+            for d in dirents.flatten() {
+                let name = d.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some(stem) = name.strip_suffix(".gnce") else {
+                    continue;
+                };
+                if !st.entries.contains_key(stem) {
+                    let _ = fs::remove_file(d.path());
+                }
+            }
+        }
+    }
+}
+
+/// Write `bytes` to `dir/name` through a temp file and an atomic rename:
+/// readers observe either the old file or the new one, never a torn
+/// write. Shared by entry publication and every index rewrite. Returns
+/// `false` (leaving the old file intact) on any I/O error.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> bool {
+    let tmp = dir.join(format!("{name}.tmp"));
+    if fs::write(&tmp, bytes).is_err() || fs::rename(&tmp, dir.join(name)).is_err() {
+        let _ = fs::remove_file(&tmp);
+        return false;
+    }
+    true
 }
 
 /// 32 lowercase hex digits (an md5), which also keeps entry file names
@@ -257,33 +451,64 @@ fn valid_checksum(s: &str) -> bool {
     s.len() == 32 && s.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
 }
 
-/// Parse the index file. Header mismatch disables the whole index;
-/// malformed lines (torn tails) disable just themselves.
-fn read_index(path: &Path) -> BTreeSet<String> {
-    let Ok(text) = fs::read_to_string(path) else {
-        return BTreeSet::new();
-    };
-    let mut lines = text.lines();
-    if lines.next() != Some(INDEX_HEADER) {
-        return BTreeSet::new();
-    }
-    lines
-        .filter(|l| valid_checksum(l))
-        .map(str::to_string)
-        .collect()
+fn index_line(checksum: &str, clock: u64, bytes: u64) -> String {
+    format!("{checksum} {clock} {bytes}\n")
 }
 
-fn append_index_line(path: &Path, checksum: &str, first: bool) {
+/// Parse the index file: `(entries, generation)`, or `None` when the
+/// file is missing or its header line is anything but a valid v2 header
+/// (which disables the whole index). Malformed entry lines (torn tails)
+/// disable just themselves; repeated checksums keep the last line, so
+/// appended touches refresh recency.
+fn read_index(path: &Path) -> Option<(BTreeMap<String, EntryMeta>, u64)> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    let rest = header.strip_prefix(INDEX_HEADER)?;
+    let generation = match rest.trim() {
+        "" => 0,
+        g => g.strip_prefix("gen ")?.trim().parse::<u64>().ok()?,
+    };
+    let mut entries = BTreeMap::new();
+    for line in lines {
+        let mut parts = line.split_ascii_whitespace();
+        let (Some(sum), Some(clock), Some(bytes), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        if !valid_checksum(sum) {
+            continue;
+        }
+        let (Ok(clock), Ok(bytes)) = (clock.parse::<u64>(), bytes.parse::<u64>()) else {
+            continue;
+        };
+        entries.insert(sum.to_string(), EntryMeta { clock, bytes });
+    }
+    Some((entries, generation))
+}
+
+/// Append one `<checksum> <clock> <bytes>` line (writing the header
+/// first on a fresh file). Must be called with the state lock held so
+/// appends stay ordered; failures are swallowed — at worst the entry
+/// reads as unlisted next open, i.e. a miss.
+fn append_index_line(dir: &Path, st: &mut IndexState, checksum: &str, clock: u64, bytes: u64) {
     use std::io::Write as _;
     let mut opts = fs::OpenOptions::new();
     opts.append(true).create(true);
-    if let Ok(mut f) = opts.open(path) {
-        let line = if first {
-            format!("{INDEX_HEADER}\n{checksum}\n")
+    if let Ok(mut f) = opts.open(dir.join(INDEX_FILE)) {
+        let line = if st.header_written {
+            index_line(checksum, clock, bytes)
         } else {
-            format!("{checksum}\n")
+            format!(
+                "{INDEX_HEADER} gen {}\n{}",
+                st.generation,
+                index_line(checksum, clock, bytes)
+            )
         };
-        let _ = f.write_all(line.as_bytes());
+        if f.write_all(line.as_bytes()).is_ok() {
+            st.header_written = true;
+        }
     }
 }
 
@@ -688,6 +913,127 @@ mod tests {
         fs::remove_file(dir.join(INDEX_FILE)).unwrap();
         let store = CacheStore::open(&dir);
         assert!(store.load(SUM).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Distinct valid checksums: 32 hex digits ending in `i`.
+    fn sum_n(i: u8) -> String {
+        format!("{:032x}", 0xabc0 + i as u64)
+    }
+
+    #[test]
+    fn compaction_evicts_lru_first_and_bounds_the_directory() {
+        let dir = tmp_dir("compact-lru");
+        let store = CacheStore::open_with_limit(&dir, None);
+        for i in 0..6 {
+            store.save(&sum_n(i), &Ok(Arc::new(sample_analysis())));
+        }
+        // Touch the two *oldest* saves so recency order differs from
+        // save order: victims must leave by last-use clock, not insert
+        // order.
+        assert!(store.load(&sum_n(0)).is_some());
+        assert!(store.load(&sum_n(1)).is_some());
+        let entry_len = fs::metadata(dir.join(format!("{}.gnce", sum_n(0))))
+            .unwrap()
+            .len();
+        // Budget for roughly three entries plus the rewritten index.
+        let max = entry_len * 3 + 200;
+        store.compact_to(max);
+        assert!(store.total_bytes() <= max, "{} > {max}", store.total_bytes());
+        assert_eq!(store.generation(), 1);
+        // Survivors are the most recently used: the touched 0 and 1 plus
+        // the last save (5); the untouched middle saves were evicted.
+        for kept in [0u8, 1, 5] {
+            assert!(store.load(&sum_n(kept)).is_some(), "entry {kept} kept");
+        }
+        for gone in [2u8, 3, 4] {
+            assert!(store.load(&sum_n(gone)).is_none(), "entry {gone} evicted");
+            assert!(!dir.join(format!("{}.gnce", sum_n(gone))).exists());
+        }
+        // Recency survives a reopen. The touch lines appended by the
+        // loads above may push the index itself over the slim budget, in
+        // which case the open runs one more compaction — which dedupes
+        // the index without losing any of the three survivors.
+        let reopened = CacheStore::open_with_limit(&dir, Some(max));
+        assert!(reopened.generation() >= 1);
+        assert_eq!(reopened.len(), 3);
+        assert!(reopened.total_bytes() <= max);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn over_budget_store_compacts_at_open() {
+        let dir = tmp_dir("compact-open");
+        {
+            let store = CacheStore::open_with_limit(&dir, None);
+            for i in 0..5 {
+                store.save(&sum_n(i), &Ok(Arc::new(sample_analysis())));
+            }
+        }
+        let entry_len = fs::metadata(dir.join(format!("{}.gnce", sum_n(0))))
+            .unwrap()
+            .len();
+        let max = entry_len * 2 + 200;
+        let store = CacheStore::open_with_limit(&dir, Some(max));
+        assert!(store.total_bytes() <= max);
+        assert!(store.generation() >= 1);
+        // The most recent saves survive; repeat opens stay stable (no
+        // further eviction once under budget).
+        assert!(store.load(&sum_n(4)).is_some());
+        let before = store.len();
+        let again = CacheStore::open_with_limit(&dir, Some(max));
+        assert_eq!(again.len(), before);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_sweeps_orphan_entry_files() {
+        let dir = tmp_dir("compact-orphan");
+        let store = CacheStore::open_with_limit(&dir, None);
+        store.save(SUM, &Ok(Arc::new(sample_analysis())));
+        // An orphan: entry bytes under a valid name the index never
+        // vouched for (the torn-append window).
+        let orphan = dir.join(format!("{SUM2}.gnce"));
+        fs::write(&orphan, b"torn").unwrap();
+        store.compact_to(0);
+        assert!(!orphan.exists(), "orphans leave with the sweep");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_before_index_rename_degrades_to_old_generation() {
+        let dir = tmp_dir("compact-crash");
+        {
+            let store = CacheStore::open_with_limit(&dir, None);
+            store.save(SUM, &Ok(Arc::new(sample_analysis())));
+            store.save(SUM2, &Err(AnalyzeFailure::Undecodable));
+        }
+        // Simulate dying mid-compaction: the new index was written to
+        // its temp name but never renamed. The old index still vouches
+        // for everything.
+        fs::write(dir.join(format!("{INDEX_FILE}.tmp")), b"gnca v2 gen 9\n").unwrap();
+        let store = CacheStore::open_with_limit(&dir, None);
+        assert_eq!(store.generation(), 0);
+        assert_eq!(store.len(), 2);
+        assert!(store.load(SUM).is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_index_reads_as_cold_and_self_heals() {
+        let dir = tmp_dir("v1-cold");
+        {
+            let store = CacheStore::open_with_limit(&dir, None);
+            store.save(SUM, &Ok(Arc::new(sample_analysis())));
+        }
+        fs::write(dir.join(INDEX_FILE), format!("gnca v1\n{SUM}\n")).unwrap();
+        let store = CacheStore::open_with_limit(&dir, None);
+        assert!(store.is_empty(), "old format is cold, not an error");
+        assert!(store.load(SUM).is_none());
+        // Re-saving starts a clean v2 index.
+        store.save(SUM, &Ok(Arc::new(sample_analysis())));
+        let reopened = CacheStore::open_with_limit(&dir, None);
+        assert!(reopened.load(SUM).is_some());
         let _ = fs::remove_dir_all(&dir);
     }
 

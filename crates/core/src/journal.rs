@@ -1,0 +1,737 @@
+//! Journaled checkpoints: a crc32-guarded, append-only, torn-tail-
+//! truncating record log, plus the typed run journal the pipeline
+//! replays on `--resume`.
+//!
+//! # Why a journal *and* a cache
+//!
+//! The persistent [`crate::cachestore::CacheStore`] already makes model
+//! analyses crash-durable — but it is content-addressed, so it can only
+//! resume work whose *inputs* exist. A killed run loses the crawl
+//! itself: the corpus, the drop-out ledger, the probe verdict. The run
+//! journal records those completed work units keyed by the run
+//! configuration, so a resumed run skips straight past them and, because
+//! every rendered byte derives from journaled or recomputed-identical
+//! state, produces **byte-identical stdout** to an uninterrupted run.
+//!
+//! # On-disk format (same discipline as `cachestore.rs`)
+//!
+//! ```text
+//! header  b"GNJL" | version:u32 | run_key:u64          (16 bytes)
+//! record  len:u32 | crc32(payload):u32 | payload       (repeated)
+//! ```
+//!
+//! All integers little-endian. The `run_key` hashes the run
+//! configuration (scale, snapshot, seed): a journal left behind by a
+//! *different* configuration — a stale generation — fails the key check
+//! and is discarded wholesale rather than replayed into the wrong run.
+//!
+//! # Corruption policy
+//!
+//! Opening **never fails**. A missing, stale, or header-corrupt file
+//! replays nothing; a record with a bad length or crc ends replay at the
+//! last good record and the file is truncated there (the torn tail of a
+//! crashed append is expected, not exceptional). Every degradation means
+//! "redo that work", never "error" and never divergent output.
+
+use gaugenn_apk::crc32::crc32;
+use gaugenn_playstore::crawler::{AppMeta, CrawlStage, CrawlStats, CrawledApp, DropOut};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Journal file magic.
+const MAGIC: &[u8; 4] = b"GNJL";
+/// Format version; bump on any codec change so old journals read as
+/// stale and are discarded instead of misparsed.
+const VERSION: u32 = 1;
+/// Header length in bytes.
+const HEADER_LEN: usize = 16;
+/// A record larger than this is treated as corruption, not a record.
+const MAX_RECORD: u32 = 1 << 28;
+
+/// The generic append-only record log.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    /// `None` when the file could not be created: the journal is inert
+    /// (appends are dropped) but the run proceeds normally.
+    file: Mutex<Option<fs::File>>,
+}
+
+impl Journal {
+    /// Open the journal at `path`. With `resume` set, surviving records
+    /// whose header matches `run_key` are returned for replay (stopping
+    /// at the first corrupt record, which also truncates the tail);
+    /// otherwise — or on any header mismatch — the file is started
+    /// fresh. Never fails; an unwritable path yields an inert journal.
+    pub fn open(path: &Path, run_key: u64, resume: bool) -> (Journal, Vec<Vec<u8>>) {
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        let mut replayed = Vec::new();
+        let mut good_len = 0u64;
+        if resume {
+            if let Ok(raw) = fs::read(path) {
+                if let Some((records, end)) = parse(&raw, run_key) {
+                    replayed = records;
+                    good_len = end as u64;
+                }
+            }
+        }
+        let file = if good_len >= HEADER_LEN as u64 {
+            // Keep the good prefix; drop any torn tail before appending.
+            let f = fs::OpenOptions::new().read(true).write(true).open(path);
+            match f {
+                Ok(f) => {
+                    let _ = f.set_len(good_len);
+                    let _ = f.sync_data();
+                    fs::OpenOptions::new().append(true).open(path).ok()
+                }
+                Err(_) => None,
+            }
+        } else {
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(MAGIC);
+            header.extend_from_slice(&VERSION.to_le_bytes());
+            header.extend_from_slice(&run_key.to_le_bytes());
+            match fs::write(path, &header) {
+                Ok(()) => fs::OpenOptions::new().append(true).open(path).ok(),
+                Err(_) => None,
+            }
+        };
+        (
+            Journal {
+                path: path.to_path_buf(),
+                file: Mutex::new(file),
+            },
+            replayed,
+        )
+    }
+
+    /// Append one record, best-effort: the payload and its guard are
+    /// written in a single `write_all` so a crash mid-call leaves at
+    /// most one torn tail for the next open to truncate.
+    pub fn append(&self, payload: &[u8]) {
+        if payload.len() as u64 > MAX_RECORD as u64 {
+            return;
+        }
+        let mut rec = Vec::with_capacity(payload.len() + 8);
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&crc32(payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        let mut slot = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(f) = slot.as_mut() {
+            if f.write_all(&rec).is_err() {
+                // A failed append poisons nothing: drop the handle so the
+                // journal goes inert instead of interleaving torn writes.
+                *slot = None;
+            }
+        }
+    }
+
+    /// Path this journal lives at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Parse header + records. Returns the replayed payloads and the byte
+/// offset of the last good record's end, or `None` when the header is
+/// missing, short, version-skewed, or from another run (stale key).
+fn parse(raw: &[u8], run_key: u64) -> Option<(Vec<Vec<u8>>, usize)> {
+    if raw.len() < HEADER_LEN || &raw[0..4] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(raw[4..8].try_into().ok()?);
+    let key = u64::from_le_bytes(raw[8..16].try_into().ok()?);
+    if version != VERSION || key != run_key {
+        return None;
+    }
+    let mut out = Vec::new();
+    let mut at = HEADER_LEN;
+    while raw.len() - at >= 8 {
+        let len = u32::from_le_bytes(raw[at..at + 4].try_into().ok()?);
+        if len > MAX_RECORD {
+            break;
+        }
+        let want_crc = u32::from_le_bytes(raw[at + 4..at + 8].try_into().ok()?);
+        let body_at = at + 8;
+        let Some(payload) = raw.get(body_at..body_at + len as usize) else {
+            break; // torn tail
+        };
+        if crc32(payload) != want_crc {
+            break; // bit-flip or torn write: stop at the last good record
+        }
+        out.push(payload.to_vec());
+        at = body_at + len as usize;
+    }
+    Some((out, at))
+}
+
+/// Derive the run key from the configuration axes that shape the corpus.
+pub fn run_key(scale: &str, snapshot: &str, seed: u64) -> u64 {
+    splitmix64(hash_str(scale) ^ splitmix64(hash_str(snapshot)) ^ splitmix64(seed))
+}
+
+/// FNV-1a, as used across the chaos/sched seeding paths.
+fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------
+// Typed pipeline journal.
+// ---------------------------------------------------------------------
+
+/// Record tags.
+const TAG_APP: u8 = 1;
+const TAG_CRAWL_DONE: u8 = 2;
+const TAG_PROBE: u8 = 3;
+
+/// The pipeline's typed view of one run's journal: replayed state from
+/// a previous (killed) attempt plus append methods for this attempt's
+/// completed units.
+#[derive(Debug)]
+pub struct RunJournal {
+    journal: Journal,
+    /// Replayed apps by package, with their corpus sequence number.
+    apps: BTreeMap<String, (u64, CrawledApp)>,
+    /// Replayed end-of-crawl marker: the full drop-out ledger and stats.
+    crawl_done: Option<(Vec<DropOut>, CrawlStats)>,
+    /// Replayed probe verdict (`None` = not journaled).
+    probe: Option<Option<bool>>,
+}
+
+impl RunJournal {
+    /// Open `dir/file`, replaying prior records when `resume` is set.
+    pub fn open(dir: &Path, file: &str, run_key: u64, resume: bool) -> RunJournal {
+        let (journal, raw) = Journal::open(&dir.join(file), run_key, resume);
+        let mut apps = BTreeMap::new();
+        let mut crawl_done = None;
+        let mut probe = None;
+        for payload in raw {
+            // An undecodable record body (future tag, short fields) is
+            // skipped, not fatal — same miss-not-error stance as the
+            // cache store.
+            match decode_entry(&payload) {
+                Some(Entry::App(seq, app)) => {
+                    apps.insert(app.meta.package.clone(), (seq, app));
+                }
+                Some(Entry::CrawlDone(dropouts, stats)) => {
+                    crawl_done = Some((dropouts, stats));
+                }
+                Some(Entry::Probe(v)) => probe = Some(v),
+                None => {}
+            }
+        }
+        RunJournal {
+            journal,
+            apps,
+            crawl_done,
+            probe,
+        }
+    }
+
+    /// Packages already journaled, with their payloads — handed to the
+    /// crawler as a resume cache so listed-again apps skip the network.
+    pub fn resume_apps(&self) -> BTreeMap<String, CrawledApp> {
+        self.apps
+            .iter()
+            .map(|(k, (_, app))| (k.clone(), app.clone()))
+            .collect()
+    }
+
+    /// Number of replayed app records.
+    pub fn replayed_app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Replayed end-of-crawl marker, when the previous attempt got that
+    /// far: the whole crawl can then be served from the journal.
+    pub fn crawl_done(&self) -> Option<&(Vec<DropOut>, CrawlStats)> {
+        self.crawl_done.as_ref()
+    }
+
+    /// The replayed corpus in its original (sequence) order.
+    pub fn apps_in_order(&self) -> Vec<CrawledApp> {
+        let mut seq: Vec<(&u64, &CrawledApp)> =
+            self.apps.values().map(|(s, a)| (s, a)).collect();
+        seq.sort_by_key(|(s, _)| **s);
+        seq.into_iter().map(|(_, a)| a.clone()).collect()
+    }
+
+    /// Replayed probe verdict.
+    pub fn probe(&self) -> Option<Option<bool>> {
+        self.probe
+    }
+
+    /// Journal one crawled app at corpus position `seq` (skipping
+    /// packages already durable from the replayed attempt).
+    pub fn record_app(&mut self, seq: u64, app: &CrawledApp) {
+        if self.apps.contains_key(&app.meta.package) {
+            return;
+        }
+        self.journal.append(&encode_app(seq, app));
+        self.apps
+            .insert(app.meta.package.clone(), (seq, app.clone()));
+    }
+
+    /// Journal the end-of-crawl marker.
+    pub fn record_crawl_done(&mut self, dropouts: &[DropOut], stats: &CrawlStats) {
+        if self.crawl_done.is_some() {
+            return;
+        }
+        self.journal.append(&encode_crawl_done(dropouts, stats));
+        self.crawl_done = Some((dropouts.to_vec(), stats.clone()));
+    }
+
+    /// Journal the device-profile probe verdict.
+    pub fn record_probe(&mut self, verdict: Option<bool>) {
+        if self.probe.is_some() {
+            return;
+        }
+        self.journal.append(&encode_probe(verdict));
+        self.probe = Some(verdict);
+    }
+
+    /// Path of the underlying journal file.
+    pub fn path(&self) -> &Path {
+        self.journal.path()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry codec (hand-rolled, cachestore discipline: bounds-checked reads,
+// any anomaly ⇒ the record is dropped).
+// ---------------------------------------------------------------------
+
+enum Entry {
+    App(u64, CrawledApp),
+    CrawlDone(Vec<DropOut>, CrawlStats),
+    Probe(Option<bool>),
+}
+
+fn stage_code(s: CrawlStage) -> u8 {
+    match s {
+        CrawlStage::Listing => 0,
+        CrawlStage::Meta => 1,
+        CrawlStage::Apk => 2,
+        CrawlStage::Obb => 3,
+        CrawlStage::Bundle => 4,
+    }
+}
+
+fn stage_from(code: u8) -> Option<CrawlStage> {
+    Some(match code {
+        0 => CrawlStage::Listing,
+        1 => CrawlStage::Meta,
+        2 => CrawlStage::Apk,
+        3 => CrawlStage::Obb,
+        4 => CrawlStage::Bundle,
+        _ => return None,
+    })
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+fn encode_app(seq: u64, app: &CrawledApp) -> Vec<u8> {
+    let mut out = vec![TAG_APP];
+    put_u64(&mut out, seq);
+    let m = &app.meta;
+    put_str(&mut out, &m.package);
+    put_str(&mut out, &m.title);
+    put_str(&mut out, &m.category);
+    put_u64(&mut out, m.downloads);
+    put_u64(&mut out, m.rating.to_bits() as u64);
+    put_u64(&mut out, m.version_code as u64);
+    out.push(m.has_obb as u8);
+    out.push(m.has_bundle as u8);
+    put_bytes(&mut out, &app.apk);
+    put_u64(&mut out, app.obbs.len() as u64);
+    for (name, bytes) in &app.obbs {
+        put_str(&mut out, name);
+        put_bytes(&mut out, bytes);
+    }
+    match &app.bundle {
+        None => out.push(0),
+        Some(b) => {
+            out.push(1);
+            put_bytes(&mut out, b);
+        }
+    }
+    out
+}
+
+fn encode_crawl_done(dropouts: &[DropOut], stats: &CrawlStats) -> Vec<u8> {
+    let mut out = vec![TAG_CRAWL_DONE];
+    put_u64(&mut out, dropouts.len() as u64);
+    for d in dropouts {
+        put_str(&mut out, &d.package);
+        out.push(stage_code(d.stage));
+        put_str(&mut out, &d.error);
+    }
+    for v in [
+        stats.requests,
+        stats.retries,
+        stats.reconnects,
+        stats.backoff_ms_total,
+        stats.range_resumes,
+        stats.throttled,
+        stats.throttle_ms_total,
+        stats.breaker_rejections,
+        stats.journal_restores,
+    ] {
+        put_u64(&mut out, v);
+    }
+    out
+}
+
+fn encode_probe(verdict: Option<bool>) -> Vec<u8> {
+    match verdict {
+        None => vec![TAG_PROBE, 0],
+        Some(v) => vec![TAG_PROBE, 1, v as u8],
+    }
+}
+
+/// Bounds-checked reader (cachestore's `Reader`, journal-local).
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, at: 0 }
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.buf.get(self.at)?;
+        self.at += 1;
+        Some(b)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let bytes = self.buf.get(self.at..self.at + 8)?;
+        self.at += 8;
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+
+    fn len(&mut self) -> Option<usize> {
+        let n = usize::try_from(self.u64()?).ok()?;
+        (n <= self.buf.len() - self.at).then_some(n)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.len()?;
+        let bytes = self.buf.get(self.at..self.at + n)?;
+        self.at += n;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let n = self.len()?;
+        let bytes = self.buf.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(bytes.to_vec())
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+}
+
+fn decode_app(r: &mut Reader<'_>) -> Option<(u64, CrawledApp)> {
+    let seq = r.u64()?;
+    let package = r.str()?;
+    let title = r.str()?;
+    let category = r.str()?;
+    let downloads = r.u64()?;
+    let rating = f32::from_bits(u32::try_from(r.u64()?).ok()?);
+    let version_code = u32::try_from(r.u64()?).ok()?;
+    let has_obb = r.bool()?;
+    let has_bundle = r.bool()?;
+    let apk = r.bytes()?;
+    let n_obbs = r.len()?;
+    let mut obbs = Vec::with_capacity(n_obbs.min(1 << 10));
+    for _ in 0..n_obbs {
+        let name = r.str()?;
+        obbs.push((name, r.bytes()?));
+    }
+    let bundle = match r.u8()? {
+        0 => None,
+        1 => Some(r.bytes()?),
+        _ => return None,
+    };
+    Some((
+        seq,
+        CrawledApp {
+            meta: AppMeta {
+                package,
+                title,
+                category,
+                downloads,
+                rating,
+                version_code,
+                has_obb,
+                has_bundle,
+            },
+            apk,
+            obbs,
+            bundle,
+        },
+    ))
+}
+
+fn decode_crawl_done(r: &mut Reader<'_>) -> Option<(Vec<DropOut>, CrawlStats)> {
+    let n = r.len()?;
+    let mut dropouts = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let package = r.str()?;
+        let stage = stage_from(r.u8()?)?;
+        let error = r.str()?;
+        dropouts.push(DropOut {
+            package,
+            stage,
+            error,
+        });
+    }
+    Some((
+        dropouts,
+        CrawlStats {
+            requests: r.u64()?,
+            retries: r.u64()?,
+            reconnects: r.u64()?,
+            backoff_ms_total: r.u64()?,
+            range_resumes: r.u64()?,
+            throttled: r.u64()?,
+            throttle_ms_total: r.u64()?,
+            breaker_rejections: r.u64()?,
+            journal_restores: r.u64()?,
+        },
+    ))
+}
+
+fn decode_entry(payload: &[u8]) -> Option<Entry> {
+    let mut r = Reader::new(payload);
+    let entry = match r.u8()? {
+        TAG_APP => {
+            let (seq, app) = decode_app(&mut r)?;
+            Entry::App(seq, app)
+        }
+        TAG_CRAWL_DONE => {
+            let (d, s) = decode_crawl_done(&mut r)?;
+            Entry::CrawlDone(d, s)
+        }
+        TAG_PROBE => {
+            let verdict = match r.u8()? {
+                0 => None,
+                1 => Some(r.bool()?),
+                _ => return None,
+            };
+            Entry::Probe(verdict)
+        }
+        _ => return None,
+    };
+    r.done().then_some(entry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gaugenn-journal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_app(pkg: &str, payload: u8) -> CrawledApp {
+        CrawledApp {
+            meta: AppMeta {
+                package: pkg.into(),
+                title: format!("Title {pkg}"),
+                category: "tools".into(),
+                downloads: 1_000_000,
+                rating: 4.25,
+                version_code: 42,
+                has_obb: payload.is_multiple_of(2),
+                has_bundle: payload.is_multiple_of(3),
+            },
+            apk: vec![payload; 64],
+            obbs: if payload.is_multiple_of(2) {
+                vec![(format!("main.{pkg}.obb"), vec![payload ^ 0xFF; 16])]
+            } else {
+                Vec::new()
+            },
+            bundle: (payload.is_multiple_of(3)).then(|| vec![payload ^ 0xAA; 8]),
+        }
+    }
+
+    fn sample_stats() -> CrawlStats {
+        CrawlStats {
+            requests: 100,
+            retries: 7,
+            reconnects: 2,
+            backoff_ms_total: 1234,
+            range_resumes: 1,
+            throttled: 9,
+            throttle_ms_total: 90,
+            breaker_rejections: 0,
+            journal_restores: 0,
+        }
+    }
+
+    #[test]
+    fn roundtrips_apps_crawl_done_and_probe() {
+        let dir = tmp("roundtrip");
+        let key = run_key("tiny", "y2020", 7);
+        let mut j = RunJournal::open(&dir, "run.gnjl", key, false);
+        j.record_app(0, &sample_app("com.a", 1));
+        j.record_app(1, &sample_app("com.b", 2));
+        let dropouts = vec![DropOut {
+            package: "com.fail".into(),
+            stage: CrawlStage::Apk,
+            error: "transient: io".into(),
+        }];
+        j.record_crawl_done(&dropouts, &sample_stats());
+        j.record_probe(Some(true));
+        drop(j);
+
+        let j = RunJournal::open(&dir, "run.gnjl", key, true);
+        assert_eq!(j.replayed_app_count(), 2);
+        let apps = j.apps_in_order();
+        assert_eq!(apps[0], sample_app("com.a", 1));
+        assert_eq!(apps[1], sample_app("com.b", 2));
+        let (d, s) = j.crawl_done().expect("crawl done replays");
+        assert_eq!(*d, dropouts);
+        assert_eq!(*s, sample_stats());
+        assert_eq!(j.probe(), Some(Some(true)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_open_discards_previous_records() {
+        let dir = tmp("fresh");
+        let key = run_key("tiny", "y2020", 7);
+        let mut j = RunJournal::open(&dir, "run.gnjl", key, false);
+        j.record_app(0, &sample_app("com.a", 1));
+        drop(j);
+        let j = RunJournal::open(&dir, "run.gnjl", key, false);
+        assert_eq!(j.replayed_app_count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_run_key_replays_nothing() {
+        let dir = tmp("stale");
+        let key = run_key("tiny", "y2020", 7);
+        let mut j = RunJournal::open(&dir, "run.gnjl", key, false);
+        j.record_app(0, &sample_app("com.a", 1));
+        drop(j);
+        // Same path, different configuration: a stale-generation journal.
+        let other = run_key("tiny", "y2021", 7);
+        let j = RunJournal::open(&dir, "run.gnjl", other, true);
+        assert_eq!(j.replayed_app_count(), 0);
+        assert!(j.crawl_done().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appendable() {
+        let dir = tmp("torn");
+        let key = run_key("small", "y2021", 3);
+        let mut j = RunJournal::open(&dir, "run.gnjl", key, false);
+        j.record_app(0, &sample_app("com.a", 1));
+        j.record_app(1, &sample_app("com.b", 2));
+        let path = j.path().to_path_buf();
+        drop(j);
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..raw.len() - 9]).unwrap();
+
+        let mut j = RunJournal::open(&dir, "run.gnjl", key, true);
+        assert_eq!(j.replayed_app_count(), 1, "torn record drops, prefix survives");
+        // The journal stays appendable after truncation and the re-added
+        // record replays on the next open.
+        j.record_app(1, &sample_app("com.b", 2));
+        drop(j);
+        let j = RunJournal::open(&dir, "run.gnjl", key, true);
+        assert_eq!(j.replayed_app_count(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_stops_replay_at_last_good_record() {
+        let dir = tmp("flip");
+        let key = run_key("small", "y2021", 3);
+        let mut j = RunJournal::open(&dir, "run.gnjl", key, false);
+        j.record_app(0, &sample_app("com.a", 1));
+        j.record_app(1, &sample_app("com.b", 2));
+        j.record_app(2, &sample_app("com.c", 3));
+        let path = j.path().to_path_buf();
+        drop(j);
+        let mut raw = fs::read(&path).unwrap();
+        // Flip a byte inside the second record's payload.
+        let second_start = HEADER_LEN + 8 + encode_app(0, &sample_app("com.a", 1)).len();
+        raw[second_start + 20] ^= 0x01;
+        fs::write(&path, &raw).unwrap();
+
+        let j = RunJournal::open(&dir, "run.gnjl", key, true);
+        assert_eq!(j.replayed_app_count(), 1, "replay ends before the flipped record");
+        assert_eq!(j.apps_in_order()[0], sample_app("com.a", 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_header_replays_nothing_and_reinitialises() {
+        let dir = tmp("header");
+        let key = run_key("tiny", "y2020", 1);
+        let mut j = RunJournal::open(&dir, "run.gnjl", key, false);
+        j.record_app(0, &sample_app("com.a", 1));
+        let path = j.path().to_path_buf();
+        drop(j);
+        let raw = fs::read(&path).unwrap();
+        fs::write(&path, &raw[..7]).unwrap();
+
+        let mut j = RunJournal::open(&dir, "run.gnjl", key, true);
+        assert_eq!(j.replayed_app_count(), 0);
+        // And the reinitialised file journals normally again.
+        j.record_app(0, &sample_app("com.a", 1));
+        drop(j);
+        let j = RunJournal::open(&dir, "run.gnjl", key, true);
+        assert_eq!(j.replayed_app_count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

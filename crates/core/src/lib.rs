@@ -22,8 +22,10 @@
 
 pub mod analyze;
 pub mod cachestore;
+pub mod crashpoint;
 pub mod experiments;
 pub mod extract;
+pub mod journal;
 pub mod pipeline;
 pub mod report;
 

@@ -2,7 +2,9 @@
 //! extract + validate + decode models, and run the offline analyses.
 
 use crate::analyze::{AnalysisConfig, AnalysisPool, AnalysisStats};
+use crate::crashpoint::{self, CrashPoint};
 use crate::extract::AppExtraction;
+use crate::journal::{self, RunJournal};
 use crate::report::TextTable;
 use crate::Result;
 use gaugenn_analysis::classify::LayerComposition;
@@ -12,13 +14,14 @@ use gaugenn_playstore::admission::{AdmissionConfig, AdmissionStats};
 use gaugenn_playstore::chaos::{FaultPlan, FaultPlanConfig};
 use gaugenn_playstore::corpus::{generate, CorpusScale, Snapshot};
 use gaugenn_playstore::crawler::{
-    CrawlStage, CrawlStats, Crawler, CrawlerConfig, DropOut, RetryPolicy,
+    CrawlOutcome, CrawlStage, CrawlStats, Crawler, CrawlerConfig, DropOut, RetryPolicy,
 };
 use gaugenn_playstore::pool::{CrawlPool, CrawlPoolConfig};
 use gaugenn_playstore::server::StoreServer;
 use gaugenn_sched::SchedMode;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -64,6 +67,16 @@ pub struct PipelineConfig {
     /// run (or second snapshot) over the same directory attaches to
     /// already-computed model analyses instead of re-tracing them.
     pub analysis_cache_dir: Option<PathBuf>,
+    /// Directory for the run journal (one crc-guarded checkpoint file
+    /// per snapshot). When set, completed work units — crawled apps, the
+    /// end-of-crawl marker, the probe verdict — are journaled as they
+    /// finish, so a killed run can be resumed. See `DESIGN.md` §12.
+    pub journal_dir: Option<PathBuf>,
+    /// Replay a surviving journal instead of starting fresh: journaled
+    /// apps skip the network, a journaled end-of-crawl marker skips the
+    /// whole crawl, a journaled probe verdict skips the probe. Output is
+    /// byte-identical to an uninterrupted run either way.
+    pub resume: bool,
 }
 
 impl PipelineConfig {
@@ -98,6 +111,8 @@ impl PipelineConfig {
             sched: SchedMode::from_env(),
             crawl_size_hints: None,
             analysis_cache_dir: None,
+            journal_dir: None,
+            resume: false,
         }
     }
 }
@@ -174,6 +189,10 @@ pub struct PipelineReport {
     pub admission: Option<AdmissionStats>,
     /// Crawl workers used.
     pub workers: usize,
+    /// Whether the whole crawl was served from the run journal (resume
+    /// after a post-crawl checkpoint). Run provenance, not corpus
+    /// content: excluded from [`PipelineReport::render_text`].
+    pub crawl_replayed: bool,
     /// Offline-analysis counters and per-stage wall-clock timings (the
     /// timing fields vary run to run and are excluded from
     /// [`PipelineReport::render_text`]).
@@ -362,30 +381,79 @@ impl Pipeline {
             Some(cfg) => StoreServer::start_with_chaos(corpus, FaultPlan::new(cfg.clone()))?,
             None => StoreServer::start(corpus)?,
         };
-        let (outcome, admission, workers) = if self.config.workers > 1 {
-            let pooled = CrawlPool::new(CrawlPoolConfig {
-                workers: self.config.workers,
-                crawler: self.config.crawler.clone(),
-                retry: self.config.retry.clone(),
-                admission: self.config.admission.clone(),
-                sched: self.config.sched,
-                sched_seed: self.config.seed,
-                size_hints: self.config.crawl_size_hints.clone(),
+        // Journaled checkpoints (DESIGN.md §12): every completed crawl
+        // unit becomes durable as it finishes, so a killed run resumed
+        // over the same journal directory skips the journaled work and
+        // still renders byte-identical output.
+        let mut run_journal = self.config.journal_dir.as_ref().map(|dir| {
+            let key = journal::run_key(
+                &format!("{:?}", self.config.scale),
+                self.config.snapshot.label(),
+                self.config.seed,
+            );
+            let file = format!("run-{:?}.gnjl", self.config.snapshot);
+            RunJournal::open(dir, &file, key, self.config.resume)
+        });
+
+        let replayed_crawl = run_journal.as_ref().and_then(|j| {
+            j.crawl_done().cloned().map(|(dropouts, stats)| CrawlOutcome {
+                apps: j.apps_in_order(),
+                dropouts,
+                stats,
             })
-            .crawl(server.addr())?;
-            (pooled.outcome, Some(pooled.admission), pooled.workers)
+        });
+        let crawl_replayed = replayed_crawl.is_some();
+        let (outcome, admission, workers) = if let Some(outcome) = replayed_crawl {
+            // The previous attempt finished its crawl: the corpus, the
+            // drop-out ledger and the stats all replay from the journal
+            // without touching the store.
+            (outcome, None, self.config.workers)
         } else {
-            let mut crawler = Crawler::builder(server.addr())
-                .config(self.config.crawler.clone())
-                .retry(self.config.retry.clone())
-                .build()?;
-            (crawler.crawl_all()?, None, 1)
+            let resume_cache = run_journal
+                .as_ref()
+                .map(|j| Arc::new(j.resume_apps()))
+                .filter(|r| !r.is_empty());
+            if self.config.workers > 1 {
+                let pooled = CrawlPool::new(CrawlPoolConfig {
+                    workers: self.config.workers,
+                    crawler: self.config.crawler.clone(),
+                    retry: self.config.retry.clone(),
+                    admission: self.config.admission.clone(),
+                    sched: self.config.sched,
+                    sched_seed: self.config.seed,
+                    size_hints: self.config.crawl_size_hints.clone(),
+                    resume: resume_cache,
+                })
+                .crawl(server.addr())?;
+                (pooled.outcome, Some(pooled.admission), pooled.workers)
+            } else {
+                let mut builder = Crawler::builder(server.addr())
+                    .config(self.config.crawler.clone())
+                    .retry(self.config.retry.clone());
+                if let Some(resume) = resume_cache {
+                    builder = builder.resume_cache(resume);
+                }
+                let mut crawler = builder.build()?;
+                (crawler.crawl_all()?, None, 1)
+            }
         };
+        // Make the whole crawl durable before analysis starts; after the
+        // post-crawl boundary a resumed run never re-crawls.
+        if let Some(j) = run_journal.as_mut() {
+            for (seq, app) in outcome.apps.iter().enumerate() {
+                j.record_app(seq as u64, app);
+            }
+            j.record_crawl_done(&outcome.dropouts, &outcome.stats);
+        }
+        crashpoint::hit(CrashPoint::PostCrawl);
         let crawled = &outcome.apps;
 
         // §4.2 probe: re-download a sample of ML-app APKs with a
         // three-generations-older device profile and compare bytes.
-        let device_profile_invariant = if self.config.probe_device_profiles {
+        let journaled_probe = run_journal.as_ref().and_then(|j| j.probe());
+        let device_profile_invariant = if let Some(verdict) = journaled_probe {
+            verdict
+        } else if self.config.probe_device_profiles {
             let mut old_cfg = self.config.crawler.clone();
             old_cfg.device_profile = "SM-G935F".into(); // Galaxy S7 edge
             old_cfg.user_agent = "gaugeNN/1.0 (Android 8; SM-G935F)".into();
@@ -408,6 +476,9 @@ impl Pipeline {
         } else {
             None
         };
+        if let Some(j) = run_journal.as_mut() {
+            j.record_probe(device_profile_invariant);
+        }
 
         // Offline stage: fan the corpus over the analysis pool (1 worker
         // reproduces the old sequential loop through the same code path).
@@ -464,6 +535,7 @@ impl Pipeline {
             crawl_stats: outcome.stats,
             admission,
             workers,
+            crawl_replayed,
             analysis,
         })
     }
@@ -635,6 +707,80 @@ mod tests {
         let total: usize = per_fw.values().sum();
         assert_eq!(total, r.instances.len());
         assert!(per_fw.contains_key(&Framework::TfLite));
+    }
+
+    fn journal_tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gaugenn-pipeline-journal-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn journaled_resume_replays_the_whole_crawl_byte_identically() {
+        let dir = journal_tmp("full");
+        let baseline = run_tiny();
+        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
+        cfg.journal_dir = Some(dir.clone());
+        let first = Pipeline::new(cfg.clone()).run().unwrap();
+        assert_eq!(first.render_text(), baseline.render_text());
+
+        // The resumed run replays corpus + drop-outs + probe from the
+        // journal — no store traffic shows up in its (replayed) stats —
+        // and still renders byte-identically.
+        cfg.resume = true;
+        let resumed = Pipeline::new(cfg).run().unwrap();
+        assert!(resumed.crawl_replayed, "the whole crawl comes off disk");
+        assert!(!first.crawl_replayed);
+        assert_eq!(resumed.render_text(), baseline.render_text());
+        assert_eq!(resumed.crawl_stats, first.crawl_stats, "stats replay verbatim");
+        assert_eq!(resumed.dataset, first.dataset);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_resumes_partially_and_restores_apps_from_disk() {
+        let dir = journal_tmp("torn");
+        let baseline = run_tiny();
+        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
+        cfg.journal_dir = Some(dir.clone());
+        Pipeline::new(cfg.clone()).run().unwrap();
+
+        // Simulate a mid-crawl kill: chop the journal to 60% of its
+        // length, losing the crawl-done marker, the probe verdict and the
+        // tail of the app records (plus one torn record the open
+        // truncates).
+        let path = dir.join("run-Y2021.gnjl");
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() * 6 / 10]).unwrap();
+
+        cfg.resume = true;
+        let resumed = Pipeline::new(cfg).run().unwrap();
+        assert_eq!(resumed.render_text(), baseline.render_text());
+        assert!(
+            resumed.crawl_stats.journal_restores > 0,
+            "journaled apps must skip the network: {:?}",
+            resumed.crawl_stats
+        );
+        assert!(
+            (resumed.crawl_stats.journal_restores as usize) < resumed.dataset.total_apps,
+            "the torn tail must be re-crawled"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_run_ignores_a_stale_journal_without_resume() {
+        let dir = journal_tmp("fresh");
+        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
+        cfg.journal_dir = Some(dir.clone());
+        Pipeline::new(cfg.clone()).run().unwrap();
+        // resume stays false: the journal restarts and nothing replays.
+        let again = Pipeline::new(cfg).run().unwrap();
+        assert_eq!(again.crawl_stats.journal_restores, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -29,7 +29,10 @@ use crate::job::{JobResult, JobSpec};
 use crate::master::{Master, MasterConfig};
 use crossbeam::channel;
 use gaugenn_soc::DeviceSpec;
+use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// One campaign job: a spec plus its model files.
 #[derive(Debug, Clone)]
@@ -50,8 +53,14 @@ pub struct DeviceScript {
     pub hang_jobs: u32,
 }
 
+/// Commit hook fired for every [`CampaignResult`] the moment it is
+/// committed by its device worker — the campaign's journaling seam (the
+/// harness stays layer-clean of `core::journal`; callers that want
+/// durable campaigns append to their own journal here).
+pub type CommitHook = Arc<dyn Fn(&CampaignResult) + Send + Sync>;
+
 /// Resilience knobs for a campaign.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CampaignConfig {
     /// Watchdog/retry configuration handed to each per-device master.
     pub master: MasterConfig,
@@ -67,8 +76,39 @@ pub struct CampaignConfig {
     /// after the cool-down elapses — success clears the quarantine,
     /// failure re-quarantines with the cool-down doubled.
     pub probation_cooldown_ms: Option<u64>,
+    /// Fleet-wide probation budget: at most this many devices may hold a
+    /// probation slot (serve cool-downs and burn probe jobs) at once.
+    /// A device that enters quarantine when every slot is taken is
+    /// quarantined *permanently* — its queue fails fast instead of
+    /// stalling the campaign tail with doomed probes when the whole
+    /// fleet flaps at once. `None` (the default) leaves probation
+    /// unbudgeted. Slots are released by a successful probe.
+    pub max_probation_devices: Option<usize>,
     /// Scripted faults (empty for production runs).
     pub scripts: Vec<DeviceScript>,
+    /// Fired once per committed result, on the committing device's
+    /// worker thread. `None` (the default) journals nothing.
+    pub on_commit: Option<CommitHook>,
+    /// `(device, job id)` pairs a previous (crashed) attempt already
+    /// committed: the worker neither runs nor re-emits them, so a resumed
+    /// campaign's results concatenated with the journaled ones cover
+    /// exactly devices × jobs.
+    pub completed: Option<Arc<BTreeSet<(String, u64)>>>,
+}
+
+impl std::fmt::Debug for CampaignConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignConfig")
+            .field("master", &self.master)
+            .field("job_retries", &self.job_retries)
+            .field("quarantine_after", &self.quarantine_after)
+            .field("probation_cooldown_ms", &self.probation_cooldown_ms)
+            .field("max_probation_devices", &self.max_probation_devices)
+            .field("scripts", &self.scripts)
+            .field("on_commit", &self.on_commit.as_ref().map(|_| "<hook>"))
+            .field("completed", &self.completed)
+            .finish()
+    }
 }
 
 impl Default for CampaignConfig {
@@ -78,7 +118,10 @@ impl Default for CampaignConfig {
             job_retries: 1,
             quarantine_after: 3,
             probation_cooldown_ms: None,
+            max_probation_devices: None,
             scripts: Vec::new(),
+            on_commit: None,
+            completed: None,
         }
     }
 }
@@ -109,6 +152,7 @@ pub fn run_campaign_with(
     jobs: &[Campaign],
     config: &CampaignConfig,
 ) -> Vec<CampaignResult> {
+    let budget = Arc::new(ProbationBudget::new(config.max_probation_devices));
     let mut handles = Vec::new();
     for spec in devices {
         let (tx, rx) = channel::unbounded::<Campaign>();
@@ -119,8 +163,9 @@ pub fn run_campaign_with(
         drop(tx);
         let spec = spec.clone();
         let config = config.clone();
+        let budget = Arc::clone(&budget);
         let device_name = spec.name.to_string();
-        let worker = std::thread::spawn(move || device_worker(spec, rx, &config));
+        let worker = std::thread::spawn(move || device_worker(spec, rx, &config, &budget));
         handles.push((device_name, worker, jobs.len()));
     }
     let mut all = Vec::new();
@@ -146,9 +191,22 @@ fn device_worker(
     spec: DeviceSpec,
     rx: channel::Receiver<Campaign>,
     config: &CampaignConfig,
+    budget: &ProbationBudget,
 ) -> Vec<CampaignResult> {
     let device = spec.name.to_string();
     let mut out = Vec::new();
+    let commit = |out: &mut Vec<CampaignResult>, result: CampaignResult| {
+        if let Some(hook) = &config.on_commit {
+            hook(&result);
+        }
+        out.push(result);
+    };
+    let skip = |job: &Campaign| {
+        config
+            .completed
+            .as_ref()
+            .is_some_and(|done| done.contains(&(device.clone(), job.spec.id)))
+    };
     let master = match Master::with_config(config.master.clone()) {
         Ok(m) => m,
         Err(e) => {
@@ -156,11 +214,17 @@ fn device_worker(
             // structured failure instead of a silent disappearance.
             let err = format!("master bind failed: {e}");
             while let Ok(job) = rx.recv() {
-                out.push(CampaignResult {
-                    device: device.clone(),
-                    job_id: job.spec.id,
-                    outcome: Err(err.clone()),
-                });
+                if skip(&job) {
+                    continue;
+                }
+                commit(
+                    &mut out,
+                    CampaignResult {
+                        device: device.clone(),
+                        job_id: job.spec.id,
+                        outcome: Err(err.clone()),
+                    },
+                );
             }
             return out;
         }
@@ -173,32 +237,94 @@ fn device_worker(
         agent.hang_jobs_remaining = script.hang_jobs;
     }
     let mut gate = ProbationGate::new(config.quarantine_after, config.probation_cooldown_ms);
+    // Whether this device holds one of the fleet's probation slots.
+    let mut holds_slot = false;
     while let Ok(job) = rx.recv() {
-        let verdict = gate.verdict(config.master.clock.now_ms());
-        if matches!(verdict, GateVerdict::Quarantined) {
-            out.push(CampaignResult {
-                device: device.clone(),
-                job_id: job.spec.id,
-                outcome: Err(format!(
-                    "device quarantined after {} consecutive failures",
-                    gate.strikes
-                )),
-            });
+        if skip(&job) {
+            // A previous (crashed) attempt already committed this pair:
+            // resumed campaigns neither run nor re-emit it.
             continue;
         }
+        let verdict = gate.verdict(config.master.clock.now_ms());
+        if matches!(verdict, GateVerdict::Quarantined) {
+            let reason = if gate.probation_denied {
+                "device quarantined permanently (fleet probation budget exhausted)".to_string()
+            } else {
+                format!(
+                    "device quarantined after {} consecutive failures",
+                    gate.strikes
+                )
+            };
+            commit(
+                &mut out,
+                CampaignResult {
+                    device: device.clone(),
+                    job_id: job.spec.id,
+                    outcome: Err(reason),
+                },
+            );
+            continue;
+        }
+        let probing = matches!(verdict, GateVerdict::Probe);
         let outcome = run_one_job(&master, &mut agent, &job, config.job_retries);
-        gate.record(
-            config.master.clock.now_ms(),
-            outcome.is_ok(),
-            matches!(verdict, GateVerdict::Probe),
+        let ok = outcome.is_ok();
+        let was_quarantined = gate.quarantined_at.is_some();
+        gate.record(config.master.clock.now_ms(), ok, probing);
+        if gate.quarantined_at.is_some() && !was_quarantined && gate.base_cooldown.is_some() {
+            // Freshly quarantined with probation enabled: probation is
+            // only granted while the fleet has slots left. (A failed
+            // probe re-quarantines but keeps its existing slot.)
+            if budget.try_acquire() {
+                holds_slot = true;
+            } else {
+                gate.probation_denied = true;
+            }
+        }
+        if ok && holds_slot {
+            budget.release();
+            holds_slot = false;
+        }
+        commit(
+            &mut out,
+            CampaignResult {
+                device: device.clone(),
+                job_id: job.spec.id,
+                outcome,
+            },
         );
-        out.push(CampaignResult {
-            device: device.clone(),
-            job_id: job.spec.id,
-            outcome,
-        });
     }
     out
+}
+
+/// Fleet-wide probation slot counter ([`CampaignConfig::max_probation_devices`]).
+#[derive(Debug)]
+struct ProbationBudget {
+    /// Remaining slots; `None` = unbudgeted.
+    slots: Option<AtomicUsize>,
+}
+
+impl ProbationBudget {
+    fn new(max: Option<usize>) -> ProbationBudget {
+        ProbationBudget {
+            slots: max.map(AtomicUsize::new),
+        }
+    }
+
+    /// Take one slot if any remain (always succeeds when unbudgeted).
+    fn try_acquire(&self) -> bool {
+        let Some(slots) = &self.slots else {
+            return true;
+        };
+        slots
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
+    fn release(&self) {
+        if let Some(slots) = &self.slots {
+            slots.fetch_add(1, Ordering::SeqCst);
+        }
+    }
 }
 
 /// What the probation gate says about the next job.
@@ -228,6 +354,9 @@ struct ProbationGate {
     /// Cool-down the current quarantine must serve; doubles on every
     /// failed probe, resets to base on any success.
     cooldown_ms: u64,
+    /// The fleet's probation budget was exhausted when this device
+    /// entered quarantine: the quarantine is permanent, cool-down or not.
+    probation_denied: bool,
 }
 
 impl ProbationGate {
@@ -238,12 +367,16 @@ impl ProbationGate {
             strikes: 0,
             quarantined_at: None,
             cooldown_ms: base_cooldown.unwrap_or(0),
+            probation_denied: false,
         }
     }
 
     fn verdict(&self, now_ms: u64) -> GateVerdict {
         if self.strikes < self.quarantine_after {
             return GateVerdict::Run;
+        }
+        if self.probation_denied {
+            return GateVerdict::Quarantined;
         }
         match (self.base_cooldown, self.quarantined_at) {
             (Some(_), Some(since)) if now_ms.saturating_sub(since) >= self.cooldown_ms => {
@@ -388,6 +521,7 @@ mod tests {
                 device: "Q845".into(),
                 hang_jobs: u32::MAX,
             }],
+            ..CampaignConfig::default()
         };
         let results = run_campaign_with(&devices, &jobs, &config);
         assert_eq!(results.len(), devices.len() * jobs.len());
@@ -443,6 +577,101 @@ mod tests {
     }
 
     #[test]
+    fn probation_budget_stops_mass_flapping_from_stalling_the_tail() {
+        // Two of three devices flap forever. Un-budgeted, both would keep
+        // winning zero-cool-down probes and burn a real watchdog timeout
+        // on every queued job. With one probation slot, the loser of the
+        // slot race is quarantined permanently and its tail fails fast.
+        let devices = vec![
+            device("Q845").unwrap(),
+            device("Q855").unwrap(),
+            device("Q888").unwrap(),
+        ];
+        let jobs: Vec<Campaign> = (1..=4)
+            .map(|id| campaign(id, Task::MovementTracking, id))
+            .collect();
+        let config = CampaignConfig {
+            master: MasterConfig {
+                accept_timeout: Duration::from_millis(50),
+                attempts: 1,
+                clock: std::sync::Arc::new(crate::clock::LogicalClock::new()),
+            },
+            job_retries: 0,
+            quarantine_after: 1,
+            probation_cooldown_ms: Some(0),
+            max_probation_devices: Some(1),
+            scripts: vec![
+                DeviceScript {
+                    device: "Q845".into(),
+                    hang_jobs: u32::MAX,
+                },
+                DeviceScript {
+                    device: "Q855".into(),
+                    hang_jobs: u32::MAX,
+                },
+            ],
+            ..CampaignConfig::default()
+        };
+        let results = run_campaign_with(&devices, &jobs, &config);
+        assert_eq!(results.len(), devices.len() * jobs.len());
+        // The healthy device is untouched by the flappers.
+        assert!(results
+            .iter()
+            .filter(|r| r.device == "Q888")
+            .all(|r| r.outcome.is_ok()));
+        // Every flapper job failed, and exactly one flapper (whichever
+        // lost the slot race) was denied probation for its whole tail.
+        let denied: Vec<&CampaignResult> = results
+            .iter()
+            .filter(|r| {
+                matches!(&r.outcome, Err(e) if e.contains("probation budget exhausted"))
+            })
+            .collect();
+        assert_eq!(denied.len(), 3, "{results:?}");
+        assert!(
+            denied.iter().all(|r| r.device == denied[0].device),
+            "one device loses the slot race: {results:?}"
+        );
+        assert!(results
+            .iter()
+            .filter(|r| r.device != "Q888")
+            .all(|r| r.outcome.is_err()));
+    }
+
+    #[test]
+    fn commit_hook_fires_per_result_and_completed_pairs_are_skipped() {
+        let devices = vec![device("Q845").unwrap()];
+        let jobs = vec![
+            campaign(1, Task::MovementTracking, 1),
+            campaign(2, Task::KeywordDetection, 2),
+        ];
+        let committed: Arc<std::sync::Mutex<Vec<(String, u64)>>> = Arc::default();
+        let sink = Arc::clone(&committed);
+        let mut config = CampaignConfig {
+            on_commit: Some(Arc::new(move |r: &CampaignResult| {
+                sink.lock().unwrap().push((r.device.clone(), r.job_id));
+            })),
+            ..CampaignConfig::default()
+        };
+        let results = run_campaign_with(&devices, &jobs, &config);
+        assert_eq!(results.len(), 2);
+        {
+            let seen = committed.lock().unwrap();
+            assert_eq!(seen.len(), 2, "one commit per result");
+            assert!(seen.contains(&("Q845".to_string(), 1)));
+            assert!(seen.contains(&("Q845".to_string(), 2)));
+        }
+
+        // Resume over a journal that already holds (Q845, job 1): the
+        // pair is neither run nor re-emitted nor re-committed.
+        config.completed = Some(Arc::new(BTreeSet::from([("Q845".to_string(), 1u64)])));
+        let resumed = run_campaign_with(&devices, &jobs, &config);
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].job_id, 2);
+        assert_eq!(committed.lock().unwrap().len(), 3);
+    }
+
+    #[test]
     fn probed_device_rejoins_the_campaign() {
         // The device hangs on its first two jobs (earning quarantine),
         // then recovers. With a zero cool-down the third job runs as the
@@ -465,6 +694,7 @@ mod tests {
                 device: "Q845".into(),
                 hang_jobs: 2,
             }],
+            ..CampaignConfig::default()
         };
         let results = run_campaign_with(&devices, &jobs, &config);
         assert_eq!(results.len(), 4);

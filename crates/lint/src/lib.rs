@@ -40,6 +40,7 @@ pub const RULES: &[&str] = &[
     "float-accum-order",
     "relaxed-ordering-in-report",
     "todo-unimplemented",
+    "literal-duration-in-retry",
     "bad-suppression",
 ];
 

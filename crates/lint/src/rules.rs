@@ -93,6 +93,7 @@ pub(crate) fn run_all(ctx: &Ctx<'_>) -> Vec<(&'static str, u32)> {
     rule_float_accum_order(ctx, &mut out);
     rule_relaxed_ordering_in_report(ctx, &mut out);
     rule_todo_unimplemented(ctx, &mut out);
+    rule_literal_duration_in_retry(ctx, &mut out);
     out
 }
 
@@ -570,4 +571,82 @@ fn rule_todo_unimplemented(ctx: &Ctx<'_>, out: &mut Vec<(&'static str, u32)>) {
             out.push(("todo-unimplemented", lex.line(i)));
         }
     }
+}
+
+/// Function-name markers for retry/backoff/cool-down/probation paths.
+const RETRY_FN_MARKERS: &[&str] = &["retry", "backoff", "cooldown", "cool_down", "probation"];
+
+/// Rule `literal-duration-in-retry`: a `Duration::from_*(<number>)`
+/// literal inside a function whose name marks it as a retry, backoff or
+/// cool-down path. Literal durations there bypass both the injectable
+/// clock discipline and the policy structs (`RetryPolicy`,
+/// `probation_cooldown_ms`) that make fault schedules reproducible and
+/// tunable — a hard-coded 250 ms sleep in a backoff loop is exactly how
+/// chaos-test wall time quietly explodes. Constants that genuinely are
+/// protocol invariants carry an `allow` with the reason.
+fn rule_literal_duration_in_retry(ctx: &Ctx<'_>, out: &mut Vec<(&'static str, u32)>) {
+    let lex = ctx.lex;
+    let mask = retry_fn_mask(lex);
+    for (i, in_retry) in mask.iter().enumerate() {
+        if ctx.in_test(i) || !in_retry {
+            continue;
+        }
+        if lex.matches(i, &[I("Duration"), P(':'), P(':')])
+            && lex.ident(i + 3).is_some_and(|m| m.starts_with("from_"))
+            && lex.punct(i + 4) == Some('(')
+            && lex
+                .toks
+                .get(i + 5)
+                .is_some_and(|t| t.kind == TokKind::Num)
+        {
+            out.push(("literal-duration-in-retry", lex.line(i)));
+        }
+    }
+}
+
+/// Per-token flag: inside the brace body of a `fn` whose name contains a
+/// [`RETRY_FN_MARKERS`] substring (case-insensitive).
+fn retry_fn_mask(lex: &Lexed) -> Vec<bool> {
+    let n = lex.toks.len();
+    let mut mask = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        let named_retry = lex.ident(i) == Some("fn")
+            && lex.ident(i + 1).is_some_and(|name| {
+                let lower = name.to_ascii_lowercase();
+                RETRY_FN_MARKERS.iter().any(|m| lower.contains(m))
+            });
+        if !named_retry {
+            i += 1;
+            continue;
+        }
+        // Skip the signature to the body's opening brace, then mark
+        // through its matching close.
+        let mut j = i + 2;
+        while j < n && lex.punct(j) != Some('{') {
+            // A semicolon first means a trait method declaration: no body.
+            if lex.punct(j) == Some(';') {
+                break;
+            }
+            j += 1;
+        }
+        let mut depth = 0i32;
+        while j < n && lex.punct(j) != Some(';') {
+            match lex.punct(j) {
+                Some('{') => depth += 1,
+                Some('}') => {
+                    depth -= 1;
+                    mask[j] = true;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            mask[j] = true;
+            j += 1;
+        }
+        i = j.max(i + 1);
+    }
+    mask
 }

@@ -365,6 +365,63 @@ mod tests {
     );
 }
 
+// --------------------------------------------------------------- rule 10
+
+#[test]
+fn duration_literals_in_retry_paths_are_flagged() {
+    let src = r#"
+use std::time::Duration;
+fn backoff_delay(attempt: u32) {
+    std::thread::sleep(Duration::from_millis(250));
+}
+fn serve_probation_cooldown() -> Duration {
+    Duration::from_secs(5)
+}
+fn unrelated_constant() -> Duration {
+    Duration::from_millis(250)
+}
+fn retry_after(policy: &RetryPolicy) -> Duration {
+    Duration::from_millis(policy.base_delay_ms)
+}
+"#;
+    assert_eq!(
+        rules_at("crates/playstore/src/x.rs", src),
+        vec![
+            ("literal-duration-in-retry", 4),
+            ("literal-duration-in-retry", 7),
+        ],
+        "literals flag only in retry/cool-down-named fns; policy-driven values never do"
+    );
+}
+
+#[test]
+fn duration_literals_in_retry_tests_are_exempt() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn backoff_schedule_is_exact() {
+        let d = std::time::Duration::from_millis(250);
+        assert!(d.as_millis() == 250);
+    }
+}
+"#;
+    assert!(rules("crates/playstore/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn duration_literal_in_retry_suppressed_with_reason() {
+    let src = r#"
+fn retry_handshake() {
+    // gaugelint: allow(literal-duration-in-retry) — TCP handshake grace is a protocol constant, not a policy knob
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}
+"#;
+    let report = lint_source("crates/playstore/src/x.rs", src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed, 1);
+}
+
 // ------------------------------------------------------- suppression hygiene
 
 #[test]

@@ -144,6 +144,10 @@ pub struct CrawlStats {
     pub throttle_ms_total: u64,
     /// Attempts rejected outright by an open circuit breaker.
     pub breaker_rejections: u64,
+    /// Apps served from a resume cache (a replayed crash journal)
+    /// instead of the network — unit-level resume, the journal analogue
+    /// of `range_resumes`.
+    pub journal_restores: u64,
 }
 
 impl CrawlStats {
@@ -157,6 +161,7 @@ impl CrawlStats {
         self.throttled += other.throttled;
         self.throttle_ms_total += other.throttle_ms_total;
         self.breaker_rejections += other.breaker_rejections;
+        self.journal_restores += other.journal_restores;
     }
 }
 
@@ -284,6 +289,7 @@ pub struct CrawlerBuilder {
     read_timeout: Duration,
     connection_id: u64,
     admission: Option<Arc<AdmissionController>>,
+    resume: Option<Arc<BTreeMap<String, CrawledApp>>>,
 }
 
 impl CrawlerBuilder {
@@ -296,6 +302,7 @@ impl CrawlerBuilder {
             read_timeout: Duration::from_secs(2),
             connection_id: 0,
             admission: None,
+            resume: None,
         }
     }
 
@@ -340,6 +347,16 @@ impl CrawlerBuilder {
         self
     }
 
+    /// Resume cache: apps a replayed crash journal already holds, keyed
+    /// by package. A listed package found here is served from the cache
+    /// — no metadata, APK, OBB or bundle requests — and counted in
+    /// [`CrawlStats::journal_restores`]. The corpus order is unchanged
+    /// because the listing itself still drives iteration.
+    pub fn resume_cache(mut self, cache: Arc<BTreeMap<String, CrawledApp>>) -> CrawlerBuilder {
+        self.resume = Some(cache);
+        self
+    }
+
     /// Dial the store and hand back a ready crawler.
     pub fn build(self) -> Result<Crawler> {
         let mut c = Crawler {
@@ -350,6 +367,7 @@ impl CrawlerBuilder {
             read_timeout: self.read_timeout,
             connection_id: self.connection_id,
             admission: self.admission,
+            resume: self.resume,
             conn: None,
             stats: CrawlStats::default(),
         };
@@ -368,6 +386,7 @@ pub struct Crawler {
     read_timeout: Duration,
     connection_id: u64,
     admission: Option<Arc<AdmissionController>>,
+    resume: Option<Arc<BTreeMap<String, CrawledApp>>>,
     conn: Option<Conn>,
     stats: CrawlStats,
 }
@@ -732,6 +751,11 @@ impl Crawler {
         &mut self,
         package: &str,
     ) -> std::result::Result<CrawledApp, (CrawlStage, StoreError)> {
+        if let Some(app) = self.resume.as_ref().and_then(|r| r.get(package)) {
+            let app = app.clone();
+            self.stats.journal_restores += 1;
+            return Ok(app);
+        }
         let meta = self
             .app_meta(package)
             .map_err(|e| (CrawlStage::Meta, e))?;

@@ -80,6 +80,10 @@ pub struct CrawlPoolConfig {
     /// and the mode is size-aware, the pool probes each category's listing
     /// once on the bootstrap connection and uses the app count instead.
     pub size_hints: Option<BTreeMap<String, u64>>,
+    /// Resume cache shared by every worker: apps a replayed crash
+    /// journal already holds (see
+    /// [`crate::crawler::CrawlerBuilder::resume_cache`]).
+    pub resume: Option<Arc<BTreeMap<String, CrawledApp>>>,
 }
 
 impl Default for CrawlPoolConfig {
@@ -92,6 +96,7 @@ impl Default for CrawlPoolConfig {
             sched: SchedMode::from_env(),
             sched_seed: 0,
             size_hints: None,
+            resume: None,
         }
     }
 }
@@ -223,13 +228,17 @@ impl CrawlPool {
                         let admission = admission.clone();
                         let crawler_cfg = self.config.crawler.clone();
                         let retry = self.config.retry.clone();
+                        let resume = self.config.resume.clone();
                         scope.spawn(move || {
-                            let mut crawler = Crawler::builder(addr)
+                            let mut builder = Crawler::builder(addr)
                                 .config(crawler_cfg)
                                 .retry(retry)
                                 .connection_id(w as u64 + 1)
-                                .admission(admission)
-                                .build()?;
+                                .admission(admission);
+                            if let Some(resume) = resume {
+                                builder = builder.resume_cache(resume);
+                            }
+                            let mut crawler = builder.build()?;
                             let mut out = Vec::with_capacity(shard.len());
                             for (index, category) in shard {
                                 let (apps, dropouts) = crawler.crawl_category(category);

@@ -2,7 +2,10 @@
 # Tier-1 verification: build + full test suite (see ROADMAP.md), the
 # concurrency suite re-run single-threaded (and again under each forced
 # pool scheduling mode), a double-repro persistent-cache determinism
-# check, the gaugelint and lock-order gates, and workspace clippy.
+# check, the crash-recovery matrix (SIGKILL at each registered crash
+# point, then --resume must reproduce stdout byte-for-byte), a cache
+# compaction-under-pressure check, the gaugelint and lock-order gates,
+# and workspace clippy.
 #
 # Works without network access: if the registry is unreachable, cargo is
 # retried in --offline mode (using whatever is already vendored/cached).
@@ -12,7 +15,9 @@ cd "$(dirname "$0")/.."
 
 run_cargo() {
     mode="$1"; shift
-    echo "==> cargo $* ($mode)"
+    # Progress goes to stderr so gates that capture a run's stdout
+    # (the byte-compare checks below) see pure program output.
+    echo "==> cargo $* ($mode)" >&2
     if [ "$mode" = "offline" ]; then
         cargo --offline "$@"
     else
@@ -64,6 +69,65 @@ verify() {
     fi
     rm -rf "$cache_dir" "$cache_dir.out1" "$cache_dir.out2" \
         "$cache_dir.err1" "$cache_dir.err2"
+    # Crash-fault injection (DESIGN.md §12): the child-process matrix
+    # that really SIGKILLs a run at each registered crash point, pinned
+    # by name so a rename cannot silently skip the gate.
+    run_cargo "$mode" test -q -p gaugenn-core --test failure_injection \
+        || return 1
+    run_cargo "$mode" test -q -p gaugenn-core --test failure_injection \
+        sigkill_matrix_resume_is_byte_identical || return 1
+    # Repro-level crash matrix: kill the real repro binary at three
+    # registered points, then --resume must reproduce the uninterrupted
+    # run's stdout byte-for-byte (exit 137 = SIGKILL is the expected
+    # "failure" of the armed run).
+    crash_dir="target/verify-crash.$$"
+    rm -rf "$crash_dir"
+    mkdir -p "$crash_dir"
+    GAUGENN_JOURNAL_DIR="$crash_dir/journal" GAUGENN_CACHE_DIR="$crash_dir/cache" \
+        run_cargo "$mode" run --release -q -p gaugenn-bench --bin repro \
+        -- tiny 1402 2 2 >"$crash_dir/baseline.out" 2>/dev/null || return 1
+    for point in post-crawl:1 model-analysis:2 cache-append:2; do
+        rm -rf "$crash_dir/journal" "$crash_dir/cache"
+        GAUGENN_CRASH="$point" GAUGENN_CRASH_MODE=kill \
+            GAUGENN_JOURNAL_DIR="$crash_dir/journal" GAUGENN_CACHE_DIR="$crash_dir/cache" \
+            run_cargo "$mode" run --release -q -p gaugenn-bench --bin repro \
+            -- tiny 1402 2 2 >/dev/null 2>&1
+        status=$?
+        if [ "$status" -eq 0 ]; then
+            echo "verify: armed crash point $point did not kill repro" >&2
+            return 1
+        fi
+        GAUGENN_JOURNAL_DIR="$crash_dir/journal" GAUGENN_CACHE_DIR="$crash_dir/cache" \
+            run_cargo "$mode" run --release -q -p gaugenn-bench --bin repro \
+            -- tiny 1402 2 2 --resume >"$crash_dir/resumed.out" 2>/dev/null || return 1
+        if ! cmp -s "$crash_dir/baseline.out" "$crash_dir/resumed.out"; then
+            echo "verify: resumed repro stdout diverged after $point kill" >&2
+            diff "$crash_dir/baseline.out" "$crash_dir/resumed.out" | head -20 >&2
+            return 1
+        fi
+    done
+    # Compaction under pressure: a small GAUGENN_CACHE_MAX_BYTES budget
+    # must bound the cache directory while repeat runs stay byte-stable.
+    rm -rf "$crash_dir/cache"
+    GAUGENN_CACHE_DIR="$crash_dir/cache" GAUGENN_CACHE_MAX_BYTES=16384 \
+        run_cargo "$mode" run --release -q -p gaugenn-bench --bin repro \
+        -- tiny 1402 2 2 >"$crash_dir/press1.out" 2>/dev/null || return 1
+    GAUGENN_CACHE_DIR="$crash_dir/cache" GAUGENN_CACHE_MAX_BYTES=16384 \
+        run_cargo "$mode" run --release -q -p gaugenn-bench --bin repro \
+        -- tiny 1402 2 2 >"$crash_dir/press2.out" 2>/dev/null || return 1
+    if ! cmp -s "$crash_dir/press1.out" "$crash_dir/press2.out"; then
+        echo "verify: repro stdout differs under cache pressure" >&2
+        return 1
+    fi
+    # Sum regular files (entries + index): the budget governs cache
+    # payload, not filesystem directory-inode overhead.
+    cache_bytes=$(find "$crash_dir/cache" -type f -exec wc -c {} + 2>/dev/null \
+        | awk 'END { print $1 }')
+    if [ -n "$cache_bytes" ] && [ "$cache_bytes" -gt 16384 ]; then
+        echo "verify: cache dir $cache_bytes bytes exceeds GAUGENN_CACHE_MAX_BYTES=16384" >&2
+        return 1
+    fi
+    rm -rf "$crash_dir"
     # gaugelint gate: the in-repo invariant checker (DESIGN.md §10) must
     # pass its own fixture suite and report zero unsuppressed findings
     # across crates/ and tests/.

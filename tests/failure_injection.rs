@@ -326,6 +326,7 @@ fn campaign_quarantines_hung_device_while_fleet_finishes() {
             device: "Q845".into(),
             hang_jobs: u32::MAX,
         }],
+        ..CampaignConfig::default()
     };
     let results = run_campaign_with(&devices, &jobs, &config);
     assert_eq!(results.len(), 6, "one result per (device, job), always");
