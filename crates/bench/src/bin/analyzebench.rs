@@ -3,7 +3,7 @@
 //!
 //! ```sh
 //! cargo run --release -p gaugenn-bench --bin analyzebench            # small corpus
-//! cargo run --release -p gaugenn-bench --bin analyzebench -- tiny
+//! cargo run --release -p gaugenn-bench --bin analyzebench -- --scale tiny
 //! ```
 //!
 //! Crawls one snapshot once, then analyses it several ways: sequentially
@@ -20,25 +20,20 @@
 //!
 //! [`CacheStore`]: gaugenn_core::cachestore::CacheStore
 
+use gaugenn_bench::cli::{self, ArgSpec};
 use gaugenn_core::analyze::{AnalysisConfig, AnalysisPool};
-use gaugenn_playstore::corpus::{generate, CorpusScale, Snapshot};
+use gaugenn_playstore::corpus::{generate, Snapshot};
 use gaugenn_playstore::crawler::Crawler;
 use gaugenn_playstore::server::StoreServer;
 use gaugenn_sched::{assign, imbalance, SchedMode, WorkUnit};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.get(1).map(String::as_str) {
-        Some("tiny") => CorpusScale::Tiny,
-        Some("paper") => CorpusScale::Paper,
-        None | Some("small") => CorpusScale::Small,
-        Some(other) => {
-            eprintln!("unknown scale '{other}' (expected tiny|small|paper)");
-            std::process::exit(2);
-        }
-    };
-    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1402);
+    let args = cli::parse_or_exit(&ArgSpec::new(
+        "analyzebench",
+        "worker-count, scheduling-mode and cache scaling for the analysis pool",
+    ));
+    let (scale, seed) = (args.scale, args.seed);
 
     let server = StoreServer::start(generate(scale, Snapshot::Y2021, seed))?;
     let mut crawler = Crawler::builder(server.addr()).build()?;

@@ -2,8 +2,8 @@
 //!
 //! ```sh
 //! cargo run --release -p gaugenn-bench --bin crashbench             # tiny corpus
-//! cargo run --release -p gaugenn-bench --bin crashbench -- small
-//! cargo run --release -p gaugenn-bench --bin crashbench -- tiny 7 --json
+//! cargo run --release -p gaugenn-bench --bin crashbench -- --scale small
+//! cargo run --release -p gaugenn-bench --bin crashbench -- --seed 7 --json
 //! ```
 //!
 //! For each pipeline crash point (`post-crawl`, `app-extract`,
@@ -22,6 +22,7 @@
 //!
 //! [`CrashPlan`]: gaugenn_core::crashpoint::CrashPlan
 
+use gaugenn_bench::cli::{self, ArgSpec};
 use gaugenn_core::crashpoint::{self, CrashMode, CrashPlan, CrashPoint};
 use gaugenn_core::pipeline::{Pipeline, PipelineConfig};
 use gaugenn_playstore::corpus::{CorpusScale, Snapshot};
@@ -39,31 +40,27 @@ struct PointResult {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args: Vec<String> = std::env::args().collect();
-    let json = args.iter().any(|a| a == "--json");
-    args.retain(|a| a != "--json");
-    let scale = match args.get(1).map(String::as_str) {
-        Some("small") => CorpusScale::Small,
-        Some("paper") => CorpusScale::Paper,
-        None | Some("tiny") => CorpusScale::Tiny,
-        Some(other) => {
-            eprintln!("unknown scale '{other}' (expected tiny|small|paper)");
-            std::process::exit(2);
-        }
+    let spec = ArgSpec {
+        default_scale: CorpusScale::Tiny,
+        takes_json: true,
+        ..ArgSpec::new("crashbench", "recovery time and replayed work per crash point")
     };
-    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1402);
+    let args = cli::parse_or_exit(&spec);
+    let (scale, seed, json) = (args.scale, args.seed, args.json);
 
     let scratch = std::env::temp_dir().join(format!("gaugenn-crashbench-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&scratch);
 
     let config = |journal: Option<&std::path::Path>, resume: bool| {
-        let mut c = PipelineConfig::with_scale(scale, Snapshot::Y2021, seed);
-        if let Some(dir) = journal {
-            c.journal_dir = Some(dir.to_path_buf());
-            c.analysis_cache_dir = Some(dir.join("cache"));
-            c.resume = resume;
+        let builder = PipelineConfig::builder(scale, Snapshot::Y2021, seed);
+        match journal {
+            Some(dir) => builder
+                .journal_dir(dir.to_path_buf())
+                .analysis_cache_dir(dir.join("cache"))
+                .resume(resume)
+                .build(),
+            None => builder.build(),
         }
-        c
     };
 
     eprintln!("crashbench — scale {scale:?}, seed {seed}");

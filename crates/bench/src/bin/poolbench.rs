@@ -3,7 +3,7 @@
 //!
 //! ```sh
 //! cargo run --release -p gaugenn-bench --bin poolbench            # small corpus
-//! cargo run --release -p gaugenn-bench --bin poolbench -- tiny
+//! cargo run --release -p gaugenn-bench --bin poolbench -- --scale tiny
 //! ```
 //!
 //! Crawls one snapshot sequentially, then through [`CrawlPool`]s at
@@ -15,7 +15,8 @@
 //! not wall time, is the honest scheduling comparison. EXPERIMENTS.md
 //! and `results/BENCH_sched.json` record a captured run.
 
-use gaugenn_playstore::corpus::{generate, CorpusScale, Snapshot};
+use gaugenn_bench::cli::{self, ArgSpec};
+use gaugenn_playstore::corpus::{generate, Snapshot};
 use gaugenn_playstore::crawler::Crawler;
 use gaugenn_playstore::pool::{CrawlPool, CrawlPoolConfig};
 use gaugenn_playstore::server::StoreServer;
@@ -23,17 +24,11 @@ use gaugenn_sched::SchedMode;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.get(1).map(String::as_str) {
-        Some("tiny") => CorpusScale::Tiny,
-        Some("paper") => CorpusScale::Paper,
-        None | Some("small") => CorpusScale::Small,
-        Some(other) => {
-            eprintln!("unknown scale '{other}' (expected tiny|small|paper)");
-            std::process::exit(2);
-        }
-    };
-    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1402);
+    let args = cli::parse_or_exit(&ArgSpec::new(
+        "poolbench",
+        "worker-count and scheduling-mode scaling for the sharded crawl pool",
+    ));
+    let (scale, seed) = (args.scale, args.seed);
 
     let server = StoreServer::start(generate(scale, Snapshot::Y2021, seed))?;
     let addr = server.addr();

@@ -1,12 +1,14 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```sh
-//! cargo run --release -p gaugenn-bench --bin repro -- small        # default
-//! cargo run --release -p gaugenn-bench --bin repro -- paper        # full 16.6k-app corpus
-//! cargo run --release -p gaugenn-bench --bin repro -- tiny 1402    # custom seed
-//! cargo run --release -p gaugenn-bench --bin repro -- small 1402 8 # 8 crawl workers
-//! cargo run --release -p gaugenn-bench --bin repro -- small 1402 8 4 # + 4 analysis workers
+//! cargo run --release -p gaugenn-bench --bin repro                       # Small, seed 1402
+//! cargo run --release -p gaugenn-bench --bin repro -- --scale paper      # full 16.6k-app corpus
+//! cargo run --release -p gaugenn-bench --bin repro -- --scale tiny --seed 7
+//! cargo run --release -p gaugenn-bench --bin repro -- --workers 8 --analysis-workers 4
 //! ```
+//!
+//! (The pre-flag positional spelling `repro small 1402 8 4` still works
+//! behind a stderr deprecation warning — see `gaugenn_bench::cli`.)
 //!
 //! Output is the text form of Tables 1–4, Figs. 4–15 and the §4.2/§4.5/
 //! §6.1 statistics; `EXPERIMENTS.md` records a captured run.
@@ -25,30 +27,29 @@
 //! skip the journaled work and still print byte-identical stdout
 //! (DESIGN.md §12). `GAUGENN_CRASH=<point>[:n]` arms a deterministic
 //! kill point for the crash-recovery matrix in `verify.sh`.
+//!
+//! Set `GAUGENN_INDEX_DIR=<dir>` to accumulate both snapshots into the
+//! persistent corpus index (`corpus.gnix`) that `StoreServer` answers
+//! `/query/*` routes from (DESIGN.md §13).
 
+use gaugenn_bench::cli::{self, ArgSpec};
 use gaugenn_core::experiments::{backends, offline, runtime};
 use gaugenn_core::pipeline::{Pipeline, PipelineConfig};
-use gaugenn_playstore::corpus::{CorpusScale, Snapshot};
+use gaugenn_playstore::corpus::Snapshot;
 use gaugenn_soc::spec::all_devices;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args: Vec<String> = std::env::args().collect();
-    let resume = args.iter().any(|a| a == "--resume");
-    args.retain(|a| a != "--resume");
-    let scale = match args.get(1).map(String::as_str) {
-        Some("tiny") => CorpusScale::Tiny,
-        Some("paper") => CorpusScale::Paper,
-        None | Some("small") => CorpusScale::Small,
-        Some(other) => {
-            eprintln!("unknown scale '{other}' (expected tiny|small|paper)");
-            std::process::exit(2);
-        }
+    let spec = ArgSpec {
+        takes_workers: true,
+        takes_resume: true,
+        ..ArgSpec::new("repro", "regenerate every table and figure of the paper")
     };
-    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1402);
+    let args = cli::parse_or_exit(&spec);
+    let (scale, seed) = (args.scale, args.seed);
     // Both pools merge deterministically, so neither worker count ever
     // changes a table — only wall time.
-    let workers: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let analysis_workers: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(workers);
+    let (workers, analysis_workers) = (args.workers, args.analysis_workers);
+    let resume = args.resume;
 
     println!(
         "gaugeNN reproduction — scale {scale:?}, seed {seed}, \
@@ -60,18 +61,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cache_dir = std::env::var_os("GAUGENN_CACHE_DIR").map(std::path::PathBuf::from);
     let journal_dir = std::env::var_os("GAUGENN_JOURNAL_DIR").map(std::path::PathBuf::from);
+    let index_dir = std::env::var_os("GAUGENN_INDEX_DIR").map(std::path::PathBuf::from);
     if resume && journal_dir.is_none() {
         eprintln!("--resume needs GAUGENN_JOURNAL_DIR to point at the journal directory");
         std::process::exit(2);
     }
     let config = |snapshot| {
-        let mut c = PipelineConfig::with_scale(scale, snapshot, seed);
-        c.workers = workers;
-        c.analysis_workers = analysis_workers;
-        c.analysis_cache_dir = cache_dir.clone();
-        c.journal_dir = journal_dir.clone();
-        c.resume = resume;
-        c
+        let mut builder = PipelineConfig::builder(scale, snapshot, seed)
+            .workers(workers)
+            .analysis_workers(analysis_workers)
+            .resume(resume);
+        if let Some(dir) = &cache_dir {
+            builder = builder.analysis_cache_dir(dir.clone());
+        }
+        if let Some(dir) = &journal_dir {
+            builder = builder.journal_dir(dir.clone());
+        }
+        if let Some(dir) = &index_dir {
+            builder = builder.index_dir(dir.clone());
+        }
+        builder.build()
     };
     eprintln!("[1/5] crawling + analysing the Feb 2020 snapshot...");
     let r2020 = Pipeline::new(config(Snapshot::Y2020)).run()?;

@@ -1,0 +1,392 @@
+//! Shared flag parser for the bench binaries.
+//!
+//! Every bin (`repro`, `poolbench`, `analyzebench`, `crashbench`,
+//! `querybench`) historically grew its own positional-argument
+//! convention (`repro small 1402 8 4`, `crashbench --json tiny`). This
+//! module replaces them with one flag grammar:
+//!
+//! ```text
+//! --scale tiny|small|paper   corpus scale
+//! --seed N                   corpus seed
+//! --workers N                crawl / client workers        (where supported)
+//! --analysis-workers N       analysis pool workers         (where supported)
+//! --resume                   resume from the journal       (where supported)
+//! --json                     machine-readable JSON output  (where supported)
+//! --help                     usage
+//! ```
+//!
+//! Both `--flag value` and `--flag=value` spellings are accepted. The
+//! old positional forms still parse — routed through the deprecated
+//! [`legacy_positional`] helper so gaugelint's `deprecated-api` rule
+//! flags any *new* caller — but print a deprecation warning on stderr.
+//! Warnings go to stderr only: stdout of every bin stays byte-identical
+//! whichever spelling invoked it.
+
+use gaugenn_playstore::corpus::CorpusScale;
+
+/// Per-binary parsing contract: name, defaults, and which optional
+/// flags the bin actually supports (unsupported flags are errors, not
+/// silently ignored).
+#[derive(Debug, Clone, Copy)]
+pub struct ArgSpec {
+    /// Binary name, used in help and error output.
+    pub bin: &'static str,
+    /// One-line description printed at the top of `--help`.
+    pub about: &'static str,
+    /// Default corpus scale (`crashbench` defaults to Tiny, the rest to
+    /// Small).
+    pub default_scale: CorpusScale,
+    /// Default corpus seed.
+    pub default_seed: u64,
+    /// Default worker count, when the bin takes `--workers`.
+    pub default_workers: usize,
+    /// Whether the bin accepts `--workers` / `--analysis-workers`.
+    pub takes_workers: bool,
+    /// Whether the bin accepts `--resume`.
+    pub takes_resume: bool,
+    /// Whether the bin accepts `--json`.
+    pub takes_json: bool,
+}
+
+impl ArgSpec {
+    /// Baseline spec: Small scale, seed 1402, no optional flags.
+    pub const fn new(bin: &'static str, about: &'static str) -> Self {
+        ArgSpec {
+            bin,
+            about,
+            default_scale: CorpusScale::Small,
+            default_seed: 1402,
+            default_workers: 4,
+            takes_workers: false,
+            takes_resume: false,
+            takes_json: false,
+        }
+    }
+}
+
+/// Parsed arguments, with defaults filled in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Corpus scale.
+    pub scale: CorpusScale,
+    /// Corpus seed.
+    pub seed: u64,
+    /// Worker count (defaulted even for bins that ignore it).
+    pub workers: usize,
+    /// Analysis-pool workers; defaults to `workers` when not given.
+    pub analysis_workers: usize,
+    /// Resume from the journal directory.
+    pub resume: bool,
+    /// Emit machine-readable JSON.
+    pub json: bool,
+}
+
+/// Outcome of [`parse`]: the arguments plus how they were spelled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// The resolved arguments.
+    pub args: BenchArgs,
+    /// `--help` was requested; the caller should print [`help`] and exit 0.
+    pub help: bool,
+    /// At least one positional (deprecated-form) argument was used.
+    pub positional_used: bool,
+}
+
+/// Parse `argv` (program name already stripped) against `spec`.
+///
+/// Flags win over positionals when both are given. Errors are
+/// human-readable one-liners; callers print them with [`help`] and exit 2.
+pub fn parse(spec: &ArgSpec, argv: &[String]) -> Result<Parsed, String> {
+    let mut flag_scale: Option<CorpusScale> = None;
+    let mut flag_seed: Option<u64> = None;
+    let mut flag_workers: Option<usize> = None;
+    let mut flag_analysis: Option<usize> = None;
+    let mut resume = false;
+    let mut json = false;
+    let mut help = false;
+    let mut positionals: Vec<String> = Vec::new();
+
+    let mut i = 0usize;
+    while i < argv.len() {
+        let tok = argv[i].as_str();
+        let (name, inline) = match tok.split_once('=') {
+            Some((n, v)) if n.starts_with("--") => (n, Some(v.to_string())),
+            _ => (tok, None),
+        };
+        let value = |i: &mut usize| -> Result<String, String> {
+            if let Some(v) = &inline {
+                return Ok(v.clone());
+            }
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match name {
+            "--help" | "-h" => help = true,
+            "--scale" => flag_scale = Some(parse_scale(&value(&mut i)?)?),
+            "--seed" => flag_seed = Some(parse_num(name, &value(&mut i)?)?),
+            "--workers" if spec.takes_workers => {
+                flag_workers = Some(parse_num(name, &value(&mut i)?)?)
+            }
+            "--analysis-workers" if spec.takes_workers => {
+                flag_analysis = Some(parse_num(name, &value(&mut i)?)?)
+            }
+            "--resume" if spec.takes_resume => resume = true,
+            "--json" if spec.takes_json => json = true,
+            _ if name.starts_with("--") => {
+                return Err(format!("unknown flag '{name}'"));
+            }
+            _ => positionals.push(tok.to_string()),
+        }
+        i += 1;
+    }
+
+    let mut args = BenchArgs {
+        scale: spec.default_scale,
+        seed: spec.default_seed,
+        workers: spec.default_workers,
+        analysis_workers: 0,
+        resume,
+        json,
+    };
+    let mut pos_analysis: Option<usize> = None;
+    if !positionals.is_empty() {
+        #[allow(deprecated)]
+        // gaugelint: allow(deprecated-api) — the one sanctioned caller: flag parsing still honours the old spelling
+        legacy_positional(spec, &positionals, &mut args, &mut pos_analysis)?;
+    }
+    if let Some(s) = flag_scale {
+        args.scale = s;
+    }
+    if let Some(s) = flag_seed {
+        args.seed = s;
+    }
+    if let Some(w) = flag_workers {
+        args.workers = w;
+    }
+    args.analysis_workers = flag_analysis.or(pos_analysis).unwrap_or(args.workers);
+
+    Ok(Parsed {
+        args,
+        help,
+        positional_used: !positionals.is_empty(),
+    })
+}
+
+/// Parse the pre-flag positional spelling `scale [seed [workers
+/// [analysis_workers]]]` into `args`.
+#[deprecated(note = "positional bench arguments are superseded by --scale/--seed/--workers flags")]
+pub fn legacy_positional(
+    spec: &ArgSpec,
+    positionals: &[String],
+    args: &mut BenchArgs,
+    analysis_workers: &mut Option<usize>,
+) -> Result<(), String> {
+    let max = if spec.takes_workers { 4 } else { 2 };
+    if positionals.len() > max {
+        return Err(format!(
+            "too many positional arguments ({} given, at most {max} accepted)",
+            positionals.len()
+        ));
+    }
+    args.scale = parse_scale(&positionals[0])?;
+    if let Some(s) = positionals.get(1) {
+        args.seed = parse_num("seed", s)?;
+    }
+    if let Some(w) = positionals.get(2) {
+        args.workers = parse_num("workers", w)?;
+    }
+    if let Some(a) = positionals.get(3) {
+        *analysis_workers = Some(parse_num("analysis_workers", a)?);
+    }
+    Ok(())
+}
+
+/// Parse a scale name, preserving the historic error message.
+fn parse_scale(s: &str) -> Result<CorpusScale, String> {
+    match s {
+        "tiny" => Ok(CorpusScale::Tiny),
+        "small" => Ok(CorpusScale::Small),
+        "paper" => Ok(CorpusScale::Paper),
+        other => Err(format!("unknown scale '{other}' (expected tiny|small|paper)")),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(name: &str, s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{name} expects a number, got '{s}'"))
+}
+
+/// Render the `--help` text for `spec`.
+pub fn help(spec: &ArgSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} — {}\n\n", spec.bin, spec.about));
+    out.push_str(&format!("usage: {} [flags]\n\n", spec.bin));
+    out.push_str(&format!(
+        "  --scale tiny|small|paper  corpus scale (default {})\n",
+        match spec.default_scale {
+            CorpusScale::Tiny => "tiny",
+            CorpusScale::Small => "small",
+            CorpusScale::Paper => "paper",
+        }
+    ));
+    out.push_str(&format!(
+        "  --seed N                  corpus seed (default {})\n",
+        spec.default_seed
+    ));
+    if spec.takes_workers {
+        out.push_str(&format!(
+            "  --workers N               worker count (default {})\n",
+            spec.default_workers
+        ));
+        out.push_str("  --analysis-workers N      analysis pool workers (default: --workers)\n");
+    }
+    if spec.takes_resume {
+        out.push_str("  --resume                  resume from GAUGENN_JOURNAL_DIR\n");
+    }
+    if spec.takes_json {
+        out.push_str("  --json                    machine-readable JSON on stdout\n");
+    }
+    out.push_str("  --help                    this text\n");
+    out.push_str("\nPositional forms (`scale [seed [workers [analysis_workers]]]`) are\ndeprecated but still accepted, with a warning on stderr.\n");
+    out
+}
+
+/// Parse `std::env::args()`, printing help / errors and exiting as
+/// appropriate. The deprecation warning for positional spellings goes to
+/// stderr so stdout stays byte-identical.
+pub fn parse_or_exit(spec: &ArgSpec) -> BenchArgs {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(spec, &argv) {
+        Ok(parsed) => {
+            if parsed.help {
+                print!("{}", help(spec));
+                std::process::exit(0);
+            }
+            if parsed.positional_used {
+                eprintln!(
+                    "warning: positional arguments are deprecated; \
+                     use --scale/--seed/--workers (see {} --help)",
+                    spec.bin
+                );
+            }
+            parsed.args
+        }
+        Err(e) => {
+            eprintln!("{}: {e}", spec.bin);
+            eprint!("{}", help(spec));
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ArgSpec {
+        ArgSpec {
+            takes_workers: true,
+            takes_resume: true,
+            takes_json: true,
+            ..ArgSpec::new("testbench", "test spec")
+        }
+    }
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply_with_no_arguments() {
+        let p = parse(&spec(), &[]).unwrap();
+        assert!(!p.help && !p.positional_used);
+        assert_eq!(p.args.scale, CorpusScale::Small);
+        assert_eq!(p.args.seed, 1402);
+        assert_eq!(p.args.workers, 4);
+        assert_eq!(p.args.analysis_workers, 4, "defaults to --workers");
+        assert!(!p.args.resume && !p.args.json);
+    }
+
+    #[test]
+    fn flag_forms_parse_in_both_spellings() {
+        let p = parse(
+            &spec(),
+            &argv(&["--scale", "tiny", "--seed=7", "--workers", "8", "--resume", "--json"]),
+        )
+        .unwrap();
+        assert_eq!(p.args.scale, CorpusScale::Tiny);
+        assert_eq!(p.args.seed, 7);
+        assert_eq!(p.args.workers, 8);
+        assert_eq!(p.args.analysis_workers, 8);
+        assert!(p.args.resume && p.args.json);
+        assert!(!p.positional_used);
+    }
+
+    #[test]
+    fn positional_form_still_parses_and_is_marked_deprecated() {
+        let p = parse(&spec(), &argv(&["tiny", "7", "8", "2"])).unwrap();
+        assert!(p.positional_used);
+        assert_eq!(p.args.scale, CorpusScale::Tiny);
+        assert_eq!(p.args.seed, 7);
+        assert_eq!(p.args.workers, 8);
+        assert_eq!(p.args.analysis_workers, 2);
+    }
+
+    #[test]
+    fn flags_win_over_positionals() {
+        let p = parse(&spec(), &argv(&["tiny", "7", "--scale", "paper", "--seed=9"])).unwrap();
+        assert!(p.positional_used);
+        assert_eq!(p.args.scale, CorpusScale::Paper);
+        assert_eq!(p.args.seed, 9);
+    }
+
+    #[test]
+    fn errors_are_typed_one_liners() {
+        let bad_scale = parse(&spec(), &argv(&["--scale", "huge"])).unwrap_err();
+        assert_eq!(bad_scale, "unknown scale 'huge' (expected tiny|small|paper)");
+        let bad_seed = parse(&spec(), &argv(&["--seed", "x"])).unwrap_err();
+        assert!(bad_seed.contains("expects a number"), "{bad_seed}");
+        let unknown = parse(&spec(), &argv(&["--frobnicate"])).unwrap_err();
+        assert!(unknown.contains("unknown flag"), "{unknown}");
+        let missing = parse(&spec(), &argv(&["--seed"])).unwrap_err();
+        assert!(missing.contains("needs a value"), "{missing}");
+    }
+
+    #[test]
+    fn unsupported_flags_are_rejected_per_spec() {
+        let plain = ArgSpec::new("plainbench", "no optional flags");
+        for flags in [&["--workers", "3"][..], &["--resume"], &["--json"]] {
+            let err = parse(&plain, &argv(flags)).unwrap_err();
+            assert!(err.contains("unknown flag"), "{flags:?}: {err}");
+        }
+        // …but the core pair always works.
+        let p = parse(&plain, &argv(&["--scale", "paper", "--seed", "3"])).unwrap();
+        assert_eq!(p.args.scale, CorpusScale::Paper);
+        assert_eq!(p.args.seed, 3);
+    }
+
+    #[test]
+    fn positional_arity_is_bounded_by_spec() {
+        let plain = ArgSpec::new("plainbench", "no optional flags");
+        assert!(parse(&plain, &argv(&["tiny", "7"])).is_ok());
+        let err = parse(&plain, &argv(&["tiny", "7", "8"])).unwrap_err();
+        assert!(err.contains("too many positional"), "{err}");
+        let err = parse(&spec(), &argv(&["tiny", "7", "8", "2", "9"])).unwrap_err();
+        assert!(err.contains("too many positional"), "{err}");
+    }
+
+    #[test]
+    fn help_flag_is_reported_not_fatal() {
+        let p = parse(&spec(), &argv(&["--help"])).unwrap();
+        assert!(p.help);
+        let text = help(&spec());
+        for needle in ["--scale", "--seed", "--workers", "--resume", "--json", "deprecated"] {
+            assert!(text.contains(needle), "help lacks {needle}");
+        }
+        let plain_text = help(&ArgSpec::new("plainbench", "no optional flags"));
+        assert!(!plain_text.contains("--workers"));
+        assert!(!plain_text.contains("--json"));
+    }
+}

@@ -16,6 +16,8 @@ use gaugenn_core::pipeline::{Pipeline, PipelineConfig, PipelineReport};
 use gaugenn_playstore::corpus::{CorpusScale, Snapshot};
 use std::sync::OnceLock;
 
+pub mod cli;
+
 /// Shared Small-scale reports for the artefact benches (built once per
 /// bench binary).
 pub fn shared_reports() -> &'static (PipelineReport, PipelineReport) {

@@ -1,0 +1,157 @@
+//! Pipeline stage: fold an analysed corpus into the queryable
+//! [`CorpusIndex`].
+//!
+//! The indexer is the bridge between [`crate::analyze`]'s per-run output
+//! (model records, app extractions) and the persistent index the store
+//! server answers `/query/*` routes from. It runs after analysis on every
+//! pipeline run; ingesting is idempotent per snapshot label, so a
+//! resumed, repeated or re-seeded run over the same index directory
+//! converges to the same index instead of double-counting.
+//!
+//! Persistence follows the `CacheStore` discipline: the index lives in
+//! one crc-guarded file (`corpus.gnix`) beside the analysis cache, and
+//! any corruption on load degrades to an empty index that this stage
+//! immediately repopulates — a rebuild, never an error.
+
+use crate::analyze::ModelRecord;
+use crate::extract::AppExtraction;
+use gaugenn_index::{AppDoc, AppSnap, CorpusIndex, ModelDoc};
+use std::path::Path;
+
+/// File name of the persisted index inside the index directory.
+pub const INDEX_FILE: &str = "corpus.gnix";
+
+/// Convert one analysed model record into its index document, scoped to
+/// the snapshot `label`.
+pub fn model_doc(record: &ModelRecord, label: &str) -> ModelDoc {
+    ModelDoc {
+        checksum: record.checksum.clone(),
+        name: record.name.clone(),
+        framework: record.framework,
+        task: record.classification.as_ref().map(|c| c.task),
+        // §6.1's quantisation definition: int8 weights or activations.
+        quantised: record.optim.int8_weights || record.optim.int8_activations,
+        size_bytes: record.size_bytes as u64,
+        flops: record.trace.total_flops,
+        params: record.trace.total_params,
+        apps_by_snapshot: [(label.to_string(), record.app_count as u64)]
+            .into_iter()
+            .collect(),
+    }
+}
+
+/// Convert one app extraction into its index document, scoped to the
+/// snapshot `label`.
+pub fn app_doc(app: &AppExtraction, label: &str) -> AppDoc {
+    AppDoc {
+        package: app.package.clone(),
+        category: app.category.clone(),
+        by_snapshot: [(
+            label.to_string(),
+            AppSnap {
+                models: app.models.len() as u64,
+                ml: app.is_ml_app(),
+                cloud: !app.cloud.is_empty(),
+            },
+        )]
+        .into_iter()
+        .collect(),
+    }
+}
+
+/// Fold one snapshot's analysed corpus into `index` (idempotent per
+/// label — see [`CorpusIndex::ingest_snapshot`]).
+pub fn ingest(index: &mut CorpusIndex, label: &str, models: &[ModelRecord], apps: &[AppExtraction]) {
+    index.ingest_snapshot(
+        label,
+        models.iter().map(|m| model_doc(m, label)).collect(),
+        apps.iter().map(|a| app_doc(a, label)).collect(),
+    );
+}
+
+/// Load the persisted index from `dir`, or start empty when the file is
+/// missing or corrupt in any way (the corruption⇒miss discipline).
+pub fn load_or_empty(dir: &Path) -> CorpusIndex {
+    CorpusIndex::load(&dir.join(INDEX_FILE)).unwrap_or_default()
+}
+
+/// Persist `index` into `dir` (write-temp + atomic rename). Returns
+/// `false` on IO failure — persistence is an optimisation; the next run
+/// rebuilds from its own analysis output.
+pub fn persist(index: &CorpusIndex, dir: &Path) -> bool {
+    if std::fs::create_dir_all(dir).is_err() {
+        return false;
+    }
+    index.save(&dir.join(INDEX_FILE))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugenn_analysis::optim::ModelOptim;
+    use gaugenn_dnn::trace::TraceReport;
+    use gaugenn_modelfmt::Framework;
+    use std::collections::BTreeMap;
+
+    fn record(checksum: &str, flops: u64, int8: bool) -> ModelRecord {
+        ModelRecord {
+            checksum: checksum.into(),
+            name: format!("m {checksum}"),
+            framework: Framework::TfLite,
+            size_bytes: 1000,
+            trace: TraceReport {
+                layers: vec![],
+                total_macs: flops / 2,
+                total_flops: flops,
+                total_params: flops / 4,
+                peak_activation_elems: 0,
+            },
+            classification: None,
+            optim: ModelOptim {
+                clustered: false,
+                prune_marked: false,
+                has_dequantize: false,
+                int8_weights: int8,
+                int8_activations: false,
+                total_weights: 0,
+                near_zero_weights: 0,
+            },
+            layers: vec![],
+            layer_families: BTreeMap::new(),
+            app_count: 3,
+        }
+    }
+
+    #[test]
+    fn model_doc_carries_quantisation_and_counts() {
+        let doc = model_doc(&record("ff", 64, true), "Apr 2021");
+        assert!(doc.quantised);
+        assert_eq!(doc.flops, 64);
+        assert_eq!(doc.app_count(Some("Apr 2021")), 3);
+        assert!(!model_doc(&record("ee", 64, false), "Apr 2021").quantised);
+    }
+
+    #[test]
+    fn ingest_is_idempotent_and_persistence_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("gaugenn-indexer-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut index = load_or_empty(&dir);
+        assert!(index.is_empty(), "missing dir is an empty index");
+        let models = vec![record("aa", 10, false), record("bb", 20, true)];
+        ingest(&mut index, "Apr 2021", &models, &[]);
+        ingest(&mut index, "Apr 2021", &models, &[]);
+        assert_eq!(index.model_count(), 2, "re-ingest does not double-count");
+        assert!(persist(&index, &dir));
+        let back = load_or_empty(&dir);
+        assert_eq!(back.model_count(), 2);
+        assert_eq!(back.stats_text(), index.stats_text());
+        // Corrupt the file: the next load degrades to empty, not an error.
+        let path = dir.join(INDEX_FILE);
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        assert!(load_or_empty(&dir).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,6 +25,7 @@ pub mod cachestore;
 pub mod crashpoint;
 pub mod experiments;
 pub mod extract;
+pub mod indexer;
 pub mod journal;
 pub mod pipeline;
 pub mod report;

@@ -4,11 +4,13 @@
 use crate::analyze::{AnalysisConfig, AnalysisPool, AnalysisStats};
 use crate::crashpoint::{self, CrashPoint};
 use crate::extract::AppExtraction;
+use crate::indexer;
 use crate::journal::{self, RunJournal};
 use crate::report::TextTable;
 use crate::Result;
 use gaugenn_analysis::classify::LayerComposition;
 use gaugenn_analysis::etl::Index;
+use gaugenn_index::CorpusIndex;
 use gaugenn_modelfmt::Framework;
 use gaugenn_playstore::admission::{AdmissionConfig, AdmissionStats};
 use gaugenn_playstore::chaos::{FaultPlan, FaultPlanConfig};
@@ -77,6 +79,14 @@ pub struct PipelineConfig {
     /// whole crawl, a journaled probe verdict skips the probe. Output is
     /// byte-identical to an uninterrupted run either way.
     pub resume: bool,
+    /// Directory for the persistent corpus index (`corpus.gnix`). When
+    /// set, the index stage loads whatever index survives there, folds
+    /// this snapshot in, and persists the result — so two snapshot runs
+    /// over one directory accumulate a single cross-snapshot index. A
+    /// corrupt file degrades to a rebuild, never an error. When `None`,
+    /// the index is still built (and lands in the report) but stays
+    /// in-memory.
+    pub index_dir: Option<PathBuf>,
 }
 
 impl PipelineConfig {
@@ -113,7 +123,120 @@ impl PipelineConfig {
             analysis_cache_dir: None,
             journal_dir: None,
             resume: false,
+            index_dir: None,
         }
+    }
+
+    /// Start configuring a pipeline, builder-style — the same shape as
+    /// `Crawler::builder`. Scale, snapshot and seed identify the corpus
+    /// and are therefore positional; everything else has a default and
+    /// chains:
+    ///
+    /// ```
+    /// # use gaugenn_core::pipeline::PipelineConfig;
+    /// # use gaugenn_playstore::corpus::{CorpusScale, Snapshot};
+    /// let cfg = PipelineConfig::builder(CorpusScale::Tiny, Snapshot::Y2021, 7)
+    ///     .workers(4)
+    ///     .analysis_workers(2)
+    ///     .build();
+    /// ```
+    pub fn builder(scale: CorpusScale, snapshot: Snapshot, seed: u64) -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            config: PipelineConfig::with_scale(scale, snapshot, seed),
+        }
+    }
+}
+
+/// Configures and builds a [`PipelineConfig`]. Obtained from
+/// [`PipelineConfig::builder`]; every method consumes and returns the
+/// builder, mirroring the crawler's builder.
+#[derive(Debug, Clone)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Crawler identity (user-agent, locale, device profile, page size).
+    pub fn crawler(mut self, crawler: CrawlerConfig) -> PipelineConfigBuilder {
+        self.config.crawler = crawler;
+        self
+    }
+
+    /// Retry/backoff policy for every store request.
+    pub fn retry(mut self, retry: RetryPolicy) -> PipelineConfigBuilder {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Crawl worker threads (1 = sequential).
+    pub fn workers(mut self, workers: usize) -> PipelineConfigBuilder {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Store-wide admission control for pooled crawls.
+    pub fn admission(mut self, admission: AdmissionConfig) -> PipelineConfigBuilder {
+        self.config.admission = admission;
+        self
+    }
+
+    /// Run the store under a seeded fault plan.
+    pub fn chaos(mut self, chaos: FaultPlanConfig) -> PipelineConfigBuilder {
+        self.config.chaos = Some(chaos);
+        self
+    }
+
+    /// Enable/disable the §4.2 device-profile probe.
+    pub fn probe_device_profiles(mut self, probe: bool) -> PipelineConfigBuilder {
+        self.config.probe_device_profiles = probe;
+        self
+    }
+
+    /// Offline-analysis worker threads (1 = sequential).
+    pub fn analysis_workers(mut self, workers: usize) -> PipelineConfigBuilder {
+        self.config.analysis_workers = workers;
+        self
+    }
+
+    /// Pool scheduling mode for both fleets.
+    pub fn sched(mut self, sched: SchedMode) -> PipelineConfigBuilder {
+        self.config.sched = sched;
+        self
+    }
+
+    /// Per-category crawl-size hints for size-aware scheduling.
+    pub fn crawl_size_hints(mut self, hints: BTreeMap<String, u64>) -> PipelineConfigBuilder {
+        self.config.crawl_size_hints = Some(hints);
+        self
+    }
+
+    /// Directory for the persistent analysis cache.
+    pub fn analysis_cache_dir(mut self, dir: PathBuf) -> PipelineConfigBuilder {
+        self.config.analysis_cache_dir = Some(dir);
+        self
+    }
+
+    /// Directory for the run journal.
+    pub fn journal_dir(mut self, dir: PathBuf) -> PipelineConfigBuilder {
+        self.config.journal_dir = Some(dir);
+        self
+    }
+
+    /// Replay a surviving journal instead of starting fresh.
+    pub fn resume(mut self, resume: bool) -> PipelineConfigBuilder {
+        self.config.resume = resume;
+        self
+    }
+
+    /// Directory for the persistent corpus index.
+    pub fn index_dir(mut self, dir: PathBuf) -> PipelineConfigBuilder {
+        self.config.index_dir = Some(dir);
+        self
+    }
+
+    /// Finish: the assembled configuration.
+    pub fn build(self) -> PipelineConfig {
+        self.config
     }
 }
 
@@ -197,6 +320,11 @@ pub struct PipelineReport {
     /// timing fields vary run to run and are excluded from
     /// [`PipelineReport::render_text`]).
     pub analysis: AnalysisStats,
+    /// The queryable corpus index with this snapshot folded in — hand it
+    /// to `StoreServer::start_with` to serve the `/query/*` routes.
+    /// `Arc`-wrapped because the server shares it immutably across
+    /// connection threads.
+    pub corpus_index: Arc<CorpusIndex>,
 }
 
 impl PipelineReport {
@@ -502,6 +630,27 @@ impl Pipeline {
             stats: analysis,
         } = analysed;
 
+        // Index stage: fold this snapshot's analysed corpus into the
+        // queryable index. With an index directory configured the stage
+        // is incremental — whatever index survives on disk (other
+        // snapshots included) is loaded first, this snapshot replaces its
+        // own prior contribution, and the result is persisted back. A
+        // corrupt file loads as empty and is rebuilt right here.
+        let mut corpus_index = match &self.config.index_dir {
+            Some(dir) => indexer::load_or_empty(dir),
+            None => CorpusIndex::new(),
+        };
+        indexer::ingest(
+            &mut corpus_index,
+            self.config.snapshot.label(),
+            &models,
+            &apps,
+        );
+        if let Some(dir) = &self.config.index_dir {
+            indexer::persist(&corpus_index, dir);
+        }
+        let corpus_index = Arc::new(corpus_index);
+
         let dataset = DatasetSummary {
             snapshot: self.config.snapshot.label(),
             total_apps: apps.len(),
@@ -537,6 +686,7 @@ impl Pipeline {
             workers,
             crawl_replayed,
             analysis,
+            corpus_index,
         })
     }
 }
@@ -576,11 +726,12 @@ mod tests {
         // route), so the crawler's retries must recover the full corpus
         // and the Table 2 numbers must match the clean run exactly.
         let clean = run_tiny();
-        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
-        cfg.chaos = Some(gaugenn_playstore::chaos::FaultPlanConfig {
-            fault_permille: 250,
-            ..Default::default()
-        });
+        let cfg = PipelineConfig::builder(CorpusScale::Tiny, Snapshot::Y2021, 7)
+            .chaos(gaugenn_playstore::chaos::FaultPlanConfig {
+                fault_permille: 250,
+                ..Default::default()
+            })
+            .build();
         let chaotic = Pipeline::new(cfg).run().unwrap();
         assert_eq!(chaotic.dataset, clean.dataset);
         assert!(chaotic.dropouts.is_empty(), "{:?}", chaotic.dropouts);
@@ -590,13 +741,14 @@ mod tests {
     fn permanent_failures_become_dropouts() {
         let corpus = generate(CorpusScale::Tiny, Snapshot::Y2021, 7);
         let victim = corpus.apps[0].package.clone();
-        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
-        cfg.probe_device_profiles = false; // the victim may be in the probe sample
-        cfg.chaos = Some(gaugenn_playstore::chaos::FaultPlanConfig {
-            fault_permille: 0,
-            permanent_routes: vec![format!("/apk/{victim}")],
-            ..Default::default()
-        });
+        let cfg = PipelineConfig::builder(CorpusScale::Tiny, Snapshot::Y2021, 7)
+            .probe_device_profiles(false) // the victim may be in the probe sample
+            .chaos(gaugenn_playstore::chaos::FaultPlanConfig {
+                fault_permille: 0,
+                permanent_routes: vec![format!("/apk/{victim}")],
+                ..Default::default()
+            })
+            .build();
         let r = Pipeline::new(cfg).run().unwrap();
         assert_eq!(r.dataset.total_apps, 51, "one app dropped out");
         assert_eq!(r.dataset.download_dropouts, 1);
@@ -611,8 +763,9 @@ mod tests {
     #[test]
     fn pooled_pipeline_matches_sequential() {
         let sequential = run_tiny();
-        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
-        cfg.workers = 4;
+        let cfg = PipelineConfig::builder(CorpusScale::Tiny, Snapshot::Y2021, 7)
+            .workers(4)
+            .build();
         let pooled = Pipeline::new(cfg).run().unwrap();
         assert_eq!(pooled.workers, 4);
         assert_eq!(pooled.dataset, sequential.dataset);
@@ -633,8 +786,9 @@ mod tests {
         let sequential = run_tiny();
         assert_eq!(sequential.analysis.workers, 1);
         for analysis_workers in [2usize, 8] {
-            let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
-            cfg.analysis_workers = analysis_workers;
+            let cfg = PipelineConfig::builder(CorpusScale::Tiny, Snapshot::Y2021, 7)
+                .analysis_workers(analysis_workers)
+                .build();
             let parallel = Pipeline::new(cfg).run().unwrap();
             assert_eq!(parallel.analysis.workers, analysis_workers);
             assert_eq!(parallel.dataset, sequential.dataset);
@@ -722,16 +876,15 @@ mod tests {
     fn journaled_resume_replays_the_whole_crawl_byte_identically() {
         let dir = journal_tmp("full");
         let baseline = run_tiny();
-        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
-        cfg.journal_dir = Some(dir.clone());
-        let first = Pipeline::new(cfg.clone()).run().unwrap();
+        let builder = PipelineConfig::builder(CorpusScale::Tiny, Snapshot::Y2021, 7)
+            .journal_dir(dir.clone());
+        let first = Pipeline::new(builder.clone().build()).run().unwrap();
         assert_eq!(first.render_text(), baseline.render_text());
 
         // The resumed run replays corpus + drop-outs + probe from the
         // journal — no store traffic shows up in its (replayed) stats —
         // and still renders byte-identically.
-        cfg.resume = true;
-        let resumed = Pipeline::new(cfg).run().unwrap();
+        let resumed = Pipeline::new(builder.resume(true).build()).run().unwrap();
         assert!(resumed.crawl_replayed, "the whole crawl comes off disk");
         assert!(!first.crawl_replayed);
         assert_eq!(resumed.render_text(), baseline.render_text());
@@ -744,9 +897,9 @@ mod tests {
     fn torn_journal_resumes_partially_and_restores_apps_from_disk() {
         let dir = journal_tmp("torn");
         let baseline = run_tiny();
-        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
-        cfg.journal_dir = Some(dir.clone());
-        Pipeline::new(cfg.clone()).run().unwrap();
+        let builder = PipelineConfig::builder(CorpusScale::Tiny, Snapshot::Y2021, 7)
+            .journal_dir(dir.clone());
+        Pipeline::new(builder.clone().build()).run().unwrap();
 
         // Simulate a mid-crawl kill: chop the journal to 60% of its
         // length, losing the crawl-done marker, the probe verdict and the
@@ -756,8 +909,7 @@ mod tests {
         let raw = std::fs::read(&path).unwrap();
         std::fs::write(&path, &raw[..raw.len() * 6 / 10]).unwrap();
 
-        cfg.resume = true;
-        let resumed = Pipeline::new(cfg).run().unwrap();
+        let resumed = Pipeline::new(builder.resume(true).build()).run().unwrap();
         assert_eq!(resumed.render_text(), baseline.render_text());
         assert!(
             resumed.crawl_stats.journal_restores > 0,
@@ -774,11 +926,11 @@ mod tests {
     #[test]
     fn fresh_run_ignores_a_stale_journal_without_resume() {
         let dir = journal_tmp("fresh");
-        let mut cfg = PipelineConfig::tiny(Snapshot::Y2021, 7);
-        cfg.journal_dir = Some(dir.clone());
-        Pipeline::new(cfg.clone()).run().unwrap();
+        let builder = PipelineConfig::builder(CorpusScale::Tiny, Snapshot::Y2021, 7)
+            .journal_dir(dir.clone());
+        Pipeline::new(builder.clone().build()).run().unwrap();
         // resume stays false: the journal restarts and nothing replays.
-        let again = Pipeline::new(cfg).run().unwrap();
+        let again = Pipeline::new(builder.build()).run().unwrap();
         assert_eq!(again.crawl_stats.journal_restores, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -791,5 +943,64 @@ mod tests {
         let sums_a: Vec<&str> = a.models.iter().map(|m| m.checksum.as_str()).collect();
         let sums_b: Vec<&str> = b.models.iter().map(|m| m.checksum.as_str()).collect();
         assert_eq!(sums_a, sums_b);
+    }
+
+    #[test]
+    fn report_carries_a_consistent_corpus_index() {
+        let r = run_tiny();
+        let idx = &r.corpus_index;
+        assert_eq!(idx.model_count(), r.models.len());
+        assert_eq!(idx.app_count(), r.apps.len());
+        assert_eq!(idx.snapshot_labels(), vec![r.dataset.snapshot]);
+        // Every analysed model is queryable under its snapshot.
+        let hits = idx.query_models(&gaugenn_index::ModelQuery {
+            snapshot: Some(r.dataset.snapshot.to_string()),
+            ..Default::default()
+        });
+        assert_eq!(hits.len(), r.models.len());
+        // ML-app counts agree with the Table 2 summary.
+        let ml = idx.query_apps(&gaugenn_index::AppQuery {
+            ml_only: true,
+            ..Default::default()
+        });
+        assert_eq!(ml.len(), r.dataset.ml_apps);
+    }
+
+    #[test]
+    fn index_dir_accumulates_across_snapshots() {
+        let dir = journal_tmp("index-accumulate");
+        for snapshot in [Snapshot::Y2020, Snapshot::Y2021] {
+            let cfg = PipelineConfig::builder(CorpusScale::Tiny, snapshot, 7)
+                .index_dir(dir.clone())
+                .build();
+            Pipeline::new(cfg).run().unwrap();
+        }
+        let merged = crate::indexer::load_or_empty(&dir);
+        assert_eq!(
+            merged.snapshot_labels(),
+            vec![Snapshot::Y2021.label(), Snapshot::Y2020.label()]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>(),
+            "both snapshots folded into one persisted index"
+        );
+        // Re-running one snapshot leaves the merged counts unchanged
+        // (per-label idempotence survives persistence).
+        let before = merged.stats_text();
+        let cfg = PipelineConfig::builder(CorpusScale::Tiny, Snapshot::Y2021, 7)
+            .index_dir(dir.clone())
+            .build();
+        Pipeline::new(cfg).run().unwrap();
+        let again = crate::indexer::load_or_empty(&dir);
+        // Only the generation line may differ.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("generation"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&again.stats_text()), strip(&before));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

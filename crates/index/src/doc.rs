@@ -1,0 +1,146 @@
+//! The indexed documents.
+//!
+//! One [`ModelDoc`] per unique model checksum and one [`AppDoc`] per
+//! package. Facts that vary between study snapshots (how many apps carry
+//! a model, whether an app ships models at all) live in per-snapshot
+//! maps, so both the Feb 2020 and Apr 2021 corpora share a single index
+//! and snapshot-scoped queries stay exact.
+
+use gaugenn_dnn::task::Task;
+use gaugenn_modelfmt::Framework;
+use std::collections::BTreeMap;
+
+/// One unique model (checksum-keyed), as indexed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelDoc {
+    /// md5 over all model files — the document key.
+    pub checksum: String,
+    /// Model name from the graph.
+    pub name: String,
+    /// Container framework (which is also the file *format* in this
+    /// corpus — the two dimensions coincide).
+    pub framework: Framework,
+    /// Task classification, when one was assigned (§4.4).
+    pub task: Option<Task>,
+    /// Whether the model is quantised (int8 weights or activations,
+    /// §6.1).
+    pub quantised: bool,
+    /// Serialized size in bytes (all files).
+    pub size_bytes: u64,
+    /// Total FLOPs from the trace.
+    pub flops: u64,
+    /// Total trainable parameters from the trace.
+    pub params: u64,
+    /// Snapshot label → number of apps carrying this model there.
+    pub apps_by_snapshot: BTreeMap<String, u64>,
+}
+
+impl ModelDoc {
+    /// Apps carrying this model: the given snapshot's count, or — with
+    /// no snapshot selected — the maximum across snapshots (a count
+    /// summed over snapshots would double-count persisting apps).
+    pub fn app_count(&self, snapshot: Option<&str>) -> u64 {
+        match snapshot {
+            Some(label) => self.apps_by_snapshot.get(label).copied().unwrap_or(0),
+            None => self.apps_by_snapshot.values().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+/// Per-snapshot app facts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AppSnap {
+    /// Model instances extracted from the app in that snapshot.
+    pub models: u64,
+    /// ML-powered (models or framework libraries, §3.1).
+    pub ml: bool,
+    /// Invokes cloud ML APIs (§6.4).
+    pub cloud: bool,
+}
+
+/// One app (package-keyed), as indexed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppDoc {
+    /// Package name — the document key.
+    pub package: String,
+    /// Store category.
+    pub category: String,
+    /// Snapshot label → that snapshot's facts.
+    pub by_snapshot: BTreeMap<String, AppSnap>,
+}
+
+impl AppDoc {
+    /// The app's facts for `snapshot`, or — with no snapshot selected —
+    /// the union view (max model count, OR'd flags).
+    pub fn snap(&self, snapshot: Option<&str>) -> AppSnap {
+        match snapshot {
+            Some(label) => self.by_snapshot.get(label).copied().unwrap_or_default(),
+            None => {
+                let mut merged = AppSnap::default();
+                for s in self.by_snapshot.values() {
+                    merged.models = merged.models.max(s.models);
+                    merged.ml |= s.ml;
+                    merged.cloud |= s.cloud;
+                }
+                merged
+            }
+        }
+    }
+}
+
+/// Find a framework by its lowercase wire name.
+pub fn framework_by_name(name: &str) -> Option<Framework> {
+    Framework::ALL.iter().copied().find(|f| f.name() == name)
+}
+
+/// Find a task by its wire name (Table 3 label, spaces included).
+pub fn task_by_name(name: &str) -> Option<Task> {
+    Task::ALL.iter().copied().find(|t| t.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_lookups_roundtrip_every_variant() {
+        for f in Framework::ALL {
+            assert_eq!(framework_by_name(f.name()), Some(f));
+        }
+        for t in Task::ALL {
+            assert_eq!(task_by_name(t.name()), Some(t));
+        }
+        assert_eq!(framework_by_name("no-such"), None);
+        assert_eq!(task_by_name("no-such"), None);
+    }
+
+    #[test]
+    fn union_snap_merges_flags_and_counts() {
+        let mut doc = AppDoc {
+            package: "com.x".into(),
+            category: "tools".into(),
+            by_snapshot: BTreeMap::new(),
+        };
+        doc.by_snapshot.insert(
+            "Feb 2020".into(),
+            AppSnap {
+                models: 3,
+                ml: true,
+                cloud: false,
+            },
+        );
+        doc.by_snapshot.insert(
+            "Apr 2021".into(),
+            AppSnap {
+                models: 1,
+                ml: false,
+                cloud: true,
+            },
+        );
+        let merged = doc.snap(None);
+        assert_eq!(merged.models, 3);
+        assert!(merged.ml && merged.cloud);
+        assert_eq!(doc.snap(Some("Apr 2021")).models, 1);
+        assert_eq!(doc.snap(Some("missing")).models, 0);
+    }
+}

@@ -1,0 +1,645 @@
+//! # gaugenn-index — the queryable corpus index
+//!
+//! The paper's contribution is *queries over a characterised corpus*:
+//! models by framework, task, FLOPs/parameter range, quantisation state
+//! and snapshot (§4–§6). The pipeline computes all of that and used to
+//! flatten it into one static report; this crate turns it into a
+//! persistent, incrementally-updated index the store server can answer
+//! queries from.
+//!
+//! * [`doc`] — the indexed documents: one [`ModelDoc`] per unique model
+//!   checksum, one [`AppDoc`] per package, each carrying per-snapshot
+//!   facts so both study snapshots live in a single index.
+//! * [`query`] — the typed query surface ([`ModelQuery`], [`AppQuery`])
+//!   with the canonical key/value pair grammar shared by the wire route
+//!   and the builder-style clients.
+//! * [`persist`] — the crc32-guarded on-disk format (`GNIX v1`),
+//!   following the `CacheStore` discipline: any corruption — bit flip,
+//!   torn tail, stale header — degrades to a miss (an empty index the
+//!   pipeline rebuilds), never an error.
+//! * [`wire`] — deterministic response rendering and the row parsers the
+//!   query clients use, so server and client share one text format.
+//!
+//! The in-memory [`CorpusIndex`] keeps posting lists (framework / task /
+//! modality / quantisation / snapshot — the container *format* is the
+//! framework in this corpus) plus sorted column arrays for FLOPs /
+//! params / size range scans. Both are derived structures: they are
+//! rebuilt from the documents on every load and ingest, so the persisted
+//! payload stays small and canonical.
+//!
+//! ## Determinism contract
+//!
+//! Query results are ranked by a total order — models by FLOPs
+//! descending then checksum ascending, apps by package ascending — and
+//! rendered to text deterministically, so an identical query stream
+//! yields byte-identical responses at any server or client worker count
+//! (`querybench` and `verify.sh` pin this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod doc;
+pub mod persist;
+pub mod query;
+pub mod wire;
+
+pub use doc::{AppDoc, AppSnap, ModelDoc};
+pub use query::{AppQuery, ModelQuery};
+pub use wire::{AppRow, ModelRow};
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Percent-escape the metacharacters of the index's text formats: `%`,
+/// space, tab, CR and LF. Field values (model names, snapshot labels,
+/// category names) pass through otherwise untouched, so escaped fields
+/// can be embedded in space-separated lines.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'%' | b' ' | b'\t' | b'\n' | b'\r' => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+/// Reverse [`esc`]. Invalid escapes pass through verbatim (byte-level,
+/// mirroring the wire protocol's `decode_component`).
+pub fn unesc(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 3 <= bytes.len() {
+            let (a, b) = (bytes[i + 1], bytes[i + 2]);
+            if a.is_ascii_hexdigit() && b.is_ascii_hexdigit() {
+                let hex = [a, b];
+                if let Ok(v) = u8::from_str_radix(std::str::from_utf8(&hex).unwrap_or("zz"), 16) {
+                    out.push(v);
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// The queryable corpus index: documents plus the derived posting lists
+/// and sorted column arrays. Construct empty ([`CorpusIndex::new`]) or
+/// from disk ([`CorpusIndex::load`]); populate with
+/// [`CorpusIndex::ingest_snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct CorpusIndex {
+    /// Model documents, sorted by checksum (the ranking tie-break).
+    models: Vec<ModelDoc>,
+    /// App documents, sorted by package (the app ranking order).
+    apps: Vec<AppDoc>,
+    /// Snapshot labels ingested so far.
+    snapshots: BTreeSet<String>,
+    /// Bumped on every ingest; persists, so a reload continues the count.
+    generation: u64,
+    /// `dimension:value` → sorted model ids. Derived, not persisted.
+    model_postings: BTreeMap<String, Vec<u32>>,
+    /// `dimension:value` → sorted app ids. Derived, not persisted.
+    app_postings: BTreeMap<String, Vec<u32>>,
+    /// `(flops, id)` sorted ascending for range scans. Derived.
+    flops_col: Vec<(u64, u32)>,
+    /// `(params, id)` sorted ascending. Derived.
+    params_col: Vec<(u64, u32)>,
+    /// `(size_bytes, id)` sorted ascending. Derived.
+    size_col: Vec<(u64, u32)>,
+}
+
+impl CorpusIndex {
+    /// An empty index.
+    pub fn new() -> CorpusIndex {
+        CorpusIndex::default()
+    }
+
+    /// Load from `path`. Returns `None` when the file is missing **or**
+    /// corrupt in any way (bad magic, bad crc, torn tail, malformed
+    /// line): corruption is a miss, never an error — the caller starts
+    /// empty and repopulates from the pipeline's analysis output.
+    pub fn load(path: &Path) -> Option<CorpusIndex> {
+        persist::load(path)
+    }
+
+    /// Persist to `path` (write-temp + atomic rename). Returns `false`
+    /// on IO failure — persisting is an optimisation, never load-bearing.
+    pub fn save(&self, path: &Path) -> bool {
+        persist::save(self, path)
+    }
+
+    /// Number of unique models indexed.
+    pub fn model_count(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Number of apps indexed.
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Snapshot labels ingested, in sorted order.
+    pub fn snapshot_labels(&self) -> Vec<&str> {
+        self.snapshots.iter().map(String::as_str).collect()
+    }
+
+    /// Ingest generation (bumped per [`CorpusIndex::ingest_snapshot`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// True when nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty() && self.apps.is_empty()
+    }
+
+    /// All model documents, checksum order.
+    pub fn models(&self) -> &[ModelDoc] {
+        &self.models
+    }
+
+    /// All app documents, package order.
+    pub fn apps(&self) -> &[AppDoc] {
+        &self.apps
+    }
+
+    /// Fold one snapshot's corpus into the index. Re-ingesting a label
+    /// replaces that snapshot's previous contribution (idempotent), so a
+    /// resumed or repeated pipeline run cannot double-count. Incoming
+    /// docs carry their per-snapshot facts under `label`; checksums /
+    /// packages already present keep their checksum-determined fields
+    /// and gain the new snapshot entry.
+    pub fn ingest_snapshot(&mut self, label: &str, models: Vec<ModelDoc>, apps: Vec<AppDoc>) {
+        for m in &mut self.models {
+            m.apps_by_snapshot.remove(label);
+        }
+        self.models.retain(|m| !m.apps_by_snapshot.is_empty());
+        for a in &mut self.apps {
+            a.by_snapshot.remove(label);
+        }
+        self.apps.retain(|a| !a.by_snapshot.is_empty());
+
+        for mut incoming in models {
+            let snap = incoming.apps_by_snapshot.remove(label).unwrap_or(0);
+            match self
+                .models
+                .binary_search_by(|m| m.checksum.cmp(&incoming.checksum))
+            {
+                Ok(i) => {
+                    self.models[i].apps_by_snapshot.insert(label.to_string(), snap);
+                }
+                Err(i) => {
+                    incoming.apps_by_snapshot.clear();
+                    incoming
+                        .apps_by_snapshot
+                        .insert(label.to_string(), snap);
+                    self.models.insert(i, incoming);
+                }
+            }
+        }
+        for mut incoming in apps {
+            let snap = incoming.by_snapshot.remove(label).unwrap_or_default();
+            match self
+                .apps
+                .binary_search_by(|a| a.package.cmp(&incoming.package))
+            {
+                Ok(i) => {
+                    self.apps[i].by_snapshot.insert(label.to_string(), snap);
+                }
+                Err(i) => {
+                    incoming.by_snapshot.clear();
+                    incoming.by_snapshot.insert(label.to_string(), snap);
+                    self.apps.insert(i, incoming);
+                }
+            }
+        }
+        self.snapshots.insert(label.to_string());
+        self.generation += 1;
+        self.reindex();
+    }
+
+    /// Rebuild the derived posting lists and column arrays from the
+    /// documents. Called after every ingest and load; documents are the
+    /// only persisted truth, so the derived structures are canonical by
+    /// construction.
+    pub(crate) fn reindex(&mut self) {
+        self.model_postings.clear();
+        self.app_postings.clear();
+        self.flops_col.clear();
+        self.params_col.clear();
+        self.size_col.clear();
+        for (i, m) in self.models.iter().enumerate() {
+            let id = i as u32;
+            let mut post = |key: String| {
+                self.model_postings.entry(key).or_default().push(id);
+            };
+            post(format!("framework:{}", m.framework.name()));
+            if let Some(t) = m.task {
+                post(format!("task:{}", t.name()));
+                post(format!("modality:{}", t.modality().name()));
+            }
+            post(format!("quant:{}", m.quantised));
+            for label in m.apps_by_snapshot.keys() {
+                post(format!("snapshot:{label}"));
+            }
+            self.flops_col.push((m.flops, id));
+            self.params_col.push((m.params, id));
+            self.size_col.push((m.size_bytes, id));
+        }
+        for (i, a) in self.apps.iter().enumerate() {
+            let id = i as u32;
+            let mut post = |key: String| {
+                self.app_postings.entry(key).or_default().push(id);
+            };
+            post(format!("category:{}", a.category));
+            for (label, snap) in &a.by_snapshot {
+                post(format!("snapshot:{label}"));
+                if snap.ml {
+                    post(format!("ml:snapshot:{label}"));
+                }
+            }
+            if a.by_snapshot.values().any(|s| s.ml) {
+                post("ml:true".into());
+            }
+            if a.by_snapshot.values().any(|s| s.cloud) {
+                post("cloud:true".into());
+            } else {
+                post("cloud:false".into());
+            }
+        }
+        // Ids were pushed in ascending order, so postings are sorted;
+        // the columns need their value sort.
+        self.flops_col.sort_unstable();
+        self.params_col.sort_unstable();
+        self.size_col.sort_unstable();
+    }
+
+    /// Union of posting lists `prefix:value` over `values` (a
+    /// multi-valued filter: `framework=tflite&framework=caffe` means
+    /// either). Unknown values contribute nothing.
+    fn union(&self, postings: &BTreeMap<String, Vec<u32>>, prefix: &str, values: &[String]) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for v in values {
+            if let Some(ids) = postings.get(&format!("{prefix}{v}")) {
+                out.extend_from_slice(ids);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Run a typed model query: intersect the active posting-list
+    /// dimensions and column range scans, then rank by FLOPs descending
+    /// with checksum ascending as the tie-break (a total order, so the
+    /// response is deterministic), then apply the limit.
+    pub fn query_models(&self, q: &ModelQuery) -> Vec<&ModelDoc> {
+        let mut cand: Option<Vec<u32>> = None;
+        if !q.frameworks.is_empty() {
+            intersect_into(&mut cand, self.union(&self.model_postings, "framework:", &q.frameworks));
+        }
+        if !q.tasks.is_empty() {
+            intersect_into(&mut cand, self.union(&self.model_postings, "task:", &q.tasks));
+        }
+        if !q.modalities.is_empty() {
+            intersect_into(&mut cand, self.union(&self.model_postings, "modality:", &q.modalities));
+        }
+        if let Some(quant) = q.quantised {
+            let key = format!("quant:{quant}");
+            intersect_into(
+                &mut cand,
+                self.model_postings.get(&key).cloned().unwrap_or_default(),
+            );
+        }
+        if let Some(label) = &q.snapshot {
+            let key = format!("snapshot:{label}");
+            intersect_into(
+                &mut cand,
+                self.model_postings.get(&key).cloned().unwrap_or_default(),
+            );
+        }
+        if q.min_flops.is_some() || q.max_flops.is_some() {
+            intersect_into(&mut cand, range_ids(&self.flops_col, q.min_flops, q.max_flops));
+        }
+        if q.min_params.is_some() || q.max_params.is_some() {
+            intersect_into(&mut cand, range_ids(&self.params_col, q.min_params, q.max_params));
+        }
+        if q.min_size.is_some() || q.max_size.is_some() {
+            intersect_into(&mut cand, range_ids(&self.size_col, q.min_size, q.max_size));
+        }
+        let mut ids: Vec<u32> =
+            cand.unwrap_or_else(|| (0..self.models.len() as u32).collect());
+        // FLOPs descending; equal FLOPs fall back to id ascending, which
+        // is checksum ascending because `models` is checksum-sorted.
+        ids.sort_by_key(|&id| (std::cmp::Reverse(self.models[id as usize].flops), id));
+        if let Some(limit) = q.limit {
+            ids.truncate(limit as usize);
+        }
+        ids.iter().map(|&id| &self.models[id as usize]).collect()
+    }
+
+    /// Run a typed app query: category / snapshot / ML / cloud filters,
+    /// ranked by package ascending, then the limit.
+    pub fn query_apps(&self, q: &AppQuery) -> Vec<&AppDoc> {
+        let mut cand: Option<Vec<u32>> = None;
+        if !q.categories.is_empty() {
+            intersect_into(&mut cand, self.union(&self.app_postings, "category:", &q.categories));
+        }
+        if let Some(label) = &q.snapshot {
+            let key = format!("snapshot:{label}");
+            intersect_into(
+                &mut cand,
+                self.app_postings.get(&key).cloned().unwrap_or_default(),
+            );
+        }
+        if q.ml_only {
+            // Scoped to the snapshot when one is selected: an app can
+            // gain (or lose) its models between snapshots.
+            let key = match &q.snapshot {
+                Some(label) => format!("ml:snapshot:{label}"),
+                None => "ml:true".to_string(),
+            };
+            intersect_into(
+                &mut cand,
+                self.app_postings.get(&key).cloned().unwrap_or_default(),
+            );
+        }
+        if let Some(cloud) = q.cloud {
+            let key = format!("cloud:{cloud}");
+            intersect_into(
+                &mut cand,
+                self.app_postings.get(&key).cloned().unwrap_or_default(),
+            );
+        }
+        let mut ids: Vec<u32> = cand.unwrap_or_else(|| (0..self.apps.len() as u32).collect());
+        ids.sort_unstable(); // package ascending == id ascending
+        if let Some(limit) = q.limit {
+            ids.truncate(limit as usize);
+        }
+        ids.iter().map(|&id| &self.apps[id as usize]).collect()
+    }
+
+    /// Deterministic corpus statistics: totals, the snapshot roster and
+    /// every posting-list cardinality, one `key = value` line each
+    /// (BTreeMap order, so byte-stable).
+    pub fn stats_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("generation = {}\n", self.generation));
+        out.push_str(&format!("models = {}\n", self.models.len()));
+        out.push_str(&format!("apps = {}\n", self.apps.len()));
+        out.push_str(&format!(
+            "snapshots = {}\n",
+            self.snapshots
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+        for (key, ids) in &self.model_postings {
+            out.push_str(&format!("models[{key}] = {}\n", ids.len()));
+        }
+        for (key, ids) in &self.app_postings {
+            out.push_str(&format!("apps[{key}] = {}\n", ids.len()));
+        }
+        out
+    }
+}
+
+/// Narrow `cand` by `ids` (both sorted): first filter seeds, later ones
+/// intersect.
+fn intersect_into(cand: &mut Option<Vec<u32>>, ids: Vec<u32>) {
+    *cand = Some(match cand.take() {
+        None => ids,
+        Some(cur) => {
+            let mut out = Vec::with_capacity(cur.len().min(ids.len()));
+            let (mut i, mut j) = (0, 0);
+            while i < cur.len() && j < ids.len() {
+                match cur[i].cmp(&ids[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.push(cur[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            out
+        }
+    });
+}
+
+/// Ids whose column value lies in `[min, max]` (inclusive, either side
+/// optional), returned sorted ascending for intersection.
+fn range_ids(col: &[(u64, u32)], min: Option<u64>, max: Option<u64>) -> Vec<u32> {
+    let lo = match min {
+        Some(m) => col.partition_point(|&(v, _)| v < m),
+        None => 0,
+    };
+    let hi = match max {
+        Some(m) => col.partition_point(|&(v, _)| v <= m),
+        None => col.len(),
+    };
+    let mut ids: Vec<u32> = col[lo..hi.max(lo)].iter().map(|&(_, id)| id).collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaugenn_dnn::task::Task;
+    use gaugenn_modelfmt::Framework;
+
+    pub(crate) fn model(checksum: &str, fw: Framework, task: Option<Task>, flops: u64) -> ModelDoc {
+        ModelDoc {
+            checksum: checksum.into(),
+            name: format!("m-{checksum}"),
+            framework: fw,
+            task,
+            quantised: flops.is_multiple_of(2),
+            size_bytes: flops / 2,
+            flops,
+            params: flops / 4,
+            apps_by_snapshot: [("Apr 2021".to_string(), 2u64)].into_iter().collect(),
+        }
+    }
+
+    pub(crate) fn tiny_index() -> CorpusIndex {
+        let mut idx = CorpusIndex::new();
+        idx.ingest_snapshot(
+            "Apr 2021",
+            vec![
+                model("aa", Framework::TfLite, Some(Task::ObjectDetection), 100),
+                model("bb", Framework::Caffe, Some(Task::TextClassification), 50),
+                model("cc", Framework::TfLite, None, 100),
+                model("dd", Framework::Ncnn, Some(Task::ObjectDetection), 75),
+            ],
+            vec![
+                AppDoc {
+                    package: "com.a".into(),
+                    category: "health & fitness".into(),
+                    by_snapshot: [(
+                        "Apr 2021".to_string(),
+                        AppSnap {
+                            models: 2,
+                            ml: true,
+                            cloud: false,
+                        },
+                    )]
+                    .into_iter()
+                    .collect(),
+                },
+                AppDoc {
+                    package: "com.b".into(),
+                    category: "finance".into(),
+                    by_snapshot: [(
+                        "Apr 2021".to_string(),
+                        AppSnap {
+                            models: 0,
+                            ml: false,
+                            cloud: true,
+                        },
+                    )]
+                    .into_iter()
+                    .collect(),
+                },
+            ],
+        );
+        idx
+    }
+
+    #[test]
+    fn posting_list_intersection_and_union() {
+        let idx = tiny_index();
+        let q = ModelQuery {
+            frameworks: vec!["tflite".into(), "ncnn".into()],
+            tasks: vec!["object detection".into()],
+            ..ModelQuery::default()
+        };
+        let got: Vec<&str> = idx.query_models(&q).iter().map(|m| m.checksum.as_str()).collect();
+        // aa (tflite, detection, 100 flops) then dd (ncnn, detection, 75).
+        assert_eq!(got, vec!["aa", "dd"]);
+    }
+
+    #[test]
+    fn ranking_is_flops_desc_then_checksum_asc() {
+        let idx = tiny_index();
+        let got: Vec<&str> = idx
+            .query_models(&ModelQuery::default())
+            .iter()
+            .map(|m| m.checksum.as_str())
+            .collect();
+        // aa and cc tie at 100 flops: checksum breaks the tie.
+        assert_eq!(got, vec!["aa", "cc", "dd", "bb"]);
+    }
+
+    #[test]
+    fn range_scans_are_inclusive() {
+        let idx = tiny_index();
+        let q = ModelQuery {
+            min_flops: Some(50),
+            max_flops: Some(75),
+            ..ModelQuery::default()
+        };
+        let got: Vec<&str> = idx.query_models(&q).iter().map(|m| m.checksum.as_str()).collect();
+        assert_eq!(got, vec!["dd", "bb"]);
+        let q = ModelQuery {
+            limit: Some(1),
+            ..q
+        };
+        assert_eq!(idx.query_models(&q).len(), 1);
+    }
+
+    #[test]
+    fn app_queries_filter_and_rank_by_package() {
+        let idx = tiny_index();
+        let all = idx.query_apps(&AppQuery::default());
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].package, "com.a");
+        let ml = idx.query_apps(&AppQuery {
+            ml_only: true,
+            ..AppQuery::default()
+        });
+        assert_eq!(ml.len(), 1);
+        assert_eq!(ml[0].package, "com.a");
+        let cloudy = idx.query_apps(&AppQuery {
+            cloud: Some(true),
+            ..AppQuery::default()
+        });
+        assert_eq!(cloudy.len(), 1);
+        assert_eq!(cloudy[0].package, "com.b");
+        let cat = idx.query_apps(&AppQuery {
+            categories: vec!["health & fitness".into()],
+            ..AppQuery::default()
+        });
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn reingesting_a_snapshot_is_idempotent() {
+        let mut idx = tiny_index();
+        let before = idx.stats_text();
+        let g = idx.generation();
+        idx.ingest_snapshot(
+            "Apr 2021",
+            vec![
+                model("aa", Framework::TfLite, Some(Task::ObjectDetection), 100),
+                model("bb", Framework::Caffe, Some(Task::TextClassification), 50),
+                model("cc", Framework::TfLite, None, 100),
+                model("dd", Framework::Ncnn, Some(Task::ObjectDetection), 75),
+            ],
+            vec![],
+        );
+        // Same models; the apps of that snapshot were replaced (none now),
+        // the generation advanced.
+        assert_eq!(idx.model_count(), 4);
+        assert_eq!(idx.app_count(), 0);
+        assert_eq!(idx.generation(), g + 1);
+        assert_ne!(idx.stats_text(), before, "apps changed");
+    }
+
+    #[test]
+    fn second_snapshot_merges_by_checksum() {
+        let mut idx = tiny_index();
+        let mut carried = model("aa", Framework::TfLite, Some(Task::ObjectDetection), 100);
+        carried.apps_by_snapshot = [("Feb 2020".to_string(), 5u64)].into_iter().collect();
+        let mut fresh = model("ee", Framework::TfLite, None, 10);
+        fresh.apps_by_snapshot = [("Feb 2020".to_string(), 1u64)].into_iter().collect();
+        idx.ingest_snapshot("Feb 2020", vec![carried, fresh], vec![]);
+        assert_eq!(idx.model_count(), 5, "aa merged, ee new");
+        assert_eq!(idx.snapshot_labels(), vec!["Apr 2021", "Feb 2020"]);
+        let aa = &idx.models()[0];
+        assert_eq!(aa.checksum, "aa");
+        assert_eq!(aa.app_count(Some("Feb 2020")), 5);
+        assert_eq!(aa.app_count(Some("Apr 2021")), 2);
+        assert_eq!(aa.app_count(None), 5, "max across snapshots");
+        // Snapshot-scoped query sees only that snapshot's models.
+        let q = ModelQuery {
+            snapshot: Some("Feb 2020".into()),
+            ..ModelQuery::default()
+        };
+        assert_eq!(idx.query_models(&q).len(), 2);
+    }
+
+    #[test]
+    fn esc_roundtrips() {
+        for s in ["", "plain", "two words", "a%b", "tab\there", "nl\nhere", "100%"] {
+            assert_eq!(unesc(&esc(s)), s, "{s:?}");
+            assert!(!esc(s).contains(' '), "{s:?}");
+        }
+        // Invalid escapes pass through.
+        assert_eq!(unesc("%zz"), "%zz");
+        assert_eq!(unesc("%2"), "%2");
+    }
+}

@@ -1,0 +1,233 @@
+//! The typed query surface and its canonical key/value grammar.
+//!
+//! A query is a plain struct; [`ModelQuery::to_pairs`] renders it as an
+//! ordered key/value list and [`ModelQuery::from_pairs`] parses one back
+//! (likewise for [`AppQuery`]). The playstore `Route` enum wraps these
+//! into `/query/models?...` / `/query/apps?...` wire paths, percent-
+//! encoding the values — so the route, the server dispatch and the query
+//! clients all share this one grammar.
+//!
+//! Multi-valued keys (`framework`, `task`, `modality`, `category`)
+//! repeat: `framework=tflite&framework=caffe` means *either*. Values
+//! keep their decoded form here (task names contain spaces); numeric
+//! values are decimal `u64`s. Unknown keys and malformed numbers are
+//! ignored on parse, which keeps the grammar forward-compatible.
+
+/// A model query: multi-valued dimension filters, inclusive numeric
+/// ranges, an optional snapshot scope, and a result limit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ModelQuery {
+    /// Framework names (lowercase, e.g. `tflite`); empty = any.
+    pub frameworks: Vec<String>,
+    /// Task names (Table 3 labels, spaces included); empty = any.
+    pub tasks: Vec<String>,
+    /// Modality names (`vision`/`nlp`/`audio`/`sensor`); empty = any.
+    pub modalities: Vec<String>,
+    /// Quantisation filter (§6.1); `None` = any.
+    pub quantised: Option<bool>,
+    /// Snapshot label scope (e.g. `Apr 2021`); `None` = any snapshot.
+    pub snapshot: Option<String>,
+    /// Minimum FLOPs, inclusive.
+    pub min_flops: Option<u64>,
+    /// Maximum FLOPs, inclusive.
+    pub max_flops: Option<u64>,
+    /// Minimum parameters, inclusive.
+    pub min_params: Option<u64>,
+    /// Maximum parameters, inclusive.
+    pub max_params: Option<u64>,
+    /// Minimum serialized size in bytes, inclusive.
+    pub min_size: Option<u64>,
+    /// Maximum serialized size in bytes, inclusive.
+    pub max_size: Option<u64>,
+    /// Keep only the first N ranked results.
+    pub limit: Option<u64>,
+}
+
+impl ModelQuery {
+    /// Render as the canonical ordered key/value list (values decoded —
+    /// the wire layer percent-encodes them).
+    pub fn to_pairs(&self) -> Vec<(&'static str, String)> {
+        let mut out = Vec::new();
+        for v in &self.frameworks {
+            out.push(("framework", v.clone()));
+        }
+        for v in &self.tasks {
+            out.push(("task", v.clone()));
+        }
+        for v in &self.modalities {
+            out.push(("modality", v.clone()));
+        }
+        if let Some(q) = self.quantised {
+            out.push(("quant", q.to_string()));
+        }
+        if let Some(s) = &self.snapshot {
+            out.push(("snapshot", s.clone()));
+        }
+        push_num(&mut out, "min_flops", self.min_flops);
+        push_num(&mut out, "max_flops", self.max_flops);
+        push_num(&mut out, "min_params", self.min_params);
+        push_num(&mut out, "max_params", self.max_params);
+        push_num(&mut out, "min_size", self.min_size);
+        push_num(&mut out, "max_size", self.max_size);
+        push_num(&mut out, "limit", self.limit);
+        out
+    }
+
+    /// Parse from decoded key/value pairs (the inverse of
+    /// [`ModelQuery::to_pairs`]). Unknown keys are ignored.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, String)>) -> ModelQuery {
+        let mut q = ModelQuery::default();
+        for (k, v) in pairs {
+            match k {
+                "framework" => q.frameworks.push(v),
+                "task" => q.tasks.push(v),
+                "modality" => q.modalities.push(v),
+                "quant" => q.quantised = parse_bool(&v),
+                "snapshot" => q.snapshot = Some(v),
+                "min_flops" => q.min_flops = v.parse().ok(),
+                "max_flops" => q.max_flops = v.parse().ok(),
+                "min_params" => q.min_params = v.parse().ok(),
+                "max_params" => q.max_params = v.parse().ok(),
+                "min_size" => q.min_size = v.parse().ok(),
+                "max_size" => q.max_size = v.parse().ok(),
+                "limit" => q.limit = v.parse().ok(),
+                _ => {}
+            }
+        }
+        q
+    }
+}
+
+/// An app query: category filters, ML/cloud flags, snapshot scope,
+/// limit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AppQuery {
+    /// Category names (decoded, e.g. `health & fitness`); empty = any.
+    pub categories: Vec<String>,
+    /// Keep only ML-powered apps (scoped to the snapshot when one is
+    /// selected).
+    pub ml_only: bool,
+    /// Cloud-ML-API usage filter; `None` = any.
+    pub cloud: Option<bool>,
+    /// Snapshot label scope; `None` = any snapshot.
+    pub snapshot: Option<String>,
+    /// Keep only the first N ranked results.
+    pub limit: Option<u64>,
+}
+
+impl AppQuery {
+    /// Render as the canonical ordered key/value list. `ml=true` is
+    /// emitted only when set — its absence already means "any".
+    pub fn to_pairs(&self) -> Vec<(&'static str, String)> {
+        let mut out = Vec::new();
+        for v in &self.categories {
+            out.push(("category", v.clone()));
+        }
+        if self.ml_only {
+            out.push(("ml", "true".to_string()));
+        }
+        if let Some(c) = self.cloud {
+            out.push(("cloud", c.to_string()));
+        }
+        if let Some(s) = &self.snapshot {
+            out.push(("snapshot", s.clone()));
+        }
+        push_num(&mut out, "limit", self.limit);
+        out
+    }
+
+    /// Parse from decoded key/value pairs. Unknown keys are ignored.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, String)>) -> AppQuery {
+        let mut q = AppQuery::default();
+        for (k, v) in pairs {
+            match k {
+                "category" => q.categories.push(v),
+                "ml" => q.ml_only = v == "true",
+                "cloud" => q.cloud = parse_bool(&v),
+                "snapshot" => q.snapshot = Some(v),
+                "limit" => q.limit = v.parse().ok(),
+                _ => {}
+            }
+        }
+        q
+    }
+}
+
+fn push_num(out: &mut Vec<(&'static str, String)>, key: &'static str, v: Option<u64>) {
+    if let Some(n) = v {
+        out.push((key, n.to_string()));
+    }
+}
+
+fn parse_bool(v: &str) -> Option<bool> {
+    match v {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// Convenience for tests and clients: parse pairs out of an owned map
+/// shape `(String, String)`.
+pub fn pairs_ref(pairs: &[(String, String)]) -> impl Iterator<Item = (&str, String)> {
+    pairs.iter().map(|(k, v)| (k.as_str(), v.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_query_pairs_roundtrip() {
+        let q = ModelQuery {
+            frameworks: vec!["tflite".into(), "caffe".into()],
+            tasks: vec!["object detection".into()],
+            modalities: vec![],
+            quantised: Some(false),
+            snapshot: Some("Apr 2021".into()),
+            min_flops: Some(0),
+            max_flops: Some(u64::MAX),
+            min_params: None,
+            max_params: None,
+            min_size: Some(1024),
+            max_size: None,
+            limit: Some(10),
+        };
+        let pairs: Vec<(String, String)> = q
+            .to_pairs()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        assert_eq!(ModelQuery::from_pairs(pairs_ref(&pairs)), q);
+    }
+
+    #[test]
+    fn app_query_pairs_roundtrip_and_defaults() {
+        let q = AppQuery {
+            categories: vec!["health & fitness".into()],
+            ml_only: true,
+            cloud: Some(true),
+            snapshot: None,
+            limit: None,
+        };
+        let pairs: Vec<(String, String)> = q
+            .to_pairs()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        assert_eq!(AppQuery::from_pairs(pairs_ref(&pairs)), q);
+        // Empty pair list → default query.
+        assert_eq!(AppQuery::from_pairs(std::iter::empty()), AppQuery::default());
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_numbers_are_ignored() {
+        let pairs = vec![
+            ("nope".to_string(), "x".to_string()),
+            ("limit".to_string(), "not-a-number".to_string()),
+            ("quant".to_string(), "maybe".to_string()),
+        ];
+        let q = ModelQuery::from_pairs(pairs_ref(&pairs));
+        assert_eq!(q, ModelQuery::default());
+    }
+}

@@ -480,6 +480,14 @@ impl Crawler {
         self.request_inner(route, false)
     }
 
+    /// Issue one typed request and return the raw response. The public
+    /// face of the request machinery for non-crawl clients (the query
+    /// client builds on it): same retry/backoff, integrity checking and
+    /// typed errors as the crawl loop.
+    pub fn fetch(&mut self, route: &Route) -> Result<Response> {
+        self.request(route)
+    }
+
     /// Like [`Crawler::request`] but keeping truncated body prefixes and
     /// resuming them with range requests — for the large binary payloads
     /// (APKs, OBBs, bundles).

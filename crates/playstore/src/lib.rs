@@ -34,6 +34,7 @@ pub mod corpus;
 pub mod crawler;
 pub mod pool;
 pub mod proto;
+pub mod query;
 pub mod route;
 pub mod server;
 
@@ -44,8 +45,9 @@ pub use crawler::{
     CrawlOutcome, CrawlStage, CrawlStats, CrawledApp, Crawler, CrawlerBuilder, DropOut, RetryPolicy,
 };
 pub use pool::{CrawlPool, CrawlPoolConfig, PoolOutcome, WorkerReport};
+pub use query::{QueryClient, QueryClientBuilder};
 pub use route::Route;
-pub use server::StoreServer;
+pub use server::{ServerOptions, StoreServer};
 
 /// Errors from the store substrate.
 #[derive(Debug)]

@@ -8,6 +8,7 @@
 //! strings, which could (and did) drift.
 
 use crate::proto::{decode_component, encode_component};
+use gaugenn_index::{AppQuery, ModelQuery};
 use std::fmt;
 
 /// Default listing page size when a category request carries no `count`.
@@ -47,6 +48,12 @@ pub enum Route {
         /// Package name.
         package: String,
     },
+    /// `GET /query/models?...` — corpus index model query.
+    QueryModels(ModelQuery),
+    /// `GET /query/apps?...` — corpus index app query.
+    QueryApps(AppQuery),
+    /// `GET /query/stats` — corpus index statistics.
+    QueryStats,
 }
 
 impl Route {
@@ -63,6 +70,9 @@ impl Route {
             Route::Apk { package } => format!("/apk/{}", encode_component(package)),
             Route::Obb { package } => format!("/obb/{}", encode_component(package)),
             Route::Bundle { package } => format!("/bundle/{}", encode_component(package)),
+            Route::QueryModels(q) => render_query("/query/models", &q.to_pairs()),
+            Route::QueryApps(q) => render_query("/query/apps", &q.to_pairs()),
+            Route::QueryStats => "/query/stats".into(),
         }
     }
 
@@ -95,6 +105,22 @@ impl Route {
         if path_only == "/categories" {
             return Some(Route::Categories);
         }
+        if path_only.starts_with("/query/") {
+            // Query routes keep *all* pairs in order (multi-valued keys
+            // repeat); values are percent-decoded here, at the wire
+            // boundary, so the typed queries hold decoded text.
+            let pairs = query
+                .unwrap_or("")
+                .split('&')
+                .filter_map(|kv| kv.split_once('='))
+                .map(|(k, v)| (k, decode_component(v)));
+            return match path_only {
+                "/query/models" => Some(Route::QueryModels(ModelQuery::from_pairs(pairs))),
+                "/query/apps" => Some(Route::QueryApps(AppQuery::from_pairs(pairs))),
+                "/query/stats" => Some(Route::QueryStats),
+                _ => None,
+            };
+        }
         if let Some(rest) = path_only.strip_prefix("/category/") {
             return Some(Route::Category {
                 name: decode_component(rest),
@@ -115,6 +141,20 @@ impl Route {
             .or_else(|| pkg_route("/obb/", |package| Route::Obb { package }))
             .or_else(|| pkg_route("/bundle/", |package| Route::Bundle { package }))
     }
+}
+
+/// Render a query route's wire path: the canonical ordered pairs with
+/// percent-encoded values. An empty pair list renders the bare path, so
+/// `parse(wire_path(r)) == r` holds for default queries too.
+fn render_query(path: &str, pairs: &[(&'static str, String)]) -> String {
+    if pairs.is_empty() {
+        return path.to_string();
+    }
+    let qs: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("{k}={}", encode_component(v)))
+        .collect();
+    format!("{path}?{}", qs.join("&"))
 }
 
 impl fmt::Display for Route {
@@ -212,8 +252,60 @@ mod tests {
 
     #[test]
     fn foreign_paths_are_rejected()  {
-        for p in ["/nope", "/", "", "/app/", "/apkX/com.x", "/categories/extra"] {
+        for p in ["/nope", "/", "", "/app/", "/apkX/com.x", "/categories/extra", "/query/nope"] {
             assert_eq!(Route::parse(p), None, "{p:?}");
         }
+    }
+
+    #[test]
+    fn query_routes_roundtrip_with_encoded_values() {
+        let routes = [
+            Route::QueryStats,
+            Route::QueryModels(ModelQuery::default()),
+            Route::QueryApps(AppQuery::default()),
+            Route::QueryModels(ModelQuery {
+                frameworks: vec!["tflite".into(), "caffe".into()],
+                tasks: vec!["object detection".into()],
+                quantised: Some(true),
+                snapshot: Some("Apr 2021".into()),
+                min_flops: Some(1_000_000),
+                limit: Some(25),
+                ..ModelQuery::default()
+            }),
+            Route::QueryApps(AppQuery {
+                categories: vec!["health & fitness".into()],
+                ml_only: true,
+                cloud: Some(false),
+                snapshot: Some("Feb 2020".into()),
+                limit: Some(10),
+            }),
+        ];
+        for r in routes {
+            let wire = r.wire_path();
+            assert!(!wire.contains(' '), "{wire}");
+            assert_eq!(Route::parse(&wire), Some(r.clone()), "{wire}");
+        }
+        // Spaces in task/snapshot values are percent-encoded on the wire.
+        let wire = Route::QueryModels(ModelQuery {
+            tasks: vec!["object detection".into()],
+            ..ModelQuery::default()
+        })
+        .wire_path();
+        assert_eq!(wire, "/query/models?task=object%20detection");
+    }
+
+    #[test]
+    fn query_fault_key_is_shared_across_parameters() {
+        let a = Route::QueryModels(ModelQuery {
+            limit: Some(1),
+            ..ModelQuery::default()
+        });
+        let b = Route::QueryModels(ModelQuery {
+            frameworks: vec!["tflite".into()],
+            ..ModelQuery::default()
+        });
+        assert_eq!(a.fault_key(), b.fault_key());
+        assert_eq!(a.fault_key(), "/query/models");
+        assert_eq!(Route::QueryStats.fault_key(), "/query/stats");
     }
 }

@@ -16,6 +16,7 @@ use crate::{categories::CATEGORIES, Result};
 use gaugenn_apk::crc32::crc32;
 use gaugenn_apk::bundle::{AssetPack, BundleBuilder, Delivery};
 use gaugenn_apk::obb::{build_obb, ObbKind};
+use gaugenn_index::{wire, CorpusIndex};
 use gaugenn_modelfmt::ModelArtifact;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -31,11 +32,24 @@ use std::time::Duration;
 /// maximum of 500 apps", §3.1).
 pub const MAX_PER_CATEGORY: usize = 500;
 
+/// Optional server attachments, beyond the corpus itself.
+#[derive(Default)]
+pub struct ServerOptions {
+    /// Chaos [`FaultPlan`] consulted on every request.
+    pub chaos: Option<FaultPlan>,
+    /// Corpus index answering the `/query/*` route family. Shared
+    /// immutably across connection threads — queries are read-only, so
+    /// no locking is needed and responses cannot depend on request
+    /// interleaving (the determinism contract).
+    pub index: Option<Arc<CorpusIndex>>,
+}
+
 struct Shared {
     corpus: StoreCorpus,
     artifact_cache: Mutex<HashMap<usize, Arc<ModelArtifact>>>,
     requests_served: Mutex<u64>,
     chaos: Option<FaultPlan>,
+    index: Option<Arc<CorpusIndex>>,
 }
 
 impl Shared {
@@ -65,17 +79,25 @@ pub struct StoreServer {
 impl StoreServer {
     /// Start serving `corpus` on an ephemeral loopback port.
     pub fn start(corpus: StoreCorpus) -> Result<StoreServer> {
-        Self::start_inner(corpus, None)
+        Self::start_with(corpus, ServerOptions::default())
     }
 
     /// Start serving `corpus` with a chaos [`FaultPlan`] consulted on
     /// every request (resets, truncations, stalls, transient statuses,
     /// payload corruption — see [`crate::chaos`]).
     pub fn start_with_chaos(corpus: StoreCorpus, plan: FaultPlan) -> Result<StoreServer> {
-        Self::start_inner(corpus, Some(plan))
+        Self::start_with(
+            corpus,
+            ServerOptions {
+                chaos: Some(plan),
+                ..ServerOptions::default()
+            },
+        )
     }
 
-    fn start_inner(corpus: StoreCorpus, chaos: Option<FaultPlan>) -> Result<StoreServer> {
+    /// Start serving `corpus` with full [`ServerOptions`] (chaos plan,
+    /// corpus index for the `/query/*` routes).
+    pub fn start_with(corpus: StoreCorpus, options: ServerOptions) -> Result<StoreServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -84,7 +106,8 @@ impl StoreServer {
             corpus,
             artifact_cache: Mutex::new(HashMap::new()),
             requests_served: Mutex::new(0),
-            chaos,
+            chaos: options.chaos,
+            index: options.index,
         });
         let t_stop = stop.clone();
         let t_shared = shared.clone();
@@ -314,6 +337,29 @@ fn route(shared: &Shared, req: &Request, route: &Route) -> Response {
             }
             Some(_) => Response::not_found("not distributed as a bundle"),
             None => Response::not_found(package),
+        },
+        // The /query/* family answers from the attached corpus index.
+        // Ranking happens inside the index (a total order) and rendering
+        // consumes the ranked documents verbatim, so the response bytes
+        // depend only on (index contents, query) — never on which worker
+        // thread serves the connection.
+        Route::QueryModels(q) => match &shared.index {
+            Some(index) => {
+                let docs = index.query_models(q);
+                Response::ok(wire::render_models(&docs, q.snapshot.as_deref()).into_bytes())
+            }
+            None => Response::not_found("no corpus index attached"),
+        },
+        Route::QueryApps(q) => match &shared.index {
+            Some(index) => {
+                let docs = index.query_apps(q);
+                Response::ok(wire::render_apps(&docs, q.snapshot.as_deref()).into_bytes())
+            }
+            None => Response::not_found("no corpus index attached"),
+        },
+        Route::QueryStats => match &shared.index {
+            Some(index) => Response::ok(index.stats_text().into_bytes()),
+            None => Response::not_found("no corpus index attached"),
         },
     }
 }

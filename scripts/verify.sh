@@ -4,8 +4,9 @@
 # pool scheduling mode), a double-repro persistent-cache determinism
 # check, the crash-recovery matrix (SIGKILL at each registered crash
 # point, then --resume must reproduce stdout byte-for-byte), a cache
-# compaction-under-pressure check, the gaugelint and lock-order gates,
-# and workspace clippy.
+# compaction-under-pressure check, the query-serving determinism gate
+# (querybench streams must be byte-identical at every connection count),
+# the gaugelint and lock-order gates, and workspace clippy.
 #
 # Works without network access: if the registry is unreachable, cargo is
 # retried in --offline mode (using whatever is already vendored/cached).
@@ -52,10 +53,10 @@ verify() {
     cache_dir="target/verify-cache.$$"
     rm -rf "$cache_dir"
     GAUGENN_CACHE_DIR="$cache_dir" run_cargo "$mode" run --release -q \
-        -p gaugenn-bench --bin repro -- tiny 1402 2 2 \
+        -p gaugenn-bench --bin repro -- --scale tiny --seed 1402 --workers 2 --analysis-workers 2 \
         >"$cache_dir.out1" 2>"$cache_dir.err1" || return 1
     GAUGENN_CACHE_DIR="$cache_dir" run_cargo "$mode" run --release -q \
-        -p gaugenn-bench --bin repro -- tiny 1402 2 2 \
+        -p gaugenn-bench --bin repro -- --scale tiny --seed 1402 --workers 2 --analysis-workers 2 \
         >"$cache_dir.out2" 2>"$cache_dir.err2" || return 1
     if ! cmp -s "$cache_dir.out1" "$cache_dir.out2"; then
         echo "verify: repro stdout differs between cold and warm cache runs" >&2
@@ -85,13 +86,13 @@ verify() {
     mkdir -p "$crash_dir"
     GAUGENN_JOURNAL_DIR="$crash_dir/journal" GAUGENN_CACHE_DIR="$crash_dir/cache" \
         run_cargo "$mode" run --release -q -p gaugenn-bench --bin repro \
-        -- tiny 1402 2 2 >"$crash_dir/baseline.out" 2>/dev/null || return 1
+        -- --scale tiny --seed 1402 --workers 2 --analysis-workers 2 >"$crash_dir/baseline.out" 2>/dev/null || return 1
     for point in post-crawl:1 model-analysis:2 cache-append:2; do
         rm -rf "$crash_dir/journal" "$crash_dir/cache"
         GAUGENN_CRASH="$point" GAUGENN_CRASH_MODE=kill \
             GAUGENN_JOURNAL_DIR="$crash_dir/journal" GAUGENN_CACHE_DIR="$crash_dir/cache" \
             run_cargo "$mode" run --release -q -p gaugenn-bench --bin repro \
-            -- tiny 1402 2 2 >/dev/null 2>&1
+            -- --scale tiny --seed 1402 --workers 2 --analysis-workers 2 >/dev/null 2>&1
         status=$?
         if [ "$status" -eq 0 ]; then
             echo "verify: armed crash point $point did not kill repro" >&2
@@ -99,7 +100,7 @@ verify() {
         fi
         GAUGENN_JOURNAL_DIR="$crash_dir/journal" GAUGENN_CACHE_DIR="$crash_dir/cache" \
             run_cargo "$mode" run --release -q -p gaugenn-bench --bin repro \
-            -- tiny 1402 2 2 --resume >"$crash_dir/resumed.out" 2>/dev/null || return 1
+            -- --scale tiny --seed 1402 --workers 2 --analysis-workers 2 --resume >"$crash_dir/resumed.out" 2>/dev/null || return 1
         if ! cmp -s "$crash_dir/baseline.out" "$crash_dir/resumed.out"; then
             echo "verify: resumed repro stdout diverged after $point kill" >&2
             diff "$crash_dir/baseline.out" "$crash_dir/resumed.out" | head -20 >&2
@@ -111,10 +112,10 @@ verify() {
     rm -rf "$crash_dir/cache"
     GAUGENN_CACHE_DIR="$crash_dir/cache" GAUGENN_CACHE_MAX_BYTES=16384 \
         run_cargo "$mode" run --release -q -p gaugenn-bench --bin repro \
-        -- tiny 1402 2 2 >"$crash_dir/press1.out" 2>/dev/null || return 1
+        -- --scale tiny --seed 1402 --workers 2 --analysis-workers 2 >"$crash_dir/press1.out" 2>/dev/null || return 1
     GAUGENN_CACHE_DIR="$crash_dir/cache" GAUGENN_CACHE_MAX_BYTES=16384 \
         run_cargo "$mode" run --release -q -p gaugenn-bench --bin repro \
-        -- tiny 1402 2 2 >"$crash_dir/press2.out" 2>/dev/null || return 1
+        -- --scale tiny --seed 1402 --workers 2 --analysis-workers 2 >"$crash_dir/press2.out" 2>/dev/null || return 1
     if ! cmp -s "$crash_dir/press1.out" "$crash_dir/press2.out"; then
         echo "verify: repro stdout differs under cache pressure" >&2
         return 1
@@ -128,6 +129,27 @@ verify() {
         return 1
     fi
     rm -rf "$crash_dir"
+    # Query-serving gate (DESIGN.md §13): querybench replays one seeded
+    # query stream at 1 and 8 connections (and under chaos) and asserts
+    # internally that every response stream is byte-identical; the digest
+    # lines on stderr are re-checked here so a silenced assert cannot
+    # slip through — every run must print the same digest.
+    query_out="target/verify-query.$$"
+    run_cargo "$mode" run --release -q -p gaugenn-bench --bin querybench \
+        -- --scale tiny --seed 1402 --workers 8 \
+        >"$query_out.out" 2>"$query_out.err" || return 1
+    if ! grep -q "byte-identical" "$query_out.out"; then
+        echo "verify: querybench did not report byte-identical streams" >&2
+        return 1
+    fi
+    distinct_digests=$(grep -o 'digest [0-9a-f]*' "$query_out.err" \
+        | sort -u | awk 'END { print NR }')
+    if [ "$distinct_digests" != "1" ]; then
+        echo "verify: querybench digests diverged across connection counts" >&2
+        grep 'digest' "$query_out.err" >&2
+        return 1
+    fi
+    rm -f "$query_out.out" "$query_out.err"
     # gaugelint gate: the in-repo invariant checker (DESIGN.md §10) must
     # pass its own fixture suite and report zero unsuppressed findings
     # across crates/ and tests/.

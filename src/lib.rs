@@ -30,6 +30,7 @@ pub use gaugenn_apk as apk;
 pub use gaugenn_core as core;
 pub use gaugenn_dnn as dnn;
 pub use gaugenn_harness as harness;
+pub use gaugenn_index as index;
 pub use gaugenn_modelfmt as modelfmt;
 pub use gaugenn_playstore as playstore;
 pub use gaugenn_sched as sched;

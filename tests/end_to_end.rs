@@ -5,14 +5,14 @@
 
 use gaugenn::core::experiments::{backends, offline, runtime};
 use gaugenn::core::pipeline::{Pipeline, PipelineConfig, PipelineReport};
-use gaugenn::playstore::corpus::Snapshot;
+use gaugenn::playstore::corpus::{CorpusScale, Snapshot};
 use gaugenn::soc::spec::all_devices;
 use std::sync::OnceLock;
 
 fn r2021() -> &'static PipelineReport {
     static CELL: OnceLock<PipelineReport> = OnceLock::new();
     CELL.get_or_init(|| {
-        Pipeline::new(PipelineConfig::tiny(Snapshot::Y2021, 99))
+        Pipeline::new(PipelineConfig::builder(CorpusScale::Tiny, Snapshot::Y2021, 99).build())
             .run()
             .expect("pipeline")
     })
@@ -21,7 +21,7 @@ fn r2021() -> &'static PipelineReport {
 fn r2020() -> &'static PipelineReport {
     static CELL: OnceLock<PipelineReport> = OnceLock::new();
     CELL.get_or_init(|| {
-        Pipeline::new(PipelineConfig::tiny(Snapshot::Y2020, 99))
+        Pipeline::new(PipelineConfig::builder(CorpusScale::Tiny, Snapshot::Y2020, 99).build())
             .run()
             .expect("pipeline")
     })
@@ -126,6 +126,78 @@ fn snpe_apps_ship_dual_formats() {
         .iter()
         .any(|m| m.framework == gaugenn::modelfmt::Framework::Snpe);
     assert!(has_tflite && has_dlc, "SNPE app must ship both variants");
+}
+
+#[test]
+fn query_routes_serve_the_pipelines_index_under_chaos() {
+    use gaugenn::index::{AppQuery, ModelQuery};
+    use gaugenn::modelfmt::Framework;
+    use gaugenn::playstore::corpus::generate;
+    use gaugenn::playstore::{
+        FaultKind, FaultPlan, FaultPlanConfig, QueryClient, ServerOptions, StoreServer,
+    };
+
+    let r = r2021();
+    let index = r.corpus_index.clone();
+    // The store injects resets and throttling statuses; two faults per
+    // route stays inside the client's retry budget, so every query must
+    // still succeed — through typed retries, never a panic.
+    let chaos = FaultPlan::new(FaultPlanConfig {
+        seed: 5,
+        fault_permille: 350,
+        kinds: vec![FaultKind::Reset, FaultKind::TransientStatus],
+        max_faults_per_route: 2,
+        ..FaultPlanConfig::default()
+    });
+    let server = StoreServer::start_with(
+        generate(CorpusScale::Tiny, Snapshot::Y2021, 99),
+        ServerOptions {
+            chaos: Some(chaos),
+            index: Some(index.clone()),
+        },
+    )
+    .expect("server");
+    let mut client = QueryClient::builder(server.addr()).build().expect("client");
+
+    // Wire answers must agree with the in-process index and the analysed
+    // corpus, ranked FLOPs-descending (the determinism contract).
+    let all = client.models(&ModelQuery::default()).expect("model query");
+    assert_eq!(all.len(), index.model_count());
+    assert_eq!(all.len(), r.models.len());
+    assert!(all.windows(2).all(|w| w[0].flops >= w[1].flops));
+
+    // Per-framework slices partition consistently with the records.
+    for fw in Framework::ALL {
+        let slice = client
+            .models(&ModelQuery {
+                frameworks: vec![fw.name().to_string()],
+                ..ModelQuery::default()
+            })
+            .expect("framework query");
+        let expect = r.models.iter().filter(|m| m.framework == fw).count();
+        assert_eq!(slice.len(), expect, "framework {}", fw.name());
+    }
+
+    let ml_apps = client
+        .apps(&AppQuery {
+            ml_only: true,
+            ..AppQuery::default()
+        })
+        .expect("app query");
+    assert_eq!(
+        ml_apps.len(),
+        r.apps.iter().filter(|a| a.is_ml_app()).count()
+    );
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.iter().any(|(k, _)| k == "models"));
+
+    let st = client.transport_stats();
+    assert!(
+        st.retries + st.reconnects > 0,
+        "chaos must have cost at least one retry across {} requests",
+        st.requests
+    );
 }
 
 #[test]

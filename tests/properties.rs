@@ -374,3 +374,102 @@ proptest! {
         prop_assert_eq!(JobSpec::from_text(&spec.to_text()).unwrap(), spec);
     }
 }
+
+
+// ---------------------------------------------------------------------------
+// Route wire grammar: `Route::wire_path` and `Route::parse` are exact
+// inverses for every variant, query routes included — arbitrary decoded
+// text (spaces, `&`, `=`, `%`, unicode) must survive the percent-
+// encoding round trip, and numeric filters must come back bit-exact.
+
+/// SplitMix64 step, the file-local seedable generator for route fuzzing.
+fn route_rng(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Adversarial decoded text: characters the wire grammar must escape
+/// (separators, percent signs, multi-byte scalars) plus plain ASCII.
+fn wire_text(state: &mut u64, max: u64) -> String {
+    const POOL: [char; 17] = [
+        'a', 'z', '0', ' ', '&', '=', '%', '?', '/', '+', '.', '-', '_', '~', 'é', '☃', '中',
+    ];
+    let len = route_rng(state) % (max + 1);
+    (0..len)
+        .map(|_| POOL[(route_rng(state) % POOL.len() as u64) as usize])
+        .collect()
+}
+
+fn opt_u64(state: &mut u64) -> Option<u64> {
+    (route_rng(state).is_multiple_of(2)).then(|| route_rng(state))
+}
+
+fn opt_text(state: &mut u64, max: u64) -> Option<String> {
+    (route_rng(state).is_multiple_of(2)).then(|| wire_text(state, max))
+}
+
+fn texts(state: &mut u64, upto: u64, max: u64) -> Vec<String> {
+    (0..route_rng(state) % (upto + 1))
+        .map(|_| wire_text(state, max))
+        .collect()
+}
+
+/// One seeded route, covering every variant with adversarial text in
+/// every free-text slot (packages are kept non-empty: the store rejects
+/// empty package paths, so they are outside the invertible surface).
+fn route_from_seed(seed: u64) -> gaugenn::playstore::Route {
+    use gaugenn::index::{AppQuery, ModelQuery};
+    use gaugenn::playstore::Route;
+    let mut state = seed;
+    let s = &mut state;
+    let package = |s: &mut u64| format!("p{}", wire_text(s, 10));
+    match route_rng(s) % 9 {
+        0 => Route::Categories,
+        1 => Route::Category {
+            name: wire_text(s, 10),
+            start: route_rng(s) as usize,
+            count: route_rng(s) as usize,
+        },
+        2 => Route::App { package: package(s) },
+        3 => Route::Apk { package: package(s) },
+        4 => Route::Obb { package: package(s) },
+        5 => Route::Bundle { package: package(s) },
+        6 => Route::QueryModels(ModelQuery {
+            frameworks: texts(s, 2, 8),
+            tasks: texts(s, 2, 8),
+            modalities: texts(s, 2, 6),
+            quantised: (route_rng(s).is_multiple_of(2)).then(|| route_rng(s).is_multiple_of(2)),
+            snapshot: opt_text(s, 8),
+            min_flops: opt_u64(s),
+            max_flops: opt_u64(s),
+            min_params: opt_u64(s),
+            max_params: opt_u64(s),
+            min_size: opt_u64(s),
+            max_size: opt_u64(s),
+            limit: opt_u64(s),
+        }),
+        7 => Route::QueryApps(AppQuery {
+            categories: texts(s, 2, 10),
+            ml_only: route_rng(s).is_multiple_of(2),
+            cloud: (route_rng(s).is_multiple_of(2)).then(|| route_rng(s).is_multiple_of(2)),
+            snapshot: opt_text(s, 8),
+            limit: opt_u64(s),
+        }),
+        _ => Route::QueryStats,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn every_route_roundtrips_its_wire_path(seed in any::<u64>()) {
+        use gaugenn::playstore::Route;
+        let route = route_from_seed(seed);
+        let wire = route.wire_path();
+        prop_assert_eq!(Route::parse(&wire), Some(route.clone()), "wire: {wire:?} route: {route:?}");
+    }
+}
