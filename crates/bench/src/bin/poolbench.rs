@@ -4,50 +4,87 @@
 //! ```sh
 //! cargo run --release -p gaugenn-bench --bin poolbench            # small corpus
 //! cargo run --release -p gaugenn-bench --bin poolbench -- --scale tiny
+//! cargo run --release -p gaugenn-bench --bin poolbench -- --workers 1024 --reactor epoll --json
 //! ```
 //!
 //! Crawls one snapshot sequentially, then through [`CrawlPool`]s at
 //! several worker counts under each scheduling mode (static shards,
 //! deterministic LPT, planned stealing), verifying every run merges to
-//! the identical corpus. Besides wall time, each pooled run prints its
-//! per-worker byte imbalance (max worker bytes / mean worker bytes, 1.00
-//! = perfectly balanced) — on a single-core host that planning metric,
-//! not wall time, is the honest scheduling comparison. EXPERIMENTS.md
-//! and `results/BENCH_sched.json` record a captured run.
+//! the identical corpus. The sweep runs 2/4/8 workers by default and
+//! extends through 32/128/512 up to `--workers` when a larger fleet is
+//! requested — every worker holds one store connection, so the high end
+//! is a fan-in test of the serving loop selected with `--reactor`
+//! (default: `GAUGENN_REACTOR`, then the platform default).
+//!
+//! Besides wall time, each pooled run prints its per-worker byte
+//! imbalance (max worker bytes / mean worker bytes, 1.00 = perfectly
+//! balanced) — on a single-core host that planning metric, not wall
+//! time, is the honest scheduling comparison. EXPERIMENTS.md and
+//! `results/BENCH_sched.json` record a captured run; `--json` emits the
+//! machine-readable rows (with their `reactor` column) that
+//! `results/BENCH_net.json` aggregates.
 
 use gaugenn_bench::cli::{self, ArgSpec};
 use gaugenn_playstore::corpus::{generate, Snapshot};
 use gaugenn_playstore::crawler::Crawler;
 use gaugenn_playstore::pool::{CrawlPool, CrawlPoolConfig};
-use gaugenn_playstore::server::StoreServer;
+use gaugenn_playstore::server::{ServerOptions, StoreServer};
 use gaugenn_sched::SchedMode;
 use std::time::Instant;
 
+/// One pooled crawl at a fixed (mode, workers) point.
+struct PoolRun {
+    mode: &'static str,
+    workers: usize,
+    wall_ms: f64,
+    speedup: f64,
+    imbalance: f64,
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = cli::parse_or_exit(&ArgSpec::new(
-        "poolbench",
-        "worker-count and scheduling-mode scaling for the sharded crawl pool",
-    ));
+    let spec = ArgSpec {
+        takes_workers: true,
+        takes_json: true,
+        takes_reactor: true,
+        default_workers: 8,
+        ..ArgSpec::new(
+            "poolbench",
+            "worker-count and scheduling-mode scaling for the sharded crawl pool",
+        )
+    };
+    let args = cli::parse_or_exit(&spec);
     let (scale, seed) = (args.scale, args.seed);
 
-    let server = StoreServer::start(generate(scale, Snapshot::Y2021, seed))?;
-    let addr = server.addr();
+    let server = StoreServer::start_with(
+        generate(scale, Snapshot::Y2021, seed),
+        ServerOptions {
+            reactor: args.reactor,
+            ..ServerOptions::default()
+        },
+    )?;
+    let endpoint = server.endpoint();
+    let reactor = server.mode().name();
+    let counts = worker_counts(args.workers);
 
-    println!("crawl pool scaling — scale {scale:?}, seed {seed}, host cores: {}", cores());
+    eprintln!(
+        "crawl pool scaling — scale {scale:?}, seed {seed}, reactor {reactor}, host cores: {}",
+        cores()
+    );
     let t0 = Instant::now();
-    let mut seq = Crawler::builder(addr).build()?;
+    let mut seq = Crawler::builder_at(endpoint.clone()).build()?;
     let baseline = seq.crawl_all()?;
     let t_seq = t0.elapsed();
-    println!(
+    eprintln!(
         "  sequential: {:>8.1} ms  ({} apps, {} requests)",
         t_seq.as_secs_f64() * 1e3,
         baseline.apps.len(),
         baseline.stats.requests
     );
 
+    let mut runs: Vec<PoolRun> = Vec::new();
     for mode in [SchedMode::Static, SchedMode::Lpt, SchedMode::Stealing] {
-        println!("  mode {}:", mode.name());
-        for workers in [2usize, 4, 8] {
+        eprintln!("  mode {}:", mode.name());
+        for &workers in &counts {
             let t = Instant::now();
             let pooled = CrawlPool::new(CrawlPoolConfig {
                 workers,
@@ -55,21 +92,79 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 sched_seed: seed,
                 ..CrawlPoolConfig::default()
             })
-            .crawl(addr)?;
+            .crawl_at(&endpoint)?;
             let dt = t.elapsed();
             assert_eq!(
                 pooled.outcome.apps, baseline.apps,
                 "pool must merge to the sequential corpus in every mode"
             );
-            println!(
+            let run = PoolRun {
+                mode: mode.name(),
+                workers,
+                wall_ms: dt.as_secs_f64() * 1e3,
+                speedup: t_seq.as_secs_f64() / dt.as_secs_f64(),
+                imbalance: byte_imbalance(
+                    &pooled.per_worker.iter().map(|w| w.bytes).collect::<Vec<_>>(),
+                ),
+            };
+            eprintln!(
                 "    {workers} workers:  {:>8.1} ms  (speedup {:.2}x, byte imbalance {:.2})",
-                dt.as_secs_f64() * 1e3,
-                t_seq.as_secs_f64() / dt.as_secs_f64(),
-                byte_imbalance(&pooled.per_worker.iter().map(|w| w.bytes).collect::<Vec<_>>())
+                run.wall_ms, run.speedup, run.imbalance
+            );
+            runs.push(run);
+        }
+    }
+
+    if args.json {
+        println!("{{");
+        println!("  \"bench\": \"crawl-pool\",");
+        println!("  \"scale\": \"{scale:?}\",");
+        println!("  \"seed\": {seed},");
+        println!("  \"reactor\": \"{reactor}\",");
+        println!("  \"sequential_ms\": {:.1},", t_seq.as_secs_f64() * 1e3);
+        println!("  \"runs\": [");
+        for (i, r) in runs.iter().enumerate() {
+            let comma = if i + 1 == runs.len() { "" } else { "," };
+            println!(
+                "    {{\"mode\": \"{}\", \"workers\": {}, \"reactor\": \"{reactor}\", \
+                 \"wall_ms\": {:.1}, \"speedup\": {:.2}, \"byte_imbalance\": {:.2}}}{comma}",
+                r.mode, r.workers, r.wall_ms, r.speedup, r.imbalance
+            );
+        }
+        println!("  ]");
+        println!("}}");
+    } else {
+        println!(
+            "crawl pool scaling — scale {scale:?}, seed {seed}, reactor {reactor}: \
+             sequential {:.1} ms, all {} pooled runs merged byte-identically",
+            t_seq.as_secs_f64() * 1e3,
+            runs.len()
+        );
+        println!("mode      workers   wall ms  speedup  imbalance");
+        for r in &runs {
+            println!(
+                "{:<9} {:>7}  {:>8.1}  {:>6.2}x  {:>8.2}",
+                r.mode, r.workers, r.wall_ms, r.speedup, r.imbalance
             );
         }
     }
     Ok(())
+}
+
+/// Worker counts to sweep: always 2/4/8, extended through the fan-in
+/// range (32, 128, 512) below `max`, ending at `max` when it is larger
+/// than the base sweep.
+fn worker_counts(max: usize) -> Vec<usize> {
+    let mut counts: Vec<usize> = [2usize, 4, 8].into_iter().filter(|&c| c <= max.max(8)).collect();
+    for c in [32usize, 128, 512] {
+        if c < max {
+            counts.push(c);
+        }
+    }
+    if max > 8 {
+        counts.push(max);
+    }
+    counts
 }
 
 /// Max worker bytes over mean worker bytes; 1.00 is a perfect balance.

@@ -3,6 +3,7 @@
 //! ```sh
 //! cargo run --release -p gaugenn-bench --bin querybench                 # small corpus
 //! cargo run --release -p gaugenn-bench --bin querybench -- --scale tiny --workers 64
+//! cargo run --release -p gaugenn-bench --bin querybench -- --reactor sim
 //! cargo run --release -p gaugenn-bench --bin querybench -- --json > results/BENCH_query.json
 //! ```
 //!
@@ -10,16 +11,24 @@
 //! attaches the index to a [`StoreServer`], then replays one seeded
 //! query stream (model filters, range scans, app filters, stats) through
 //! [`QueryClient`]s at increasing connection counts — 1 up to `--workers`
-//! (default 256) concurrent clients. Each run reports QPS and p50/p99
-//! latency, plus a crc32 digest over every response byte in stream
-//! order: the digest must be identical at every connection count — the
-//! ranking-determinism contract of DESIGN.md §13 — and the run aborts if
-//! it is not. A final chaos section replays the stream against a server
-//! injecting connection resets and 429/503 statuses, asserting the
-//! stream still completes byte-identically (typed retries, no panics).
+//! (default 1024) concurrent clients. The store's serving loop is pinned
+//! with `--reactor threaded|epoll|sim` (default: `GAUGENN_REACTOR`, then
+//! the platform default); the resolved loop is recorded in the output so
+//! the threaded baseline and the event-driven sweeps are comparable rows
+//! of `results/BENCH_net.json`.
+//!
+//! Each run reports QPS and p50/p99 latency — percentiles computed over
+//! the *merged* sample set of every client (see [`gaugenn_bench::stats`])
+//! so the tail is a corpus property, not a per-client average — plus a
+//! crc32 digest over every response byte in stream order: the digest
+//! must be identical at every connection count — the ranking-determinism
+//! contract of DESIGN.md §13 — and the run aborts if it is not. A final
+//! chaos section replays the stream against a server injecting
+//! connection resets and 429/503 statuses, asserting the stream still
+//! completes byte-identically (typed retries, no panics).
 //!
 //! `--json` prints a machine-readable record for
-//! `results/BENCH_query.json`.
+//! `results/BENCH_query.json` / `results/BENCH_net.json`.
 //!
 //! [`CorpusIndex`]: gaugenn_index::CorpusIndex
 //! [`QueryClient`]: gaugenn_playstore::QueryClient
@@ -27,6 +36,7 @@
 
 use gaugenn_apk::crc32::crc32;
 use gaugenn_bench::cli::{self, ArgSpec};
+use gaugenn_bench::stats;
 use gaugenn_core::pipeline::{Pipeline, PipelineConfig};
 use gaugenn_dnn::task::Task;
 use gaugenn_index::{AppQuery, ModelQuery};
@@ -34,11 +44,11 @@ use gaugenn_modelfmt::Framework;
 use gaugenn_playstore::categories::CATEGORIES;
 use gaugenn_playstore::chaos::{FaultKind, FaultPlan, FaultPlanConfig};
 use gaugenn_playstore::corpus::{generate, CorpusScale, Snapshot};
+use gaugenn_playstore::net::Endpoint;
 use gaugenn_playstore::route::Route;
 use gaugenn_playstore::server::{ServerOptions, StoreServer};
 use gaugenn_playstore::QueryClient;
-use std::net::SocketAddr;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One measured replay of the stream at a fixed connection count.
 struct RunResult {
@@ -54,7 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = ArgSpec {
         takes_workers: true,
         takes_json: true,
-        default_workers: 256,
+        takes_reactor: true,
+        default_workers: 1024,
         ..ArgSpec::new("querybench", "QPS and tail latency of the /query/* routes")
     };
     let args = cli::parse_or_exit(&spec);
@@ -82,11 +93,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServerOptions {
             chaos: None,
             index: Some(index.clone()),
+            reactor: args.reactor,
+            ..ServerOptions::default()
         },
     )?;
+    // The loop the server actually runs (epoll falls back to threaded on
+    // hosts without epoll) — this is the `reactor` column of the output.
+    let reactor = server.mode().name();
+    eprintln!("  reactor: {reactor}");
     let mut runs: Vec<RunResult> = Vec::new();
     for &clients in &counts {
-        let run = replay(server.addr(), &queries, clients, seed)?;
+        let run = replay(&server.endpoint(), &queries, clients, seed)?;
         eprintln!(
             "  {:>4} client(s): {:>8.1} ms, {:>8.0} qps, p50 {:>6.0} us, p99 {:>6.0} us, digest {:08x}",
             run.clients, run.wall_ms, run.qps, run.p50_us, run.p99_us, run.digest
@@ -118,10 +135,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServerOptions {
             chaos: Some(chaos),
             index: Some(index),
+            reactor: args.reactor,
+            ..ServerOptions::default()
         },
     )?;
     let chaos_clients = *counts.get(2).unwrap_or(counts.last().expect("counts non-empty"));
-    let chaos_run = replay(stormy_server.addr(), &queries, chaos_clients, seed)?;
+    let chaos_run = replay(&stormy_server.endpoint(), &queries, chaos_clients, seed)?;
     eprintln!(
         "  chaos ({} client(s), resets + 429/503): {:>8.1} ms, {:>8.0} qps, digest {:08x}",
         chaos_run.clients, chaos_run.wall_ms, chaos_run.qps, chaos_run.digest
@@ -136,26 +155,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  \"bench\": \"query-serving\",");
         println!("  \"scale\": \"{scale:?}\",");
         println!("  \"seed\": {seed},");
+        println!("  \"reactor\": \"{reactor}\",");
         println!("  \"queries\": {},", queries.len());
         println!("  \"digest\": \"{digest:08x}\",");
         println!("  \"runs\": [");
         for (i, r) in runs.iter().enumerate() {
             let comma = if i + 1 == runs.len() { "" } else { "," };
             println!(
-                "    {{\"clients\": {}, \"wall_ms\": {:.1}, \"qps\": {:.0}, \
-                 \"p50_us\": {:.0}, \"p99_us\": {:.0}}}{comma}",
+                "    {{\"clients\": {}, \"reactor\": \"{reactor}\", \"wall_ms\": {:.1}, \
+                 \"qps\": {:.0}, \"p50_us\": {:.0}, \"p99_us\": {:.0}}}{comma}",
                 r.clients, r.wall_ms, r.qps, r.p50_us, r.p99_us
             );
         }
         println!("  ],");
         println!(
-            "  \"chaos\": {{\"clients\": {}, \"wall_ms\": {:.1}, \"qps\": {:.0}, \
-             \"byte_identical\": true}}",
+            "  \"chaos\": {{\"clients\": {}, \"reactor\": \"{reactor}\", \"wall_ms\": {:.1}, \
+             \"qps\": {:.0}, \"byte_identical\": true}}",
             chaos_run.clients, chaos_run.wall_ms, chaos_run.qps
         );
         println!("}}");
     } else {
-        println!("query serving — scale {scale:?}, seed {seed}, {} queries", queries.len());
+        println!(
+            "query serving — scale {scale:?}, seed {seed}, reactor {reactor}, {} queries",
+            queries.len()
+        );
         println!("clients   wall ms       qps   p50 us   p99 us");
         for r in &runs {
             println!(
@@ -171,49 +194,92 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Cap on load-generator OS threads. Connections above this count are
+/// multiplexed over the pool (wrk-style): the point of the high-count
+/// rows is the *server's* connection ceiling, and a thread per
+/// connection would measure the generator thrashing the scheduler
+/// instead of the loop under test.
+const MAX_DRIVERS: usize = 64;
+
+/// One completed turn: (connection, stream index, response bytes, µs).
+type Turn = (usize, usize, Vec<u8>, f64);
+
 /// Replay `queries` through `clients` concurrent connections. Query `i`
-/// goes to client `i % clients`; responses are digested in stream
-/// order, so the digest is independent of completion order.
+/// goes to connection `i % clients`; responses are digested in stream
+/// order, so the digest is independent of completion order, and every
+/// connection's latency samples are merged before percentiles are
+/// taken. All `clients` connections are open for the whole run; a
+/// bounded driver pool walks its connections round-robin, one
+/// request/response turn each, so in-flight load is `min(clients,
+/// MAX_DRIVERS)` while connection state scales with `clients`.
 fn replay(
-    addr: SocketAddr,
+    endpoint: &Endpoint,
     queries: &[Route],
     clients: usize,
     seed: u64,
 ) -> Result<RunResult, Box<dyn std::error::Error>> {
     let n = queries.len();
+    let drivers = clients.min(MAX_DRIVERS);
     let mut responses: Vec<Option<Vec<u8>>> = vec![None; n];
-    let mut latencies_us: Vec<f64> = Vec::with_capacity(n);
+    let mut per_conn: Vec<Vec<f64>> = vec![Vec::new(); clients];
     let t0 = Instant::now();
     std::thread::scope(|scope| -> Result<(), String> {
         let mut handles = Vec::new();
-        for c in 0..clients {
-            handles.push(scope.spawn(move || -> Result<Vec<(usize, Vec<u8>, f64)>, String> {
-                let mut client = QueryClient::builder(addr)
-                    .connection_id(c as u64)
-                    .jitter_seed(seed ^ c as u64)
-                    .build()
-                    .map_err(|e| format!("client {c}: {e}"))?;
-                let mut out = Vec::new();
-                for (i, route) in queries.iter().enumerate() {
-                    if i % clients != c {
-                        continue;
+        for d in 0..drivers {
+            let endpoint = endpoint.clone();
+            handles.push(scope.spawn(
+                move || -> Result<Vec<Turn>, String> {
+                    // Open every connection this driver owns up front —
+                    // the server holds all of them simultaneously.
+                    // Generous timeouts: with hundreds of peers
+                    // time-sharing the box a turn can legitimately wait
+                    // whole seconds — that's queueing (reported as
+                    // latency), not failure.
+                    let mut conns = Vec::new();
+                    for c in (d..clients).step_by(drivers) {
+                        let client = QueryClient::builder_at(endpoint.clone())
+                            .connection_id(c as u64)
+                            .jitter_seed(seed ^ c as u64)
+                            .timeouts(Duration::from_secs(30), Duration::from_secs(30))
+                            .build()
+                            .map_err(|e| format!("client {c}: {e}"))?;
+                        conns.push((c, client));
                     }
-                    let t = Instant::now();
-                    let resp = client
-                        .raw(route)
-                        .map_err(|e| format!("query {i} ({}): {e}", route.wire_path()))?;
-                    let dt = t.elapsed().as_secs_f64() * 1e6;
-                    let mut bytes = resp.status.to_be_bytes().to_vec();
-                    bytes.extend_from_slice(&resp.body);
-                    out.push((i, bytes, dt));
-                }
-                Ok(out)
-            }));
+                    // Round-robin turns: connection c's t-th query is
+                    // stream index t * clients + c.
+                    let mut out = Vec::new();
+                    let mut turn = 0usize;
+                    loop {
+                        let mut progressed = false;
+                        for (c, client) in conns.iter_mut() {
+                            let i = turn * clients + *c;
+                            if i >= n {
+                                continue;
+                            }
+                            progressed = true;
+                            let route = &queries[i];
+                            let t = Instant::now();
+                            let resp = client
+                                .raw(route)
+                                .map_err(|e| format!("query {i} ({}): {e}", route.wire_path()))?;
+                            let dt = t.elapsed().as_secs_f64() * 1e6;
+                            let mut bytes = resp.status.to_be_bytes().to_vec();
+                            bytes.extend_from_slice(&resp.body);
+                            out.push((*c, i, bytes, dt));
+                        }
+                        if !progressed {
+                            break;
+                        }
+                        turn += 1;
+                    }
+                    Ok(out)
+                },
+            ));
         }
         for handle in handles {
-            for (i, bytes, dt) in handle.join().expect("client thread panicked")? {
+            for (c, i, bytes, dt) in handle.join().expect("driver thread panicked")? {
                 responses[i] = Some(bytes);
-                latencies_us.push(dt);
+                per_conn[c].push(dt);
             }
         }
         Ok(())
@@ -224,13 +290,13 @@ fn replay(
     for (i, r) in responses.into_iter().enumerate() {
         all.extend(r.unwrap_or_else(|| panic!("query {i} was never executed")));
     }
-    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let latencies_us = stats::merge_samples(per_conn);
     Ok(RunResult {
         clients,
         wall_ms: wall.as_secs_f64() * 1e3,
         qps: n as f64 / wall.as_secs_f64(),
-        p50_us: percentile(&latencies_us, 50.0),
-        p99_us: percentile(&latencies_us, 99.0),
+        p50_us: stats::percentile(&latencies_us, 50.0),
+        p99_us: stats::percentile(&latencies_us, 99.0),
         digest: crc32(&all),
     })
 }
@@ -297,22 +363,25 @@ fn stream(seed: u64, n: usize) -> Vec<Route> {
         .collect()
 }
 
-/// Stream length: enough that every client gets several queries even at
-/// the top connection count, scaled down for the tiny corpus.
+/// Stream length: enough that per-connection setup (connect, and a
+/// thread spawn per client) amortises away even at the top connection
+/// count — 16 queries per connection minimum — scaled down for the tiny
+/// corpus.
 fn query_count(scale: CorpusScale, max_clients: usize) -> usize {
     let base = match scale {
         CorpusScale::Tiny => 256,
         CorpusScale::Small => 1024,
         CorpusScale::Paper => 2048,
     };
-    base.max(max_clients * 4)
+    base.max(max_clients * 16)
 }
 
-/// Connection counts to sweep: powers of four up to `max`, always
-/// including 1, 8 (the determinism check pair) and `max` itself.
+/// Connection counts to sweep: 1, then powers of two through the C10k
+/// range (8 … 512) below `max`, always ending at `max` itself — so the
+/// default sweep is 1, 8, 32, 128, 256, 512, 1024.
 fn client_counts(max: usize) -> Vec<usize> {
     let mut counts = vec![1usize];
-    for c in [8usize, 32, 128] {
+    for c in [8usize, 32, 128, 256, 512] {
         if c < max {
             counts.push(c);
         }
@@ -321,15 +390,6 @@ fn client_counts(max: usize) -> Vec<usize> {
         counts.push(max);
     }
     counts
-}
-
-/// Nearest-rank percentile over an ascending-sorted slice.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
-    sorted[idx]
 }
 
 /// SplitMix64 — the repo's standard seedable generator.

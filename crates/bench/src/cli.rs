@@ -23,6 +23,7 @@
 //! whichever spelling invoked it.
 
 use gaugenn_playstore::corpus::CorpusScale;
+use gaugenn_playstore::reactor::ReactorMode;
 
 /// Per-binary parsing contract: name, defaults, and which optional
 /// flags the bin actually supports (unsupported flags are errors, not
@@ -46,6 +47,8 @@ pub struct ArgSpec {
     pub takes_resume: bool,
     /// Whether the bin accepts `--json`.
     pub takes_json: bool,
+    /// Whether the bin accepts `--reactor`.
+    pub takes_reactor: bool,
 }
 
 impl ArgSpec {
@@ -60,6 +63,7 @@ impl ArgSpec {
             takes_workers: false,
             takes_resume: false,
             takes_json: false,
+            takes_reactor: false,
         }
     }
 }
@@ -79,6 +83,9 @@ pub struct BenchArgs {
     pub resume: bool,
     /// Emit machine-readable JSON.
     pub json: bool,
+    /// Pin the store's serving loop; `None` defers to `GAUGENN_REACTOR`
+    /// and the platform default.
+    pub reactor: Option<ReactorMode>,
 }
 
 /// Outcome of [`parse`]: the arguments plus how they were spelled.
@@ -101,6 +108,7 @@ pub fn parse(spec: &ArgSpec, argv: &[String]) -> Result<Parsed, String> {
     let mut flag_seed: Option<u64> = None;
     let mut flag_workers: Option<usize> = None;
     let mut flag_analysis: Option<usize> = None;
+    let mut flag_reactor: Option<ReactorMode> = None;
     let mut resume = false;
     let mut json = false;
     let mut help = false;
@@ -134,6 +142,12 @@ pub fn parse(spec: &ArgSpec, argv: &[String]) -> Result<Parsed, String> {
             }
             "--resume" if spec.takes_resume => resume = true,
             "--json" if spec.takes_json => json = true,
+            "--reactor" if spec.takes_reactor => {
+                let v = value(&mut i)?;
+                flag_reactor = Some(ReactorMode::parse(&v).ok_or_else(|| {
+                    format!("unknown reactor '{v}' (expected threaded|epoll|sim)")
+                })?);
+            }
             _ if name.starts_with("--") => {
                 return Err(format!("unknown flag '{name}'"));
             }
@@ -149,6 +163,7 @@ pub fn parse(spec: &ArgSpec, argv: &[String]) -> Result<Parsed, String> {
         analysis_workers: 0,
         resume,
         json,
+        reactor: flag_reactor,
     };
     let mut pos_analysis: Option<usize> = None;
     if !positionals.is_empty() {
@@ -248,6 +263,11 @@ pub fn help(spec: &ArgSpec) -> String {
     if spec.takes_json {
         out.push_str("  --json                    machine-readable JSON on stdout\n");
     }
+    if spec.takes_reactor {
+        out.push_str(
+            "  --reactor threaded|epoll|sim  store serving loop (default: GAUGENN_REACTOR)\n",
+        );
+    }
     out.push_str("  --help                    this text\n");
     out.push_str("\nPositional forms (`scale [seed [workers [analysis_workers]]]`) are\ndeprecated but still accepted, with a warning on stderr.\n");
     out
@@ -290,6 +310,7 @@ mod tests {
             takes_workers: true,
             takes_resume: true,
             takes_json: true,
+            takes_reactor: true,
             ..ArgSpec::new("testbench", "test spec")
         }
     }
@@ -355,9 +376,30 @@ mod tests {
     }
 
     #[test]
+    fn reactor_flag_parses_every_mode_and_rejects_junk() {
+        assert_eq!(parse(&spec(), &argv(&[])).unwrap().args.reactor, None);
+        for (spelling, want) in [
+            ("threaded", ReactorMode::Threaded),
+            ("legacy", ReactorMode::Threaded),
+            ("epoll", ReactorMode::Epoll),
+            ("sim", ReactorMode::Sim),
+        ] {
+            let p = parse(&spec(), &argv(&["--reactor", spelling])).unwrap();
+            assert_eq!(p.args.reactor, Some(want), "{spelling}");
+        }
+        let err = parse(&spec(), &argv(&["--reactor", "uring"])).unwrap_err();
+        assert!(err.contains("unknown reactor"), "{err}");
+    }
+
+    #[test]
     fn unsupported_flags_are_rejected_per_spec() {
         let plain = ArgSpec::new("plainbench", "no optional flags");
-        for flags in [&["--workers", "3"][..], &["--resume"], &["--json"]] {
+        for flags in [
+            &["--workers", "3"][..],
+            &["--resume"],
+            &["--json"],
+            &["--reactor", "sim"],
+        ] {
             let err = parse(&plain, &argv(flags)).unwrap_err();
             assert!(err.contains("unknown flag"), "{flags:?}: {err}");
         }

@@ -17,6 +17,7 @@ use gaugenn_playstore::corpus::{CorpusScale, Snapshot};
 use std::sync::OnceLock;
 
 pub mod cli;
+pub mod stats;
 
 /// Shared Small-scale reports for the artefact benches (built once per
 /// bench binary).

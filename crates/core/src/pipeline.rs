@@ -19,7 +19,8 @@ use gaugenn_playstore::crawler::{
     CrawlOutcome, CrawlStage, CrawlStats, Crawler, CrawlerConfig, DropOut, RetryPolicy,
 };
 use gaugenn_playstore::pool::{CrawlPool, CrawlPoolConfig};
-use gaugenn_playstore::server::StoreServer;
+use gaugenn_playstore::reactor::ReactorMode;
+use gaugenn_playstore::server::{ServerOptions, StoreServer};
 use gaugenn_sched::SchedMode;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -87,6 +88,12 @@ pub struct PipelineConfig {
     /// the index is still built (and lands in the report) but stays
     /// in-memory.
     pub index_dir: Option<PathBuf>,
+    /// Which serving loop the store runs (`None` = the `GAUGENN_REACTOR`
+    /// environment variable, falling back to the platform default).
+    /// Never changes report content — the crawler reaches a sim store
+    /// through in-process pipes and a TCP store through sockets, and the
+    /// report is byte-identical either way.
+    pub reactor: Option<ReactorMode>,
 }
 
 impl PipelineConfig {
@@ -124,6 +131,7 @@ impl PipelineConfig {
             journal_dir: None,
             resume: false,
             index_dir: None,
+            reactor: None,
         }
     }
 
@@ -231,6 +239,13 @@ impl PipelineConfigBuilder {
     /// Directory for the persistent corpus index.
     pub fn index_dir(mut self, dir: PathBuf) -> PipelineConfigBuilder {
         self.config.index_dir = Some(dir);
+        self
+    }
+
+    /// Pin the store's serving loop (threaded, epoll or sim) instead of
+    /// resolving it from `GAUGENN_REACTOR`.
+    pub fn reactor(mut self, mode: ReactorMode) -> PipelineConfigBuilder {
+        self.config.reactor = Some(mode);
         self
     }
 
@@ -505,10 +520,14 @@ impl Pipeline {
     /// Run end to end: corpus → TCP store → crawl → extract → analyse.
     pub fn run(&self) -> Result<PipelineReport> {
         let corpus = generate(self.config.scale, self.config.snapshot, self.config.seed);
-        let server = match &self.config.chaos {
-            Some(cfg) => StoreServer::start_with_chaos(corpus, FaultPlan::new(cfg.clone()))?,
-            None => StoreServer::start(corpus)?,
-        };
+        let server = StoreServer::start_with(
+            corpus,
+            ServerOptions {
+                chaos: self.config.chaos.clone().map(FaultPlan::new),
+                reactor: self.config.reactor,
+                ..ServerOptions::default()
+            },
+        )?;
         // Journaled checkpoints (DESIGN.md §12): every completed crawl
         // unit becomes durable as it finishes, so a killed run resumed
         // over the same journal directory skips the journaled work and
@@ -552,10 +571,10 @@ impl Pipeline {
                     size_hints: self.config.crawl_size_hints.clone(),
                     resume: resume_cache,
                 })
-                .crawl(server.addr())?;
+                .crawl_at(&server.endpoint())?;
                 (pooled.outcome, Some(pooled.admission), pooled.workers)
             } else {
-                let mut builder = Crawler::builder(server.addr())
+                let mut builder = Crawler::builder_at(server.endpoint())
                     .config(self.config.crawler.clone())
                     .retry(self.config.retry.clone());
                 if let Some(resume) = resume_cache {
@@ -587,7 +606,7 @@ impl Pipeline {
             old_cfg.user_agent = "gaugeNN/1.0 (Android 8; SM-G935F)".into();
             // A distinct connection id keeps the probe's chaos fault
             // schedule independent of the crawl fleet's.
-            let mut old_crawler = Crawler::builder(server.addr())
+            let mut old_crawler = Crawler::builder_at(server.endpoint())
                 .config(old_cfg)
                 .retry(self.config.retry.clone())
                 .connection_id(u64::MAX)

@@ -41,6 +41,7 @@ pub const RULES: &[&str] = &[
     "relaxed-ordering-in-report",
     "todo-unimplemented",
     "literal-duration-in-retry",
+    "blocking-call-in-reactor",
     "bad-suppression",
 ];
 

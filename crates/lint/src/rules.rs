@@ -74,6 +74,12 @@ impl<'a> Ctx<'a> {
         self.path.contains("crates/analysis/")
     }
 
+    /// The reactor module: readiness loops and connection state machines
+    /// where a blocking call stalls every connection at once.
+    fn in_reactor(&self) -> bool {
+        self.path.contains("crates/playstore/src/reactor")
+    }
+
     /// Crates whose atomics feed the rendered report (cache and analysis
     /// counters end up in `PipelineReport::render_text`).
     fn in_report_crate(&self) -> bool {
@@ -94,6 +100,7 @@ pub(crate) fn run_all(ctx: &Ctx<'_>) -> Vec<(&'static str, u32)> {
     rule_relaxed_ordering_in_report(ctx, &mut out);
     rule_todo_unimplemented(ctx, &mut out);
     rule_literal_duration_in_retry(ctx, &mut out);
+    rule_blocking_call_in_reactor(ctx, &mut out);
     out
 }
 
@@ -367,6 +374,56 @@ fn rule_deprecated_api(ctx: &Ctx<'_>, out: &mut Vec<(&'static str, u32)>) {
             && lex.ident(i.wrapping_sub(1)) != Some("fn")
         {
             out.push(("deprecated-api", lex.line(i)));
+        }
+    }
+}
+
+/// Blocking `Read`/`Write` combinators: each parks the calling thread
+/// until the peer produces/consumes bytes, which inside a readiness loop
+/// stalls every connection behind one slow peer.
+const REACTOR_BLOCKING_METHODS: &[&str] = &["read_exact", "read_to_end", "read_to_string"];
+
+/// The blocking proto helpers (they loop on a blocking stream until a
+/// full frame arrives); the reactor must use the incremental
+/// `parse_request` instead.
+const REACTOR_BLOCKING_FNS: &[&str] = &["read_request", "read_response", "write_response"];
+
+/// Rule `blocking-call-in-reactor`: blocking calls inside the reactor
+/// module — `thread::sleep`, blocking connects, whole-frame proto
+/// helpers, and `read_exact`-style combinators. One blocked thread there
+/// freezes every connection the loop owns; delays belong on the timer
+/// wheel and I/O on the non-blocking `try_read`/`try_write` pair. The
+/// single sanctioned blocking point — `Reactor::poll` with a timeout —
+/// does not match any of these shapes.
+fn rule_blocking_call_in_reactor(ctx: &Ctx<'_>, out: &mut Vec<(&'static str, u32)>) {
+    if !ctx.in_reactor() {
+        return;
+    }
+    let lex = ctx.lex;
+    for i in 0..lex.toks.len() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        if lex.matches(i, &[I("thread"), P(':'), P(':'), I("sleep")]) {
+            out.push(("blocking-call-in-reactor", lex.line(i)));
+        }
+        if lex.matches(i, &[I("TcpStream"), P(':'), P(':')])
+            && lex.ident(i + 3).is_some_and(|m| m.starts_with("connect"))
+        {
+            out.push(("blocking-call-in-reactor", lex.line(i)));
+        }
+        if lex.punct(i) == Some('.')
+            && lex.ident(i + 1).is_some_and(|m| REACTOR_BLOCKING_METHODS.contains(&m))
+            && lex.punct(i + 2) == Some('(')
+        {
+            out.push(("blocking-call-in-reactor", lex.line(i + 1)));
+        }
+        // Calls only — `fn read_request(` would be a definition.
+        if lex.ident(i).is_some_and(|m| REACTOR_BLOCKING_FNS.contains(&m))
+            && lex.punct(i + 1) == Some('(')
+            && lex.ident(i.wrapping_sub(1)) != Some("fn")
+        {
+            out.push(("blocking-call-in-reactor", lex.line(i)));
         }
     }
 }

@@ -452,6 +452,89 @@ fn retry_handshake() {
     assert_eq!(report.suppressed, 1);
 }
 
+// --------------------------------------------------------------- rule 11
+
+#[test]
+fn blocking_calls_in_the_reactor_are_flagged() {
+    let src = r#"
+fn pump(io: &mut TcpStream) {
+    std::thread::sleep(Duration::from_millis(5));
+    let mut head = [0u8; 4];
+    let _ = io.read_exact(&mut head);
+    let req = read_request(io);
+    let _probe = TcpStream::connect_timeout(&addr, Duration::from_millis(10));
+}
+"#;
+    let got = rules_at("crates/playstore/src/reactor.rs", src);
+    assert_eq!(
+        got.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        vec![
+            "blocking-call-in-reactor",
+            "blocking-call-in-reactor",
+            "blocking-call-in-reactor",
+            "blocking-call-in-reactor",
+        ],
+        "{got:?}"
+    );
+    assert_eq!(
+        got.iter().map(|(_, l)| *l).collect::<Vec<_>>(),
+        vec![3, 5, 6, 7]
+    );
+}
+
+#[test]
+fn blocking_calls_outside_the_reactor_module_are_not_this_rules_business() {
+    // The same shapes in the blocking server path are legal — that loop
+    // owns one connection per thread, so blocking only stalls itself.
+    let src = r#"
+fn handle(io: &mut TcpStream) -> Result<()> {
+    let req = read_request(io)?;
+    write_response(io, &resp)?;
+    Ok(())
+}
+"#;
+    assert!(rules("crates/playstore/src/server.rs", src).is_empty());
+}
+
+#[test]
+fn reactor_nonblocking_shapes_and_definitions_are_clean() {
+    let src = r#"
+fn read_request(buf: &[u8]) -> Option<Request> { None }
+fn pump(io: &mut impl NonBlockingIo) -> usize {
+    let mut chunk = [0u8; 1024];
+    match io.try_read(&mut chunk) {
+        Ok(n) => n,
+        Err(_) => 0,
+    }
+}
+"#;
+    assert!(rules("crates/playstore/src/reactor.rs", src).is_empty());
+}
+
+#[test]
+fn blocking_call_in_reactor_tests_exempt_and_suppressible() {
+    let test_src = r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scripted_stall() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+"#;
+    assert!(rules("crates/playstore/src/reactor.rs", test_src).is_empty());
+
+    let suppressed = r#"
+fn drain(io: &mut TcpStream) {
+    // gaugelint: allow(blocking-call-in-reactor) — shutdown path, loop already stopped
+    let _ = io.read_to_end(&mut Vec::new());
+}
+"#;
+    let report = lint_source("crates/playstore/src/reactor.rs", suppressed);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed, 1);
+}
+
 // ------------------------------------------------------- suppression hygiene
 
 #[test]

@@ -36,6 +36,7 @@
 
 use crate::admission::{Admission, AdmissionController};
 use crate::chaos::{hash_str, splitmix64};
+use crate::net::{Endpoint, Transport};
 use crate::proto::{
     read_response_resumable, write_request, ReadOutcome, Response, CONNECTION_ID_HEADER,
     CRC_HEADER, FULL_CRC_HEADER, RANGE_START_HEADER,
@@ -45,7 +46,7 @@ use crate::{Result, StoreError};
 use gaugenn_apk::crc32::crc32;
 use std::collections::BTreeMap;
 use std::io::BufReader;
-use std::net::{SocketAddr, TcpStream};
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -260,10 +261,12 @@ pub struct CrawledApp {
     pub bundle: Option<Vec<u8>>,
 }
 
-/// One live keep-alive connection.
+/// One live keep-alive connection — a pair of cloned [`Transport`]
+/// handles over TCP or a sim pipe, depending on the dialled
+/// [`Endpoint`].
 struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    reader: BufReader<Box<dyn Transport>>,
+    writer: Box<dyn Transport>,
 }
 
 /// Configures and dials a [`Crawler`]. Obtained from
@@ -282,7 +285,7 @@ struct Conn {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CrawlerBuilder {
-    addr: SocketAddr,
+    endpoint: Endpoint,
     config: CrawlerConfig,
     retry: RetryPolicy,
     connect_timeout: Duration,
@@ -293,9 +296,9 @@ pub struct CrawlerBuilder {
 }
 
 impl CrawlerBuilder {
-    fn new(addr: SocketAddr) -> CrawlerBuilder {
+    fn new(endpoint: Endpoint) -> CrawlerBuilder {
         CrawlerBuilder {
-            addr,
+            endpoint,
             config: CrawlerConfig::default(),
             retry: RetryPolicy::default(),
             connect_timeout: Duration::from_secs(2),
@@ -362,7 +365,7 @@ impl CrawlerBuilder {
         let mut c = Crawler {
             config: self.config,
             retry: self.retry,
-            addr: self.addr,
+            endpoint: self.endpoint,
             connect_timeout: self.connect_timeout,
             read_timeout: self.read_timeout,
             connection_id: self.connection_id,
@@ -381,7 +384,7 @@ impl CrawlerBuilder {
 pub struct Crawler {
     config: CrawlerConfig,
     retry: RetryPolicy,
-    addr: SocketAddr,
+    endpoint: Endpoint,
     connect_timeout: Duration,
     read_timeout: Duration,
     connection_id: u64,
@@ -392,9 +395,16 @@ pub struct Crawler {
 }
 
 impl Crawler {
-    /// Start configuring a crawler for the store at `addr`.
+    /// Start configuring a crawler for the TCP store at `addr`.
     pub fn builder(addr: SocketAddr) -> CrawlerBuilder {
-        CrawlerBuilder::new(addr)
+        CrawlerBuilder::new(Endpoint::Tcp(addr))
+    }
+
+    /// Start configuring a crawler for any [`Endpoint`] — the way to
+    /// point a crawler at a sim-reactor store
+    /// ([`crate::StoreServer::endpoint`]).
+    pub fn builder_at(endpoint: Endpoint) -> CrawlerBuilder {
+        CrawlerBuilder::new(endpoint)
     }
 
     /// Resilience counters so far.
@@ -408,11 +418,10 @@ impl Crawler {
     }
 
     fn dial(&mut self) -> Result<()> {
-        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(self.read_timeout))?;
-        stream.set_write_timeout(Some(self.read_timeout))?;
-        let reader = BufReader::new(stream.try_clone()?);
+        let stream = self
+            .endpoint
+            .dial(self.connect_timeout, self.read_timeout)?;
+        let reader = BufReader::new(stream.try_clone_box()?);
         if self.conn.is_some() {
             self.stats.reconnects += 1;
         }

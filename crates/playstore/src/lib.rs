@@ -32,9 +32,11 @@ pub mod categories;
 pub mod chaos;
 pub mod corpus;
 pub mod crawler;
+pub mod net;
 pub mod pool;
 pub mod proto;
 pub mod query;
+pub mod reactor;
 pub mod route;
 pub mod server;
 
@@ -44,8 +46,10 @@ pub use corpus::{CorpusScale, Snapshot, StoreCorpus};
 pub use crawler::{
     CrawlOutcome, CrawlStage, CrawlStats, CrawledApp, Crawler, CrawlerBuilder, DropOut, RetryPolicy,
 };
+pub use net::{Endpoint, SimNet, SimStream, Transport};
 pub use pool::{CrawlPool, CrawlPoolConfig, PoolOutcome, WorkerReport};
 pub use query::{QueryClient, QueryClientBuilder};
+pub use reactor::{ReactorMode, Served, REACTOR_ENV};
 pub use route::Route;
 pub use server::{ServerOptions, StoreServer};
 

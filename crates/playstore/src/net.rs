@@ -1,0 +1,521 @@
+//! Transport abstraction: real TCP or a deterministic in-process network.
+//!
+//! The crawler, query client and pool dial an [`Endpoint`] rather than a
+//! `SocketAddr`. [`Endpoint::Tcp`] behaves exactly as before (blocking
+//! client sockets with timeouts); [`Endpoint::Sim`] connects through a
+//! [`SimNet`] — an in-process byte-pipe network the event-driven server's
+//! `SimReactor` polls deterministically (see [`crate::reactor`]), which is
+//! what makes readiness-replay tests possible without real sockets.
+//!
+//! A sim connection is two byte pipes. The *client* side ([`SimStream`])
+//! blocks like a `TcpStream` (reads honour a timeout, writes always
+//! succeed) so existing client code is oblivious to the substrate; the
+//! *server* side ([`SimConnHandle`]) is non-blocking (`try_read` /
+//! `try_write` returning `WouldBlock`) so the reactor's connection state
+//! machines drive it exactly like a non-blocking socket. Dropping the last
+//! client handle half-closes the client→server direction, which the server
+//! observes as EOF — the sim analogue of TCP FIN.
+
+use mio::{Interest, Parker, SimSource};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A bidirectional byte stream the crawler can run on: `TcpStream` or a
+/// [`SimStream`]. The methods mirror `std::io::{Read, Write}` (and
+/// `Box<dyn Transport>` implements those traits, so a boxed transport
+/// drops into `BufReader` and the existing proto helpers); cloning via
+/// [`Transport::try_clone_box`] mirrors `TcpStream::try_clone` — both
+/// handles share the underlying stream, so one can feed a `BufReader`
+/// while the other writes.
+pub trait Transport: Send {
+    /// Read bytes (blocking, subject to the stream's read timeout).
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+    /// Write bytes.
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize>;
+    /// Flush buffered writes.
+    fn flush(&mut self) -> io::Result<()>;
+    /// Clone the handle (shared underlying stream), boxed for object use.
+    fn try_clone_box(&self) -> io::Result<Box<dyn Transport>>;
+}
+
+impl Transport for TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        Read::read(self, buf)
+    }
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        Write::write(self, buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Write::flush(self)
+    }
+    fn try_clone_box(&self) -> io::Result<Box<dyn Transport>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+impl Transport for SimStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        Read::read(self, buf)
+    }
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        Write::write(self, buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+    fn try_clone_box(&self) -> io::Result<Box<dyn Transport>> {
+        Ok(Box::new(self.clone()))
+    }
+}
+
+// The std-trait bridge: lets `Box<dyn Transport>` feed a `BufReader` and
+// the blocking proto readers/writers unchanged. (Supertrait-based
+// `dyn Transport` would not implement `Read`/`Write` as a type, so the
+// trait carries its own methods and these impls forward.)
+impl Read for Box<dyn Transport> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        Transport::read(&mut **self, buf)
+    }
+}
+
+impl Write for Box<dyn Transport> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        Transport::write(&mut **self, buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Transport::flush(&mut **self)
+    }
+}
+
+/// Where a store lives: a real TCP address or an in-process [`SimNet`].
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A TCP listener (the default substrate).
+    Tcp(SocketAddr),
+    /// An in-process simulated network served by a `SimReactor` loop.
+    Sim(SimNet),
+}
+
+impl Endpoint {
+    /// Dial the endpoint, producing a connected transport. For TCP this
+    /// applies the connect timeout, `TCP_NODELAY` and read/write
+    /// timeouts; for sim it registers a fresh connection with the
+    /// server's accept queue and wakes its event loop.
+    pub fn dial(
+        &self,
+        connect_timeout: Duration,
+        read_timeout: Duration,
+    ) -> io::Result<Box<dyn Transport>> {
+        match self {
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect_timeout(addr, connect_timeout)?;
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(Some(read_timeout))?;
+                stream.set_write_timeout(Some(read_timeout))?;
+                Ok(Box::new(stream))
+            }
+            Endpoint::Sim(net) => Ok(Box::new(net.connect(read_timeout))),
+        }
+    }
+}
+
+/// One direction of a sim connection: an unbounded byte queue with a
+/// closed flag, a condvar for blocking reads, and nothing else.
+#[derive(Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Pipe {
+    fn push(&self, bytes: &[u8]) -> io::Result<usize> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "sim pipe closed by peer",
+            ));
+        }
+        st.buf.extend(bytes.iter().copied());
+        self.cv.notify_all();
+        Ok(bytes.len())
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Non-blocking read: data if buffered, `Ok(0)` on EOF after a close,
+    /// `WouldBlock` otherwise.
+    fn try_pop(&self, out: &mut [u8]) -> io::Result<usize> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.buf.is_empty() {
+            return if st.closed {
+                Ok(0)
+            } else {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "sim pipe empty"))
+            };
+        }
+        let n = drain_into(&mut st.buf, out);
+        Ok(n)
+    }
+
+    /// Blocking read with a timeout, mirroring a `TcpStream` with
+    /// `set_read_timeout`: data, `Ok(0)` on EOF, `TimedOut` otherwise.
+    fn pop_blocking(&self, out: &mut [u8], timeout: Duration) -> io::Result<usize> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !st.buf.is_empty() {
+                return Ok(drain_into(&mut st.buf, out));
+            }
+            if st.closed {
+                return Ok(0);
+            }
+            let (guard, res) = self
+                .cv
+                .wait_timeout(st, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if res.timed_out() && st.buf.is_empty() && !st.closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "sim read timed out",
+                ));
+            }
+        }
+    }
+
+    fn readable(&self) -> bool {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        !st.buf.is_empty() || st.closed
+    }
+}
+
+fn drain_into(buf: &mut VecDeque<u8>, out: &mut [u8]) -> usize {
+    let n = buf.len().min(out.len());
+    for slot in out.iter_mut().take(n) {
+        *slot = buf.pop_front().unwrap_or_default();
+    }
+    n
+}
+
+/// Half-closes the client→server pipe when the last client handle goes
+/// away — the sim analogue of the FIN a dropped `TcpStream` sends.
+struct HalfCloseGuard {
+    c2s: Arc<Pipe>,
+    parker: Arc<Parker>,
+}
+
+impl Drop for HalfCloseGuard {
+    fn drop(&mut self) {
+        self.c2s.close();
+        self.parker.notify();
+    }
+}
+
+/// Client side of a sim connection: blocking reads with a timeout,
+/// non-failing buffered writes — shaped like a `TcpStream` so the crawler
+/// cannot tell the difference.
+#[derive(Clone)]
+pub struct SimStream {
+    c2s: Arc<Pipe>,
+    s2c: Arc<Pipe>,
+    parker: Arc<Parker>,
+    read_timeout: Duration,
+    _guard: Arc<HalfCloseGuard>,
+}
+
+impl std::fmt::Debug for SimStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimStream")
+            .field("read_timeout", &self.read_timeout)
+            .finish()
+    }
+}
+
+impl SimStream {
+    /// Half-close the client→server direction now (instead of waiting for
+    /// the last clone to drop): the server drains what was written, then
+    /// sees EOF. Readiness-replay tests use this to pre-script complete
+    /// request streams before the server loop starts.
+    pub fn shutdown_write(&self) {
+        self.c2s.close();
+        self.parker.notify();
+    }
+}
+
+impl Read for SimStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.s2c.pop_blocking(buf, self.read_timeout)
+    }
+}
+
+impl Write for SimStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.c2s.push(buf)?;
+        self.parker.notify();
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Server side of a sim connection, driven non-blocking by the reactor's
+/// connection state machine. Doubles as the connection's [`SimSource`]:
+/// readable while client bytes (or the client's EOF) are pending.
+#[derive(Clone)]
+pub struct SimConnHandle {
+    c2s: Arc<Pipe>,
+    s2c: Arc<Pipe>,
+}
+
+impl std::fmt::Debug for SimConnHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimConnHandle").finish()
+    }
+}
+
+impl SimConnHandle {
+    /// Non-blocking read of client bytes (`Ok(0)` = client half-closed).
+    pub fn try_read(&self, buf: &mut [u8]) -> io::Result<usize> {
+        self.c2s.try_pop(buf)
+    }
+
+    /// Non-blocking write toward the client. The pipe is unbounded, so
+    /// this fails only after a close ([`io::ErrorKind::BrokenPipe`]).
+    pub fn try_write(&self, buf: &[u8]) -> io::Result<usize> {
+        self.s2c.push(buf)
+    }
+
+    /// Close both directions (the server's hang-up): the client drains
+    /// buffered response bytes, then reads EOF; further client writes
+    /// fail like writes into a reset TCP stream.
+    pub fn close(&self) {
+        self.c2s.close();
+        self.s2c.close();
+    }
+}
+
+impl SimSource for SimConnHandle {
+    fn readiness(&self) -> Interest {
+        // Writes never block (unbounded pipe), so a conn with write
+        // interest is always ready; read readiness tracks pending client
+        // bytes or the client's half-close.
+        let mut r = Interest::WRITABLE;
+        if self.c2s.readable() {
+            r = r.with(Interest::READABLE);
+        }
+        r
+    }
+}
+
+struct SimNetInner {
+    accept: Mutex<VecDeque<SimConnHandle>>,
+    parker: Arc<Parker>,
+}
+
+/// An in-process network with one listener: clients [`SimNet::connect`],
+/// the server loop [`SimNet::try_accept`]s. Cloning shares the network
+/// (it is the sim analogue of a `SocketAddr`).
+#[derive(Clone)]
+pub struct SimNet {
+    inner: Arc<SimNetInner>,
+}
+
+impl std::fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNet").finish()
+    }
+}
+
+impl SimNet {
+    /// New network whose server loop sleeps on `parker`; connects and
+    /// client writes notify it.
+    pub fn new(parker: Arc<Parker>) -> SimNet {
+        SimNet {
+            inner: Arc::new(SimNetInner {
+                accept: Mutex::new(VecDeque::new()),
+                parker,
+            }),
+        }
+    }
+
+    /// The parker the server loop sleeps on.
+    pub fn parker(&self) -> Arc<Parker> {
+        Arc::clone(&self.inner.parker)
+    }
+
+    /// Open a connection: queues the server half for accept and wakes the
+    /// loop. Connect order is the deterministic accept order.
+    pub fn connect(&self, read_timeout: Duration) -> SimStream {
+        let c2s = Arc::new(Pipe::default());
+        let s2c = Arc::new(Pipe::default());
+        let handle = SimConnHandle {
+            c2s: Arc::clone(&c2s),
+            s2c: Arc::clone(&s2c),
+        };
+        let mut q = self
+            .inner
+            .accept
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        q.push_back(handle);
+        drop(q);
+        self.inner.parker.notify();
+        SimStream {
+            _guard: Arc::new(HalfCloseGuard {
+                c2s: Arc::clone(&c2s),
+                parker: self.parker(),
+            }),
+            c2s,
+            s2c,
+            parker: self.parker(),
+            read_timeout,
+        }
+    }
+
+    /// Pop the next pending connection, if any (the reactor's `accept`).
+    pub fn try_accept(&self) -> Option<SimConnHandle> {
+        self.inner
+            .accept
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+
+    /// A [`SimSource`] reporting the listener readable while connections
+    /// wait in the accept queue.
+    pub fn listener_source(&self) -> Arc<dyn SimSource> {
+        Arc::new(SimListenerSource(self.clone()))
+    }
+}
+
+struct SimListenerSource(SimNet);
+
+impl SimSource for SimListenerSource {
+    fn readiness(&self) -> Interest {
+        let pending = !self
+            .0
+            .inner
+            .accept
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty();
+        if pending {
+            Interest::READABLE
+        } else {
+            Interest::NONE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_pipes_carry_bytes_both_ways() {
+        let net = SimNet::new(Parker::new());
+        let mut client = net.connect(Duration::from_millis(200));
+        let server = net.try_accept().unwrap();
+        assert!(net.try_accept().is_none());
+
+        client.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 16];
+        assert_eq!(server.try_read(&mut buf).unwrap(), 5);
+        assert_eq!(&buf[..5], b"hello");
+        assert!(matches!(
+            server.try_read(&mut buf),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock
+        ));
+
+        server.try_write(b"world!").unwrap();
+        let n = io::Read::read(&mut client, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"world!");
+    }
+
+    #[test]
+    fn client_read_times_out_then_sees_server_close() {
+        let net = SimNet::new(Parker::new());
+        let mut client = net.connect(Duration::from_millis(20));
+        let server = net.try_accept().unwrap();
+        let mut buf = [0u8; 4];
+        let err = io::Read::read(&mut client, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        server.try_write(b"tail").unwrap();
+        server.close();
+        assert_eq!(
+            io::Read::read(&mut client, &mut buf).unwrap(),
+            4,
+            "buffered bytes drain"
+        );
+        assert_eq!(io::Read::read(&mut client, &mut buf).unwrap(), 0, "then EOF");
+        assert!(client.write_all(b"x").is_err(), "writes fail after close");
+    }
+
+    #[test]
+    fn dropping_the_last_client_handle_half_closes() {
+        let net = SimNet::new(Parker::new());
+        let client = net.connect(Duration::from_millis(20));
+        let clone = client.clone();
+        let server = net.try_accept().unwrap();
+        let mut buf = [0u8; 4];
+        drop(client);
+        assert!(
+            matches!(server.try_read(&mut buf), Err(e) if e.kind() == io::ErrorKind::WouldBlock),
+            "one clone still alive"
+        );
+        drop(clone);
+        assert_eq!(server.try_read(&mut buf).unwrap(), 0, "EOF after last drop");
+    }
+
+    #[test]
+    fn readiness_tracks_pending_bytes_and_eof() {
+        let net = SimNet::new(Parker::new());
+        let listener = net.listener_source();
+        assert!(!listener.readiness().is_readable());
+        let mut client = net.connect(Duration::from_millis(20));
+        assert!(listener.readiness().is_readable());
+        let server = net.try_accept().unwrap();
+        assert!(!listener.readiness().is_readable());
+        assert!(!server.readiness().is_readable());
+        client.write_all(b"r").unwrap();
+        assert!(server.readiness().is_readable());
+        let mut b = [0u8; 4];
+        server.try_read(&mut b).unwrap();
+        assert!(!server.readiness().is_readable());
+        client.shutdown_write();
+        assert!(server.readiness().is_readable(), "EOF counts as readable");
+    }
+
+    #[test]
+    fn tcp_endpoint_dials_real_sockets() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let ep = Endpoint::Tcp(listener.local_addr().unwrap());
+        let mut t = ep
+            .dial(Duration::from_secs(1), Duration::from_secs(1))
+            .unwrap();
+        let (mut srv, _) = listener.accept().unwrap();
+        t.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        srv.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        let mut reader = t.try_clone_box().unwrap();
+        srv.write_all(b"pong").unwrap();
+        reader.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+}

@@ -52,6 +52,7 @@
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats};
 use crate::crawler::{CrawlOutcome, CrawlStats, CrawledApp, Crawler, CrawlerConfig, DropOut, RetryPolicy};
+use crate::net::Endpoint;
 use crate::Result;
 use gaugenn_sched::{assign, SchedMode, WorkUnit};
 use std::collections::BTreeMap;
@@ -199,10 +200,17 @@ impl CrawlPool {
     /// catalog size estimate); worker k then crawls the categories the
     /// scheduler assigned to shard k on connection `k + 1`.
     pub fn crawl(&self, addr: SocketAddr) -> Result<PoolOutcome> {
+        self.crawl_at(&Endpoint::Tcp(addr))
+    }
+
+    /// Sweep the store reachable at `endpoint` — the [`Endpoint`]-generic
+    /// form of [`CrawlPool::crawl`], required for sim-reactor stores,
+    /// which have no TCP address.
+    pub fn crawl_at(&self, endpoint: &Endpoint) -> Result<PoolOutcome> {
         let workers = self.config.workers.max(1);
         let admission = Arc::new(AdmissionController::new(self.config.admission.clone()));
 
-        let mut bootstrap = Crawler::builder(addr)
+        let mut bootstrap = Crawler::builder_at(endpoint.clone())
             .config(self.config.crawler.clone())
             .retry(self.config.retry.clone())
             .connection_id(0)
@@ -229,8 +237,9 @@ impl CrawlPool {
                         let crawler_cfg = self.config.crawler.clone();
                         let retry = self.config.retry.clone();
                         let resume = self.config.resume.clone();
+                        let endpoint = endpoint.clone();
                         scope.spawn(move || {
-                            let mut builder = Crawler::builder(addr)
+                            let mut builder = Crawler::builder_at(endpoint)
                                 .config(crawler_cfg)
                                 .retry(retry)
                                 .connection_id(w as u64 + 1)

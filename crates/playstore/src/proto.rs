@@ -31,6 +31,11 @@ pub const FULL_CRC_HEADER: &str = "x-full-crc32";
 /// it; ids are client-assigned because server accept order is not
 /// deterministic.
 pub const CONNECTION_ID_HEADER: &str = "x-connection-id";
+/// Cap on the request head (request line + headers + blank line). The
+/// event-driven server buffers the head incrementally; a client that
+/// streams junk without ever sending the blank line would otherwise grow
+/// the buffer without bound.
+pub const MAX_REQUEST_HEAD: usize = 16 * 1024;
 
 /// Percent-encode a path component (spaces, `&`, `?`, `%`, `/` and
 /// non-ASCII become `%XX`); category names like `"health & fitness"` would
@@ -188,6 +193,58 @@ pub fn read_request(r: &mut BufReader<impl Read>) -> Result<Option<Request>> {
         .to_string();
     let headers = read_headers(r)?;
     Ok(Some(Request { path, headers }))
+}
+
+/// Incremental request parse over a byte buffer, for non-blocking
+/// connection state machines that accumulate reads as they arrive.
+///
+/// Returns `Ok(None)` while the head (terminated by `\r\n\r\n`) is still
+/// incomplete, `Ok(Some((request, consumed)))` once a full frame is
+/// buffered — `consumed` is the byte count the caller must drain before
+/// the next parse — and `Err` on a malformed head. Because requests carry
+/// no body, `consumed` is exactly the head length. The parse is
+/// insensitive to how the bytes were split across reads: any prefix short
+/// of the terminator yields `None`, and the final result depends only on
+/// the concatenated stream (the torn-write property the reactor tests
+/// pin).
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>> {
+    let head_end = match buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        Some(pos) => pos,
+        None => {
+            if buf.len() > MAX_REQUEST_HEAD {
+                return Err(StoreError::Protocol(format!(
+                    "request head exceeds {MAX_REQUEST_HEAD} bytes"
+                )));
+            }
+            return Ok(None);
+        }
+    };
+    let consumed = head_end + 4;
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| StoreError::Protocol("non-UTF-8 request head".into()))?;
+    let mut lines = head.split("\r\n");
+    let line = lines
+        .next()
+        .ok_or_else(|| StoreError::Protocol("empty request head".into()))?;
+    let mut parts = line.split(' ');
+    let (method, path, proto) = (parts.next(), parts.next(), parts.next());
+    if method != Some("GET") || proto != Some(PROTO) {
+        return Err(StoreError::Protocol(format!("bad request line: {line}")));
+    }
+    let path = path
+        .ok_or_else(|| StoreError::Protocol("missing path".into()))?
+        .to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| StoreError::Protocol(format!("bad header: {line}")))?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+    Ok(Some((Request { path, headers }, consumed)))
 }
 
 /// Write a response.
@@ -434,6 +491,77 @@ mod tests {
             ReadOutcome::Complete(resp) => assert_eq!(resp.body, body),
             other => panic!("expected complete, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn incremental_parse_matches_blocking_reader() {
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            "/category/health%20%26%20fitness?start=0&count=100",
+            &[("User-Agent", "gaugeNN/1.0"), ("X-Connection-Id", "7")],
+        )
+        .unwrap();
+        let blocking = read_request(&mut BufReader::new(Cursor::new(buf.clone())))
+            .unwrap()
+            .unwrap();
+        let (incremental, consumed) = parse_request(&buf).unwrap().unwrap();
+        assert_eq!(incremental, blocking);
+        assert_eq!(consumed, buf.len());
+    }
+
+    #[test]
+    fn incremental_parse_is_split_invariant() {
+        // The torn-write property: a head delivered in two reads split at
+        // ANY byte boundary parses to `None` on the prefix and to the
+        // identical request once the suffix lands.
+        let mut buf = Vec::new();
+        write_request(
+            &mut buf,
+            "/apk/com.example.app",
+            &[("User-Agent", "ua"), ("X-Range-Start", "1024")],
+        )
+        .unwrap();
+        let (whole, consumed) = parse_request(&buf).unwrap().unwrap();
+        assert_eq!(consumed, buf.len());
+        for cut in 0..buf.len() {
+            assert!(
+                parse_request(&buf[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes must be incomplete"
+            );
+            let mut acc = buf[..cut].to_vec();
+            acc.extend_from_slice(&buf[cut..]);
+            let (req, n) = parse_request(&acc).unwrap().unwrap();
+            assert_eq!(req, whole, "split at byte {cut} changed the parse");
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn incremental_parse_leaves_pipelined_tail() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, "/categories", &[("User-Agent", "ua")]).unwrap();
+        let first_len = buf.len();
+        write_request(&mut buf, "/app/com.x", &[("User-Agent", "ua")]).unwrap();
+        let (first, n) = parse_request(&buf).unwrap().unwrap();
+        assert_eq!(first.path, "/categories");
+        assert_eq!(n, first_len);
+        let (second, m) = parse_request(&buf[n..]).unwrap().unwrap();
+        assert_eq!(second.path, "/app/com.x");
+        assert_eq!(n + m, buf.len());
+    }
+
+    #[test]
+    fn incremental_parse_rejects_bad_heads_and_floods() {
+        assert!(parse_request(b"POST / GAUGE/1.0\r\n\r\n").is_err());
+        assert!(parse_request(b"GET / HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse_request(b"GET / GAUGE/1.0\r\nnocolon\r\n\r\n").is_err());
+        // An unbounded junk stream with no terminator must error rather
+        // than buffer forever.
+        let flood = vec![b'a'; MAX_REQUEST_HEAD + 1];
+        assert!(parse_request(&flood).is_err());
+        // ...but a buffer still under the cap simply waits for more.
+        assert!(parse_request(b"GET /ca").unwrap().is_none());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! ```
 
 use crate::crawler::{Crawler, CrawlerBuilder, CrawlerConfig, CrawlStats, RetryPolicy};
+use crate::net::Endpoint;
 use crate::proto::Response;
 use crate::route::Route;
 use crate::{Result, StoreError};
@@ -86,10 +87,18 @@ pub struct QueryClient {
 }
 
 impl QueryClient {
-    /// Start configuring a query client for the store at `addr`.
+    /// Start configuring a query client for the TCP store at `addr`.
     pub fn builder(addr: SocketAddr) -> QueryClientBuilder {
         QueryClientBuilder {
             inner: Crawler::builder(addr),
+        }
+    }
+
+    /// Start configuring a query client for any [`Endpoint`] — required
+    /// for sim-reactor stores, which have no TCP address.
+    pub fn builder_at(endpoint: Endpoint) -> QueryClientBuilder {
+        QueryClientBuilder {
+            inner: Crawler::builder_at(endpoint),
         }
     }
 
@@ -180,6 +189,7 @@ mod tests {
             ServerOptions {
                 chaos,
                 index: Some(synthetic_index()),
+                ..ServerOptions::default()
             },
         )
         .unwrap()

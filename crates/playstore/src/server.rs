@@ -7,10 +7,12 @@
 
 use crate::chaos::{FaultAction, FaultPlan};
 use crate::corpus::{AppSpec, StoreCorpus};
+use crate::net::{Endpoint, SimNet};
 use crate::proto::{
     read_request, write_response, Request, Response, CONNECTION_ID_HEADER, CRC_HEADER,
     FULL_CRC_HEADER, RANGE_START_HEADER,
 };
+use crate::reactor::{ReactorMode, Served};
 use crate::route::Route;
 use crate::{categories::CATEGORIES, Result};
 use gaugenn_apk::crc32::crc32;
@@ -18,11 +20,12 @@ use gaugenn_apk::bundle::{AssetPack, BundleBuilder, Delivery};
 use gaugenn_apk::obb::{build_obb, ObbKind};
 use gaugenn_index::{wire, CorpusIndex};
 use gaugenn_modelfmt::ModelArtifact;
+use mio::{Parker, SimReactor};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -42,6 +45,12 @@ pub struct ServerOptions {
     /// no locking is needed and responses cannot depend on request
     /// interleaving (the determinism contract).
     pub index: Option<Arc<CorpusIndex>>,
+    /// Serving loop override. `None` resolves via `GAUGENN_REACTOR`, then
+    /// the platform default (epoll on Linux, threaded elsewhere).
+    pub reactor: Option<ReactorMode>,
+    /// Seed for the sim reactor's delivery-order rotation (and thus its
+    /// event digest). Ignored by the other modes.
+    pub reactor_seed: u64,
 }
 
 struct Shared {
@@ -68,13 +77,34 @@ impl Shared {
     }
 }
 
-/// A running store server. Dropping it stops the accept loop.
+/// A running store server. Dropping it stops the serving loop.
 pub struct StoreServer {
     addr: SocketAddr,
+    endpoint: Endpoint,
+    mode: ReactorMode,
     stop: Arc<AtomicBool>,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
+    /// Sim mode: wakes the loop out of its park on stop.
+    parker: Option<Arc<Parker>>,
+    /// Sim mode: the reactor's running event-stream digest.
+    digest: Option<Arc<AtomicU64>>,
 }
+
+/// Widen the kernel accept backlog past std's default (128). Benches
+/// open hundreds of connections in one burst; a SYN dropped by a full
+/// backlog retransmits after a second — longer than the crawler's 2 s
+/// connect timeout. The raw `listen(2)` re-call lives in the vendored
+/// reactor shim (this crate forbids `unsafe`); errors are harmless and
+/// ignored.
+#[cfg(unix)]
+fn widen_backlog(listener: &TcpListener) {
+    use std::os::fd::AsRawFd;
+    mio::widen_backlog(listener.as_raw_fd(), 4096);
+}
+
+#[cfg(not(unix))]
+fn widen_backlog(_listener: &TcpListener) {}
 
 impl StoreServer {
     /// Start serving `corpus` on an ephemeral loopback port.
@@ -96,11 +126,9 @@ impl StoreServer {
     }
 
     /// Start serving `corpus` with full [`ServerOptions`] (chaos plan,
-    /// corpus index for the `/query/*` routes).
+    /// corpus index for the `/query/*` routes, reactor selection).
     pub fn start_with(corpus: StoreCorpus, options: ServerOptions) -> Result<StoreServer> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
-        let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
+        let mode = ReactorMode::resolve(options.reactor);
         let stop = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Shared {
             corpus,
@@ -109,6 +137,78 @@ impl StoreServer {
             chaos: options.chaos,
             index: options.index,
         });
+        match mode {
+            ReactorMode::Sim => Ok(Self::start_sim(shared, stop, options.reactor_seed)),
+            ReactorMode::Epoll => Self::start_epoll(shared, stop),
+            ReactorMode::Threaded => Self::start_threaded(shared, stop),
+        }
+    }
+
+    fn start_sim(shared: Arc<Shared>, stop: Arc<AtomicBool>, seed: u64) -> StoreServer {
+        let parker = Parker::new();
+        let net = SimNet::new(Arc::clone(&parker));
+        let reactor = SimReactor::with_parker(seed, Arc::clone(&parker));
+        let digest = reactor.digest_handle();
+        let t_shared = Arc::clone(&shared);
+        let t_stop = Arc::clone(&stop);
+        let t_net = net.clone();
+        let accept_thread = std::thread::spawn(move || {
+            crate::reactor::run_sim_loop(t_net, t_stop, reactor, move |req| {
+                serve_request(&t_shared, req)
+            });
+        });
+        StoreServer {
+            // Sim servers have no socket; the endpoint is the only way in.
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            endpoint: Endpoint::Sim(net),
+            mode: ReactorMode::Sim,
+            stop,
+            shared,
+            accept_thread: Some(accept_thread),
+            parker: Some(parker),
+            digest: Some(digest),
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn start_epoll(shared: Arc<Shared>, stop: Arc<AtomicBool>) -> Result<StoreServer> {
+        // Probe epoll availability up front so a sandboxed kernel falls
+        // back to the threaded loop instead of dying on the loop thread.
+        if mio::EpollReactor::new().is_err() {
+            return Self::start_threaded(shared, stop);
+        }
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        widen_backlog(&listener);
+        let addr = listener.local_addr()?;
+        let t_shared = Arc::clone(&shared);
+        let t_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let _ = crate::reactor::run_epoll_loop(listener, t_stop, move |req| {
+                serve_request(&t_shared, req)
+            });
+        });
+        Ok(StoreServer {
+            addr,
+            endpoint: Endpoint::Tcp(addr),
+            mode: ReactorMode::Epoll,
+            stop,
+            shared,
+            accept_thread: Some(accept_thread),
+            parker: None,
+            digest: None,
+        })
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn start_epoll(shared: Arc<Shared>, stop: Arc<AtomicBool>) -> Result<StoreServer> {
+        Self::start_threaded(shared, stop)
+    }
+
+    fn start_threaded(shared: Arc<Shared>, stop: Arc<AtomicBool>) -> Result<StoreServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        widen_backlog(&listener);
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
         let t_stop = stop.clone();
         let t_shared = shared.clone();
         let accept_thread = std::thread::spawn(move || {
@@ -130,15 +230,38 @@ impl StoreServer {
         });
         Ok(StoreServer {
             addr,
+            endpoint: Endpoint::Tcp(addr),
+            mode: ReactorMode::Threaded,
             stop,
             shared,
             accept_thread: Some(accept_thread),
+            parker: None,
+            digest: None,
         })
     }
 
-    /// Address to point the crawler at.
+    /// Address to point the crawler at. Only meaningful for TCP-backed
+    /// modes (threaded/epoll); sim servers are reachable via
+    /// [`StoreServer::endpoint`] alone.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The endpoint clients should dial — works across every reactor
+    /// mode, unlike [`StoreServer::addr`].
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint.clone()
+    }
+
+    /// The serving loop this server actually runs (after fallbacks).
+    pub fn mode(&self) -> ReactorMode {
+        self.mode
+    }
+
+    /// Sim mode only: the reactor's running FNV digest over the delivered
+    /// event stream — the replay-determinism witness.
+    pub fn reactor_digest(&self) -> Option<u64> {
+        self.digest.as_ref().map(|d| d.load(Ordering::SeqCst))
     }
 
     /// Number of requests served so far.
@@ -151,9 +274,12 @@ impl StoreServer {
         self.shared.chaos.as_ref()
     }
 
-    /// Stop accepting and join the accept loop.
+    /// Stop accepting and join the serving loop.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        if let Some(p) = &self.parker {
+            p.notify();
+        }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -166,6 +292,92 @@ impl Drop for StoreServer {
     }
 }
 
+/// Serialize a response to its wire frame. Infallible for in-memory
+/// writes; returns the bytes.
+fn frame_of(resp: &Response) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(resp.body.len() + 128);
+    // Vec writes cannot fail; a defensive empty frame would be caught by
+    // the client's framing check.
+    let _ = write_response(&mut frame, resp);
+    frame
+}
+
+/// Answer one request: route dispatch, range resume, integrity header and
+/// the chaos decision, reduced to a [`Served`] verdict every serving loop
+/// (threaded, epoll, sim) executes identically. This is *the* place
+/// response bytes are decided — which is what makes them a pure function
+/// of (corpus, index, chaos plan, request), independent of the loop and
+/// of event interleaving.
+fn serve_request(shared: &Shared, req: &Request) -> Served {
+    *shared.requests_served.lock() += 1;
+    let parsed = Route::parse(&req.path);
+    let mut resp = match &parsed {
+        Some(r) => route(shared, req, r),
+        None => Response::not_found(req.path_only()),
+    };
+    // Range resume: a client that already holds a verified prefix asks
+    // for the suffix; the full-body checksum lets it validate the
+    // stitched result. Applied before the integrity header so that
+    // CRC_HEADER covers exactly the bytes served.
+    if resp.status == 200 {
+        if let Some(start) = req
+            .header(RANGE_START_HEADER)
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            if start > 0 && start < resp.body.len() {
+                resp.headers
+                    .push((FULL_CRC_HEADER.into(), format!("{:08x}", crc32(&resp.body))));
+                resp.headers
+                    .push((RANGE_START_HEADER.into(), start.to_string()));
+                resp.body.drain(..start);
+            }
+            // start == 0 or beyond the body: serve the full body with
+            // no range echo; the client treats it as a fresh download.
+        }
+    }
+    // Integrity header: lets the crawler detect silent payload
+    // corruption (chaos-injected or otherwise) without trusting the
+    // transport.
+    resp.headers
+        .push((CRC_HEADER.into(), format!("{:08x}", crc32(&resp.body))));
+    let conn_id = req
+        .header(CONNECTION_ID_HEADER)
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    let action = match (&shared.chaos, &parsed) {
+        (Some(plan), Some(r)) => plan.decide(conn_id, r),
+        _ => FaultAction::None,
+    };
+    match action {
+        FaultAction::None => Served::Frame(frame_of(&resp)),
+        FaultAction::Reset => Served::Reset,
+        FaultAction::Truncate { keep_permille } => {
+            let frame = frame_of(&resp);
+            let keep = (frame.len() * keep_permille as usize / 1000).max(1);
+            Served::FrameThenClose(frame[..keep.min(frame.len() - 1)].to_vec())
+        }
+        FaultAction::Stall { ms } => Served::Stall { ms },
+        FaultAction::Status(status) => {
+            let mut t = Response {
+                status,
+                headers: vec![],
+                body: b"injected transient failure".to_vec(),
+            };
+            t.headers
+                .push((CRC_HEADER.into(), format!("{:08x}", crc32(&t.body))));
+            Served::Frame(frame_of(&t))
+        }
+        FaultAction::Corrupt { xor } => {
+            // Flip body bytes *after* the checksum header was set, so
+            // the frame stays well-formed but the payload lies.
+            for b in resp.body.iter_mut() {
+                *b ^= xor;
+            }
+            Served::Frame(frame_of(&resp))
+        }
+    }
+}
+
 fn handle_connection(stream: TcpStream, shared: &Shared, stop: &AtomicBool) -> Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     // Responses are written as several small frames; without TCP_NODELAY
@@ -173,83 +385,27 @@ fn handle_connection(stream: TcpStream, shared: &Shared, stop: &AtomicBool) -> R
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = std::io::BufWriter::new(stream);
+    use std::io::Write;
     while !stop.load(Ordering::Relaxed) {
         let Some(req) = read_request(&mut reader)? else {
             return Ok(()); // client closed keep-alive
         };
-        *shared.requests_served.lock() += 1;
-        let parsed = Route::parse(&req.path);
-        let mut resp = match &parsed {
-            Some(r) => route(shared, &req, r),
-            None => Response::not_found(req.path_only()),
-        };
-        // Range resume: a client that already holds a verified prefix asks
-        // for the suffix; the full-body checksum lets it validate the
-        // stitched result. Applied before the integrity header so that
-        // CRC_HEADER covers exactly the bytes served.
-        if resp.status == 200 {
-            if let Some(start) = req
-                .header(RANGE_START_HEADER)
-                .and_then(|v| v.parse::<usize>().ok())
-            {
-                if start > 0 && start < resp.body.len() {
-                    resp.headers
-                        .push((FULL_CRC_HEADER.into(), format!("{:08x}", crc32(&resp.body))));
-                    resp.headers
-                        .push((RANGE_START_HEADER.into(), start.to_string()));
-                    resp.body.drain(..start);
-                }
-                // start == 0 or beyond the body: serve the full body with
-                // no range echo; the client treats it as a fresh download.
+        match serve_request(shared, &req) {
+            Served::Frame(frame) => {
+                writer.write_all(&frame)?;
+                writer.flush()?;
             }
-        }
-        // Integrity header: lets the crawler detect silent payload
-        // corruption (chaos-injected or otherwise) without trusting the
-        // transport.
-        resp.headers
-            .push((CRC_HEADER.into(), format!("{:08x}", crc32(&resp.body))));
-        let conn_id = req
-            .header(CONNECTION_ID_HEADER)
-            .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(0);
-        let action = match (&shared.chaos, &parsed) {
-            (Some(plan), Some(r)) => plan.decide(conn_id, r),
-            _ => FaultAction::None,
-        };
-        match action {
-            FaultAction::None => write_response(&mut writer, &resp)?,
-            FaultAction::Reset => return Ok(()), // close without a byte
-            FaultAction::Truncate { keep_permille } => {
-                let mut frame = Vec::new();
-                write_response(&mut frame, &resp)?;
-                let keep = (frame.len() * keep_permille as usize / 1000).max(1);
-                std::io::Write::write_all(&mut writer, &frame[..keep.min(frame.len() - 1)])?;
-                std::io::Write::flush(&mut writer)?;
+            Served::FrameThenClose(frame) => {
+                writer.write_all(&frame)?;
+                writer.flush()?;
                 return Ok(()); // close mid-frame
             }
-            FaultAction::Stall { ms } => {
+            Served::Reset => return Ok(()), // close without a byte
+            Served::Stall { ms } => {
                 // Hold the socket silent, then close: the client sees a
                 // read timeout or an EOF mid-response, whichever first.
                 std::thread::sleep(Duration::from_millis(ms));
                 return Ok(());
-            }
-            FaultAction::Status(status) => {
-                let mut t = Response {
-                    status,
-                    headers: vec![],
-                    body: b"injected transient failure".to_vec(),
-                };
-                t.headers
-                    .push((CRC_HEADER.into(), format!("{:08x}", crc32(&t.body))));
-                write_response(&mut writer, &t)?;
-            }
-            FaultAction::Corrupt { xor } => {
-                // Flip body bytes *after* the checksum header was set, so
-                // the frame stays well-formed but the payload lies.
-                for b in resp.body.iter_mut() {
-                    *b ^= xor;
-                }
-                write_response(&mut writer, &resp)?;
             }
         }
     }

@@ -6,7 +6,9 @@
 # point, then --resume must reproduce stdout byte-for-byte), a cache
 # compaction-under-pressure check, the query-serving determinism gate
 # (querybench streams must be byte-identical at every connection count),
-# the gaugelint and lock-order gates, and workspace clippy.
+# the reactor gate (readiness-replay determinism plus sim/epoll digest
+# equality up to 256 connections), the gaugelint and lock-order gates,
+# and workspace clippy.
 #
 # Works without network access: if the registry is unreachable, cargo is
 # retried in --offline mode (using whatever is already vendored/cached).
@@ -150,6 +152,40 @@ verify() {
         return 1
     fi
     rm -f "$query_out.out" "$query_out.err"
+    # Reactor gate (DESIGN.md §14): the readiness-replay determinism and
+    # cross-loop equivalence suite, with the replay test pinned by name
+    # so a rename cannot silently skip it.
+    run_cargo "$mode" test -q --test reactor || return 1
+    run_cargo "$mode" test -q --test reactor \
+        same_seed_replays_the_same_event_order_and_bytes || return 1
+    # The query gate again under the deterministic sim reactor and under
+    # a forced epoll sweep to 256 connections. Each run asserts
+    # byte-identical streams internally (including 256-conn == 1-conn);
+    # the digests are re-checked across BOTH runs here — response bytes
+    # are a pure function of (index, stream), never of the serving loop
+    # or the connection count, so the sim and epoll digests must agree.
+    net_out="target/verify-net.$$"
+    GAUGENN_REACTOR=sim run_cargo "$mode" run --release -q -p gaugenn-bench \
+        --bin querybench -- --scale tiny --seed 1402 --workers 256 \
+        >"$net_out.sim.out" 2>"$net_out.sim.err" || return 1
+    run_cargo "$mode" run --release -q -p gaugenn-bench \
+        --bin querybench -- --scale tiny --seed 1402 --workers 256 --reactor epoll \
+        >"$net_out.epoll.out" 2>"$net_out.epoll.err" || return 1
+    for side in sim epoll; do
+        if ! grep -q "byte-identical" "$net_out.$side.out"; then
+            echo "verify: $side querybench did not report byte-identical streams" >&2
+            return 1
+        fi
+    done
+    net_digests=$(cat "$net_out.sim.err" "$net_out.epoll.err" \
+        | grep -o 'digest [0-9a-f]*' | sort -u | awk 'END { print NR }')
+    if [ "$net_digests" != "1" ]; then
+        echo "verify: response digests diverged across reactors or connection counts" >&2
+        grep 'digest' "$net_out.sim.err" "$net_out.epoll.err" >&2
+        return 1
+    fi
+    rm -f "$net_out.sim.out" "$net_out.sim.err" \
+        "$net_out.epoll.out" "$net_out.epoll.err"
     # gaugelint gate: the in-repo invariant checker (DESIGN.md §10) must
     # pass its own fixture suite and report zero unsuppressed findings
     # across crates/ and tests/.

@@ -154,6 +154,7 @@ fn query_routes_serve_the_pipelines_index_under_chaos() {
         ServerOptions {
             chaos: Some(chaos),
             index: Some(index.clone()),
+            ..ServerOptions::default()
         },
     )
     .expect("server");

@@ -1,0 +1,244 @@
+//! Reactor determinism and cross-loop equivalence (DESIGN.md §14).
+//!
+//! Three contracts ride on the event-driven store:
+//!
+//! 1. **Readiness replay** — under `ReactorMode::Sim`, event delivery
+//!    order is a pure function of the reactor seed, witnessed by the
+//!    reactor's FNV digest over every delivered `(round, token,
+//!    interest)` tuple. Same seed ⇒ same digest and byte-identical
+//!    responses.
+//! 2. **Loop equivalence** — threaded, epoll and sim serving loops all
+//!    reduce a request to the same [`Served`] verdict, so response
+//!    streams (calm or chaotic) are byte-identical across loops.
+//! 3. **Torn-write robustness** — the reactor's incremental parser must
+//!    produce identical responses no matter how request bytes are split
+//!    across readiness events.
+//!
+//! [`Served`]: gaugenn::playstore::Served
+
+use gaugenn::core::pipeline::{Pipeline, PipelineConfig};
+use gaugenn::index::{AppDoc, AppSnap, CorpusIndex, ModelDoc, ModelQuery};
+use gaugenn::modelfmt::Framework;
+use gaugenn::playstore::corpus::{generate, CorpusScale, Snapshot};
+use gaugenn::playstore::proto::read_response;
+use gaugenn::playstore::{
+    Endpoint, FaultKind, FaultPlan, FaultPlanConfig, QueryClient, ReactorMode, Route,
+    ServerOptions, StoreServer,
+};
+use std::io::{BufReader, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A small index so `/query/*` routes serve real ranked rows.
+fn synthetic_index() -> Arc<CorpusIndex> {
+    let mut idx = CorpusIndex::new();
+    let model = |checksum: &str, flops: u64| ModelDoc {
+        checksum: checksum.into(),
+        name: format!("net {checksum}"),
+        framework: Framework::TfLite,
+        task: None,
+        quantised: false,
+        size_bytes: flops / 2,
+        flops,
+        params: flops / 4,
+        apps_by_snapshot: [("Apr 2021".to_string(), 1u64)].into_iter().collect(),
+    };
+    idx.ingest_snapshot(
+        "Apr 2021",
+        vec![model("aaa", 300), model("bbb", 100), model("ccc", 200)],
+        vec![AppDoc {
+            package: "com.example".into(),
+            category: "maps & navigation".into(),
+            by_snapshot: [(
+                "Apr 2021".to_string(),
+                AppSnap {
+                    models: 3,
+                    ml: true,
+                    cloud: false,
+                },
+            )]
+            .into_iter()
+            .collect(),
+        }],
+    );
+    Arc::new(idx)
+}
+
+fn start(mode: ReactorMode, reactor_seed: u64, chaos: Option<FaultPlan>) -> StoreServer {
+    StoreServer::start_with(
+        generate(CorpusScale::Tiny, Snapshot::Y2021, 7),
+        ServerOptions {
+            chaos,
+            index: Some(synthetic_index()),
+            reactor: Some(mode),
+            reactor_seed,
+        },
+    )
+    .expect("server")
+}
+
+/// The scripted request burst: raw GAUGE/1.0 frames for a fixed route
+/// mix, one `Vec<u8>` per request so callers control write granularity.
+fn scripted_requests() -> Vec<Vec<u8>> {
+    [
+        Route::Categories,
+        Route::QueryStats,
+        Route::QueryModels(ModelQuery::default()),
+        Route::Categories,
+        Route::QueryModels(ModelQuery {
+            limit: Some(2),
+            ..ModelQuery::default()
+        }),
+    ]
+    .iter()
+    .map(|r| format!("GET {} GAUGE/1.0\r\n\r\n", r.wire_path()).into_bytes())
+    .collect()
+}
+
+/// Run the scripted burst against a sim server, writing request bytes in
+/// `chunk`-sized slices, and return (responses, reactor digest).
+fn scripted_sim_run(reactor_seed: u64, chunk: usize) -> (Vec<(u16, Vec<u8>)>, u64) {
+    let mut server = start(ReactorMode::Sim, reactor_seed, None);
+    assert_eq!(server.mode(), ReactorMode::Sim);
+    let Endpoint::Sim(net) = server.endpoint() else {
+        panic!("sim store must expose a sim endpoint");
+    };
+    let stream = net.connect(Duration::from_secs(10));
+    let mut writer = stream.clone();
+    let mut reader = BufReader::new(stream);
+    let requests = scripted_requests();
+    // Pipeline every request up front — the whole burst is buffered
+    // before the first response is read, so the reactor sees a scripted,
+    // scheduler-independent byte stream.
+    for req in &requests {
+        for piece in req.chunks(chunk) {
+            writer.write_all(piece).expect("scripted write");
+        }
+    }
+    let responses: Vec<(u16, Vec<u8>)> = requests
+        .iter()
+        .map(|_| {
+            let resp = read_response(&mut reader).expect("scripted response");
+            (resp.status, resp.body)
+        })
+        .collect();
+    let digest = server
+        .reactor_digest()
+        .expect("sim server exposes its event digest");
+    server.stop();
+    (responses, digest)
+}
+
+#[test]
+fn same_seed_replays_the_same_event_order_and_bytes() {
+    let (resp_a, digest_a) = scripted_sim_run(42, 1 << 20);
+    let (resp_b, digest_b) = scripted_sim_run(42, 1 << 20);
+    assert_eq!(
+        digest_a, digest_b,
+        "same seed must deliver readiness events in the same order"
+    );
+    assert_eq!(resp_a, resp_b, "same seed must produce identical bytes");
+    assert_ne!(digest_a, 0, "the digest must witness delivered events");
+}
+
+#[test]
+fn torn_writes_parse_identically_through_the_real_loop() {
+    // One byte per write is the worst case: every request head arrives
+    // across many readiness events. The event *order* may differ from
+    // the atomic-write run; the response bytes must not.
+    let (atomic, _) = scripted_sim_run(42, 1 << 20);
+    for chunk in [1usize, 2, 3, 7] {
+        let (torn, _) = scripted_sim_run(42, chunk);
+        assert_eq!(atomic, torn, "chunk size {chunk} changed response bytes");
+    }
+}
+
+/// Replay a fixed query workload through one keep-alive client; returns
+/// the concatenated (status, body) stream.
+fn query_workload(server: &StoreServer) -> Vec<(u16, Vec<u8>)> {
+    let mut client = QueryClient::builder_at(server.endpoint())
+        .connection_id(5)
+        .build()
+        .expect("client");
+    let routes = [
+        Route::QueryModels(ModelQuery::default()),
+        Route::Categories,
+        Route::QueryModels(ModelQuery {
+            frameworks: vec!["tflite".into()],
+            limit: Some(2),
+            ..ModelQuery::default()
+        }),
+        Route::QueryStats,
+    ];
+    routes
+        .iter()
+        .map(|r| {
+            let resp = client.raw(r).expect("query survives");
+            (resp.status, resp.body)
+        })
+        .collect()
+}
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::new(FaultPlanConfig {
+        seed: 11,
+        fault_permille: 400,
+        kinds: vec![FaultKind::Reset, FaultKind::TransientStatus],
+        max_faults_per_route: 2,
+        ..FaultPlanConfig::default()
+    })
+}
+
+#[test]
+fn all_three_loops_serve_identical_bytes_calm_and_chaotic() {
+    let modes = [ReactorMode::Threaded, ReactorMode::Epoll, ReactorMode::Sim];
+    let calm: Vec<_> = modes
+        .iter()
+        .map(|&m| query_workload(&start(m, 1, None)))
+        .collect();
+    assert_eq!(calm[0], calm[1], "threaded vs epoll diverged (calm)");
+    assert_eq!(calm[0], calm[2], "threaded vs sim diverged (calm)");
+
+    let stormy: Vec<_> = modes
+        .iter()
+        .map(|&m| query_workload(&start(m, 1, Some(chaos_plan()))))
+        .collect();
+    assert_eq!(stormy[0], stormy[1], "threaded vs epoll diverged (chaos)");
+    assert_eq!(stormy[0], stormy[2], "threaded vs sim diverged (chaos)");
+    assert_eq!(
+        calm[0], stormy[0],
+        "chaos must only cost retries, never change response bytes"
+    );
+}
+
+#[test]
+fn sim_pipeline_report_matches_the_other_loops() {
+    // The full crawl → extract → analyse pipeline, pinned to each loop:
+    // the rendered report must be byte-identical, chaos included.
+    let run = |mode: ReactorMode, chaos: bool| {
+        let mut builder =
+            PipelineConfig::builder(CorpusScale::Tiny, Snapshot::Y2021, 99).reactor(mode);
+        if chaos {
+            builder = builder.chaos(FaultPlanConfig {
+                seed: 5,
+                fault_permille: 350,
+                kinds: vec![FaultKind::Reset, FaultKind::TransientStatus],
+                max_faults_per_route: 2,
+                ..FaultPlanConfig::default()
+            });
+        }
+        Pipeline::new(builder.build())
+            .run()
+            .expect("pipeline")
+            .render_text()
+    };
+    let baseline = run(ReactorMode::Threaded, false);
+    assert_eq!(baseline, run(ReactorMode::Epoll, false), "epoll calm");
+    assert_eq!(baseline, run(ReactorMode::Sim, false), "sim calm");
+    let chaotic = run(ReactorMode::Threaded, true);
+    assert_eq!(chaotic, run(ReactorMode::Sim, true), "sim chaos");
+    assert_eq!(
+        baseline, chaotic,
+        "chaos under the retry budget must not change the report"
+    );
+}
