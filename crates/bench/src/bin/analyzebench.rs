@@ -26,7 +26,7 @@ use gaugenn_playstore::corpus::{generate, Snapshot};
 use gaugenn_playstore::crawler::Crawler;
 use gaugenn_playstore::server::StoreServer;
 use gaugenn_sched::{assign, imbalance, SchedMode, WorkUnit};
-use std::time::Instant;
+use gaugenn_bench::stats::Stopwatch;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = cli::parse_or_exit(&ArgSpec::new(
@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cores()
     );
 
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let baseline = AnalysisPool::new(AnalysisConfig {
         workers: 1,
         dedup_cache: false,
@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for workers in [1usize, 2, 4, 8] {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let out = AnalysisPool::new(AnalysisConfig::with_workers(workers)).analyse(&crawled)?;
         let dt = t.elapsed();
         let got: Vec<&str> = out.models.iter().map(|m| m.checksum.as_str()).collect();
@@ -93,7 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  scheduling modes at {sched_workers} workers:");
     for mode in [SchedMode::Static, SchedMode::Lpt, SchedMode::Stealing] {
         let plan = assign(&app_units, sched_workers, mode, seed);
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let out = AnalysisPool::new(AnalysisConfig {
             workers: sched_workers,
             sched: mode,
@@ -119,7 +119,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let _ = std::fs::remove_dir_all(&dir);
     println!("  persistent cache at {sched_workers} workers:");
     for label in ["cold", "warm"] {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let out = AnalysisPool::new(AnalysisConfig {
             workers: sched_workers,
             cache_dir: Some(dir.clone()),

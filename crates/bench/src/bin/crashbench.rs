@@ -26,7 +26,7 @@ use gaugenn_bench::cli::{self, ArgSpec};
 use gaugenn_core::crashpoint::{self, CrashMode, CrashPlan, CrashPoint};
 use gaugenn_core::pipeline::{Pipeline, PipelineConfig};
 use gaugenn_playstore::corpus::{CorpusScale, Snapshot};
-use std::time::Instant;
+use gaugenn_bench::stats::Stopwatch;
 
 struct PointResult {
     point: &'static str,
@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     eprintln!("crashbench — scale {scale:?}, seed {seed}");
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let baseline = Pipeline::new(config(None, false)).run()?;
     let baseline_ms = t0.elapsed().as_secs_f64() * 1e3;
     let reference = baseline.render_text();
@@ -90,7 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // while it fires, restore it before the timed resume.
         let hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let t_crash = Instant::now();
+        let t_crash = Stopwatch::start();
         let crashed = std::panic::catch_unwind(|| Pipeline::new(config(Some(&dir), false)).run());
         let crash_ms = t_crash.elapsed().as_secs_f64() * 1e3;
         std::panic::set_hook(hook);
@@ -101,7 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             point.name()
         );
 
-        let t_rec = Instant::now();
+        let t_rec = Stopwatch::start();
         let resumed = Pipeline::new(config(Some(&dir), true)).run()?;
         let recovery_ms = t_rec.elapsed().as_secs_f64() * 1e3;
         let byte_identical = resumed.render_text() == reference;

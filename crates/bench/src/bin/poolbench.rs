@@ -30,7 +30,7 @@ use gaugenn_playstore::crawler::Crawler;
 use gaugenn_playstore::pool::{CrawlPool, CrawlPoolConfig};
 use gaugenn_playstore::server::{ServerOptions, StoreServer};
 use gaugenn_sched::SchedMode;
-use std::time::Instant;
+use gaugenn_bench::stats::Stopwatch;
 
 /// One pooled crawl at a fixed (mode, workers) point.
 struct PoolRun {
@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "crawl pool scaling — scale {scale:?}, seed {seed}, reactor {reactor}, host cores: {}",
         cores()
     );
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let mut seq = Crawler::builder_at(endpoint.clone()).build()?;
     let baseline = seq.crawl_all()?;
     let t_seq = t0.elapsed();
@@ -85,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for mode in [SchedMode::Static, SchedMode::Lpt, SchedMode::Stealing] {
         eprintln!("  mode {}:", mode.name());
         for &workers in &counts {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             let pooled = CrawlPool::new(CrawlPoolConfig {
                 workers,
                 sched: mode,

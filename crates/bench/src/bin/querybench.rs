@@ -48,7 +48,8 @@ use gaugenn_playstore::net::Endpoint;
 use gaugenn_playstore::route::Route;
 use gaugenn_playstore::server::{ServerOptions, StoreServer};
 use gaugenn_playstore::QueryClient;
-use std::time::{Duration, Instant};
+use gaugenn_bench::stats::Stopwatch;
+use std::time::Duration;
 
 /// One measured replay of the stream at a fixed connection count.
 struct RunResult {
@@ -222,7 +223,7 @@ fn replay(
     let drivers = clients.min(MAX_DRIVERS);
     let mut responses: Vec<Option<Vec<u8>>> = vec![None; n];
     let mut per_conn: Vec<Vec<f64>> = vec![Vec::new(); clients];
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     std::thread::scope(|scope| -> Result<(), String> {
         let mut handles = Vec::new();
         for d in 0..drivers {
@@ -258,7 +259,7 @@ fn replay(
                             }
                             progressed = true;
                             let route = &queries[i];
-                            let t = Instant::now();
+                            let t = Stopwatch::start();
                             let resp = client
                                 .raw(route)
                                 .map_err(|e| format!("query {i} ({}): {e}", route.wire_path()))?;

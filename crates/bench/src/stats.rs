@@ -9,6 +9,32 @@
 //! makes the merge explicit and [`percentile`] demands sorted input, so
 //! the corpus-wide tail is computed exactly once, from every sample.
 
+/// The bench crate's single audited wall-clock read. Every bench bin
+/// times through a `Stopwatch` instead of ad-hoc `Instant::now()` pairs,
+/// so the workspace taint pass (DESIGN.md §15) sees exactly one clock
+/// sink in the bench crate — annotated here, at the one place a human
+/// has verified the reading never feeds deterministic output.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        // gaugelint: deterministic-via(clock) — bench wall timing IS the measurement; it is reported, never merged into deterministic output
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.0.elapsed()
+    }
+
+    /// Elapsed milliseconds as `f64` (the bins' reporting unit).
+    pub fn ms(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+}
+
 /// Merge per-client latency sample vectors into one ascending-sorted
 /// corpus. NaNs are dropped (a NaN latency is a harness bug, not a
 /// measurement) so the sort is total.

@@ -493,7 +493,7 @@ impl AnalysisPool {
                             // merge aborts at the lowest-index error and
                             // never reads a skipped slot.
                             for &i in shard {
-                                let t0 = Instant::now(); // gaugelint: allow(wall-clock) — stage timers are diagnostics, never rendered into the deterministic report
+                                let t0 = Instant::now(); // gaugelint: deterministic-via(clock) — stage timers are diagnostics, never rendered into the deterministic report
                                 let ext = extract_app(&crawled[i]).map_err(CoreError::from);
                                 spent += t0.elapsed();
                                 crashpoint::hit(CrashPoint::AppExtract);
@@ -560,7 +560,7 @@ impl AnalysisPool {
                                     _ => unreachable!("units come from successful extractions"),
                                 };
                                 let found = &ext.models[j];
-                                let t1 = Instant::now(); // gaugelint: allow(wall-clock) — stage timers are diagnostics, never rendered into the deterministic report
+                                let t1 = Instant::now(); // gaugelint: deterministic-via(clock) — stage timers are diagnostics, never rendered into the deterministic report
                                 let checksum = model_checksum(&found.files);
                                 t.checksum += t1.elapsed();
                                 let outcome = if use_cache {
@@ -728,7 +728,7 @@ fn analyse_model(
     files: &[(String, Vec<u8>)],
     timers: &mut StageTimers,
 ) -> ModelOutcome {
-    let t0 = Instant::now(); // gaugelint: allow(wall-clock) — stage timers are diagnostics, never rendered into the deterministic report
+    let t0 = Instant::now(); // gaugelint: deterministic-via(clock) — stage timers are diagnostics, never rendered into the deterministic report
     let graph = match gaugenn_modelfmt::decode(framework, files) {
         Ok(g) => g,
         Err(_) => {
@@ -738,7 +738,7 @@ fn analyse_model(
     };
     timers.decode += t0.elapsed();
 
-    let t1 = Instant::now(); // gaugelint: allow(wall-clock) — stage timers are diagnostics, never rendered into the deterministic report
+    let t1 = Instant::now(); // gaugelint: deterministic-via(clock) — stage timers are diagnostics, never rendered into the deterministic report
     let trace = match trace_graph(&graph) {
         Ok(t) => t,
         Err(e) => {

@@ -155,7 +155,8 @@ pub fn run_campaign_with(
     let budget = Arc::new(ProbationBudget::new(config.max_probation_devices));
     let mut handles = Vec::new();
     for spec in devices {
-        let (tx, rx) = channel::unbounded::<Campaign>();
+        // gaugelint: channel-pair(campaign.jobs) — per-device job queue, fed here and drained by this device's worker thread
+        let (tx, rx) = channel::unbounded_named::<Campaign>("campaign.jobs");
         for j in jobs {
             // gaugelint: allow(unwrap-in-fault-path) — provably infallible: rx lives in this scope until after the loop, the channel cannot be closed yet
             tx.send(j.clone()).expect("receiver alive");

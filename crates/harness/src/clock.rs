@@ -34,7 +34,7 @@ impl Clock for WallClock {
     fn now_ms(&self) -> u64 {
         // The one sanctioned wall-time read in the harness: every other
         // deadline computation goes through a `Clock`.
-        let epoch = *EPOCH.get_or_init(Instant::now); // gaugelint: allow(wall-clock) — WallClock is the Clock impl itself
+        let epoch = *EPOCH.get_or_init(Instant::now); // gaugelint: deterministic-via(clock) — WallClock is the Clock impl itself; deterministic runs inject SimClock
         epoch.elapsed().as_millis() as u64
     }
 

@@ -1,0 +1,465 @@
+//! Channel endpoint inventory: creations, endpoint propagation, pairing
+//! findings, and the machine-readable wait-for graph.
+//!
+//! Creations are `let (tx, rx) = …unbounded(…)` / `…unbounded_named("n",
+//! …)` shapes inside fn bodies. Endpoint bindings propagate through
+//! same-fn aliases (`let c = tx.clone();`, `let c = tx;`) and through
+//! call arguments (argument position → callee parameter name) to a
+//! fixpoint, so `rx` handed to a worker fn in another crate is still
+//! recognised there. A `.send(…)` on a bound name is a sender use; a
+//! `.recv(…)` / `.try_recv(…)` / `.recv_timeout(…)` / `.iter(…)` is a
+//! receiver use.
+//!
+//! Findings: a channel whose sends have no receiver anywhere (or whose
+//! receiver is never fed) is orphaned; a channel whose send and recv
+//! sides live in different crates must carry a documented
+//! `// gaugelint: channel-pair(name) — reason` at the creation.
+//!
+//! The wait-for graph (one edge `from → to` whenever some fn transitively
+//! sends on `from` while also transitively receiving on `to`) is emitted
+//! as deterministic JSON for the runtime deadlock detector in vendored
+//! parking_lot to consume.
+
+use crate::callgraph::CallGraph;
+use crate::items::ItemGraph;
+use crate::lexer::{Directive, Lexed};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One channel creation site.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// Index in the inventory.
+    pub id: usize,
+    /// Stable name: `channel-pair` directive > `unbounded_named` literal >
+    /// `file:line` of the creation.
+    pub name: String,
+    /// File of the creation.
+    pub file: String,
+    /// Line of the creation.
+    pub line: u32,
+    /// Enclosing fn.
+    pub created_in: usize,
+    /// Documented by a `channel-pair` directive?
+    pub paired: bool,
+}
+
+/// One endpoint use.
+#[derive(Debug, Clone)]
+pub struct EndpointUse {
+    /// Channel used.
+    pub chan: usize,
+    /// Fn the use is in.
+    pub fn_id: usize,
+    /// File of the use.
+    pub file: String,
+    /// Line of the use.
+    pub line: u32,
+    /// `true` for `.send(…)`, `false` for the recv family.
+    pub send: bool,
+}
+
+/// A pairing finding.
+#[derive(Debug, Clone)]
+pub struct ChanFinding {
+    /// Rule name (`channel-orphan-sender`, `channel-orphan-receiver`,
+    /// `channel-unpaired-cross-crate`).
+    pub rule: &'static str,
+    /// File of the creation site.
+    pub file: String,
+    /// Line of the creation site.
+    pub line: u32,
+    /// Detail: channel name plus the crates involved.
+    pub detail: String,
+}
+
+/// The full channel analysis result.
+#[derive(Debug, Default)]
+pub struct ChannelReport {
+    /// Inventory, in creation order.
+    pub channels: Vec<Channel>,
+    /// All endpoint uses.
+    pub uses: Vec<EndpointUse>,
+    /// Pairing findings.
+    pub findings: Vec<ChanFinding>,
+    /// Deterministic JSON wait-for graph.
+    pub waitfor_json: String,
+}
+
+const RECV_METHODS: &[&str] = &["recv", "try_recv", "recv_timeout", "iter"];
+
+/// Run the channel analysis over the workspace.
+pub fn run(
+    graph: &ItemGraph,
+    cg: &CallGraph,
+    lexed: &BTreeMap<String, Lexed>,
+) -> ChannelReport {
+    let mut report = ChannelReport::default();
+    // (fn_id, var) → (chan, originally-sender). The bool is advisory —
+    // uses are classified by method name, not endpoint kind.
+    let mut bindings: BTreeMap<(usize, String), usize> = BTreeMap::new();
+    // Same-fn aliases to re-evaluate each fixpoint round.
+    let mut aliases: Vec<(usize, String, String)> = Vec::new();
+
+    for (file, lex) in lexed {
+        let owner = crate::callgraph::owner_map(graph, file, lex.toks.len());
+        let pair_names: BTreeMap<u32, String> = lex
+            .directives
+            .iter()
+            .filter_map(|d| match d {
+                Directive::ChannelPair { line, name } => Some((*line, name.clone())),
+                _ => None,
+            })
+            .collect();
+        let n = lex.toks.len();
+        for i in 0..n {
+            let Some(fn_id) = owner.get(i).copied().flatten() else {
+                continue;
+            };
+            // Creation: `let ( a , b ) = … unbounded[_named] (`.
+            if matches!(lex.ident(i), Some("unbounded") | Some("unbounded_named")) {
+                let named = lex.ident(i) == Some("unbounded_named");
+                let Some(open) = call_open(lex, i + 1) else {
+                    continue;
+                };
+                let Some((tx, rx)) = let_tuple_before(lex, i) else {
+                    continue;
+                };
+                let line = lex.line(i);
+                let directive_name = pair_names
+                    .get(&line)
+                    .or_else(|| pair_names.get(&line.saturating_sub(1)))
+                    .cloned();
+                let literal_name = if named {
+                    (open + 1..n.min(open + 4)).find_map(|k| {
+                        let t = lex.toks.get(k)?;
+                        (t.kind == crate::lexer::TokKind::Str).then(|| t.text.clone())
+                    })
+                } else {
+                    None
+                };
+                let paired = directive_name.is_some();
+                let name = directive_name
+                    .or(literal_name)
+                    .unwrap_or_else(|| format!("{file}:{line}"));
+                let id = report.channels.len();
+                report.channels.push(Channel {
+                    id,
+                    name,
+                    file: file.clone(),
+                    line,
+                    created_in: fn_id,
+                    paired,
+                });
+                bindings.insert((fn_id, tx), id);
+                bindings.insert((fn_id, rx), id);
+                continue;
+            }
+            // Alias: `let [mut] c = a [.clone()] ;`.
+            if lex.ident(i) == Some("let") {
+                let mut j = i + 1;
+                if lex.ident(j) == Some("mut") {
+                    j += 1;
+                }
+                if let (Some(c), Some('='), Some(a)) =
+                    (lex.ident(j), lex.punct(j + 1), lex.ident(j + 2))
+                {
+                    let tail_ok = lex.punct(j + 3) == Some(';')
+                        || (lex.punct(j + 3) == Some('.') && lex.ident(j + 4) == Some("clone"));
+                    if tail_ok && c != a {
+                        aliases.push((fn_id, c.to_string(), a.to_string()));
+                    }
+                }
+            }
+        }
+    }
+
+    // Propagate bindings: aliases + call-arg → callee-param, to fixpoint.
+    loop {
+        let mut changed = false;
+        for (fn_id, c, a) in &aliases {
+            if let Some(&chan) = bindings.get(&(*fn_id, a.clone())) {
+                changed |= bindings.insert((*fn_id, c.clone()), chan).is_none();
+            }
+        }
+        for e in &cg.edges {
+            let callee = &graph.fns[e.callee];
+            for (pos, arg) in e.args.iter().enumerate() {
+                let Some(arg) = arg else { continue };
+                let Some(&chan) = bindings.get(&(e.caller, arg.clone())) else {
+                    continue;
+                };
+                let Some(param) = callee.params.get(pos) else {
+                    continue;
+                };
+                if param.is_empty() || param == "self" {
+                    continue;
+                }
+                changed |= bindings.insert((e.callee, param.clone()), chan).is_none();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Endpoint uses: `bound.send(` / `bound.recv(` etc.
+    for (file, lex) in lexed {
+        let owner = crate::callgraph::owner_map(graph, file, lex.toks.len());
+        for i in 0..lex.toks.len() {
+            if lex.punct(i) != Some('.') {
+                continue;
+            }
+            let Some(method) = lex.ident(i + 1) else {
+                continue;
+            };
+            let send = method == "send";
+            if !send && !RECV_METHODS.contains(&method) {
+                continue;
+            }
+            let Some(var) = lex.ident(i.wrapping_sub(1)) else {
+                continue;
+            };
+            let Some(fn_id) = owner.get(i).copied().flatten() else {
+                continue;
+            };
+            let Some(&chan) = bindings.get(&(fn_id, var.to_string())) else {
+                continue;
+            };
+            report.uses.push(EndpointUse {
+                chan,
+                fn_id,
+                file: file.clone(),
+                line: lex.line(i + 1),
+                send,
+            });
+        }
+    }
+    report
+        .uses
+        .sort_by(|a, b| (a.chan, &a.file, a.line, a.send).cmp(&(b.chan, &b.file, b.line, b.send)));
+
+    // Pairing findings. Channels created inside test code are exempt —
+    // tests wire ad-hoc channels freely.
+    for ch in &report.channels {
+        if graph.fns[ch.created_in].is_test {
+            continue;
+        }
+        let sends: Vec<&EndpointUse> =
+            report.uses.iter().filter(|u| u.chan == ch.id && u.send).collect();
+        let recvs: Vec<&EndpointUse> =
+            report.uses.iter().filter(|u| u.chan == ch.id && !u.send).collect();
+        if !sends.is_empty() && recvs.is_empty() {
+            report.findings.push(ChanFinding {
+                rule: "channel-orphan-sender",
+                file: ch.file.clone(),
+                line: ch.line,
+                detail: format!("channel `{}` is sent to but never received from", ch.name),
+            });
+        }
+        if sends.is_empty() && !recvs.is_empty() {
+            report.findings.push(ChanFinding {
+                rule: "channel-orphan-receiver",
+                file: ch.file.clone(),
+                line: ch.line,
+                detail: format!("channel `{}` is received from but never fed", ch.name),
+            });
+        }
+        let send_crates: BTreeSet<&str> = sends
+            .iter()
+            .map(|u| graph.fns[u.fn_id].crate_key.as_str())
+            .collect();
+        let recv_crates: BTreeSet<&str> = recvs
+            .iter()
+            .map(|u| graph.fns[u.fn_id].crate_key.as_str())
+            .collect();
+        let cross = send_crates
+            .iter()
+            .any(|s| recv_crates.iter().any(|r| r != s));
+        if cross && !ch.paired {
+            report.findings.push(ChanFinding {
+                rule: "channel-unpaired-cross-crate",
+                file: ch.file.clone(),
+                line: ch.line,
+                detail: format!(
+                    "channel `{}` crosses crates (send: {}, recv: {}) without a channel-pair annotation",
+                    ch.name,
+                    send_crates.into_iter().collect::<Vec<_>>().join("+"),
+                    recv_crates.into_iter().collect::<Vec<_>>().join("+"),
+                ),
+            });
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+
+    report.waitfor_json = render_waitfor(graph, cg, &report);
+    report
+}
+
+/// `i` may start a `::<…>` turbofish; returns the index of the call's
+/// `(` when one follows.
+fn call_open(lex: &Lexed, i: usize) -> Option<usize> {
+    let mut j = i;
+    if lex.punct(j) == Some(':') && lex.punct(j + 1) == Some(':') && lex.punct(j + 2) == Some('<') {
+        let mut depth = 0i32;
+        let mut k = j + 2;
+        while k < lex.toks.len() {
+            match lex.punct(k) {
+                Some('<') => depth += 1,
+                Some('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        j = k + 1;
+    }
+    (lex.punct(j) == Some('(')).then_some(j)
+}
+
+/// Walk back from the call ident over `seg ::` path qualifiers to find a
+/// `let ( a , b ) =` pattern; returns the two bound names.
+fn let_tuple_before(lex: &Lexed, call: usize) -> Option<(String, String)> {
+    let mut b = call;
+    while b >= 3
+        && lex.punct(b - 1) == Some(':')
+        && lex.punct(b - 2) == Some(':')
+        && lex.ident(b - 3).is_some()
+    {
+        b -= 3;
+    }
+    if b < 1 || lex.punct(b - 1) != Some('=') {
+        return None;
+    }
+    // `( a , b )` before the `=`, tolerating `mut` in either slot.
+    let mut k = b - 1;
+    if k < 1 || lex.punct(k - 1) != Some(')') {
+        return None;
+    }
+    k -= 1;
+    let rx = lex.ident(k.checked_sub(1)?)?.to_string();
+    k -= 1;
+    if lex.ident(k.checked_sub(1)?) == Some("mut") {
+        k -= 1;
+    }
+    if lex.punct(k.checked_sub(1)?) != Some(',') {
+        return None;
+    }
+    k -= 1;
+    let tx = lex.ident(k.checked_sub(1)?)?.to_string();
+    k -= 1;
+    if lex.ident(k.checked_sub(1)?) == Some("mut") {
+        k -= 1;
+    }
+    if lex.punct(k.checked_sub(1)?) != Some('(') {
+        return None;
+    }
+    Some((tx, rx))
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", crate::json_escape(s))
+}
+
+/// Render the wait-for graph. A fn's *transitive* send/recv channel sets
+/// close over the call graph (caller inherits callee sets); an edge
+/// `from → to` means some fn can send on `from` while its completion
+/// depends on a recv from `to` — exactly the dependency shape the
+/// runtime detector pairs with its blocked-thread registry.
+fn render_waitfor(graph: &ItemGraph, cg: &CallGraph, report: &ChannelReport) -> String {
+    let nfns = graph.fns.len();
+    let mut sends: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nfns];
+    let mut recvs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nfns];
+    for u in &report.uses {
+        if u.send {
+            sends[u.fn_id].insert(u.chan);
+        } else {
+            recvs[u.fn_id].insert(u.chan);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for e in &cg.edges {
+            let add_s: Vec<usize> = sends[e.callee].iter().copied().collect();
+            let add_r: Vec<usize> = recvs[e.callee].iter().copied().collect();
+            for c in add_s {
+                changed |= sends[e.caller].insert(c);
+            }
+            for c in add_r {
+                changed |= recvs[e.caller].insert(c);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // wait edge (from, to, via) — deduped via BTreeSet ordering.
+    let mut edges: BTreeSet<(String, String, String, String)> = BTreeSet::new();
+    for (fid, f) in graph.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        for &s in &sends[fid] {
+            for &r in &recvs[fid] {
+                if s == r {
+                    continue;
+                }
+                edges.insert((
+                    report.channels[s].name.clone(),
+                    report.channels[r].name.clone(),
+                    f.path(),
+                    format!("{}:{}", f.file, f.line),
+                ));
+            }
+        }
+    }
+
+    let mut out = String::from("{\n  \"version\": 1,\n  \"channels\": [\n");
+    let mut chans: Vec<&Channel> = report.channels.iter().collect();
+    chans.sort_by(|a, b| (&a.name, &a.file, a.line).cmp(&(&b.name, &b.file, b.line)));
+    for (i, ch) in chans.iter().enumerate() {
+        let fmt_uses = |send: bool| -> String {
+            report
+                .uses
+                .iter()
+                .filter(|u| u.chan == ch.id && u.send == send)
+                .map(|u| {
+                    format!(
+                        "{{\"fn\": {}, \"site\": {}}}",
+                        json_str(&graph.fns[u.fn_id].path()),
+                        json_str(&format!("{}:{}", u.file, u.line)),
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        out.push_str(&format!(
+            "    {{\"name\": {}, \"created\": {}, \"senders\": [{}], \"receivers\": [{}]}}{}\n",
+            json_str(&ch.name),
+            json_str(&format!("{}:{}", ch.file, ch.line)),
+            fmt_uses(true),
+            fmt_uses(false),
+            if i + 1 < chans.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"wait_edges\": [\n");
+    let edges: Vec<_> = edges.into_iter().collect();
+    for (i, (from, to, via, site)) in edges.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"from\": {}, \"to\": {}, \"via\": {}, \"site\": {}}}{}\n",
+            json_str(from),
+            json_str(to),
+            json_str(via),
+            json_str(site),
+            if i + 1 < edges.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -14,7 +14,9 @@ pub enum TokKind {
     Punct,
     /// Numeric literal.
     Num,
-    /// String literal (regular, raw, or byte); text is dropped.
+    /// String literal (regular, raw, or byte). The literal's inner text
+    /// is retained (the channel inventory reads `unbounded_named("…")`
+    /// names from it); no rule ever pattern-matches inside it.
     Str,
     /// Character literal.
     CharLit,
@@ -27,7 +29,8 @@ pub enum TokKind {
 pub struct Tok {
     /// Kind of token.
     pub kind: TokKind,
-    /// Token text (empty for string literals).
+    /// Token text (the inner text for string literals, empty for char
+    /// literals).
     pub text: String,
     /// 1-based source line.
     pub line: u32,
@@ -42,6 +45,27 @@ pub enum Directive {
         line: u32,
         /// Rule names listed inside `allow(...)`.
         rules: Vec<String>,
+    },
+    /// `// gaugelint: deterministic-via(clock|seed) — reason`. Declares
+    /// that the nondeterminism source reached through this line is
+    /// injected deterministically (a `Clock` impl, a configured seed):
+    /// the taint pass does not propagate the named categories through
+    /// the call edge (or sink) on this line, and the matching lexical
+    /// sink rule (`wall-clock` / `seed-from-entropy`) is suppressed too.
+    DeterministicVia {
+        /// Line the comment sits on.
+        line: u32,
+        /// Severed taint categories (`clock`, `seed`).
+        kinds: Vec<String>,
+    },
+    /// `// gaugelint: channel-pair(name) — reason`. Names the channel
+    /// created on this line so its cross-crate send/recv pairing is a
+    /// documented contract (and the wait-for graph uses the name).
+    ChannelPair {
+        /// Line the comment sits on.
+        line: u32,
+        /// The documented pairing name.
+        name: String,
     },
     /// A comment mentioning gaugelint that could not be parsed — always
     /// reported, so a typo'd suppression cannot silently not work.
@@ -166,7 +190,7 @@ pub fn lex(src: &str) -> Lexed {
         if let Some((next, crossed)) = try_string(&chars, i) {
             out.toks.push(Tok {
                 kind: TokKind::Str,
-                text: String::new(),
+                text: string_inner(&chars[i..next]),
                 line,
             });
             line += crossed;
@@ -238,6 +262,25 @@ pub fn lex(src: &str) -> Lexed {
         i += 1;
     }
     out
+}
+
+/// The inner text of a lexed string literal (prefix, hashes, and quotes
+/// stripped). Escapes are left as written — the only consumer is the
+/// channel inventory, which reads plain identifiers out of
+/// `unbounded_named("…")`.
+fn string_inner(lit: &[char]) -> String {
+    let mut a = 0usize;
+    while a < lit.len() && (lit[a] == 'b' || lit[a] == 'r' || lit[a] == '#') {
+        a += 1;
+    }
+    let mut b = lit.len();
+    while b > a && lit[b - 1] == '#' {
+        b -= 1;
+    }
+    let body = &lit[a..b];
+    let body = body.strip_prefix(&['"']).unwrap_or(body);
+    let body = body.strip_suffix(&['"']).unwrap_or(body);
+    body.iter().collect()
 }
 
 /// Try to lex a string literal at `i`. Returns `(index after literal,
@@ -325,28 +368,68 @@ fn try_char_literal(chars: &[char], i: usize) -> Option<(usize, u32)> {
     None
 }
 
-/// Parse a gaugelint directive out of a line comment's text.
+/// Parse a gaugelint directive out of a line comment's text. The grammar
+/// is one clause per comment:
+///
+/// ```text
+/// // gaugelint: allow(rule-a, rule-b) — reason
+/// // gaugelint: deterministic-via(clock|seed) — reason
+/// // gaugelint: channel-pair(name) — reason
+/// ```
 fn parse_directive(comment: &str, line: u32) -> Option<Directive> {
     let at = comment.find("gaugelint")?;
     let rest = comment[at + "gaugelint".len()..].trim_start();
     let rest = rest.strip_prefix(':').map(str::trim_start).unwrap_or(rest);
-    let Some(body) = rest.strip_prefix("allow") else {
-        return Some(Directive::Malformed { line });
+
+    let (verb, items) = match parse_clause(rest) {
+        Some(parts) => parts,
+        None => return Some(Directive::Malformed { line }),
     };
-    let body = body.trim_start();
-    let Some(body) = body.strip_prefix('(') else {
-        return Some(Directive::Malformed { line });
-    };
-    let Some(close) = body.find(')') else {
-        return Some(Directive::Malformed { line });
-    };
-    let rules: Vec<String> = body[..close]
-        .split(',')
+    match verb {
+        "allow" => Some(Directive::Allow { line, rules: items }),
+        "deterministic-via" => {
+            if items.iter().all(|k| k == "clock" || k == "seed") {
+                Some(Directive::DeterministicVia { line, kinds: items })
+            } else {
+                Some(Directive::Malformed { line })
+            }
+        }
+        "channel-pair" => {
+            let ok = items.len() == 1
+                && items[0]
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+            if ok {
+                Some(Directive::ChannelPair {
+                    line,
+                    name: items.into_iter().next().expect("len checked"),
+                })
+            } else {
+                Some(Directive::Malformed { line })
+            }
+        }
+        _ => Some(Directive::Malformed { line }),
+    }
+}
+
+/// Split `verb(item, item, …)` off the front of a directive body.
+/// Returns the verb and the non-empty item list, or `None` on any
+/// malformation (missing parens, empty list, unknown shape).
+fn parse_clause(rest: &str) -> Option<(&str, Vec<String>)> {
+    let open = rest.find('(')?;
+    let verb = rest[..open].trim_end();
+    if verb.is_empty() || !verb.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return None;
+    }
+    let body = &rest[open + 1..];
+    let close = body.find(')')?;
+    let items: Vec<String> = body[..close]
+        .split([',', '|'])
         .map(|r| r.trim().to_string())
         .filter(|r| !r.is_empty())
         .collect();
-    if rules.is_empty() {
-        return Some(Directive::Malformed { line });
+    if items.is_empty() {
+        return None;
     }
-    Some(Directive::Allow { line, rules })
+    Some((verb, items))
 }

@@ -5,31 +5,47 @@
 //! and that chaos faults surface as typed errors, never panics. The three
 //! classic ways that contract rots are (a) iterating a `HashMap` into
 //! rendered output, (b) reading the wall clock on a control path, and
-//! (c) `unwrap()` on a path a fault schedule can reach. gaugelint is a
-//! lexical pass — a small tokenizer plus token-shape rules, zero
-//! dependencies — that fails `scripts/verify.sh` when one of those (or a
-//! handful of related hazards) reappears.
+//! (c) `unwrap()` on a path a fault schedule can reach. gaugelint is two
+//! passes over the same token stream, zero dependencies:
+//!
+//! * a **lexical pass** — per-line token-shape rules ([`lint_source`]);
+//! * a **semantic pass** ([`lint_workspace`], DESIGN.md §15) — an item
+//!   graph and name-resolved call graph over every workspace file, on
+//!   which determinism *taint* propagates transitively from known sinks
+//!   ([`taint`]), channel endpoints are inventoried and paired across
+//!   crates ([`channels`]), and a machine-readable channel wait-for
+//!   graph is emitted for the runtime deadlock detector.
 //!
 //! # Suppressions
 //!
 //! A finding is silenced by a plain line comment on the same line or the
-//! line above:
+//! line above. One clause per comment:
 //!
 //! ```text
 //! // gaugelint: allow(wall-clock) — reason for the exception
+//! // gaugelint: deterministic-via(clock) — reason the source is injected
+//! // gaugelint: channel-pair(name) — reason the pairing is intended
 //! ```
 //!
-//! Unknown rule names and malformed directives are themselves findings
-//! (`bad-suppression`), and `bad-suppression` cannot be suppressed — a
-//! typo'd allow can never silently disable a rule.
+//! `deterministic-via(clock|seed)` both severs the taint edge/sink on
+//! its line *and* suppresses the matching lexical rule (`wall-clock` /
+//! `seed-from-entropy`), so one annotation documents one injection
+//! point. Unknown rule names and malformed directives are themselves
+//! findings (`bad-suppression`), and `bad-suppression` cannot be
+//! suppressed — a typo'd allow can never silently disable a rule.
 
+pub mod callgraph;
+pub mod channels;
+pub mod items;
 pub mod lexer;
 mod rules;
+pub mod taint;
 
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Every rule gaugelint knows, in documentation order. `bad-suppression`
-/// is the meta-rule for broken `allow(...)` directives.
+/// Every rule gaugelint knows, in documentation order. The final four
+/// before `bad-suppression` are semantic (workspace-pass) rules;
+/// `bad-suppression` is the meta-rule for broken `allow(...)` directives.
 pub const RULES: &[&str] = &[
     "hashmap-iter-order",
     "wall-clock",
@@ -42,6 +58,10 @@ pub const RULES: &[&str] = &[
     "todo-unimplemented",
     "literal-duration-in-retry",
     "blocking-call-in-reactor",
+    "nondeterministic-reach",
+    "channel-orphan-sender",
+    "channel-orphan-receiver",
+    "channel-unpaired-cross-crate",
     "bad-suppression",
 ];
 
@@ -56,6 +76,8 @@ pub struct Finding {
     pub line: u32,
     /// Trimmed source line, truncated to ~120 chars.
     pub snippet: String,
+    /// Semantic-pass detail (taint call chain, channel pairing info).
+    pub detail: Option<String>,
 }
 
 /// Result of linting one file.
@@ -67,71 +89,234 @@ pub struct FileReport {
     pub suppressed: usize,
 }
 
-/// Lint one source file. `path` drives the path-scoped rules
-/// (`unwrap-in-fault-path`, `float-accum-order`, bench/test exemptions),
-/// so callers must pass repo-relative paths like
-/// `crates/playstore/src/crawler.rs`.
-pub fn lint_source(path: &str, src: &str) -> FileReport {
-    let lex = lexer::lex(src);
-    let lines: Vec<&str> = src.lines().collect();
-    let snippet = |line: u32| -> String {
-        let Some(l) = lines.get(line.saturating_sub(1) as usize) else {
-            return String::new();
-        };
-        let t = l.trim();
-        if t.chars().count() > 120 {
-            let cut: String = t.chars().take(117).collect();
-            format!("{cut}...")
-        } else {
-            t.to_string()
-        }
-    };
+/// Result of the whole-workspace pass.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// Unsuppressed findings (lexical + semantic), ordered by
+    /// (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by a valid directive, same order.
+    pub suppressed_findings: Vec<Finding>,
+    /// Number of files linted.
+    pub files: usize,
+    /// The channel wait-for graph as deterministic JSON.
+    pub waitfor_json: String,
+}
 
+/// Per-file pass internals shared by [`lint_source`] and
+/// [`lint_workspace`].
+struct FilePass {
+    report: FileReport,
+    /// The suppressed findings, itemized (the report only counts them).
+    suppressed_findings: Vec<Finding>,
+    /// line → rule names allowed there (after `deterministic-via`
+    /// translation).
+    allow: BTreeMap<u32, BTreeSet<String>>,
+}
+
+fn snippet_of(lines: &[&str], line: u32) -> String {
+    let Some(l) = lines.get(line.saturating_sub(1) as usize) else {
+        return String::new();
+    };
+    let t = l.trim();
+    if t.chars().count() > 120 {
+        let cut: String = t.chars().take(117).collect();
+        format!("{cut}...")
+    } else {
+        t.to_string()
+    }
+}
+
+fn allowed(allow: &BTreeMap<u32, BTreeSet<String>>, line: u32, rule: &str) -> bool {
+    let hit = |l: u32| allow.get(&l).is_some_and(|s| s.contains(rule));
+    hit(line) || (line > 1 && hit(line - 1))
+}
+
+fn file_pass(path: &str, src: &str, lex: &lexer::Lexed) -> FilePass {
+    let lines: Vec<&str> = src.lines().collect();
     let mut findings: Vec<Finding> = Vec::new();
     let mut allow: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    let bad = |line: u32, findings: &mut Vec<Finding>| {
+        findings.push(Finding {
+            rule: "bad-suppression",
+            file: path.to_string(),
+            line,
+            snippet: snippet_of(&lines, line),
+            detail: None,
+        })
+    };
     for d in &lex.directives {
         match d {
-            lexer::Directive::Malformed { line } => findings.push(Finding {
-                rule: "bad-suppression",
-                file: path.to_string(),
-                line: *line,
-                snippet: snippet(*line),
-            }),
+            lexer::Directive::Malformed { line } => bad(*line, &mut findings),
             lexer::Directive::Allow { line, rules } => {
                 for r in rules {
                     if r != "bad-suppression" && RULES.contains(&r.as_str()) {
                         allow.entry(*line).or_default().insert(r.clone());
                     } else {
-                        findings.push(Finding {
-                            rule: "bad-suppression",
-                            file: path.to_string(),
-                            line: *line,
-                            snippet: snippet(*line),
-                        });
+                        bad(*line, &mut findings);
                     }
                 }
+            }
+            lexer::Directive::DeterministicVia { line, kinds } => {
+                // One annotation covers both the lexical sink rule and
+                // the taint edge (severed in the taint pass itself).
+                for k in kinds {
+                    let rule = match k.as_str() {
+                        "clock" => "wall-clock",
+                        _ => "seed-from-entropy",
+                    };
+                    allow.entry(*line).or_default().insert(rule.to_string());
+                }
+            }
+            lexer::Directive::ChannelPair { .. } => {
+                // Consumed by the channel inventory; no lexical effect.
             }
         }
     }
 
-    let ctx = rules::Ctx::new(path, &lex);
-    let mut suppressed = 0usize;
+    let ctx = rules::Ctx::new(path, lex);
+    let mut suppressed_findings: Vec<Finding> = Vec::new();
     for (rule, line) in rules::run_all(&ctx) {
-        let hit = |l: u32| allow.get(&l).is_some_and(|s| s.contains(rule));
-        if hit(line) || (line > 1 && hit(line - 1)) {
-            suppressed += 1;
-            continue;
-        }
-        findings.push(Finding {
+        let f = Finding {
             rule,
             file: path.to_string(),
             line,
-            snippet: snippet(line),
-        });
+            snippet: snippet_of(&lines, line),
+            detail: None,
+        };
+        if allowed(&allow, line, rule) {
+            suppressed_findings.push(f);
+        } else {
+            findings.push(f);
+        }
     }
     findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    FileReport {
-        findings,
-        suppressed,
+    FilePass {
+        report: FileReport {
+            findings,
+            suppressed: suppressed_findings.len(),
+        },
+        suppressed_findings,
+        allow,
     }
+}
+
+/// Lint one source file (lexical rules only). `path` drives the
+/// path-scoped rules (`unwrap-in-fault-path`, `float-accum-order`,
+/// bench/test exemptions), so callers must pass repo-relative paths like
+/// `crates/playstore/src/crawler.rs`.
+pub fn lint_source(path: &str, src: &str) -> FileReport {
+    let lex = lexer::lex(src);
+    file_pass(path, src, &lex).report
+}
+
+/// Lint the whole workspace: the lexical pass over every file plus the
+/// semantic pass (item graph → call graph → taint + channels) across all
+/// of them. `files` are `(repo-relative path, source)` pairs.
+pub fn lint_workspace(files: &[(String, String)]) -> WorkspaceReport {
+    let mut out = WorkspaceReport {
+        files: files.len(),
+        ..WorkspaceReport::default()
+    };
+
+    let mut lexed: BTreeMap<String, lexer::Lexed> = BTreeMap::new();
+    let mut sources: BTreeMap<&str, &str> = BTreeMap::new();
+    for (path, src) in files {
+        lexed.insert(path.clone(), lexer::lex(src));
+        sources.insert(path, src);
+    }
+
+    // Per-file lexical pass; keep the allow maps for semantic findings.
+    let mut allows: BTreeMap<&str, BTreeMap<u32, BTreeSet<String>>> = BTreeMap::new();
+    for (path, src) in files {
+        let pass = file_pass(path, src, &lexed[path]);
+        out.findings.extend(pass.report.findings);
+        out.suppressed_findings.extend(pass.suppressed_findings);
+        allows.insert(path, pass.allow);
+    }
+
+    // Item graph + call graph.
+    let mut graph = items::ItemGraph::default();
+    let mut test_masks: BTreeMap<String, Vec<bool>> = BTreeMap::new();
+    for (path, lex) in &lexed {
+        let mask = rules::test_mask_for(path, lex);
+        items::parse_file(&mut graph, path, lex, &mask);
+        test_masks.insert(path.clone(), mask);
+    }
+    let cg = callgraph::build(&graph, &lexed);
+
+    // Determinism taint.
+    let severed: BTreeMap<String, BTreeMap<u32, BTreeSet<taint::Cat>>> = lexed
+        .iter()
+        .map(|(p, lex)| (p.clone(), taint::severed_lines(lex)))
+        .collect();
+    let sinks = taint::find_sinks(&graph, &lexed, &test_masks, &severed);
+    for t in taint::run(&graph, &cg, &sinks, &severed) {
+        let snippet = sources
+            .get(t.file.as_str())
+            .map(|src| snippet_of(&src.lines().collect::<Vec<_>>(), t.line))
+            .unwrap_or_default();
+        let f = Finding {
+            rule: taint::RULE,
+            file: t.file.clone(),
+            line: t.line,
+            snippet,
+            detail: Some(t.chain),
+        };
+        if allows
+            .get(t.file.as_str())
+            .is_some_and(|a| allowed(a, t.line, taint::RULE))
+        {
+            out.suppressed_findings.push(f);
+        } else {
+            out.findings.push(f);
+        }
+    }
+
+    // Channel pairing + wait-for graph.
+    let chan = channels::run(&graph, &cg, &lexed);
+    for c in &chan.findings {
+        let snippet = sources
+            .get(c.file.as_str())
+            .map(|src| snippet_of(&src.lines().collect::<Vec<_>>(), c.line))
+            .unwrap_or_default();
+        let f = Finding {
+            rule: c.rule,
+            file: c.file.clone(),
+            line: c.line,
+            snippet,
+            detail: Some(c.detail.clone()),
+        };
+        if allows
+            .get(c.file.as_str())
+            .is_some_and(|a| allowed(a, c.line, c.rule))
+        {
+            out.suppressed_findings.push(f);
+        } else {
+            out.findings.push(f);
+        }
+    }
+    out.waitfor_json = chan.waitfor_json;
+
+    out.findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out.suppressed_findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+/// Escape a string for the JSON emitters in this crate and the CLI.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

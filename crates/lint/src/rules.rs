@@ -104,6 +104,15 @@ pub(crate) fn run_all(ctx: &Ctx<'_>) -> Vec<(&'static str, u32)> {
     out
 }
 
+/// The per-token test mask for a file, path classification included —
+/// shared with the semantic pass (test fns are exempt from taint and
+/// channel-pairing findings, same as from the lexical rules).
+pub(crate) fn test_mask_for(path: &str, lex: &Lexed) -> Vec<bool> {
+    let norm = path.replace('\\', "/");
+    let whole = norm.split('/').any(|c| c == "tests");
+    compute_test_mask(lex, whole)
+}
+
 /// Mark every token inside `#[cfg(test)]` / `#[test]`-attributed items
 /// (attribute through matching close brace). `whole` marks the entire
 /// file (integration-test sources).

@@ -1,0 +1,228 @@
+//! Determinism taint: transitive nondeterminism-reachability over the
+//! call graph.
+//!
+//! The lexical `wall-clock` / `seed-from-entropy` rules catch a sink at
+//! its own line; this pass catches a sink *laundered through helpers*.
+//! Known sinks (wall-clock reads, entropy seeding, thread-identity) are
+//! seeded per function, then every function reachable from a determinism
+//! root — `core::pipeline`, the `analysis` crate, and the render path —
+//! that can reach a sink is a finding, reported at the sink with the
+//! full call chain.
+//!
+//! An edge or sink is *severed* by `// gaugelint: deterministic-via(clock
+//! |seed) — reason` on the same line or the line above: the annotation
+//! declares the nondeterminism is injected deterministically (an
+//! injectable `Clock` impl, a configured seed), so the named categories
+//! do not propagate through it. Dead code falls out for free: a sink in
+//! a function no root reaches is not a finding.
+
+use crate::callgraph::{reachable, CallGraph};
+use crate::items::ItemGraph;
+use crate::lexer::{Directive, Lexed};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule name the taint pass reports under.
+pub const RULE: &str = "nondeterministic-reach";
+
+/// Taint category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Cat {
+    /// Wall-clock reads (`Instant::now`, `SystemTime::now`).
+    Clock,
+    /// Entropy / ambient-identity seeding (`thread_rng`, `from_entropy`,
+    /// `OsRng`, `thread::current`).
+    Seed,
+}
+
+impl Cat {
+    /// The annotation keyword for this category.
+    pub fn key(self) -> &'static str {
+        match self {
+            Cat::Clock => "clock",
+            Cat::Seed => "seed",
+        }
+    }
+}
+
+/// One nondeterminism sink found in a fn body.
+#[derive(Debug, Clone)]
+pub struct Sink {
+    /// Containing fn (id into [`ItemGraph::fns`]).
+    pub fn_id: usize,
+    /// Sink line.
+    pub line: u32,
+    /// Human name (`Instant::now`, `thread_rng`, …).
+    pub name: &'static str,
+    /// Category the sink taints.
+    pub cat: Cat,
+    /// Severed by a `deterministic-via` annotation at the sink?
+    pub severed: bool,
+}
+
+/// A taint finding: a root-reachable unsevered sink, with its chain.
+#[derive(Debug, Clone)]
+pub struct TaintFinding {
+    /// File of the sink.
+    pub file: String,
+    /// Line of the sink.
+    pub line: u32,
+    /// Sink name.
+    pub sink: &'static str,
+    /// Category.
+    pub cat: Cat,
+    /// Rendered call chain `root → … → fn → Sink (cat)`.
+    pub chain: String,
+}
+
+/// Per-file map: line → severed categories (from `deterministic-via`).
+pub fn severed_lines(lex: &Lexed) -> BTreeMap<u32, BTreeSet<Cat>> {
+    let mut out: BTreeMap<u32, BTreeSet<Cat>> = BTreeMap::new();
+    for d in &lex.directives {
+        if let Directive::DeterministicVia { line, kinds } = d {
+            let entry = out.entry(*line).or_default();
+            for k in kinds {
+                match k.as_str() {
+                    "clock" => {
+                        entry.insert(Cat::Clock);
+                    }
+                    "seed" => {
+                        entry.insert(Cat::Seed);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+fn severed_at(map: &BTreeMap<u32, BTreeSet<Cat>>, line: u32, cat: Cat) -> bool {
+    let hit = |l: u32| map.get(&l).is_some_and(|s| s.contains(&cat));
+    hit(line) || (line > 1 && hit(line - 1))
+}
+
+/// Find the nondeterminism sinks in every fn body. Tokens inside test
+/// code (per `test_masks`) are skipped — tests may read real clocks.
+pub fn find_sinks(
+    graph: &ItemGraph,
+    lexed: &BTreeMap<String, Lexed>,
+    test_masks: &BTreeMap<String, Vec<bool>>,
+    severed: &BTreeMap<String, BTreeMap<u32, BTreeSet<Cat>>>,
+) -> Vec<Sink> {
+    let mut sinks = Vec::new();
+    for (file, lex) in lexed {
+        let mask = test_masks.get(file);
+        let owner = crate::callgraph::owner_map(graph, file, lex.toks.len());
+        let sev = severed.get(file);
+        for i in 0..lex.toks.len() {
+            if mask.is_some_and(|m| m.get(i).copied().unwrap_or(false)) {
+                continue;
+            }
+            let Some(fn_id) = owner.get(i).copied().flatten() else {
+                continue;
+            };
+            let found: Option<(&'static str, Cat)> = if path2(lex, i, "Instant", "now") {
+                Some(("Instant::now", Cat::Clock))
+            } else if path2(lex, i, "SystemTime", "now") {
+                Some(("SystemTime::now", Cat::Clock))
+            } else if path2(lex, i, "thread", "current") {
+                Some(("thread::current", Cat::Seed))
+            } else if lex.ident(i) == Some("from_entropy") {
+                Some(("from_entropy", Cat::Seed))
+            } else if lex.ident(i) == Some("thread_rng") {
+                Some(("thread_rng", Cat::Seed))
+            } else if lex.ident(i) == Some("OsRng") {
+                Some(("OsRng", Cat::Seed))
+            } else if path2(lex, i, "rand", "random") {
+                Some(("rand::random", Cat::Seed))
+            } else {
+                None
+            };
+            if let Some((name, cat)) = found {
+                let line = lex.line(i);
+                sinks.push(Sink {
+                    fn_id,
+                    line,
+                    name,
+                    cat,
+                    severed: sev.is_some_and(|m| severed_at(m, line, cat)),
+                });
+            }
+        }
+    }
+    sinks
+}
+
+/// `A :: B` at token `i`.
+fn path2(lex: &Lexed, i: usize, a: &str, b: &str) -> bool {
+    lex.ident(i) == Some(a)
+        && lex.punct(i + 1) == Some(':')
+        && lex.punct(i + 2) == Some(':')
+        && lex.ident(i + 3) == Some(b)
+}
+
+/// Is this fn a determinism root? The roots pin the paths whose output
+/// the byte-identical contract covers: the core pipeline, all of
+/// `analysis`, and anything on the render path.
+pub fn is_root(graph: &ItemGraph, id: usize) -> bool {
+    let f = &graph.fns[id];
+    if f.is_test || f.body.is_none() {
+        return false;
+    }
+    (f.crate_key == "core" && f.module.first().map(String::as_str) == Some("pipeline"))
+        || f.crate_key == "analysis"
+        || f.name.contains("render")
+}
+
+/// Run the pass: root-reachability per category with severed edges
+/// excluded, one finding per reachable unsevered sink.
+pub fn run(
+    graph: &ItemGraph,
+    cg: &CallGraph,
+    sinks: &[Sink],
+    severed: &BTreeMap<String, BTreeMap<u32, BTreeSet<Cat>>>,
+) -> Vec<TaintFinding> {
+    let mut roots: Vec<usize> = (0..graph.fns.len())
+        .filter(|&id| is_root(graph, id))
+        .collect();
+    roots.sort_by(|&a, &b| graph.fns[a].path().cmp(&graph.fns[b].path()));
+
+    let mut findings = Vec::new();
+    for cat in [Cat::Clock, Cat::Seed] {
+        let blocked: BTreeSet<usize> = cg
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                severed
+                    .get(&e.file)
+                    .is_some_and(|m| severed_at(m, e.line, cat))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let (seen, parent) = reachable(cg, &roots, &blocked);
+        for s in sinks {
+            if s.cat != cat || s.severed || !seen.contains(&s.fn_id) {
+                continue;
+            }
+            let mut chain: Vec<String> = Vec::new();
+            let mut cur = s.fn_id;
+            chain.push(graph.fns[cur].path());
+            while let Some(&ei) = parent.get(&cur) {
+                cur = cg.edges[ei].caller;
+                chain.push(graph.fns[cur].path());
+            }
+            chain.reverse();
+            findings.push(TaintFinding {
+                file: graph.fns[s.fn_id].file.clone(),
+                line: s.line,
+                sink: s.name,
+                cat,
+                chain: format!("{} → {} ({})", chain.join(" → "), s.name, cat.key()),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.sink).cmp(&(&b.file, b.line, b.sink)));
+    findings.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.sink == b.sink);
+    findings
+}

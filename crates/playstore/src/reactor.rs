@@ -503,7 +503,7 @@ where
     // The loop clock is wall milliseconds since startup: chaos stalls and
     // idle reaping are real-time contracts with real-socket clients (their
     // read timeouts tick in wall time), unlike the sim loop's logical clock.
-    // gaugelint: allow(wall-clock) — reactor deadline clock is inherently wall-time under epoll; the deterministic path (sim) uses a logical clock
+    // gaugelint: deterministic-via(clock) — reactor deadline clock is inherently wall-time under epoll; the deterministic path (sim) uses a logical clock
     let t0 = std::time::Instant::now();
     while !stop.load(Ordering::Relaxed) {
         let now = t0.elapsed().as_millis() as u64;

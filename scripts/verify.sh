@@ -186,18 +186,44 @@ verify() {
     fi
     rm -f "$net_out.sim.out" "$net_out.sim.err" \
         "$net_out.epoll.out" "$net_out.epoll.err"
-    # gaugelint gate: the in-repo invariant checker (DESIGN.md §10) must
-    # pass its own fixture suite and report zero unsuppressed findings
-    # across crates/ and tests/.
+    # gaugelint gate (DESIGN.md §10, §15): the in-repo invariant checker
+    # must pass its fixture suites (lexical rules, workspace semantics,
+    # CLI acceptance), then the whole-workspace semantic pass must come
+    # back clean against the committed baseline — twice, with both the
+    # findings JSON and the channel wait-for graph byte-identical across
+    # runs (the lint's own determinism contract).
     run_cargo "$mode" test -q -p lint || return 1
-    run_cargo "$mode" run -q -p lint -- crates tests || return 1
+    lint_out="target/verify-lint.$$"
+    run_cargo "$mode" run -q -p lint -- --format json \
+        --baseline results/lint_baseline.json --waitfor "$lint_out.wf1.json" \
+        crates tests >"$lint_out.1.json" || return 1
+    run_cargo "$mode" run -q -p lint -- --format json \
+        --baseline results/lint_baseline.json --waitfor "$lint_out.wf2.json" \
+        crates tests >"$lint_out.2.json" || return 1
+    if ! cmp -s "$lint_out.1.json" "$lint_out.2.json"; then
+        echo "verify: gaugelint findings JSON differs between identical runs" >&2
+        diff "$lint_out.1.json" "$lint_out.2.json" | head -20 >&2
+        return 1
+    fi
+    if ! cmp -s "$lint_out.wf1.json" "$lint_out.wf2.json"; then
+        echo "verify: gaugelint wait-for graph differs between identical runs" >&2
+        diff "$lint_out.wf1.json" "$lint_out.wf2.json" | head -20 >&2
+        return 1
+    fi
+    rm -f "$lint_out.1.json" "$lint_out.2.json" \
+        "$lint_out.wf1.json" "$lint_out.wf2.json"
     # Runtime lock-order deadlock detector: the vendored parking_lot's own
     # detector suite, then the concurrency suite re-run with every lock in
     # the build graph order-checked (single-threaded, so a detected cycle
-    # panics one test instead of wedging the harness).
+    # panics one test instead of wedging the harness), then the channel
+    # wait-for detector's regression suite (mutual-recv cycles must panic
+    # with both sites before blocking; detector state is process-global,
+    # hence single-threaded).
     run_cargo "$mode" test -q -p parking_lot --features lock-order-check \
         || return 1
     run_cargo "$mode" test -q --test concurrency --features lock-order-check \
+        -- --test-threads=1 || return 1
+    run_cargo "$mode" test -q --test chan_deadlock --features lock-order-check \
         -- --test-threads=1 || return 1
     # Workspace-wide clippy gate (kept after the repo went warning-clean).
     if run_cargo "$mode" clippy --version >/dev/null 2>&1; then

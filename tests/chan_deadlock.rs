@@ -1,0 +1,127 @@
+//! Regression tests for the channel wait-for deadlock detector
+//! (`parking_lot::chanwait` + the instrumented crossbeam shim).
+//!
+//! The scenario the lock-order graph cannot see: two threads each
+//! blocked in `recv()` on channels whose fills depend on each other. No
+//! lock is held, so the lock detector is blind — but gaugelint's static
+//! wait-for graph knows a send on `a` depends on a recv from `b` and
+//! vice versa, and the runtime detector combines that with its
+//! blocked-receiver registry to panic *before* the second thread blocks,
+//! with both receive sites in the message.
+//!
+//! The whole file is gated on `lock-order-check` (which forwards to
+//! crossbeam's `wait-for-check`); run with `--test-threads=1` — the
+//! detector state is process-global.
+#![cfg(feature = "lock-order-check")]
+
+use crossbeam::channel;
+use parking_lot::chanwait;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+use std::time::Duration;
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// Poll-recv on `rx` until the detector panics (the peer thread's
+/// registration is visible) or the attempt budget runs out. Returns the
+/// panic message.
+fn recv_until_cycle_panics(rx: &channel::Receiver<u32>) -> String {
+    for _ in 0..500 {
+        match catch_unwind(AssertUnwindSafe(|| {
+            rx.recv_timeout(Duration::from_millis(10))
+        })) {
+            Ok(_) => continue, // peer not blocked/registered yet — retry
+            Err(e) => return panic_message(e),
+        }
+    }
+    String::new()
+}
+
+#[test]
+fn mutual_recv_cycle_panics_before_blocking_with_both_sites() {
+    let (tx_a, rx_a) = channel::unbounded_named::<u32>("cycle.a");
+    let (_tx_b, rx_b) = channel::unbounded_named::<u32>("cycle.b");
+
+    // Thread 1 blocks receiving on `a`. The wait-for edges are added
+    // only after it has (almost surely) registered, so the *second*
+    // receive is deterministically the one that trips the check.
+    let t1 = thread::spawn(move || rx_a.recv());
+    thread::sleep(Duration::from_millis(50));
+    chanwait::add_edge("cycle.a", "cycle.b");
+    chanwait::add_edge("cycle.b", "cycle.a");
+
+    let msg = recv_until_cycle_panics(&rx_b);
+    assert!(
+        msg.contains("wait-for-check") && msg.contains("channel wait cycle"),
+        "second recv must panic with a wait-cycle report, got: {msg:?}"
+    );
+    assert!(
+        msg.contains("cycle.a") && msg.contains("cycle.b"),
+        "both channel names in the message: {msg}"
+    );
+    // Both receive *sites* (this file) are named — the blocked thread's
+    // and the panicking thread's.
+    assert!(
+        msg.matches("chan_deadlock.rs").count() >= 2,
+        "both recv sites in the message: {msg}"
+    );
+
+    // The blocked thread is recoverable the ordinary channel way:
+    // dropping every sender of `a` turns its blocked recv into a clean
+    // disconnect, proving the detector fired before anything wedged.
+    drop(tx_a);
+    assert!(t1.join().expect("thread 1 must not panic").is_err());
+}
+
+#[test]
+fn waitfor_graph_json_arms_the_detector() {
+    // Edges in exactly the shape the linter emits with `--waitfor`.
+    chanwait::load_graph_str(
+        r#"{
+  "version": 1,
+  "channels": [
+    {"name": "json.x", "created": "a.rs:1", "senders": [], "receivers": []}
+  ],
+  "wait_edges": [
+    {"from": "json.x", "to": "json.y", "via": "a::f", "site": "a.rs:1"},
+    {"from": "json.y", "to": "json.x", "via": "b::g", "site": "b.rs:2"}
+  ]
+}"#,
+    );
+    let (tx_x, rx_x) = channel::unbounded_named::<u32>("json.x");
+    let (_tx_y, rx_y) = channel::unbounded_named::<u32>("json.y");
+    let t1 = thread::spawn(move || rx_x.recv());
+    thread::sleep(Duration::from_millis(50));
+
+    let msg = recv_until_cycle_panics(&rx_y);
+    assert!(
+        msg.contains("json.x") && msg.contains("json.y"),
+        "JSON-loaded edges must close the cycle: {msg:?}"
+    );
+    drop(tx_x);
+    assert!(t1.join().expect("thread 1 must not panic").is_err());
+}
+
+#[test]
+fn acyclic_channels_stay_quiet() {
+    // One-direction dependency only: no cycle, both receives proceed.
+    chanwait::add_edge("quiet.a", "quiet.b");
+    let (tx_a, rx_a) = channel::unbounded_named::<u32>("quiet.a");
+    let (tx_b, rx_b) = channel::unbounded_named::<u32>("quiet.b");
+    let t1 = thread::spawn(move || rx_a.recv());
+    thread::sleep(Duration::from_millis(20));
+    assert_eq!(
+        rx_b.recv_timeout(Duration::from_millis(20)),
+        Err(channel::RecvTimeoutError::Timeout),
+        "a one-way dependency must not be reported as a cycle"
+    );
+    tx_a.send(7).expect("send");
+    assert_eq!(t1.join().expect("no panic"), Ok(7));
+    drop(tx_b);
+}

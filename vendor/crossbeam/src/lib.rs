@@ -13,12 +13,72 @@
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
+    use std::panic::Location;
     use std::sync::{Arc, Condvar, Mutex};
     use std::time::{Duration, Instant};
 
     struct Shared<T> {
         queue: Mutex<State<T>>,
         ready: Condvar,
+        /// Channel name for the wait-for deadlock detector and its
+        /// diagnostics: the `unbounded_named` name, or the creation
+        /// site's `file:line` — the same identity gaugelint's static
+        /// wait-for graph uses, so runtime registrations line up with
+        /// static edges.
+        name: String,
+    }
+
+    /// Registers the current thread with the wait-for detector the first
+    /// time a receive actually blocks; unregisters on drop (item,
+    /// disconnect, or timeout — any way out of the blocking loop).
+    #[cfg(feature = "wait-for-check")]
+    struct WaitReg<'a> {
+        name: &'a str,
+        site: &'static Location<'static>,
+        armed: bool,
+    }
+
+    #[cfg(feature = "wait-for-check")]
+    impl<'a> WaitReg<'a> {
+        fn new(name: &'a str, site: &'static Location<'static>) -> WaitReg<'a> {
+            WaitReg {
+                name,
+                site,
+                armed: false,
+            }
+        }
+
+        /// About to block: check for a wait cycle (panics before
+        /// blocking) and register. Idempotent across the recv loop's
+        /// spurious wakeups.
+        fn arm(&mut self) {
+            if !self.armed {
+                parking_lot::chanwait::before_recv(self.name, self.site);
+                self.armed = true;
+            }
+        }
+    }
+
+    #[cfg(feature = "wait-for-check")]
+    impl Drop for WaitReg<'_> {
+        fn drop(&mut self) {
+            if self.armed {
+                parking_lot::chanwait::after_recv(self.name);
+            }
+        }
+    }
+
+    /// No-op twin so the recv paths read identically without the feature.
+    #[cfg(not(feature = "wait-for-check"))]
+    struct WaitReg<'a>(std::marker::PhantomData<&'a str>);
+
+    #[cfg(not(feature = "wait-for-check"))]
+    impl<'a> WaitReg<'a> {
+        fn new(_name: &'a str, _site: &'static Location<'static>) -> WaitReg<'a> {
+            WaitReg(std::marker::PhantomData)
+        }
+
+        fn arm(&mut self) {}
     }
 
     struct State<T> {
@@ -75,14 +135,30 @@ pub mod channel {
         shared: Arc<Shared<T>>,
     }
 
-    /// Create an unbounded MPMC channel.
+    /// Create an unbounded MPMC channel. The channel's identity for the
+    /// wait-for deadlock detector is the caller's `file:line` — the same
+    /// default name gaugelint's channel inventory assigns.
+    #[track_caller]
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let site = Location::caller();
+        with_name(format!("{}:{}", site.file(), site.line()))
+    }
+
+    /// Create an unbounded MPMC channel with an explicit name (matching
+    /// a `// gaugelint: channel-pair(name)` annotation at the creation
+    /// site, so static wait-for edges and runtime registrations agree).
+    pub fn unbounded_named<T>(name: &str) -> (Sender<T>, Receiver<T>) {
+        with_name(name.to_string())
+    }
+
+    fn with_name<T>(name: String) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
                 items: VecDeque::new(),
                 senders: 1,
             }),
             ready: Condvar::new(),
+            name,
         });
         (
             Sender {
@@ -131,8 +207,13 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
-        /// Block until an item arrives or all senders disconnect.
+        /// Block until an item arrives or all senders disconnect. With
+        /// `wait-for-check`, a receive that is about to block first
+        /// checks the channel wait-for graph and panics (before
+        /// blocking) if another blocked receive closes a wait cycle.
+        #[track_caller]
         pub fn recv(&self) -> Result<T, RecvError> {
+            let mut reg = WaitReg::new(&self.shared.name, Location::caller());
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(item) = state.items.pop_front() {
@@ -141,6 +222,7 @@ pub mod channel {
                 if state.senders == 0 {
                     return Err(RecvError);
                 }
+                reg.arm();
                 state = self
                     .shared
                     .ready
@@ -161,8 +243,13 @@ pub mod channel {
             }
         }
 
-        /// Blocking receive with a deadline.
+        /// Blocking receive with a deadline. Participates in wait-for
+        /// checking like [`Receiver::recv`]: a bounded wait still
+        /// serialises a deadlocked pipeline for the full timeout, so
+        /// flagging the cycle eagerly is the useful behaviour.
+        #[track_caller]
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let mut reg = WaitReg::new(&self.shared.name, Location::caller());
             let deadline = Instant::now() + timeout;
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
@@ -176,6 +263,7 @@ pub mod channel {
                 if now >= deadline {
                     return Err(RecvTimeoutError::Timeout);
                 }
+                reg.arm();
                 let (s, _timed_out) = self
                     .shared
                     .ready

@@ -1,0 +1,160 @@
+//! Channel wait-for deadlock detector, the send/recv sibling of
+//! [`crate::order`] (enabled by the same `lock-order-check` feature).
+//!
+//! Lock cycles are observable at runtime because one thread *holds* A
+//! while acquiring B. Channel cycles are not: a thread blocked in
+//! `recv()` holds nothing — the dependency "my recv on X completes only
+//! after someone's send, and that someone is blocked on Y" lives in the
+//! *code*, not in any runtime state. So this detector takes the static
+//! half from gaugelint's channel wait-for graph (DESIGN.md §15): a JSON
+//! artifact with one edge `from → to` whenever some function can send on
+//! `from` while its completion depends on receiving from `to`.
+//!
+//! At runtime each thread registers the channel it is *about to block*
+//! receiving on. Before blocking on channel `X`, the detector checks
+//! every other blocked thread's channel `W`: if the static graph says
+//! `X` reaches `W` *and* `W` reaches `X`, the two recvs can each be
+//! waiting for a send the other thread would perform — a wait cycle —
+//! and the acquiring thread panics with both sites before blocking,
+//! exactly like the lock detector.
+//!
+//! The static edges load from the file named by the
+//! `GAUGENN_WAITFOR_GRAPH` environment variable on first use (gaugelint
+//! emits it via `--waitfor`), and tests can wire edges directly with
+//! [`add_edge`] / [`load_graph_str`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::Location;
+use std::sync::Mutex as StdMutex;
+use std::thread::ThreadId;
+
+#[derive(Debug, Default)]
+struct ChanWait {
+    /// Static wait-for edges: `from` channel → channels it waits on.
+    edges: BTreeMap<String, BTreeSet<String>>,
+    /// Threads currently blocked in a receive: (thread, channel, site).
+    blocked: Vec<(ThreadId, String, &'static Location<'static>)>,
+    /// Has the `GAUGENN_WAITFOR_GRAPH` env var been consulted?
+    env_checked: bool,
+}
+
+impl ChanWait {
+    /// Is `target` reachable from `start` along static edges?
+    fn reaches(&self, start: &str, target: &str) -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack: Vec<&str> = vec![start];
+        while let Some(n) = stack.pop() {
+            if n == target {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(n) {
+                stack.extend(next.iter().map(String::as_str));
+            }
+        }
+        false
+    }
+
+    fn load_env(&mut self) {
+        if self.env_checked {
+            return;
+        }
+        self.env_checked = true;
+        let Ok(path) = std::env::var("GAUGENN_WAITFOR_GRAPH") else {
+            return;
+        };
+        match std::fs::read_to_string(&path) {
+            Ok(text) => self.load_str(&text),
+            Err(e) => eprintln!("wait-for-check: cannot read {path}: {e} (edges not loaded)"),
+        }
+    }
+
+    /// Parse gaugelint's wait-for JSON. The emitter writes one edge
+    /// object per line, so a line scan with quoted-field extraction is a
+    /// full parser for the format this crate promises to consume.
+    fn load_str(&mut self, text: &str) {
+        for line in text.lines() {
+            let (Some(from), Some(to)) = (field(line, "from"), field(line, "to")) else {
+                continue;
+            };
+            self.edges.entry(from).or_default().insert(to);
+        }
+    }
+}
+
+/// Extract `"key": "value"` from a single-line JSON fragment (escapes
+/// left as written — channel names never contain them).
+fn field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+static STATE: StdMutex<Option<ChanWait>> = StdMutex::new(None);
+
+fn with_state<R>(f: impl FnOnce(&mut ChanWait) -> R) -> R {
+    // Recover from poison like the lock detector: a violation panic while
+    // holding the state must not disarm the detector for the process.
+    let mut state = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    f(state.get_or_insert_with(ChanWait::default))
+}
+
+/// Add one static wait-for edge `from → to` ("a send on `from` can
+/// depend on a recv from `to`"). Test wiring; production edges come from
+/// the gaugelint artifact.
+pub fn add_edge(from: &str, to: &str) {
+    with_state(|s| {
+        s.edges
+            .entry(from.to_string())
+            .or_default()
+            .insert(to.to_string());
+    });
+}
+
+/// Load static edges from a gaugelint `--waitfor` JSON string.
+pub fn load_graph_str(text: &str) {
+    with_state(|s| s.load_str(text));
+}
+
+/// Called by the channel implementation when the current thread is about
+/// to *block* receiving on `chan` at `site`. Panics — before blocking —
+/// if another thread is already blocked on a channel that the static
+/// graph puts in a mutual wait cycle with `chan`.
+pub fn before_recv(chan: &str, site: &'static Location<'static>) {
+    let me = std::thread::current().id();
+    with_state(|s| {
+        s.load_env();
+        for (tid, other, other_site) in &s.blocked {
+            if *tid == me || other == chan {
+                continue;
+            }
+            if s.reaches(chan, other) && s.reaches(other, chan) {
+                panic!(
+                    "wait-for-check: channel wait cycle: about to block receiving on \
+                     `{chan}` at {site} while {tid:?} is blocked receiving on `{other}` \
+                     at {other_site} (static wait-for edges close the cycle \
+                     {chan} → {other} → {chan})"
+                );
+            }
+        }
+        s.blocked.push((me, chan.to_string(), site));
+    });
+}
+
+/// Called when a blocked receive returns (with an item, a disconnect, or
+/// a timeout). Removes the current thread's registration for `chan`.
+pub fn after_recv(chan: &str) {
+    let me = std::thread::current().id();
+    with_state(|s| {
+        if let Some(pos) = s
+            .blocked
+            .iter()
+            .rposition(|(tid, c, _)| *tid == me && c == chan)
+        {
+            s.blocked.remove(pos);
+        }
+    });
+}

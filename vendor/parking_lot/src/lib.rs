@@ -18,9 +18,19 @@
 //! *types* (they become wrappers that pop the held-lock stack on drop)
 //! but not the API surface, so it can be flipped on for a test run
 //! without touching calling code: `cargo test --features lock-order-check`.
+//!
+//! The same feature arms [`chanwait`], the channel wait-for detector:
+//! send/recv cycles the lock graph cannot see (a blocked `recv` holds no
+//! lock) are caught by combining gaugelint's static wait-for graph with
+//! a registry of threads blocked in receives — see the module docs.
 
 #![forbid(unsafe_code)]
 
+/// Channel wait-for deadlock detection (see module docs). Public because
+/// the vendored channel shim and tests feed it; armed by the same
+/// `lock-order-check` feature as the lock detector.
+#[cfg(feature = "lock-order-check")]
+pub mod chanwait;
 #[cfg(feature = "lock-order-check")]
 mod order;
 
