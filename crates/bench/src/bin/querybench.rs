@@ -9,13 +9,16 @@
 //!
 //! Crawls and analyses one snapshot, folds it into the [`CorpusIndex`],
 //! attaches the index to a [`StoreServer`], then replays one seeded
-//! query stream (model filters, range scans, app filters, stats) through
-//! [`QueryClient`]s at increasing connection counts — 1 up to `--workers`
-//! (default 1024) concurrent clients. The store's serving loop is pinned
-//! with `--reactor threaded|epoll|sim` (default: `GAUGENN_REACTOR`, then
-//! the platform default); the resolved loop is recorded in the output so
-//! the threaded baseline and the event-driven sweeps are comparable rows
-//! of `results/BENCH_net.json`.
+//! query stream (model filters, range scans, app filters, stats) at
+//! increasing connection counts — 1 up to `--workers` (default 1024)
+//! concurrent connections, driven as non-blocking client state machines
+//! by a handful of reactor threads (hosts without epoll fall back to a
+//! blocking [`QueryClient`] driver pool with the identical request
+//! schedule). The store's serving loop is pinned with `--reactor
+//! threaded|epoll|sim` (default: `GAUGENN_REACTOR`, then the platform
+//! default); the resolved loop and the client path are recorded in the
+//! output so the threaded baseline and the event-driven sweeps are
+//! comparable rows of `results/BENCH_net.json`.
 //!
 //! Each run reports QPS and p50/p99 latency — percentiles computed over
 //! the *merged* sample set of every client (see [`gaugenn_bench::stats`])
@@ -44,10 +47,14 @@ use gaugenn_modelfmt::Framework;
 use gaugenn_playstore::categories::CATEGORIES;
 use gaugenn_playstore::chaos::{FaultKind, FaultPlan, FaultPlanConfig};
 use gaugenn_playstore::corpus::{generate, CorpusScale, Snapshot};
+use gaugenn_playstore::crawler::{CrawlStats, RetryPolicy};
 use gaugenn_playstore::net::Endpoint;
+use gaugenn_playstore::proto::Response;
 use gaugenn_playstore::route::Route;
 use gaugenn_playstore::server::{ServerOptions, StoreServer};
-use gaugenn_playstore::QueryClient;
+use gaugenn_playstore::{
+    drive_lanes, nonblocking_tcp_available, LaneJob, LaneOpts, LaneSpec, QueryClient,
+};
 use gaugenn_bench::stats::Stopwatch;
 use std::time::Duration;
 
@@ -101,7 +108,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The loop the server actually runs (epoll falls back to threaded on
     // hosts without epoll) — this is the `reactor` column of the output.
     let reactor = server.mode().name();
-    eprintln!("  reactor: {reactor}");
+    // The load generator: non-blocking lane swarm wherever a substrate
+    // exists, the blocking driver pool otherwise.
+    let client = if swarm_capable(&server.endpoint()) {
+        "swarm"
+    } else {
+        "threaded"
+    };
+    eprintln!("  reactor: {reactor}, client: {client}");
     let mut runs: Vec<RunResult> = Vec::new();
     for &clients in &counts {
         let run = replay(&server.endpoint(), &queries, clients, seed)?;
@@ -157,6 +171,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  \"scale\": \"{scale:?}\",");
         println!("  \"seed\": {seed},");
         println!("  \"reactor\": \"{reactor}\",");
+        println!("  \"client\": \"{client}\",");
         println!("  \"queries\": {},", queries.len());
         println!("  \"digest\": \"{digest:08x}\",");
         println!("  \"runs\": [");
@@ -177,7 +192,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("}}");
     } else {
         println!(
-            "query serving — scale {scale:?}, seed {seed}, reactor {reactor}, {} queries",
+            "query serving — scale {scale:?}, seed {seed}, reactor {reactor}, \
+             client {client}, {} queries",
             queries.len()
         );
         println!("clients   wall ms       qps   p50 us   p99 us");
@@ -195,25 +211,171 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Cap on load-generator OS threads. Connections above this count are
-/// multiplexed over the pool (wrk-style): the point of the high-count
-/// rows is the *server's* connection ceiling, and a thread per
-/// connection would measure the generator thrashing the scheduler
-/// instead of the loop under test.
+/// Cap on load-generator OS threads for the *blocking* fallback path.
+/// Connections above this count are multiplexed over the pool
+/// (wrk-style): the point of the high-count rows is the *server's*
+/// connection ceiling, and a thread per connection would measure the
+/// generator thrashing the scheduler instead of the loop under test.
 const MAX_DRIVERS: usize = 64;
+
+/// Reactor driver threads for the swarm path — the whole point of the
+/// non-blocking client is that a handful of threads holds every
+/// connection in flight simultaneously.
+const SWARM_DRIVERS: usize = 8;
 
 /// One completed turn: (connection, stream index, response bytes, µs).
 type Turn = (usize, usize, Vec<u8>, f64);
+
+/// Whether this host can run the non-blocking swarm client against
+/// `endpoint` (sim endpoints always can; TCP needs epoll).
+fn swarm_capable(endpoint: &Endpoint) -> bool {
+    match endpoint {
+        Endpoint::Sim(_) => true,
+        Endpoint::Tcp(_) => nonblocking_tcp_available(),
+    }
+}
 
 /// Replay `queries` through `clients` concurrent connections. Query `i`
 /// goes to connection `i % clients`; responses are digested in stream
 /// order, so the digest is independent of completion order, and every
 /// connection's latency samples are merged before percentiles are
-/// taken. All `clients` connections are open for the whole run; a
-/// bounded driver pool walks its connections round-robin, one
-/// request/response turn each, so in-flight load is `min(clients,
-/// MAX_DRIVERS)` while connection state scales with `clients`.
+/// taken.
+///
+/// The swarm path (the default wherever a non-blocking substrate
+/// exists) runs every connection as a [`LaneJob`] state machine:
+/// `SWARM_DRIVERS` reactor threads hold all `clients` connections in
+/// flight at once. Hosts without epoll fall back to the blocking driver
+/// pool, whose request-per-connection schedule — and therefore the
+/// response stream — is identical.
 fn replay(
+    endpoint: &Endpoint,
+    queries: &[Route],
+    clients: usize,
+    seed: u64,
+) -> Result<RunResult, Box<dyn std::error::Error>> {
+    if swarm_capable(endpoint) {
+        swarm_replay(endpoint, queries, clients, seed)
+    } else {
+        blocking_replay(endpoint, queries, clients, seed)
+    }
+}
+
+/// A swarm lane's route plan, stamping each turn with its stream index
+/// and wall-clock latency (latency timing lives here in the bench, not
+/// in the library, so the deterministic client stays clock-free).
+struct TimedJob {
+    plan: Vec<(usize, Route)>,
+    next: usize,
+    inflight: Option<(usize, Stopwatch)>,
+    done: Vec<(usize, Vec<u8>, f64)>,
+    failed: Option<String>,
+}
+
+impl LaneJob for TimedJob {
+    fn next_request(&mut self, _stats: &mut CrawlStats) -> Option<(Route, bool)> {
+        if self.failed.is_some() {
+            return None;
+        }
+        let (i, route) = self.plan.get(self.next)?.clone();
+        self.next += 1;
+        self.inflight = Some((i, Stopwatch::start()));
+        Some((route, false))
+    }
+
+    fn on_result(&mut self, result: gaugenn_playstore::Result<Response>) {
+        let (i, t) = self.inflight.take().expect("lane result without a request");
+        match result {
+            Ok(resp) => {
+                let mut bytes = resp.status.to_be_bytes().to_vec();
+                bytes.extend_from_slice(&resp.body);
+                self.done.push((i, bytes, t.elapsed().as_secs_f64() * 1e6));
+            }
+            Err(e) => self.failed = Some(format!("query {i}: {e}")),
+        }
+    }
+}
+
+/// The non-blocking replay: lanes over `SWARM_DRIVERS` reactor threads.
+fn swarm_replay(
+    endpoint: &Endpoint,
+    queries: &[Route],
+    clients: usize,
+    seed: u64,
+) -> Result<RunResult, Box<dyn std::error::Error>> {
+    let n = queries.len();
+    let drivers = clients.min(SWARM_DRIVERS);
+    let mut responses: Vec<Option<Vec<u8>>> = vec![None; n];
+    let mut per_conn: Vec<Vec<f64>> = vec![Vec::new(); clients];
+    let t0 = Stopwatch::start();
+    let harvested: Vec<Result<_, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..drivers)
+            .map(|d| {
+                let endpoint = endpoint.clone();
+                scope.spawn(move || {
+                    // Driver d owns connections d, d+D, …; connection c's
+                    // t-th query is stream index t * clients + c — the
+                    // same round-robin split the blocking pool walks.
+                    let specs: Vec<LaneSpec<TimedJob>> = (d..clients)
+                        .step_by(drivers)
+                        .filter_map(|c| {
+                            let plan: Vec<(usize, Route)> = (0..)
+                                .map(|t| t * clients + c)
+                                .take_while(|&i| i < n)
+                                .map(|i| (i, queries[i].clone()))
+                                .collect();
+                            (!plan.is_empty()).then(|| LaneSpec {
+                                connection_id: c as u64,
+                                retry: RetryPolicy {
+                                    jitter_seed: seed ^ c as u64,
+                                    ..RetryPolicy::default()
+                                },
+                                job: TimedJob {
+                                    plan,
+                                    next: 0,
+                                    inflight: None,
+                                    done: Vec::new(),
+                                    failed: None,
+                                },
+                            })
+                        })
+                        .collect();
+                    let opts = LaneOpts {
+                        connect_timeout: Duration::from_secs(30),
+                        read_timeout: Duration::from_secs(30),
+                        sim_seed: seed ^ d as u64,
+                        ..LaneOpts::default()
+                    };
+                    drive_lanes(&endpoint, specs, &opts, None)
+                        .map_err(|e| format!("swarm driver {d}: {e}"))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("swarm driver panicked"))
+            .collect()
+    });
+    for res in harvested {
+        let (outcomes, _report) = res?;
+        for o in outcomes {
+            let c = o.connection_id as usize;
+            if let Some(reason) = o.job.failed {
+                return Err(reason.into());
+            }
+            for (i, bytes, dt) in o.job.done {
+                responses[i] = Some(bytes);
+                per_conn[c].push(dt);
+            }
+        }
+    }
+    finish(clients, responses, per_conn, t0)
+}
+
+/// The blocking fallback: a bounded driver pool walking its connections
+/// round-robin, one request/response turn each, so in-flight load is
+/// `min(clients, MAX_DRIVERS)` while connection state scales with
+/// `clients`.
+fn blocking_replay(
     endpoint: &Endpoint,
     queries: &[Route],
     clients: usize,
@@ -285,8 +447,20 @@ fn replay(
         }
         Ok(())
     })?;
-    let wall = t0.elapsed();
+    finish(clients, responses, per_conn, t0)
+}
 
+/// Shared tail of both replay paths: stamp the wall clock, digest the
+/// stream in order, merge every connection's samples into one
+/// percentile base.
+fn finish(
+    clients: usize,
+    responses: Vec<Option<Vec<u8>>>,
+    per_conn: Vec<Vec<f64>>,
+    t0: Stopwatch,
+) -> Result<RunResult, Box<dyn std::error::Error>> {
+    let wall = t0.elapsed();
+    let n = responses.len();
     let mut all = Vec::new();
     for (i, r) in responses.into_iter().enumerate() {
         all.extend(r.unwrap_or_else(|| panic!("query {i} was never executed")));

@@ -5,7 +5,13 @@
 //! cargo run --release -p gaugenn-bench --bin repro -- --scale paper      # full 16.6k-app corpus
 //! cargo run --release -p gaugenn-bench --bin repro -- --scale tiny --seed 7
 //! cargo run --release -p gaugenn-bench --bin repro -- --workers 8 --analysis-workers 4
+//! cargo run --release -p gaugenn-bench --bin repro -- --reactor sim --connections 64
 //! ```
+//!
+//! `--reactor` pins the store's serving loop *and* the pool's client
+//! transport (sim runs also print their schedule digest on stderr);
+//! `--connections` sets connections-per-worker for pooled crawls. Both
+//! are stdout-invariant — tables never change, only wall time.
 //!
 //! (The pre-flag positional spelling `repro small 1402 8 4` still works
 //! behind a stderr deprecation warning — see `gaugenn_bench::cli`.)
@@ -42,6 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = ArgSpec {
         takes_workers: true,
         takes_resume: true,
+        takes_reactor: true,
+        takes_connections: true,
+        default_connections: 1,
         ..ArgSpec::new("repro", "regenerate every table and figure of the paper")
     };
     let args = cli::parse_or_exit(&spec);
@@ -70,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut builder = PipelineConfig::builder(scale, snapshot, seed)
             .workers(workers)
             .analysis_workers(analysis_workers)
+            .connections_per_worker(args.connections)
             .resume(resume);
+        if let Some(mode) = args.reactor {
+            builder = builder.reactor(mode);
+        }
         if let Some(dir) = &cache_dir {
             builder = builder.analysis_cache_dir(dir.clone());
         }
@@ -86,10 +99,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r2020 = Pipeline::new(config(Snapshot::Y2020)).run()?;
     eprintln!("  {}", r2020.crawl_summary());
     eprintln!("  {}", r2020.analysis_summary());
+    if let Some(digest) = r2020.reactor_digest {
+        // Which readiness schedule the sim store took — stderr only, and
+        // free to vary run to run while stdout stays byte-identical.
+        eprintln!("  reactor digest {digest:016x}");
+    }
     eprintln!("[2/5] crawling + analysing the Apr 2021 snapshot...");
     let r2021 = Pipeline::new(config(Snapshot::Y2021)).run()?;
     eprintln!("  {}", r2021.crawl_summary());
     eprintln!("  {}", r2021.analysis_summary());
+    if let Some(digest) = r2021.reactor_digest {
+        eprintln!("  reactor digest {digest:016x}");
+    }
 
     println!("{}", offline::tab2(&r2020, &r2021).render());
     println!("Crawl drop-out breakdown (Apr 2021 snapshot):");

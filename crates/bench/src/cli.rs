@@ -49,6 +49,11 @@ pub struct ArgSpec {
     pub takes_json: bool,
     /// Whether the bin accepts `--reactor`.
     pub takes_reactor: bool,
+    /// Whether the bin accepts `--connections` (per-worker connection
+    /// multiplexing for the event-driven client).
+    pub takes_connections: bool,
+    /// Default connection count, when the bin takes `--connections`.
+    pub default_connections: usize,
 }
 
 impl ArgSpec {
@@ -64,6 +69,8 @@ impl ArgSpec {
             takes_resume: false,
             takes_json: false,
             takes_reactor: false,
+            takes_connections: false,
+            default_connections: 1,
         }
     }
 }
@@ -86,6 +93,9 @@ pub struct BenchArgs {
     /// Pin the store's serving loop; `None` defers to `GAUGENN_REACTOR`
     /// and the platform default.
     pub reactor: Option<ReactorMode>,
+    /// Connections per worker for the event-driven client (defaulted
+    /// even for bins that ignore it).
+    pub connections: usize,
 }
 
 /// Outcome of [`parse`]: the arguments plus how they were spelled.
@@ -109,6 +119,7 @@ pub fn parse(spec: &ArgSpec, argv: &[String]) -> Result<Parsed, String> {
     let mut flag_workers: Option<usize> = None;
     let mut flag_analysis: Option<usize> = None;
     let mut flag_reactor: Option<ReactorMode> = None;
+    let mut flag_connections: Option<usize> = None;
     let mut resume = false;
     let mut json = false;
     let mut help = false;
@@ -142,6 +153,9 @@ pub fn parse(spec: &ArgSpec, argv: &[String]) -> Result<Parsed, String> {
             }
             "--resume" if spec.takes_resume => resume = true,
             "--json" if spec.takes_json => json = true,
+            "--connections" if spec.takes_connections => {
+                flag_connections = Some(parse_num(name, &value(&mut i)?)?)
+            }
             "--reactor" if spec.takes_reactor => {
                 let v = value(&mut i)?;
                 flag_reactor = Some(ReactorMode::parse(&v).ok_or_else(|| {
@@ -164,6 +178,7 @@ pub fn parse(spec: &ArgSpec, argv: &[String]) -> Result<Parsed, String> {
         resume,
         json,
         reactor: flag_reactor,
+        connections: flag_connections.unwrap_or(spec.default_connections),
     };
     let mut pos_analysis: Option<usize> = None;
     if !positionals.is_empty() {
@@ -268,6 +283,12 @@ pub fn help(spec: &ArgSpec) -> String {
             "  --reactor threaded|epoll|sim  store serving loop (default: GAUGENN_REACTOR)\n",
         );
     }
+    if spec.takes_connections {
+        out.push_str(&format!(
+            "  --connections N           connections multiplexed per worker (default {})\n",
+            spec.default_connections
+        ));
+    }
     out.push_str("  --help                    this text\n");
     out.push_str("\nPositional forms (`scale [seed [workers [analysis_workers]]]`) are\ndeprecated but still accepted, with a warning on stderr.\n");
     out
@@ -311,6 +332,8 @@ mod tests {
             takes_resume: true,
             takes_json: true,
             takes_reactor: true,
+            takes_connections: true,
+            default_connections: 64,
             ..ArgSpec::new("testbench", "test spec")
         }
     }
@@ -392,6 +415,18 @@ mod tests {
     }
 
     #[test]
+    fn connections_flag_parses_and_defaults_per_spec() {
+        let p = parse(&spec(), &[]).unwrap();
+        assert_eq!(p.args.connections, 64, "spec default applies");
+        let p = parse(&spec(), &argv(&["--connections", "256"])).unwrap();
+        assert_eq!(p.args.connections, 256);
+        let p = parse(&spec(), &argv(&["--connections=8"])).unwrap();
+        assert_eq!(p.args.connections, 8);
+        let err = parse(&spec(), &argv(&["--connections", "many"])).unwrap_err();
+        assert!(err.contains("expects a number"), "{err}");
+    }
+
+    #[test]
     fn unsupported_flags_are_rejected_per_spec() {
         let plain = ArgSpec::new("plainbench", "no optional flags");
         for flags in [
@@ -399,6 +434,7 @@ mod tests {
             &["--resume"],
             &["--json"],
             &["--reactor", "sim"],
+            &["--connections", "8"],
         ] {
             let err = parse(&plain, &argv(flags)).unwrap_err();
             assert!(err.contains("unknown flag"), "{flags:?}: {err}");

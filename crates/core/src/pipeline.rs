@@ -90,10 +90,19 @@ pub struct PipelineConfig {
     pub index_dir: Option<PathBuf>,
     /// Which serving loop the store runs (`None` = the `GAUGENN_REACTOR`
     /// environment variable, falling back to the platform default).
-    /// Never changes report content — the crawler reaches a sim store
-    /// through in-process pipes and a TCP store through sockets, and the
-    /// report is byte-identical either way.
+    /// A pooled crawl (`workers > 1`) passes the same choice to the
+    /// [`CrawlPool`] as its *client* transport, so `epoll`/`sim` runs
+    /// are event-driven end to end. Never changes report content — the
+    /// crawler reaches a sim store through in-process pipes and a TCP
+    /// store through sockets, and the report is byte-identical either
+    /// way.
     pub reactor: Option<ReactorMode>,
+    /// Store connections each crawl worker multiplexes (pooled crawls
+    /// only; clamped to a minimum of 1). With a non-threaded
+    /// [`Self::reactor`] one worker thread drives all of them as
+    /// non-blocking lanes; the threaded baseline walks them
+    /// sequentially. Never changes report content.
+    pub connections_per_worker: usize,
 }
 
 impl PipelineConfig {
@@ -132,6 +141,7 @@ impl PipelineConfig {
             resume: false,
             index_dir: None,
             reactor: None,
+            connections_per_worker: 1,
         }
     }
 
@@ -243,9 +253,17 @@ impl PipelineConfigBuilder {
     }
 
     /// Pin the store's serving loop (threaded, epoll or sim) instead of
-    /// resolving it from `GAUGENN_REACTOR`.
+    /// resolving it from `GAUGENN_REACTOR`. A pooled crawl runs its
+    /// client connections on the same substrate.
     pub fn reactor(mut self, mode: ReactorMode) -> PipelineConfigBuilder {
         self.config.reactor = Some(mode);
+        self
+    }
+
+    /// Store connections each crawl worker multiplexes (pooled crawls
+    /// only).
+    pub fn connections_per_worker(mut self, connections: usize) -> PipelineConfigBuilder {
+        self.config.connections_per_worker = connections;
         self
     }
 
@@ -340,6 +358,14 @@ pub struct PipelineReport {
     /// `Arc`-wrapped because the server shares it immutably across
     /// connection threads.
     pub corpus_index: Arc<CorpusIndex>,
+    /// The sim reactor's event-stream digest (None unless the store ran
+    /// under [`ReactorMode::Sim`]). Schedule provenance, not content: it
+    /// names which readiness schedule this run took. Free-running crawls
+    /// may take different schedules run to run — the report must stay
+    /// byte-identical regardless; only a lockstep harness (no server
+    /// thread) replays the digest itself. Excluded from
+    /// [`PipelineReport::render_text`].
+    pub reactor_digest: Option<u64>,
 }
 
 impl PipelineReport {
@@ -570,6 +596,8 @@ impl Pipeline {
                     sched_seed: self.config.seed,
                     size_hints: self.config.crawl_size_hints.clone(),
                     resume: resume_cache,
+                    connections_per_worker: self.config.connections_per_worker,
+                    reactor: self.config.reactor,
                 })
                 .crawl_at(&server.endpoint())?;
                 (pooled.outcome, Some(pooled.admission), pooled.workers)
@@ -706,6 +734,7 @@ impl Pipeline {
             crawl_replayed,
             analysis,
             corpus_index,
+            reactor_digest: server.reactor_digest(),
         })
     }
 }

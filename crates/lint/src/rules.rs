@@ -74,10 +74,14 @@ impl<'a> Ctx<'a> {
         self.path.contains("crates/analysis/")
     }
 
-    /// The reactor module: readiness loops and connection state machines
-    /// where a blocking call stalls every connection at once.
+    /// The reactor root set: readiness loops and connection state
+    /// machines where one blocking call stalls every connection at once
+    /// — the serving loops (`reactor.rs`) and the non-blocking client
+    /// lane driver (`reactor_client.rs`). Named explicitly so adding a
+    /// sibling module is a deliberate decision, not a substring accident.
     fn in_reactor(&self) -> bool {
-        self.path.contains("crates/playstore/src/reactor")
+        self.path.contains("crates/playstore/src/reactor.rs")
+            || self.path.contains("crates/playstore/src/reactor_client.rs")
     }
 
     /// Crates whose atomics feed the rendered report (cache and analysis

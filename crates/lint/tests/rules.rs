@@ -483,6 +483,26 @@ fn pump(io: &mut TcpStream) {
 }
 
 #[test]
+fn blocking_calls_in_the_client_reactor_are_flagged_too() {
+    // The non-blocking client lane driver shares the root set: one
+    // blocking call in `drive_lanes` stalls every in-flight lane, so
+    // the same shapes are banned there — delays go on the timer wheel.
+    let src = r#"
+fn pump_lane(io: &mut TcpStream) {
+    std::thread::sleep(backoff);
+    let resp = read_response(io);
+}
+"#;
+    let got = rules_at("crates/playstore/src/reactor_client.rs", src);
+    assert_eq!(
+        got.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        vec!["blocking-call-in-reactor", "blocking-call-in-reactor"],
+        "{got:?}"
+    );
+    assert_eq!(got.iter().map(|(_, l)| *l).collect::<Vec<_>>(), vec![3, 4]);
+}
+
+#[test]
 fn blocking_calls_outside_the_reactor_module_are_not_this_rules_business() {
     // The same shapes in the blocking server path are legal — that loop
     // owns one connection per thread, so blocking only stalls itself.

@@ -269,6 +269,386 @@ struct Conn {
     writer: Box<dyn Transport>,
 }
 
+/// The identity/range header set every store request carries, shared by
+/// the blocking crawler and the non-blocking client lanes so both
+/// transports put byte-identical requests on the wire.
+pub(crate) fn request_headers<'a>(
+    config: &'a CrawlerConfig,
+    conn_id: &'a str,
+    range: Option<&'a str>,
+) -> Vec<(&'a str, &'a str)> {
+    let mut headers: Vec<(&str, &str)> = vec![
+        ("User-Agent", config.user_agent.as_str()),
+        ("X-Locale", config.locale.as_str()),
+        ("X-Device-Profile", config.device_profile.as_str()),
+        (CONNECTION_ID_HEADER, conn_id),
+    ];
+    if let Some(r) = range {
+        headers.push((RANGE_START_HEADER, r));
+    }
+    headers
+}
+
+/// Verify the integrity header when the server supplies one (it covers
+/// exactly the bytes served, a range suffix included).
+pub(crate) fn verify_body_crc(resp: &Response, wire_path: &str) -> Result<()> {
+    if let Some(want) = resp
+        .headers
+        .iter()
+        .find(|(k, _)| k == CRC_HEADER)
+        .map(|(_, v)| v.as_str())
+    {
+        let got = format!("{:08x}", crc32(&resp.body));
+        if got != want {
+            return Err(StoreError::Integrity {
+                path: wire_path.into(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Complete a 200 response: when a resume prefix is outstanding, stitch
+/// it to the served suffix and validate the whole body against the
+/// server's full-body checksum.
+pub(crate) fn finish_body(
+    stats: &mut CrawlStats,
+    mut resp: Response,
+    prefix: &mut Vec<u8>,
+    wire: &str,
+    range_start: Option<usize>,
+) -> Result<Response> {
+    if prefix.is_empty() {
+        return Ok(resp);
+    }
+    let echoed = resp
+        .headers
+        .iter()
+        .find(|(k, _)| k == RANGE_START_HEADER)
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    if echoed != range_start {
+        // The server served the whole body; the prefix is superseded.
+        prefix.clear();
+        return Ok(resp);
+    }
+    let want = resp
+        .headers
+        .iter()
+        .find(|(k, _)| k == FULL_CRC_HEADER)
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| {
+            StoreError::Protocol(format!("{wire}: ranged response missing {FULL_CRC_HEADER}"))
+        })?;
+    let mut stitched = std::mem::take(prefix);
+    stitched.extend_from_slice(&resp.body);
+    if format!("{:08x}", crc32(&stitched)) != want {
+        return Err(StoreError::Integrity { path: wire.into() });
+    }
+    stats.range_resumes += 1;
+    resp.body = stitched;
+    Ok(resp)
+}
+
+/// The non-empty lines of a listing response (categories or one category
+/// page).
+pub(crate) fn parse_listing(text: &str) -> Vec<String> {
+    text.lines()
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Parse an app-metadata response body. Malformed numeric fields are a
+/// typed [`StoreError::Protocol`] — never silently coerced to zero.
+pub(crate) fn parse_app_meta(text: &str) -> Result<AppMeta> {
+    let kv: BTreeMap<String, String> = text
+        .lines()
+        .filter_map(|l| l.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    let field = |k: &str| -> Result<String> {
+        kv.get(k)
+            .cloned()
+            .ok_or_else(|| StoreError::Protocol(format!("metadata missing '{k}'")))
+    };
+    let bad =
+        |k: &str, v: &str| StoreError::Protocol(format!("malformed metadata field '{k}': '{v}'"));
+    let downloads_s = field("downloads")?;
+    let rating_s = field("rating")?;
+    let version_s = field("version")?;
+    Ok(AppMeta {
+        package: field("package")?,
+        title: field("title")?,
+        category: field("category")?,
+        downloads: downloads_s
+            .parse()
+            .map_err(|_| bad("downloads", &downloads_s))?,
+        rating: rating_s.parse().map_err(|_| bad("rating", &rating_s))?,
+        version_code: version_s.parse().map_err(|_| bad("version", &version_s))?,
+        has_obb: field("has_obb")? == "true",
+        has_bundle: field("has_bundle")? == "true",
+    })
+}
+
+/// Name + bytes of an OBB response (server-advertised filename, or the
+/// conventional `main.<version>.<package>.obb`).
+pub(crate) fn obb_entry(resp: Response, package: &str, version_code: u32) -> (String, Vec<u8>) {
+    let name = resp
+        .headers
+        .iter()
+        .find(|(k, _)| k == "x-obb-name")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| format!("main.{version_code}.{package}.obb"));
+    (name, resp.body)
+}
+
+/// Per-request retry state machine shared by the blocking [`Crawler`]
+/// and the non-blocking client lanes (see `crate::reactor_client`). One
+/// instance covers one logical request from first attempt to success,
+/// fatal error or retry exhaustion; every counter bump, backoff draw,
+/// admission charge and error string lives here, which is what keeps the
+/// two transports byte-identical on any (connection, route) history.
+pub(crate) struct RequestSm {
+    key: String,
+    wire: String,
+    resumable: bool,
+    max: u32,
+    attempt: u32,
+    prefix: Vec<u8>,
+    range_start: Option<usize>,
+    last: Option<StoreError>,
+}
+
+/// What to do after [`RequestSm::begin_attempt`].
+pub(crate) enum AttemptPrep {
+    /// Attempt started; backoff accounted. `delay_ms` is what a
+    /// real-sleep policy waits before proceeding to admission.
+    Backoff {
+        /// Backoff delay accounted for this retry (0 on attempt 1).
+        delay_ms: u64,
+    },
+    /// Every attempt consumed: the typed exhaustion error.
+    Exhausted(StoreError),
+}
+
+/// What to do after [`RequestSm::admit`].
+pub(crate) enum AdmitVerdict {
+    /// Admitted: issue the request. `throttle_ms` is the pacing charge a
+    /// real-sleep policy waits out before sending.
+    Proceed {
+        /// Byte offset to resume from, when a truncated prefix is held.
+        range_start: Option<usize>,
+        /// Pacing charge already accounted in the stats.
+        throttle_ms: u64,
+    },
+    /// Breaker open: the attempt is consumed without a request; wait and
+    /// begin the next attempt.
+    Rejected {
+        /// Breaker-advertised wait before the next attempt.
+        retry_after_ms: u64,
+    },
+}
+
+/// What [`RequestSm::absorb`] decided about one attempt's outcome.
+pub(crate) enum AttemptVerdict {
+    /// The request succeeded (body stitched/verified); the response.
+    Done(Response),
+    /// Permanent failure: stop retrying. `invalidate` tells the caller
+    /// whether the stream desynced on the way.
+    Fatal {
+        /// The permanent error.
+        error: StoreError,
+        /// Drop the keep-alive stream before surfacing the error.
+        invalidate: bool,
+    },
+    /// Transient failure: begin the next attempt.
+    Retry {
+        /// Drop the keep-alive stream before retrying (mid-frame cuts
+        /// and IO errors desync it; well-formed 429/503 frames do not).
+        invalidate: bool,
+    },
+}
+
+impl RequestSm {
+    pub(crate) fn new(route: &Route, resumable: bool, max_attempts: u32) -> RequestSm {
+        RequestSm {
+            key: route.fault_key(),
+            wire: route.wire_path(),
+            resumable,
+            max: max_attempts.max(1),
+            attempt: 0,
+            prefix: Vec::new(),
+            range_start: None,
+            last: None,
+        }
+    }
+
+    /// The wire path this request targets.
+    pub(crate) fn wire_path(&self) -> &str {
+        &self.wire
+    }
+
+    /// Begin the next attempt: consume one attempt slot, bump the retry
+    /// counter and account the backoff delay (attempt 2 onwards).
+    pub(crate) fn begin_attempt(
+        &mut self,
+        retry: &RetryPolicy,
+        connection_id: u64,
+        stats: &mut CrawlStats,
+    ) -> AttemptPrep {
+        if self.attempt >= self.max {
+            return AttemptPrep::Exhausted(StoreError::RetriesExhausted {
+                path: self.wire.clone(),
+                attempts: self.max,
+                last: self
+                    .last
+                    .take()
+                    .map_or_else(|| "no error recorded".into(), |e| e.to_string()),
+            });
+        }
+        self.attempt += 1;
+        let mut delay = 0;
+        if self.attempt > 1 {
+            stats.retries += 1;
+            delay = retry.backoff_ms(connection_id, &self.key, self.attempt - 1);
+            stats.backoff_ms_total += delay;
+        }
+        AttemptPrep::Backoff { delay_ms: delay }
+    }
+
+    /// Store-wide admission: pay the pacing charge, or fail fast
+    /// (consuming this attempt) while the breaker is open. On admission
+    /// the request counter is bumped and the resume offset fixed.
+    pub(crate) fn admit(
+        &mut self,
+        admission: Option<&AdmissionController>,
+        connection_id: u64,
+        stats: &mut CrawlStats,
+    ) -> AdmitVerdict {
+        let mut throttle = 0;
+        if let Some(ctrl) = admission {
+            match ctrl.admit_for(connection_id) {
+                Admission::Granted { throttle_ms } => {
+                    if throttle_ms > 0 {
+                        stats.throttled += 1;
+                        stats.throttle_ms_total += throttle_ms;
+                        throttle = throttle_ms;
+                    }
+                }
+                Admission::Rejected { retry_after_ms } => {
+                    stats.breaker_rejections += 1;
+                    stats.backoff_ms_total += retry_after_ms;
+                    self.last = Some(StoreError::CircuitOpen {
+                        path: self.key.clone(),
+                    });
+                    return AdmitVerdict::Rejected { retry_after_ms };
+                }
+            }
+        }
+        stats.requests += 1;
+        self.range_start = if self.prefix.is_empty() {
+            None
+        } else {
+            Some(self.prefix.len())
+        };
+        AdmitVerdict::Proceed {
+            range_start: self.range_start,
+            throttle_ms: throttle,
+        }
+    }
+
+    /// Digest one attempt's transport outcome (a CRC-verified frame, a
+    /// truncation, or an error) into a verdict.
+    pub(crate) fn absorb(
+        &mut self,
+        result: Result<ReadOutcome>,
+        admission: Option<&AdmissionController>,
+        stats: &mut CrawlStats,
+    ) -> AttemptVerdict {
+        let (err, invalidate) = match result {
+            Ok(ReadOutcome::Complete(resp)) if resp.status == 200 => {
+                if let Some(ctrl) = admission {
+                    ctrl.report_success();
+                }
+                match finish_body(stats, resp, &mut self.prefix, &self.wire, self.range_start) {
+                    Ok(resp) => return AttemptVerdict::Done(resp),
+                    // Stitched-body checksum mismatch: the prefix was
+                    // poisoned; retry from byte 0.
+                    Err(e) => (e, false),
+                }
+            }
+            Ok(ReadOutcome::Complete(resp))
+                if resp.status == 429 || (500..=599).contains(&resp.status) =>
+            {
+                if let Some(ctrl) = admission {
+                    ctrl.report_transient();
+                }
+                // The frame itself was well-formed, so the stream is
+                // still in sync: keep the connection (and any resume
+                // prefix) for the retry.
+                (
+                    StoreError::Transient {
+                        status: resp.status,
+                        path: self.wire.clone(),
+                    },
+                    false,
+                )
+            }
+            Ok(ReadOutcome::Complete(resp)) => {
+                // Permanent status (404/400/…): not retriable.
+                return AttemptVerdict::Fatal {
+                    error: StoreError::NotFound(format!(
+                        "{} -> {} ({})",
+                        self.wire,
+                        resp.status,
+                        resp.text()
+                    )),
+                    invalidate: false,
+                };
+            }
+            Ok(ReadOutcome::Truncated {
+                status,
+                headers,
+                received,
+                expected_len,
+            }) => {
+                // Mid-body cut: the stream is desynced either way.
+                if self.resumable && status == 200 && !received.is_empty() {
+                    let echoed = headers.iter().any(|(k, v)| {
+                        k == RANGE_START_HEADER && v.parse::<usize>().ok() == self.range_start
+                    });
+                    if self.range_start.is_some() && echoed {
+                        // The suffix continues our prefix.
+                        self.prefix.extend_from_slice(&received);
+                    } else {
+                        // A fresh body from byte 0 (first attempt, or
+                        // the server declined the range).
+                        self.prefix = received;
+                    }
+                }
+                (
+                    StoreError::Protocol(format!(
+                        "response truncated mid-body ({} of {expected_len} bytes held)",
+                        self.prefix.len()
+                    )),
+                    true,
+                )
+            }
+            // IO, framing or integrity failure: the stream can no longer
+            // be trusted to be request-aligned.
+            Err(e) => (e, true),
+        };
+        if !err.is_transient() {
+            return AttemptVerdict::Fatal {
+                error: err,
+                invalidate,
+            };
+        }
+        self.last = Some(err);
+        AttemptVerdict::Retry { invalidate }
+    }
+}
+
 /// Configures and dials a [`Crawler`]. Obtained from
 /// [`Crawler::builder`]; every knob has a sensible default.
 ///
@@ -451,35 +831,13 @@ impl Crawler {
         }
         let conn_id = self.connection_id.to_string();
         let range = range_start.map(|n| n.to_string());
-        let mut headers: Vec<(&str, &str)> = vec![
-            ("User-Agent", self.config.user_agent.as_str()),
-            ("X-Locale", self.config.locale.as_str()),
-            ("X-Device-Profile", self.config.device_profile.as_str()),
-            (CONNECTION_ID_HEADER, conn_id.as_str()),
-        ];
-        if let Some(r) = &range {
-            headers.push((RANGE_START_HEADER, r.as_str()));
-        }
+        let headers = request_headers(&self.config, conn_id.as_str(), range.as_deref());
         // gaugelint: allow(unwrap-in-fault-path) — provably infallible: ensure_connected() above either filled self.conn or returned Err
         let conn = self.conn.as_mut().expect("dialled above");
         write_request(&mut conn.writer, wire_path, &headers)?;
         let outcome = read_response_resumable(&mut conn.reader)?;
-        // Verify the integrity header when the server supplies one (it
-        // covers exactly the bytes served, a range suffix included).
         if let ReadOutcome::Complete(resp) = &outcome {
-            if let Some(want) = resp
-                .headers
-                .iter()
-                .find(|(k, _)| k == CRC_HEADER)
-                .map(|(_, v)| v.clone())
-            {
-                let got = format!("{:08x}", crc32(&resp.body));
-                if got != want {
-                    return Err(StoreError::Integrity {
-                        path: wire_path.into(),
-                    });
-                }
-            }
+            verify_body_crc(resp, wire_path)?;
         }
         Ok(outcome)
     }
@@ -505,179 +863,59 @@ impl Crawler {
     }
 
     fn request_inner(&mut self, route: &Route, resumable: bool) -> Result<Response> {
-        let key = route.fault_key();
-        let wire = route.wire_path();
-        let mut prefix: Vec<u8> = Vec::new();
-        let mut last: Option<StoreError> = None;
-        let max = self.retry.max_attempts.max(1);
-        for attempt in 1..=max {
-            if attempt > 1 {
-                self.stats.retries += 1;
-                let delay = self.retry.backoff_ms(self.connection_id, &key, attempt - 1);
-                self.stats.backoff_ms_total += delay;
-                if self.retry.real_sleep {
-                    std::thread::sleep(Duration::from_millis(delay));
-                }
-            }
-            // Store-wide admission: pay the pacing charge, or fail fast
-            // (consuming this attempt) while the breaker is open.
-            if let Some(ctrl) = &self.admission {
-                match ctrl.admit_for(self.connection_id) {
-                    Admission::Granted { throttle_ms } => {
-                        if throttle_ms > 0 {
-                            self.stats.throttled += 1;
-                            self.stats.throttle_ms_total += throttle_ms;
-                            if self.retry.real_sleep {
-                                std::thread::sleep(Duration::from_millis(throttle_ms));
-                            }
-                        }
-                    }
-                    Admission::Rejected { retry_after_ms } => {
-                        self.stats.breaker_rejections += 1;
-                        self.stats.backoff_ms_total += retry_after_ms;
-                        if self.retry.real_sleep {
-                            std::thread::sleep(Duration::from_millis(retry_after_ms));
-                        }
-                        last = Some(StoreError::CircuitOpen { path: key.clone() });
-                        continue;
+        let mut sm = RequestSm::new(route, resumable, self.retry.max_attempts);
+        loop {
+            match sm.begin_attempt(&self.retry, self.connection_id, &mut self.stats) {
+                AttemptPrep::Exhausted(e) => return Err(e),
+                AttemptPrep::Backoff { delay_ms } => {
+                    if self.retry.real_sleep && delay_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(delay_ms));
                     }
                 }
             }
-            self.stats.requests += 1;
-            let range_start = if prefix.is_empty() {
-                None
-            } else {
-                Some(prefix.len())
-            };
-            let err = match self.exchange(&wire, range_start) {
-                Ok(ReadOutcome::Complete(resp)) if resp.status == 200 => {
-                    if let Some(ctrl) = &self.admission {
-                        ctrl.report_success();
+            let range_start = match sm.admit(
+                self.admission.as_deref(),
+                self.connection_id,
+                &mut self.stats,
+            ) {
+                AdmitVerdict::Rejected { retry_after_ms } => {
+                    if self.retry.real_sleep {
+                        std::thread::sleep(Duration::from_millis(retry_after_ms));
                     }
-                    match self.finish_body(resp, &mut prefix, &wire, range_start) {
-                        Ok(resp) => return Ok(resp),
-                        // Stitched-body checksum mismatch: the prefix was
-                        // poisoned; retry from byte 0.
-                        Err(e) => e,
-                    }
+                    continue;
                 }
-                Ok(ReadOutcome::Complete(resp))
-                    if resp.status == 429 || (500..=599).contains(&resp.status) =>
-                {
-                    if let Some(ctrl) = &self.admission {
-                        ctrl.report_transient();
+                AdmitVerdict::Proceed {
+                    range_start,
+                    throttle_ms,
+                } => {
+                    if self.retry.real_sleep && throttle_ms > 0 {
+                        std::thread::sleep(Duration::from_millis(throttle_ms));
                     }
-                    // The frame itself was well-formed, so the stream is
-                    // still in sync: keep the connection (and any resume
-                    // prefix) for the retry.
-                    StoreError::Transient {
-                        status: resp.status,
-                        path: wire.clone(),
-                    }
-                }
-                Ok(ReadOutcome::Complete(resp)) => {
-                    // Permanent status (404/400/…): not retriable.
-                    return Err(StoreError::NotFound(format!(
-                        "{wire} -> {} ({})",
-                        resp.status,
-                        resp.text()
-                    )));
-                }
-                Ok(ReadOutcome::Truncated {
-                    status,
-                    headers,
-                    received,
-                    expected_len,
-                }) => {
-                    // Mid-body cut: the stream is desynced either way.
-                    self.invalidate();
-                    if resumable && status == 200 && !received.is_empty() {
-                        let echoed = headers.iter().any(|(k, v)| {
-                            k == RANGE_START_HEADER && v.parse::<usize>().ok() == range_start
-                        });
-                        if range_start.is_some() && echoed {
-                            // The suffix continues our prefix.
-                            prefix.extend_from_slice(&received);
-                        } else {
-                            // A fresh body from byte 0 (first attempt, or
-                            // the server declined the range).
-                            prefix = received;
-                        }
-                    }
-                    StoreError::Protocol(format!(
-                        "response truncated mid-body ({} of {expected_len} bytes held)",
-                        prefix.len()
-                    ))
-                }
-                Err(e) => {
-                    // IO, framing or integrity failure: the stream can no
-                    // longer be trusted to be request-aligned.
-                    self.invalidate();
-                    e
+                    range_start
                 }
             };
-            if !err.is_transient() {
-                return Err(err);
+            let result = self.exchange(sm.wire_path(), range_start);
+            match sm.absorb(result, self.admission.as_deref(), &mut self.stats) {
+                AttemptVerdict::Done(resp) => return Ok(resp),
+                AttemptVerdict::Fatal { error, invalidate } => {
+                    if invalidate {
+                        self.invalidate();
+                    }
+                    return Err(error);
+                }
+                AttemptVerdict::Retry { invalidate } => {
+                    if invalidate {
+                        self.invalidate();
+                    }
+                }
             }
-            last = Some(err);
         }
-        Err(StoreError::RetriesExhausted {
-            path: wire,
-            attempts: max,
-            last: last.map_or_else(|| "no error recorded".into(), |e| e.to_string()),
-        })
-    }
-
-    /// Complete a 200 response: when a resume prefix is outstanding,
-    /// stitch it to the served suffix and validate the whole body against
-    /// the server's full-body checksum.
-    fn finish_body(
-        &mut self,
-        mut resp: Response,
-        prefix: &mut Vec<u8>,
-        wire: &str,
-        range_start: Option<usize>,
-    ) -> Result<Response> {
-        if prefix.is_empty() {
-            return Ok(resp);
-        }
-        let echoed = resp
-            .headers
-            .iter()
-            .find(|(k, _)| k == RANGE_START_HEADER)
-            .and_then(|(_, v)| v.parse::<usize>().ok());
-        if echoed != range_start {
-            // The server served the whole body; the prefix is superseded.
-            prefix.clear();
-            return Ok(resp);
-        }
-        let want = resp
-            .headers
-            .iter()
-            .find(|(k, _)| k == FULL_CRC_HEADER)
-            .map(|(_, v)| v.clone())
-            .ok_or_else(|| {
-                StoreError::Protocol(format!("{wire}: ranged response missing {FULL_CRC_HEADER}"))
-            })?;
-        let mut stitched = std::mem::take(prefix);
-        stitched.extend_from_slice(&resp.body);
-        if format!("{:08x}", crc32(&stitched)) != want {
-            return Err(StoreError::Integrity { path: wire.into() });
-        }
-        self.stats.range_resumes += 1;
-        resp.body = stitched;
-        Ok(resp)
     }
 
     /// List all store categories.
     pub fn categories(&mut self) -> Result<Vec<String>> {
         let resp = self.request(&Route::Categories)?;
-        Ok(resp
-            .text()
-            .lines()
-            .filter(|l| !l.is_empty())
-            .map(str::to_string)
-            .collect())
+        Ok(parse_listing(&resp.text()))
     }
 
     /// List the top apps of a category (paged until the 500 cap or the
@@ -692,12 +930,7 @@ impl Crawler {
                 count: self.config.page_size,
             };
             let resp = self.request(&route)?;
-            let page: Vec<String> = resp
-                .text()
-                .lines()
-                .filter(|l| !l.is_empty())
-                .map(str::to_string)
-                .collect();
+            let page = parse_listing(&resp.text());
             if page.is_empty() {
                 break;
             }
@@ -717,35 +950,7 @@ impl Crawler {
         let resp = self.request(&Route::App {
             package: package.to_string(),
         })?;
-        let kv: BTreeMap<String, String> = resp
-            .text()
-            .lines()
-            .filter_map(|l| l.split_once('='))
-            .map(|(k, v)| (k.to_string(), v.to_string()))
-            .collect();
-        let field = |k: &str| -> Result<String> {
-            kv.get(k)
-                .cloned()
-                .ok_or_else(|| StoreError::Protocol(format!("metadata missing '{k}'")))
-        };
-        let bad = |k: &str, v: &str| {
-            StoreError::Protocol(format!("malformed metadata field '{k}': '{v}'"))
-        };
-        let downloads_s = field("downloads")?;
-        let rating_s = field("rating")?;
-        let version_s = field("version")?;
-        Ok(AppMeta {
-            package: field("package")?,
-            title: field("title")?,
-            category: field("category")?,
-            downloads: downloads_s
-                .parse()
-                .map_err(|_| bad("downloads", &downloads_s))?,
-            rating: rating_s.parse().map_err(|_| bad("rating", &rating_s))?,
-            version_code: version_s.parse().map_err(|_| bad("version", &version_s))?,
-            has_obb: field("has_obb")? == "true",
-            has_bundle: field("has_bundle")? == "true",
-        })
+        parse_app_meta(&resp.text())
     }
 
     /// Download the base APK (range-resuming truncated transfers).
@@ -786,13 +991,7 @@ impl Crawler {
                     package: package.to_string(),
                 })
                 .map_err(|e| (CrawlStage::Obb, e))?;
-            let name = resp
-                .headers
-                .iter()
-                .find(|(k, _)| k == "x-obb-name")
-                .map(|(_, v)| v.clone())
-                .unwrap_or_else(|| format!("main.{}.{package}.obb", meta.version_code));
-            obbs.push((name, resp.body));
+            obbs.push(obb_entry(resp, package, meta.version_code));
         }
         let bundle = if meta.has_bundle {
             Some(

@@ -37,6 +37,7 @@ pub mod pool;
 pub mod proto;
 pub mod query;
 pub mod reactor;
+pub mod reactor_client;
 pub mod route;
 pub mod server;
 
@@ -46,12 +47,16 @@ pub use corpus::{CorpusScale, Snapshot, StoreCorpus};
 pub use crawler::{
     CrawlOutcome, CrawlStage, CrawlStats, CrawledApp, Crawler, CrawlerBuilder, DropOut, RetryPolicy,
 };
-pub use net::{Endpoint, SimNet, SimStream, Transport};
+pub use net::{Endpoint, SimClientHandle, SimNet, SimStream, Transport};
 pub use pool::{CrawlPool, CrawlPoolConfig, PoolOutcome, WorkerReport};
-pub use query::{QueryClient, QueryClientBuilder};
+pub use query::{QueryClient, QueryClientBuilder, QuerySwarm, SwarmReplay};
 pub use reactor::{ReactorMode, Served, REACTOR_ENV};
+pub use reactor_client::{
+    drive_lanes, nonblocking_tcp_available, DriveReport, LaneJob, LaneOpts, LaneOutcome, LaneSpec,
+    RouteListJob,
+};
 pub use route::Route;
-pub use server::{ServerOptions, StoreServer};
+pub use server::{LockstepServer, ServerOptions, StoreServer};
 
 /// Errors from the store substrate.
 #[derive(Debug)]

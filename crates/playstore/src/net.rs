@@ -123,11 +123,14 @@ impl Endpoint {
 }
 
 /// One direction of a sim connection: an unbounded byte queue with a
-/// closed flag, a condvar for blocking reads, and nothing else.
+/// closed flag, a condvar for blocking reads, and an optional watcher
+/// parker a non-blocking *consumer* loop sleeps on (the client reactor's
+/// analogue of the server's accept/write notifications).
 #[derive(Default)]
 struct Pipe {
     state: Mutex<PipeState>,
     cv: Condvar,
+    watcher: Mutex<Option<Arc<Parker>>>,
 }
 
 #[derive(Default)]
@@ -147,6 +150,8 @@ impl Pipe {
         }
         st.buf.extend(bytes.iter().copied());
         self.cv.notify_all();
+        drop(st);
+        self.notify_watcher();
         Ok(bytes.len())
     }
 
@@ -154,6 +159,25 @@ impl Pipe {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         st.closed = true;
         self.cv.notify_all();
+        drop(st);
+        self.notify_watcher();
+    }
+
+    /// Register the parker a polling consumer sleeps on; pushes and
+    /// closes wake it so a reactor loop re-polls instead of timing out.
+    fn set_watcher(&self, parker: Arc<Parker>) {
+        *self.watcher.lock().unwrap_or_else(|e| e.into_inner()) = Some(parker);
+    }
+
+    fn notify_watcher(&self) {
+        let w = self
+            .watcher
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if let Some(w) = w {
+            w.notify();
+        }
     }
 
     /// Non-blocking read: data if buffered, `Ok(0)` on EOF after a close,
@@ -322,6 +346,70 @@ impl SimSource for SimConnHandle {
     }
 }
 
+/// *Non-blocking* client side of a sim connection — the client-reactor
+/// mirror of [`SimConnHandle`], driven by `ClientSm` state machines (see
+/// [`crate::reactor_client`]) exactly like a non-blocking TCP socket.
+/// Doubles as the connection's [`SimSource`]: readable while server bytes
+/// (or the server's close) are pending, always writable (unbounded pipe).
+///
+/// Obtained from [`SimNet::connect_nonblocking`]. Dropping the last
+/// handle half-closes the client→server direction like a dropped
+/// [`SimStream`] would.
+#[derive(Clone)]
+pub struct SimClientHandle {
+    c2s: Arc<Pipe>,
+    s2c: Arc<Pipe>,
+    server_parker: Arc<Parker>,
+    _guard: Arc<HalfCloseGuard>,
+}
+
+impl std::fmt::Debug for SimClientHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimClientHandle").finish()
+    }
+}
+
+impl SimClientHandle {
+    /// Non-blocking read of server bytes (`Ok(0)` = server closed).
+    pub fn try_read(&self, buf: &mut [u8]) -> io::Result<usize> {
+        self.s2c.try_pop(buf)
+    }
+
+    /// Non-blocking write toward the server; wakes the server loop. The
+    /// pipe is unbounded, so this fails only after a close
+    /// ([`io::ErrorKind::BrokenPipe`] — the sim analogue of writing into
+    /// a reset stream).
+    pub fn try_write(&self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.c2s.push(buf)?;
+        self.server_parker.notify();
+        Ok(n)
+    }
+
+    /// Half-close the client→server direction now (the client's FIN):
+    /// the server drains what was written, then sees EOF.
+    pub fn close(&self) {
+        self.c2s.close();
+        self.server_parker.notify();
+    }
+
+    /// Register the parker the *client's* reactor loop sleeps on: server
+    /// writes and closes on this connection wake it, the mirror of
+    /// client writes waking the server loop.
+    pub fn watch(&self, parker: Arc<Parker>) {
+        self.s2c.set_watcher(parker);
+    }
+}
+
+impl SimSource for SimClientHandle {
+    fn readiness(&self) -> Interest {
+        let mut r = Interest::WRITABLE;
+        if self.s2c.readable() {
+            r = r.with(Interest::READABLE);
+        }
+        r
+    }
+}
+
 struct SimNetInner {
     accept: Mutex<VecDeque<SimConnHandle>>,
     parker: Arc<Parker>,
@@ -384,6 +472,37 @@ impl SimNet {
             s2c,
             parker: self.parker(),
             read_timeout,
+        }
+    }
+
+    /// Open a connection for a *non-blocking* client loop: queues the
+    /// server half for accept, wakes the server loop, and hands back a
+    /// [`SimClientHandle`] a client reactor drives readiness-style.
+    /// A sim connect always succeeds immediately (there is no handshake
+    /// to wait out), so unlike TCP the handle is born writable.
+    pub fn connect_nonblocking(&self) -> SimClientHandle {
+        let c2s = Arc::new(Pipe::default());
+        let s2c = Arc::new(Pipe::default());
+        let handle = SimConnHandle {
+            c2s: Arc::clone(&c2s),
+            s2c: Arc::clone(&s2c),
+        };
+        let mut q = self
+            .inner
+            .accept
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        q.push_back(handle);
+        drop(q);
+        self.inner.parker.notify();
+        SimClientHandle {
+            _guard: Arc::new(HalfCloseGuard {
+                c2s: Arc::clone(&c2s),
+                parker: self.parker(),
+            }),
+            c2s,
+            s2c,
+            server_parker: self.parker(),
         }
     }
 
@@ -499,6 +618,63 @@ mod tests {
         assert!(!server.readiness().is_readable());
         client.shutdown_write();
         assert!(server.readiness().is_readable(), "EOF counts as readable");
+    }
+
+    #[test]
+    fn nonblocking_client_handle_mirrors_the_server_side() {
+        let net = SimNet::new(Parker::new());
+        let client = net.connect_nonblocking();
+        let server = net.try_accept().unwrap();
+        // Born writable, not readable.
+        assert!(client.readiness().is_writable());
+        assert!(!client.readiness().is_readable());
+        let mut buf = [0u8; 16];
+        assert!(matches!(
+            client.try_read(&mut buf),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock
+        ));
+        client.try_write(b"req").unwrap();
+        assert_eq!(server.try_read(&mut buf).unwrap(), 3);
+        server.try_write(b"resp").unwrap();
+        assert!(client.readiness().is_readable());
+        assert_eq!(client.try_read(&mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"resp");
+        // Server close: buffered EOF is readable, then reads return 0 and
+        // writes fail like a reset stream.
+        server.close();
+        assert!(client.readiness().is_readable(), "EOF counts as readable");
+        assert_eq!(client.try_read(&mut buf).unwrap(), 0);
+        assert!(client.try_write(b"x").is_err());
+    }
+
+    #[test]
+    fn pipe_watcher_wakes_a_client_parker_on_server_writes() {
+        let net = SimNet::new(Parker::new());
+        let client = net.connect_nonblocking();
+        let server = net.try_accept().unwrap();
+        let client_parker = Parker::new();
+        client.watch(Arc::clone(&client_parker));
+        let p2 = Arc::clone(&client_parker);
+        let h = std::thread::spawn(move || p2.wait(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        server.try_write(b"wake").unwrap();
+        h.join().unwrap();
+        // Close also wakes the watcher (so EOF is observed promptly).
+        let p3 = Arc::clone(&client_parker);
+        let h = std::thread::spawn(move || p3.wait(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        server.close();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn dropping_the_last_nonblocking_handle_half_closes() {
+        let net = SimNet::new(Parker::new());
+        let client = net.connect_nonblocking();
+        let server = net.try_accept().unwrap();
+        let mut buf = [0u8; 4];
+        drop(client);
+        assert_eq!(server.try_read(&mut buf).unwrap(), 0, "EOF after drop");
     }
 
     #[test]

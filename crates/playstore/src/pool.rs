@@ -53,6 +53,8 @@
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats};
 use crate::crawler::{CrawlOutcome, CrawlStats, CrawledApp, Crawler, CrawlerConfig, DropOut, RetryPolicy};
 use crate::net::Endpoint;
+use crate::reactor::ReactorMode;
+use crate::reactor_client::{drive_lanes, CrawlLaneJob, LaneOpts, LaneSpec};
 use crate::Result;
 use gaugenn_sched::{assign, SchedMode, WorkUnit};
 use std::collections::BTreeMap;
@@ -85,6 +87,22 @@ pub struct CrawlPoolConfig {
     /// journal already holds (see
     /// [`crate::crawler::CrawlerBuilder::resume_cache`]).
     pub resume: Option<Arc<BTreeMap<String, CrawledApp>>>,
+    /// Connections each worker multiplexes (clamped to a minimum of 1).
+    /// With the threaded client this many blocking connections are
+    /// driven *sequentially* per worker (the determinism baseline); with
+    /// a reactor client one worker thread drives them all concurrently
+    /// as non-blocking lanes. Lane `j` of worker `w` always announces
+    /// connection id `w·C + j + 1`, so the corpus and the merged
+    /// counters are byte-identical across client modes at any fixed
+    /// `(workers, connections_per_worker)` topology.
+    pub connections_per_worker: usize,
+    /// Client transport override. `None` resolves `GAUGENN_REACTOR` and
+    /// falls back to the threaded (blocking) client. Any non-threaded
+    /// choice runs the worker's connections as non-blocking lanes on the
+    /// substrate the endpoint dictates: kernel epoll for TCP (falling
+    /// back to threaded where epoll is unavailable), the deterministic
+    /// sim reactor for sim endpoints.
+    pub reactor: Option<ReactorMode>,
 }
 
 impl Default for CrawlPoolConfig {
@@ -98,6 +116,8 @@ impl Default for CrawlPoolConfig {
             sched_seed: 0,
             size_hints: None,
             resume: None,
+            connections_per_worker: 1,
+            reactor: None,
         }
     }
 }
@@ -107,8 +127,9 @@ impl Default for CrawlPoolConfig {
 pub struct WorkerReport {
     /// Worker index (0-based).
     pub worker: usize,
-    /// Connection id the worker announced to the store (worker + 1; the
-    /// bootstrap category fetch uses connection 0).
+    /// First connection id in the worker's lane block (`w·C + 1` for
+    /// `C = connections_per_worker`; the bootstrap category fetch uses
+    /// connection 0). Lane `j` announces `w·C + j + 1`.
     pub connection_id: u64,
     /// Categories in this worker's shard.
     pub categories: usize,
@@ -142,6 +163,14 @@ pub struct PoolOutcome {
     pub workers: usize,
     /// Scheduling mode the shards were assigned under.
     pub sched: SchedMode,
+    /// Client transport the workers actually ran (after fallbacks):
+    /// `Threaded` for blocking connections, `Epoll`/`Sim` for
+    /// non-blocking lanes on the respective substrate.
+    pub reactor: ReactorMode,
+    /// Most connections any single worker held in flight at once —
+    /// `connections_per_worker` when the reactor client saturates, 1 on
+    /// the blocking baseline.
+    pub peak_in_flight: usize,
 }
 
 /// One worker's crawl of one category, tagged with the category's global
@@ -150,6 +179,117 @@ struct CategoryShard {
     index: usize,
     apps: Vec<CrawledApp>,
     dropouts: Vec<DropOut>,
+}
+
+/// What one worker hands back to the merge: its shards, its summed
+/// connection stats (lane order), and the most connections it held in
+/// flight at once.
+type WorkerYield = (Vec<CategoryShard>, CrawlStats, usize);
+
+/// Split one worker's shard across its connections round-robin (lane `j`
+/// takes positions `j, j+C, …`), preserving ascending category-index
+/// order within each lane so every lane walks its categories the way a
+/// dedicated blocking crawler would.
+fn lane_split(shard: &[usize], lanes: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); lanes];
+    for (pos, &idx) in shard.iter().enumerate() {
+        out[pos % lanes].push(idx);
+    }
+    out
+}
+
+/// The blocking client: drive this worker's lanes *sequentially*, one
+/// keep-alive connection each — the baseline every reactor mode must
+/// byte-match at the same `(workers, connections_per_worker)` topology.
+fn crawl_shard_blocking(
+    endpoint: &Endpoint,
+    config: &CrawlPoolConfig,
+    admission: &Arc<AdmissionController>,
+    categories: &[String],
+    w: usize,
+    lanes: &[Vec<usize>],
+) -> Result<WorkerYield> {
+    let conns = lanes.len();
+    let mut shards = Vec::new();
+    let mut stats = CrawlStats::default();
+    let mut active = 0usize;
+    for (j, lane) in lanes.iter().enumerate() {
+        // A single-connection worker keeps the historical eager dial even
+        // when idle; extra lanes only dial when they have work (parity
+        // with reactor lanes, which connect lazily).
+        if conns > 1 && lane.is_empty() {
+            continue;
+        }
+        let mut builder = Crawler::builder_at(endpoint.clone())
+            .config(config.crawler.clone())
+            .retry(config.retry.clone())
+            .connection_id((w * conns + j) as u64 + 1)
+            .admission(Arc::clone(admission));
+        if let Some(resume) = &config.resume {
+            builder = builder.resume_cache(Arc::clone(resume));
+        }
+        let mut crawler = builder.build()?;
+        if !lane.is_empty() {
+            active = 1;
+        }
+        for &index in lane {
+            let (apps, dropouts) = crawler.crawl_category(&categories[index]);
+            shards.push(CategoryShard {
+                index,
+                apps,
+                dropouts,
+            });
+        }
+        stats.merge(crawler.stats());
+    }
+    Ok((shards, stats, active))
+}
+
+/// The reactor client: one worker thread drives all its lanes
+/// concurrently as non-blocking state machines over one readiness loop.
+fn crawl_shard_lanes(
+    endpoint: &Endpoint,
+    config: &CrawlPoolConfig,
+    admission: &Arc<AdmissionController>,
+    categories: &[String],
+    w: usize,
+    lanes: &[Vec<usize>],
+) -> Result<WorkerYield> {
+    let conns = lanes.len();
+    let specs: Vec<LaneSpec<CrawlLaneJob>> = lanes
+        .iter()
+        .enumerate()
+        .filter(|(_, lane)| !lane.is_empty())
+        .map(|(j, lane)| LaneSpec {
+            connection_id: (w * conns + j) as u64 + 1,
+            retry: config.retry.clone(),
+            job: CrawlLaneJob::new(
+                lane.iter().map(|&i| (i, categories[i].clone())).collect(),
+                config.crawler.page_size,
+                config.resume.clone(),
+            ),
+        })
+        .collect();
+    let opts = LaneOpts {
+        config: config.crawler.clone(),
+        admission: Some(Arc::clone(admission)),
+        sim_seed: config.sched_seed ^ w as u64,
+        ..LaneOpts::default()
+    };
+    let (outcomes, report) = drive_lanes(endpoint, specs, &opts, None)?;
+    let mut shards = Vec::new();
+    let mut stats = CrawlStats::default();
+    for o in outcomes {
+        stats.merge(&o.stats);
+        for s in o.job.into_shards() {
+            shards.push(CategoryShard {
+                index: s.index,
+                apps: s.apps,
+                dropouts: s.dropouts,
+            });
+        }
+    }
+    Ok((shards, stats, report.peak_in_flight))
 }
 
 fn app_bytes(app: &CrawledApp) -> u64 {
@@ -203,11 +343,40 @@ impl CrawlPool {
         self.crawl_at(&Endpoint::Tcp(addr))
     }
 
+    /// The client transport this pool will actually run against
+    /// `endpoint`: the explicit override, else `GAUGENN_REACTOR`, else
+    /// the blocking baseline. A non-threaded choice is mapped onto the
+    /// substrate the endpoint supports — sim endpoints always get the
+    /// deterministic sim reactor, TCP endpoints get kernel epoll when the
+    /// platform has it and fall back to threaded otherwise.
+    fn resolve_reactor(&self, endpoint: &Endpoint) -> ReactorMode {
+        let wanted = self
+            .config
+            .reactor
+            .or_else(ReactorMode::from_env)
+            .unwrap_or(ReactorMode::Threaded);
+        if wanted == ReactorMode::Threaded {
+            return ReactorMode::Threaded;
+        }
+        match endpoint {
+            Endpoint::Sim(_) => ReactorMode::Sim,
+            Endpoint::Tcp(_) => {
+                if crate::reactor_client::nonblocking_tcp_available() {
+                    ReactorMode::Epoll
+                } else {
+                    ReactorMode::Threaded
+                }
+            }
+        }
+    }
+
     /// Sweep the store reachable at `endpoint` — the [`Endpoint`]-generic
     /// form of [`CrawlPool::crawl`], required for sim-reactor stores,
     /// which have no TCP address.
     pub fn crawl_at(&self, endpoint: &Endpoint) -> Result<PoolOutcome> {
         let workers = self.config.workers.max(1);
+        let conns = self.config.connections_per_worker.max(1);
+        let mode = self.resolve_reactor(endpoint);
         let admission = Arc::new(AdmissionController::new(self.config.admission.clone()));
 
         let mut bootstrap = Crawler::builder_at(endpoint.clone())
@@ -223,68 +392,51 @@ impl CrawlPool {
 
         let plan = assign(&units, workers, self.config.sched, self.config.sched_seed);
 
-        let mut results: Vec<Result<(Vec<CategoryShard>, CrawlStats)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = plan
-                    .iter()
-                    .enumerate()
-                    .map(|(w, shard)| {
-                        let shard: Vec<(usize, &str)> = shard
-                            .iter()
-                            .map(|&i| (i, categories[i].as_str()))
-                            .collect();
-                        let admission = admission.clone();
-                        let crawler_cfg = self.config.crawler.clone();
-                        let retry = self.config.retry.clone();
-                        let resume = self.config.resume.clone();
-                        let endpoint = endpoint.clone();
-                        scope.spawn(move || {
-                            let mut builder = Crawler::builder_at(endpoint)
-                                .config(crawler_cfg)
-                                .retry(retry)
-                                .connection_id(w as u64 + 1)
-                                .admission(admission);
-                            if let Some(resume) = resume {
-                                builder = builder.resume_cache(resume);
-                            }
-                            let mut crawler = builder.build()?;
-                            let mut out = Vec::with_capacity(shard.len());
-                            for (index, category) in shard {
-                                let (apps, dropouts) = crawler.crawl_category(category);
-                                out.push(CategoryShard {
-                                    index,
-                                    apps,
-                                    dropouts,
-                                });
-                            }
-                            Ok((out, crawler.stats().clone()))
-                        })
+        let mut results: Vec<Result<WorkerYield>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .iter()
+                .enumerate()
+                .map(|(w, shard)| {
+                    let lanes = lane_split(shard, conns);
+                    let admission = &admission;
+                    let categories = &categories[..];
+                    let config = &self.config;
+                    scope.spawn(move || match mode {
+                        ReactorMode::Threaded => {
+                            crawl_shard_blocking(endpoint, config, admission, categories, w, &lanes)
+                        }
+                        ReactorMode::Epoll | ReactorMode::Sim => {
+                            crawl_shard_lanes(endpoint, config, admission, categories, w, &lanes)
+                        }
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| match h.join() {
-                        Ok(res) => res,
-                        // A worker panicking mid-shard (chaos runs push the
-                        // crawler hard) becomes a typed error on its slot of
-                        // the merge instead of tearing down the whole pool.
-                        Err(_) => Err(crate::StoreError::Protocol(
-                            "crawl pool worker panicked mid-shard".into(),
-                        )),
-                    })
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(res) => res,
+                    // A worker panicking mid-shard (chaos runs push the
+                    // crawler hard) becomes a typed error on its slot of
+                    // the merge instead of tearing down the whole pool.
+                    Err(_) => Err(crate::StoreError::Protocol(
+                        "crawl pool worker panicked mid-shard".into(),
+                    )),
+                })
+                .collect()
+        });
 
         // Merge deterministically: worker order for stats/reports,
         // category-index order for the corpus itself.
         let mut per_worker = Vec::with_capacity(workers);
         let mut merged_stats = bootstrap_stats;
         let mut all_shards: Vec<CategoryShard> = Vec::with_capacity(categories.len());
+        let mut peak_in_flight = 0usize;
         for (w, res) in results.drain(..).enumerate() {
-            let (worker_shards, stats) = res?;
+            let (worker_shards, stats, worker_peak) = res?;
+            peak_in_flight = peak_in_flight.max(worker_peak);
             per_worker.push(WorkerReport {
                 worker: w,
-                connection_id: w as u64 + 1,
+                connection_id: (w * conns) as u64 + 1,
                 categories: worker_shards.len(),
                 apps: worker_shards.iter().map(|s| s.apps.len()).sum(),
                 bytes: worker_shards
@@ -316,6 +468,8 @@ impl CrawlPool {
             admission: admission.stats(),
             workers,
             sched: self.config.sched,
+            reactor: mode,
+            peak_in_flight,
         })
     }
 }
@@ -415,6 +569,91 @@ mod tests {
             probe_free.outcome.stats.requests,
             first.outcome.stats.requests
         );
+    }
+
+    #[test]
+    fn extra_connections_do_not_change_the_corpus() {
+        let server = start_tiny();
+        let one = CrawlPool::new(with_mode(2, SchedMode::Lpt))
+            .crawl(server.addr())
+            .unwrap();
+        let fanned = CrawlPool::new(CrawlPoolConfig {
+            workers: 2,
+            sched: SchedMode::Lpt,
+            connections_per_worker: 3,
+            ..CrawlPoolConfig::default()
+        })
+        .crawl(server.addr())
+        .unwrap();
+        assert_eq!(fanned.outcome.apps, one.outcome.apps);
+        assert_eq!(fanned.outcome.dropouts, one.outcome.dropouts);
+        assert_eq!(fanned.outcome.stats, one.outcome.stats);
+        assert_eq!(fanned.reactor, ReactorMode::Threaded);
+        assert_eq!(fanned.per_worker[1].connection_id, 4, "lane block w·C + 1");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_lanes_match_the_blocking_baseline() {
+        let server = start_tiny();
+        let config = CrawlPoolConfig {
+            workers: 2,
+            sched: SchedMode::Lpt,
+            connections_per_worker: 4,
+            ..CrawlPoolConfig::default()
+        };
+        let threaded = CrawlPool::new(config.clone()).crawl(server.addr()).unwrap();
+        let epoll = CrawlPool::new(CrawlPoolConfig {
+            reactor: Some(ReactorMode::Epoll),
+            ..config
+        })
+        .crawl(server.addr())
+        .unwrap();
+        assert_eq!(epoll.reactor, ReactorMode::Epoll);
+        assert_eq!(epoll.outcome.apps, threaded.outcome.apps);
+        assert_eq!(epoll.outcome.dropouts, threaded.outcome.dropouts);
+        assert_eq!(epoll.outcome.stats, threaded.outcome.stats);
+        assert_eq!(epoll.per_worker, threaded.per_worker);
+        assert!(
+            epoll.peak_in_flight > 1,
+            "reactor worker multiplexes its lanes, got peak {}",
+            epoll.peak_in_flight
+        );
+        assert_eq!(threaded.peak_in_flight, 1, "blocking baseline is serial");
+    }
+
+    #[test]
+    fn sim_reactor_lanes_match_the_blocking_baseline() {
+        let corpus = generate(CorpusScale::Tiny, Snapshot::Y2021, 7);
+        let server = StoreServer::start_with(
+            corpus,
+            crate::server::ServerOptions {
+                reactor: Some(ReactorMode::Sim),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let config = CrawlPoolConfig {
+            workers: 2,
+            sched: SchedMode::Lpt,
+            connections_per_worker: 4,
+            ..CrawlPoolConfig::default()
+        };
+        let threaded = CrawlPool::new(config.clone())
+            .crawl_at(&server.endpoint())
+            .unwrap();
+        let sim = CrawlPool::new(CrawlPoolConfig {
+            reactor: Some(ReactorMode::Sim),
+            ..config
+        })
+        .crawl_at(&server.endpoint())
+        .unwrap();
+        assert_eq!(sim.reactor, ReactorMode::Sim);
+        assert_eq!(sim.outcome.apps, threaded.outcome.apps);
+        assert_eq!(sim.outcome.dropouts, threaded.outcome.dropouts);
+        assert_eq!(sim.outcome.stats, threaded.outcome.stats);
+        assert_eq!(sim.per_worker, threaded.per_worker);
+        assert!(sim.peak_in_flight > 1, "got peak {}", sim.peak_in_flight);
     }
 
     #[test]

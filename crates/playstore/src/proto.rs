@@ -367,6 +367,88 @@ pub fn read_response_resumable(r: &mut BufReader<impl Read>) -> Result<ReadOutco
     }))
 }
 
+/// Incremental completeness probe for a client-side response buffer, the
+/// response-direction counterpart of [`parse_request`] for non-blocking
+/// connection state machines that accumulate reads as they arrive.
+///
+/// Returns `true` once the buffered bytes are *decidable*: either a full
+/// `Content-Length`-framed response is present, or the head is malformed
+/// in a way no further bytes can repair (bad status line, missing or
+/// unparseable `Content-Length`, a declared body over [`MAX_BODY`]).
+/// Returns `false` while more bytes could still change the answer. The
+/// probe never parses authoritatively — when it says `true` (or the
+/// stream ends), [`finish_response_frame`] replays the buffer through
+/// [`read_response_resumable`] so outcomes and error strings are
+/// byte-identical to the blocking path.
+pub fn response_frame_complete(buf: &[u8]) -> bool {
+    let head_end = match buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        Some(pos) => pos,
+        None => return false,
+    };
+    // The head is fully buffered and every line terminated; any
+    // malformation found now is final (the replay in finish surfaces the
+    // exact blocking-path error), so report decidable immediately rather
+    // than waiting for body bytes that may never come.
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return true,
+    };
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.split(' ');
+    if parts.next() != Some(PROTO) {
+        return true;
+    }
+    if parts.next().and_then(|s| s.parse::<u16>().ok()).is_none() {
+        return true;
+    }
+    for line in lines {
+        let Some((k, v)) = line.split_once(':') else {
+            return true;
+        };
+        if k.trim().eq_ignore_ascii_case("content-length") {
+            return match v.trim().parse::<usize>() {
+                Ok(len) if len <= MAX_BODY => buf.len() >= head_end + 4 + len,
+                _ => true,
+            };
+        }
+    }
+    // Complete head without a content-length: the replay errors now.
+    true
+}
+
+/// Resolve an accumulated response buffer to the outcome the blocking
+/// reader would have produced on the same byte/error history.
+///
+/// Call when [`response_frame_complete`] returns `true`, or when the
+/// stream ended (EOF or a read error) with the frame still incomplete.
+/// `io_err` is the read error that ended the stream, if any (`None` for
+/// clean EOF). The buffer is replayed through [`read_response_resumable`]
+/// over a cursor — cursor EOF lands exactly where the socket would have
+/// blocked, so truncation outcomes and every error string match the
+/// blocking path byte-for-byte. A stored read error overrides replay
+/// results the blocking reader could never have reached: an unterminated
+/// head (the error hit `read_line` mid-accumulation) and an empty body
+/// prefix (the blocking body loop propagates the error rather than
+/// preserving zero bytes).
+pub fn finish_response_frame(
+    buf: &[u8],
+    io_err: Option<std::io::Error>,
+) -> Result<ReadOutcome> {
+    match io_err {
+        None => read_response_resumable(&mut BufReader::new(std::io::Cursor::new(buf))),
+        Some(e) => {
+            if !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                return Err(e.into());
+            }
+            match read_response_resumable(&mut BufReader::new(std::io::Cursor::new(buf)))? {
+                ReadOutcome::Truncated { received, .. } if received.is_empty() => Err(e.into()),
+                out => Ok(out),
+            }
+        }
+    }
+}
+
 fn read_headers(r: &mut BufReader<impl Read>) -> Result<Vec<(String, String)>> {
     let mut headers = Vec::new();
     loop {
@@ -562,6 +644,87 @@ mod tests {
         assert!(parse_request(&flood).is_err());
         // ...but a buffer still under the cap simply waits for more.
         assert!(parse_request(b"GET /ca").unwrap().is_none());
+    }
+
+    #[test]
+    fn response_completeness_probe_is_split_invariant() {
+        let body: Vec<u8> = (0..=255u8).collect();
+        let mut buf = Vec::new();
+        let mut resp = Response::ok(body.clone());
+        resp.headers.push(("x-body-crc32".into(), "00000000".into()));
+        write_response(&mut buf, &resp).unwrap();
+        assert!(response_frame_complete(&buf));
+        for cut in 0..buf.len() {
+            assert!(
+                !response_frame_complete(&buf[..cut]),
+                "prefix of {cut} bytes must be undecidable"
+            );
+        }
+        // The resolved frame matches the blocking reader byte-for-byte.
+        match finish_response_frame(&buf, None).unwrap() {
+            ReadOutcome::Complete(got) => {
+                let want = read_response(&mut BufReader::new(Cursor::new(buf))).unwrap();
+                assert_eq!(got, want);
+            }
+            other => panic!("expected complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_heads_are_decidable_without_body_bytes() {
+        assert!(response_frame_complete(b"HTTP/1.1 200 OK\r\n\r\n"));
+        assert!(response_frame_complete(b"GAUGE/1.0 abc OK\r\n\r\n"));
+        assert!(response_frame_complete(b"GAUGE/1.0 200 OK\r\nno-length: 1\r\n\r\n"));
+        assert!(response_frame_complete(b"GAUGE/1.0 200 OK\r\nnocolon\r\n\r\n"));
+        assert!(response_frame_complete(
+            b"GAUGE/1.0 200 OK\r\nContent-Length: 999999999999\r\n\r\n"
+        ));
+        // ...and the resolved errors match the blocking reader's strings.
+        let err = finish_response_frame(b"HTTP/1.1 200 OK\r\n\r\n", None).unwrap_err();
+        assert!(err.to_string().contains("bad status line"), "{err}");
+        let err =
+            finish_response_frame(b"GAUGE/1.0 200 OK\r\nno-length: 1\r\n\r\n", None).unwrap_err();
+        assert!(err.to_string().contains("missing content-length"), "{err}");
+    }
+
+    #[test]
+    fn finish_resolves_truncation_like_the_blocking_reader() {
+        let body: Vec<u8> = (0..100u8).collect();
+        let mut buf = Vec::new();
+        write_response(&mut buf, &Response::ok(body.clone())).unwrap();
+        let header_end = buf.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        buf.truncate(header_end + 30);
+        // Clean EOF mid-body: preserved prefix, exactly as blocking.
+        match finish_response_frame(&buf, None).unwrap() {
+            ReadOutcome::Truncated {
+                status,
+                received,
+                expected_len,
+                ..
+            } => {
+                assert_eq!((status, expected_len), (200, 100));
+                assert_eq!(received, body[..30].to_vec());
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        // A reset mid-body with a non-empty prefix: still Truncated (the
+        // blocking body loop keeps what arrived).
+        let reset = || std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset");
+        match finish_response_frame(&buf, Some(reset())).unwrap() {
+            ReadOutcome::Truncated { received, .. } => assert_eq!(received.len(), 30),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        // A reset before any body byte: the blocking loop propagates the
+        // io error instead of holding a zero-byte prefix.
+        let head_only = buf[..header_end].to_vec();
+        let err = finish_response_frame(&head_only, Some(reset())).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+        // A reset mid-head: blocking `read_line` would have surfaced it.
+        let err = finish_response_frame(b"GAUGE/1.0 2", Some(reset())).unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)), "{err}");
+        // Clean EOF at byte 0 keeps the blocking path's protocol error.
+        let err = finish_response_frame(b"", None).unwrap_err();
+        assert!(err.to_string().contains("connection closed mid-response"), "{err}");
     }
 
     #[test]

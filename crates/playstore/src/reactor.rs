@@ -562,63 +562,132 @@ where
     Ok(())
 }
 
+/// The deterministic sim serving loop as a *steppable* object. One
+/// [`SimServerLoop::step`] is exactly one iteration of the old
+/// `run_sim_loop` body — poll, advance the logical clock, fire timers,
+/// dispatch readiness — so a single-threaded lockstep harness (the
+/// non-blocking crawl client's replay mode) can interleave server steps
+/// with client steps deterministically, while the threaded sim server
+/// keeps its own loop thread by calling `step` until stopped.
+pub(crate) struct SimServerLoop<F> {
+    net: SimNet,
+    reactor: SimReactor,
+    serve: F,
+    slab: Slab<SimConnHandle>,
+    wheel: TimerWheel,
+    events: Events,
+    scratch: Vec<Token>,
+    clock: u64,
+}
+
+impl<F> SimServerLoop<F>
+where
+    F: FnMut(&Request) -> Served,
+{
+    /// Register the listener and start the logical clock at zero.
+    pub(crate) fn new(net: SimNet, mut reactor: SimReactor, serve: F) -> SimServerLoop<F> {
+        reactor.register(LISTENER, net.listener_source(), Interest::READABLE);
+        SimServerLoop {
+            net,
+            reactor,
+            serve,
+            slab: Slab::new(),
+            wheel: TimerWheel::new(),
+            events: Events::new(),
+            scratch: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// One poll-and-dispatch round. Returns a progress count (delivered
+    /// events plus fired timers); zero means the server had nothing to do
+    /// within `timeout`. Semantics match the original loop body exactly:
+    /// an idle poll jumps the logical clock to the next timer deadline,
+    /// a busy poll advances it by one tick.
+    pub(crate) fn step(&mut self, timeout: Option<Duration>) -> usize {
+        let n = self.reactor.poll(&mut self.events, timeout).unwrap_or(0);
+        if n == 0 {
+            // Idle: nothing is ready, so the only future the loop owes
+            // anyone is timer expiry — jump the logical clock there.
+            let mut fired = 0;
+            if let Some(d) = self.wheel.next_deadline() {
+                self.clock = self.clock.max(d);
+                for token in self.wheel.expire(self.clock) {
+                    on_timer(
+                        &mut self.reactor,
+                        &mut self.slab,
+                        &mut self.wheel,
+                        token,
+                        self.clock,
+                    );
+                    fired += 1;
+                }
+            }
+            return fired;
+        }
+        self.clock += 1;
+        let mut progress = n;
+        for token in self.wheel.expire(self.clock) {
+            on_timer(
+                &mut self.reactor,
+                &mut self.slab,
+                &mut self.wheel,
+                token,
+                self.clock,
+            );
+            progress += 1;
+        }
+        self.scratch.clear();
+        self.scratch.extend(self.events.iter().map(|ev| ev.token));
+        for i in 0..self.scratch.len() {
+            let token = self.scratch[i];
+            if token == LISTENER {
+                while let Some(handle) = self.net.try_accept() {
+                    let source: Arc<dyn mio::SimSource> = Arc::new(handle.clone());
+                    let token = self.slab.insert(ConnSm::new(handle, self.clock));
+                    self.reactor.register(token, source, Interest::READABLE);
+                }
+                continue;
+            }
+            let outcome = match self.slab.get_mut(token) {
+                Some(conn) if conn.stalled() => continue,
+                Some(conn) => conn.pump(&mut self.serve),
+                None => continue,
+            };
+            settle(
+                outcome,
+                &mut self.reactor,
+                &mut self.slab,
+                &mut self.wheel,
+                token,
+                self.clock,
+            );
+        }
+        progress
+    }
+
+    /// Shut every remaining connection down (loop exit epilogue).
+    pub(crate) fn shutdown(&mut self) {
+        for mut conn in self.slab.drain() {
+            conn.shutdown();
+        }
+    }
+}
+
 /// The deterministic sim loop over an in-process [`SimNet`]. Identical
 /// state machine to the epoll loop; differences are exactly the
 /// determinism levers: seeded delivery rotation (inside [`SimReactor`]),
 /// a logical clock (one tick per delivered round, jump-to-deadline when
-/// idle), and no idle reaper.
-pub(crate) fn run_sim_loop<F>(
-    net: SimNet,
-    stop: Arc<AtomicBool>,
-    mut reactor: SimReactor,
-    mut serve: F,
-) where
+/// idle), and no idle reaper. Thin driver over [`SimServerLoop`].
+pub(crate) fn run_sim_loop<F>(net: SimNet, stop: Arc<AtomicBool>, reactor: SimReactor, serve: F)
+where
     F: FnMut(&Request) -> Served,
 {
-    reactor.register(LISTENER, net.listener_source(), Interest::READABLE);
-    let mut slab: Slab<SimConnHandle> = Slab::new();
-    let mut wheel = TimerWheel::new();
-    let mut events = Events::new();
-    let mut clock: u64 = 0;
+    let mut sloop = SimServerLoop::new(net, reactor, serve);
     while !stop.load(Ordering::Relaxed) {
-        let n = reactor
-            .poll(&mut events, Some(Duration::from_millis(2)))
-            .unwrap_or(0);
-        if n == 0 {
-            // Idle: nothing is ready, so the only future the loop owes
-            // anyone is timer expiry — jump the logical clock there.
-            if let Some(d) = wheel.next_deadline() {
-                clock = clock.max(d);
-                for token in wheel.expire(clock) {
-                    on_timer(&mut reactor, &mut slab, &mut wheel, token, clock);
-                }
-            }
-            continue;
-        }
-        clock += 1;
-        for token in wheel.expire(clock) {
-            on_timer(&mut reactor, &mut slab, &mut wheel, token, clock);
-        }
-        for ev in &events {
-            if ev.token == LISTENER {
-                while let Some(handle) = net.try_accept() {
-                    let source: Arc<dyn mio::SimSource> = Arc::new(handle.clone());
-                    let token = slab.insert(ConnSm::new(handle, clock));
-                    reactor.register(token, source, Interest::READABLE);
-                }
-                continue;
-            }
-            let outcome = match slab.get_mut(ev.token) {
-                Some(conn) if conn.stalled() => continue,
-                Some(conn) => conn.pump(&mut serve),
-                None => continue,
-            };
-            settle(outcome, &mut reactor, &mut slab, &mut wheel, ev.token, clock);
-        }
+        sloop.step(Some(Duration::from_millis(2)));
     }
-    for mut conn in slab.drain() {
-        conn.shutdown();
-    }
+    sloop.shutdown();
 }
 
 #[cfg(test)]

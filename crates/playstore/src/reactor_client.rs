@@ -1,0 +1,1388 @@
+//! Non-blocking client connection state machines over the reactor.
+//!
+//! The blocking [`crate::crawler::Crawler`] parks one OS thread per
+//! connection: every read blocks until the store answers, so a pool
+//! worker drives exactly one in-flight request. This module is the
+//! client-side mirror of the server's `ConnSm`/`Served` split
+//! ([`crate::reactor`]): each connection is a [`ClientSm`] — a small
+//! state machine that owns a write buffer, an accumulating read buffer
+//! and the shared [`crate::crawler::RequestSm`] retry core — and a
+//! single driver thread ([`drive_lanes`]) multiplexes hundreds of them
+//! over one readiness loop (kernel epoll for TCP endpoints, the seeded
+//! deterministic [`mio::SimReactor`] for in-process sim endpoints).
+//!
+//! Determinism and parity both fall out of sharing the exact same
+//! building blocks as the blocking path: requests are framed by
+//! [`crate::proto::write_request`] with the identical header set,
+//! responses accumulate until [`crate::proto::response_frame_complete`]
+//! says the buffer is decidable and are then *replayed* through the
+//! blocking parser by [`crate::proto::finish_response_frame`] (same
+//! outcomes, same error strings, byte for byte), and every retry,
+//! backoff draw, admission charge and counter bump goes through the one
+//! shared `RequestSm`. A lane therefore produces the same
+//! [`CrawlStats`] on the same `(connection id, route)` history as a
+//! blocking crawler would — which is what lets the pool swap transports
+//! without changing a single merged byte.
+//!
+//! Delays never block the driver: with [`RetryPolicy::real_sleep`] off
+//! (the default) backoff/throttle charges are accounted on the logical
+//! clock exactly as the blocking path does, and with it on they are
+//! armed on the loop's [`mio::TimerWheel`] instead of `thread::sleep`,
+//! so one lane waiting out a 429 never stalls its neighbours.
+
+use crate::admission::AdmissionController;
+use crate::crawler::{
+    obb_entry, parse_app_meta, parse_listing, request_headers, verify_body_crc, AppMeta,
+    AttemptPrep, AttemptVerdict, AdmitVerdict, CrawlStage, CrawlStats, CrawledApp, CrawlerConfig,
+    DropOut, RequestSm, RetryPolicy,
+};
+use crate::net::{Endpoint, SimClientHandle};
+use crate::proto::{
+    finish_response_frame, response_frame_complete, write_request, ReadOutcome, Response,
+};
+use crate::route::Route;
+use crate::{Result, StoreError};
+use mio::{Events, Interest, Parker, Reactor, TimerWheel, Token};
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How many bytes one readiness-driven read pulls at a time (matches the
+/// server-side `ConnSm` chunk size).
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Consecutive zero-progress lockstep rounds tolerated before the driver
+/// declares a deadlock (no events, no timers, nothing served).
+const LOCKSTEP_STUCK_LIMIT: u32 = 3;
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// The request plan one lane works through. The driver calls
+/// [`LaneJob::next_request`] whenever the lane is free, issues the route
+/// through the full retry/admission machinery, and hands the final
+/// outcome (a 200 response, or the typed error after every retry) to
+/// [`LaneJob::on_result`] — exactly once per issued request, in issue
+/// order.
+pub trait LaneJob {
+    /// The next route to fetch, with its resumability flag (`true` keeps
+    /// truncated prefixes and range-resumes them — the large binary
+    /// payloads). `None` ends the lane.
+    fn next_request(&mut self, stats: &mut CrawlStats) -> Option<(Route, bool)>;
+
+    /// Deliver the outcome of the most recently issued request.
+    fn on_result(&mut self, result: Result<Response>);
+}
+
+/// The simplest job: replay a fixed route list in order and keep every
+/// outcome. What the query swarm and the in-flight scaling tests drive.
+#[derive(Debug, Default)]
+pub struct RouteListJob {
+    routes: Vec<(Route, bool)>,
+    next: usize,
+    results: Vec<Result<Response>>,
+}
+
+impl RouteListJob {
+    /// A job that fetches `routes` in order.
+    pub fn new(routes: Vec<(Route, bool)>) -> RouteListJob {
+        RouteListJob {
+            routes,
+            next: 0,
+            results: Vec::new(),
+        }
+    }
+
+    /// The outcomes, in issue order (one per planned route).
+    pub fn into_results(self) -> Vec<Result<Response>> {
+        self.results
+    }
+}
+
+impl LaneJob for RouteListJob {
+    fn next_request(&mut self, _stats: &mut CrawlStats) -> Option<(Route, bool)> {
+        let r = self.routes.get(self.next).cloned()?;
+        self.next += 1;
+        Some(r)
+    }
+
+    fn on_result(&mut self, result: Result<Response>) {
+        self.results.push(result);
+    }
+}
+
+/// One category's crawl output, tagged with its global plan index so the
+/// pool can merge shards from many lanes back into plan order.
+pub(crate) struct LaneShard {
+    /// Position of this category in the pool's global plan.
+    pub(crate) index: usize,
+    /// Successfully crawled apps, listing order.
+    pub(crate) apps: Vec<CrawledApp>,
+    /// Apps (or the listing itself) that failed permanently.
+    pub(crate) dropouts: Vec<DropOut>,
+}
+
+/// Where a [`CrawlLaneJob`] is in its category walk. `Await*` variants
+/// mark an outstanding request (only [`LaneJob::on_result`] may run);
+/// the rest are actions [`LaneJob::next_request`] steps through.
+enum CrawlJobState {
+    /// Open the next assigned category (or finish).
+    NextCategory,
+    /// Emit the next listing page request.
+    PageReady,
+    /// A listing page is outstanding.
+    AwaitListing,
+    /// Advance to the next listed package (cache-check, then metadata).
+    NextApp,
+    /// A metadata request is outstanding.
+    AwaitMeta,
+    /// Emit the APK download.
+    PendingApk {
+        meta: AppMeta,
+    },
+    /// The APK download is outstanding.
+    AwaitApk {
+        meta: AppMeta,
+    },
+    /// Emit the OBB download.
+    PendingObb {
+        meta: AppMeta,
+        apk: Vec<u8>,
+    },
+    /// The OBB download is outstanding.
+    AwaitObb {
+        meta: AppMeta,
+        apk: Vec<u8>,
+    },
+    /// Emit the bundle download.
+    PendingBundle {
+        meta: AppMeta,
+        apk: Vec<u8>,
+        obbs: Vec<(String, Vec<u8>)>,
+    },
+    /// The bundle download is outstanding.
+    AwaitBundle {
+        meta: AppMeta,
+        apk: Vec<u8>,
+        obbs: Vec<(String, Vec<u8>)>,
+    },
+    /// Every assigned category crawled.
+    Done,
+}
+
+/// A crawl plan for one lane: walk the assigned categories exactly the
+/// way [`crate::crawler::Crawler::crawl_category`] does — page the
+/// listing to the 500 cap, then metadata → APK → OBB → bundle per listed
+/// app, resume-cache hits served without network requests, permanent
+/// failures recorded as [`DropOut`]s — but expressed as a pull-driven
+/// job so the request sequence (and therefore every counter and fault
+/// draw) is identical to the blocking walk on the same connection id.
+pub(crate) struct CrawlLaneJob {
+    /// `(global plan index, category name)` in crawl order.
+    cats: Vec<(usize, String)>,
+    page_size: usize,
+    resume: Option<Arc<BTreeMap<String, CrawledApp>>>,
+    state: CrawlJobState,
+    /// Cursor into `cats`.
+    ci: usize,
+    /// Listing accumulator for the category being paged.
+    listing: Vec<String>,
+    listing_start: usize,
+    /// Packages of the current category, and the cursor into them.
+    pkgs: Vec<String>,
+    pi: usize,
+    shards: Vec<LaneShard>,
+}
+
+impl CrawlLaneJob {
+    pub(crate) fn new(
+        cats: Vec<(usize, String)>,
+        page_size: usize,
+        resume: Option<Arc<BTreeMap<String, CrawledApp>>>,
+    ) -> CrawlLaneJob {
+        CrawlLaneJob {
+            cats,
+            page_size,
+            resume,
+            state: CrawlJobState::NextCategory,
+            ci: 0,
+            listing: Vec::new(),
+            listing_start: 0,
+            pkgs: Vec::new(),
+            pi: 0,
+            shards: Vec::new(),
+        }
+    }
+
+    /// The finished shards, one per assigned category, in crawl order.
+    pub(crate) fn into_shards(self) -> Vec<LaneShard> {
+        self.shards
+    }
+
+    fn category(&self) -> &str {
+        &self.cats[self.ci].1
+    }
+
+    fn dropout(&mut self, package: String, stage: CrawlStage, error: &StoreError) {
+        let shard = self
+            .shards
+            .last_mut()
+            // gaugelint: allow(unwrap-in-fault-path) — provably infallible: NextCategory pushes the shard before any route of that category is issued
+            .expect("a shard is opened before any request of its category");
+        shard.dropouts.push(DropOut {
+            package,
+            stage,
+            error: error.to_string(),
+        });
+    }
+
+    fn finish_app(&mut self, meta: AppMeta, apk: Vec<u8>, obbs: Vec<(String, Vec<u8>)>, bundle: Option<Vec<u8>>) {
+        let shard = self
+            .shards
+            .last_mut()
+            // gaugelint: allow(unwrap-in-fault-path) — provably infallible: NextCategory pushes the shard before any route of that category is issued
+            .expect("a shard is opened before any request of its category");
+        shard.apps.push(CrawledApp {
+            meta,
+            apk,
+            obbs,
+            bundle,
+        });
+        self.pi += 1;
+        self.state = CrawlJobState::NextApp;
+    }
+
+    fn app_dropout(&mut self, stage: CrawlStage, error: &StoreError) {
+        let pkg = self.pkgs[self.pi].clone();
+        self.dropout(pkg, stage, error);
+        self.pi += 1;
+        self.state = CrawlJobState::NextApp;
+    }
+}
+
+impl LaneJob for CrawlLaneJob {
+    fn next_request(&mut self, stats: &mut CrawlStats) -> Option<(Route, bool)> {
+        loop {
+            match std::mem::replace(&mut self.state, CrawlJobState::Done) {
+                CrawlJobState::NextCategory => {
+                    if self.ci == self.cats.len() {
+                        self.state = CrawlJobState::Done;
+                        return None;
+                    }
+                    self.shards.push(LaneShard {
+                        index: self.cats[self.ci].0,
+                        apps: Vec::new(),
+                        dropouts: Vec::new(),
+                    });
+                    self.listing.clear();
+                    self.listing_start = 0;
+                    self.state = CrawlJobState::PageReady;
+                }
+                CrawlJobState::PageReady => {
+                    let route = Route::Category {
+                        name: self.category().to_string(),
+                        start: self.listing_start,
+                        count: self.page_size,
+                    };
+                    self.state = CrawlJobState::AwaitListing;
+                    return Some((route, false));
+                }
+                CrawlJobState::NextApp => {
+                    if self.pi == self.pkgs.len() {
+                        self.ci += 1;
+                        self.state = CrawlJobState::NextCategory;
+                        continue;
+                    }
+                    let pkg = self.pkgs[self.pi].clone();
+                    if let Some(app) = self.resume.as_ref().and_then(|r| r.get(&pkg)) {
+                        let app = app.clone();
+                        stats.journal_restores += 1;
+                        let shard = self
+                            .shards
+                            .last_mut()
+                            // gaugelint: allow(unwrap-in-fault-path) — provably infallible: NextCategory pushes the shard before any route of that category is issued
+                            .expect("a shard is opened before any request of its category");
+                        shard.apps.push(app);
+                        self.pi += 1;
+                        self.state = CrawlJobState::NextApp;
+                        continue;
+                    }
+                    self.state = CrawlJobState::AwaitMeta;
+                    return Some((Route::App { package: pkg }, false));
+                }
+                CrawlJobState::PendingApk { meta } => {
+                    let route = Route::Apk {
+                        package: meta.package.clone(),
+                    };
+                    self.state = CrawlJobState::AwaitApk { meta };
+                    return Some((route, true));
+                }
+                CrawlJobState::PendingObb { meta, apk } => {
+                    let route = Route::Obb {
+                        package: meta.package.clone(),
+                    };
+                    self.state = CrawlJobState::AwaitObb { meta, apk };
+                    return Some((route, true));
+                }
+                CrawlJobState::PendingBundle { meta, apk, obbs } => {
+                    let route = Route::Bundle {
+                        package: meta.package.clone(),
+                    };
+                    self.state = CrawlJobState::AwaitBundle { meta, apk, obbs };
+                    return Some((route, true));
+                }
+                CrawlJobState::Done => {
+                    self.state = CrawlJobState::Done;
+                    return None;
+                }
+                _ => unreachable!("next_request called while a request is outstanding"),
+            }
+        }
+    }
+
+    fn on_result(&mut self, result: Result<Response>) {
+        match std::mem::replace(&mut self.state, CrawlJobState::Done) {
+            CrawlJobState::AwaitListing => match result {
+                Ok(resp) => {
+                    let page = parse_listing(&resp.text());
+                    if page.is_empty() {
+                        self.pkgs = std::mem::take(&mut self.listing);
+                        self.pi = 0;
+                        self.state = CrawlJobState::NextApp;
+                        return;
+                    }
+                    self.listing_start += page.len();
+                    self.listing.extend(page);
+                    if self.listing.len() >= crate::server::MAX_PER_CATEGORY {
+                        self.listing.truncate(crate::server::MAX_PER_CATEGORY);
+                        self.pkgs = std::mem::take(&mut self.listing);
+                        self.pi = 0;
+                        self.state = CrawlJobState::NextApp;
+                    } else {
+                        self.state = CrawlJobState::PageReady;
+                    }
+                }
+                Err(e) => {
+                    let cat = self.category().to_string();
+                    self.dropout(format!("category:{cat}"), CrawlStage::Listing, &e);
+                    self.ci += 1;
+                    self.state = CrawlJobState::NextCategory;
+                }
+            },
+            CrawlJobState::AwaitMeta => match result {
+                Ok(resp) => match parse_app_meta(&resp.text()) {
+                    Ok(meta) => self.state = CrawlJobState::PendingApk { meta },
+                    Err(e) => self.app_dropout(CrawlStage::Meta, &e),
+                },
+                Err(e) => self.app_dropout(CrawlStage::Meta, &e),
+            },
+            CrawlJobState::AwaitApk { meta } => match result {
+                Ok(resp) => {
+                    let apk = resp.body;
+                    if meta.has_obb {
+                        self.state = CrawlJobState::PendingObb { meta, apk };
+                    } else if meta.has_bundle {
+                        self.state = CrawlJobState::PendingBundle {
+                            meta,
+                            apk,
+                            obbs: Vec::new(),
+                        };
+                    } else {
+                        self.finish_app(meta, apk, Vec::new(), None);
+                    }
+                }
+                Err(e) => self.app_dropout(CrawlStage::Apk, &e),
+            },
+            CrawlJobState::AwaitObb { meta, apk } => match result {
+                Ok(resp) => {
+                    let obbs = vec![obb_entry(resp, &meta.package, meta.version_code)];
+                    if meta.has_bundle {
+                        self.state = CrawlJobState::PendingBundle { meta, apk, obbs };
+                    } else {
+                        self.finish_app(meta, apk, obbs, None);
+                    }
+                }
+                Err(e) => self.app_dropout(CrawlStage::Obb, &e),
+            },
+            CrawlJobState::AwaitBundle { meta, apk, obbs } => match result {
+                Ok(resp) => self.finish_app(meta, apk, obbs, Some(resp.body)),
+                Err(e) => self.app_dropout(CrawlStage::Bundle, &e),
+            },
+            _ => unreachable!("on_result delivered with no request outstanding"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The lane state machine
+// ---------------------------------------------------------------------------
+
+/// Non-blocking transport half of one lane.
+enum ClientIo {
+    /// A kernel TCP socket in non-blocking mode.
+    Tcp(std::net::TcpStream),
+    /// An in-process sim pipe pair.
+    Sim(SimClientHandle),
+}
+
+impl ClientIo {
+    fn try_read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientIo::Tcp(s) => io::Read::read(s, buf),
+            ClientIo::Sim(h) => h.try_read(buf),
+        }
+    }
+
+    fn try_write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ClientIo::Tcp(s) => io::Write::write(s, buf),
+            ClientIo::Sim(h) => h.try_write(buf),
+        }
+    }
+
+    fn shutdown(&mut self) {
+        match self {
+            ClientIo::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            ClientIo::Sim(h) => h.close(),
+        }
+    }
+}
+
+/// Where a lane is between driver wake-ups. Blocked states only —
+/// transient decisions (attempt prep, admission, building the request
+/// frame) run to completion inside one pump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// No request outstanding (between jobs steps).
+    Idle,
+    /// Waiting out a retry backoff on the timer wheel.
+    Backoff,
+    /// Waiting out a breaker-advertised retry-after on the timer wheel.
+    BreakerWait,
+    /// Waiting out an admission pacing charge on the timer wheel.
+    ThrottleWait,
+    /// TCP connect in flight; the reactor reports writability when the
+    /// handshake settles.
+    Connecting,
+    /// Request frame partially written; waiting for send-buffer room.
+    Writing,
+    /// Accumulating the response frame; waiting for bytes.
+    Reading,
+    /// The job returned `None`; the lane is done.
+    Finished,
+}
+
+/// Which decision a pump resumes at (set by the event or timer that woke
+/// the lane).
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Ask the job for the next request.
+    TakeJob,
+    /// Begin the next attempt (backoff accounting).
+    Begin,
+    /// Run admission and build the request frame.
+    Admit,
+    /// Connect if needed, then write.
+    Send,
+    /// Continue the in-flight I/O (write/read) for the current phase.
+    Drive,
+}
+
+/// One connection lane: a [`LaneJob`] plan, the shared [`RequestSm`]
+/// retry core, and the non-blocking transport buffers. The client-side
+/// mirror of the server's `ConnSm`.
+struct ClientSm<J> {
+    job: J,
+    connection_id: u64,
+    conn_id_str: String,
+    retry: RetryPolicy,
+    stats: CrawlStats,
+    phase: Phase,
+    sm: Option<RequestSm>,
+    io: Option<ClientIo>,
+    write_buf: Vec<u8>,
+    written: usize,
+    read_buf: Vec<u8>,
+    /// Whether this lane ever connected — the first dial is free, every
+    /// later one is a reconnect (parity with the blocking crawler's
+    /// eager-dial-then-invalidate accounting).
+    connected_before: bool,
+    registered: Interest,
+}
+
+impl<J: LaneJob> ClientSm<J> {
+    fn new(connection_id: u64, retry: RetryPolicy, job: J) -> ClientSm<J> {
+        ClientSm {
+            job,
+            connection_id,
+            conn_id_str: connection_id.to_string(),
+            retry,
+            stats: CrawlStats::default(),
+            phase: Phase::Idle,
+            sm: None,
+            io: None,
+            write_buf: Vec::new(),
+            written: 0,
+            read_buf: Vec::new(),
+            connected_before: false,
+            registered: Interest::NONE,
+        }
+    }
+
+    fn in_flight(&self) -> bool {
+        matches!(self.phase, Phase::Connecting | Phase::Writing | Phase::Reading)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// One lane's configuration handed to [`drive_lanes`].
+pub struct LaneSpec<J> {
+    /// Connection id: announced to the server, folded into backoff
+    /// jitter, and the key of this connection's chaos schedule.
+    pub connection_id: u64,
+    /// Retry/backoff policy (per lane, so swarms can vary jitter seeds).
+    pub retry: RetryPolicy,
+    /// The request plan.
+    pub job: J,
+}
+
+/// Shared configuration for a [`drive_lanes`] run.
+pub struct LaneOpts {
+    /// Identity headers and page size (same set the blocking crawler
+    /// sends).
+    pub config: CrawlerConfig,
+    /// Store-wide admission controller shared across lanes and workers.
+    pub admission: Option<Arc<AdmissionController>>,
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// TCP per-read deadline (sim lanes run on the logical clock and
+    /// need none — a stalled sim peer always ends in a close).
+    pub read_timeout: Duration,
+    /// Seed for the deterministic sim reactor (event delivery order and
+    /// the replay digest).
+    pub sim_seed: u64,
+}
+
+impl Default for LaneOpts {
+    fn default() -> LaneOpts {
+        LaneOpts {
+            config: CrawlerConfig::default(),
+            admission: None,
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(2),
+            sim_seed: 0,
+        }
+    }
+}
+
+/// One lane's final state after [`drive_lanes`] returns.
+pub struct LaneOutcome<J> {
+    /// The lane's connection id.
+    pub connection_id: u64,
+    /// The finished job (results inside).
+    pub job: J,
+    /// The lane's resilience counters — same semantics as the blocking
+    /// crawler's on the same request history.
+    pub stats: CrawlStats,
+}
+
+/// What one [`drive_lanes`] run looked like from the loop's seat.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriveReport {
+    /// Most lanes simultaneously between connect-start and final byte.
+    pub peak_in_flight: usize,
+    /// Poll rounds the driver ran.
+    pub rounds: u64,
+    /// Sim reactor event-stream digest (0 under epoll): same seed + same
+    /// schedule ⇒ same digest, the replay-determinism witness.
+    pub digest: u64,
+}
+
+/// Whether this host can drive non-blocking lanes against a TCP
+/// endpoint (sim endpoints always can, on their deterministic reactor).
+/// Callers that want the event-driven client with a graceful threaded
+/// fallback — the pool, the benches — probe this instead of letting
+/// [`drive_lanes`] fail.
+pub fn nonblocking_tcp_available() -> bool {
+    mio::EpollReactor::new().is_ok()
+}
+
+/// The readiness substrate a lane set runs on.
+enum ClientReactor {
+    Epoll(mio::EpollReactor),
+    Sim(mio::SimReactor),
+}
+
+impl ClientReactor {
+    fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        match self {
+            ClientReactor::Epoll(r) => r.poll(events, timeout),
+            ClientReactor::Sim(r) => r.poll(events, timeout),
+        }
+    }
+
+    fn set_interest(&mut self, token: Token, interest: Interest) -> io::Result<()> {
+        match self {
+            ClientReactor::Epoll(r) => r.set_interest(token, interest),
+            ClientReactor::Sim(r) => r.set_interest(token, interest),
+        }
+    }
+
+    fn deregister(&mut self, token: Token) -> io::Result<()> {
+        match self {
+            ClientReactor::Epoll(r) => r.deregister(token),
+            ClientReactor::Sim(r) => r.deregister(token),
+        }
+    }
+}
+
+/// Everything a pump needs besides the lane itself. `now` is the loop
+/// clock: wall milliseconds under epoll, logical ticks under sim.
+struct DriverCtx<'a> {
+    endpoint: &'a Endpoint,
+    reactor: &'a mut ClientReactor,
+    wheel: &'a mut TimerWheel,
+    opts: &'a LaneOpts,
+    client_parker: Option<Arc<Parker>>,
+    now: u64,
+    tcp: bool,
+}
+
+#[cfg(target_os = "linux")]
+fn stream_fd(stream: &std::net::TcpStream) -> std::os::fd::RawFd {
+    use std::os::fd::AsRawFd;
+    stream.as_raw_fd()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn stream_fd(_stream: &std::net::TcpStream) -> i32 {
+    -1
+}
+
+fn close_io<J>(lane: &mut ClientSm<J>, ctx: &mut DriverCtx<'_>, token: Token) {
+    if let Some(mut io) = lane.io.take() {
+        let _ = ctx.reactor.deregister(token);
+        io.shutdown();
+        lane.registered = Interest::NONE;
+    }
+}
+
+/// Open the lane's transport. `Ok(true)` means a TCP handshake is in
+/// flight (the lane parks in [`Phase::Connecting`] until the reactor
+/// reports writability); `Ok(false)` means the transport is ready now.
+fn open_io<J>(
+    lane: &mut ClientSm<J>,
+    ctx: &mut DriverCtx<'_>,
+    token: Token,
+) -> std::result::Result<bool, StoreError> {
+    if lane.connected_before {
+        lane.stats.reconnects += 1;
+    } else {
+        lane.connected_before = true;
+    }
+    match (ctx.endpoint, &mut *ctx.reactor) {
+        (Endpoint::Tcp(addr), ClientReactor::Epoll(ep)) => {
+            let stream = mio::tcp_connect_nonblocking(*addr)?;
+            ep.register_fd(stream_fd(&stream), token, Interest::WRITABLE)?;
+            lane.io = Some(ClientIo::Tcp(stream));
+            lane.registered = Interest::WRITABLE;
+            Ok(true)
+        }
+        (Endpoint::Sim(net), ClientReactor::Sim(sr)) => {
+            let handle = net.connect_nonblocking();
+            if let Some(p) = &ctx.client_parker {
+                handle.watch(Arc::clone(p));
+            }
+            sr.register(token, Arc::new(handle.clone()), Interest::NONE);
+            lane.io = Some(ClientIo::Sim(handle));
+            lane.registered = Interest::NONE;
+            Ok(false)
+        }
+        _ => Err(StoreError::Protocol(
+            "lane endpoint does not match the reactor substrate".into(),
+        )),
+    }
+}
+
+/// Resolve one attempt's transport outcome through the shared retry
+/// core and report where the pump should resume.
+fn absorb<J: LaneJob>(
+    lane: &mut ClientSm<J>,
+    ctx: &mut DriverCtx<'_>,
+    token: Token,
+    result: Result<ReadOutcome>,
+) -> Step {
+    ctx.wheel.cancel(token);
+    lane.read_buf.clear();
+    // gaugelint: allow(unwrap-in-fault-path) — provably infallible: absorb is only reached while a RequestSm is in flight
+    let mut sm = lane.sm.take().expect("a request is in flight");
+    match sm.absorb(result, ctx.opts.admission.as_deref(), &mut lane.stats) {
+        AttemptVerdict::Done(resp) => {
+            lane.job.on_result(Ok(resp));
+            Step::TakeJob
+        }
+        AttemptVerdict::Fatal { error, invalidate } => {
+            if invalidate {
+                close_io(lane, ctx, token);
+            }
+            lane.job.on_result(Err(error));
+            Step::TakeJob
+        }
+        AttemptVerdict::Retry { invalidate } => {
+            if invalidate {
+                close_io(lane, ctx, token);
+            }
+            lane.sm = Some(sm);
+            Step::Begin
+        }
+    }
+}
+
+/// Finish an accumulated response buffer the way the blocking exchange
+/// would have (replay through the blocking parser, then the integrity
+/// check) and absorb the outcome.
+fn finish_frame<J: LaneJob>(
+    lane: &mut ClientSm<J>,
+    ctx: &mut DriverCtx<'_>,
+    token: Token,
+    io_err: Option<io::Error>,
+) -> Step {
+    // gaugelint: allow(unwrap-in-fault-path) — provably infallible: finish_frame is only reached from Phase::Reading, which always has a RequestSm
+    let wire = lane.sm.as_ref().expect("a request is in flight").wire_path().to_string();
+    let result = finish_response_frame(&lane.read_buf, io_err).and_then(|outcome| {
+        if let ReadOutcome::Complete(resp) = &outcome {
+            verify_body_crc(resp, &wire)?;
+        }
+        Ok(outcome)
+    });
+    absorb(lane, ctx, token, result)
+}
+
+/// Drive one lane as far as it can go without blocking, starting at
+/// `start`. On return the lane is parked in a blocked [`Phase`] (or
+/// [`Phase::Finished`]); the caller settles reactor interest afterwards.
+fn pump_lane<J: LaneJob>(
+    lane: &mut ClientSm<J>,
+    ctx: &mut DriverCtx<'_>,
+    token: Token,
+    start: Step,
+) {
+    let mut step = start;
+    loop {
+        match step {
+            Step::TakeJob => {
+                lane.phase = Phase::Idle;
+                match lane.job.next_request(&mut lane.stats) {
+                    None => {
+                        close_io(lane, ctx, token);
+                        ctx.wheel.cancel(token);
+                        lane.phase = Phase::Finished;
+                        return;
+                    }
+                    Some((route, resumable)) => {
+                        lane.sm = Some(RequestSm::new(&route, resumable, lane.retry.max_attempts));
+                        step = Step::Begin;
+                    }
+                }
+            }
+            Step::Begin => {
+                // gaugelint: allow(unwrap-in-fault-path) — provably infallible: Begin is only entered with a RequestSm installed
+                let sm = lane.sm.as_mut().expect("a request is in flight");
+                match sm.begin_attempt(&lane.retry, lane.connection_id, &mut lane.stats) {
+                    AttemptPrep::Exhausted(e) => {
+                        lane.sm = None;
+                        lane.job.on_result(Err(e));
+                        step = Step::TakeJob;
+                    }
+                    AttemptPrep::Backoff { delay_ms } => {
+                        if lane.retry.real_sleep && delay_ms > 0 {
+                            ctx.wheel.arm(token, ctx.now + delay_ms);
+                            lane.phase = Phase::Backoff;
+                            return;
+                        }
+                        step = Step::Admit;
+                    }
+                }
+            }
+            Step::Admit => {
+                // gaugelint: allow(unwrap-in-fault-path) — provably infallible: Admit is only entered with a RequestSm installed
+                let sm = lane.sm.as_mut().expect("a request is in flight");
+                match sm.admit(
+                    ctx.opts.admission.as_deref(),
+                    lane.connection_id,
+                    &mut lane.stats,
+                ) {
+                    AdmitVerdict::Rejected { retry_after_ms } => {
+                        if lane.retry.real_sleep && retry_after_ms > 0 {
+                            ctx.wheel.arm(token, ctx.now + retry_after_ms);
+                            lane.phase = Phase::BreakerWait;
+                            return;
+                        }
+                        step = Step::Begin;
+                    }
+                    AdmitVerdict::Proceed {
+                        range_start,
+                        throttle_ms,
+                    } => {
+                        lane.write_buf.clear();
+                        lane.written = 0;
+                        let range = range_start.map(|n| n.to_string());
+                        let headers =
+                            request_headers(&ctx.opts.config, &lane.conn_id_str, range.as_deref());
+                        if let Err(e) = write_request(&mut lane.write_buf, sm.wire_path(), &headers)
+                        {
+                            // Unreachable for a Vec sink; routed through the
+                            // retry core anyway so nothing panics.
+                            step = absorb(lane, ctx, token, Err(e));
+                            continue;
+                        }
+                        if lane.retry.real_sleep && throttle_ms > 0 {
+                            ctx.wheel.arm(token, ctx.now + throttle_ms);
+                            lane.phase = Phase::ThrottleWait;
+                            return;
+                        }
+                        step = Step::Send;
+                    }
+                }
+            }
+            Step::Send => {
+                if lane.io.is_none() {
+                    match open_io(lane, ctx, token) {
+                        Ok(true) => {
+                            let connect_ms = ctx.opts.connect_timeout.as_millis().max(1) as u64;
+                            ctx.wheel.arm(token, ctx.now + connect_ms);
+                            lane.phase = Phase::Connecting;
+                            return;
+                        }
+                        Ok(false) => {}
+                        Err(e) => {
+                            step = absorb(lane, ctx, token, Err(e));
+                            continue;
+                        }
+                    }
+                }
+                lane.phase = Phase::Writing;
+                step = Step::Drive;
+            }
+            Step::Drive => match lane.phase {
+                Phase::Writing => {
+                    // gaugelint: allow(unwrap-in-fault-path) — provably infallible: Writing always has a transport (opened in Send)
+                    let io = lane.io.as_mut().expect("writing lane has a transport");
+                    let mut result = None;
+                    while lane.written < lane.write_buf.len() {
+                        match io.try_write(&lane.write_buf[lane.written..]) {
+                            Ok(0) => {
+                                result = Some(Err(io::Error::new(
+                                    io::ErrorKind::WriteZero,
+                                    "failed to write whole buffer",
+                                )
+                                .into()));
+                                break;
+                            }
+                            Ok(n) => lane.written += n,
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(e) => {
+                                result = Some(Err(e.into()));
+                                break;
+                            }
+                        }
+                    }
+                    match result {
+                        Some(r) => step = absorb(lane, ctx, token, r),
+                        None => {
+                            lane.read_buf.clear();
+                            lane.phase = Phase::Reading;
+                            if ctx.tcp {
+                                let read_ms = ctx.opts.read_timeout.as_millis().max(1) as u64;
+                                ctx.wheel.arm(token, ctx.now + read_ms);
+                            }
+                        }
+                    }
+                }
+                Phase::Reading => {
+                    let io_err = loop {
+                        if response_frame_complete(&lane.read_buf) {
+                            break None;
+                        }
+                        let mut chunk = [0u8; READ_CHUNK];
+                        // gaugelint: allow(unwrap-in-fault-path) — provably infallible: Reading always has a transport (opened in Send)
+                        let io = lane.io.as_mut().expect("reading lane has a transport");
+                        match io.try_read(&mut chunk) {
+                            Ok(0) => break None,
+                            Ok(n) => {
+                                lane.read_buf.extend_from_slice(&chunk[..n]);
+                                if ctx.tcp {
+                                    let read_ms =
+                                        ctx.opts.read_timeout.as_millis().max(1) as u64;
+                                    ctx.wheel.arm(token, ctx.now + read_ms);
+                                }
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                            Err(e) => break Some(e),
+                        }
+                    };
+                    step = finish_frame(lane, ctx, token, io_err);
+                }
+                _ => return,
+            },
+        }
+    }
+}
+
+/// Settle this lane's reactor interest to match its parked phase.
+fn settle_lane<J>(lane: &mut ClientSm<J>, reactor: &mut ClientReactor, token: Token) {
+    if lane.io.is_none() {
+        return;
+    }
+    let desired = match lane.phase {
+        Phase::Connecting | Phase::Writing => Interest::WRITABLE,
+        Phase::Reading => Interest::READABLE,
+        _ => Interest::NONE,
+    };
+    if desired != lane.registered {
+        let _ = reactor.set_interest(token, desired);
+        lane.registered = desired;
+    }
+}
+
+/// A timer fired for this lane: resume the pump at the decision the
+/// deadline was guarding.
+fn on_lane_timer<J: LaneJob>(lane: &mut ClientSm<J>, ctx: &mut DriverCtx<'_>, token: Token) {
+    match lane.phase {
+        Phase::Backoff => pump_lane(lane, ctx, token, Step::Admit),
+        Phase::BreakerWait => pump_lane(lane, ctx, token, Step::Begin),
+        Phase::ThrottleWait => pump_lane(lane, ctx, token, Step::Send),
+        Phase::Connecting => {
+            let step = absorb(
+                lane,
+                ctx,
+                token,
+                Err(io::Error::new(io::ErrorKind::TimedOut, "connect timed out").into()),
+            );
+            pump_lane(lane, ctx, token, step);
+        }
+        Phase::Reading => {
+            let step = absorb(
+                lane,
+                ctx,
+                token,
+                Err(io::Error::new(io::ErrorKind::TimedOut, "client read timed out").into()),
+            );
+            pump_lane(lane, ctx, token, step);
+        }
+        _ => {}
+    }
+}
+
+/// An I/O event woke this lane: settle the connect handshake if one is
+/// in flight, then continue the lane's I/O.
+fn on_lane_event<J: LaneJob>(lane: &mut ClientSm<J>, ctx: &mut DriverCtx<'_>, token: Token) {
+    if lane.phase == Phase::Connecting {
+        let fd = match &lane.io {
+            Some(ClientIo::Tcp(s)) => stream_fd(s),
+            _ => {
+                // Sim lanes never park in Connecting.
+                pump_lane(lane, ctx, token, Step::Drive);
+                return;
+            }
+        };
+        match mio::take_socket_error(fd) {
+            Ok(()) => {
+                ctx.wheel.cancel(token);
+                lane.phase = Phase::Writing;
+                pump_lane(lane, ctx, token, Step::Drive);
+            }
+            Err(e) => {
+                let step = absorb(lane, ctx, token, Err(e.into()));
+                pump_lane(lane, ctx, token, step);
+            }
+        }
+        return;
+    }
+    pump_lane(lane, ctx, token, Step::Drive);
+}
+
+/// Drive a set of [`ClientSm`] lanes to completion over one readiness
+/// loop — the non-blocking replacement for one-thread-per-connection.
+///
+/// The substrate follows the endpoint: TCP endpoints run on kernel epoll
+/// (Linux; construction fails elsewhere so callers can fall back to the
+/// threaded path), sim endpoints on the seeded deterministic
+/// [`mio::SimReactor`]. With `server_step` the driver runs in *lockstep*
+/// against an in-process steppable sim server: each round first drains
+/// the server, then polls the client reactor with a zero timeout — no
+/// threads, no wall clock, so the full multi-connection schedule (event
+/// order included, witnessed by [`DriveReport::digest`]) replays
+/// bit-for-bit from the seed. Without it the server runs in its own
+/// thread and sim lanes park on a shared [`Parker`] that server writes
+/// notify.
+///
+/// Lanes are pumped eagerly before the first poll, so every lane's first
+/// request is on the wire (in flight) before any response is read —
+/// one worker really does hold `lanes.len()` concurrent connections.
+pub fn drive_lanes<J: LaneJob>(
+    endpoint: &Endpoint,
+    specs: Vec<LaneSpec<J>>,
+    opts: &LaneOpts,
+    mut server_step: Option<&mut dyn FnMut() -> usize>,
+) -> Result<(Vec<LaneOutcome<J>>, DriveReport)> {
+    let lockstep = server_step.is_some();
+    let (mut reactor, client_parker, digest) = match endpoint {
+        Endpoint::Tcp(_) => (ClientReactor::Epoll(mio::EpollReactor::new()?), None, None),
+        Endpoint::Sim(_) => {
+            let parker = Parker::new();
+            let sim = mio::SimReactor::with_parker(opts.sim_seed, Arc::clone(&parker));
+            let digest = sim.digest_handle();
+            (ClientReactor::Sim(sim), Some(parker), Some(digest))
+        }
+    };
+    let tcp = matches!(endpoint, Endpoint::Tcp(_));
+    // The loop clock: wall milliseconds under epoll, logical ticks under
+    // sim (empty polls jump to the next armed deadline; busy polls tick).
+    // gaugelint: deterministic-via(clock) — the lane deadline clock is inherently wall-time under epoll; the deterministic path (sim) uses a logical clock
+    let t0 = std::time::Instant::now();
+    let mut lanes: Vec<ClientSm<J>> = specs
+        .into_iter()
+        .map(|s| ClientSm::new(s.connection_id, s.retry, s.job))
+        .collect();
+    let mut wheel = TimerWheel::new();
+    let mut events = Events::new();
+    let mut clock: u64 = 0;
+    let mut report = DriveReport::default();
+    let mut stuck: u32 = 0;
+    let mut scratch: Vec<Token> = Vec::new();
+
+    {
+        let mut ctx = DriverCtx {
+            endpoint,
+            reactor: &mut reactor,
+            wheel: &mut wheel,
+            opts,
+            client_parker: client_parker.clone(),
+            now: clock,
+            tcp,
+        };
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            pump_lane(lane, &mut ctx, Token(i), Step::TakeJob);
+        }
+    }
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        settle_lane(lane, &mut reactor, Token(i));
+    }
+
+    loop {
+        let in_flight = lanes.iter().filter(|l| l.in_flight()).count();
+        report.peak_in_flight = report.peak_in_flight.max(in_flight);
+        if lanes.iter().all(|l| l.phase == Phase::Finished) {
+            break;
+        }
+
+        let mut served = 0usize;
+        if let Some(step) = server_step.as_deref_mut() {
+            loop {
+                let n = step();
+                served += n;
+                if n == 0 {
+                    break;
+                }
+            }
+        }
+
+        let timeout = if lockstep {
+            Some(Duration::ZERO)
+        } else if tcp {
+            let ahead = wheel
+                .next_deadline()
+                .map(|d| d.saturating_sub(clock))
+                .unwrap_or(25);
+            Some(Duration::from_millis(ahead.clamp(1, 25)))
+        } else {
+            Some(Duration::from_millis(2))
+        };
+        let n = reactor.poll(&mut events, timeout)?;
+        report.rounds += 1;
+
+        if tcp {
+            clock = t0.elapsed().as_millis() as u64;
+        } else if n == 0 {
+            if let Some(d) = wheel.next_deadline() {
+                clock = clock.max(d);
+            }
+        } else {
+            clock += 1;
+        }
+
+        let fired = wheel.expire(clock);
+        let fired_count = fired.len();
+        {
+            let mut ctx = DriverCtx {
+                endpoint,
+                reactor: &mut reactor,
+                wheel: &mut wheel,
+                opts,
+                client_parker: client_parker.clone(),
+                now: clock,
+                tcp,
+            };
+            for token in fired {
+                if let Some(lane) = lanes.get_mut(token.0) {
+                    on_lane_timer(lane, &mut ctx, token);
+                }
+            }
+            scratch.clear();
+            scratch.extend(events.iter().map(|ev| ev.token));
+            for &token in scratch.iter() {
+                if let Some(lane) = lanes.get_mut(token.0) {
+                    on_lane_event(lane, &mut ctx, token);
+                }
+            }
+        }
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            settle_lane(lane, &mut reactor, Token(i));
+        }
+
+        if lockstep && n == 0 && fired_count == 0 && served == 0 {
+            stuck += 1;
+            if stuck >= LOCKSTEP_STUCK_LIMIT {
+                return Err(StoreError::Protocol(
+                    "lockstep client reactor deadlocked: lanes pending with no events, timers or server progress"
+                        .into(),
+                ));
+            }
+        } else {
+            stuck = 0;
+        }
+    }
+
+    let digest = digest.map_or(0, |d| d.load(std::sync::atomic::Ordering::SeqCst));
+    report.digest = digest;
+    let outcomes = lanes
+        .into_iter()
+        .map(|l| LaneOutcome {
+            connection_id: l.connection_id,
+            job: l.job,
+            stats: l.stats,
+        })
+        .collect();
+    Ok((outcomes, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{FaultPlan, FaultPlanConfig};
+    use crate::corpus::{generate, CorpusScale, Snapshot};
+    use crate::crawler::Crawler;
+    use crate::reactor::ReactorMode;
+    use crate::server::{ServerOptions, StoreServer};
+
+    fn sim_server(chaos: Option<FaultPlan>) -> StoreServer {
+        StoreServer::start_with(
+            generate(CorpusScale::Tiny, Snapshot::Y2021, 7),
+            ServerOptions {
+                chaos,
+                reactor: Some(ReactorMode::Sim),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn spec(id: u64, routes: Vec<(Route, bool)>) -> LaneSpec<RouteListJob> {
+        LaneSpec {
+            connection_id: id,
+            retry: RetryPolicy::default(),
+            job: RouteListJob::new(routes),
+        }
+    }
+
+    #[test]
+    fn route_list_lanes_match_blocking_fetches() {
+        let server = sim_server(None);
+        let routes: Vec<(Route, bool)> = vec![
+            (Route::Categories, false),
+            (
+                Route::Category {
+                    name: "finance".into(),
+                    start: 0,
+                    count: 100,
+                },
+                false,
+            ),
+            (Route::Categories, false),
+        ];
+        let specs = (1..=4u64).map(|id| spec(id, routes.clone())).collect();
+        let (outcomes, report) =
+            drive_lanes(&server.endpoint(), specs, &LaneOpts::default(), None).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert!(report.peak_in_flight >= 1);
+
+        let mut blocking = Crawler::builder_at(server.endpoint())
+            .connection_id(1)
+            .build()
+            .unwrap();
+        let want: Vec<Vec<u8>> = routes
+            .iter()
+            .map(|(r, _)| blocking.fetch(r).unwrap().body)
+            .collect();
+        for o in outcomes {
+            let results = o.job.into_results();
+            assert_eq!(results.len(), routes.len());
+            for (got, want) in results.iter().zip(&want) {
+                assert_eq!(&got.as_ref().unwrap().body, want);
+            }
+            assert_eq!(o.stats.requests, routes.len() as u64);
+            assert_eq!(o.stats.retries, 0);
+            assert_eq!(o.stats.reconnects, 0, "keep-alive lanes never re-dial");
+        }
+    }
+
+    /// The crawl job on a lane must replay the blocking walk exactly:
+    /// same apps, same dropouts, same counters, calm or chaotic.
+    fn assert_lane_matches_blocking(chaos: Option<FaultPlanConfig>) {
+        let plan = chaos.clone().map(FaultPlan::new);
+        let server = sim_server(plan);
+        let cats = Crawler::builder_at(server.endpoint())
+            .connection_id(0)
+            .build()
+            .unwrap()
+            .categories()
+            .unwrap();
+        let assigned: Vec<(usize, String)> = cats.iter().cloned().enumerate().collect();
+
+        let specs = vec![LaneSpec {
+            connection_id: 1,
+            retry: RetryPolicy::default(),
+            job: CrawlLaneJob::new(assigned, CrawlerConfig::default().page_size, None),
+        }];
+        let (mut outcomes, _) =
+            drive_lanes(&server.endpoint(), specs, &LaneOpts::default(), None).unwrap();
+        let lane = outcomes.remove(0);
+        let shards = lane.job.into_shards();
+
+        let plan = chaos.map(FaultPlan::new);
+        let server2 = sim_server(plan);
+        let mut blocking = Crawler::builder_at(server2.endpoint())
+            .connection_id(1)
+            .build()
+            .unwrap();
+        let mut want_apps = Vec::new();
+        let mut want_drops = Vec::new();
+        for cat in &cats {
+            let (a, d) = blocking.crawl_category(cat);
+            want_apps.extend(a);
+            want_drops.extend(d);
+        }
+
+        let got_apps: Vec<_> = shards.iter().flat_map(|s| s.apps.clone()).collect();
+        let got_drops: Vec<_> = shards.iter().flat_map(|s| s.dropouts.clone()).collect();
+        assert_eq!(got_apps, want_apps);
+        assert_eq!(got_drops, want_drops);
+        assert_eq!(&lane.stats, blocking.stats());
+    }
+
+    #[test]
+    fn crawl_lane_matches_blocking_walk_calm() {
+        assert_lane_matches_blocking(None);
+    }
+
+    #[test]
+    fn crawl_lane_matches_blocking_walk_under_chaos() {
+        assert_lane_matches_blocking(Some(FaultPlanConfig {
+            seed: 0xC0FFEE,
+            fault_permille: 250,
+            ..FaultPlanConfig::default()
+        }));
+    }
+
+    /// One lockstep run: no threads, no wall clock. Returns the client
+    /// event digest, the server event digest and every response body.
+    fn lockstep_run(client_seed: u64, server_seed: u64, chaos: bool) -> (u64, u64, Vec<Vec<u8>>) {
+        let chaos = chaos.then(|| {
+            FaultPlan::new(FaultPlanConfig {
+                seed: 0xFEED,
+                fault_permille: 300,
+                ..FaultPlanConfig::default()
+            })
+        });
+        let mut server = crate::server::LockstepServer::start(
+            generate(CorpusScale::Tiny, Snapshot::Y2021, 7),
+            ServerOptions {
+                chaos,
+                reactor_seed: server_seed,
+                ..ServerOptions::default()
+            },
+        );
+        let routes = vec![
+            (Route::Categories, false),
+            (
+                Route::Category {
+                    name: "finance".into(),
+                    start: 0,
+                    count: 100,
+                },
+                false,
+            ),
+        ];
+        let specs = (1..=8u64).map(|id| spec(id, routes.clone())).collect();
+        let opts = LaneOpts {
+            sim_seed: client_seed,
+            ..LaneOpts::default()
+        };
+        let endpoint = server.endpoint();
+        let (outcomes, report) =
+            drive_lanes(&endpoint, specs, &opts, Some(&mut || server.step())).unwrap();
+        let bodies = outcomes
+            .into_iter()
+            .flat_map(|o| o.job.into_results())
+            .map(|r| r.unwrap().body)
+            .collect();
+        (report.digest, server.reactor_digest(), bodies)
+    }
+
+    #[test]
+    fn lockstep_replays_bit_for_bit_from_the_seeds() {
+        let a = lockstep_run(5, 7, false);
+        let b = lockstep_run(5, 7, false);
+        assert_eq!(a, b, "same seeds must replay the same schedule");
+        assert_ne!(a.0, 0, "client digest records delivered events");
+    }
+
+    #[test]
+    fn lockstep_replays_bit_for_bit_under_chaos() {
+        let a = lockstep_run(9, 3, true);
+        let b = lockstep_run(9, 3, true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bounded_chaos_retries_through_the_lane_and_still_answers() {
+        let cfg = FaultPlanConfig {
+            seed: 11,
+            fault_permille: 400,
+            ..FaultPlanConfig::default()
+        };
+        let server = sim_server(Some(FaultPlan::new(cfg)));
+        let routes = vec![(Route::Categories, false); 8];
+        let specs = vec![spec(3, routes)];
+        let (mut outcomes, _) =
+            drive_lanes(&server.endpoint(), specs, &LaneOpts::default(), None).unwrap();
+        let o = outcomes.remove(0);
+        assert!(o.stats.retries > 0, "chaos at 40% must force retries");
+        assert!(o.stats.requests >= 8 + o.stats.retries);
+        for r in o.job.into_results() {
+            // Bounded chaos (fewer faults per route than attempts) always
+            // recovers — every planned route still answers.
+            assert!(r.is_ok(), "{r:?}");
+        }
+    }
+}

@@ -292,6 +292,74 @@ impl Drop for StoreServer {
     }
 }
 
+/// The boxed per-request decision hook a [`LockstepServer`] steps with.
+type LockstepServe = Box<dyn FnMut(&Request) -> Served>;
+
+/// A sim store server the *caller* steps — no serving thread, no wall
+/// clock. Built for lockstep runs against the non-blocking client
+/// lanes ([`crate::reactor_client::drive_lanes`] takes `&mut || s.step()`
+/// as its `server_step`): client and server alternate inside one thread,
+/// so the complete multi-connection schedule — accept order, event
+/// delivery, stall-timer expiry — is a pure function of the two reactor
+/// seeds and replays bit-for-bit, digests included.
+pub struct LockstepServer {
+    endpoint: Endpoint,
+    sloop: crate::reactor::SimServerLoop<LockstepServe>,
+    shared: Arc<Shared>,
+    digest: Arc<AtomicU64>,
+}
+
+impl LockstepServer {
+    /// Build a steppable sim server over `corpus`. `options.reactor` is
+    /// ignored (a lockstep server is sim by construction);
+    /// `options.reactor_seed`, chaos plan and index apply as usual.
+    pub fn start(corpus: StoreCorpus, options: ServerOptions) -> LockstepServer {
+        let shared = Arc::new(Shared {
+            corpus,
+            artifact_cache: Mutex::new(HashMap::new()),
+            requests_served: Mutex::new(0),
+            chaos: options.chaos,
+            index: options.index,
+        });
+        let parker = Parker::new();
+        let net = SimNet::new(Arc::clone(&parker));
+        let reactor = SimReactor::with_parker(options.reactor_seed, parker);
+        let digest = reactor.digest_handle();
+        let t_shared = Arc::clone(&shared);
+        let serve: Box<dyn FnMut(&Request) -> Served> =
+            Box::new(move |req| serve_request(&t_shared, req));
+        let sloop = crate::reactor::SimServerLoop::new(net.clone(), reactor, serve);
+        LockstepServer {
+            endpoint: Endpoint::Sim(net),
+            sloop,
+            shared,
+            digest,
+        }
+    }
+
+    /// The endpoint clients dial (sim only).
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint.clone()
+    }
+
+    /// Run one poll/dispatch round with a zero timeout. Returns the
+    /// number of events and timer fires handled — `0` means the server
+    /// is drained and waiting on its clients.
+    pub fn step(&mut self) -> usize {
+        self.sloop.step(Some(Duration::ZERO))
+    }
+
+    /// The reactor's running FNV digest over the delivered event stream.
+    pub fn reactor_digest(&self) -> u64 {
+        self.digest.load(Ordering::SeqCst)
+    }
+
+    /// Number of requests served so far.
+    pub fn requests_served(&self) -> u64 {
+        *self.shared.requests_served.lock()
+    }
+}
+
 /// Serialize a response to its wire frame. Infallible for in-memory
 /// writes; returns the bytes.
 fn frame_of(resp: &Response) -> Vec<u8> {

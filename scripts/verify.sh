@@ -7,8 +7,10 @@
 # compaction-under-pressure check, the query-serving determinism gate
 # (querybench streams must be byte-identical at every connection count),
 # the reactor gate (readiness-replay determinism plus sim/epoll digest
-# equality up to 256 connections), the gaugelint and lock-order gates,
-# and workspace clippy.
+# equality up to 256 connections), the client-reactor gate (lockstep
+# multi-connection replay pinned by name, sim crawls byte-stable across
+# runs, epoll/threaded/sim client transports rendering one report), the
+# gaugelint and lock-order gates, and workspace clippy.
 #
 # Works without network access: if the registry is unreachable, cargo is
 # retried in --offline mode (using whatever is already vendored/cached).
@@ -158,6 +160,55 @@ verify() {
     run_cargo "$mode" test -q --test reactor || return 1
     run_cargo "$mode" test -q --test reactor \
         same_seed_replays_the_same_event_order_and_bytes || return 1
+    # Client-reactor gate (DESIGN.md §16): the lockstep multi-connection
+    # crawls whose client+server event digests must replay bit-for-bit
+    # from the seeds, pinned by name.
+    run_cargo "$mode" test -q --test reactor \
+        one_poll_loop_holds_256_lanes_in_flight_and_replays || return 1
+    run_cargo "$mode" test -q --test reactor \
+        chaos_trio_through_the_nonblocking_client_recovers_and_replays || return 1
+    # The full pipeline over the non-blocking client: a sim-reactor
+    # multi-connection crawl run twice must print byte-identical tables
+    # (the free-running readiness schedule may differ — stdout must not),
+    # and the epoll and threaded client transports must render the same
+    # PipelineReport.
+    pool_out="target/verify-pool.$$"
+    run_cargo "$mode" run --release -q -p gaugenn-bench --bin repro \
+        -- --scale tiny --seed 1402 --workers 2 --reactor sim --connections 64 \
+        >"$pool_out.sim1.out" 2>"$pool_out.sim1.err" || return 1
+    run_cargo "$mode" run --release -q -p gaugenn-bench --bin repro \
+        -- --scale tiny --seed 1402 --workers 2 --reactor sim --connections 64 \
+        >"$pool_out.sim2.out" 2>"$pool_out.sim2.err" || return 1
+    if ! cmp -s "$pool_out.sim1.out" "$pool_out.sim2.out"; then
+        echo "verify: sim-reactor multi-connection crawl stdout differs between runs" >&2
+        diff "$pool_out.sim1.out" "$pool_out.sim2.out" | head -20 >&2
+        return 1
+    fi
+    for side in sim1 sim2; do
+        if ! grep -q "reactor digest" "$pool_out.$side.err"; then
+            echo "verify: $side repro run printed no reactor schedule digest" >&2
+            return 1
+        fi
+    done
+    run_cargo "$mode" run --release -q -p gaugenn-bench --bin repro \
+        -- --scale tiny --seed 1402 --workers 2 --reactor epoll --connections 64 \
+        >"$pool_out.epoll.out" 2>/dev/null || return 1
+    run_cargo "$mode" run --release -q -p gaugenn-bench --bin repro \
+        -- --scale tiny --seed 1402 --workers 2 --reactor legacy \
+        >"$pool_out.threaded.out" 2>/dev/null || return 1
+    if ! cmp -s "$pool_out.epoll.out" "$pool_out.threaded.out"; then
+        echo "verify: epoll and threaded client transports rendered different reports" >&2
+        diff "$pool_out.epoll.out" "$pool_out.threaded.out" | head -20 >&2
+        return 1
+    fi
+    if ! cmp -s "$pool_out.sim1.out" "$pool_out.threaded.out"; then
+        echo "verify: sim and threaded client transports rendered different reports" >&2
+        diff "$pool_out.sim1.out" "$pool_out.threaded.out" | head -20 >&2
+        return 1
+    fi
+    rm -f "$pool_out.sim1.out" "$pool_out.sim1.err" \
+        "$pool_out.sim2.out" "$pool_out.sim2.err" \
+        "$pool_out.epoll.out" "$pool_out.threaded.out"
     # The query gate again under the deterministic sim reactor and under
     # a forced epoll sweep to 256 connections. Each run asserts
     # byte-identical streams internally (including 256-conn == 1-conn);

@@ -13,8 +13,14 @@
 //! 3. **Torn-write robustness** — the reactor's incremental parser must
 //!    produce identical responses no matter how request bytes are split
 //!    across readiness events.
+//! 4. **Client-side replay** — the non-blocking client state machines
+//!    ([`drive_lanes`]) hold hundreds of lanes in flight from one poll
+//!    loop, survive the chaos trio (reset, mid-frame stall, truncated
+//!    body + range resume), and replay the whole multi-connection
+//!    schedule bit-for-bit from the seeds in lockstep.
 //!
 //! [`Served`]: gaugenn::playstore::Served
+//! [`drive_lanes`]: gaugenn::playstore::drive_lanes
 
 use gaugenn::core::pipeline::{Pipeline, PipelineConfig};
 use gaugenn::index::{AppDoc, AppSnap, CorpusIndex, ModelDoc, ModelQuery};
@@ -22,8 +28,9 @@ use gaugenn::modelfmt::Framework;
 use gaugenn::playstore::corpus::{generate, CorpusScale, Snapshot};
 use gaugenn::playstore::proto::read_response;
 use gaugenn::playstore::{
-    Endpoint, FaultKind, FaultPlan, FaultPlanConfig, QueryClient, ReactorMode, Route,
-    ServerOptions, StoreServer,
+    drive_lanes, CrawlStats, Endpoint, FaultKind, FaultPlan, FaultPlanConfig, LaneOpts, LaneSpec,
+    LockstepServer, QueryClient, ReactorMode, RetryPolicy, Route, RouteListJob, ServerOptions,
+    StoreServer,
 };
 use std::io::{BufReader, Write};
 use std::sync::Arc;
@@ -241,4 +248,171 @@ fn sim_pipeline_report_matches_the_other_loops() {
         baseline, chaotic,
         "chaos under the retry budget must not change the report"
     );
+}
+
+/// One lockstep drive of `lanes` keep-alive [`RouteListJob`] lanes (two
+/// listing routes each) against a steppable sim server: no threads, no
+/// wall clock. Returns (client digest, server digest, peak in-flight,
+/// response bodies in lane-major order).
+fn lockstep_burst(
+    lanes: u64,
+    client_seed: u64,
+    server_seed: u64,
+) -> (u64, u64, usize, Vec<Vec<u8>>) {
+    let mut server = LockstepServer::start(
+        generate(CorpusScale::Tiny, Snapshot::Y2021, 7),
+        ServerOptions {
+            reactor_seed: server_seed,
+            ..ServerOptions::default()
+        },
+    );
+    let routes = vec![
+        (Route::Categories, false),
+        (
+            Route::Category {
+                name: "finance".into(),
+                start: 0,
+                count: 50,
+            },
+            false,
+        ),
+    ];
+    let specs = (1..=lanes)
+        .map(|id| LaneSpec {
+            connection_id: id,
+            retry: RetryPolicy::default(),
+            job: RouteListJob::new(routes.clone()),
+        })
+        .collect();
+    let opts = LaneOpts {
+        sim_seed: client_seed,
+        ..LaneOpts::default()
+    };
+    let endpoint = server.endpoint();
+    let (outcomes, report) =
+        drive_lanes(&endpoint, specs, &opts, Some(&mut || server.step())).expect("lockstep drive");
+    let bodies = outcomes
+        .into_iter()
+        .flat_map(|o| o.job.into_results())
+        .map(|r| r.expect("calm lockstep lane answers").body)
+        .collect();
+    (
+        report.digest,
+        server.reactor_digest(),
+        report.peak_in_flight,
+        bodies,
+    )
+}
+
+#[test]
+fn one_poll_loop_holds_256_lanes_in_flight_and_replays() {
+    // The tentpole scaling claim: a single drive_lanes loop (one thread)
+    // sustains 256 simultaneously in-flight connections — and the whole
+    // multi-connection schedule replays bit-for-bit from the seeds.
+    let first = lockstep_burst(256, 21, 9);
+    assert!(
+        first.2 >= 256,
+        "one loop must hold all 256 lanes in flight, got {}",
+        first.2
+    );
+    assert_eq!(first.3.len(), 512, "every lane answers both routes");
+    assert_ne!(first.0, 0, "client digest records delivered events");
+    let again = lockstep_burst(256, 21, 9);
+    assert_eq!(
+        (first.0, first.1, first.2),
+        (again.0, again.1, again.2),
+        "same seeds must replay the same event schedule"
+    );
+    assert_eq!(first.3, again.3, "same seeds must produce identical bytes");
+    let reseeded = lockstep_burst(256, 22, 9);
+    assert_eq!(first.3, reseeded.3, "the seed may only reorder events, never change bytes");
+}
+
+/// Four lanes of resumable APK downloads in lockstep, optionally under
+/// the chaos trio (reset / truncate / mid-frame stall). Returns (client
+/// digest, server digest, bodies in lane-major order, merged counters).
+fn lockstep_apk_run(chaos: bool) -> (u64, u64, Vec<Vec<u8>>, CrawlStats) {
+    let corpus = generate(CorpusScale::Tiny, Snapshot::Y2021, 7);
+    let packages: Vec<String> = corpus.apps.iter().take(12).map(|a| a.package.clone()).collect();
+    let plan = chaos.then(|| {
+        FaultPlan::new(FaultPlanConfig {
+            seed: 0xBADCAB,
+            fault_permille: 600,
+            kinds: vec![FaultKind::Reset, FaultKind::Truncate, FaultKind::Stall],
+            max_faults_per_route: 2,
+            stall_ms: 5,
+            ..FaultPlanConfig::default()
+        })
+    });
+    let mut server = LockstepServer::start(
+        corpus,
+        ServerOptions {
+            chaos: plan,
+            reactor_seed: 17,
+            ..ServerOptions::default()
+        },
+    );
+    let lanes = 4usize;
+    let specs = (0..lanes)
+        .map(|c| LaneSpec {
+            connection_id: c as u64 + 1,
+            retry: RetryPolicy::default(),
+            job: RouteListJob::new(
+                packages
+                    .iter()
+                    .skip(c)
+                    .step_by(lanes)
+                    .map(|p| (Route::Apk { package: p.clone() }, true))
+                    .collect(),
+            ),
+        })
+        .collect();
+    let opts = LaneOpts {
+        sim_seed: 31,
+        ..LaneOpts::default()
+    };
+    let endpoint = server.endpoint();
+    let (outcomes, report) =
+        drive_lanes(&endpoint, specs, &opts, Some(&mut || server.step())).expect("lockstep drive");
+    let mut stats = CrawlStats::default();
+    let mut bodies = Vec::new();
+    for o in outcomes {
+        stats.merge(&o.stats);
+        for r in o.job.into_results() {
+            bodies.push(r.expect("bounded chaos always recovers").body);
+        }
+    }
+    (report.digest, server.reactor_digest(), bodies, stats)
+}
+
+#[test]
+fn chaos_trio_through_the_nonblocking_client_recovers_and_replays() {
+    // Satellite contract: reset, truncated-body-with-range-resume and
+    // mid-frame stall all pass through the client state machines without
+    // changing a single payload byte — and the chaotic schedule itself
+    // replays bit-for-bit from the seeds.
+    let calm = lockstep_apk_run(false);
+    let stormy = lockstep_apk_run(true);
+    assert_eq!(
+        calm.2, stormy.2,
+        "chaos must only cost retries, never change APK bytes"
+    );
+    assert!(stormy.3.retries > 0, "faults must force retries: {:?}", stormy.3);
+    assert!(
+        stormy.3.range_resumes > 0,
+        "truncated bodies must resume with a ranged re-request: {:?}",
+        stormy.3
+    );
+    assert!(
+        stormy.3.reconnects > 0,
+        "resets and stalls must force re-dials: {:?}",
+        stormy.3
+    );
+    let replay = lockstep_apk_run(true);
+    assert_eq!(
+        (stormy.0, stormy.1, &stormy.3),
+        (replay.0, replay.1, &replay.3),
+        "same seeds must replay digests and counters exactly"
+    );
+    assert_eq!(stormy.2, replay.2, "replayed bytes must match");
 }

@@ -239,6 +239,197 @@ pub fn widen_backlog(fd: RawFd, backlog: i32) {
 #[cfg(not(unix))]
 pub fn widen_backlog(_fd: RawFd, _backlog: i32) {}
 
+#[cfg(target_os = "linux")]
+mod net_sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const AF_INET: c_int = 2;
+    pub const AF_INET6: c_int = 10;
+    pub const SOCK_STREAM: c_int = 1;
+    pub const SOCK_NONBLOCK: c_int = 0o4000;
+    pub const SOCK_CLOEXEC: c_int = 0o2000000;
+    pub const EINPROGRESS: i32 = 115;
+    pub const SOL_SOCKET: c_int = 1;
+    pub const SO_ERROR: c_int = 4;
+    pub const IPPROTO_TCP: c_int = 6;
+    pub const TCP_NODELAY: c_int = 1;
+
+    // Kernel sockaddr layouts (both fields past `family` in network byte
+    // order where applicable).
+    #[repr(C)]
+    pub struct SockAddrIn {
+        pub family: u16,
+        pub port: u16,
+        pub addr: [u8; 4],
+        pub zero: [u8; 8],
+    }
+
+    #[repr(C)]
+    pub struct SockAddrIn6 {
+        pub family: u16,
+        pub port: u16,
+        pub flowinfo: u32,
+        pub addr: [u8; 16],
+        pub scope_id: u32,
+    }
+
+    extern "C" {
+        pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        pub fn connect(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+        pub fn getsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *mut c_void,
+            optlen: *mut u32,
+        ) -> c_int;
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
+    }
+}
+
+/// Open a TCP connection to `addr` without ever blocking on the
+/// three-way handshake: the socket is created `SOCK_NONBLOCK` and
+/// `connect(2)` returns immediately with `EINPROGRESS`. Register the fd
+/// with write interest; when the reactor first reports it writable, call
+/// [`take_socket_error`] to learn whether the handshake succeeded. The
+/// returned `TcpStream` stays non-blocking for its whole life (it is
+/// never switched back), and `TCP_NODELAY` is pre-set to match the
+/// blocking dial path.
+#[cfg(target_os = "linux")]
+pub fn tcp_connect_nonblocking(addr: std::net::SocketAddr) -> io::Result<std::net::TcpStream> {
+    use std::os::fd::FromRawFd;
+    use std::os::raw::{c_int, c_void};
+
+    let domain = match addr {
+        std::net::SocketAddr::V4(_) => net_sys::AF_INET,
+        std::net::SocketAddr::V6(_) => net_sys::AF_INET6,
+    };
+    // Safety: socket() touches no caller memory.
+    let fd = unsafe {
+        net_sys::socket(
+            domain,
+            net_sys::SOCK_STREAM | net_sys::SOCK_NONBLOCK | net_sys::SOCK_CLOEXEC,
+            0,
+        )
+    };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // Safety: from_raw_fd takes sole ownership of a valid, fresh fd; on
+    // any error below the stream's Drop closes it exactly once.
+    let stream = unsafe { std::net::TcpStream::from_raw_fd(fd) };
+    let one: c_int = 1;
+    // Safety: `one` outlives the call; the kernel copies 4 bytes from it.
+    let rc = unsafe {
+        net_sys::setsockopt(
+            fd,
+            net_sys::IPPROTO_TCP,
+            net_sys::TCP_NODELAY,
+            std::ptr::addr_of!(one).cast::<c_void>(),
+            std::mem::size_of::<c_int>() as u32,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let rc = match addr {
+        std::net::SocketAddr::V4(v4) => {
+            let sa = net_sys::SockAddrIn {
+                family: net_sys::AF_INET as u16,
+                port: v4.port().to_be(),
+                addr: v4.ip().octets(),
+                zero: [0; 8],
+            };
+            // Safety: `sa` is a properly-initialised sockaddr_in that
+            // outlives the call; the kernel copies it.
+            unsafe {
+                net_sys::connect(
+                    fd,
+                    std::ptr::addr_of!(sa).cast::<c_void>(),
+                    std::mem::size_of::<net_sys::SockAddrIn>() as u32,
+                )
+            }
+        }
+        std::net::SocketAddr::V6(v6) => {
+            let sa = net_sys::SockAddrIn6 {
+                family: net_sys::AF_INET6 as u16,
+                port: v6.port().to_be(),
+                flowinfo: v6.flowinfo().to_be(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id(),
+            };
+            // Safety: as above, for sockaddr_in6.
+            unsafe {
+                net_sys::connect(
+                    fd,
+                    std::ptr::addr_of!(sa).cast::<c_void>(),
+                    std::mem::size_of::<net_sys::SockAddrIn6>() as u32,
+                )
+            }
+        }
+    };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() != Some(net_sys::EINPROGRESS) {
+            return Err(err);
+        }
+    }
+    Ok(stream)
+}
+
+/// Unsupported off Linux — callers fall back to the blocking dial path
+/// (mirrors [`EpollReactor::new`], which fails the same way there).
+#[cfg(not(target_os = "linux"))]
+pub fn tcp_connect_nonblocking(_addr: std::net::SocketAddr) -> io::Result<std::net::TcpStream> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "non-blocking connect is only available on Linux",
+    ))
+}
+
+/// Drain the pending socket error (`SO_ERROR`): `Ok(())` when the
+/// in-flight [`tcp_connect_nonblocking`] handshake succeeded, the typed
+/// OS error (e.g. `ECONNREFUSED`) when it failed. Call once when the
+/// reactor first reports the connecting socket writable.
+#[cfg(target_os = "linux")]
+pub fn take_socket_error(fd: RawFd) -> io::Result<()> {
+    use std::os::raw::c_void;
+    let mut err: i32 = 0;
+    let mut len: u32 = std::mem::size_of::<i32>() as u32;
+    // Safety: `err`/`len` outlive the call; the kernel writes 4 bytes.
+    let rc = unsafe {
+        net_sys::getsockopt(
+            fd,
+            net_sys::SOL_SOCKET,
+            net_sys::SO_ERROR,
+            std::ptr::addr_of_mut!(err).cast::<c_void>(),
+            &mut len,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if err != 0 {
+        return Err(io::Error::from_raw_os_error(err));
+    }
+    Ok(())
+}
+
+/// Unsupported off Linux (see [`tcp_connect_nonblocking`]).
+#[cfg(not(target_os = "linux"))]
+pub fn take_socket_error(_fd: RawFd) -> io::Result<()> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "non-blocking connect is only available on Linux",
+    ))
+}
+
 /// Kernel epoll reactor (level-triggered). Linux-only; construction fails
 /// with [`io::ErrorKind::Unsupported`] elsewhere so callers can fall back
 /// to the threaded path or [`SimReactor`].
@@ -744,6 +935,34 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         p.notify();
         h.join().unwrap();
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn nonblocking_connect_completes_through_the_reactor() {
+        use std::io::{Read, Write};
+        use std::net::TcpListener;
+        use std::os::fd::AsRawFd;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = tcp_connect_nonblocking(listener.local_addr().unwrap()).unwrap();
+        let mut r = EpollReactor::new().unwrap();
+        r.register_fd(stream.as_raw_fd(), Token(7), Interest::WRITABLE)
+            .unwrap();
+        let mut evs = Events::new();
+        let n = r.poll(&mut evs, Some(Duration::from_secs(2))).unwrap();
+        assert!(n >= 1, "connecting socket must become writable");
+        let ev = evs.iter().next().unwrap();
+        assert_eq!(ev.token, Token(7));
+        assert!(ev.writable);
+        take_socket_error(stream.as_raw_fd()).unwrap();
+        // The stream is a live non-blocking socket: bytes round-trip.
+        let (mut srv, _) = listener.accept().unwrap();
+        let mut w = stream.try_clone().unwrap();
+        w.write_all(b"hi").unwrap();
+        let mut buf = [0u8; 2];
+        srv.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        r.deregister(Token(7)).unwrap();
     }
 
     #[cfg(target_os = "linux")]
